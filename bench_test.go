@@ -1,0 +1,600 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper, plus ablation benches for the design
+// choices called out in DESIGN.md. Each benchmark regenerates its
+// experiment on the simulated GP1000 and reports the headline quantities
+// as custom metrics (µs latencies, % gains, crossover positions), so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation end to end. Absolute wall-clock time
+// per op is the cost of simulating the experiment, not the measured
+// quantity — read the custom metrics.
+package repro
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/experiments"
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchCfg sizes experiments for the benchmark harness: big enough to be
+// meaningful, small enough that -bench=. completes in minutes.
+func benchCfg() experiments.Config {
+	return experiments.Config{Procs: 8, Iterations: 16, Seed: 1993}
+}
+
+// cellUs parses a numeric table cell.
+func cellUs(b *testing.B, tbl *experiments.Table, row, col int) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		b.Fatalf("cell (%d,%d) = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+// --- one benchmark per table ---
+
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1(benchCfg())
+		if len(res.Table.Rows) != 5 {
+			b.Fatal("table1 rows missing")
+		}
+	}
+}
+
+func BenchmarkTable2LockOp(b *testing.B) {
+	var spin, blocking float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table2(benchCfg()).Table
+		spin = cellUs(b, tbl, 1, 1)
+		blocking = cellUs(b, tbl, 3, 1)
+	}
+	b.ReportMetric(spin, "spin-lock-us")
+	b.ReportMetric(blocking, "blocking-lock-us")
+}
+
+func BenchmarkTable3UnlockOp(b *testing.B) {
+	var spin, conf float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table3(benchCfg()).Table
+		spin = cellUs(b, tbl, 0, 1)
+		conf = cellUs(b, tbl, 3, 1)
+	}
+	b.ReportMetric(spin, "spin-unlock-us")
+	b.ReportMetric(conf, "configurable-unlock-us")
+}
+
+func BenchmarkTable4LockingCycle(b *testing.B) {
+	var spin, backoff, blocking float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table4(benchCfg()).Table
+		spin = cellUs(b, tbl, 0, 1)
+		backoff = cellUs(b, tbl, 1, 1)
+		blocking = cellUs(b, tbl, 2, 1)
+	}
+	b.ReportMetric(spin, "spin-cycle-us")
+	b.ReportMetric(backoff, "backoff-cycle-us")
+	b.ReportMetric(blocking, "blocking-cycle-us")
+}
+
+func BenchmarkTable5ConfigurableCycle(b *testing.B) {
+	var spin, blocking float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table5(benchCfg()).Table
+		spin = cellUs(b, tbl, 0, 1)
+		blocking = cellUs(b, tbl, 1, 1)
+	}
+	b.ReportMetric(spin, "as-spin-cycle-us")
+	b.ReportMetric(blocking, "as-blocking-cycle-us")
+}
+
+func BenchmarkTable6ConfigOps(b *testing.B) {
+	var possess, waiting, sched float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table6(benchCfg()).Table
+		possess = cellUs(b, tbl, 0, 1)
+		waiting = cellUs(b, tbl, 1, 1)
+		sched = cellUs(b, tbl, 2, 1)
+	}
+	b.ReportMetric(possess, "possess-us")
+	b.ReportMetric(waiting, "configure-waiting-us")
+	b.ReportMetric(sched, "configure-scheduler-us")
+}
+
+func BenchmarkTable7Schedulers(b *testing.B) {
+	var fcfs, handoff, prio float64
+	// The flood intensity scales with client count and request depth; use
+	// the same verified configuration as the shape tests.
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.Table7(cfg).Table
+		fcfs = cellUs(b, tbl, 0, 0)
+		handoff = cellUs(b, tbl, 0, 2)
+		prio = cellUs(b, tbl, 1, 1)
+	}
+	b.ReportMetric(fcfs, "fcfs-us")
+	b.ReportMetric((fcfs-handoff)/fcfs*100, "handoff-gain-pct")
+	b.ReportMetric((fcfs-prio)/fcfs*100, "priority-gain-pct")
+}
+
+// --- one benchmark per figure ---
+
+// lastGap reports series a minus series b at the largest x (positive =
+// a slower), and firstGap the same at the smallest x.
+func seriesGaps(f *experiments.Figure, a, bname string) (first, last float64) {
+	var sa, sb experiments.Series
+	for _, s := range f.Series {
+		if s.Name == a {
+			sa = s
+		}
+		if s.Name == bname {
+			sb = s
+		}
+	}
+	n := len(sa.Y)
+	return sa.Y[0] - sb.Y[0], sa.Y[n-1] - sb.Y[n-1]
+}
+
+func BenchmarkFig1Uniform(b *testing.B) {
+	var first, last float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig1(cfg).Figure
+		first, last = seriesGaps(f, "blocking lock", "spin lock")
+	}
+	b.ReportMetric(first, "blocking-minus-spin-smallCS-ms")
+	b.ReportMetric(last, "blocking-minus-spin-largeCS-ms")
+}
+
+func BenchmarkFig2Bursty(b *testing.B) {
+	var first, last float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig2(cfg).Figure
+		first, last = seriesGaps(f, "blocking lock", "spin lock")
+	}
+	b.ReportMetric(first, "blocking-minus-spin-smallCS-ms")
+	b.ReportMetric(last, "blocking-minus-spin-largeCS-ms")
+}
+
+func BenchmarkFig3UsefulThreads(b *testing.B) {
+	var first, last float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig3(cfg).Figure
+		first, last = seriesGaps(f, "spin lock", "blocking lock")
+	}
+	// Negative first (spin wins small CS), positive last (blocking wins
+	// large CS): the crossover.
+	b.ReportMetric(first, "spin-minus-blocking-smallCS-ms")
+	b.ReportMetric(last, "spin-minus-blocking-largeCS-ms")
+}
+
+func BenchmarkFig7Combined(b *testing.B) {
+	var vsSpin, vsBlock float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig7(cfg).Figure
+		_, vsSpin = seriesGaps(f, "spin", "combined (spin 10)")
+		vsBlock, _ = seriesGaps(f, "blocking", "combined (spin 10)")
+	}
+	b.ReportMetric(vsSpin, "spin-minus-combined-largeCS-ms")
+	b.ReportMetric(vsBlock, "blocking-minus-combined-smallCS-ms")
+}
+
+func BenchmarkFig8Advisory(b *testing.B) {
+	var vsBlockSmall, vsSpinLarge float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig8(cfg).Figure
+		vsBlockSmall, _ = seriesGaps(f, "blocking", "advisory")
+		_, vsSpinLarge = seriesGaps(f, "spin", "advisory")
+	}
+	b.ReportMetric(vsBlockSmall, "blocking-minus-advisory-small-ms")
+	b.ReportMetric(vsSpinLarge, "spin-minus-advisory-large-ms")
+}
+
+func BenchmarkFig9Distributed(b *testing.B) {
+	var first, last float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig9(cfg).Figure
+		first, last = seriesGaps(f, "centralized", "distributed")
+	}
+	b.ReportMetric(first, "central-minus-distributed-smallCS-ms")
+	b.ReportMetric(last, "central-minus-distributed-largeCS-ms")
+}
+
+func BenchmarkFig10ActiveLock(b *testing.B) {
+	var first, last float64
+	cfg := benchCfg()
+	cfg.Quick = true
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig10(cfg).Figure
+		first, last = seriesGaps(f, "passive", "active")
+	}
+	b.ReportMetric(first, "passive-minus-active-smallCS-ms")
+	b.ReportMetric(last, "passive-minus-active-largeCS-ms")
+}
+
+// --- extension benches ---
+
+// BenchmarkExtWaitDistribution regenerates the waiting-time distribution
+// extension table.
+func BenchmarkExtWaitDistribution(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Quick = true
+	var spinP99 float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.ExtWaitDistribution(cfg).Table
+		spinP99 = cellUs(b, tbl, 0, 3)
+	}
+	b.ReportMetric(spinP99, "spin-p99-us")
+}
+
+// BenchmarkExtNUMASensitivity regenerates the remote-cost sweep.
+func BenchmarkExtNUMASensitivity(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Quick = true
+	var last float64
+	for i := 0; i < b.N; i++ {
+		f := experiments.ExtNUMASensitivity(cfg).Figure
+		last = f.Series[0].Y[len(f.Series[0].Y)-1]
+	}
+	b.ReportMetric(last, "spin-at-max-surcharge-ms")
+}
+
+// BenchmarkExtApps regenerates the application matrix.
+func BenchmarkExtApps(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Quick = true
+	var solverSpin float64
+	for i := 0; i < b.N; i++ {
+		tbl := experiments.ExtApps(cfg).Table
+		solverSpin = cellUs(b, tbl, 2, 1)
+	}
+	b.ReportMetric(solverSpin, "solver-spin-us")
+}
+
+// BenchmarkExtUMA regenerates the NUMA-vs-UMA machine comparison; the
+// headline metric is how much backoff saves on the shared bus at the
+// largest machine.
+func BenchmarkExtUMA(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Quick = true
+	var spin, backoff float64
+	for i := 0; i < b.N; i++ {
+		f := experiments.ExtUMA(cfg).Figure
+		for _, s := range f.Series {
+			switch s.Name {
+			case "UMA pure spin":
+				spin = s.Y[len(s.Y)-1]
+			case "UMA backoff":
+				backoff = s.Y[len(s.Y)-1]
+			}
+		}
+	}
+	b.ReportMetric(spin/backoff, "uma-spin-vs-backoff-x")
+}
+
+// --- ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationContention toggles the memory-module serialization that
+// models NUMA switch/memory contention: with it off, centralized spinning
+// loses its penalty and the simulator would mispredict the paper's
+// centralized-vs-distributed gap.
+func BenchmarkAblationContention(b *testing.B) {
+	run := func(occupancy sim.Duration) float64 {
+		cfg := machine.DefaultGP1000()
+		cfg.Procs = 4
+		cfg.ModuleOccupancy = occupancy
+		sys := cthread.NewSystem(machine.New(cfg))
+		l := locks.NewSpinLock(sys.M, 0, locks.DefaultCosts())
+		res, err := workload.Run(sys, l, workload.Spec{
+			CPUs: 4, LockersPerCPU: 1, Iterations: 50,
+			CS:   workload.Fixed(sim.Us(60)),
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.LockersDone.Us()
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = run(sim.Us(0.5))
+		without = run(0)
+	}
+	b.ReportMetric(with, "with-contention-us")
+	b.ReportMetric(without, "without-contention-us")
+}
+
+// BenchmarkAblationBackoff sweeps the backoff unit: too small converges to
+// pure spinning (module traffic), too large inflates the locking cycle
+// (Table 4's 320us backoff cycle).
+func BenchmarkAblationBackoff(b *testing.B) {
+	for _, unitUs := range []float64{50, 200, 400, 800} {
+		unitUs := unitUs
+		b.Run("unit-"+strconv.Itoa(int(unitUs))+"us", func(b *testing.B) {
+			var done float64
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultGP1000()
+				cfg.Procs = 4
+				sys := cthread.NewSystem(machine.New(cfg))
+				costs := locks.DefaultCosts()
+				costs.BackoffUnit = sim.Us(unitUs)
+				l := locks.NewBackoffSpinLock(sys.M, 0, costs)
+				res, err := workload.Run(sys, l, workload.Spec{
+					CPUs: 4, LockersPerCPU: 1, Iterations: 40,
+					CS:   workload.Fixed(sim.Us(100)),
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done = res.LockersDone.Us()
+			}
+			b.ReportMetric(done, "exec-us")
+		})
+	}
+}
+
+// BenchmarkAblationSpinCount sweeps the combined lock's initial spin count
+// on the Figure 7 workload — the paper: "the optimal number of initial
+// spins of combined locks will depend on various application
+// characteristics".
+func BenchmarkAblationSpinCount(b *testing.B) {
+	for _, spins := range []int{1, 5, 10, 50} {
+		spins := spins
+		b.Run("spin-"+strconv.Itoa(spins), func(b *testing.B) {
+			var done float64
+			for i := 0; i < b.N; i++ {
+				cfg := machine.DefaultGP1000()
+				cfg.Procs = 8
+				sys := cthread.NewSystem(machine.New(cfg))
+				l := core.New(sys, core.Options{Params: core.Params{
+					SpinTime: spins, DelayTime: sim.Us(50), SleepTime: core.SleepUntilWoken,
+				}})
+				res, err := workload.Run(sys, l, workload.Spec{
+					CPUs: 8, LockersPerCPU: 1, Iterations: 16,
+					Arrival:      workload.Uniform{Mean: sim.Us(2000), Jitter: sim.Us(400)},
+					CS:           workload.Fixed(sim.Us(100)),
+					UsefulPerCPU: 2, UsefulWork: sim.Us(4000), UsefulChunk: sim.Us(200),
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done = res.AllDone.Us()
+			}
+			b.ReportMetric(done, "exec-us")
+		})
+	}
+}
+
+// BenchmarkAblationPoliteBackoff compares the paper's processor-holding
+// backoff against a polite variant that releases the processor during the
+// delay, with a co-located useful thread.
+func BenchmarkAblationPoliteBackoff(b *testing.B) {
+	run := func(polite bool) float64 {
+		cfg := machine.DefaultGP1000()
+		cfg.Procs = 4
+		sys := cthread.NewSystem(machine.New(cfg))
+		l := locks.NewBackoffSpinLock(sys.M, 0, locks.DefaultCosts())
+		l.Polite = polite
+		res, err := workload.Run(sys, l, workload.Spec{
+			CPUs: 4, LockersPerCPU: 1, Iterations: 20,
+			CS:           workload.Fixed(sim.Us(800)),
+			UsefulPerCPU: 1, UsefulWork: sim.Us(20000), UsefulChunk: sim.Us(200),
+			Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AllDone.Us()
+	}
+	var holding, polite float64
+	for i := 0; i < b.N; i++ {
+		holding = run(false)
+		polite = run(true)
+	}
+	b.ReportMetric(holding, "holding-us")
+	b.ReportMetric(polite, "polite-us")
+}
+
+// BenchmarkAblationMigration evaluates dynamic lock migration (the "lock
+// location" configuration state): a workload whose dominant requester
+// runs on CPU 3 while the lock's words sit on module 0, with and without
+// migrating the lock to the hot requester's module.
+func BenchmarkAblationMigration(b *testing.B) {
+	run := func(migrate bool) float64 {
+		cfg := machine.DefaultGP1000()
+		cfg.Procs = 4
+		sys := cthread.NewSystem(machine.New(cfg))
+		l := core.New(sys, core.Options{Module: 0})
+		var hot *cthread.Thread
+		hot = sys.Spawn("hot", 3, 0, func(t *cthread.Thread) {
+			if migrate {
+				if err := l.Migrate(t, 3); err != nil {
+					b.Error(err)
+				}
+			}
+			for i := 0; i < 300; i++ {
+				l.Lock(t)
+				t.Compute(sim.Us(30))
+				l.Unlock(t)
+				t.Compute(sim.Us(50))
+			}
+		})
+		// A cold occasional requester keeps the lock honest.
+		sys.Spawn("cold", 1, 0, func(t *cthread.Thread) {
+			for i := 0; i < 20; i++ {
+				t.Compute(sim.Us(2000))
+				l.Lock(t)
+				t.Compute(sim.Us(30))
+				l.Unlock(t)
+			}
+		})
+		if err := sys.M.Eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		return hot.DoneAt().Us()
+	}
+	var stay, moved float64
+	for i := 0; i < b.N; i++ {
+		stay = run(false)
+		moved = run(true)
+	}
+	b.ReportMetric(stay, "lock-on-module0-us")
+	b.ReportMetric(moved, "migrated-to-hot-cpu-us")
+}
+
+// BenchmarkAblationPreemption toggles preemptive time slicing: with a
+// quantum, a preempted lock *holder* leaves spinners burning their
+// processors, so spin locks degrade much more than blocking locks — the
+// UMA-machine effect Anderson [ALL89] analyses, absent on the paper's
+// non-preemptive Cthreads.
+func BenchmarkAblationPreemption(b *testing.B) {
+	run := func(quantum sim.Duration, params core.Params) float64 {
+		cfg := machine.DefaultGP1000()
+		cfg.Procs = 4
+		cfg.Quantum = quantum
+		sys := cthread.NewSystem(machine.New(cfg))
+		l := core.New(sys, core.Options{Params: params})
+		res, err := workload.Run(sys, l, workload.Spec{
+			CPUs: 4, LockersPerCPU: 2, Iterations: 15,
+			Arrival: workload.Uniform{Mean: sim.Us(500)},
+			CS:      workload.Fixed(sim.Us(200)),
+			Seed:    1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AllDone.Us()
+	}
+	var spinNP, spinP, blockNP, blockP float64
+	for i := 0; i < b.N; i++ {
+		spinNP = run(0, core.SpinParams())
+		spinP = run(sim.Us(1000), core.SpinParams())
+		blockNP = run(0, core.SleepParams())
+		blockP = run(sim.Us(1000), core.SleepParams())
+	}
+	b.ReportMetric(spinP/spinNP, "spin-preempt-slowdown-x")
+	b.ReportMetric(blockP/blockNP, "block-preempt-slowdown-x")
+}
+
+// BenchmarkAblationAdaptive compares monitor-driven adaptation against the
+// two static policies on a phase-shifting workload (the future-work
+// extension exercised by examples/adaptive).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	type variant struct {
+		name   string
+		params core.Params
+		adapt  bool
+	}
+	for _, v := range []variant{
+		{"static-spin", core.SpinParams(), false},
+		{"static-block", core.SleepParams(), false},
+		{"adaptive", core.SpinParams(), true},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var done float64
+			for i := 0; i < b.N; i++ {
+				done = runShiftingWorkload(b, v.params, v.adapt)
+			}
+			b.ReportMetric(done, "exec-us")
+		})
+	}
+}
+
+// runShiftingWorkload is the examples/adaptive workload in bench form.
+func runShiftingWorkload(b *testing.B, params core.Params, adaptive bool) float64 {
+	b.Helper()
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = 5
+	sys := cthread.NewSystem(machine.New(cfg))
+	lock := core.New(sys, core.Options{Params: params})
+	if adaptive {
+		agent := newBenchAgent(lock)
+		sys.Spawn("adapt", 4, 0, agent)
+	}
+	barrier := cthread.NewBarrier(4)
+	for c := 0; c < 4; c++ {
+		sys.Spawn("locker", c, 0, func(t *cthread.Thread) {
+			for ph := 0; ph < 4; ph++ {
+				barrier.Wait(t)
+				cs, think, iters := sim.Us(30), sim.Us(100), 30
+				if ph%2 == 1 {
+					cs, think, iters = sim.Us(3000), 0, 4
+				}
+				for i := 0; i < iters; i++ {
+					t.Compute(think)
+					lock.Lock(t)
+					t.Compute(cs)
+					lock.Unlock(t)
+				}
+			}
+		})
+		sys.Spawn("useful", c, 0, func(t *cthread.Thread) {
+			for left := sim.Us(40000); left > 0; left -= sim.Us(200) {
+				t.Compute(sim.Us(200))
+				t.Yield()
+			}
+		})
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	end := sim.Time(0)
+	for _, th := range sys.Threads() {
+		if th.Name() != "adapt" && th.DoneAt() > end {
+			end = th.DoneAt()
+		}
+	}
+	return end.Us()
+}
+
+// newBenchAgent builds the hold-time feedback loop used by the adaptive
+// ablation (mirrors examples/adaptive).
+func newBenchAgent(lock *core.Lock) func(t *cthread.Thread) {
+	return func(t *cthread.Thread) {
+		if err := lock.Possess(t, core.AttrWaitingPolicy); err != nil {
+			return
+		}
+		prev := lock.Probe(t)
+		sleeping := false
+		for i := 0; i < 300; i++ {
+			t.Sleep(sim.Us(4000))
+			cur := lock.Probe(t)
+			dAcq := cur.Acquisitions - prev.Acquisitions
+			if dAcq > 0 {
+				mean := (cur.HoldTotal - prev.HoldTotal) / sim.Duration(dAcq)
+				if mean > sim.Us(1800) && !sleeping {
+					_ = lock.ConfigureWaiting(t, core.SleepParams())
+					sleeping = true
+				} else if mean < sim.Us(700) && sleeping {
+					_ = lock.ConfigureWaiting(t, core.SpinParams())
+					sleeping = false
+				}
+			}
+			prev = cur
+		}
+	}
+}

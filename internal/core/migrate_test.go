@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func TestMigrateMakesOpsLocal(t *testing.T) {
+	// An uncontended lock on module 0 costs its CPU-3 user remote
+	// latencies; after migrating to module 3, the same operations are
+	// local.
+	s := newSys(4)
+	l := New(s, Options{Module: 0})
+	var before, after sim.Duration
+	s.Spawn("user", 3, 0, func(th *cthread.Thread) {
+		start := th.Now()
+		l.Lock(th)
+		l.Unlock(th)
+		before = sim.Duration(th.Now() - start)
+
+		if err := l.Migrate(th, 3); err != nil {
+			t.Error(err)
+			return
+		}
+		if l.Module() != 3 {
+			t.Errorf("module = %d, want 3", l.Module())
+		}
+		start = th.Now()
+		l.Lock(th)
+		l.Unlock(th)
+		after = sim.Duration(th.Now() - start)
+	})
+	mustRun(t, s)
+	if after >= before {
+		t.Fatalf("post-migration ops %v >= pre-migration %v", after, before)
+	}
+	// Post-migration the user's costs match the local calibration.
+	approx(t, "migrated lock+unlock", after, 40.79+50.07, 0.1)
+}
+
+func TestMigratePreservesState(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: SleepParams(), Scheduler: PriorityQueue, Threshold: 7})
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		if err := l.Migrate(th, 2); err != nil {
+			t.Error(err)
+		}
+	})
+	mustRun(t, s)
+	if l.Params().Kind() != PolicySleep {
+		t.Fatalf("params lost: %v", l.Params().Kind())
+	}
+	if l.Scheduler() != PriorityQueue {
+		t.Fatalf("scheduler lost: %v", l.Scheduler())
+	}
+	if l.Threshold() != 7 {
+		t.Fatalf("threshold lost: %d", l.Threshold())
+	}
+	if l.OwnerID() != 0 {
+		t.Fatalf("owner corrupted: %d", l.OwnerID())
+	}
+}
+
+func TestMigrateUnderContention(t *testing.T) {
+	// The owner migrates the lock while other threads wait; mutual
+	// exclusion and every grant must survive.
+	s := newSys(6)
+	l := New(s, Options{Params: SleepParams()})
+	inCS, violations, completed := 0, 0, 0
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		inCS++
+		th.Compute(sim.Us(2000)) // waiters pile up
+		if err := l.Migrate(th, 4); err != nil {
+			t.Error(err)
+		}
+		th.Compute(sim.Us(500))
+		inCS--
+		l.Unlock(th)
+	})
+	for i := 0; i < 4; i++ {
+		s.SpawnAt(sim.Us(float64(100*(i+1))), "w", i+1, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			inCS++
+			if inCS != 1 {
+				violations++
+			}
+			th.Compute(sim.Us(50))
+			inCS--
+			completed++
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	if violations != 0 {
+		t.Fatalf("%d violations across migration", violations)
+	}
+	if completed != 4 {
+		t.Fatalf("completed %d of 4 under migration", completed)
+	}
+	if l.Module() != 4 {
+		t.Fatalf("module = %d", l.Module())
+	}
+}
+
+func TestMigrateAuthorization(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{})
+	var err1, err2 error
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "outsider", 1, 0, func(th *cthread.Thread) {
+		err1 = l.Migrate(th, 2) // not owner, no possession
+		if err := l.Possess(th, AttrWaitingPolicy); err != nil {
+			t.Error(err)
+		}
+		err2 = l.Migrate(th, 2) // possessed: allowed
+	})
+	mustRun(t, s)
+	if err1 != ErrNotAuthorized {
+		t.Fatalf("unauthorized migrate = %v", err1)
+	}
+	if err2 != nil {
+		t.Fatalf("possessed migrate failed: %v", err2)
+	}
+}
+
+func TestMigrateValidatesModule(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		if err := l.Migrate(th, 99); err == nil {
+			t.Error("migrate to nonexistent module succeeded")
+		}
+	})
+	mustRun(t, s)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestModelRandomWorkloads drives the configurable lock with randomly
+// generated workloads — random policies, schedulers, mid-run
+// reconfigurations, priorities and critical-section lengths — and checks
+// the invariants a reference mutual-exclusion model demands:
+//
+//  1. never two owners at once;
+//  2. every acquisition eventually completes (the run terminates with all
+//     threads Done);
+//  3. the monitor's books balance (acquisitions = releases, grants =
+//     contended completions that were handed over).
+func TestModelRandomWorkloads(t *testing.T) {
+	policies := []Params{
+		SpinParams(),
+		BackoffParams(sim.Us(20)),
+		SleepParams(),
+		CombinedParams(3),
+		{SpinTime: 2, DelayTime: sim.Us(10), SleepTime: sim.Us(150)},
+	}
+	scheds := []SchedulerKind{FCFS, PriorityQueue, PriorityThreshold, Handoff, Deadline}
+
+	for trial := 0; trial < 25; trial++ {
+		trial := trial
+		r := rng.New(uint64(7000 + trial))
+		procs := 2 + r.Intn(6)
+		threadsPerCPU := 1 + r.Intn(2)
+		iters := 3 + r.Intn(6)
+		p := policies[r.Intn(len(policies))]
+		k := scheds[r.Intn(len(scheds))]
+
+		cfg := machine.DefaultGP1000()
+		cfg.Procs = procs
+		if threadsPerCPU > 1 {
+			// With multiprogrammed processors and arbitrary (possibly
+			// spinning) policies, non-preemptive scheduling can starve a
+			// runnable lock owner behind a co-located spinner forever —
+			// the very pathology the paper's Section 2 warns about.
+			// Multiprogrammed trials therefore run with a preemption
+			// quantum, as any real multiprogrammed system would.
+			cfg.Quantum = sim.Us(1000)
+		}
+		s := cthread.NewSystem(machine.New(cfg))
+		l := New(s, Options{Params: p, Scheduler: k, Threshold: 2})
+
+		inCS := 0
+		violations := 0
+		completed := 0
+		expected := 0
+		for c := 0; c < procs; c++ {
+			for j := 0; j < threadsPerCPU; j++ {
+				expected += iters
+				tr := r.Split()
+				prio := int64(r.Intn(5))
+				s.Spawn("w", c, prio, func(th *cthread.Thread) {
+					for i := 0; i < iters; i++ {
+						if gap := tr.Intn(300); gap > 0 {
+							th.Compute(sim.Duration(gap) * sim.Microsecond)
+						}
+						if k == Deadline && tr.Intn(2) == 0 {
+							l.LockDeadline(th, th.Now()+sim.Time(sim.Us(float64(100+tr.Intn(5000)))))
+						} else {
+							l.Lock(th)
+						}
+						inCS++
+						if inCS != 1 {
+							violations++
+						}
+						// The owner sometimes advises mid-hold.
+						if tr.Intn(4) == 0 {
+							_ = l.Advise(th, policies[tr.Intn(len(policies))])
+						}
+						th.Compute(sim.Duration(1+tr.Intn(400)) * sim.Microsecond)
+						inCS--
+						completed++
+						l.Unlock(th)
+						// Threads with siblings yield now and then so
+						// co-located spinner-heavy mixes make progress.
+						if threadsPerCPU > 1 && tr.Intn(2) == 0 {
+							th.Yield()
+						}
+					}
+				})
+			}
+		}
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if violations != 0 {
+			t.Fatalf("trial %d (%v/%v): %d mutual-exclusion violations", trial, p.Kind(), k, violations)
+		}
+		if completed != expected {
+			t.Fatalf("trial %d (%v/%v): %d of %d critical sections completed", trial, p.Kind(), k, completed, expected)
+		}
+		for _, th := range s.Threads() {
+			if th.State() != cthread.Done {
+				t.Fatalf("trial %d: thread %q stuck in %v", trial, th.Name(), th.State())
+			}
+		}
+		snap := l.MonitorSnapshot()
+		if snap.Acquisitions != int64(expected) {
+			t.Fatalf("trial %d: monitor acquisitions %d != %d", trial, snap.Acquisitions, expected)
+		}
+		if l.OwnerID() != 0 || l.Waiters() != 0 {
+			t.Fatalf("trial %d: lock not quiescent (owner %d, waiters %d)", trial, l.OwnerID(), l.Waiters())
+		}
+	}
+}
+
+// TestModelRandomWithExternalAgent repeats the random-workload check with
+// an asynchronous reconfiguration agent possessing and flipping the
+// waiting policy throughout the run.
+func TestModelRandomWithExternalAgent(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		r := rng.New(uint64(9100 + trial))
+		procs := 3 + r.Intn(4)
+		s := newSys(procs + 1)
+		l := New(s, Options{Params: SpinParams()})
+
+		s.Spawn("agent", procs, 0, func(th *cthread.Thread) {
+			if err := l.Possess(th, AttrWaitingPolicy); err != nil {
+				t.Error(err)
+				return
+			}
+			choices := []Params{SpinParams(), SleepParams(), CombinedParams(2)}
+			for i := 0; i < 20; i++ {
+				th.Sleep(sim.Us(float64(100 + r.Intn(500))))
+				if err := l.ConfigureWaiting(th, choices[r.Intn(len(choices))]); err != nil {
+					t.Errorf("agent configure: %v", err)
+				}
+			}
+			l.Dispossess(th, AttrWaitingPolicy)
+		})
+
+		inCS, violations, completed := 0, 0, 0
+		expected := procs * 6
+		for c := 0; c < procs; c++ {
+			tr := r.Split()
+			s.Spawn("w", c, 0, func(th *cthread.Thread) {
+				for i := 0; i < 6; i++ {
+					th.Compute(sim.Duration(1+tr.Intn(200)) * sim.Microsecond)
+					l.Lock(th)
+					inCS++
+					if inCS != 1 {
+						violations++
+					}
+					th.Compute(sim.Duration(1+tr.Intn(300)) * sim.Microsecond)
+					inCS--
+					completed++
+					l.Unlock(th)
+				}
+			})
+		}
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if violations != 0 || completed != expected {
+			t.Fatalf("trial %d: violations=%d completed=%d/%d", trial, violations, completed, expected)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LockState is the paper's Figure 4 state machine: a lock is "locked"
+// when a specific thread owns it, "unlocked" when it is free with no
+// waiting threads, and "idle" when it is free but has one or more waiting
+// threads — the window between a release and the completion of the next
+// grant, whose duration is the locking cycle of Tables 4 and 5.
+type LockState uint8
+
+// Lock states (Figure 4).
+const (
+	StateUnlocked LockState = iota
+	StateLocked
+	StateIdle
+)
+
+func (s LockState) String() string {
+	switch s {
+	case StateUnlocked:
+		return "unlocked"
+	case StateLocked:
+		return "locked"
+	case StateIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Transition is one observed edge of the Figure 4 diagram.
+type Transition struct{ From, To LockState }
+
+// String renders the edge.
+func (t Transition) String() string { return t.From.String() + "->" + t.To.String() }
+
+// legalTransitions is the edge set of Figure 4.
+var legalTransitions = map[Transition]bool{
+	{StateUnlocked, StateLocked}: true, // lock on a free lock
+	{StateLocked, StateUnlocked}: true, // unlock with no waiters
+	{StateLocked, StateIdle}:     true, // unlock with waiters
+	{StateIdle, StateLocked}:     true, // grant completes
+}
+
+// LegalTransition reports whether the edge appears in Figure 4.
+func LegalTransition(from, to LockState) bool {
+	return legalTransitions[Transition{from, to}]
+}
+
+// Monitor is the lock object's monitor module: it "senses or probes
+// user-defined parameters", implementing a lightweight monitoring system
+// whose output feeds reconfiguration decisions — either an internal
+// adaptation policy or an external agent (Section 3.2). Counter updates on
+// the lock's hot paths are free (they model dedicated monitoring hardware
+// counters / piggybacked writes); an explicit Probe by a thread is
+// charged one read.
+type Monitor struct {
+	lock *Lock
+
+	acquisitions int64 // successful lock operations
+	contended    int64 // acquisitions that had to wait
+	failures     int64 // conditional acquisitions that timed out
+	grants       int64 // grants performed by the release module
+	wakeups      int64 // sleeping waiters woken by a release
+
+	spinIters     int64 // total spin iterations across all waiters
+	sleepEpisodes int64 // total sleep episodes across all waiters
+
+	waitTotal sim.Duration // registration -> grant
+	holdTotal sim.Duration // grant -> release
+	maxQueue  int
+
+	reconfigWaiting   int64 // waiting-policy reconfigurations (Ψ)
+	reconfigScheduler int64 // scheduler reconfigurations (Ψ)
+	possessions       int64 // possess operations
+
+	holdStart sim.Time // grant time of the current owner
+
+	// Figure 4 state machine observation.
+	state       LockState
+	transitions map[Transition]int64
+	idleStart   sim.Time
+	idleTotal   sim.Duration
+	idleSpans   int64
+}
+
+// transition records a Figure 4 edge.
+func (m *Monitor) transition(to LockState) {
+	if m.transitions == nil {
+		m.transitions = make(map[Transition]int64)
+	}
+	m.transitions[Transition{m.state, to}]++
+	m.state = to
+}
+
+// Snapshot is an immutable copy of the monitor's state at one instant.
+type Snapshot struct {
+	At sim.Time
+
+	Acquisitions int64
+	Contended    int64
+	Failures     int64
+	Grants       int64
+	Wakeups      int64
+
+	SpinIters     int64
+	SleepEpisodes int64
+
+	WaitTotal sim.Duration
+	HoldTotal sim.Duration
+	MaxQueue  int
+	Waiters   int // current queue length
+
+	ReconfigWaiting   int64
+	ReconfigScheduler int64
+	Possessions       int64
+
+	// State is the current Figure 4 state; Transitions the observed edge
+	// counts; IdleTotal/IdleSpans the cumulative idle-state time (the
+	// locking-cycle windows) and their count.
+	State       LockState
+	Transitions map[Transition]int64
+	IdleTotal   sim.Duration
+	IdleSpans   int64
+}
+
+// AvgIdle returns the mean duration of the idle state — the empirical
+// locking cycle ("the cost of a locking cycle ... determines the duration
+// of the 'idle state' of the lock").
+func (s Snapshot) AvgIdle() sim.Duration {
+	if s.IdleSpans == 0 {
+		return 0
+	}
+	return s.IdleTotal / sim.Duration(s.IdleSpans)
+}
+
+// AvgHold returns the mean critical-section tenure observed so far.
+func (s Snapshot) AvgHold() sim.Duration {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return s.HoldTotal / sim.Duration(s.Acquisitions)
+}
+
+// AvgWait returns the mean registration-to-grant delay for contended
+// acquisitions.
+func (s Snapshot) AvgWait() sim.Duration {
+	if s.Contended == 0 {
+		return 0
+	}
+	return s.WaitTotal / sim.Duration(s.Contended)
+}
+
+// ContentionRatio returns the fraction of acquisitions that had to wait.
+func (s Snapshot) ContentionRatio() float64 {
+	if s.Acquisitions == 0 {
+		return 0
+	}
+	return float64(s.Contended) / float64(s.Acquisitions)
+}
+
+// snapshot builds a Snapshot at the current virtual time.
+func (m *Monitor) snapshot(at sim.Time, waiters int) Snapshot {
+	trans := make(map[Transition]int64, len(m.transitions))
+	for k, v := range m.transitions {
+		trans[k] = v
+	}
+	return Snapshot{
+		State:             m.state,
+		Transitions:       trans,
+		IdleTotal:         m.idleTotal,
+		IdleSpans:         m.idleSpans,
+		At:                at,
+		Acquisitions:      m.acquisitions,
+		Contended:         m.contended,
+		Failures:          m.failures,
+		Grants:            m.grants,
+		Wakeups:           m.wakeups,
+		SpinIters:         m.spinIters,
+		SleepEpisodes:     m.sleepEpisodes,
+		WaitTotal:         m.waitTotal,
+		HoldTotal:         m.holdTotal,
+		MaxQueue:          m.maxQueue,
+		Waiters:           waiters,
+		ReconfigWaiting:   m.reconfigWaiting,
+		ReconfigScheduler: m.reconfigScheduler,
+		Possessions:       m.possessions,
+	}
+}

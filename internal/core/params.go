@@ -1,0 +1,211 @@
+// Package core implements the paper's contribution: a configurable and
+// dynamically reconfigurable multiprocessor lock object.
+//
+// A lock's behaviour decomposes into (Section 3.1 of the paper):
+//
+//   - a scheduling component Γ = ⟨registration, acquisition, release⟩ that
+//     logs requesting threads, chooses each one's waiting method, and picks
+//     the thread granted the lock at release; and
+//   - a wait component Φ, a set of mutable attributes (spin-time,
+//     delay-time, sleep-time, timeout — Table 1) that determine how a
+//     thread is delayed while the lock is busy.
+//
+// A configuration is C = Γ × Φ. Both parts can be changed statically (at
+// creation) and dynamically (at run time, via Possess/Configure), with the
+// costs the paper's formal model prescribes: a waiting-policy change is one
+// memory read and one write (1R1W); a scheduler change is one read and
+// five writes (1R5W) and takes effect only after all pre-registered
+// threads have been served (the "configuration delay").
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SpinForever is the SpinTime value denoting unbounded spinning.
+const SpinForever = -1
+
+// Params is the wait component Φ: the configurable attributes of the lock
+// object (the paper's Table 1).
+//
+//	spin-time  delay-time  sleep-time  timeout   resulting lock
+//	n          0           0           0         pure spin
+//	n          n           0           0         spin (backoff)
+//	0          0           n           0         pure sleep
+//	x          x           x           n         conditional sleep/spin
+//	n          n           n           x         mixed sleep/spin
+type Params struct {
+	// SpinTime is the number of spin iterations a waiter performs before
+	// each sleep episode. 0 disables spinning; SpinForever spins
+	// unboundedly.
+	SpinTime int
+	// DelayTime is a backoff delay inserted between spin iterations
+	// (0 = tight spinning).
+	DelayTime sim.Duration
+	// SleepTime is the length of one sleep episode (0 disables sleeping;
+	// SleepUntilWoken sleeps until explicitly woken).
+	SleepTime sim.Duration
+	// Timeout, when nonzero, makes the lock conditional: a waiter that
+	// cannot acquire the lock within Timeout gives up and the lock
+	// operation fails.
+	Timeout sim.Duration
+}
+
+// SleepUntilWoken is the SleepTime value for an unbounded sleep episode
+// (the waiter blocks until the release module wakes it).
+const SleepUntilWoken = sim.Duration(-1)
+
+// PolicyKind classifies a Params value per Table 1.
+type PolicyKind int
+
+// Policy classifications (Table 1 rows).
+const (
+	PolicyInvalid     PolicyKind = iota
+	PolicySpin                   // pure spin
+	PolicyBackoff                // spin with backoff
+	PolicySleep                  // pure sleep
+	PolicyMixed                  // mixed sleep/spin
+	PolicyConditional            // conditional sleep/spin (timeout set)
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicySpin:
+		return "pure spin"
+	case PolicyBackoff:
+		return "spin (backoff)"
+	case PolicySleep:
+		return "pure sleep"
+	case PolicyMixed:
+		return "mixed sleep/spin"
+	case PolicyConditional:
+		return "conditional sleep/spin"
+	}
+	return "invalid"
+}
+
+// Kind classifies the parameter setting per Table 1. Timeout dominates:
+// any setting with a timeout is a conditional lock.
+func (p Params) Kind() PolicyKind {
+	if err := p.Validate(); err != nil {
+		return PolicyInvalid
+	}
+	switch {
+	case p.Timeout != 0:
+		return PolicyConditional
+	case p.SpinTime != 0 && p.SleepTime != 0:
+		return PolicyMixed
+	case p.SpinTime != 0 && p.DelayTime != 0:
+		return PolicyBackoff
+	case p.SpinTime != 0:
+		return PolicySpin
+	case p.SleepTime != 0:
+		return PolicySleep
+	}
+	return PolicyInvalid
+}
+
+// Validate reports whether the parameters describe a workable waiting
+// policy (a waiter must be able to either spin or sleep).
+func (p Params) Validate() error {
+	if p.SpinTime == 0 && p.SleepTime == 0 {
+		return fmt.Errorf("core: params with neither spinning nor sleeping can never acquire a busy lock")
+	}
+	if p.SpinTime < SpinForever {
+		return fmt.Errorf("core: negative SpinTime %d (use SpinForever)", p.SpinTime)
+	}
+	if p.SleepTime < SleepUntilWoken {
+		return fmt.Errorf("core: negative SleepTime %v (use SleepUntilWoken)", p.SleepTime)
+	}
+	if p.DelayTime < 0 {
+		return fmt.Errorf("core: negative DelayTime %v", p.DelayTime)
+	}
+	if p.Timeout < 0 {
+		return fmt.Errorf("core: negative Timeout %v", p.Timeout)
+	}
+	return nil
+}
+
+// Convenience constructors for the spectrum of locks in the paper's
+// Figure 6.
+
+// SpinParams configures a pure spin lock.
+func SpinParams() Params { return Params{SpinTime: SpinForever} }
+
+// BackoffParams configures a backoff spin lock with the given delay
+// between spins.
+func BackoffParams(delay sim.Duration) Params {
+	return Params{SpinTime: SpinForever, DelayTime: delay}
+}
+
+// SleepParams configures a pure blocking lock.
+func SleepParams() Params { return Params{SleepTime: SleepUntilWoken} }
+
+// CombinedParams configures the paper's combined lock: spin `spins` times,
+// then sleep until woken, alternating.
+func CombinedParams(spins int) Params {
+	return Params{SpinTime: spins, SleepTime: SleepUntilWoken}
+}
+
+// ConditionalParams makes any base policy conditional with the given
+// timeout.
+func ConditionalParams(base Params, timeout sim.Duration) Params {
+	base.Timeout = timeout
+	return base
+}
+
+// pack encodes the parameters into a single memory word so that a dynamic
+// waiting-policy change is literally one word write (the paper's 1R1W
+// reconfiguration cost). Field layout (bits):
+//
+//	[0,16)  SpinTime+1 (0 = forever)
+//	[16,32) DelayTime in µs, saturating
+//	[32,48) SleepTime in µs, saturating (0xFFFF = until woken)
+//	[48,64) Timeout in µs, saturating
+func (p Params) pack() int64 {
+	enc16 := func(v int64) int64 {
+		if v < 0 {
+			return 0xFFFF
+		}
+		if v > 0xFFFE {
+			v = 0xFFFE
+		}
+		return v
+	}
+	spin := int64(0)
+	if p.SpinTime == SpinForever {
+		spin = 0xFFFF
+	} else {
+		spin = enc16(int64(p.SpinTime))
+	}
+	return spin |
+		enc16(int64(p.DelayTime/sim.Microsecond))<<16 |
+		func() int64 {
+			if p.SleepTime == SleepUntilWoken {
+				return 0xFFFF << 32
+			}
+			return enc16(int64(p.SleepTime/sim.Microsecond)) << 32
+		}() |
+		enc16(int64(p.Timeout/sim.Microsecond))<<48
+}
+
+// unpack decodes a packed parameter word.
+func unpack(w int64) Params {
+	dec := func(v int64) int64 { return v & 0xFFFF }
+	p := Params{}
+	if s := dec(w); s == 0xFFFF {
+		p.SpinTime = SpinForever
+	} else {
+		p.SpinTime = int(s)
+	}
+	p.DelayTime = sim.Duration(dec(w>>16)) * sim.Microsecond
+	if s := dec(w >> 32); s == 0xFFFF {
+		p.SleepTime = SleepUntilWoken
+	} else {
+		p.SleepTime = sim.Duration(s) * sim.Microsecond
+	}
+	p.Timeout = sim.Duration(dec(w>>48)) * sim.Microsecond
+	return p
+}

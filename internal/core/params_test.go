@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestTable1Classification(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want PolicyKind
+	}{
+		{"pure spin", Params{SpinTime: SpinForever}, PolicySpin},
+		{"pure spin finite", Params{SpinTime: 100}, PolicySpin},
+		{"backoff", Params{SpinTime: SpinForever, DelayTime: sim.Us(50)}, PolicyBackoff},
+		{"pure sleep", Params{SleepTime: SleepUntilWoken}, PolicySleep},
+		{"pure sleep episodic", Params{SleepTime: sim.Us(200)}, PolicySleep},
+		{"mixed", Params{SpinTime: 10, SleepTime: SleepUntilWoken}, PolicyMixed},
+		{"mixed with delay", Params{SpinTime: 10, DelayTime: sim.Us(5), SleepTime: sim.Us(100)}, PolicyMixed},
+		{"conditional spin", Params{SpinTime: SpinForever, Timeout: sim.Us(400)}, PolicyConditional},
+		{"conditional sleep", Params{SleepTime: SleepUntilWoken, Timeout: sim.Us(400)}, PolicyConditional},
+		{"invalid all zero", Params{}, PolicyInvalid},
+	}
+	for _, c := range cases {
+		if got := c.p.Kind(); got != c.want {
+			t.Errorf("%s: Kind() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{},
+		{SpinTime: -2},
+		{SpinTime: 1, DelayTime: -1},
+		{SleepTime: -2},
+		{SpinTime: 1, Timeout: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+	good := []Params{
+		SpinParams(),
+		BackoffParams(sim.Us(10)),
+		SleepParams(),
+		CombinedParams(10),
+		ConditionalParams(SpinParams(), sim.Us(100)),
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected %+v: %v", i, p, err)
+		}
+	}
+}
+
+func TestPackUnpackRoundTripKnown(t *testing.T) {
+	cases := []Params{
+		SpinParams(),
+		BackoffParams(sim.Us(50)),
+		SleepParams(),
+		CombinedParams(10),
+		CombinedParams(1),
+		ConditionalParams(SleepParams(), sim.Us(300)),
+		{SpinTime: 7, DelayTime: sim.Us(3), SleepTime: sim.Us(44), Timeout: sim.Us(900)},
+	}
+	for _, p := range cases {
+		got := unpack(p.pack())
+		if got != p {
+			t.Errorf("roundtrip %+v -> %+v", p, got)
+		}
+	}
+}
+
+func TestPackUnpackProperty(t *testing.T) {
+	// Property: for any whole-microsecond parameters in the representable
+	// range, pack/unpack is the identity.
+	f := func(spin uint16, delay, sleep, timeout uint16) bool {
+		p := Params{
+			SpinTime:  int(spin % 0xFFFF),
+			DelayTime: sim.Duration(delay%0xFFFF) * sim.Microsecond,
+			SleepTime: sim.Duration(sleep%0xFFFF) * sim.Microsecond,
+			Timeout:   sim.Duration(timeout%0xFFFF) * sim.Microsecond,
+		}
+		return unpack(p.pack()) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackSaturates(t *testing.T) {
+	p := Params{SpinTime: 1 << 30, DelayTime: sim.Second, SleepTime: sim.Second, Timeout: sim.Second}
+	got := unpack(p.pack())
+	if got.SpinTime != 0xFFFE {
+		t.Errorf("SpinTime saturated to %d, want %d", got.SpinTime, 0xFFFE)
+	}
+	if got.DelayTime != sim.Duration(0xFFFE)*sim.Microsecond {
+		t.Errorf("DelayTime saturated to %v", got.DelayTime)
+	}
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	for k, want := range map[PolicyKind]string{
+		PolicySpin:        "pure spin",
+		PolicyBackoff:     "spin (backoff)",
+		PolicySleep:       "pure sleep",
+		PolicyMixed:       "mixed sleep/spin",
+		PolicyConditional: "conditional sleep/spin",
+		PolicyInvalid:     "invalid",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestSchedulerKindStrings(t *testing.T) {
+	for k, want := range map[SchedulerKind]string{
+		FCFS:              "fcfs",
+		PriorityThreshold: "priority",
+		PriorityQueue:     "priority-queue",
+		Handoff:           "handoff",
+	} {
+		if k.String() != want {
+			t.Errorf("String = %q, want %q", k.String(), want)
+		}
+	}
+	if SchedulerKind(99).valid() {
+		t.Error("scheduler 99 reported valid")
+	}
+}
+
+func TestReconfigureCostModel(t *testing.T) {
+	if r, w := ReconfigureCost(AttrWaitingPolicy); r != 1 || w != 1 {
+		t.Errorf("waiting policy cost = %dR%dW, want 1R1W", r, w)
+	}
+	if r, w := ReconfigureCost(AttrScheduler); r != 1 || w != 5 {
+		t.Errorf("scheduler cost = %dR%dW, want 1R5W", r, w)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func TestPossessExclusive(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{})
+	var errA, errB, errB2 error
+	var a *cthread.Thread
+	a = s.Spawn("a", 0, 0, func(th *cthread.Thread) {
+		errA = l.Possess(th, AttrWaitingPolicy)
+		th.Compute(sim.Us(1000))
+		l.Dispossess(th, AttrWaitingPolicy)
+	})
+	s.SpawnAt(sim.Us(100), "b", 1, 0, func(th *cthread.Thread) {
+		errB = l.Possess(th, AttrWaitingPolicy) // while a holds it
+		th.Compute(sim.Us(2000))
+		errB2 = l.Possess(th, AttrWaitingPolicy) // after a dispossessed
+	})
+	mustRun(t, s)
+	if errA != nil {
+		t.Fatalf("first possess failed: %v", errA)
+	}
+	if errB != ErrAlreadyPossessed {
+		t.Fatalf("concurrent possess = %v, want ErrAlreadyPossessed", errB)
+	}
+	if errB2 != nil {
+		t.Fatalf("possess after dispossess failed: %v", errB2)
+	}
+	_ = a
+}
+
+func TestPossessIdempotentForHolder(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("a", 0, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrScheduler); err != nil {
+			t.Error(err)
+		}
+		if err := l.Possess(th, AttrScheduler); err != nil {
+			t.Errorf("re-possess by holder: %v", err)
+		}
+	})
+	mustRun(t, s)
+}
+
+func TestConfigureDeniedWithoutOwnershipOrPossession(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{})
+	var err1, err2 error
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "outsider", 1, 0, func(th *cthread.Thread) {
+		err1 = l.ConfigureWaiting(th, SleepParams())
+		err2 = l.ConfigureScheduler(th, Handoff)
+	})
+	mustRun(t, s)
+	if err1 != ErrNotAuthorized || err2 != ErrNotAuthorized {
+		t.Fatalf("outsider configure = (%v, %v), want ErrNotAuthorized", err1, err2)
+	}
+}
+
+func TestOwnerImplicitlyAuthorized(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		if err := l.Advise(th, SleepParams()); err != nil {
+			t.Errorf("owner advise: %v", err)
+		}
+		if l.Params().Kind() != PolicySleep {
+			t.Errorf("params = %v after advise", l.Params().Kind())
+		}
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+}
+
+func TestQuiescentLockConfigurableAtStartup(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("main", 0, 0, func(th *cthread.Thread) {
+		if err := l.ConfigureWaiting(th, CombinedParams(4)); err != nil {
+			t.Errorf("startup configure: %v", err)
+		}
+		if err := l.ConfigureScheduler(th, PriorityQueue); err != nil {
+			t.Errorf("startup scheduler configure: %v", err)
+		}
+	})
+	mustRun(t, s)
+	if l.Scheduler() != PriorityQueue {
+		t.Fatalf("scheduler = %v, want priority-queue", l.Scheduler())
+	}
+}
+
+func TestSchedulerConfigurationDelay(t *testing.T) {
+	// A scheduler change issued while threads are registered must not take
+	// effect until the queue drains: the pre-registered threads are served
+	// under the OLD (FCFS) scheduler even though the new one is
+	// PriorityQueue.
+	s := newSys(8)
+	l := New(s, Options{Params: SleepParams(), Scheduler: FCFS})
+	var order []int64
+	var holder *cthread.Thread
+	holder = s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(5000)) // waiters pile up
+		// Owner reconfigures the scheduler mid-hold: deferred.
+		if err := l.ConfigureScheduler(th, PriorityQueue); err != nil {
+			t.Error(err)
+		}
+		if _, pending := l.PendingScheduler(); !pending {
+			t.Error("scheduler change not deferred despite waiters")
+		}
+		if l.Scheduler() != FCFS {
+			t.Error("scheduler changed immediately despite waiters")
+		}
+		l.Unlock(th)
+	})
+	prios := []int64{1, 9, 5} // arrival order 1,9,5; FCFS must serve 1,9,5
+	for i, p := range prios {
+		p := p
+		s.SpawnAt(sim.Us(float64(100*(i+1))), "w", i+1, p, func(th *cthread.Thread) {
+			l.Lock(th)
+			order = append(order, th.Priority())
+			th.Compute(sim.Us(10))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	want := []int64{1, 9, 5}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want FCFS %v during configuration delay", order, want)
+		}
+	}
+	if l.Scheduler() != PriorityQueue {
+		t.Fatalf("scheduler = %v after drain, want priority-queue", l.Scheduler())
+	}
+	if _, pending := l.PendingScheduler(); pending {
+		t.Fatal("pending flag not cleared after drain")
+	}
+	_ = holder
+}
+
+func TestSchedulerChangeAppliesToLaterArrivals(t *testing.T) {
+	// After the configuration delay, new waiters are scheduled by the new
+	// policy.
+	s := newSys(8)
+	l := New(s, Options{Params: SleepParams(), Scheduler: FCFS})
+	var phase2 []int64
+	s.Spawn("coordinator", 0, 0, func(th *cthread.Thread) {
+		// Quiescent change: immediate.
+		if err := l.ConfigureScheduler(th, PriorityQueue); err != nil {
+			t.Error(err)
+		}
+		l.Lock(th)
+		th.Compute(sim.Us(4000))
+		l.Unlock(th)
+	})
+	prios := []int64{2, 8, 4}
+	for i, p := range prios {
+		p := p
+		s.SpawnAt(sim.Us(float64(200*(i+1))), "w", i+1, p, func(th *cthread.Thread) {
+			l.Lock(th)
+			phase2 = append(phase2, th.Priority())
+			th.Compute(sim.Us(10))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+	want := []int64{8, 4, 2}
+	for i := range want {
+		if phase2[i] != want[i] {
+			t.Fatalf("grant order = %v, want priority order %v", phase2, want)
+		}
+	}
+}
+
+func TestAdvisoryWaitersAdoptNewPolicy(t *testing.T) {
+	// The advisory-lock mechanism: waiters arrive under a spin policy;
+	// the owner advises sleep; waiters must transition to sleeping
+	// (releasing their CPUs) at their next waiting round.
+	s := newSys(4)
+	// Finite spin rounds so waiters periodically re-read the policy.
+	l := New(s, Options{Params: Params{SpinTime: 50}})
+	var usefulRan bool
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(500))
+		// Long path taken: advise requesters to sleep.
+		if err := l.Advise(th, SleepParams()); err != nil {
+			t.Error(err)
+		}
+		th.Compute(sim.Us(20000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "waiter", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(10))
+		l.Unlock(th)
+	})
+	// Co-located with the waiter: only runs if the waiter goes to sleep.
+	s.SpawnAt(sim.Us(200), "useful", 1, 0, func(th *cthread.Thread) {
+		th.Compute(sim.Us(100))
+		usefulRan = th.Now() < sim.Time(sim.Us(15000))
+	})
+	mustRun(t, s)
+	if !usefulRan {
+		t.Fatal("waiter never adopted the sleep advice; co-located thread starved")
+	}
+	snap := l.MonitorSnapshot()
+	if snap.ReconfigWaiting != 1 {
+		t.Fatalf("reconfigWaiting = %d, want 1", snap.ReconfigWaiting)
+	}
+	if snap.SleepEpisodes == 0 {
+		t.Fatal("no sleep episodes recorded after advice")
+	}
+}
+
+func TestSetThresholdDynamic(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: SleepParams(), Scheduler: PriorityThreshold, Threshold: 0})
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		if err := l.SetThreshold(th, 15); err != nil {
+			t.Error(err)
+		}
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+	if l.Threshold() != 15 {
+		t.Fatalf("threshold = %d, want 15", l.Threshold())
+	}
+}
+
+func TestSetThreadPolicyValidation(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("main", 0, 0, func(th *cthread.Thread) {
+		if err := l.SetThreadPolicy(th, 42, Params{SpinTime: -5}); err == nil {
+			t.Error("invalid per-thread policy accepted")
+		}
+		if err := l.SetThreadPolicy(th, 42, SleepParams()); err != nil {
+			t.Error(err)
+		}
+		if got := l.EffectivePolicyFor(42); got != SleepParams() {
+			t.Errorf("effective policy = %+v", got)
+		}
+		if err := l.SetThreadPolicy(th, 42, Params{}); err != nil {
+			t.Error(err)
+		}
+		if got := l.EffectivePolicyFor(42); got != l.Params() {
+			t.Errorf("cleared override still active: %+v", got)
+		}
+	})
+	mustRun(t, s)
+}
+
+func TestConfigureWhileHeldByOtherRequiresPossession(t *testing.T) {
+	// An external monitoring agent possesses the attribute and
+	// reconfigures while another thread holds the lock — the paper's
+	// asynchronous reconfiguration scenario.
+	s := newSys(4)
+	l := New(s, Options{Params: SpinParams()})
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(3000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "agent", 1, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrWaitingPolicy); err != nil {
+			t.Error(err)
+		}
+		if err := l.ConfigureWaiting(th, SleepParams()); err != nil {
+			t.Errorf("possessed configure: %v", err)
+		}
+	})
+	mustRun(t, s)
+	if l.Params().Kind() != PolicySleep {
+		t.Fatalf("params = %v, want pure sleep", l.Params().Kind())
+	}
+}
+
+func TestInvalidAttr(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, Attr(99)); err == nil {
+			t.Error("possess of unknown attribute succeeded")
+		}
+		l.Dispossess(th, Attr(99)) // must not panic
+	})
+	mustRun(t, s)
+}
+
+func TestConfigureSchedulerRejectsInvalidKind(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		if err := l.ConfigureScheduler(th, SchedulerKind(77)); err == nil {
+			t.Error("invalid scheduler accepted")
+		}
+	})
+	mustRun(t, s)
+}

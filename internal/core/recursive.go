@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cthread"
+)
+
+// RecursiveLock is the recursive configuration of the lock object:
+// "recursive locks are implemented by maintaining the lock-ownership
+// information in the registration module. An attempt to re-acquire the
+// same lock is easily detected because a lock object knows the identity of
+// its owner. Recursive locks are more expensive than the normal locks
+// because each requesting thread performs an extra memory write at
+// registration time."
+type RecursiveLock struct {
+	inner *Lock
+	depth int
+}
+
+// NewRecursive wraps a configurable lock with re-entrancy detection.
+func NewRecursive(sys *cthread.System, opts Options) *RecursiveLock {
+	return &RecursiveLock{inner: New(sys, opts)}
+}
+
+// Inner exposes the wrapped configurable lock (for reconfiguration).
+func (l *RecursiveLock) Inner() *Lock { return l.inner }
+
+// Name identifies the lock in experiment output.
+func (l *RecursiveLock) Name() string { return "recursive[" + l.inner.Name() + "]" }
+
+// Lock acquires the lock, incrementing the hold depth if the caller
+// already owns it.
+func (l *RecursiveLock) Lock(t *cthread.Thread) {
+	// The extra registration write that makes recursive locks more
+	// expensive than normal locks.
+	l.inner.regW.Write(t, t.ID())
+	if l.inner.ownerW.Read(t) == t.ID() {
+		l.depth++
+		return
+	}
+	l.inner.Lock(t)
+	l.depth = 1
+}
+
+// Unlock decrements the hold depth, releasing the lock at depth zero.
+func (l *RecursiveLock) Unlock(t *cthread.Thread) {
+	if l.inner.ownerW.Peek() != t.ID() {
+		panic(fmt.Sprintf("core: recursive unlock by non-owner %q", t.Name()))
+	}
+	if l.depth <= 0 {
+		panic("core: recursive unlock below depth zero")
+	}
+	l.depth--
+	if l.depth == 0 {
+		l.inner.Unlock(t)
+	}
+}
+
+// Depth reports the current hold depth. Harness use.
+func (l *RecursiveLock) Depth() int { return l.depth }

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cthread"
+	"repro/internal/machine"
+)
+
+// RWPreference selects the release policy of a read-write lock: "a
+// read-write scheduler can be combined with a priority or a handoff
+// scheduler to create variants where readers have priority over writers or
+// vice versa".
+type RWPreference int
+
+// Read-write release policies.
+const (
+	// RWFIFO grants strictly in arrival order, batching consecutive
+	// readers.
+	RWFIFO RWPreference = iota
+	// RWReaders grants all waiting readers before any writer.
+	RWReaders
+	// RWWriters grants the first waiting writer before any reader.
+	RWWriters
+)
+
+func (p RWPreference) String() string {
+	switch p {
+	case RWFIFO:
+		return "fifo"
+	case RWReaders:
+		return "readers-first"
+	case RWWriters:
+		return "writers-first"
+	}
+	return fmt.Sprintf("rw(%d)", int(p))
+}
+
+// RWLock is the read-write configuration of the lock object: "a read-write
+// lock is implemented using a scheduler that allows multiple reader
+// threads inside a critical section". Waiters block (sleep policy);
+// grants are directed by the release module.
+type RWLock struct {
+	sys   *cthread.System
+	m     *machine.Machine
+	costs Costs
+	pref  RWPreference
+
+	guard    *machine.Word
+	readersW *machine.Word // active reader count
+	writerW  *machine.Word // active writer thread id, 0 = none
+
+	queue []*rwEntry
+}
+
+type rwEntry struct {
+	t       *cthread.Thread
+	write   bool
+	granted bool
+}
+
+// NewRW creates a read-write lock on module mod with the given release
+// preference.
+func NewRW(sys *cthread.System, mod int, pref RWPreference, costs Costs) *RWLock {
+	m := sys.M
+	return &RWLock{
+		sys: sys, m: m, costs: costs, pref: pref,
+		guard:    m.NewWord(mod),
+		readersW: m.NewWord(mod),
+		writerW:  m.NewWord(mod),
+	}
+}
+
+// Name identifies the lock in experiment output.
+func (l *RWLock) Name() string { return fmt.Sprintf("rw-lock[%s]", l.pref) }
+
+func (l *RWLock) lockGuard(t *cthread.Thread) {
+	for {
+		if l.guard.AtomicOr(t, 1) == 0 {
+			return
+		}
+		for l.guard.Read(t) != 0 {
+		}
+	}
+}
+
+func (l *RWLock) unlockGuard(t *cthread.Thread) { l.guard.Write(t, 0) }
+
+// RLock acquires the lock in shared (reader) mode.
+func (l *RWLock) RLock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.LockOp)
+	l.lockGuard(t)
+	if l.writerW.Read(t) == 0 && !l.writerQueuedAheadOfReaders() {
+		l.readersW.Write(t, l.readersW.Peek()+1)
+		l.unlockGuard(t)
+		return
+	}
+	e := &rwEntry{t: t}
+	t.Compute(l.costs.QueueOp)
+	l.queue = append(l.queue, e)
+	l.unlockGuard(t)
+	l.waitGranted(t, e)
+}
+
+// writerQueuedAheadOfReaders prevents writer starvation under RWFIFO and
+// RWWriters: a new reader must queue behind a waiting writer. Under
+// RWReaders readers overtake freely.
+func (l *RWLock) writerQueuedAheadOfReaders() bool {
+	if l.pref == RWReaders {
+		return false
+	}
+	for _, e := range l.queue {
+		if e.write {
+			return true
+		}
+	}
+	return false
+}
+
+// RUnlock releases a shared hold. It panics if no reader holds the lock.
+func (l *RWLock) RUnlock(t *cthread.Thread) {
+	if l.readersW.Peek() <= 0 {
+		panic("core: RUnlock without RLock")
+	}
+	t.Compute(l.costs.UnlockOp)
+	l.lockGuard(t)
+	n := l.readersW.Peek() - 1
+	l.readersW.Write(t, n)
+	if n == 0 {
+		l.grantLocked(t)
+		return
+	}
+	l.unlockGuard(t)
+}
+
+// Lock acquires the lock in exclusive (writer) mode.
+func (l *RWLock) Lock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.LockOp)
+	l.lockGuard(t)
+	if l.writerW.Read(t) == 0 && l.readersW.Peek() == 0 && len(l.queue) == 0 {
+		l.writerW.Write(t, t.ID())
+		l.unlockGuard(t)
+		return
+	}
+	e := &rwEntry{t: t, write: true}
+	t.Compute(l.costs.QueueOp)
+	l.queue = append(l.queue, e)
+	l.unlockGuard(t)
+	l.waitGranted(t, e)
+}
+
+// Unlock releases an exclusive hold. It panics if the caller is not the
+// active writer.
+func (l *RWLock) Unlock(t *cthread.Thread) {
+	if l.writerW.Peek() != t.ID() {
+		panic("core: Unlock by non-writer")
+	}
+	t.Compute(l.costs.UnlockOp)
+	l.lockGuard(t)
+	l.writerW.Write(t, 0)
+	l.grantLocked(t)
+}
+
+// waitGranted blocks until the release module grants the entry.
+func (l *RWLock) waitGranted(t *cthread.Thread, e *rwEntry) {
+	for {
+		t.Block()
+		l.lockGuard(t)
+		if e.granted {
+			l.unlockGuard(t)
+			return
+		}
+		l.unlockGuard(t)
+	}
+}
+
+// grantLocked runs the read-write release module with the guard held and
+// releases the guard. It grants either one writer or a batch of readers.
+func (l *RWLock) grantLocked(t *cthread.Thread) {
+	if len(l.queue) == 0 {
+		l.unlockGuard(t)
+		return
+	}
+	var grantees []*rwEntry
+	switch l.pref {
+	case RWReaders:
+		grantees = l.takeReaders()
+		if len(grantees) == 0 {
+			grantees = l.takeFirstWriter()
+		}
+	case RWWriters:
+		grantees = l.takeFirstWriter()
+		if len(grantees) == 0 {
+			grantees = l.takeReaders()
+		}
+	default: // RWFIFO
+		if l.queue[0].write {
+			grantees = l.takeFirstWriter()
+		} else {
+			grantees = l.takeLeadingReaders()
+		}
+	}
+	t.Compute(l.costs.QueueOp)
+	for _, e := range grantees {
+		e.granted = true
+		if e.write {
+			l.writerW.Write(t, e.t.ID())
+		} else {
+			l.readersW.Write(t, l.readersW.Peek()+1)
+		}
+	}
+	l.unlockGuard(t)
+	for _, e := range grantees {
+		t.Unblock(e.t)
+	}
+}
+
+// takeReaders removes and returns every queued reader.
+func (l *RWLock) takeReaders() []*rwEntry {
+	var rs, rest []*rwEntry
+	for _, e := range l.queue {
+		if e.write {
+			rest = append(rest, e)
+		} else {
+			rs = append(rs, e)
+		}
+	}
+	l.queue = rest
+	return rs
+}
+
+// takeLeadingReaders removes and returns the readers at the queue head up
+// to the first writer.
+func (l *RWLock) takeLeadingReaders() []*rwEntry {
+	i := 0
+	for i < len(l.queue) && !l.queue[i].write {
+		i++
+	}
+	rs := append([]*rwEntry(nil), l.queue[:i]...)
+	l.queue = append([]*rwEntry(nil), l.queue[i:]...)
+	return rs
+}
+
+// takeFirstWriter removes and returns the first queued writer (if any).
+func (l *RWLock) takeFirstWriter() []*rwEntry {
+	for i, e := range l.queue {
+		if e.write {
+			copy(l.queue[i:], l.queue[i+1:])
+			l.queue = l.queue[:len(l.queue)-1]
+			return []*rwEntry{e}
+		}
+	}
+	return nil
+}
+
+// ActiveReaders reports the number of threads holding the lock in shared
+// mode. Harness use.
+func (l *RWLock) ActiveReaders() int64 { return l.readersW.Peek() }
+
+// ActiveWriter reports the id of the exclusive holder (0 = none). Harness
+// use.
+func (l *RWLock) ActiveWriter() int64 { return l.writerW.Peek() }

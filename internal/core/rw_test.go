@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+func TestRWConcurrentReaders(t *testing.T) {
+	s := newSys(6)
+	l := NewRW(s, 0, RWFIFO, DefaultCosts())
+	maxConcurrent := int64(0)
+	for i := 0; i < 5; i++ {
+		s.Spawn("r", i, 0, func(th *cthread.Thread) {
+			l.RLock(th)
+			if n := l.ActiveReaders(); n > maxConcurrent {
+				maxConcurrent = n
+			}
+			th.Compute(sim.Us(500))
+			l.RUnlock(th)
+		})
+	}
+	mustRun(t, s)
+	if maxConcurrent < 2 {
+		t.Fatalf("max concurrent readers = %d, want >= 2", maxConcurrent)
+	}
+}
+
+func TestRWWriterExclusion(t *testing.T) {
+	s := newSys(6)
+	l := NewRW(s, 0, RWFIFO, DefaultCosts())
+	violations := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", i, 0, func(th *cthread.Thread) {
+			for k := 0; k < 5; k++ {
+				l.Lock(th)
+				if l.ActiveReaders() != 0 || l.ActiveWriter() != th.ID() {
+					violations++
+				}
+				th.Compute(sim.Us(20))
+				l.Unlock(th)
+				th.Compute(sim.Us(10))
+			}
+		})
+	}
+	for i := 3; i < 6; i++ {
+		s.Spawn("r", i, 0, func(th *cthread.Thread) {
+			for k := 0; k < 5; k++ {
+				l.RLock(th)
+				if l.ActiveWriter() != 0 {
+					violations++
+				}
+				th.Compute(sim.Us(15))
+				l.RUnlock(th)
+				th.Compute(sim.Us(10))
+			}
+		})
+	}
+	mustRun(t, s)
+	if violations != 0 {
+		t.Fatalf("%d reader/writer exclusion violations", violations)
+	}
+}
+
+func TestRWFIFOWriterNotStarved(t *testing.T) {
+	// Under FIFO preference a stream of readers must not starve a queued
+	// writer: readers arriving after the writer queue behind it.
+	s := newSys(8)
+	l := NewRW(s, 0, RWFIFO, DefaultCosts())
+	var writerDone sim.Time
+	s.Spawn("r0", 0, 0, func(th *cthread.Thread) {
+		l.RLock(th)
+		th.Compute(sim.Us(1000))
+		l.RUnlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "writer", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		writerDone = th.Now()
+		th.Compute(sim.Us(50))
+		l.Unlock(th)
+	})
+	// Late readers (would starve the writer if allowed to overtake).
+	for i := 2; i < 8; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(150+10*i)), "r", i, 0, func(th *cthread.Thread) {
+			l.RLock(th)
+			th.Compute(sim.Us(2000))
+			l.RUnlock(th)
+		})
+	}
+	mustRun(t, s)
+	if writerDone == 0 {
+		t.Fatal("writer never ran")
+	}
+	if writerDone > sim.Time(sim.Us(3000)) {
+		t.Fatalf("writer granted at %v; late readers starved it", writerDone)
+	}
+}
+
+func TestRWReadersPreferenceBatchesAllReaders(t *testing.T) {
+	s := newSys(8)
+	l := NewRW(s, 0, RWReaders, DefaultCosts())
+	var grants []string
+	s.Spawn("w0", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "writer", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		grants = append(grants, "w")
+		th.Compute(sim.Us(10))
+		l.Unlock(th)
+	})
+	for i := 2; i < 6; i++ {
+		s.SpawnAt(sim.Us(float64(100*i)), "r", i, 0, func(th *cthread.Thread) {
+			l.RLock(th)
+			grants = append(grants, "r")
+			th.Compute(sim.Us(10))
+			l.RUnlock(th)
+		})
+	}
+	mustRun(t, s)
+	// Readers-first: all 4 readers before the earlier-arriving writer.
+	want := []string{"r", "r", "r", "r", "w"}
+	if len(grants) != len(want) {
+		t.Fatalf("grants = %v", grants)
+	}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestRWWritersPreference(t *testing.T) {
+	// An active writer holds the lock while readers queue, then a second
+	// writer arrives LAST; writers-preference grants it before the queued
+	// readers.
+	s := newSys(8)
+	l := NewRW(s, 0, RWWriters, DefaultCosts())
+	var grants []string
+	s.Spawn("w0", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000))
+		l.Unlock(th)
+	})
+	for i := 1; i < 4; i++ {
+		s.SpawnAt(sim.Us(float64(100*i)), "r", i, 0, func(th *cthread.Thread) {
+			l.RLock(th)
+			grants = append(grants, "r")
+			th.Compute(sim.Us(10))
+			l.RUnlock(th)
+		})
+	}
+	s.SpawnAt(sim.Us(500), "writer", 4, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		grants = append(grants, "w")
+		th.Compute(sim.Us(10))
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+	if len(grants) != 4 || grants[0] != "w" {
+		t.Fatalf("grants = %v, want late writer first under writers-preference", grants)
+	}
+}
+
+func TestRWNames(t *testing.T) {
+	s := newSys(2)
+	if got := NewRW(s, 0, RWFIFO, DefaultCosts()).Name(); got != "rw-lock[fifo]" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewRW(s, 0, RWReaders, DefaultCosts()).Name(); got != "rw-lock[readers-first]" {
+		t.Errorf("name = %q", got)
+	}
+	if got := NewRW(s, 0, RWWriters, DefaultCosts()).Name(); got != "rw-lock[writers-first]" {
+		t.Errorf("name = %q", got)
+	}
+}
+
+func TestRWPanicsOnMisuse(t *testing.T) {
+	s := newSys(2)
+	l := NewRW(s, 0, RWFIFO, DefaultCosts())
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("RUnlock without RLock did not panic")
+				}
+			}()
+			l.RUnlock(th)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Unlock by non-writer did not panic")
+				}
+			}()
+			l.Unlock(th)
+		}()
+		// The misuse checks fire before the guard is taken, so the lock
+		// must remain usable afterwards.
+		l.RLock(th)
+		l.RUnlock(th)
+	})
+	mustRun(t, s)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+)
+
+// SchedulerKind selects the lock's release policy Γ_Rel — how the release
+// module picks the next thread granted the lock.
+type SchedulerKind int
+
+// Scheduler kinds implemented by the reconfigurable lock.
+const (
+	// FCFS grants in registration order; fair, the common default.
+	FCFS SchedulerKind = iota
+	// PriorityThreshold is the paper's second priority-lock
+	// implementation: the lock carries a threshold priority and the grant
+	// goes FCFS among registered threads whose priority is at least the
+	// threshold. If no waiter is eligible the first waiter is granted
+	// anyway (progress guarantee; the paper's experiment never reaches
+	// this fallback because the flooded server is always registered).
+	PriorityThreshold
+	// PriorityQueue is the paper's first priority-lock implementation:
+	// the release module always selects the registered thread with the
+	// maximum priority (FIFO among equals).
+	PriorityQueue
+	// Handoff grants to the thread named by the releasing thread's hint
+	// ("the releasing thread hands off the critical section directly to
+	// the selected thread"); without a valid hint it falls back to FCFS.
+	Handoff
+	// Deadline grants the registered waiter with the earliest absolute
+	// deadline (earliest-deadline-first), the dynamic real-time lock
+	// scheduling of [ZSG92] the paper cites as an example of a "somewhat
+	// complex lock scheduling algorithm". Waiters without a deadline
+	// (plain Lock calls) rank behind all deadline-carrying waiters, FIFO
+	// among themselves.
+	Deadline
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case FCFS:
+		return "fcfs"
+	case PriorityThreshold:
+		return "priority"
+	case PriorityQueue:
+		return "priority-queue"
+	case Handoff:
+		return "handoff"
+	case Deadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(k))
+}
+
+// valid reports whether k names an implemented scheduler.
+func (k SchedulerKind) valid() bool {
+	return k >= FCFS && k <= Deadline
+}
+
+// pickNext implements Γ_Rel: select and remove the next grantee from the
+// registration queue according to the current scheduler. The queue must be
+// non-empty. hint is the handoff target thread id (0 = none), threshold
+// the priority-threshold value.
+func pickNext(queue []*entry, k SchedulerKind, hint int64, threshold int64) (*entry, []*entry) {
+	idx := 0
+	switch k {
+	case FCFS:
+		// idx = 0
+	case PriorityThreshold:
+		for i, e := range queue {
+			if e.prio >= threshold {
+				idx = i
+				break
+			}
+		}
+	case PriorityQueue:
+		best := queue[0].prio
+		for i, e := range queue {
+			if e.prio > best {
+				best = e.prio
+				idx = i
+			}
+		}
+	case Handoff:
+		if hint != 0 {
+			for i, e := range queue {
+				if e.t.ID() == hint {
+					idx = i
+					break
+				}
+			}
+		}
+	case Deadline:
+		for i, e := range queue {
+			best := queue[idx]
+			switch {
+			case best.deadline == 0 && e.deadline != 0:
+				idx = i
+			case e.deadline != 0 && e.deadline < best.deadline:
+				idx = i
+			}
+		}
+	}
+	e := queue[idx]
+	copy(queue[idx:], queue[idx+1:])
+	queue = queue[:len(queue)-1]
+	return e, queue
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestLockEmitsTraceTimeline(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: SleepParams()})
+	tr := trace.New(64)
+	l.SetTracer(tr, "buffer-lock")
+
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		_ = l.Advise(th, SpinParams())
+		th.Compute(sim.Us(1000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "waiter", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(10))
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	// The timeline must contain, in order: holder request, holder
+	// uncontended acquire, a reconfigure, waiter request, holder release
+	// with a grant to the waiter, waiter acquire.
+	seq := []struct {
+		kind  trace.Kind
+		actor string
+	}{
+		{trace.LockRequest, "holder"},
+		{trace.LockAcquire, "holder"},
+		{trace.Reconfigure, "holder"},
+		{trace.LockRequest, "waiter"},
+		{trace.LockRelease, "holder"},
+		{trace.LockGrant, "holder"},
+		{trace.LockAcquire, "waiter"},
+	}
+	i := 0
+	for _, e := range events {
+		if i < len(seq) && e.Kind == seq[i].kind && e.Actor == seq[i].actor {
+			i++
+		}
+	}
+	if i != len(seq) {
+		for _, e := range events {
+			t.Log(e.String())
+		}
+		t.Fatalf("timeline missing step %d (%v by %s)", i, seq[i].kind, seq[i].actor)
+	}
+	// Events must be time-ordered.
+	for j := 1; j < len(events); j++ {
+		if events[j].At < events[j-1].At {
+			t.Fatalf("events out of order at %d", j)
+		}
+	}
+}
+
+func TestTimeoutEmitsTraceEvent(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: ConditionalParams(SleepParams(), sim.Us(200))})
+	tr := trace.New(32)
+	l.SetTracer(tr, "cond-lock")
+	s.Spawn("holder", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(5000))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(50), "loser", 1, 0, func(th *cthread.Thread) {
+		_ = l.Acquire(th)
+	})
+	mustRun(t, s)
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == trace.LockTimeout && e.Actor == "loser" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no timeout event in trace")
+	}
+}
+
+func TestUntracedLockIsSilent(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{})
+	s.Spawn("t", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		l.Unlock(th)
+	})
+	mustRun(t, s) // must not panic despite nil tracer
+}

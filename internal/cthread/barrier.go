@@ -1,0 +1,46 @@
+package cthread
+
+// Barrier is a reusable synchronization barrier for simulated threads:
+// Wait blocks until n threads have arrived, then releases them all. It is
+// a convenience for phase-structured workloads (and itself an example of
+// building higher-level synchronization from the thread package's
+// block/unblock primitives, in the extensible-kernel spirit of the paper).
+type Barrier struct {
+	n       int
+	gen     uint64
+	count   int
+	waiting []*Thread
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("cthread: Barrier with non-positive party count")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks t until n threads (including t) have called Wait for the
+// current generation. The last arrival wakes the others (charging its own
+// wakeup costs) and proceeds.
+func (b *Barrier) Wait(t *Thread) {
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		ws := b.waiting
+		b.waiting = nil
+		for _, w := range ws {
+			t.Unblock(w)
+		}
+		return
+	}
+	b.waiting = append(b.waiting, t)
+	for b.gen == gen {
+		t.Block()
+	}
+}
+
+// Waiting reports the number of threads currently blocked at the barrier.
+func (b *Barrier) Waiting() int { return len(b.waiting) }

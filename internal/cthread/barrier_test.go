@@ -1,0 +1,119 @@
+package cthread
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	s := zeroCostSys(4)
+	b := NewBarrier(4)
+	var releases []sim.Time
+	for c := 0; c < 4; c++ {
+		c := c
+		s.Spawn("w", c, 0, func(th *Thread) {
+			th.Compute(sim.Us(float64(100 * (c + 1)))) // staggered arrivals
+			b.Wait(th)
+			releases = append(releases, th.Now())
+		})
+	}
+	mustRun(t, s)
+	if len(releases) != 4 {
+		t.Fatalf("%d releases, want 4", len(releases))
+	}
+	// Nobody may pass before the last arrival at t=400.
+	for _, r := range releases {
+		if r < sim.Time(sim.Us(400)) {
+			t.Fatalf("release at %v before last arrival (400us)", r)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	s := zeroCostSys(3)
+	b := NewBarrier(3)
+	phase := [3]int{}
+	violations := 0
+	for c := 0; c < 3; c++ {
+		c := c
+		s.Spawn("w", c, 0, func(th *Thread) {
+			for ph := 0; ph < 5; ph++ {
+				b.Wait(th)
+				phase[c] = ph
+				for i := 0; i < 3; i++ {
+					if phase[i] < ph-1 || phase[i] > ph {
+						violations++
+					}
+				}
+				th.Compute(sim.Us(float64(10 * (c + 1))))
+			}
+		})
+	}
+	mustRun(t, s)
+	if violations != 0 {
+		t.Fatalf("%d phase-skew violations across generations", violations)
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	s := zeroCostSys(1)
+	b := NewBarrier(1)
+	hits := 0
+	s.Spawn("solo", 0, 0, func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			b.Wait(th) // must never block
+			hits++
+		}
+	})
+	mustRun(t, s)
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}
+
+func TestBarrierWaitingCount(t *testing.T) {
+	s := zeroCostSys(2)
+	b := NewBarrier(2)
+	var seen int
+	s.Spawn("a", 0, 0, func(th *Thread) {
+		b.Wait(th)
+	})
+	s.Spawn("probe", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		seen = b.Waiting()
+		b.Wait(th) // releases a
+	})
+	mustRun(t, s)
+	if seen != 1 {
+		t.Fatalf("Waiting() = %d, want 1", seen)
+	}
+}
+
+func TestBarrierPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestBarrierThreadsOnSameCPU(t *testing.T) {
+	// Barrier waits release the processor, so co-located threads can all
+	// reach the barrier.
+	s := zeroCostSys(1)
+	b := NewBarrier(3)
+	done := 0
+	for i := 0; i < 3; i++ {
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			th.Compute(sim.Us(5))
+			b.Wait(th)
+			done++
+		})
+	}
+	mustRun(t, s)
+	if done != 3 {
+		t.Fatalf("done = %d, want 3 (barrier deadlocked co-located threads?)", done)
+	}
+}

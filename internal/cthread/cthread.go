@@ -1,0 +1,426 @@
+// Package cthread is a simulated multiprocessor threads package modelled on
+// the Cthreads library the paper used on the BBN Butterfly [Muk91, SFG+91].
+//
+// Threads are bound to a processor at creation and stay there ("the
+// simulator binds one or more thread to each processor"). Scheduling is
+// non-preemptive: a thread runs until it blocks, yields or exits, which is
+// why a spin-waiting thread prevents co-located threads from making
+// progress — the effect at the heart of the paper's Figures 3 and 7.
+//
+// The package charges calibrated costs (context switch, block, unblock,
+// dispatch) from the machine's cost model, so the latency gap between spin
+// and blocking locks emerges from the same mechanism as on the real
+// hardware.
+package cthread
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// State is a thread lifecycle state.
+type State uint8
+
+// Thread states.
+const (
+	Running  State = iota // currently executing on its processor
+	Runnable              // waiting in its processor's run queue
+	Blocked               // suspended, waiting for Unblock
+	Done                  // body returned
+)
+
+func (s State) String() string {
+	switch s {
+	case Running:
+		return "running"
+	case Runnable:
+		return "runnable"
+	case Blocked:
+		return "blocked"
+	case Done:
+		return "done"
+	}
+	return "unknown"
+}
+
+// System manages the processors of one machine and the threads bound to
+// them.
+type System struct {
+	M    *machine.Machine
+	cpus []*cpu
+
+	nextID  int64
+	threads []*Thread
+}
+
+// cpu is one processor's scheduling state.
+type cpu struct {
+	id      int
+	current *Thread
+	runq    []*Thread // FIFO
+
+	switches int64 // context switches performed
+}
+
+// NewSystem creates a thread system over machine m.
+func NewSystem(m *machine.Machine) *System {
+	s := &System{M: m}
+	s.cpus = make([]*cpu, m.Procs())
+	for i := range s.cpus {
+		s.cpus[i] = &cpu{id: i}
+	}
+	return s
+}
+
+// Thread is a simulated thread bound to one processor.
+type Thread struct {
+	sys  *System
+	proc *sim.Proc
+
+	id   int64
+	name string
+	cpu  int
+	prio int64
+
+	state       State
+	wakePending bool
+	doneAt      sim.Time
+
+	// blockGen guards timed blocks: it is bumped on every block and every
+	// wake so that a stale timeout callback cannot wake a later block.
+	blockGen uint64
+	timedOut bool
+
+	// fastDispatch, when nonzero, replaces the machine's DispatchCost for
+	// wakeups of this thread on an idle processor. It models dedicated
+	// server threads that busy-poll a mailbox (the active lock's server):
+	// they react in a poll-loop iteration, not a full scheduler pass.
+	fastDispatch sim.Duration
+
+	// used is the processor time consumed since the last scheduling
+	// decision; with a nonzero machine Quantum it drives preemptive round
+	// robin.
+	used sim.Duration
+}
+
+// Spawn creates a thread named name on processor cpuID with priority prio
+// and schedules it to start at the current virtual time. Higher prio values
+// mean higher priority (used by priority lock schedulers, not by processor
+// scheduling, which is FIFO as in Cthreads).
+func (s *System) Spawn(name string, cpuID int, prio int64, fn func(t *Thread)) *Thread {
+	return s.SpawnAt(0, name, cpuID, prio, fn)
+}
+
+// SpawnAt is Spawn with a start delay.
+func (s *System) SpawnAt(delay sim.Duration, name string, cpuID int, prio int64, fn func(t *Thread)) *Thread {
+	if cpuID < 0 || cpuID >= len(s.cpus) {
+		panic(fmt.Sprintf("cthread: Spawn on cpu %d of %d", cpuID, len(s.cpus)))
+	}
+	s.nextID++
+	t := &Thread{sys: s, id: s.nextID, name: name, cpu: cpuID, prio: prio, state: Runnable}
+	s.threads = append(s.threads, t)
+	t.proc = s.M.Eng.SpawnAt(delay, name, func(p *sim.Proc) {
+		t.acquireCPU()
+		fn(t)
+		t.exit()
+	})
+	return t
+}
+
+// --- machine.Accessor ---
+
+// SimProc returns the underlying simulation process.
+func (t *Thread) SimProc() *sim.Proc { return t.proc }
+
+// CPU returns the processor the thread is bound to.
+func (t *Thread) CPU() int { return t.cpu }
+
+var _ machine.Accessor = (*Thread)(nil)
+
+// --- public thread API ---
+
+// ID returns the thread's unique identifier ("thread-id" in the paper's
+// registration protocol).
+func (t *Thread) ID() int64 { return t.id }
+
+// Name returns the diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Priority returns the thread's current priority.
+func (t *Thread) Priority() int64 { return t.prio }
+
+// SetPriority changes the thread's priority. The caller may be any thread
+// (e.g. a server raising its own priority, as in the paper's client-server
+// experiment).
+func (t *Thread) SetPriority(p int64) { t.prio = p }
+
+// State returns the thread's scheduling state.
+func (t *Thread) State() State { return t.state }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.proc.Now() }
+
+// DoneAt returns when the thread exited (zero if still live).
+func (t *Thread) DoneAt() sim.Time { return t.doneAt }
+
+// System returns the owning thread system.
+func (t *Thread) System() *System { return t.sys }
+
+// Compute consumes d of processor time (application work or busy-waiting).
+// The thread must be running. With a nonzero machine Quantum the
+// computation is sliced and the thread preempted at quantum boundaries
+// when co-located threads are runnable.
+func (t *Thread) Compute(d sim.Duration) {
+	t.mustRun("Compute")
+	q := t.sys.M.Cfg.Quantum
+	if q <= 0 {
+		t.proc.Advance(d)
+		return
+	}
+	for d > 0 {
+		left := q - t.used
+		if left <= 0 {
+			t.preempt()
+			left = q
+		}
+		slice := d
+		if slice > left {
+			slice = left
+		}
+		t.proc.Advance(slice)
+		t.used += slice
+		d -= slice
+	}
+	if t.used >= q {
+		t.preempt()
+	}
+}
+
+// NoteUsage implements machine.UsageNoter: memory-access costs count
+// toward the quantum, so spin loops hit preemption points too.
+func (t *Thread) NoteUsage(d sim.Duration) {
+	q := t.sys.M.Cfg.Quantum
+	if q <= 0 {
+		return
+	}
+	t.used += d
+	if t.used >= q {
+		t.preempt()
+	}
+}
+
+// preempt performs the end-of-quantum scheduling decision.
+func (t *Thread) preempt() {
+	t.used = 0
+	if len(t.sys.cpus[t.cpu].runq) > 0 {
+		t.Yield()
+	}
+}
+
+// Block suspends the thread until some other thread calls Unblock on it.
+// A wakeup that arrived since the last Block (while this thread was still
+// running) is consumed immediately: Block then returns without suspending,
+// charging only the block bookkeeping cost. Callers must therefore re-check
+// their wait condition in a loop — wakeups may be spurious.
+func (t *Thread) Block() {
+	t.mustRun("Block")
+	t.proc.Advance(t.sys.M.Cfg.BlockCost)
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.state = Blocked
+	t.blockGen++
+	t.releaseCPU()
+	t.proc.Park()
+	t.state = Running
+	t.used = 0
+}
+
+// BlockTimeout is Block with a deadline. It reports true if the thread was
+// explicitly unblocked and false if the timeout expired first. In both
+// cases the thread has re-acquired its processor when BlockTimeout returns.
+//
+// A timeout does not resume the thread directly: it makes the thread
+// runnable through the ordinary wake path, so the thread still waits its
+// turn for the processor (as a real timeout handler would).
+func (t *Thread) BlockTimeout(d sim.Duration) bool {
+	t.mustRun("BlockTimeout")
+	t.proc.Advance(t.sys.M.Cfg.BlockCost)
+	if t.wakePending {
+		t.wakePending = false
+		return true
+	}
+	t.state = Blocked
+	t.blockGen++
+	t.timedOut = false
+	t.armTimeout(d)
+	t.releaseCPU()
+	t.proc.Park()
+	t.state = Running
+	t.used = 0
+	return !t.timedOut
+}
+
+// Unblock makes u runnable, charging the wakeup cost to the calling thread
+// (the paper's unlock-path "extra work required to check for currently
+// blocked threads" and wake them). If u is not currently blocked the wakeup
+// is remembered and consumed by u's next Block.
+func (t *Thread) Unblock(u *Thread) {
+	t.mustRun("Unblock")
+	t.proc.Advance(t.sys.M.Cfg.UnblockCost)
+	t.sys.wake(u)
+}
+
+// Yield gives up the processor to the next runnable thread, if any,
+// re-queueing the caller at the tail. With an empty run queue it is free.
+func (t *Thread) Yield() {
+	t.mustRun("Yield")
+	c := t.sys.cpus[t.cpu]
+	if len(c.runq) == 0 {
+		return
+	}
+	t.state = Runnable
+	c.runq = append(c.runq, t)
+	t.releaseCPU()
+	t.proc.Park()
+	t.state = Running
+	t.used = 0
+}
+
+// Sleep releases the processor for at least d, letting co-located threads
+// run, then re-acquires it. (Used by timed backoff variants that are polite
+// to their processor; the paper's backoff spin holds the processor
+// instead.)
+func (t *Thread) Sleep(d sim.Duration) {
+	t.mustRun("Sleep")
+	t.state = Blocked
+	t.blockGen++
+	t.timedOut = false
+	t.armTimeout(d)
+	t.releaseCPU()
+	t.proc.Park()
+	t.state = Running
+	t.used = 0
+}
+
+// armTimeout schedules a wake at the deadline unless the thread has been
+// woken (blockGen moved) in the meantime.
+func (t *Thread) armTimeout(d sim.Duration) {
+	gen := t.blockGen
+	t.sys.M.Eng.Schedule(d, func() {
+		if t.state == Blocked && t.blockGen == gen {
+			t.timedOut = true
+			t.sys.wake(t)
+		}
+	})
+}
+
+// RunnableOn reports the number of threads waiting for processor cpuID
+// (excluding the one currently running). The paper's spin-with-backoff lock
+// backs off "for an amount of time proportional to the number of active
+// threads waiting for the processor".
+func (s *System) RunnableOn(cpuID int) int { return len(s.cpus[cpuID].runq) }
+
+// CurrentOn returns the thread currently running on cpuID, or nil.
+func (s *System) CurrentOn(cpuID int) *Thread { return s.cpus[cpuID].current }
+
+// Switches returns the number of context switches performed on cpuID.
+func (s *System) Switches(cpuID int) int64 { return s.cpus[cpuID].switches }
+
+// Threads returns all threads ever spawned, in creation order.
+func (s *System) Threads() []*Thread { return s.threads }
+
+// WakeFromCallback makes u runnable from engine-callback context (timers,
+// monitors); no cost is charged because no simulated thread performs the
+// work. Prefer Thread.Unblock from thread context.
+func (s *System) WakeFromCallback(u *Thread) { s.wake(u) }
+
+// --- internals ---
+
+func (t *Thread) mustRun(op string) {
+	if t.state != Running {
+		panic(fmt.Sprintf("cthread: %s on thread %q in state %v", op, t.name, t.state))
+	}
+	if cur := t.sys.cpus[t.cpu].current; cur != t {
+		panic(fmt.Sprintf("cthread: %s on thread %q which does not hold cpu %d", op, t.name, t.cpu))
+	}
+}
+
+// wake transitions u from Blocked to Runnable (or records a pending wakeup).
+func (s *System) wake(u *Thread) {
+	if u.state != Blocked {
+		if u.state != Done {
+			u.wakePending = true
+		}
+		return
+	}
+	u.blockGen++ // invalidate any pending timeout callback
+	u.state = Runnable
+	c := s.cpus[u.cpu]
+	if c.current == nil {
+		c.current = u
+		d := s.M.Cfg.DispatchCost
+		if u.fastDispatch > 0 {
+			d = u.fastDispatch
+		}
+		s.M.Eng.UnparkAfter(u.proc, d, "dispatch")
+		return
+	}
+	c.runq = append(c.runq, u)
+}
+
+// SetFastDispatch overrides the dispatch latency for wakeups of this
+// thread on an idle processor (see the fastDispatch field). Zero restores
+// the machine default.
+func (t *Thread) SetFastDispatch(d sim.Duration) { t.fastDispatch = d }
+
+// acquireCPU is called by a Runnable thread (from its own process context)
+// to obtain its processor, waiting in the run queue if necessary.
+func (t *Thread) acquireCPU() {
+	c := t.sys.cpus[t.cpu]
+	if c.current == nil {
+		c.current = t
+		t.state = Running
+		t.proc.Advance(t.sys.M.Cfg.DispatchCost)
+		return
+	}
+	if c.current == t {
+		t.state = Running
+		return
+	}
+	c.runq = append(c.runq, t)
+	t.proc.Park() // releaseCPU dispatches us
+	t.state = Running
+	t.used = 0 // fresh quantum on dispatch
+}
+
+// releaseCPU hands the processor to the next queued thread (after the
+// context-switch cost) or marks it idle. Must be called by the thread that
+// currently holds the processor, with no intervening yields before the
+// caller parks or exits.
+func (t *Thread) releaseCPU() {
+	c := t.sys.cpus[t.cpu]
+	if c.current != t {
+		panic(fmt.Sprintf("cthread: releaseCPU by %q not holding cpu %d", t.name, t.cpu))
+	}
+	if len(c.runq) == 0 {
+		c.current = nil
+		return
+	}
+	next := c.runq[0]
+	copy(c.runq, c.runq[1:])
+	c.runq = c.runq[:len(c.runq)-1]
+	c.current = next
+	c.switches++
+	t.sys.M.Eng.UnparkAfter(next.proc, t.sys.M.Cfg.ContextSwitch, t.name)
+}
+
+// exit terminates the thread, releasing its processor.
+func (t *Thread) exit() {
+	t.doneAt = t.proc.Now()
+	t.state = Done
+	t.releaseCPU()
+}

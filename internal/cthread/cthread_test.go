@@ -1,0 +1,446 @@
+package cthread
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newSys(procs int) *System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return NewSystem(machine.New(cfg))
+}
+
+// zeroCostSys builds a system where scheduling costs are zero, making
+// timing assertions exact.
+func zeroCostSys(procs int) *System {
+	cfg := machine.Config{
+		Procs:      procs,
+		ReadLocal:  sim.Us(1),
+		WriteLocal: sim.Us(1),
+	}
+	return NewSystem(machine.New(cfg))
+}
+
+func mustRun(t *testing.T, s *System) {
+	t.Helper()
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeAdvancesTime(t *testing.T) {
+	s := zeroCostSys(1)
+	var end sim.Time
+	s.Spawn("t", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(100))
+		end = th.Now()
+	})
+	mustRun(t, s)
+	if want := sim.Time(sim.Us(100)); end != want {
+		t.Fatalf("end = %v, want %v", end, want)
+	}
+}
+
+func TestTwoThreadsOneCPUAreSerialized(t *testing.T) {
+	s := zeroCostSys(1)
+	var aEnd, bEnd sim.Time
+	s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(50))
+		aEnd = th.Now()
+		th.Yield()
+	})
+	s.Spawn("b", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(50))
+		bEnd = th.Now()
+	})
+	mustRun(t, s)
+	// b cannot start until a yields (non-preemptive), so b ends at >= 100us.
+	if bEnd < sim.Time(sim.Us(100)) {
+		t.Fatalf("b ended at %v; non-preemptive scheduling should serialize after a (%v)", bEnd, aEnd)
+	}
+}
+
+func TestTwoThreadsTwoCPUsRunInParallel(t *testing.T) {
+	s := zeroCostSys(2)
+	var aEnd, bEnd sim.Time
+	s.Spawn("a", 0, 0, func(th *Thread) { th.Compute(sim.Us(50)); aEnd = th.Now() })
+	s.Spawn("b", 1, 0, func(th *Thread) { th.Compute(sim.Us(50)); bEnd = th.Now() })
+	mustRun(t, s)
+	if aEnd != bEnd || aEnd != sim.Time(sim.Us(50)) {
+		t.Fatalf("parallel ends = %v, %v; want both 50us", aEnd, bEnd)
+	}
+}
+
+func TestSpinningThreadStarvesCoLocatedThread(t *testing.T) {
+	// The Fig 3 mechanism: a busy thread on a CPU prevents a co-located
+	// thread from running until it yields/exits.
+	s := zeroCostSys(1)
+	var spinnerDone, usefulDone sim.Time
+	s.Spawn("spinner", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(1000)) // models spin-waiting
+		spinnerDone = th.Now()
+	})
+	s.Spawn("useful", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		usefulDone = th.Now()
+	})
+	mustRun(t, s)
+	if usefulDone < spinnerDone {
+		t.Fatalf("useful thread finished at %v before spinner (%v) on one CPU", usefulDone, spinnerDone)
+	}
+}
+
+func TestBlockReleasesCPUToCoLocatedThread(t *testing.T) {
+	s := zeroCostSys(1)
+	var usefulDone sim.Time
+	var blocker *Thread
+	blocker = s.Spawn("blocker", 0, 0, func(th *Thread) {
+		th.Block() // releases CPU
+	})
+	s.Spawn("useful", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		usefulDone = th.Now()
+		th.Unblock(blocker)
+	})
+	mustRun(t, s)
+	if usefulDone == 0 || usefulDone > sim.Time(sim.Us(20)) {
+		t.Fatalf("useful thread should run promptly once blocker blocks; done at %v", usefulDone)
+	}
+	if blocker.State() != Done {
+		t.Fatalf("blocker state = %v, want done", blocker.State())
+	}
+}
+
+func TestUnblockBeforeBlockIsSticky(t *testing.T) {
+	s := zeroCostSys(2)
+	var a *Thread
+	hit := false
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(100)) // wakeup arrives while still running
+		th.Block()              // must consume pending wakeup, not hang
+		hit = true
+	})
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		th.Unblock(a)
+	})
+	mustRun(t, s)
+	if !hit {
+		t.Fatal("pending wakeup was lost; Block hung")
+	}
+}
+
+func TestBlockTimeoutExpires(t *testing.T) {
+	s := zeroCostSys(1)
+	var woken bool
+	var at sim.Time
+	s.Spawn("t", 0, 0, func(th *Thread) {
+		woken = th.BlockTimeout(sim.Us(30))
+		at = th.Now()
+	})
+	mustRun(t, s)
+	if woken {
+		t.Fatal("BlockTimeout reported wakeup, want timeout")
+	}
+	if at < sim.Time(sim.Us(30)) {
+		t.Fatalf("returned at %v, before deadline", at)
+	}
+}
+
+func TestBlockTimeoutWokenEarly(t *testing.T) {
+	s := zeroCostSys(2)
+	var woken bool
+	var wakeAt sim.Time
+	var a *Thread
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		woken = th.BlockTimeout(sim.Us(1000))
+		wakeAt = th.Now()
+	})
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(5))
+		th.Unblock(a)
+	})
+	mustRun(t, s)
+	if !woken {
+		t.Fatal("BlockTimeout reported timeout, want wakeup")
+	}
+	// The stale timeout event still drains from the calendar at t=1000,
+	// but the thread itself must have resumed at the wakeup, not the
+	// deadline.
+	if wakeAt >= sim.Time(sim.Us(1000)) {
+		t.Fatalf("thread resumed at %v; want early wake near 5us", wakeAt)
+	}
+}
+
+func TestStaleTimeoutDoesNotWakeLaterBlock(t *testing.T) {
+	s := zeroCostSys(2)
+	var a *Thread
+	var secondWake sim.Time
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		if th.BlockTimeout(sim.Us(10)) {
+			t.Error("first block should time out")
+		}
+		th.Block() // must only be woken by b at t=500
+		secondWake = th.Now()
+	})
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(500))
+		th.Unblock(a)
+	})
+	mustRun(t, s)
+	if secondWake < sim.Time(sim.Us(500)) {
+		t.Fatalf("second block woke at %v, want >= 500us", secondWake)
+	}
+}
+
+func TestWakeRacesTimeoutOnlyOneWins(t *testing.T) {
+	// Wake at exactly the timeout instant: thread must resume exactly once
+	// and the run must terminate cleanly.
+	s := zeroCostSys(2)
+	resumes := 0
+	var a *Thread
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		th.BlockTimeout(sim.Us(100))
+		resumes++
+	})
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(100))
+		th.Unblock(a)
+	})
+	mustRun(t, s)
+	if resumes != 1 {
+		t.Fatalf("thread resumed %d times, want 1", resumes)
+	}
+}
+
+func TestSleepLetsOthersRun(t *testing.T) {
+	s := zeroCostSys(1)
+	var usefulAt, sleeperEnd sim.Time
+	s.Spawn("sleeper", 0, 0, func(th *Thread) {
+		th.Sleep(sim.Us(100))
+		sleeperEnd = th.Now()
+	})
+	s.Spawn("useful", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		usefulAt = th.Now()
+	})
+	mustRun(t, s)
+	if usefulAt > sim.Time(sim.Us(15)) {
+		t.Fatalf("useful ran at %v; sleeper should have released the CPU", usefulAt)
+	}
+	if sleeperEnd < sim.Time(sim.Us(100)) {
+		t.Fatalf("sleeper resumed at %v, before its deadline", sleeperEnd)
+	}
+}
+
+func TestYieldRotatesFIFO(t *testing.T) {
+	s := zeroCostSys(1)
+	var order []string
+	mk := func(name string) {
+		s.Spawn(name, 0, 0, func(th *Thread) {
+			for i := 0; i < 2; i++ {
+				order = append(order, name)
+				th.Compute(sim.Us(1))
+				th.Yield()
+			}
+		})
+	}
+	mk("a")
+	mk("b")
+	mk("c")
+	mustRun(t, s)
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestYieldNoOtherThreadIsFree(t *testing.T) {
+	s := zeroCostSys(1)
+	var end sim.Time
+	s.Spawn("solo", 0, 0, func(th *Thread) {
+		th.Yield()
+		end = th.Now()
+	})
+	mustRun(t, s)
+	if end != 0 {
+		t.Fatalf("solo yield cost %v, want 0", end)
+	}
+}
+
+func TestContextSwitchCostCharged(t *testing.T) {
+	cfg := machine.Config{Procs: 1, ContextSwitch: sim.Us(7)}
+	s := NewSystem(machine.New(cfg))
+	var bStart sim.Time
+	var a *Thread
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Block()
+	})
+	s.Spawn("b", 0, 0, func(th *Thread) {
+		bStart = th.Now()
+		_ = a
+	})
+	mustRun(t, s)
+	if want := sim.Time(sim.Us(7)); bStart != want {
+		t.Fatalf("b started at %v, want one context switch (%v)", bStart, want)
+	}
+}
+
+func TestBlockCostCharged(t *testing.T) {
+	cfg := machine.Config{Procs: 2, BlockCost: sim.Us(9), UnblockCost: sim.Us(4)}
+	s := NewSystem(machine.New(cfg))
+	var wakerEnd sim.Time
+	var a *Thread
+	a = s.Spawn("a", 0, 0, func(th *Thread) { th.Block() })
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Unblock(a)
+		wakerEnd = th.Now()
+	})
+	mustRun(t, s)
+	if want := sim.Time(sim.Us(4)); wakerEnd != want {
+		t.Fatalf("unblock charged %v, want %v", wakerEnd, want)
+	}
+}
+
+func TestDispatchOnIdleCPUPaysDispatchCost(t *testing.T) {
+	cfg := machine.Config{Procs: 2, DispatchCost: sim.Us(3)}
+	s := NewSystem(machine.New(cfg))
+	var resumedAt sim.Time
+	var a *Thread
+	a = s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Block()
+		resumedAt = th.Now()
+	})
+	s.Spawn("b", 1, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		th.Unblock(a)
+	})
+	mustRun(t, s)
+	// b pays dispatch at spawn (3us), computes 10us, then a pays dispatch
+	// on its idle CPU (3us): resume at 16us.
+	if want := sim.Time(sim.Us(16)); resumedAt != want {
+		t.Fatalf("resumed at %v, want %v (spawn dispatch + compute + wake dispatch)", resumedAt, want)
+	}
+}
+
+func TestRunnableOnCountsQueue(t *testing.T) {
+	s := zeroCostSys(1)
+	var sawQueue int
+	s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		sawQueue = th.System().RunnableOn(0)
+	})
+	s.Spawn("b", 0, 0, func(th *Thread) {})
+	s.Spawn("c", 0, 0, func(th *Thread) {})
+	mustRun(t, s)
+	if sawQueue != 2 {
+		t.Fatalf("RunnableOn = %d, want 2", sawQueue)
+	}
+}
+
+func TestThreadIDsUnique(t *testing.T) {
+	s := zeroCostSys(2)
+	ids := map[int64]bool{}
+	for i := 0; i < 10; i++ {
+		th := s.Spawn("t", i%2, 0, func(*Thread) {})
+		if ids[th.ID()] {
+			t.Fatalf("duplicate id %d", th.ID())
+		}
+		ids[th.ID()] = true
+	}
+	mustRun(t, s)
+}
+
+func TestPriorityAccessors(t *testing.T) {
+	s := zeroCostSys(1)
+	th := s.Spawn("t", 0, 42, func(th *Thread) {
+		if th.Priority() != 42 {
+			t.Errorf("priority = %d, want 42", th.Priority())
+		}
+		th.SetPriority(7)
+		if th.Priority() != 7 {
+			t.Errorf("priority = %d, want 7", th.Priority())
+		}
+	})
+	mustRun(t, s)
+	if th.State() != Done {
+		t.Fatalf("state = %v, want done", th.State())
+	}
+	if th.DoneAt() != 0 {
+		t.Fatalf("DoneAt = %v, want 0 for zero-cost run", th.DoneAt())
+	}
+}
+
+func TestSpawnAtDelaysStart(t *testing.T) {
+	s := zeroCostSys(1)
+	var start sim.Time
+	s.SpawnAt(sim.Us(25), "late", 0, 0, func(th *Thread) { start = th.Now() })
+	mustRun(t, s)
+	if want := sim.Time(sim.Us(25)); start != want {
+		t.Fatalf("start = %v, want %v", start, want)
+	}
+}
+
+func TestManyThreadsManyCPUsDeterministic(t *testing.T) {
+	runOnce := func() sim.Time {
+		s := newSys(8)
+		var gate [8]*Thread
+		for c := 0; c < 8; c++ {
+			c := c
+			for i := 0; i < 4; i++ {
+				i := i
+				th := s.Spawn("w", c, int64(i), func(th *Thread) {
+					for k := 0; k < 10; k++ {
+						th.Compute(sim.Us(3))
+						th.Yield()
+					}
+					if i == 0 && c < 7 {
+						// Chain a wakeup across CPUs.
+						if g := gate[c+1]; g != nil {
+							th.Unblock(g)
+						}
+					}
+				})
+				if i == 0 {
+					gate[c] = th
+				}
+			}
+		}
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.M.Eng.Now()
+	}
+	first := runOnce()
+	for i := 0; i < 3; i++ {
+		if got := runOnce(); got != first {
+			t.Fatalf("run %d end time %v != %v", i, got, first)
+		}
+	}
+}
+
+func TestMustRunPanicsOffCPU(t *testing.T) {
+	s := zeroCostSys(1)
+	var victim *Thread
+	victim = s.Spawn("victim", 0, 0, func(th *Thread) {
+		th.Block()
+	})
+	s.Spawn("attacker", 0, 0, func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Compute on non-running thread did not panic")
+			}
+			th.Unblock(victim)
+		}()
+		victim.Compute(sim.Us(1)) // victim is blocked: must panic
+	})
+	mustRun(t, s)
+}

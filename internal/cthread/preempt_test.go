@@ -1,0 +1,124 @@
+package cthread
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func preemptiveSys(procs int, quantum sim.Duration) *System {
+	cfg := machine.Config{Procs: procs, Quantum: quantum}
+	return NewSystem(machine.New(cfg))
+}
+
+func TestPreemptionInterleavesComputeThreads(t *testing.T) {
+	// Two compute-bound threads on one CPU: non-preemptive runs them
+	// serially; preemptive interleaves, so the SECOND thread finishes
+	// long before the non-preemptive case.
+	run := func(quantum sim.Duration) (a, b sim.Time) {
+		s := preemptiveSys(1, quantum)
+		ta := s.Spawn("a", 0, 0, func(th *Thread) { th.Compute(sim.Us(10000)) })
+		tb := s.Spawn("b", 0, 0, func(th *Thread) { th.Compute(sim.Us(1000)) })
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return ta.DoneAt(), tb.DoneAt()
+	}
+	_, bNon := run(0)
+	_, bPre := run(sim.Us(500))
+	if bNon < sim.Time(sim.Us(10000)) {
+		t.Fatalf("non-preemptive: b finished at %v, before a's 10ms compute", bNon)
+	}
+	if bPre >= sim.Time(sim.Us(5000)) {
+		t.Fatalf("preemptive: b finished at %v, want well before a", bPre)
+	}
+}
+
+func TestPreemptionRoundRobinFair(t *testing.T) {
+	// Three equal compute threads under preemption finish at similar
+	// times (round robin), not in strict spawn order.
+	s := preemptiveSys(1, sim.Us(200))
+	var done [3]sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Spawn("w", 0, 0, func(th *Thread) {
+			th.Compute(sim.Us(3000))
+			done[i] = th.Now()
+		})
+	}
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	spread := done[2] - done[0]
+	if spread < 0 {
+		spread = -spread
+	}
+	// Under non-preemptive FIFO the spread would be ~3000us; round robin
+	// compresses it to roughly one quantum plus switch costs.
+	if spread > sim.Time(sim.Us(1500)) {
+		t.Fatalf("completion spread %v too large for round robin: %v", spread, done)
+	}
+}
+
+func TestQuantumZeroIsNonPreemptive(t *testing.T) {
+	s := preemptiveSys(1, 0)
+	var order []string
+	s.Spawn("a", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(5000))
+		order = append(order, "a")
+	})
+	s.Spawn("b", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(10))
+		order = append(order, "b")
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" {
+		t.Fatalf("order = %v; quantum 0 must not preempt", order)
+	}
+}
+
+func TestPreemptionCountsMemoryAccesses(t *testing.T) {
+	// A spin loop performing only memory reads must still be preempted:
+	// the co-located thread finishes while the spinner keeps spinning.
+	cfg := machine.Config{
+		Procs: 1, Quantum: sim.Us(300),
+		ReadLocal: sim.Us(1), ModuleOccupancy: 0,
+	}
+	s := NewSystem(machine.New(cfg))
+	w := s.M.NewWord(0)
+	var usefulDone sim.Time
+	s.Spawn("spinner", 0, 0, func(th *Thread) {
+		for w.Read(th) == 0 { // spins until useful thread sets the word
+		}
+	})
+	s.Spawn("useful", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(2000))
+		usefulDone = th.Now()
+		w.Write(th, 1)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if usefulDone == 0 {
+		t.Fatal("useful thread starved; spin loop not preempted")
+	}
+}
+
+func TestPreemptionSoloThreadRunsUninterrupted(t *testing.T) {
+	s := preemptiveSys(1, sim.Us(100))
+	var end sim.Time
+	s.Spawn("solo", 0, 0, func(th *Thread) {
+		th.Compute(sim.Us(5000))
+		end = th.Now()
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// No runnable siblings: preemption points are free.
+	if end != sim.Time(sim.Us(5000)) {
+		t.Fatalf("solo thread end = %v, want exactly 5000us", end)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// seriesGlyphs mark the points of successive series in ASCII plots.
+var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// plotASCII renders the figure's series on a character grid — enough to
+// eyeball who wins and where lines cross, in the spirit of the paper's
+// figures, without leaving the terminal.
+func plotASCII(w io.Writer, f *Figure, width, height int) {
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			if first {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				first = false
+				continue
+			}
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if first || xmax == xmin {
+		fmt.Fprintln(w, "  (no plottable data)")
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = g
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %.1f %s\n", ymax, f.YLabel)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  %.1f +%s\n", ymin, strings.Repeat("-", width))
+	fmt.Fprintf(w, "   %.0f%s%.0f  (%s)\n", xmin, strings.Repeat(" ", max(1, width-12)), xmax, f.XLabel)
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Name))
+	}
+	fmt.Fprintf(w, "  legend: %s\n", strings.Join(legend, "  "))
+}

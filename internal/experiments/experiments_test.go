@@ -1,0 +1,450 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config { return Config{Quick: true, Iterations: 8, Procs: 8, Seed: 7} }
+
+func cell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"fig1", "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10",
+		"ext-wait", "ext-numa", "ext-apps", "ext-uma"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Description == "" {
+			t.Fatalf("experiment %q incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !seen[id] {
+			t.Fatalf("missing experiment %q", id)
+		}
+	}
+	if _, err := Lookup("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup of unknown id succeeded")
+	}
+}
+
+func TestTable1RowsMatchPaper(t *testing.T) {
+	res := Table1(quickCfg())
+	tbl := res.Table
+	want := []string{"pure spin", "spin (backoff)", "pure sleep", "conditional sleep/spin", "mixed sleep/spin"}
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), len(want))
+	}
+	for i, w := range want {
+		if got := tbl.Rows[i][4]; got != w {
+			t.Errorf("row %d resulting lock = %q, want %q", i, got, w)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tbl := Table2(quickCfg()).Table
+	// Rows: atomior, spin, backoff, blocking, configurable.
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	atomior := cell(t, tbl, 0, 1)
+	spin := cell(t, tbl, 1, 1)
+	blocking := cell(t, tbl, 3, 1)
+	conf := cell(t, tbl, 4, 1)
+	if !(atomior < spin && spin < blocking) {
+		t.Fatalf("ordering violated: atomior %.2f, spin %.2f, blocking %.2f", atomior, spin, blocking)
+	}
+	if conf != spin {
+		t.Fatalf("configurable lock op %.2f != spin %.2f (paper: identical; it spins before deciding to block)", conf, spin)
+	}
+	// Remote >= local everywhere.
+	for i := range tbl.Rows {
+		if cell(t, tbl, i, 2) < cell(t, tbl, i, 1) {
+			t.Fatalf("row %d: remote < local", i)
+		}
+	}
+	// Paper's local values, tight tolerance.
+	for i, want := range []float64{30.73, 40.79, 40.79, 88.59, 40.79} {
+		if got := cell(t, tbl, i, 1); got < want-0.1 || got > want+0.1 {
+			t.Errorf("row %d local = %.2f, want %.2f (paper)", i, got, want)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tbl := Table3(quickCfg()).Table
+	spin := cell(t, tbl, 0, 1)
+	blocking := cell(t, tbl, 2, 1)
+	conf := cell(t, tbl, 3, 1)
+	if !(spin < conf && conf < blocking) {
+		t.Fatalf("unlock ordering violated: spin %.2f < configurable %.2f < blocking %.2f expected", spin, conf, blocking)
+	}
+	for i, want := range []float64{4.99, 4.99, 62.32, 50.07} {
+		if got := cell(t, tbl, i, 1); got < want-0.1 || got > want+0.1 {
+			t.Errorf("row %d local = %.2f, want %.2f (paper)", i, got, want)
+		}
+	}
+}
+
+func TestTable4CycleOrdering(t *testing.T) {
+	tbl := Table4(quickCfg()).Table
+	spin := cell(t, tbl, 0, 1)
+	backoff := cell(t, tbl, 1, 1)
+	blocking := cell(t, tbl, 2, 1)
+	if !(spin < backoff && backoff < blocking) {
+		t.Fatalf("cycle ordering violated: spin %.2f < backoff %.2f < blocking %.2f expected", spin, backoff, blocking)
+	}
+	// Regimes: spin tens of us, backoff and blocking hundreds.
+	if spin > 100 {
+		t.Errorf("spin cycle %.2f too large", spin)
+	}
+	if blocking < 200 {
+		t.Errorf("blocking cycle %.2f too small", blocking)
+	}
+}
+
+func TestTable5ConfigurableCycle(t *testing.T) {
+	tbl := Table5(quickCfg()).Table
+	spin := cell(t, tbl, 0, 1)
+	blocking := cell(t, tbl, 1, 1)
+	if spin >= blocking {
+		t.Fatalf("configurable-as-spin cycle %.2f >= as-blocking %.2f", spin, blocking)
+	}
+	// The paper: spin-configured cycle has "the least expensive locking
+	// cycle" (90.21us local); blocking-configured the most (565.16us).
+	if spin > 150 || blocking < 200 {
+		t.Fatalf("cycles out of regime: spin %.2f, blocking %.2f", spin, blocking)
+	}
+}
+
+func TestTable6ConfigCosts(t *testing.T) {
+	tbl := Table6(quickCfg()).Table
+	possess := cell(t, tbl, 0, 1)
+	waiting := cell(t, tbl, 1, 1)
+	sched := cell(t, tbl, 2, 1)
+	if !(waiting < sched && sched < possess) {
+		t.Fatalf("config cost ordering violated: waiting %.2f < scheduler %.2f < possess %.2f expected", waiting, sched, possess)
+	}
+	for i, want := range []float64{30.75, 9.87, 12.51} {
+		if got := cell(t, tbl, i, 1); got < want-0.1 || got > want+0.1 {
+			t.Errorf("row %d local = %.2f, want %.2f (paper)", i, got, want)
+		}
+	}
+}
+
+func TestTable7SchedulersBeatFCFS(t *testing.T) {
+	tbl := Table7(quickCfg()).Table
+	fcfs := cell(t, tbl, 0, 0)
+	handoff := cell(t, tbl, 0, 2)
+	prio := cell(t, tbl, 1, 1)
+	if handoff >= fcfs {
+		t.Fatalf("handoff %.2f >= fcfs %.2f", handoff, fcfs)
+	}
+	if prio >= fcfs {
+		t.Fatalf("priority %.2f >= fcfs %.2f", prio, fcfs)
+	}
+}
+
+func figSeries(t *testing.T, f *Figure, name string) Series {
+	t.Helper()
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("figure %s has no series %q", f.ID, name)
+	return Series{}
+}
+
+func monotonicallyIncreasing(ys []float64) bool {
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFig1SpinBeatsBlockingAndGrowsLinearly(t *testing.T) {
+	f := Fig1(quickCfg()).Figure
+	spin := figSeries(t, f, "spin lock")
+	block := figSeries(t, f, "blocking lock")
+	if !monotonicallyIncreasing(spin.Y) || !monotonicallyIncreasing(block.Y) {
+		t.Fatalf("execution time not increasing with CS length: spin %v block %v", spin.Y, block.Y)
+	}
+	for i := range spin.Y {
+		if spin.Y[i] >= block.Y[i] {
+			t.Fatalf("at CS %v spin %.1f >= blocking %.1f (one thread per CPU: spin must win)",
+				spin.X[i], spin.Y[i], block.Y[i])
+		}
+	}
+}
+
+func TestFig2BurstyKeepsOrdering(t *testing.T) {
+	f := Fig2(quickCfg()).Figure
+	spin := figSeries(t, f, "spin lock")
+	block := figSeries(t, f, "blocking lock")
+	for i := range spin.Y {
+		if spin.Y[i] >= block.Y[i] {
+			t.Fatalf("at CS %v spin %.1f >= blocking %.1f", spin.X[i], spin.Y[i], block.Y[i])
+		}
+	}
+}
+
+func TestFig3Crossover(t *testing.T) {
+	f := Fig3(quickCfg()).Figure
+	spin := figSeries(t, f, "spin lock")
+	block := figSeries(t, f, "blocking lock")
+	n := len(spin.Y)
+	if spin.Y[0] >= block.Y[0] {
+		t.Fatalf("smallest CS: spin %.1f >= blocking %.1f (spin should win)", spin.Y[0], block.Y[0])
+	}
+	if spin.Y[n-1] <= block.Y[n-1] {
+		t.Fatalf("largest CS: spin %.1f <= blocking %.1f (blocking should win past crossover)", spin.Y[n-1], block.Y[n-1])
+	}
+}
+
+func TestFig7CombinedTracksWinner(t *testing.T) {
+	f := Fig7(quickCfg()).Figure
+	spin := figSeries(t, f, "spin")
+	block := figSeries(t, f, "blocking")
+	c10 := figSeries(t, f, "combined (spin 10)")
+	n := len(spin.Y)
+	// At the largest CS the combined lock must beat pure spin decisively.
+	if c10.Y[n-1] >= spin.Y[n-1] {
+		t.Fatalf("largest CS: combined %.1f >= spin %.1f", c10.Y[n-1], spin.Y[n-1])
+	}
+	// At the smallest CS the combined lock must beat pure blocking (its
+	// spin phase catches the short waits).
+	if c10.Y[0] >= block.Y[0] {
+		t.Fatalf("smallest CS: combined %.1f >= blocking %.1f", c10.Y[0], block.Y[0])
+	}
+}
+
+func TestFig8AdvisoryBeatsWorstStatic(t *testing.T) {
+	f := Fig8(quickCfg()).Figure
+	spin := figSeries(t, f, "spin")
+	block := figSeries(t, f, "blocking")
+	adv := figSeries(t, f, "advisory")
+	for i := range adv.Y {
+		worst := spin.Y[i]
+		if block.Y[i] > worst {
+			worst = block.Y[i]
+		}
+		if adv.Y[i] >= worst {
+			t.Fatalf("at x=%v advisory %.1f >= worst static %.1f", adv.X[i], adv.Y[i], worst)
+		}
+	}
+	// At the extremes the advisory lock approaches the better static
+	// policy: beat blocking at the smallest nominal, spin at the largest.
+	if adv.Y[0] >= block.Y[0] {
+		t.Fatalf("smallest nominal: advisory %.1f >= blocking %.1f", adv.Y[0], block.Y[0])
+	}
+	n := len(adv.Y)
+	if adv.Y[n-1] >= spin.Y[n-1] {
+		t.Fatalf("largest nominal: advisory %.1f >= spin %.1f", adv.Y[n-1], spin.Y[n-1])
+	}
+}
+
+func TestFig9DistributedWins(t *testing.T) {
+	f := Fig9(quickCfg()).Figure
+	central := figSeries(t, f, "centralized")
+	distrib := figSeries(t, f, "distributed")
+	// "a small performance advantage in favor of distributed locks ... to
+	// a certain extent, however small": distributed must win at the large
+	// end (where waiting traffic matters) and never lose badly anywhere
+	// (at the tiniest CSs the MCS queue's extra atomics can cost slightly
+	// more than they save).
+	for i := range central.Y {
+		if distrib.Y[i] > central.Y[i]*1.06 {
+			t.Fatalf("at CS %v distributed %.1f well above centralized %.1f", central.X[i], distrib.Y[i], central.Y[i])
+		}
+	}
+	n := len(central.Y)
+	if distrib.Y[n-1] >= central.Y[n-1] {
+		t.Fatalf("largest CS: distributed %.1f >= centralized %.1f", distrib.Y[n-1], central.Y[n-1])
+	}
+}
+
+func TestFig10ActiveWins(t *testing.T) {
+	f := Fig10(quickCfg()).Figure
+	passive := figSeries(t, f, "passive")
+	active := figSeries(t, f, "active")
+	for i := range passive.Y {
+		if active.Y[i] >= passive.Y[i] {
+			t.Fatalf("at CS %v active %.1f >= passive %.1f", passive.X[i], active.Y[i], passive.Y[i])
+		}
+	}
+}
+
+func TestRenderOutputs(t *testing.T) {
+	var buf bytes.Buffer
+	res := Table1(quickCfg())
+	res.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "table1") || !strings.Contains(out, "pure spin") {
+		t.Fatalf("table render missing content:\n%s", out)
+	}
+	buf.Reset()
+	fig := &Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "a", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}}},
+	}
+	(&Result{Figure: fig}).Render(&buf)
+	out = buf.String()
+	if !strings.Contains(out, "legend: *=a") {
+		t.Fatalf("figure render missing plot legend:\n%s", out)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	var buf bytes.Buffer
+	fig := &Figure{ID: "empty", Title: "none", XLabel: "x", YLabel: "y"}
+	fig.Render(&buf)
+	if !strings.Contains(buf.String(), "no plottable data") {
+		t.Fatalf("empty figure render:\n%s", buf.String())
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.normalize()
+	if c.Procs != 16 || c.Iterations != 40 || c.Seed != 1993 {
+		t.Fatalf("normalized zero config = %+v", c)
+	}
+	q := Config{Quick: true, Procs: 32, Iterations: 100}.normalize()
+	if q.Procs > 8 || q.Iterations > 10 {
+		t.Fatalf("quick config not shrunk: %+v", q)
+	}
+}
+
+func TestFig4OnlyLegalTransitions(t *testing.T) {
+	tbl := Fig4(quickCfg()).Table
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		if illegal := cell(t, tbl, r, 5); illegal != 0 {
+			t.Fatalf("row %d: %v illegal state transitions", r, illegal)
+		}
+		// Balance: entries into locked = exits from locked.
+		into := cell(t, tbl, r, 1) + cell(t, tbl, r, 4)
+		outof := cell(t, tbl, r, 2) + cell(t, tbl, r, 3)
+		if into != outof {
+			t.Fatalf("row %d: %v entries vs %v exits of the locked state", r, into, outof)
+		}
+	}
+	// The sleep policy's idle state (the blocking locking cycle) must be
+	// much longer than the spin policy's.
+	if spin, sleep := cell(t, tbl, 0, 6), cell(t, tbl, 1, 6); spin >= sleep {
+		t.Fatalf("idle durations: spin %.2f >= sleep %.2f", spin, sleep)
+	}
+}
+
+func TestExtWaitDistributionShape(t *testing.T) {
+	tbl := ExtWaitDistribution(quickCfg()).Table
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		p50 := cell(t, tbl, r, 1)
+		p90 := cell(t, tbl, r, 2)
+		p99 := cell(t, tbl, r, 3)
+		max := cell(t, tbl, r, 4)
+		if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+			t.Fatalf("row %d percentiles not monotone: %v", r, tbl.Rows[r])
+		}
+	}
+	// Spin's median acquisition must be cheaper than pure sleep's (no
+	// wake/dispatch in the handover).
+	if cell(t, tbl, 0, 1) >= cell(t, tbl, 2, 1) {
+		t.Fatalf("spin P50 %.1f >= sleep P50 %.1f", cell(t, tbl, 0, 1), cell(t, tbl, 2, 1))
+	}
+}
+
+func TestExtNUMASensitivityShape(t *testing.T) {
+	f := ExtNUMASensitivity(quickCfg()).Figure
+	spin := figSeries(t, f, "spin lock")
+	// Execution time must not decrease as remote references get more
+	// expensive.
+	for i := 1; i < len(spin.Y); i++ {
+		if spin.Y[i] < spin.Y[i-1] {
+			t.Fatalf("spin series decreased with remote cost: %v", spin.Y)
+		}
+	}
+	if spin.Y[len(spin.Y)-1] <= spin.Y[0] {
+		t.Fatalf("spin insensitive to remote cost: %v", spin.Y)
+	}
+}
+
+func TestExtAppsMatrix(t *testing.T) {
+	tbl := ExtApps(quickCfg()).Table
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 applications", len(tbl.Rows))
+	}
+	for r := range tbl.Rows {
+		for col := 1; col <= 3; col++ {
+			if v := cell(t, tbl, r, col); v <= 0 {
+				t.Fatalf("row %d col %d = %v, want positive makespan", r, col, v)
+			}
+		}
+	}
+	// The solver's tiny folds with one thread per CPU: spin must beat
+	// sleep (the Figure 1 regime embedded in an application).
+	if spin, sleep := cell(t, tbl, 2, 1), cell(t, tbl, 2, 2); spin >= sleep {
+		t.Fatalf("solver: spin %v >= sleep %v", spin, sleep)
+	}
+}
+
+func TestExtUMABackoffWinsOnBus(t *testing.T) {
+	f := ExtUMA(quickCfg()).Figure
+	umaSpin := figSeries(t, f, "UMA pure spin")
+	umaBack := figSeries(t, f, "UMA backoff")
+	n := len(umaSpin.Y)
+	// At the largest processor count, backoff must beat pure spin on the
+	// shared bus — Anderson's result.
+	if umaBack.Y[n-1] >= umaSpin.Y[n-1] {
+		t.Fatalf("UMA @%v CPUs: backoff %.1f >= pure spin %.1f", umaSpin.X[n-1], umaBack.Y[n-1], umaSpin.Y[n-1])
+	}
+	// On the NUMA switch the gap must be far smaller than on the bus.
+	numaSpin := figSeries(t, f, "NUMA pure spin")
+	numaBack := figSeries(t, f, "NUMA backoff")
+	numaGap := numaSpin.Y[n-1] - numaBack.Y[n-1]
+	umaGap := umaSpin.Y[n-1] - umaBack.Y[n-1]
+	if numaGap >= umaGap {
+		t.Fatalf("NUMA gap %.1f >= UMA gap %.1f; machine dependence not reproduced", numaGap, umaGap)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := Fig1(quickCfg()).Figure
+	b := Fig1(quickCfg()).Figure
+	for i := range a.Series {
+		for j := range a.Series[i].Y {
+			if a.Series[i].Y[j] != b.Series[i].Y[j] {
+				t.Fatalf("fig1 not deterministic at series %d point %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// newSys builds a fresh simulated GP1000 with the given processor count.
+func newSys(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+// mutex is the lock surface the micro experiments need.
+type mutex interface {
+	Lock(t *cthread.Thread)
+	Unlock(t *cthread.Thread)
+}
+
+// microLockKind enumerates the lock implementations of Tables 2-4.
+type microLockKind struct {
+	name string
+	// make builds the lock with its words on module mod.
+	make func(s *cthread.System, mod int) mutex
+}
+
+func microKinds() []microLockKind {
+	return []microLockKind{
+		{"spin-lock", func(s *cthread.System, mod int) mutex {
+			return locks.NewSpinLock(s.M, mod, locks.DefaultCosts())
+		}},
+		{"spin-with-backoff", func(s *cthread.System, mod int) mutex {
+			return locks.NewBackoffSpinLock(s.M, mod, locks.DefaultCosts())
+		}},
+		{"blocking-lock", func(s *cthread.System, mod int) mutex {
+			return locks.NewBlockingLock(s.M, mod, locks.DefaultCosts())
+		}},
+		{"configurable lock", func(s *cthread.System, mod int) mutex {
+			return core.New(s, core.Options{Module: mod, Params: core.CombinedParams(10)})
+		}},
+	}
+}
+
+// measureOp runs body once on a fresh system and returns its duration.
+func measureOp(procs int, body func(s *cthread.System, t *cthread.Thread) sim.Duration) sim.Duration {
+	s := newSys(procs)
+	var d sim.Duration
+	s.Spawn("meas", 0, 0, func(t *cthread.Thread) {
+		d = body(s, t)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// atomiorCost measures the raw atomior primitive (with call overhead), the
+// first row of Table 2.
+func atomiorCost(mod int) sim.Duration {
+	return measureOp(2, func(s *cthread.System, t *cthread.Thread) sim.Duration {
+		w := s.M.NewWord(mod)
+		start := t.Now()
+		t.Compute(s.M.Cfg.CallOverhead)
+		w.AtomicOr(t, 1)
+		return sim.Duration(t.Now() - start)
+	})
+}
+
+// Table1 renders the lock-parameter semantics (paper Table 1), verifying
+// each row's classification against the wait-policy engine.
+func Table1(c Config) Result {
+	tbl := &Table{
+		ID:     "table1",
+		Title:  "Lock Parameters (n = an arbitrary number, x = \"do not care\")",
+		Header: []string{"spin-time", "delay-time", "sleep-time", "timeout", "resulting lock"},
+	}
+	rows := []struct {
+		p     core.Params
+		cells [4]string
+	}{
+		{core.SpinParams(), [4]string{"n", "0", "0", "0"}},
+		{core.BackoffParams(sim.Us(50)), [4]string{"n", "n", "0", "0"}},
+		{core.SleepParams(), [4]string{"0", "0", "n", "0"}},
+		{core.ConditionalParams(core.SleepParams(), sim.Us(100)), [4]string{"x", "x", "x", "n"}},
+		{core.CombinedParams(10), [4]string{"n", "n", "n", "x"}},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.cells[0], r.cells[1], r.cells[2], r.cells[3], r.p.Kind().String())
+	}
+	tbl.Notes = append(tbl.Notes, "classification computed by core.Params.Kind, not hard-coded")
+	return Result{Table: tbl}
+}
+
+// Table2 measures the cost of the lock operation for each lock type, with
+// the lock word local vs. remote to the requesting processor.
+func Table2(c Config) Result {
+	tbl := &Table{
+		ID:     "table2",
+		Title:  "Cost of the Lock operation for different locks",
+		Header: []string{"Lock type", "local lock (us)", "remote lock (us)"},
+	}
+	tbl.AddRow("atomior",
+		fmt.Sprintf("%.2f", atomiorCost(0).Us()),
+		fmt.Sprintf("%.2f", atomiorCost(1).Us()))
+	for _, k := range microKinds() {
+		var vals [2]sim.Duration
+		for i, mod := range []int{0, 1} {
+			k := k
+			mod := mod
+			vals[i] = measureOp(2, func(s *cthread.System, t *cthread.Thread) sim.Duration {
+				l := k.make(s, mod)
+				start := t.Now()
+				l.Lock(t)
+				return sim.Duration(t.Now() - start)
+			})
+		}
+		tbl.AddRow(k.name, fmt.Sprintf("%.2f", vals[0].Us()), fmt.Sprintf("%.2f", vals[1].Us()))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"uncontended acquisition; requesting thread on CPU 0; remote = lock words on module 1")
+	return Result{Table: tbl}
+}
+
+// Table3 measures the cost of the unlock operation, same matrix (the
+// atomior row has no unlock and is omitted, as in the paper).
+func Table3(c Config) Result {
+	tbl := &Table{
+		ID:     "table3",
+		Title:  "Cost of the Unlock operation for different locks",
+		Header: []string{"Lock type", "local lock (us)", "remote lock (us)"},
+	}
+	for _, k := range microKinds() {
+		var vals [2]sim.Duration
+		for i, mod := range []int{0, 1} {
+			k := k
+			mod := mod
+			vals[i] = measureOp(2, func(s *cthread.System, t *cthread.Thread) sim.Duration {
+				l := k.make(s, mod)
+				l.Lock(t)
+				start := t.Now()
+				l.Unlock(t)
+				return sim.Duration(t.Now() - start)
+			})
+		}
+		tbl.AddRow(k.name, fmt.Sprintf("%.2f", vals[0].Us()), fmt.Sprintf("%.2f", vals[1].Us()))
+	}
+	return Result{Table: tbl}
+}
+
+// lockingCycle measures the paper's "cost of successive Unlock and Lock
+// operation on an already locked lock": with a waiter delayed on the busy
+// lock, the time from the owner beginning its unlock until the waiter's
+// acquisition completes.
+func lockingCycle(mk func(s *cthread.System, mod int) mutex, mod int) sim.Duration {
+	s := newSys(3)
+	var unlockStart, waiterAcquired sim.Time
+	var l mutex
+	l = mk(s, mod)
+	s.Spawn("owner", 0, 0, func(t *cthread.Thread) {
+		l.Lock(t)
+		t.Compute(sim.Us(700)) // let the waiter settle into its wait
+		unlockStart = t.Now()
+		l.Unlock(t)
+	})
+	s.SpawnAt(sim.Us(100), "waiter", 1, 0, func(t *cthread.Thread) {
+		l.Lock(t)
+		waiterAcquired = t.Now()
+		l.Unlock(t)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		panic(err)
+	}
+	return sim.Duration(waiterAcquired - unlockStart)
+}
+
+// Table4 measures the locking cycle for the static lock implementations.
+func Table4(c Config) Result {
+	tbl := &Table{
+		ID:     "table4",
+		Title:  "Cost of successive Unlock and Lock operation on an already locked lock",
+		Header: []string{"Lock type", "local lock (us)", "remote lock (us)"},
+	}
+	for _, k := range microKinds() {
+		if k.name == "configurable lock" {
+			continue // Table 5 covers the configurable lock
+		}
+		local := lockingCycle(k.make, 0)
+		remote := lockingCycle(k.make, 2)
+		tbl.AddRow(k.name, fmt.Sprintf("%.2f", local.Us()), fmt.Sprintf("%.2f", remote.Us()))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"cycle = owner's unlock start to waiter's acquisition; waiter on CPU 1; remote = module 2")
+	return Result{Table: tbl}
+}
+
+// Table5 measures the locking cycle of the configurable lock configured as
+// a spin lock and as a blocking lock.
+func Table5(c Config) Result {
+	tbl := &Table{
+		ID:     "table5",
+		Title:  "Cost of successive Unlock and Lock operation on an already locked configurable lock",
+		Header: []string{"Configured as", "local lock (us)", "remote lock (us)"},
+	}
+	for _, row := range []struct {
+		name string
+		p    core.Params
+	}{
+		{"Spin", core.SpinParams()},
+		{"Blocking", core.SleepParams()},
+	} {
+		row := row
+		mk := func(s *cthread.System, mod int) mutex {
+			return core.New(s, core.Options{Module: mod, Params: row.p})
+		}
+		local := lockingCycle(mk, 0)
+		remote := lockingCycle(mk, 2)
+		tbl.AddRow(row.name, fmt.Sprintf("%.2f", local.Us()), fmt.Sprintf("%.2f", remote.Us()))
+	}
+	return Result{Table: tbl}
+}
+
+// Table6 measures the dynamic configuration operations.
+func Table6(c Config) Result {
+	tbl := &Table{
+		ID:     "table6",
+		Title:  "Cost of Lock Configuration Operations",
+		Header: []string{"Operation", "local lock (us)", "remote lock (us)"},
+	}
+	type op struct {
+		name string
+		run  func(l *core.Lock, t *cthread.Thread)
+	}
+	ops := []op{
+		{"possess", func(l *core.Lock, t *cthread.Thread) {
+			if err := l.Possess(t, core.AttrWaitingPolicy); err != nil {
+				panic(err)
+			}
+		}},
+		{"configure(waiting policy)", func(l *core.Lock, t *cthread.Thread) {
+			if err := l.ConfigureWaiting(t, core.SleepParams()); err != nil {
+				panic(err)
+			}
+		}},
+		{"configure(scheduler)", func(l *core.Lock, t *cthread.Thread) {
+			if err := l.ConfigureScheduler(t, core.Handoff); err != nil {
+				panic(err)
+			}
+		}},
+	}
+	for _, o := range ops {
+		var vals [2]sim.Duration
+		for i, mod := range []int{0, 1} {
+			o := o
+			mod := mod
+			vals[i] = measureOp(2, func(s *cthread.System, t *cthread.Thread) sim.Duration {
+				l := core.New(s, core.Options{Module: mod})
+				if o.name != "possess" {
+					if err := l.Possess(t, core.AttrWaitingPolicy); err != nil {
+						panic(err)
+					}
+					if err := l.Possess(t, core.AttrScheduler); err != nil {
+						panic(err)
+					}
+				}
+				start := t.Now()
+				o.run(l, t)
+				return sim.Duration(t.Now() - start)
+			})
+		}
+		tbl.AddRow(o.name, fmt.Sprintf("%.2f", vals[0].Us()), fmt.Sprintf("%.2f", vals[1].Us()))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"configure costs follow the formal model: waiting policy = 1R1W, scheduler = 1R5W")
+	return Result{Table: tbl}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment couples an id with its driver and description.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Config) Result
+}
+
+// registry lists every reproducible table and figure.
+var registry = []Experiment{
+	{"table1", "Lock parameters -> resulting lock (semantics check)", Table1},
+	{"table2", "Cost of the Lock operation, local vs. remote", Table2},
+	{"table3", "Cost of the Unlock operation, local vs. remote", Table3},
+	{"table4", "Locking cycle on a held lock, static locks", Table4},
+	{"table5", "Locking cycle on a held configurable lock", Table5},
+	{"table6", "Cost of possess/configure operations", Table6},
+	{"table7", "Lock schedulers on a client-server workload", Table7},
+	{"fig1", "CS length vs. execution time, uniform arrivals", Fig1},
+	{"fig4", "Lock state-transition diagram, observed and verified", Fig4},
+	{"fig2", "CS length vs. execution time, bursty arrivals", Fig2},
+	{"fig3", "Spin vs. blocking with useful threads (crossover)", Fig3},
+	{"fig7", "Combined locks vs. spin and blocking", Fig7},
+	{"fig8", "Advisory locks on variable-length critical sections", Fig8},
+	{"fig9", "Centralized vs. distributed spin locks (3 CPUs)", Fig9},
+	{"fig10", "Passive vs. active locks", Fig10},
+	{"ext-wait", "EXTENSION: waiting-time distribution per policy", ExtWaitDistribution},
+	{"ext-numa", "EXTENSION: remote-cost sensitivity of spin vs. blocking", ExtNUMASensitivity},
+	{"ext-apps", "EXTENSION: application makespans per waiting policy", ExtApps},
+	{"ext-uma", "EXTENSION: spin vs. backoff on NUMA vs. bus-based UMA", ExtUMA},
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+}

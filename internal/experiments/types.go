@@ -1,0 +1,157 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function from a Config to a Result
+// (a table, a figure, or both), run on a fresh simulated machine, fully
+// deterministic given the seed.
+//
+// The per-experiment index lives in DESIGN.md; the measured-vs-paper
+// comparison in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Config tunes experiment scale. The zero value is usable; Default() gives
+// the paper-scale settings.
+type Config struct {
+	// Procs is the machine size for the figure workloads.
+	Procs int
+	// Iterations is the per-thread lock/unlock cycle count.
+	Iterations int
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks sweeps for use in unit tests.
+	Quick bool
+}
+
+// Default returns the paper-scale configuration (GP1000-sized figures).
+func Default() Config {
+	return Config{Procs: 16, Iterations: 40, Seed: 1993}
+}
+
+// normalize fills zero fields with defaults.
+func (c Config) normalize() Config {
+	d := Default()
+	if c.Procs == 0 {
+		c.Procs = d.Procs
+	}
+	if c.Iterations == 0 {
+		c.Iterations = d.Iterations
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.Quick {
+		if c.Iterations > 10 {
+			c.Iterations = 10
+		}
+		if c.Procs > 8 {
+			c.Procs = 8
+		}
+	}
+	return c
+}
+
+// Table is a paper-style results table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", t.ID, t.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+	fmt.Fprintln(tw, strings.Join(underline(t.Header), "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(r, "\t"))
+	}
+	tw.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func underline(hs []string) []string {
+	out := make([]string, len(hs))
+	for i, h := range hs {
+		out[i] = strings.Repeat("-", len(h))
+	}
+	return out
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a paper-style plot: several series over a shared x axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as a data table followed by an ASCII plot.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", f.ID, f.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	fmt.Fprintln(tw, strings.Join(underline(header), "\t"))
+	if len(f.Series) > 0 {
+		for i := range f.Series[0].X {
+			row := []string{fmt.Sprintf("%.0f", f.Series[0].X[i])}
+			for _, s := range f.Series {
+				if i < len(s.Y) {
+					row = append(row, fmt.Sprintf("%.1f", s.Y[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+	}
+	tw.Flush()
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	plotASCII(w, f, 64, 18)
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	Table  *Table
+	Figure *Figure
+}
+
+// Render writes whichever parts are present.
+func (r Result) Render(w io.Writer) {
+	if r.Table != nil {
+		r.Table.Render(w)
+		fmt.Fprintln(w)
+	}
+	if r.Figure != nil {
+		r.Figure.Render(w)
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Claim is one verifiable statement about the reproduction: a shape the
+// paper reports that the simulated machine must reproduce.
+type Claim struct {
+	ID        string
+	Statement string
+	Check     func(c Config) error
+}
+
+// ClaimResult is the outcome of verifying one claim.
+type ClaimResult struct {
+	Claim Claim
+	Err   error
+}
+
+// cellF parses a table cell as a float, returning an error for the
+// verifier (unlike the test helpers, which abort).
+func cellF(tbl *Table, row, col int) (float64, error) {
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		return 0, fmt.Errorf("table %s has no cell (%d,%d)", tbl.ID, row, col)
+	}
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		return 0, fmt.Errorf("cell (%d,%d) = %q: %v", row, col, tbl.Rows[row][col], err)
+	}
+	return v, nil
+}
+
+// seriesOf finds a named series, or errors.
+func seriesOf(f *Figure, name string) (Series, error) {
+	for _, s := range f.Series {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Series{}, fmt.Errorf("figure %s has no series %q", f.ID, name)
+}
+
+// Claims returns the full verification suite. Every entry corresponds to
+// a "who wins / what shape" statement in EXPERIMENTS.md.
+func Claims() []Claim {
+	return []Claim{
+		{"t2-ordering", "lock-op cost: atomior < spin = configurable < blocking (Table 2)",
+			func(c Config) error {
+				tbl := Table2(c).Table
+				at, _ := cellF(tbl, 0, 1)
+				sp, _ := cellF(tbl, 1, 1)
+				bl, _ := cellF(tbl, 3, 1)
+				cf, _ := cellF(tbl, 4, 1)
+				if !(at < sp && sp < bl && cf == sp) {
+					return fmt.Errorf("ordering violated: atomior %.2f, spin %.2f, blocking %.2f, configurable %.2f", at, sp, bl, cf)
+				}
+				return nil
+			}},
+		{"t3-ordering", "unlock cost: spin < configurable < blocking (Table 3)",
+			func(c Config) error {
+				tbl := Table3(c).Table
+				sp, _ := cellF(tbl, 0, 1)
+				bl, _ := cellF(tbl, 2, 1)
+				cf, _ := cellF(tbl, 3, 1)
+				if !(sp < cf && cf < bl) {
+					return fmt.Errorf("ordering violated: spin %.2f, configurable %.2f, blocking %.2f", sp, cf, bl)
+				}
+				return nil
+			}},
+		{"t4-cycle", "locking cycle: spin << backoff < blocking (Table 4)",
+			func(c Config) error {
+				tbl := Table4(c).Table
+				sp, _ := cellF(tbl, 0, 1)
+				bo, _ := cellF(tbl, 1, 1)
+				bl, _ := cellF(tbl, 2, 1)
+				if !(sp*3 < bo && bo < bl) {
+					return fmt.Errorf("cycles: spin %.2f, backoff %.2f, blocking %.2f", sp, bo, bl)
+				}
+				return nil
+			}},
+		{"t5-cycle", "configurable cycle: as-spin << as-blocking (Table 5)",
+			func(c Config) error {
+				tbl := Table5(c).Table
+				sp, _ := cellF(tbl, 0, 1)
+				bl, _ := cellF(tbl, 1, 1)
+				if sp*3 >= bl {
+					return fmt.Errorf("as-spin %.2f vs as-blocking %.2f", sp, bl)
+				}
+				return nil
+			}},
+		{"t6-config", "configure(waiting) < configure(scheduler) < possess (Table 6)",
+			func(c Config) error {
+				tbl := Table6(c).Table
+				po, _ := cellF(tbl, 0, 1)
+				wa, _ := cellF(tbl, 1, 1)
+				sc, _ := cellF(tbl, 2, 1)
+				if !(wa < sc && sc < po) {
+					return fmt.Errorf("possess %.2f, waiting %.2f, scheduler %.2f", po, wa, sc)
+				}
+				return nil
+			}},
+		{"t7-schedulers", "priority and handoff schedulers beat FCFS for a flooded server (Table 7)",
+			func(c Config) error {
+				tbl := Table7(c).Table
+				fcfs, _ := cellF(tbl, 0, 0)
+				hand, _ := cellF(tbl, 0, 2)
+				prio, _ := cellF(tbl, 1, 1)
+				if hand >= fcfs || prio >= fcfs {
+					return fmt.Errorf("fcfs %.0f, handoff %.0f, priority %.0f", fcfs, hand, prio)
+				}
+				return nil
+			}},
+		{"f1-spin-wins", "one thread per CPU: spin below blocking at every CS length (Figure 1)",
+			func(c Config) error {
+				f := Fig1(c).Figure
+				spin, err := seriesOf(f, "spin lock")
+				if err != nil {
+					return err
+				}
+				block, err := seriesOf(f, "blocking lock")
+				if err != nil {
+					return err
+				}
+				for i := range spin.Y {
+					if spin.Y[i] >= block.Y[i] {
+						return fmt.Errorf("at CS %.0f spin %.1f >= blocking %.1f", spin.X[i], spin.Y[i], block.Y[i])
+					}
+				}
+				return nil
+			}},
+		{"f3-crossover", "with useful threads, blocking overtakes spinning at large CSs (Figure 3)",
+			func(c Config) error {
+				f := Fig3(c).Figure
+				spin, _ := seriesOf(f, "spin lock")
+				block, _ := seriesOf(f, "blocking lock")
+				n := len(spin.Y)
+				if spin.Y[0] >= block.Y[0] {
+					return fmt.Errorf("small CS: spin %.1f >= blocking %.1f", spin.Y[0], block.Y[0])
+				}
+				if spin.Y[n-1] <= block.Y[n-1] {
+					return fmt.Errorf("large CS: spin %.1f <= blocking %.1f", spin.Y[n-1], block.Y[n-1])
+				}
+				return nil
+			}},
+		{"f4-statemachine", "every observed lock state transition is a Figure 4 edge",
+			func(c Config) error {
+				tbl := Fig4(c).Table
+				for r := range tbl.Rows {
+					if illegal, _ := cellF(tbl, r, 5); illegal != 0 {
+						return fmt.Errorf("row %d: %.0f illegal transitions", r, illegal)
+					}
+				}
+				return nil
+			}},
+		{"f7-combined", "combined lock beats blocking at small CSs and spin at large CSs (Figure 7)",
+			func(c Config) error {
+				f := Fig7(c).Figure
+				spin, _ := seriesOf(f, "spin")
+				block, _ := seriesOf(f, "blocking")
+				comb, err := seriesOf(f, "combined (spin 10)")
+				if err != nil {
+					return err
+				}
+				n := len(comb.Y)
+				if comb.Y[0] >= block.Y[0] {
+					return fmt.Errorf("small CS: combined %.1f >= blocking %.1f", comb.Y[0], block.Y[0])
+				}
+				if comb.Y[n-1] >= spin.Y[n-1] {
+					return fmt.Errorf("large CS: combined %.1f >= spin %.1f", comb.Y[n-1], spin.Y[n-1])
+				}
+				return nil
+			}},
+		{"f8-advisory", "advisory lock ~beats blocking at small and spin at large nominal CSs (Figure 8)",
+			func(c Config) error {
+				f := Fig8(c).Figure
+				spin, _ := seriesOf(f, "spin")
+				block, _ := seriesOf(f, "blocking")
+				adv, err := seriesOf(f, "advisory")
+				if err != nil {
+					return err
+				}
+				n := len(adv.Y)
+				if adv.Y[0] >= block.Y[0] {
+					return fmt.Errorf("smallest nominal: advisory %.1f >= blocking %.1f", adv.Y[0], block.Y[0])
+				}
+				if adv.Y[n-1] >= spin.Y[n-1] {
+					return fmt.Errorf("largest nominal: advisory %.1f >= spin %.1f", adv.Y[n-1], spin.Y[n-1])
+				}
+				// Mid-sweep: never worse than the worst static policy by
+				// more than the per-acquisition advise overhead (~5%).
+				for i := range adv.Y {
+					worst := spin.Y[i]
+					if block.Y[i] > worst {
+						worst = block.Y[i]
+					}
+					if adv.Y[i] > worst*1.05 {
+						return fmt.Errorf("at x=%.0f advisory %.1f > worst static %.1f + 5%%", adv.X[i], adv.Y[i], worst)
+					}
+				}
+				return nil
+			}},
+		{"f10-active", "active locks slightly cheaper than passive (Figure 10)",
+			func(c Config) error {
+				f := Fig10(c).Figure
+				passive, _ := seriesOf(f, "passive")
+				active, err := seriesOf(f, "active")
+				if err != nil {
+					return err
+				}
+				for i := range passive.Y {
+					if active.Y[i] >= passive.Y[i] {
+						return fmt.Errorf("at CS %.0f active %.1f >= passive %.1f", passive.X[i], active.Y[i], passive.Y[i])
+					}
+				}
+				return nil
+			}},
+		{"uma-contrast", "backoff beats pure spin on the UMA bus; the gap shrinks or reverses on NUMA (ext-uma)",
+			func(c Config) error {
+				f := ExtUMA(c).Figure
+				us, _ := seriesOf(f, "UMA pure spin")
+				ub, _ := seriesOf(f, "UMA backoff")
+				ns, _ := seriesOf(f, "NUMA pure spin")
+				nb, err := seriesOf(f, "NUMA backoff")
+				if err != nil {
+					return err
+				}
+				n := len(us.Y)
+				if ub.Y[n-1] >= us.Y[n-1] {
+					return fmt.Errorf("UMA: backoff %.1f >= pure spin %.1f", ub.Y[n-1], us.Y[n-1])
+				}
+				if ns.Y[n-1]-nb.Y[n-1] >= us.Y[n-1]-ub.Y[n-1] {
+					return fmt.Errorf("NUMA gap not smaller than UMA gap")
+				}
+				return nil
+			}},
+	}
+}
+
+// Verify runs every claim and returns the results.
+func Verify(c Config) []ClaimResult {
+	var out []ClaimResult
+	for _, cl := range Claims() {
+		out = append(out, ClaimResult{Claim: cl, Err: cl.Check(c)})
+	}
+	return out
+}
+
+// RenderVerification writes a PASS/FAIL report and returns the failure
+// count.
+func RenderVerification(w io.Writer, results []ClaimResult) int {
+	failures := 0
+	for _, r := range results {
+		status := "PASS"
+		if r.Err != nil {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%-4s %-16s %s\n", status, r.Claim.ID, r.Claim.Statement)
+		if r.Err != nil {
+			fmt.Fprintf(w, "     -> %v\n", r.Err)
+		}
+	}
+	fmt.Fprintf(w, "\n%d/%d reproduction claims hold\n", len(results)-failures, len(results))
+	return failures
+}

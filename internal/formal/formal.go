@@ -1,0 +1,133 @@
+// Package formal is an executable rendering of the paper's Section 4.1
+// formal characterization: every lock-object operation has a cost term
+//
+//	t = n1·R n2·W (+ atomic operations + software overheads)
+//
+// expressed as a Cost value that can be evaluated against a machine cost
+// model. Tests assert that the implementation in internal/core performs
+// *exactly* the accesses its specification declares — the formal model is
+// a checked contract, not documentation.
+//
+// The operations (paper notation):
+//
+//	Υ_l  — the lock operation:    Γ_Reg ; Γ_Acq
+//	Υ_u  — the unlock operation:  Γ_Rel
+//	Ψ    — reconfiguration:       waiting policy [1R1W], scheduler [1R5W]
+//	possess — attribute ownership acquisition (one test-and-set)
+//	I    — initialization (free: performed before simulated time starts)
+package formal
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Cost is the formal cost term of one operation: counted memory accesses
+// plus fixed software overhead.
+type Cost struct {
+	// Reads / Writes / Atomics are the n1·R n2·W (and atomic-op) counts.
+	Reads, Writes, Atomics int
+	// Overhead is the operation's fixed software cost.
+	Overhead sim.Duration
+	// Call indicates the machine's call overhead is charged (full
+	// procedure-call operations; unlock-style macro-weight operations
+	// skip it).
+	Call bool
+}
+
+// String renders the access-count part in the paper's notation.
+func (c Cost) String() string {
+	s := fmt.Sprintf("%dR%dW", c.Reads, c.Writes)
+	if c.Atomics > 0 {
+		s += fmt.Sprintf("+%dA", c.Atomics)
+	}
+	return s
+}
+
+// Eval computes the virtual-time duration of the operation on a machine
+// with the given configuration, with all accessed words local or remote.
+func (c Cost) Eval(cfg machine.Config, remote bool) sim.Duration {
+	read := cfg.ReadLocal + cfg.ModuleOccupancy
+	write := cfg.WriteLocal + cfg.ModuleOccupancy
+	atomic := cfg.ReadLocal + cfg.AtomicExtra + cfg.ModuleOccupancy
+	if remote {
+		read += cfg.RemoteExtra
+		write += cfg.RemoteExtra
+		atomic += cfg.RemoteExtra
+	}
+	d := c.Overhead +
+		sim.Duration(c.Reads)*read +
+		sim.Duration(c.Writes)*write +
+		sim.Duration(c.Atomics)*atomic
+	if c.Call {
+		d += cfg.CallOverhead
+	}
+	return d
+}
+
+// Specs bundles the formal cost terms of the configurable lock's
+// operations for a given software-cost table.
+type Specs struct {
+	// LockOp is Υ_l on a free lock: registration (1W), the guard
+	// acquisition (1 atomic), the owner check and take (1R1W), and the
+	// guard release (1W).
+	LockOp Cost
+	// UnlockOp is Υ_u with no waiters: guard (1 atomic), the blocked-
+	// thread check (1R), the owner clear (1W), guard release (1W).
+	UnlockOp Cost
+	// Registration is Γ_Reg alone: "the cost of one write operation on
+	// primary memory".
+	Registration Cost
+	// Possess is the attribute-ownership acquisition: one test-and-set.
+	Possess Cost
+	// ConfigureWaiting is Ψ on the wait component: 1R1W.
+	ConfigureWaiting Cost
+	// ConfigureScheduler is Ψ on the scheduling component: 1R5W (three
+	// submodules, flag set, flag reset).
+	ConfigureScheduler Cost
+}
+
+// ForCosts derives the operation specs from the lock's software-cost
+// table. These mirror internal/core's implementation exactly; the tests
+// in this package verify that claim against the machine's access
+// counters and clocks.
+func ForCosts(costs core.Costs) Specs {
+	return Specs{
+		LockOp: Cost{
+			Reads: 1, Writes: 3, Atomics: 1,
+			Overhead: costs.LockOp, Call: true,
+		},
+		UnlockOp: Cost{
+			Reads: 1, Writes: 2, Atomics: 1,
+			Overhead: costs.UnlockOp,
+		},
+		Registration: Cost{Writes: 1},
+		Possess: Cost{
+			Atomics:  1,
+			Overhead: costs.PossessOp, Call: true,
+		},
+		ConfigureWaiting: Cost{
+			Reads: 1, Writes: 1,
+			Overhead: costs.ConfigureWaitingOp,
+		},
+		ConfigureScheduler: Cost{
+			Reads: 1, Writes: 5,
+			Overhead: costs.ConfigureSchedulerOp,
+		},
+	}
+}
+
+// CompositionCost sums the cost terms of a sequence of operations — "a
+// complex reconfiguration of a lock happens by a collection of the above
+// operations. The cost of such a reconfiguration is easily obtained by
+// adding costs of the individual operations."
+func CompositionCost(cfg machine.Config, remote bool, ops ...Cost) sim.Duration {
+	var total sim.Duration
+	for _, op := range ops {
+		total += op.Eval(cfg, remote)
+	}
+	return total
+}

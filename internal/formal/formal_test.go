@@ -1,0 +1,209 @@
+package formal
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newSys(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+// measure runs body on a fresh thread and returns its elapsed virtual time
+// and the machine access-count deltas.
+func measure(t *testing.T, mod int, body func(l *core.Lock, th *cthread.Thread)) (sim.Duration, [3]int64) {
+	t.Helper()
+	s := newSys(2)
+	l := core.New(s, core.Options{Module: mod})
+	var elapsed sim.Duration
+	var delta [3]int64
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		r0, w0, a0, _ := s.M.Counters()
+		start := th.Now()
+		body(l, th)
+		elapsed = sim.Duration(th.Now() - start)
+		r1, w1, a1, _ := s.M.Counters()
+		delta = [3]int64{r1 - r0, w1 - w0, a1 - a0}
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed, delta
+}
+
+// TestSpecsMatchImplementation is the executable-contract test: for every
+// operation, the implementation's elapsed time and access counts equal the
+// formal specification, both local and remote.
+func TestSpecsMatchImplementation(t *testing.T) {
+	cfg := machine.DefaultGP1000()
+	specs := ForCosts(core.DefaultCosts())
+	cases := []struct {
+		name string
+		spec Cost
+		body func(l *core.Lock, th *cthread.Thread)
+	}{
+		{"lock op (Υ_l)", specs.LockOp, func(l *core.Lock, th *cthread.Thread) {
+			l.Lock(th)
+		}},
+		{"possess", specs.Possess, func(l *core.Lock, th *cthread.Thread) {
+			if err := l.Possess(th, core.AttrWaitingPolicy); err != nil {
+				t.Error(err)
+			}
+		}},
+	}
+	for _, mod := range []int{0, 1} {
+		remote := mod != 0
+		for _, c := range cases {
+			elapsed, delta := measure(t, mod, c.body)
+			want := c.spec.Eval(cfg, remote)
+			if elapsed != want {
+				t.Errorf("%s (remote=%v): measured %v, formal model %v", c.name, remote, elapsed, want)
+			}
+			if int(delta[0]) != c.spec.Reads || int(delta[1]) != c.spec.Writes || int(delta[2]) != c.spec.Atomics {
+				t.Errorf("%s (remote=%v): accesses %dR%dW+%dA, spec %s",
+					c.name, remote, delta[0], delta[1], delta[2], c.spec)
+			}
+		}
+	}
+}
+
+func TestUnlockSpecMatches(t *testing.T) {
+	cfg := machine.DefaultGP1000()
+	specs := ForCosts(core.DefaultCosts())
+	for _, mod := range []int{0, 1} {
+		remote := mod != 0
+		s := newSys(2)
+		l := core.New(s, core.Options{Module: mod})
+		var elapsed sim.Duration
+		var delta [3]int64
+		s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			r0, w0, a0, _ := s.M.Counters()
+			start := th.Now()
+			l.Unlock(th)
+			elapsed = sim.Duration(th.Now() - start)
+			r1, w1, a1, _ := s.M.Counters()
+			delta = [3]int64{r1 - r0, w1 - w0, a1 - a0}
+		})
+		if err := s.M.Eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := specs.UnlockOp.Eval(cfg, remote)
+		if elapsed != want {
+			t.Errorf("unlock (remote=%v): measured %v, formal model %v", remote, elapsed, want)
+		}
+		if int(delta[0]) != specs.UnlockOp.Reads || int(delta[1]) != specs.UnlockOp.Writes || int(delta[2]) != specs.UnlockOp.Atomics {
+			t.Errorf("unlock (remote=%v): accesses %v, spec %s", remote, delta, specs.UnlockOp)
+		}
+	}
+}
+
+func TestConfigureSpecsMatch(t *testing.T) {
+	cfg := machine.DefaultGP1000()
+	specs := ForCosts(core.DefaultCosts())
+	for _, c := range []struct {
+		name string
+		spec Cost
+		body func(l *core.Lock, th *cthread.Thread)
+	}{
+		{"Ψ waiting", specs.ConfigureWaiting, func(l *core.Lock, th *cthread.Thread) {
+			if err := l.ConfigureWaiting(th, core.SleepParams()); err != nil {
+				t.Error(err)
+			}
+		}},
+		{"Ψ scheduler", specs.ConfigureScheduler, func(l *core.Lock, th *cthread.Thread) {
+			if err := l.ConfigureScheduler(th, core.Handoff); err != nil {
+				t.Error(err)
+			}
+		}},
+	} {
+		elapsed, delta := measure(t, 0, c.body)
+		want := c.spec.Eval(cfg, false)
+		if elapsed != want {
+			t.Errorf("%s: measured %v, formal model %v", c.name, elapsed, want)
+		}
+		if int(delta[0]) != c.spec.Reads || int(delta[1]) != c.spec.Writes || int(delta[2]) != c.spec.Atomics {
+			t.Errorf("%s: accesses %v, spec %s", c.name, delta, c.spec)
+		}
+	}
+}
+
+func TestFormalNotationString(t *testing.T) {
+	specs := ForCosts(core.DefaultCosts())
+	if got := specs.ConfigureWaiting.String(); got != "1R1W" {
+		t.Errorf("waiting = %q, want 1R1W", got)
+	}
+	if got := specs.ConfigureScheduler.String(); got != "1R5W" {
+		t.Errorf("scheduler = %q, want 1R5W", got)
+	}
+	if got := specs.LockOp.String(); got != "1R3W+1A" {
+		t.Errorf("lock = %q", got)
+	}
+}
+
+func TestCompositionAdds(t *testing.T) {
+	cfg := machine.DefaultGP1000()
+	specs := ForCosts(core.DefaultCosts())
+	// "A complex reconfiguration ... is easily obtained by adding costs":
+	// possess + configure both attributes.
+	total := CompositionCost(cfg, false,
+		specs.Possess, specs.ConfigureWaiting, specs.ConfigureScheduler)
+	want := specs.Possess.Eval(cfg, false) +
+		specs.ConfigureWaiting.Eval(cfg, false) +
+		specs.ConfigureScheduler.Eval(cfg, false)
+	if total != want {
+		t.Fatalf("composition %v != sum %v", total, want)
+	}
+	// And the composition matches an actual composed run.
+	s := newSys(2)
+	l := core.New(s, core.Options{})
+	var elapsed sim.Duration
+	s.Spawn("m", 0, 0, func(th *cthread.Thread) {
+		start := th.Now()
+		if err := l.Possess(th, core.AttrWaitingPolicy); err != nil {
+			t.Error(err)
+		}
+		if err := l.ConfigureWaiting(th, core.SleepParams()); err != nil {
+			t.Error(err)
+		}
+		if err := l.ConfigureScheduler(th, core.PriorityQueue); err != nil {
+			t.Error(err)
+		}
+		elapsed = sim.Duration(th.Now() - start)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != total {
+		t.Fatalf("composed run %v != formal composition %v", elapsed, total)
+	}
+}
+
+func TestPaperTableValuesFromFormalModel(t *testing.T) {
+	// The formal model alone — no simulation — predicts the paper's local
+	// costs.
+	cfg := machine.DefaultGP1000()
+	specs := ForCosts(core.DefaultCosts())
+	for _, c := range []struct {
+		name string
+		spec Cost
+		want float64
+	}{
+		{"lock op", specs.LockOp, 40.79},
+		{"unlock op", specs.UnlockOp, 50.07},
+		{"possess", specs.Possess, 30.75},
+		{"configure(waiting)", specs.ConfigureWaiting, 9.87},
+		{"configure(scheduler)", specs.ConfigureScheduler, 12.51},
+	} {
+		got := c.spec.Eval(cfg, false).Us()
+		if got < c.want-0.05 || got > c.want+0.05 {
+			t.Errorf("%s = %.2fus, paper %.2fus", c.name, got, c.want)
+		}
+	}
+}

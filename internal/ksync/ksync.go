@@ -1,0 +1,222 @@
+// Package ksync builds higher-level synchronization primitives on top of
+// the configurable lock — condition variables, counting semaphores and
+// bounded queues — demonstrating the paper's extensible-kernel thesis:
+// "the construction of new primitives on top of the existing ones".
+// Every primitive inherits the underlying lock's configurability: choosing
+// a spin, sleep or combined policy (or reconfiguring it at run time)
+// changes how all of them wait.
+package ksync
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+)
+
+// Cond is a condition variable associated with a configurable lock.
+// Signal and Broadcast must be called with the lock held; Wait atomically
+// releases the lock and suspends the calling thread.
+//
+// Semantics are Mesa-style: a signaled waiter re-contends for the lock, so
+// a third thread may barge in and consume the condition first — waiters
+// must re-check their predicate in a loop, and producers/consumers that
+// need fairness should hand values to waiters directly (as Queue does)
+// rather than publish-and-signal.
+type Cond struct {
+	// L is the associated lock, held around the protected state.
+	L *core.Lock
+
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	t        *cthread.Thread
+	signaled bool
+}
+
+// NewCond creates a condition variable over l.
+func NewCond(l *core.Lock) *Cond { return &Cond{L: l} }
+
+// Wait releases the lock, suspends t until Signal/Broadcast, then
+// re-acquires the lock. As with every condition variable, callers must
+// re-check their predicate in a loop.
+func (c *Cond) Wait(t *cthread.Thread) {
+	if c.L.OwnerID() != t.ID() {
+		panic(fmt.Sprintf("ksync: Cond.Wait by %q without holding the lock", t.Name()))
+	}
+	w := &condWaiter{t: t}
+	c.waiters = append(c.waiters, w)
+	c.L.Unlock(t)
+	for !w.signaled {
+		t.Block()
+	}
+	c.L.Lock(t)
+}
+
+// Signal wakes the longest-waiting thread, if any. Must hold the lock.
+func (c *Cond) Signal(t *cthread.Thread) {
+	if c.L.OwnerID() != t.ID() {
+		panic(fmt.Sprintf("ksync: Cond.Signal by %q without holding the lock", t.Name()))
+	}
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	copy(c.waiters, c.waiters[1:])
+	c.waiters = c.waiters[:len(c.waiters)-1]
+	w.signaled = true
+	t.Unblock(w.t)
+}
+
+// Broadcast wakes every waiting thread. Must hold the lock.
+func (c *Cond) Broadcast(t *cthread.Thread) {
+	if c.L.OwnerID() != t.ID() {
+		panic(fmt.Sprintf("ksync: Cond.Broadcast by %q without holding the lock", t.Name()))
+	}
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.signaled = true
+		t.Unblock(w.t)
+	}
+}
+
+// Waiting reports the number of suspended threads. Harness use.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Semaphore is a counting semaphore built from a configurable lock and a
+// condition variable.
+type Semaphore struct {
+	lock  *core.Lock
+	avail *Cond
+	count int64
+}
+
+// NewSemaphore creates a semaphore with the given initial count, waiting
+// per the lock options (so a semaphore can spin, sleep, or mix, exactly
+// like a lock).
+func NewSemaphore(sys *cthread.System, initial int64, opts core.Options) *Semaphore {
+	if initial < 0 {
+		panic("ksync: negative initial semaphore count")
+	}
+	l := core.New(sys, opts)
+	return &Semaphore{lock: l, avail: NewCond(l), count: initial}
+}
+
+// Acquire decrements the count, suspending while it is zero.
+func (s *Semaphore) Acquire(t *cthread.Thread) {
+	s.lock.Lock(t)
+	for s.count == 0 {
+		s.avail.Wait(t)
+	}
+	s.count--
+	s.lock.Unlock(t)
+}
+
+// Release increments the count and wakes one waiter.
+func (s *Semaphore) Release(t *cthread.Thread) {
+	s.lock.Lock(t)
+	s.count++
+	s.avail.Signal(t)
+	s.lock.Unlock(t)
+}
+
+// Count returns the current count. Harness use.
+func (s *Semaphore) Count() int64 { return s.count }
+
+// Queue is a bounded FIFO queue (the paper's "shared message buffers")
+// with blocking Put/Get, built from one configurable lock, a condition
+// variable for producers, and direct item handoff for consumers.
+//
+// Direct handoff matters: with Mesa-style publish-and-signal, a consumer
+// that just finished its previous item races the signaled waiter for the
+// lock and — under deterministic timing — can win every round, starving
+// the waiter queue (a lock-convoy variant; demonstrated in
+// internal/apps's convoy test). Handing the item to the chosen getter
+// while still holding the lock makes Get FIFO-fair.
+type Queue struct {
+	lock    *core.Lock
+	notFull *Cond
+	getters []*getter
+	buf     []int64
+	cap     int
+}
+
+// getter is a consumer waiting for direct item handoff.
+type getter struct {
+	t       *cthread.Thread
+	item    int64
+	granted bool
+}
+
+// NewQueue creates a bounded queue of the given capacity.
+func NewQueue(sys *cthread.System, capacity int, opts core.Options) *Queue {
+	if capacity <= 0 {
+		panic("ksync: non-positive queue capacity")
+	}
+	l := core.New(sys, opts)
+	return &Queue{lock: l, notFull: NewCond(l), cap: capacity}
+}
+
+// Put appends v (or hands it directly to the longest-waiting getter),
+// suspending while the queue is full.
+func (q *Queue) Put(t *cthread.Thread, v int64) {
+	q.lock.Lock(t)
+	if len(q.getters) > 0 {
+		// Invariant: getters wait only while the buffer is empty, so a
+		// direct handoff bypasses the buffer entirely.
+		g := q.getters[0]
+		copy(q.getters, q.getters[1:])
+		q.getters = q.getters[:len(q.getters)-1]
+		g.item = v
+		g.granted = true
+		q.lock.Unlock(t)
+		t.Unblock(g.t)
+		return
+	}
+	for len(q.buf) == q.cap {
+		q.notFull.Wait(t)
+		if len(q.getters) > 0 {
+			// Consumers arrived while we waited for space: hand off.
+			g := q.getters[0]
+			copy(q.getters, q.getters[1:])
+			q.getters = q.getters[:len(q.getters)-1]
+			g.item = v
+			g.granted = true
+			q.lock.Unlock(t)
+			t.Unblock(g.t)
+			return
+		}
+	}
+	q.buf = append(q.buf, v)
+	q.lock.Unlock(t)
+}
+
+// Get removes and returns the oldest element, suspending (FIFO-fairly)
+// while the queue is empty.
+func (q *Queue) Get(t *cthread.Thread) int64 {
+	q.lock.Lock(t)
+	if len(q.buf) > 0 {
+		v := q.buf[0]
+		copy(q.buf, q.buf[1:])
+		q.buf = q.buf[:len(q.buf)-1]
+		q.notFull.Signal(t)
+		q.lock.Unlock(t)
+		return v
+	}
+	g := &getter{t: t}
+	q.getters = append(q.getters, g)
+	q.lock.Unlock(t)
+	for !g.granted {
+		t.Block()
+	}
+	return g.item
+}
+
+// Len reports the current queue length. Harness use.
+func (q *Queue) Len() int { return len(q.buf) }
+
+// Lock exposes the underlying configurable lock for reconfiguration (e.g.
+// switching the queue's waiting policy at run time).
+func (q *Queue) Lock() *core.Lock { return q.lock }

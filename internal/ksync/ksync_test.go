@@ -1,0 +1,312 @@
+package ksync
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+func newSys(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+func mustRun(t *testing.T, s *cthread.System) {
+	t.Helper()
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondSignalWakesInOrder(t *testing.T) {
+	s := newSys(6)
+	l := core.New(s, core.Options{Params: core.SleepParams()})
+	c := NewCond(l)
+	ready := 0
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(100*(i+1))), "w", i, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			for ready <= i {
+				c.Wait(th)
+			}
+			order = append(order, i)
+			l.Unlock(th)
+		})
+	}
+	s.SpawnAt(sim.Us(1000), "signaler", 3, 0, func(th *cthread.Thread) {
+		for k := 0; k < 3; k++ {
+			l.Lock(th)
+			ready = 3
+			c.Signal(th)
+			l.Unlock(th)
+			th.Compute(sim.Us(500))
+		}
+	})
+	mustRun(t, s)
+	if len(order) != 3 {
+		t.Fatalf("order = %v, want 3 wakeups", order)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	s := newSys(6)
+	l := core.New(s, core.Options{Params: core.SleepParams()})
+	c := NewCond(l)
+	go_ := false
+	woke := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", i, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			for !go_ {
+				c.Wait(th)
+			}
+			woke++
+			l.Unlock(th)
+		})
+	}
+	s.SpawnAt(sim.Us(2000), "b", 4, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		go_ = true
+		c.Broadcast(th)
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+	if c.Waiting() != 0 {
+		t.Fatalf("waiters left: %d", c.Waiting())
+	}
+}
+
+func TestCondPanicsWithoutLock(t *testing.T) {
+	s := newSys(2)
+	l := core.New(s, core.Options{})
+	c := NewCond(l)
+	s.Spawn("t", 0, 0, func(th *cthread.Thread) {
+		for _, f := range []func(){
+			func() { c.Wait(th) },
+			func() { c.Signal(th) },
+			func() { c.Broadcast(th) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("cond op without lock did not panic")
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	mustRun(t, s)
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	s := newSys(8)
+	sem := NewSemaphore(s, 2, core.Options{Params: core.SleepParams()})
+	inside, peak, total := 0, 0, 0
+	for i := 0; i < 6; i++ {
+		s.Spawn("w", i, 0, func(th *cthread.Thread) {
+			for k := 0; k < 4; k++ {
+				sem.Acquire(th)
+				inside++
+				if inside > peak {
+					peak = inside
+				}
+				// Longer than the semaphore's own serialized entry path
+				// (~100us of lock operations), so admissions overlap.
+				th.Compute(sim.Us(800))
+				inside--
+				total++
+				sem.Release(th)
+				th.Compute(sim.Us(20))
+			}
+		})
+	}
+	mustRun(t, s)
+	if peak > 2 {
+		t.Fatalf("peak concurrency %d exceeds semaphore count 2", peak)
+	}
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d; semaphore over-serializes", peak)
+	}
+	if total != 24 {
+		t.Fatalf("total sections %d, want 24", total)
+	}
+	if sem.Count() != 2 {
+		t.Fatalf("final count %d, want 2", sem.Count())
+	}
+}
+
+func TestQueueProducerConsumer(t *testing.T) {
+	s := newSys(6)
+	q := NewQueue(s, 3, core.Options{Params: core.SleepParams()})
+	const items = 40
+	var got []int64
+	for p := 0; p < 2; p++ {
+		p := p
+		s.Spawn("prod", p, 0, func(th *cthread.Thread) {
+			for i := 0; i < items/2; i++ {
+				q.Put(th, int64(p*1000+i))
+				th.Compute(sim.Us(10))
+			}
+		})
+	}
+	for c := 2; c < 4; c++ {
+		s.Spawn("cons", c, 0, func(th *cthread.Thread) {
+			for i := 0; i < items/2; i++ {
+				got = append(got, q.Get(th))
+				th.Compute(sim.Us(25))
+			}
+		})
+	}
+	mustRun(t, s)
+	if len(got) != items {
+		t.Fatalf("consumed %d items, want %d", len(got), items)
+	}
+	seen := map[int64]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate item %d", v)
+		}
+		seen[v] = true
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d", q.Len())
+	}
+}
+
+func TestQueueBlocksWhenFull(t *testing.T) {
+	s := newSys(4)
+	q := NewQueue(s, 1, core.Options{Params: core.SleepParams()})
+	var secondPutAt, getAt sim.Time
+	s.Spawn("prod", 0, 0, func(th *cthread.Thread) {
+		q.Put(th, 1)
+		q.Put(th, 2) // must block until the consumer gets
+		secondPutAt = th.Now()
+	})
+	s.SpawnAt(sim.Us(5000), "cons", 1, 0, func(th *cthread.Thread) {
+		getAt = th.Now()
+		_ = q.Get(th)
+		_ = q.Get(th)
+	})
+	mustRun(t, s)
+	if secondPutAt < getAt {
+		t.Fatalf("second Put completed at %v before consumer started at %v", secondPutAt, getAt)
+	}
+}
+
+func TestQueueInheritsLockConfigurability(t *testing.T) {
+	// The extensibility point: a queue built on the configurable lock can
+	// have its waiting policy reconfigured at run time.
+	s := newSys(4)
+	q := NewQueue(s, 4, core.Options{Params: core.SpinParams()})
+	s.Spawn("cfg", 0, 0, func(th *cthread.Thread) {
+		if err := q.Lock().ConfigureWaiting(th, core.SleepParams()); err != nil {
+			t.Errorf("reconfigure queue lock: %v", err)
+		}
+		q.Put(th, 7)
+		if got := q.Get(th); got != 7 {
+			t.Errorf("Get = %d, want 7", got)
+		}
+	})
+	mustRun(t, s)
+	if q.Lock().Params().Kind() != core.PolicySleep {
+		t.Fatal("queue lock policy not reconfigured")
+	}
+}
+
+func TestQueueGetIsFIFOFairUnderBarging(t *testing.T) {
+	// Regression for the Mesa-barging convoy: one fast consumer (short
+	// item processing) used to steal every item from three waiting
+	// consumers when the queue published-and-signaled. Direct handoff
+	// must spread items across all consumers.
+	s := newSys(6)
+	q := NewQueue(s, 8, core.Options{Params: core.SleepParams()})
+	const items = 80
+	per := make([]int, 4)
+	s.Spawn("producer", 0, 0, func(th *cthread.Thread) {
+		for i := 1; i <= items; i++ {
+			th.Compute(sim.Us(10))
+			q.Put(th, int64(i))
+		}
+		for c := 0; c < 4; c++ {
+			q.Put(th, -1)
+		}
+	})
+	for c := 0; c < 4; c++ {
+		c := c
+		s.Spawn("consumer", 1+c, 0, func(th *cthread.Thread) {
+			for {
+				if q.Get(th) == -1 {
+					return
+				}
+				th.Compute(sim.Us(200))
+				per[c]++
+			}
+		})
+	}
+	mustRun(t, s)
+	total := 0
+	for c, n := range per {
+		total += n
+		if n < items/10 {
+			t.Fatalf("consumer %d got %d of %d items; barging starvation: %v", c, n, items, per)
+		}
+	}
+	if total != items {
+		t.Fatalf("consumed %d of %d", total, items)
+	}
+}
+
+func TestQueuePutHandsOffWhileFull(t *testing.T) {
+	// A producer blocked on a full queue must still serve a consumer that
+	// arrives while it waits (the handoff-after-notFull path).
+	s := newSys(4)
+	q := NewQueue(s, 1, core.Options{Params: core.SleepParams()})
+	var got []int64
+	s.Spawn("prod", 0, 0, func(th *cthread.Thread) {
+		q.Put(th, 1)
+		q.Put(th, 2) // blocks: queue full
+		q.Put(th, 3)
+	})
+	s.SpawnAt(sim.Us(5000), "cons", 1, 0, func(th *cthread.Thread) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(th))
+			th.Compute(sim.Us(100))
+		}
+	})
+	mustRun(t, s)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v, want [1 2 3]", got)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	s := newSys(2)
+	for _, f := range []func(){
+		func() { NewSemaphore(s, -1, core.Options{}) },
+		func() { NewQueue(s, 0, core.Options{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

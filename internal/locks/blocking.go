@@ -1,0 +1,108 @@
+package locks
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/machine"
+)
+
+// BlockingLock is a heavyweight mutex in the Cthreads tradition: a
+// primitive spin word guards the lock state and a FIFO queue of waiters;
+// a thread that finds the lock held enqueues itself and blocks, freeing its
+// processor for other threads. The paper's Table 2/3 shows its uncontended
+// latency is more than double a spin lock's — the price paid for freeing
+// the processor under contention.
+type BlockingLock struct {
+	m     *machine.Machine
+	costs Costs
+
+	guard *machine.Word // primitive spin lock protecting held+queue
+	held  *machine.Word
+
+	queue   []*waiter
+	granted map[int64]bool // thread id -> lock handed to it while blocked
+}
+
+type waiter struct {
+	t *cthread.Thread
+}
+
+// NewBlockingLock allocates a blocking lock whose words live on module mod.
+func NewBlockingLock(m *machine.Machine, mod int, costs Costs) *BlockingLock {
+	return &BlockingLock{
+		m: m, costs: costs,
+		guard:   m.NewWord(mod),
+		held:    m.NewWord(mod),
+		granted: make(map[int64]bool),
+	}
+}
+
+// Name implements Lock.
+func (l *BlockingLock) Name() string { return "blocking-lock" }
+
+// lockGuard spins on the primitive guard word. Guard critical sections are
+// a handful of memory operations, so this spin is short; it exists because
+// "a primitive low-level lock is often used to enforce mutual exclusion of
+// a high-level lock data structure" (paper, Section 3).
+func (l *BlockingLock) lockGuard(t *cthread.Thread) {
+	for {
+		if l.guard.AtomicOr(t, 1) == 0 {
+			return
+		}
+		for l.guard.Read(t) != 0 {
+		}
+	}
+}
+
+func (l *BlockingLock) unlockGuard(t *cthread.Thread) {
+	l.guard.Write(t, 0)
+}
+
+// Lock acquires the lock, blocking the calling thread if it is held.
+func (l *BlockingLock) Lock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.BlockingLockOp)
+	l.lockGuard(t)
+	if l.held.Read(t) == 0 {
+		l.held.Write(t, 1)
+		l.unlockGuard(t)
+		return
+	}
+	// Busy: enqueue and block until an unlocker hands the lock to us.
+	t.Compute(l.costs.QueueOp)
+	l.queue = append(l.queue, &waiter{t: t})
+	l.unlockGuard(t)
+	for {
+		t.Block()
+		l.lockGuard(t)
+		if l.granted[t.ID()] {
+			delete(l.granted, t.ID())
+			l.unlockGuard(t)
+			return
+		}
+		l.unlockGuard(t)
+	}
+}
+
+// Unlock releases the lock; if threads are blocked the lock is handed
+// directly to the first waiter (FIFO), which keeps the held word set.
+func (l *BlockingLock) Unlock(t *cthread.Thread) {
+	t.Compute(l.costs.BlockingUnlockOp)
+	l.lockGuard(t)
+	if len(l.queue) == 0 {
+		l.held.Write(t, 0)
+		l.unlockGuard(t)
+		return
+	}
+	w := l.queue[0]
+	copy(l.queue, l.queue[1:])
+	l.queue = l.queue[:len(l.queue)-1]
+	t.Compute(l.costs.QueueOp)
+	l.held.Write(t, 1) // hand-off: lock stays held, new owner recorded
+	l.granted[w.t.ID()] = true
+	l.unlockGuard(t)
+	t.Unblock(w.t)
+}
+
+// Waiters reports the number of blocked waiters (harness use only).
+func (l *BlockingLock) Waiters() int { return len(l.queue) }
+
+var _ Lock = (*BlockingLock)(nil)

@@ -1,0 +1,99 @@
+package locks
+
+import (
+	"fmt"
+
+	"repro/internal/cthread"
+	"repro/internal/machine"
+)
+
+// DistributedSpinLock is a queue-based spin lock in the MCS tradition
+// [MCS91], which the paper builds "as a configuration (implementation
+// dependent configuration) of the reconfigurable lock": each waiting
+// thread spins on a flag word allocated in its *own* memory module, so a
+// waiter generates no switch traffic while waiting, and a release performs
+// O(1) remote references regardless of the number of waiters.
+//
+// Compare with SpinLock (the centralized implementation), where every
+// waiter hammers the single module holding the lock word.
+type DistributedSpinLock struct {
+	m     *machine.Machine
+	costs Costs
+
+	tail *machine.Word // id of last queue node, 0 = free
+
+	nodes map[int64]*qnode // thread id -> its queue node
+}
+
+// qnode is a per-thread queue record. Its words live on the owning
+// thread's local module.
+type qnode struct {
+	id     int64
+	locked *machine.Word // 1 while the owner must keep waiting
+	next   *machine.Word // id of successor node, 0 = none
+}
+
+// NewDistributedSpinLock allocates the lock; tailMod is the module of the
+// central tail word (per-thread nodes are allocated lazily on each
+// thread's local module).
+func NewDistributedSpinLock(m *machine.Machine, tailMod int, costs Costs) *DistributedSpinLock {
+	return &DistributedSpinLock{
+		m: m, costs: costs,
+		tail:  m.NewWord(tailMod),
+		nodes: make(map[int64]*qnode),
+	}
+}
+
+// Name implements Lock.
+func (l *DistributedSpinLock) Name() string { return "distributed-lock" }
+
+func (l *DistributedSpinLock) nodeFor(t *cthread.Thread) *qnode {
+	n, ok := l.nodes[t.ID()]
+	if !ok {
+		n = &qnode{
+			id:     t.ID(),
+			locked: l.m.NewWord(t.CPU()),
+			next:   l.m.NewWord(t.CPU()),
+		}
+		l.nodes[t.ID()] = n
+	}
+	return n
+}
+
+// Lock enqueues the caller and spins on its local flag until its
+// predecessor hands over.
+func (l *DistributedSpinLock) Lock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.SpinLockOp)
+	n := l.nodeFor(t)
+	n.next.Write(t, 0)
+	prev := l.tail.AtomicSwap(t, n.id)
+	if prev == 0 {
+		return
+	}
+	pn := l.nodes[prev]
+	if pn == nil {
+		panic(fmt.Sprintf("locks: MCS predecessor %d unknown", prev))
+	}
+	n.locked.Write(t, 1)
+	pn.next.Write(t, n.id)
+	for n.locked.Read(t) != 0 { // local-module spinning
+	}
+}
+
+// Unlock hands the lock to the successor, or frees it if none.
+func (l *DistributedSpinLock) Unlock(t *cthread.Thread) {
+	t.Compute(l.costs.SpinUnlockOp)
+	n := l.nodeFor(t)
+	if n.next.Read(t) == 0 {
+		if l.tail.AtomicCAS(t, n.id, 0) {
+			return
+		}
+		// A successor is mid-enqueue; wait for it to link itself.
+		for n.next.Read(t) == 0 {
+		}
+	}
+	succ := l.nodes[n.next.Read(t)]
+	succ.locked.Write(t, 0)
+}
+
+var _ Lock = (*DistributedSpinLock)(nil)

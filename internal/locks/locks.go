@@ -1,0 +1,70 @@
+// Package locks implements the static (non-configurable) multiprocessor
+// lock baselines the paper measures against: a test-and-test-and-set spin
+// lock, Anderson-style spin-with-backoff, a heavyweight blocking lock in
+// the Cthreads mutex tradition, and an MCS-style distributed queue lock
+// whose waiters spin only on words in their local memory module.
+//
+// Every lock charges simulated time through the machine's cost model plus a
+// per-operation software overhead constant calibrated against the paper's
+// Tables 2-4 (a 16 MHz 68020 spends tens of microseconds on call/return and
+// branch logic, which dominates the absolute numbers).
+package locks
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+// Lock is a mutual-exclusion lock usable by simulated threads.
+type Lock interface {
+	// Lock acquires the lock on behalf of t, waiting as dictated by the
+	// implementation's waiting policy.
+	Lock(t *cthread.Thread)
+	// Unlock releases the lock. The caller must hold it.
+	Unlock(t *cthread.Thread)
+	// Name identifies the implementation in experiment output.
+	Name() string
+}
+
+// Costs collects the software-overhead constants of the lock library,
+// charged once per operation on top of the memory traffic the operation
+// performs. Calibrated against Tables 2 and 3 of the paper.
+type Costs struct {
+	// SpinLockOp / SpinUnlockOp: entry overhead of the spin lock's
+	// lock / unlock functions.
+	SpinLockOp   sim.Duration
+	SpinUnlockOp sim.Duration
+	// BackoffExtra: additional branch logic of the backoff variant.
+	BackoffExtra sim.Duration
+	// BackoffUnit: backoff delay per runnable thread waiting for the
+	// processor (the paper: "waits for an amount of time proportional to
+	// the number of active threads waiting for the processor").
+	BackoffUnit sim.Duration
+	// BlockingLockOp / BlockingUnlockOp: entry overhead of the blocking
+	// lock's operations (queue checks, scheduler interaction setup).
+	BlockingLockOp   sim.Duration
+	BlockingUnlockOp sim.Duration
+	// QueueOp: cost of one waiter-queue manipulation beyond the raw
+	// word traffic (pointer chasing on a 68020).
+	QueueOp sim.Duration
+}
+
+// DefaultCosts returns overheads calibrated so the uncontended lock/unlock
+// latencies land near the paper's Table 2/3 values under
+// machine.DefaultGP1000.
+func DefaultCosts() Costs {
+	// Derivation against machine.DefaultGP1000 (local word):
+	//   spin lock     = 26.73 (call) + 10.06 + atomior 4.0          = 40.79
+	//   spin unlock   =                 3.79 + write 1.2            =  4.99
+	//   blocking lock = 26.73 (call) + 54.36 + guard 4.0 + r/w 3.5  = 88.59
+	//   blocking unl  =                55.92 + guard 4.0 + w/w 2.4  = 62.32
+	return Costs{
+		SpinLockOp:       sim.Us(10.06),
+		SpinUnlockOp:     sim.Us(3.79),
+		BackoffExtra:     sim.Us(0.0),
+		BackoffUnit:      sim.Us(400),
+		BlockingLockOp:   sim.Us(54.36),
+		BlockingUnlockOp: sim.Us(55.92),
+		QueueOp:          sim.Us(2.0),
+	}
+}

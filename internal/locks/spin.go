@@ -1,0 +1,102 @@
+package locks
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// SpinLock is a centralized test-and-test-and-set spin lock built on the
+// machine's atomior primitive. The lock word lives on a single memory
+// module; every waiter busy-waits on it, so under contention the module
+// and switch see continuous traffic — the NUMA cost the paper discusses.
+type SpinLock struct {
+	m     *machine.Machine
+	costs Costs
+	w     *machine.Word
+}
+
+// NewSpinLock allocates a spin lock whose word lives on module mod.
+func NewSpinLock(m *machine.Machine, mod int, costs Costs) *SpinLock {
+	return &SpinLock{m: m, costs: costs, w: m.NewWord(mod)}
+}
+
+// Name implements Lock.
+func (l *SpinLock) Name() string { return "spin-lock" }
+
+// Lock spins until the word is acquired. Test-and-test-and-set: after a
+// failed atomior the waiter re-reads (cheaper, and on real hardware
+// cacheable) until it observes the lock free, then retries the atomic op.
+func (l *SpinLock) Lock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.SpinLockOp)
+	for {
+		if l.w.AtomicOr(t, 1) == 0 {
+			return
+		}
+		for l.w.Read(t) != 0 {
+		}
+	}
+}
+
+// Unlock releases the lock with a single write. Like the paper's spin
+// unlock it is macro-weight: no call overhead is charged.
+func (l *SpinLock) Unlock(t *cthread.Thread) {
+	t.Compute(l.costs.SpinUnlockOp)
+	l.w.Write(t, 0)
+}
+
+// Held reports whether the lock word is set (harness use only).
+func (l *SpinLock) Held() bool { return l.w.Peek() != 0 }
+
+var _ Lock = (*SpinLock)(nil)
+
+// BackoffSpinLock is the paper's "spin-with-backoff" lock: a thread
+// requesting ownership spins once, and if the lock is busy, waits for an
+// amount of time proportional to the number of active threads waiting for
+// its processor before retrying. The backoff delay is spent holding the
+// processor (Compute), as on the Butterfly where threads were
+// non-preemptive; a polite variant that releases the processor is available
+// via Polite.
+type BackoffSpinLock struct {
+	m     *machine.Machine
+	costs Costs
+	w     *machine.Word
+
+	// Polite, when set, makes the backoff delay release the processor
+	// (Sleep) instead of busy-waiting, letting co-located threads run.
+	// The paper's lock holds the processor; this is an ablation knob.
+	Polite bool
+}
+
+// NewBackoffSpinLock allocates a backoff spin lock on module mod.
+func NewBackoffSpinLock(m *machine.Machine, mod int, costs Costs) *BackoffSpinLock {
+	return &BackoffSpinLock{m: m, costs: costs, w: m.NewWord(mod)}
+}
+
+// Name implements Lock.
+func (l *BackoffSpinLock) Name() string { return "spin-with-backoff" }
+
+// Lock implements the spin-once-then-backoff protocol.
+func (l *BackoffSpinLock) Lock(t *cthread.Thread) {
+	t.Compute(l.m.Cfg.CallOverhead + l.costs.SpinLockOp + l.costs.BackoffExtra)
+	for {
+		if l.w.AtomicOr(t, 1) == 0 {
+			return
+		}
+		waiting := t.System().RunnableOn(t.CPU())
+		delay := l.costs.BackoffUnit * sim.Duration(waiting+1)
+		if l.Polite && waiting > 0 {
+			t.Sleep(delay)
+		} else {
+			t.Compute(delay)
+		}
+	}
+}
+
+// Unlock releases the lock.
+func (l *BackoffSpinLock) Unlock(t *cthread.Thread) {
+	t.Compute(l.costs.SpinUnlockOp)
+	l.w.Write(t, 0)
+}
+
+var _ Lock = (*BackoffSpinLock)(nil)

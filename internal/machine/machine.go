@@ -1,0 +1,299 @@
+// Package machine models a NUMA shared-memory multiprocessor in the style
+// of the BBN Butterfly GP1000 used by the paper: P processor nodes, each
+// with a local memory module, connected by a multistage switch. A reference
+// to the local module is cheap; a reference to a remote module pays a
+// switch traversal, and concurrent references to one module serialize —
+// which is exactly the mechanism that makes unthrottled spin-waiting
+// degrade application performance on such machines.
+//
+// The machine exposes memory as Word cells allocated on a chosen module.
+// All accesses are performed on behalf of an Accessor (a simulated thread)
+// and charge that accessor's process virtual time. Costs are set by Config
+// and calibrated (see DefaultGP1000) so the microbenchmarks in Tables 2-5
+// of the paper land in the right regime.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Accessor is the party performing a memory access: it exposes the
+// simulation process to charge and the processor node it runs on.
+// cthread.Thread implements it.
+type Accessor interface {
+	// SimProc returns the simulation process whose virtual time the
+	// access consumes.
+	SimProc() *sim.Proc
+	// CPU returns the processor node the accessor currently runs on.
+	CPU() int
+}
+
+// Config sets the cost model. All costs are virtual-time durations.
+type Config struct {
+	// Procs is the number of processor nodes (each with one local memory
+	// module).
+	Procs int
+
+	// ReadLocal / WriteLocal are the costs of a read / write that hits the
+	// accessor's own module, excluding module occupancy.
+	ReadLocal  sim.Duration
+	WriteLocal sim.Duration
+	// RemoteExtra is the additional switch-traversal cost paid by any
+	// access to a non-local module.
+	RemoteExtra sim.Duration
+	// AtomicExtra is the additional cost of a read-modify-write (the
+	// hardware `atomior` of the GP1000) over a plain read.
+	AtomicExtra sim.Duration
+	// ModuleOccupancy is the serialization window a module is held for per
+	// access. Concurrent accesses to one module queue behind each other
+	// for this long. Zero disables contention modelling.
+	ModuleOccupancy sim.Duration
+
+	// CallOverhead is the fixed software cost of entering any
+	// library-level lock operation (function call, register save, argument
+	// checks on a 16 MHz 68020). It dominates the paper's absolute numbers.
+	CallOverhead sim.Duration
+
+	// ContextSwitch is the cost of switching a processor from one thread
+	// to another (runs on the processor's timeline between the threads).
+	ContextSwitch sim.Duration
+	// BlockCost is the extra CPU work a thread performs to suspend itself
+	// (queue manipulation, state save) beyond the context switch.
+	BlockCost sim.Duration
+	// UnblockCost is the CPU work the *waking* thread performs to make a
+	// blocked thread runnable.
+	UnblockCost sim.Duration
+	// DispatchCost is the latency from a thread becoming runnable on an
+	// idle processor to it running.
+	DispatchCost sim.Duration
+
+	// Quantum, when nonzero, enables preemptive round-robin time slicing:
+	// a thread that has consumed a quantum of processor time is moved to
+	// the back of its run queue if other threads are waiting. Zero (the
+	// default) is the non-preemptive Cthreads discipline the paper's
+	// machine used. Preemption makes spin-waiting strictly worse (a
+	// preempted lock holder leaves its waiters spinning), which is the
+	// UMA-machine effect Anderson [ALL89] analyses.
+	Quantum sim.Duration
+
+	// SharedBus, when true, models a bus-based UMA machine (Sequent
+	// Symmetry style): every memory access serializes through one shared
+	// bus instead of the per-module switch ports, so spin-waiting loads
+	// the path that *all* processors need — the machine class where
+	// Anderson showed backoff is essential. RemoteExtra should be 0 in
+	// this mode (all memory is equidistant).
+	SharedBus bool
+}
+
+// DefaultSymmetry returns a bus-based UMA cost model in the spirit of the
+// Sequent Symmetry Anderson et al. measured [ALL89]: uniform memory
+// latency, a single shared bus whose occupancy every access pays, and the
+// same software overheads as the GP1000 model (so lock-op costs stay
+// comparable and only the memory system differs).
+func DefaultSymmetry() Config {
+	c := DefaultGP1000()
+	c.Procs = 16
+	c.RemoteExtra = 0
+	c.SharedBus = true
+	c.ModuleOccupancy = sim.Us(1.0) // bus occupancy per access
+	return c
+}
+
+// DefaultGP1000 returns a cost model calibrated against the paper's BBN
+// Butterfly GP1000 measurements (Tables 2 and 3):
+//
+//	atomior        local 30.73us  remote 33.86us
+//	spin-lock lock local 40.79us  remote 41.10us
+//	spin unlock    local  4.99us  remote  7.23us
+//	blocking lock  local 88.59us  remote 91.73us
+//
+// The decomposition is: call overhead 26.73us, local read 0.6us, local
+// write 0.7us, atomic extra 2.9us, remote extra 3.1us, module occupancy
+// 0.5us — so e.g. atomior(local) = 26.73 + 0.6 + 2.9 + 0.5 = 30.73us,
+// matching Table 2 exactly. Where the paper's
+// own rows are mutually inconsistent at the sub-microsecond level
+// (measurement noise on real hardware), we keep the model self-consistent
+// and match the magnitudes; EXPERIMENTS.md records paper-vs-measured.
+func DefaultGP1000() Config {
+	return Config{
+		Procs:           32,
+		ReadLocal:       sim.Us(0.6),
+		WriteLocal:      sim.Us(0.7),
+		RemoteExtra:     sim.Us(3.1),
+		AtomicExtra:     sim.Us(2.9),
+		ModuleOccupancy: sim.Us(0.5),
+		CallOverhead:    sim.Us(26.73),
+		// Scheduling costs are calibrated against the paper's Table 4/5
+		// locking-cycle measurements: waking and dispatching a blocked
+		// thread through the Cthreads scheduler on a 16 MHz 68020 costs
+		// hundreds of microseconds, which is why the blocking lock's
+		// cycle (~510us) dwarfs the spin lock's (~45us).
+		ContextSwitch: sim.Us(120.0),
+		BlockCost:     sim.Us(25.0),
+		UnblockCost:   sim.Us(180.0),
+		DispatchCost:  sim.Us(150.0),
+	}
+}
+
+// Machine is a simulated NUMA multiprocessor.
+type Machine struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	mods []*sim.Resource
+
+	// Counters for experiment reporting.
+	reads, writes, atomics int64
+	remoteRefs             int64
+}
+
+// New creates a machine on a fresh simulation engine.
+func New(cfg Config) *Machine {
+	if cfg.Procs <= 0 {
+		panic("machine: Config.Procs must be positive")
+	}
+	m := &Machine{Eng: sim.NewEngine(), Cfg: cfg}
+	m.mods = make([]*sim.Resource, cfg.Procs)
+	for i := range m.mods {
+		m.mods[i] = sim.NewResource(m.Eng, fmt.Sprintf("mem%d", i))
+	}
+	return m
+}
+
+// Procs returns the number of processor nodes.
+func (m *Machine) Procs() int { return m.Cfg.Procs }
+
+// Counters returns cumulative access counts: plain reads, plain writes,
+// atomic RMWs, and how many of all of those were remote.
+func (m *Machine) Counters() (reads, writes, atomics, remote int64) {
+	return m.reads, m.writes, m.atomics, m.remoteRefs
+}
+
+// ModuleStats returns the contention statistics of module i.
+func (m *Machine) ModuleStats(i int) (uses int64, wait, busy sim.Duration) {
+	return m.mods[i].Stats()
+}
+
+// UsageNoter is implemented by accessors that account processor usage for
+// preemptive time slicing (cthread.Thread). The machine reports every
+// memory-access cost through it so that even spin loops — which never call
+// Compute — hit preemption points.
+type UsageNoter interface {
+	NoteUsage(d sim.Duration)
+}
+
+// access charges a memory access from a to module mod with the given base
+// cost (local portion). It applies the remote surcharge and module
+// occupancy/queueing.
+func (m *Machine) access(a Accessor, mod int, base sim.Duration) {
+	p := a.SimProc()
+	cost := base
+	if a.CPU() != mod {
+		cost += m.Cfg.RemoteExtra
+		m.remoteRefs++
+	}
+	total := cost
+	if m.Cfg.ModuleOccupancy > 0 {
+		// Wire/propagation cost first, then the module (or, on a UMA
+		// machine, the single shared bus) serializes.
+		if cost > 0 {
+			p.Advance(cost)
+		}
+		port := mod
+		if m.Cfg.SharedBus {
+			port = 0
+		}
+		total += m.mods[port].Use(p, m.Cfg.ModuleOccupancy)
+	} else {
+		p.Advance(cost)
+	}
+	if m.Cfg.Quantum > 0 {
+		if n, ok := a.(UsageNoter); ok {
+			n.NoteUsage(total)
+		}
+	}
+}
+
+// Word is a 64-bit memory cell living on one module. All methods charge the
+// accessor virtual time; none are safe to call outside simulation context.
+type Word struct {
+	m   *Machine
+	mod int
+	val int64
+}
+
+// NewWord allocates a word on module mod (0 <= mod < Procs).
+func (m *Machine) NewWord(mod int) *Word {
+	if mod < 0 || mod >= m.Cfg.Procs {
+		panic(fmt.Sprintf("machine: NewWord on module %d of %d", mod, m.Cfg.Procs))
+	}
+	return &Word{m: m, mod: mod}
+}
+
+// Module returns the module the word lives on.
+func (w *Word) Module() int { return w.mod }
+
+// Read returns the word's value, charging a read.
+func (w *Word) Read(a Accessor) int64 {
+	w.m.reads++
+	w.m.access(a, w.mod, w.m.Cfg.ReadLocal)
+	return w.val
+}
+
+// Write stores v, charging a write.
+func (w *Word) Write(a Accessor, v int64) {
+	w.m.writes++
+	w.m.access(a, w.mod, w.m.Cfg.WriteLocal)
+	w.val = v
+}
+
+// AtomicOr performs the GP1000's atomior: OR v into the word and return the
+// previous value, atomically, charging an atomic RMW.
+func (w *Word) AtomicOr(a Accessor, v int64) int64 {
+	w.m.atomics++
+	w.m.access(a, w.mod, w.m.Cfg.ReadLocal+w.m.Cfg.AtomicExtra)
+	old := w.val
+	w.val |= v
+	return old
+}
+
+// AtomicAdd atomically adds v and returns the new value. The GP1000 offered
+// a small family of atomic memory ops; fetch-and-add is used by ticket-style
+// schedulers.
+func (w *Word) AtomicAdd(a Accessor, v int64) int64 {
+	w.m.atomics++
+	w.m.access(a, w.mod, w.m.Cfg.ReadLocal+w.m.Cfg.AtomicExtra)
+	w.val += v
+	return w.val
+}
+
+// AtomicCAS atomically compares-and-swaps, returning whether the swap
+// happened. (Not native on the GP1000 but standard on later NUMA machines;
+// used by the MCS-style queue lock extension.)
+func (w *Word) AtomicCAS(a Accessor, old, new int64) bool {
+	w.m.atomics++
+	w.m.access(a, w.mod, w.m.Cfg.ReadLocal+w.m.Cfg.AtomicExtra)
+	if w.val != old {
+		return false
+	}
+	w.val = new
+	return true
+}
+
+// AtomicSwap atomically exchanges the value, returning the previous value.
+func (w *Word) AtomicSwap(a Accessor, v int64) int64 {
+	w.m.atomics++
+	w.m.access(a, w.mod, w.m.Cfg.ReadLocal+w.m.Cfg.AtomicExtra)
+	old := w.val
+	w.val = v
+	return old
+}
+
+// Peek returns the value without charging anything. For use by the harness
+// and assertions only, never by simulated code paths.
+func (w *Word) Peek() int64 { return w.val }
+
+// Poke sets the value without charging anything. Initialization only.
+func (w *Word) Poke(v int64) { w.val = v }

@@ -1,0 +1,226 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeAccessor runs accesses from a raw sim.Proc pinned to a CPU.
+type fakeAccessor struct {
+	p   *sim.Proc
+	cpu int
+}
+
+func (f *fakeAccessor) SimProc() *sim.Proc { return f.p }
+func (f *fakeAccessor) CPU() int           { return f.cpu }
+
+func testCfg() Config {
+	c := DefaultGP1000()
+	c.Procs = 4
+	return c
+}
+
+// run executes body as a single simulated process on cpu and returns the
+// elapsed virtual time.
+func run(t *testing.T, m *Machine, cpu int, body func(a Accessor)) sim.Duration {
+	t.Helper()
+	var elapsed sim.Duration
+	m.Eng.Spawn("t", func(p *sim.Proc) {
+		a := &fakeAccessor{p: p, cpu: cpu}
+		start := p.Now()
+		body(a)
+		elapsed = sim.Duration(p.Now() - start)
+	})
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return elapsed
+}
+
+func TestLocalReadCost(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg)
+	d := run(t, m, 0, func(a Accessor) {
+		w := m.NewWord(0)
+		w.Read(a)
+	})
+	want := cfg.ReadLocal + cfg.ModuleOccupancy
+	if d != want {
+		t.Fatalf("local read cost %v, want %v", d, want)
+	}
+}
+
+func TestRemoteReadCostsMore(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg)
+	var local, remote sim.Duration
+	local = run(t, m, 0, func(a Accessor) { m.NewWord(0).Read(a) })
+	m2 := New(cfg)
+	remote = run(t, m2, 0, func(a Accessor) { m2.NewWord(1).Read(a) })
+	if remote-local != cfg.RemoteExtra {
+		t.Fatalf("remote-local = %v, want %v", remote-local, cfg.RemoteExtra)
+	}
+}
+
+func TestAtomicOrSemantics(t *testing.T) {
+	m := New(testCfg())
+	run(t, m, 0, func(a Accessor) {
+		w := m.NewWord(0)
+		if old := w.AtomicOr(a, 1); old != 0 {
+			t.Errorf("first AtomicOr returned %d, want 0", old)
+		}
+		if old := w.AtomicOr(a, 1); old != 1 {
+			t.Errorf("second AtomicOr returned %d, want 1", old)
+		}
+		if old := w.AtomicOr(a, 2); old != 1 {
+			t.Errorf("AtomicOr(2) returned %d, want 1", old)
+		}
+		if w.Peek() != 3 {
+			t.Errorf("value = %d, want 3", w.Peek())
+		}
+	})
+}
+
+func TestAtomicAddAndSwapAndCAS(t *testing.T) {
+	m := New(testCfg())
+	run(t, m, 0, func(a Accessor) {
+		w := m.NewWord(0)
+		if got := w.AtomicAdd(a, 5); got != 5 {
+			t.Errorf("AtomicAdd = %d, want 5", got)
+		}
+		if got := w.AtomicSwap(a, 9); got != 5 {
+			t.Errorf("AtomicSwap old = %d, want 5", got)
+		}
+		if w.AtomicCAS(a, 3, 1) {
+			t.Error("CAS(3,1) succeeded on value 9")
+		}
+		if !w.AtomicCAS(a, 9, 1) {
+			t.Error("CAS(9,1) failed on value 9")
+		}
+		if w.Peek() != 1 {
+			t.Errorf("value = %d, want 1", w.Peek())
+		}
+	})
+}
+
+func TestModuleContentionSerializes(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg)
+	w := m.NewWord(0)
+	var done [3]sim.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		cpu := i + 1 // all remote so costs are identical
+		m.Eng.Spawn("t", func(p *sim.Proc) {
+			a := &fakeAccessor{p: p, cpu: cpu}
+			w.Read(a)
+			done[i] = p.Now()
+		})
+	}
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All issue at t=0, pay wire cost together, then serialize on module
+	// occupancy: completions must be spaced exactly by occupancy.
+	if done[1]-done[0] != sim.Time(cfg.ModuleOccupancy) || done[2]-done[1] != sim.Time(cfg.ModuleOccupancy) {
+		t.Fatalf("completions %v not spaced by occupancy %v", done, cfg.ModuleOccupancy)
+	}
+}
+
+func TestNoContentionWhenOccupancyZero(t *testing.T) {
+	cfg := testCfg()
+	cfg.ModuleOccupancy = 0
+	m := New(cfg)
+	w := m.NewWord(0)
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Eng.Spawn("t", func(p *sim.Proc) {
+			a := &fakeAccessor{p: p, cpu: 1}
+			w.Read(a)
+			done[i] = p.Now()
+		})
+	}
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] != done[1] {
+		t.Fatalf("with occupancy 0, accesses should not serialize: %v", done)
+	}
+}
+
+func TestCountersTrackAccessKinds(t *testing.T) {
+	m := New(testCfg())
+	run(t, m, 0, func(a Accessor) {
+		w := m.NewWord(1) // remote
+		w.Read(a)
+		w.Write(a, 1)
+		w.AtomicOr(a, 1)
+	})
+	r, wr, at, rem := m.Counters()
+	if r != 1 || wr != 1 || at != 1 {
+		t.Fatalf("counters r=%d w=%d a=%d, want 1 each", r, wr, at)
+	}
+	if rem != 3 {
+		t.Fatalf("remote refs = %d, want 3", rem)
+	}
+}
+
+func TestNewWordPanicsOutOfRange(t *testing.T) {
+	m := New(testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewWord(99) did not panic")
+		}
+	}()
+	m.NewWord(99)
+}
+
+func TestSharedBusSerializesAllModules(t *testing.T) {
+	cfg := DefaultSymmetry()
+	cfg.Procs = 4
+	m := New(cfg)
+	// Accesses to DIFFERENT modules must still serialize on the bus.
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Eng.Spawn("t", func(p *sim.Proc) {
+			a := &fakeAccessor{p: p, cpu: i}
+			m.NewWord(i).Read(a) // each thread touches its own module
+			done[i] = p.Now()
+		})
+	}
+	if err := m.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done[0] == done[1] {
+		t.Fatalf("bus did not serialize cross-module accesses: %v", done)
+	}
+	if diff := done[1] - done[0]; diff != sim.Time(cfg.ModuleOccupancy) && diff != -sim.Time(cfg.ModuleOccupancy) {
+		t.Fatalf("bus spacing %v, want one occupancy %v", diff, cfg.ModuleOccupancy)
+	}
+}
+
+func TestDefaultSymmetryIsUMA(t *testing.T) {
+	c := DefaultSymmetry()
+	if !c.SharedBus {
+		t.Fatal("Symmetry config must use the shared bus")
+	}
+	if c.RemoteExtra != 0 {
+		t.Fatal("UMA machine must have uniform memory latency")
+	}
+}
+
+func TestDefaultGP1000Sane(t *testing.T) {
+	c := DefaultGP1000()
+	if c.Procs != 32 {
+		t.Fatalf("Procs = %d, want 32", c.Procs)
+	}
+	if c.RemoteExtra <= 0 || c.ReadLocal <= 0 || c.CallOverhead <= 0 {
+		t.Fatal("default costs must be positive")
+	}
+	if c.BlockCost+c.ContextSwitch <= c.ReadLocal {
+		t.Fatal("blocking must cost more than a read")
+	}
+}

@@ -1,0 +1,102 @@
+package native
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkUncontended compares the configurable mutex against sync.Mutex
+// on the uncontended fast path.
+func BenchmarkUncontended(b *testing.B) {
+	b.Run("configurable", func(b *testing.B) {
+		m := MustNew(CombinedPolicy, FIFO)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+	b.Run("sync.Mutex", func(b *testing.B) {
+		var m sync.Mutex
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+	})
+}
+
+// BenchmarkContended compares policies under parallel contention with a
+// small critical section.
+func BenchmarkContended(b *testing.B) {
+	for name, p := range map[string]Policy{
+		"spin":     SpinPolicy,
+		"backoff":  BackoffPolicy,
+		"block":    BlockPolicy,
+		"combined": CombinedPolicy,
+	} {
+		p := p
+		b.Run(name, func(b *testing.B) {
+			m := MustNew(p, FIFO)
+			counter := 0
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					m.Lock()
+					counter++
+					m.Unlock()
+				}
+			})
+			_ = counter
+		})
+	}
+	b.Run("sync.Mutex", func(b *testing.B) {
+		var m sync.Mutex
+		counter := 0
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				m.Lock()
+				counter++
+				m.Unlock()
+			}
+		})
+		_ = counter
+	})
+}
+
+// BenchmarkReconfigure measures the dynamic waiting-policy change — the
+// native analogue of the paper's 1R1W configure(waiting policy).
+func BenchmarkReconfigure(b *testing.B) {
+	m := MustNew(SpinPolicy, FIFO)
+	ps := []Policy{BlockPolicy, SpinPolicy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.SetPolicy(ps[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTryLockFor measures the conditional lock's failure path.
+func BenchmarkTryLockFor(b *testing.B) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	defer m.Unlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.TryLockFor(10 * time.Microsecond) {
+			b.Fatal("acquired a held lock")
+		}
+	}
+}
+
+// BenchmarkMonitorStats measures the monitor snapshot path.
+func BenchmarkMonitorStats(b *testing.B) {
+	m := MustNew(CombinedPolicy, FIFO)
+	m.Lock()
+	m.Unlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Stats()
+	}
+}

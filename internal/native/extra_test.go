@@ -1,0 +1,155 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPolicyValidationProperty(t *testing.T) {
+	// Property: any policy with non-negative fields and (park allowed or
+	// some throttling) validates; Validate never panics.
+	f := func(spin uint8, backoffUs uint16, noPark bool) bool {
+		p := Policy{
+			Spin:       int(spin),
+			Backoff:    time.Duration(backoffUs) * time.Microsecond,
+			BackoffMax: time.Duration(backoffUs) * 4 * time.Microsecond,
+			NoPark:     noPark,
+		}
+		err := p.Validate()
+		hot := noPark && p.Spin == 0 && p.Backoff == 0
+		return (err != nil) == hot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedConditionalAndBlockingStress(t *testing.T) {
+	m := MustNew(CombinedPolicy, FIFO)
+	var acquired, timedOut atomic.Int64
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if g%2 == 0 {
+					m.Lock()
+					counter++
+					m.Unlock()
+					acquired.Add(1)
+				} else {
+					if m.TryLockFor(500 * time.Microsecond) {
+						counter++
+						m.Unlock()
+						acquired.Add(1)
+					} else {
+						timedOut.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := int64(counter); got != acquired.Load() {
+		t.Fatalf("counter %d != acquisitions %d (exclusion broken)", got, acquired.Load())
+	}
+	if m.Waiters() != 0 {
+		t.Fatalf("stale waiters: %d", m.Waiters())
+	}
+	// The lock must be free at the end.
+	if !m.TryLock() {
+		t.Fatal("lock not free after stress")
+	}
+	m.Unlock()
+}
+
+func TestReconfigureSchedulerWhileContended(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.LockP(int64(g))
+				time.Sleep(50 * time.Microsecond)
+				m.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		s := []Scheduler{FIFO, Priority, Threshold, Handoff}[i%4]
+		if err := m.SetScheduler(s); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	// All pending scheduler changes drain once the queue empties.
+	m.Lock()
+	m.Unlock()
+	if _, pending := m.PendingScheduler(); pending {
+		t.Fatal("pending scheduler change never applied")
+	}
+}
+
+func TestHandoffFallsBackWithoutTaggedWaiter(t *testing.T) {
+	m := MustNew(BlockPolicy, Handoff)
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.LockAs(7, 0)
+		m.Unlock()
+		close(done)
+	}()
+	for m.Waiters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	m.UnlockTo(99) // no waiter tagged 99: falls back to FIFO
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fallback grant never happened")
+	}
+}
+
+func TestStatsAccessorsZeroSafe(t *testing.T) {
+	var s Stats
+	if s.AvgHold() != 0 || s.AvgWait() != 0 {
+		t.Fatal("zero stats averages must be zero")
+	}
+}
+
+func TestThresholdFallbackWhenNoneEligible(t *testing.T) {
+	m := MustNew(BlockPolicy, Threshold)
+	m.SetThreshold(100) // nobody qualifies
+	m.Lock()
+	done := make(chan struct{})
+	go func() {
+		m.LockP(1) // below threshold
+		m.Unlock()
+		close(done)
+	}()
+	for m.Waiters() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	m.Unlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("threshold scheduler starved its only waiter (progress fallback missing)")
+	}
+}

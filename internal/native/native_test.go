@@ -1,0 +1,431 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func policies() map[string]Policy {
+	return map[string]Policy{
+		"spin":     SpinPolicy,
+		"backoff":  BackoffPolicy,
+		"block":    BlockPolicy,
+		"combined": CombinedPolicy,
+	}
+}
+
+func TestMutualExclusionStress(t *testing.T) {
+	for name, p := range policies() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(p, FIFO)
+			const goroutines = 8
+			const iters = 2000
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						m.Lock()
+						counter++
+						m.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*iters {
+				t.Fatalf("counter = %d, want %d (lost updates => mutual exclusion broken)", counter, goroutines*iters)
+			}
+			s := m.Stats()
+			if s.Acquisitions != goroutines*iters {
+				t.Fatalf("acquisitions = %d, want %d", s.Acquisitions, goroutines*iters)
+			}
+		})
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestTryLockForTimesOut(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	start := time.Now()
+	if m.TryLockFor(20 * time.Millisecond) {
+		t.Fatal("TryLockFor succeeded on held mutex")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("TryLockFor returned after %v, want ~20ms", elapsed)
+	}
+	if m.Stats().Timeouts == 0 {
+		t.Fatal("timeout not recorded")
+	}
+	m.Unlock()
+	if !m.TryLockFor(20 * time.Millisecond) {
+		t.Fatal("TryLockFor failed on free mutex")
+	}
+	m.Unlock()
+}
+
+func TestTimedOutWaiterDeregisters(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	done := make(chan bool)
+	go func() { done <- m.TryLockFor(10 * time.Millisecond) }()
+	if <-done {
+		t.Fatal("waiter acquired held lock")
+	}
+	if w := m.Waiters(); w != 0 {
+		t.Fatalf("stale waiter remains registered: %d", w)
+	}
+	m.Unlock()
+	// The lock must be cleanly acquirable afterwards.
+	if !m.TryLock() {
+		t.Fatal("lock unusable after waiter timeout")
+	}
+	m.Unlock()
+}
+
+func TestUnlockOfUnlockedPanics(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked mutex did not panic")
+		}
+	}()
+	m.Unlock()
+}
+
+func TestFIFOOrderUnderContention(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond) // establish arrival order
+	}
+	m.Unlock()
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestPrioritySchedulerGrantsHighest(t *testing.T) {
+	m := MustNew(BlockPolicy, Priority)
+	m.Lock()
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	prios := []int64{1, 9, 5}
+	for _, p := range prios {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.LockP(p)
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	m.Unlock()
+	wg.Wait()
+	want := []int64{9, 5, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestThresholdScheduler(t *testing.T) {
+	m := MustNew(BlockPolicy, Threshold)
+	m.SetThreshold(10)
+	m.Lock()
+	var order []int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range []int64{1, 2, 20} { // server (20) arrives last
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.LockP(p)
+			mu.Lock()
+			order = append(order, p)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	m.Unlock()
+	wg.Wait()
+	if order[0] != 20 {
+		t.Fatalf("grant order = %v, want eligible waiter (20) first", order)
+	}
+}
+
+func TestHandoffScheduler(t *testing.T) {
+	m := MustNew(BlockPolicy, Handoff)
+	m.Lock()
+	var order []uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, tag := range []uint64{1, 2, 3} {
+		tag := tag
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.LockAs(tag, 0)
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+			m.Unlock()
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	m.UnlockTo(3)
+	wg.Wait()
+	if order[0] != 3 {
+		t.Fatalf("grant order = %v, want hinted tag 3 first", order)
+	}
+}
+
+func TestDynamicPolicyChangeUnderLoad(t *testing.T) {
+	m := MustNew(SpinPolicy, FIFO)
+	stop := make(chan struct{})
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Lock()
+				counter.Add(1)
+				m.Unlock()
+			}
+		}()
+	}
+	// Flip policies while the lock is hot.
+	for i := 0; i < 20; i++ {
+		var err error
+		if i%2 == 0 {
+			err = m.SetPolicy(BlockPolicy)
+		} else {
+			err = m.SetPolicy(SpinPolicy)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if counter.Load() == 0 {
+		t.Fatal("no progress under reconfiguration")
+	}
+	if m.Stats().Reconfigs < 20 {
+		t.Fatalf("reconfigs = %d, want >= 20", m.Stats().Reconfigs)
+	}
+}
+
+func TestSchedulerConfigurationDelay(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Lock()
+			time.Sleep(time.Millisecond)
+			m.Unlock()
+		}()
+	}
+	for m.Waiters() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.SetScheduler(Priority); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Scheduler(); s != FIFO {
+		t.Fatalf("scheduler switched to %v despite waiters", s)
+	}
+	if _, pending := m.PendingScheduler(); !pending {
+		t.Fatal("change not recorded as pending")
+	}
+	m.Unlock()
+	wg.Wait()
+	// Queue drained: one more unlock cycle applies the pending scheduler.
+	m.Lock()
+	m.Unlock()
+	if s := m.Scheduler(); s != Priority {
+		t.Fatalf("scheduler = %v after drain, want Priority", s)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	if _, err := New(Policy{Spin: -1}, FIFO); err == nil {
+		t.Fatal("negative spin accepted")
+	}
+	if _, err := New(Policy{NoPark: true}, FIFO); err == nil {
+		t.Fatal("hot-loop NoPark policy accepted")
+	}
+	if _, err := New(BlockPolicy, Scheduler(42)); err == nil {
+		t.Fatal("invalid scheduler accepted")
+	}
+	if err := MustNew(BlockPolicy, FIFO).SetPolicy(Policy{Spin: -2}); err == nil {
+		t.Fatal("SetPolicy accepted invalid policy")
+	}
+	if err := MustNew(BlockPolicy, FIFO).SetScheduler(Scheduler(42)); err == nil {
+		t.Fatal("SetScheduler accepted invalid scheduler")
+	}
+}
+
+func TestMonitorAccounting(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Lock()
+		m.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond)
+	m.Unlock()
+	wg.Wait()
+	s := m.Stats()
+	if s.Acquisitions != 2 || s.Contended != 1 || s.Grants != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgWait() < 10*time.Millisecond {
+		t.Fatalf("avg wait %v implausibly small", s.AvgWait())
+	}
+	if s.AvgHold() <= 0 {
+		t.Fatalf("avg hold %v", s.AvgHold())
+	}
+}
+
+func TestAdaptiveSwitchesUnderLongHolds(t *testing.T) {
+	m := MustNew(SpinPolicy, FIFO)
+	stop := make(chan struct{})
+	go Adaptive(m, 5*time.Millisecond, 100*time.Microsecond, stop)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				m.Lock()
+				time.Sleep(2 * time.Millisecond) // long holds
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if m.Policy().NoPark {
+		t.Fatal("adaptive controller never switched to a parking policy despite 2ms holds")
+	}
+	if m.Stats().Reconfigs == 0 {
+		t.Fatal("no reconfigurations recorded")
+	}
+}
+
+func TestRecursive(t *testing.T) {
+	r := NewRecursive(MustNew(BlockPolicy, FIFO))
+	r.Lock(7)
+	r.Lock(7)
+	if r.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", r.Depth())
+	}
+	r.Unlock(7)
+	if r.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", r.Depth())
+	}
+	r.Unlock(7)
+	// Cross-owner exclusion still holds.
+	done := make(chan struct{})
+	r.Lock(1)
+	go func() {
+		r.Lock(2)
+		r.Unlock(2)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("second owner entered while first held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	r.Unlock(1)
+	<-done
+}
+
+func TestRecursivePanics(t *testing.T) {
+	r := NewRecursive(MustNew(BlockPolicy, FIFO))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero id did not panic")
+			}
+		}()
+		r.Lock(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unlock by non-owner did not panic")
+			}
+		}()
+		r.Unlock(5)
+	}()
+}
+
+func TestSchedulerStrings(t *testing.T) {
+	for s, want := range map[Scheduler]string{
+		FIFO: "fifo", Priority: "priority", Threshold: "threshold", Handoff: "handoff",
+	} {
+		if s.String() != want {
+			t.Errorf("String = %q, want %q", s.String(), want)
+		}
+	}
+}

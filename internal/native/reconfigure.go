@@ -1,0 +1,183 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// spinGuard is the primitive low-level lock protecting the high-level lock
+// structure ("a primitive low-level lock is often used to enforce mutual
+// exclusion of a high-level lock data structure"). Critical sections under
+// it are a few dozen instructions.
+type spinGuard struct {
+	v atomic.Int32
+}
+
+func (g *spinGuard) lock() {
+	for !g.v.CompareAndSwap(0, 1) {
+		runtime.Gosched()
+	}
+}
+
+func (g *spinGuard) unlock() { g.v.Store(0) }
+
+// osYield yields the processor between spin attempts.
+func osYield() { runtime.Gosched() }
+
+// SetPolicy dynamically reconfigures the waiting policy — the 1R1W
+// reconfiguration of the paper, realized as one atomic pointer store.
+// Threads already waiting adopt the new policy at their next waiting
+// round; parked waiters keep their park (they are woken by directed
+// grants either way).
+func (m *Mutex) SetPolicy(p Policy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.policy.Store(&p)
+	m.reconfigs.Add(1)
+	return nil
+}
+
+// Policy returns the current waiting policy.
+func (m *Mutex) Policy() Policy { return *m.policy.Load() }
+
+// SetScheduler reconfigures the release scheduler, subject to the
+// configuration delay: with waiters registered, the change takes effect
+// only once all pre-registered waiters have been served.
+func (m *Mutex) SetScheduler(s Scheduler) error {
+	if !s.valid() {
+		return fmt.Errorf("native: invalid scheduler %d", int(s))
+	}
+	m.guard.lock()
+	defer m.guard.unlock()
+	m.reconfigs.Add(1)
+	if len(m.queue) == 0 {
+		m.sched = s
+		m.hasPend = false
+		return nil
+	}
+	m.pending = s
+	m.hasPend = true
+	return nil
+}
+
+// Scheduler returns the current (not pending) scheduler.
+func (m *Mutex) Scheduler() Scheduler {
+	m.guard.lock()
+	defer m.guard.unlock()
+	return m.sched
+}
+
+// PendingScheduler reports a deferred scheduler change, if any.
+func (m *Mutex) PendingScheduler() (Scheduler, bool) {
+	m.guard.lock()
+	defer m.guard.unlock()
+	return m.pending, m.hasPend
+}
+
+// SetThreshold sets the priority threshold used by the Threshold
+// scheduler.
+func (m *Mutex) SetThreshold(v int64) { m.threshold.Store(v) }
+
+// Threshold returns the current priority threshold.
+func (m *Mutex) Threshold() int64 { return m.threshold.Load() }
+
+// Stats samples the monitor.
+func (m *Mutex) Stats() Stats {
+	return Stats{
+		Acquisitions: m.acquisitions.Load(),
+		Contended:    m.contended.Load(),
+		Timeouts:     m.timeouts.Load(),
+		Grants:       m.grants.Load(),
+		Reconfigs:    m.reconfigs.Load(),
+		HoldNanos:    m.holdNanos.Load(),
+		WaitNanos:    m.waitNanos.Load(),
+		MaxWaiters:   m.maxWaiters.Load(),
+	}
+}
+
+// Waiters reports the current registration-queue length.
+func (m *Mutex) Waiters() int {
+	m.guard.lock()
+	defer m.guard.unlock()
+	return len(m.queue)
+}
+
+// Adaptive runs a feedback loop that reconfigures the mutex between
+// spinning and parking based on observed hold times — the paper's
+// future-work self-adaptable object, in native form. It samples every
+// interval until stop is closed.
+//
+//	stop := make(chan struct{})
+//	go native.Adaptive(m, 10*time.Millisecond, 50*time.Microsecond, stop)
+func Adaptive(m *Mutex, interval time.Duration, spinBelow time.Duration, stop <-chan struct{}) {
+	prev := m.Stats()
+	parking := !m.Policy().NoPark
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		cur := m.Stats()
+		dAcq := cur.Acquisitions - prev.Acquisitions
+		if dAcq > 0 {
+			meanHold := time.Duration((cur.HoldNanos - prev.HoldNanos) / dAcq)
+			switch {
+			case meanHold > 4*spinBelow && !parking:
+				_ = m.SetPolicy(CombinedPolicy)
+				parking = true
+			case meanHold < spinBelow && parking:
+				_ = m.SetPolicy(SpinPolicy)
+				parking = false
+			}
+		}
+		prev = cur
+	}
+}
+
+// Recursive wraps a Mutex with re-entrancy detection keyed by a
+// caller-supplied owner id (Go provides no goroutine identity; callers
+// pass one, e.g. a worker index).
+type Recursive struct {
+	m     *Mutex
+	owner atomic.Int64
+	depth int
+}
+
+// NewRecursive wraps m.
+func NewRecursive(m *Mutex) *Recursive { return &Recursive{m: m} }
+
+// Lock acquires for owner id, incrementing the depth on re-entry. id must
+// be nonzero.
+func (r *Recursive) Lock(id int64) {
+	if id == 0 {
+		panic("native: Recursive.Lock with zero id")
+	}
+	if r.owner.Load() == id {
+		r.depth++
+		return
+	}
+	r.m.Lock()
+	r.owner.Store(id)
+	r.depth = 1
+}
+
+// Unlock releases one level for owner id.
+func (r *Recursive) Unlock(id int64) {
+	if r.owner.Load() != id {
+		panic("native: Recursive.Unlock by non-owner")
+	}
+	r.depth--
+	if r.depth == 0 {
+		r.owner.Store(0)
+		r.m.Unlock()
+	}
+}
+
+// Depth reports the current re-entry depth (0 = free).
+func (r *Recursive) Depth() int { return r.depth }

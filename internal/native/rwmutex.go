@@ -1,0 +1,264 @@
+package native
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// RWPreference selects a read-write mutex's release policy, mirroring the
+// paper's read-write lock configurations ("variants where readers have
+// priority over writers or vice versa").
+type RWPreference int32
+
+// Release preferences.
+const (
+	// RWFIFO grants strictly in arrival order, batching consecutive
+	// readers; writers cannot be starved.
+	RWFIFO RWPreference = iota
+	// RWReaders grants all waiting readers before any writer.
+	RWReaders
+	// RWWriters grants the first waiting writer before any reader.
+	RWWriters
+)
+
+func (p RWPreference) String() string {
+	switch p {
+	case RWFIFO:
+		return "fifo"
+	case RWReaders:
+		return "readers-first"
+	case RWWriters:
+		return "writers-first"
+	}
+	return fmt.Sprintf("rw(%d)", int32(p))
+}
+
+func (p RWPreference) valid() bool { return p >= RWFIFO && p <= RWWriters }
+
+// rwWaiter is one parked RW requester.
+type rwWaiter struct {
+	ch      chan struct{}
+	write   bool
+	granted bool
+}
+
+// RWMutex is a configurable read-write mutex: its release preference can
+// be changed at run time, and its monitor mirrors Mutex's.
+type RWMutex struct {
+	guard   spinGuard
+	readers int
+	writer  bool
+	queue   []*rwWaiter
+
+	pref atomic.Int32
+
+	rlocks    atomic.Int64
+	wlocks    atomic.Int64
+	contended atomic.Int64
+	reconfigs atomic.Int64
+}
+
+// NewRW creates a read-write mutex with the given release preference.
+func NewRW(pref RWPreference) (*RWMutex, error) {
+	if !pref.valid() {
+		return nil, fmt.Errorf("native: invalid RW preference %d", int32(pref))
+	}
+	m := &RWMutex{}
+	m.pref.Store(int32(pref))
+	return m, nil
+}
+
+// MustNewRW is NewRW, panicking on error.
+func MustNewRW(pref RWPreference) *RWMutex {
+	m, err := NewRW(pref)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// SetPreference reconfigures the release policy at run time (it applies
+// from the next release on).
+func (m *RWMutex) SetPreference(pref RWPreference) error {
+	if !pref.valid() {
+		return fmt.Errorf("native: invalid RW preference %d", int32(pref))
+	}
+	m.pref.Store(int32(pref))
+	m.reconfigs.Add(1)
+	return nil
+}
+
+// Preference returns the current release policy.
+func (m *RWMutex) Preference() RWPreference { return RWPreference(m.pref.Load()) }
+
+// RLock acquires the mutex in shared mode.
+func (m *RWMutex) RLock() {
+	m.guard.lock()
+	if !m.writer && !m.writerQueuedLocked() {
+		m.readers++
+		m.rlocks.Add(1)
+		m.guard.unlock()
+		return
+	}
+	w := &rwWaiter{ch: make(chan struct{}, 1)}
+	m.queue = append(m.queue, w)
+	m.contended.Add(1)
+	m.guard.unlock()
+	<-w.ch
+	m.rlocks.Add(1)
+}
+
+// writerQueuedLocked reports whether a writer waits ahead (guard held).
+// Under RWReaders preference readers overtake freely.
+func (m *RWMutex) writerQueuedLocked() bool {
+	if RWPreference(m.pref.Load()) == RWReaders {
+		return false
+	}
+	for _, w := range m.queue {
+		if w.write {
+			return true
+		}
+	}
+	return false
+}
+
+// RUnlock releases a shared hold.
+func (m *RWMutex) RUnlock() {
+	m.guard.lock()
+	if m.readers <= 0 {
+		m.guard.unlock()
+		panic("native: RUnlock without RLock")
+	}
+	m.readers--
+	if m.readers == 0 {
+		m.grantLocked()
+		return
+	}
+	m.guard.unlock()
+}
+
+// Lock acquires the mutex in exclusive mode.
+func (m *RWMutex) Lock() {
+	m.guard.lock()
+	if !m.writer && m.readers == 0 && len(m.queue) == 0 {
+		m.writer = true
+		m.wlocks.Add(1)
+		m.guard.unlock()
+		return
+	}
+	w := &rwWaiter{ch: make(chan struct{}, 1), write: true}
+	m.queue = append(m.queue, w)
+	m.contended.Add(1)
+	m.guard.unlock()
+	<-w.ch
+	m.wlocks.Add(1)
+}
+
+// Unlock releases an exclusive hold.
+func (m *RWMutex) Unlock() {
+	m.guard.lock()
+	if !m.writer {
+		m.guard.unlock()
+		panic("native: Unlock of RWMutex without Lock")
+	}
+	m.writer = false
+	m.grantLocked()
+}
+
+// grantLocked runs the release module with the guard held and releases it.
+func (m *RWMutex) grantLocked() {
+	if len(m.queue) == 0 {
+		m.guard.unlock()
+		return
+	}
+	var grant []*rwWaiter
+	switch RWPreference(m.pref.Load()) {
+	case RWReaders:
+		grant = m.takeReadersLocked()
+		if len(grant) == 0 {
+			grant = m.takeFirstWriterLocked()
+		}
+	case RWWriters:
+		grant = m.takeFirstWriterLocked()
+		if len(grant) == 0 {
+			grant = m.takeReadersLocked()
+		}
+	default: // RWFIFO
+		if m.queue[0].write {
+			grant = m.takeFirstWriterLocked()
+		} else {
+			grant = m.takeLeadingReadersLocked()
+		}
+	}
+	for _, w := range grant {
+		if w.write {
+			m.writer = true
+		} else {
+			m.readers++
+		}
+		w.granted = true
+	}
+	m.guard.unlock()
+	for _, w := range grant {
+		w.ch <- struct{}{}
+	}
+}
+
+func (m *RWMutex) takeReadersLocked() []*rwWaiter {
+	var rs, rest []*rwWaiter
+	for _, w := range m.queue {
+		if w.write {
+			rest = append(rest, w)
+		} else {
+			rs = append(rs, w)
+		}
+	}
+	m.queue = rest
+	return rs
+}
+
+func (m *RWMutex) takeLeadingReadersLocked() []*rwWaiter {
+	i := 0
+	for i < len(m.queue) && !m.queue[i].write {
+		i++
+	}
+	rs := append([]*rwWaiter(nil), m.queue[:i]...)
+	m.queue = append([]*rwWaiter(nil), m.queue[i:]...)
+	return rs
+}
+
+func (m *RWMutex) takeFirstWriterLocked() []*rwWaiter {
+	for i, w := range m.queue {
+		if w.write {
+			copy(m.queue[i:], m.queue[i+1:])
+			m.queue = m.queue[:len(m.queue)-1]
+			return []*rwWaiter{w}
+		}
+	}
+	return nil
+}
+
+// RWStats is the read-write mutex's monitor snapshot.
+type RWStats struct {
+	RLocks    int64
+	WLocks    int64
+	Contended int64
+	Reconfigs int64
+}
+
+// Stats samples the monitor.
+func (m *RWMutex) Stats() RWStats {
+	return RWStats{
+		RLocks:    m.rlocks.Load(),
+		WLocks:    m.wlocks.Load(),
+		Contended: m.contended.Load(),
+		Reconfigs: m.reconfigs.Load(),
+	}
+}
+
+// ActiveReaders reports the current shared-hold count (racy; diagnostics).
+func (m *RWMutex) ActiveReaders() int {
+	m.guard.lock()
+	defer m.guard.unlock()
+	return m.readers
+}

@@ -1,0 +1,169 @@
+package native
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRWMutexExclusionStress(t *testing.T) {
+	for _, pref := range []RWPreference{RWFIFO, RWReaders, RWWriters} {
+		pref := pref
+		t.Run(pref.String(), func(t *testing.T) {
+			m := MustNewRW(pref)
+			var data int64
+			var readersIn, violations atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 400; i++ {
+						m.Lock()
+						if readersIn.Load() != 0 {
+							violations.Add(1)
+						}
+						data++
+						m.Unlock()
+					}
+				}()
+			}
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 400; i++ {
+						m.RLock()
+						readersIn.Add(1)
+						_ = data
+						readersIn.Add(-1)
+						m.RUnlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if violations.Load() != 0 {
+				t.Fatalf("%d reader-during-write violations", violations.Load())
+			}
+			if data != 1200 {
+				t.Fatalf("data = %d, want 1200 (lost writer updates)", data)
+			}
+			s := m.Stats()
+			if s.RLocks != 1200 || s.WLocks != 1200 {
+				t.Fatalf("stats = %+v", s)
+			}
+		})
+	}
+}
+
+func TestRWMutexConcurrentReaders(t *testing.T) {
+	m := MustNewRW(RWFIFO)
+	var peak, cur atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.RLock()
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			cur.Add(-1)
+			m.RUnlock()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrent readers = %d, want >= 2", peak.Load())
+	}
+}
+
+func TestRWMutexWriterNotStarvedUnderFIFO(t *testing.T) {
+	m := MustNewRW(RWFIFO)
+	m.RLock() // an active reader
+	writerDone := make(chan struct{})
+	go func() {
+		m.Lock()
+		m.Unlock()
+		close(writerDone)
+	}()
+	time.Sleep(10 * time.Millisecond) // writer queues
+	// A stream of late readers must queue behind the writer.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.RLock()
+			time.Sleep(5 * time.Millisecond)
+			m.RUnlock()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	m.RUnlock() // release the original reader
+	select {
+	case <-writerDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer starved by late readers under FIFO")
+	}
+	wg.Wait()
+}
+
+func TestRWMutexReconfigurePreference(t *testing.T) {
+	m := MustNewRW(RWFIFO)
+	if err := m.SetPreference(RWWriters); err != nil {
+		t.Fatal(err)
+	}
+	if m.Preference() != RWWriters {
+		t.Fatalf("preference = %v", m.Preference())
+	}
+	if err := m.SetPreference(RWPreference(9)); err == nil {
+		t.Fatal("invalid preference accepted")
+	}
+	if m.Stats().Reconfigs != 1 {
+		t.Fatalf("reconfigs = %d", m.Stats().Reconfigs)
+	}
+	// Still functional after reconfiguration.
+	m.Lock()
+	m.Unlock()
+	m.RLock()
+	m.RUnlock()
+}
+
+func TestRWMutexMisusePanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RUnlock without RLock did not panic")
+			}
+		}()
+		MustNewRW(RWFIFO).RUnlock()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock without Lock did not panic")
+			}
+		}()
+		MustNewRW(RWFIFO).Unlock()
+	}()
+	if _, err := NewRW(RWPreference(77)); err == nil {
+		t.Error("NewRW accepted invalid preference")
+	}
+}
+
+func TestRWPreferenceStrings(t *testing.T) {
+	for p, w := range map[RWPreference]string{
+		RWFIFO: "fifo", RWReaders: "readers-first", RWWriters: "writers-first",
+	} {
+		if p.String() != w {
+			t.Errorf("String = %q, want %q", p.String(), w)
+		}
+	}
+}

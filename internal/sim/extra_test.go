@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+func TestScheduleNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(-1) did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestSpawnAtNegativePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SpawnAt(-1) did not panic")
+		}
+	}()
+	e.SpawnAt(-1, "p", func(*Proc) {})
+}
+
+func TestUnparkAfterNegativePanics(t *testing.T) {
+	e := NewEngine()
+	var sleeper *Proc
+	sleeper = e.Spawn("s", func(p *Proc) { p.Park() })
+	e.Spawn("w", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("UnparkAfter(-1) did not panic")
+			}
+			p.Unpark(sleeper)
+		}()
+		p.Engine().UnparkAfter(sleeper, -1, "w")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceAccessors(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "bus")
+	if r.Name() != "bus" {
+		t.Fatalf("name = %q", r.Name())
+	}
+	if r.Peek(0) != 0 {
+		t.Fatal("idle resource should have zero wait")
+	}
+	e.Spawn("u", func(p *Proc) {
+		r.Use(p, Us(10))
+		if w := r.Peek(p.Now()); w != 0 {
+			t.Errorf("wait after own use completed = %v", w)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceNegativeOccupancyPanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "m")
+	e.Spawn("u", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Use(-1) did not panic")
+			}
+		}()
+		r.Use(p, -1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcStateStrings(t *testing.T) {
+	for s, w := range map[ProcState]string{
+		StateReady: "ready", StateRunning: "running",
+		StateParked: "parked", StateFinished: "finished",
+		ProcState(99): "unknown",
+	} {
+		if s.String() != w {
+			t.Errorf("String(%d) = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	e := NewEngine()
+	p := e.Spawn("worker", func(p *Proc) {
+		if p.Name() != "worker" {
+			t.Errorf("Name = %q", p.Name())
+		}
+		if p.Engine() != e {
+			t.Error("Engine mismatch")
+		}
+		if p.State() != StateRunning {
+			t.Errorf("State = %v while running", p.State())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != StateFinished {
+		t.Fatalf("final state = %v", p.State())
+	}
+}
+
+func TestRunReenterFails(t *testing.T) {
+	e := NewEngine()
+	var reErr error
+	e.Spawn("p", func(p *Proc) {
+		reErr = e.Run() // re-entry from inside a process
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if reErr == nil {
+		t.Fatal("re-entered Run did not error")
+	}
+}
+
+func TestUnparkOfRunningProcIsNoOp(t *testing.T) {
+	e := NewEngine()
+	hits := 0
+	var a *Proc
+	a = e.Spawn("a", func(p *Proc) {
+		p.Advance(Us(10))
+		hits++
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Unpark(a) // a is not parked: must be a no-op
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+}

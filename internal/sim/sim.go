@@ -1,0 +1,359 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine.
+//
+// Simulated activities ("processes") are ordinary Go functions running on
+// goroutines, but the engine admits exactly one of them at a time and hands
+// control back and forth through channels, so the simulation is fully
+// sequential and deterministic: given the same inputs, every run produces
+// the same event order and the same virtual timestamps.
+//
+// Processes interact with virtual time through three primitives:
+//
+//   - Advance(d): consume d units of virtual time.
+//   - Park():     suspend until another process calls Unpark.
+//   - ParkTimeout(d): suspend until Unpark or until d elapses.
+//
+// Higher layers (machine, cthread) build processors, memories and threads
+// from these primitives. Events that tie in virtual time are ordered by
+// their scheduling sequence number, giving stable FIFO tie-breaking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Us constructs a Duration from a (possibly fractional) microsecond count.
+func Us(us float64) Duration { return Duration(us * 1000) }
+
+// Us reports the time as fractional microseconds, the unit the paper uses.
+func (t Time) Us() float64 { return float64(t) / 1000 }
+
+// Us reports the duration as fractional microseconds.
+func (d Duration) Us() float64 { return float64(d) / 1000 }
+
+// String formats a Time as microseconds.
+func (t Time) String() string { return fmt.Sprintf("%.2fus", t.Us()) }
+
+// String formats a Duration as microseconds.
+func (d Duration) String() string { return fmt.Sprintf("%.2fus", d.Us()) }
+
+// event is a pending occurrence in the virtual-time calendar.
+type event struct {
+	t    Time
+	seq  uint64 // FIFO tie-break within equal times
+	p    *Proc  // process to resume, or nil for fn
+	fn   func() // callback run in engine context (no blocking primitives)
+	gen  uint64 // park generation guard for timeout events
+	kind eventKind
+}
+
+type eventKind uint8
+
+const (
+	evResume eventKind = iota // resume p unconditionally (Advance completion, Spawn start)
+	evUnpark                  // resume p if still parked with matching generation
+	evCall                    // run fn in engine context
+)
+
+// eventHeap is a min-heap on (t, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine drives a single simulation. It is not safe for concurrent use by
+// multiple OS-level callers; all access happens from within Run (from
+// process code) or before/after Run.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	running bool
+	stopped bool
+
+	// yield is signalled by the currently-admitted process when it hands
+	// control back to the engine (by advancing, parking or finishing).
+	yield chan struct{}
+
+	procs    []*Proc
+	liveProc int // processes spawned and not yet finished
+}
+
+// NewEngine returns an empty simulation.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Stop requests that Run return after the current event completes. Pending
+// events are preserved, so Run may be called again to continue.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) push(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.heap, ev)
+}
+
+// Schedule runs fn in engine context after d units of virtual time. fn must
+// not call blocking primitives (Advance/Park); it may Unpark processes and
+// schedule further callbacks.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: Schedule with negative delay")
+	}
+	e.push(&event{t: e.now + Time(d), fn: fn, kind: evCall})
+}
+
+// ProcState describes the lifecycle state of a process.
+type ProcState uint8
+
+// Process lifecycle states.
+const (
+	StateReady    ProcState = iota // scheduled to run (start or resume pending)
+	StateRunning                   // currently admitted
+	StateParked                    // waiting for Unpark
+	StateFinished                  // body returned
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateParked:
+		return "parked"
+	case StateFinished:
+		return "finished"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated process. Its body runs on a private goroutine that is
+// admitted by the engine one-at-a-time.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	state  ProcState
+
+	parkGen    uint64 // incremented on every park/unpark to invalidate stale timeouts
+	unparkedBy string // diagnostic: who woke us last
+	timedOut   bool   // result channel for ParkTimeout
+}
+
+// Spawn creates a process that will begin executing fn at the current
+// virtual time (when Run next dispatches). The name is for diagnostics.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), state: StateReady}
+	e.procs = append(e.procs, p)
+	e.liveProc++
+	e.push(&event{t: e.now, p: p, kind: evResume})
+	go func() {
+		<-p.resume
+		p.state = StateRunning
+		fn(p)
+		p.state = StateFinished
+		e.liveProc--
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+// SpawnAt is Spawn with a start delay.
+func (e *Engine) SpawnAt(d Duration, name string, fn func(p *Proc)) *Proc {
+	if d < 0 {
+		panic("sim: SpawnAt with negative delay")
+	}
+	p := &Proc{e: e, name: name, resume: make(chan struct{}), state: StateReady}
+	e.procs = append(e.procs, p)
+	e.liveProc++
+	e.push(&event{t: e.now + Time(d), p: p, kind: evResume})
+	go func() {
+		<-p.resume
+		p.state = StateRunning
+		fn(p)
+		p.state = StateFinished
+		e.liveProc--
+		e.yield <- struct{}{}
+	}()
+	return p
+}
+
+// Run executes events until the calendar is empty or Stop is called.
+// Parked processes remaining at exhaustion are treated as daemons and
+// abandoned (their goroutines stay blocked until process exit; tests create
+// few enough for this to be harmless). Run returns an error if a process is
+// in the Ready state when the calendar empties, which indicates an engine
+// bug.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run re-entered")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+
+	for len(e.heap) > 0 && !e.stopped {
+		ev := heap.Pop(&e.heap).(*event)
+		if ev.t < e.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v", e.now, ev.t)
+		}
+		e.now = ev.t
+		switch ev.kind {
+		case evCall:
+			ev.fn()
+		case evResume:
+			e.admit(ev.p)
+		case evUnpark:
+			// Only resume if the park this event targeted is still in
+			// effect; otherwise the process already woke (or re-parked).
+			if ev.p.state == StateParked && ev.p.parkGen == ev.gen {
+				ev.p.timedOut = true
+				ev.p.parkGen++
+				e.admit(ev.p)
+			}
+		}
+	}
+	if !e.stopped {
+		for _, p := range e.procs {
+			if p.state == StateReady {
+				return fmt.Errorf("sim: process %q ready but calendar empty", p.name)
+			}
+		}
+	}
+	return nil
+}
+
+// admit transfers control to p and waits for it to yield back.
+func (e *Engine) admit(p *Proc) {
+	p.state = StateRunning
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// Name returns the diagnostic name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// State returns the process lifecycle state.
+func (p *Proc) State() ProcState { return p.state }
+
+// Advance consumes d units of virtual time. Other processes may run in the
+// interim. d must be non-negative; Advance(0) still yields to the calendar,
+// preserving FIFO fairness among same-time events.
+func (p *Proc) Advance(d Duration) {
+	if d < 0 {
+		panic("sim: Advance with negative duration")
+	}
+	p.checkCurrent("Advance")
+	p.state = StateReady
+	p.e.push(&event{t: p.e.now + Time(d), p: p, kind: evResume})
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.state = StateRunning
+}
+
+// Park suspends the process until another process (or a scheduled callback)
+// calls Unpark on it.
+func (p *Proc) Park() {
+	p.checkCurrent("Park")
+	p.state = StateParked
+	p.parkGen++
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.state = StateRunning
+}
+
+// ParkTimeout suspends the process until Unpark or until d elapses. It
+// reports true if the process was explicitly unparked and false on timeout.
+func (p *Proc) ParkTimeout(d Duration) bool {
+	if d < 0 {
+		panic("sim: ParkTimeout with negative duration")
+	}
+	p.checkCurrent("ParkTimeout")
+	p.state = StateParked
+	p.parkGen++
+	p.timedOut = false
+	p.e.push(&event{t: p.e.now + Time(d), p: p, kind: evUnpark, gen: p.parkGen})
+	p.e.yield <- struct{}{}
+	<-p.resume
+	p.state = StateRunning
+	return !p.timedOut
+}
+
+// Unpark makes target runnable at the current virtual time. It is a no-op
+// if target is not parked (the wakeup is NOT remembered; callers needing
+// sticky semantics must track state themselves, as cthread does).
+// Unpark may be called from process bodies or Schedule callbacks.
+func (p *Proc) Unpark(target *Proc) { p.e.UnparkAfter(target, 0, p.name) }
+
+// UnparkAfter makes target runnable d units of virtual time from now. The
+// by string is recorded for diagnostics. No-op if the target has been woken
+// in the interim.
+func (e *Engine) UnparkAfter(target *Proc, d Duration, by string) {
+	if d < 0 {
+		panic("sim: UnparkAfter with negative delay")
+	}
+	if target.state != StateParked {
+		return
+	}
+	gen := target.parkGen
+	fire := func() {
+		if target.state == StateParked && target.parkGen == gen {
+			target.timedOut = false
+			target.unparkedBy = by
+			target.parkGen++
+			e.push(&event{t: e.now, p: target, kind: evResume})
+		}
+	}
+	if d == 0 {
+		fire()
+		return
+	}
+	e.Schedule(d, fire)
+}
+
+func (p *Proc) checkCurrent(op string) {
+	if p.state != StateRunning {
+		panic(fmt.Sprintf("sim: %s called on %q which is %v (primitives may only be called by the process itself)", op, p.name, p.state))
+	}
+}

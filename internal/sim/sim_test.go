@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestAdvanceAccumulatesTime(t *testing.T) {
+	e := NewEngine()
+	var end Time
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(Us(10))
+		p.Advance(Us(5))
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(15)); end != want {
+		t.Fatalf("end time = %v, want %v", end, want)
+	}
+}
+
+func TestTwoProcessesInterleaveByTime(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("slow", func(p *Proc) {
+		p.Advance(Us(10))
+		order = append(order, "slow")
+	})
+	e.Spawn("fast", func(p *Proc) {
+		p.Advance(Us(1))
+		order = append(order, "fast")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "fast" || order[1] != "slow" {
+		t.Fatalf("order = %v, want [fast slow]", order)
+	}
+}
+
+func TestFIFOTieBreakAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Advance(Us(10)) // all wake at the same instant
+			order = append(order, i)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending spawn order", order)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := NewEngine()
+	var wakeTime Time
+	var sleeper *Proc
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		wakeTime = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Advance(Us(42))
+		p.Unpark(sleeper)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(42)); wakeTime != want {
+		t.Fatalf("wake time = %v, want %v", wakeTime, want)
+	}
+}
+
+func TestParkTimeoutFires(t *testing.T) {
+	e := NewEngine()
+	var unparked bool
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		unparked = p.ParkTimeout(Us(7))
+		wake = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if unparked {
+		t.Fatal("ParkTimeout reported unparked, want timeout")
+	}
+	if want := Time(Us(7)); wake != want {
+		t.Fatalf("wake time = %v, want %v", wake, want)
+	}
+}
+
+func TestParkTimeoutUnparkedEarly(t *testing.T) {
+	e := NewEngine()
+	var unparked bool
+	var wake Time
+	var sleeper *Proc
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		unparked = p.ParkTimeout(Us(100))
+		wake = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Advance(Us(3))
+		p.Unpark(sleeper)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !unparked {
+		t.Fatal("ParkTimeout reported timeout, want unparked")
+	}
+	if want := Time(Us(3)); wake != want {
+		t.Fatalf("wake time = %v, want %v", wake, want)
+	}
+}
+
+func TestStaleTimeoutDoesNotWakeLaterPark(t *testing.T) {
+	e := NewEngine()
+	var sleeper *Proc
+	var secondWake Time
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		// First park times out at t=5.
+		if p.ParkTimeout(Us(5)) {
+			t.Error("first park should time out")
+		}
+		// Second park must NOT be woken by anything until the waker at t=50.
+		p.Park()
+		secondWake = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Advance(Us(50))
+		p.Unpark(sleeper)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(50)); secondWake != want {
+		t.Fatalf("second wake = %v, want %v", secondWake, want)
+	}
+}
+
+func TestUnparkAfterDelays(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	var sleeper *Proc
+	sleeper = e.Spawn("sleeper", func(p *Proc) {
+		p.Park()
+		wake = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Advance(Us(10))
+		p.Engine().UnparkAfter(sleeper, Us(25), "waker")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(35)); wake != want {
+		t.Fatalf("wake = %v, want %v", wake, want)
+	}
+}
+
+func TestScheduleCallback(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(Us(9), func() { at = e.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(9)); at != want {
+		t.Fatalf("callback at %v, want %v", at, want)
+	}
+}
+
+func TestSpawnAt(t *testing.T) {
+	e := NewEngine()
+	var start Time
+	e.SpawnAt(Us(11), "late", func(p *Proc) { start = p.Now() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(11)); start != want {
+		t.Fatalf("start = %v, want %v", start, want)
+	}
+}
+
+func TestStopPausesAndResumes(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	e.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Advance(Us(10))
+			ticks = append(ticks, p.Now())
+			if i == 0 {
+				p.Engine().Stop()
+			}
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 1 {
+		t.Fatalf("after Stop: %d ticks, want 1", len(ticks))
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("after resume: %d ticks, want 3", len(ticks))
+	}
+	if want := Time(Us(30)); ticks[2] != want {
+		t.Fatalf("final tick at %v, want %v", ticks[2], want)
+	}
+}
+
+func TestDaemonParkedProcessDoesNotBlockRun(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("daemon", func(p *Proc) {
+		p.Park() // never unparked
+	})
+	e.Spawn("worker", func(p *Proc) {
+		p.Advance(Us(5))
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(5)); e.Now() != want {
+		t.Fatalf("end time = %v, want %v", e.Now(), want)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		var log []Time
+		var a, b *Proc
+		a = e.Spawn("a", func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				p.Advance(Us(3))
+				log = append(log, p.Now())
+				p.Unpark(b)
+			}
+		})
+		b = e.Spawn("b", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Park()
+				log = append(log, p.Now())
+				_ = a
+				p.Advance(Us(4))
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d events, want %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d diverged at %d: %v vs %v", i, j, again[j], first[j])
+			}
+		}
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "mod0")
+	var done [3]Time
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, Us(10))
+			done[i] = p.Now()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All requested at t=0; occupancies serialize: 10, 20, 30.
+	for i, want := range []Time{Time(Us(10)), Time(Us(20)), Time(Us(30))} {
+		if done[i] != want {
+			t.Fatalf("user %d done at %v, want %v", i, done[i], want)
+		}
+	}
+	uses, wait, busy := r.Stats()
+	if uses != 3 {
+		t.Fatalf("uses = %d, want 3", uses)
+	}
+	if want := Us(30); wait != want { // 0 + 10 + 20
+		t.Fatalf("wait = %v, want %v", wait, want)
+	}
+	if want := Us(30); busy != want {
+		t.Fatalf("busy = %v, want %v", busy, want)
+	}
+}
+
+func TestResourceIdleGapNoWait(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "mod0")
+	var second Time
+	e.Spawn("a", func(p *Proc) {
+		r.Use(p, Us(5))
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Advance(Us(100))
+		r.Use(p, Us(5))
+		second = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := Time(Us(105)); second != want {
+		t.Fatalf("second use done at %v, want %v", second, want)
+	}
+}
+
+func TestAdvanceZeroYields(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Advance(0)
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestNegativeDurationsPanic(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Advance(-1) did not panic")
+			}
+		}()
+		p.Advance(-1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if got := Time(Us(12.5)).String(); got != "12.50us" {
+		t.Fatalf("Time string = %q", got)
+	}
+	if got := Us(3).String(); got != "3.00us" {
+		t.Fatalf("Duration string = %q", got)
+	}
+	if got := (3 * Microsecond).Us(); got != 3.0 {
+		t.Fatalf("Us() = %v", got)
+	}
+}

@@ -1,0 +1,111 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness reports: mean, standard deviation, min/max,
+// percentiles, and simple series containers for figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields the zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f sd=%.2f min=%.2f max=%.2f", s.N, s.Mean, s.Stddev, s.Min, s.Max)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It panics on an empty sample
+// or out-of-range p.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and returns
+// the counts. Values at max land in the last bucket.
+func Histogram(xs []float64, n int, min, max float64) []int {
+	if n <= 0 {
+		panic("stats: Histogram with non-positive bucket count")
+	}
+	if max <= min {
+		panic("stats: Histogram with max <= min")
+	}
+	counts := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		i := int((x - min) / width)
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// Speedup returns base/v as a percentage gain of v over base, matching the
+// paper's "Performance Gain" column (e.g. 463937.5 vs 403735.69 -> ~13%).
+func Speedup(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base * 100
+}

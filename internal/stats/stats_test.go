@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Stddev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summarize([]float64{1, 3}).String()
+	if got != "n=2 mean=2.00 sd=1.41 min=1.00 max=3.00" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := map[float64]float64{0: 10, 25: 20, 50: 30, 75: 40, 100: 50}
+	for p, want := range cases {
+		if got := Percentile(xs, p); got != want {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if got := Percentile(xs, 90); math.Abs(got-46) > 1e-9 {
+		t.Errorf("P90 = %v, want 46", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	h := Histogram(xs, 2, 0, 10)
+	if h[0] != 5 || h[1] != 6 { // 0-4 in first, 5-10 (incl max) in second
+		t.Fatalf("histogram = %v", h)
+	}
+	h2 := Histogram([]float64{-5, 15}, 3, 0, 10)
+	for _, c := range h2 {
+		if c != 0 {
+			t.Fatalf("out-of-range values counted: %v", h2)
+		}
+	}
+}
+
+func TestSpeedupMatchesPaperTable7(t *testing.T) {
+	// Table 7: FCFS 463937.5 vs handoff 403735.69 -> 13%; vs priority
+	// 419879.49 -> 9.5%.
+	if g := Speedup(463937.5, 403735.69); math.Abs(g-12.98) > 0.1 {
+		t.Fatalf("handoff gain = %.2f%%, want ~13%%", g)
+	}
+	if g := Speedup(463937.5, 419879.49); math.Abs(g-9.50) > 0.1 {
+		t.Fatalf("priority gain = %.2f%%, want ~9.5%%", g)
+	}
+	if Speedup(0, 5) != 0 {
+		t.Fatal("speedup with zero base should be 0")
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	// Property: Min <= Mean <= Max for any non-empty sample of finite
+	// values.
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

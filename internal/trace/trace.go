@@ -1,0 +1,184 @@
+// Package trace records simulation events — lock operations, grants,
+// reconfigurations, thread state changes — into a bounded ring buffer and
+// renders them as a timeline. It is the observability companion to the
+// lock monitor: the monitor aggregates, the trace shows the interleaving.
+//
+// Tracing is pull-based and zero-cost when disabled: producers call
+// Tracer.Emit, and a nil *Tracer is a valid no-op receiver, so call sites
+// need no conditionals.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// Event kinds.
+const (
+	LockRequest Kind = iota
+	LockAcquire
+	LockRelease
+	LockGrant
+	LockTimeout
+	Reconfigure
+	ThreadBlock
+	ThreadWake
+	Custom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LockRequest:
+		return "request"
+	case LockAcquire:
+		return "acquire"
+	case LockRelease:
+		return "release"
+	case LockGrant:
+		return "grant"
+	case LockTimeout:
+		return "timeout"
+	case Reconfigure:
+		return "reconfigure"
+	case ThreadBlock:
+		return "block"
+	case ThreadWake:
+		return "wake"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Actor  string // thread name
+	Object string // lock / resource name
+	Detail string
+}
+
+// String renders the event as one timeline line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%12.2fus  %-11s %-12s %s", e.At.Us(), e.Kind, e.Actor, e.Object)
+	if e.Detail != "" {
+		s += "  " + e.Detail
+	}
+	return s
+}
+
+// Tracer is a bounded ring buffer of events. A nil Tracer discards
+// everything.
+type Tracer struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+	filter  func(Event) bool
+}
+
+// New creates a tracer retaining the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: non-positive capacity")
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// SetFilter installs a predicate; events it rejects are counted as dropped
+// but not stored. A nil filter stores everything.
+func (t *Tracer) SetFilter(f func(Event) bool) {
+	if t == nil {
+		return
+	}
+	t.filter = f
+}
+
+// Emit records an event. Safe on a nil receiver (no-op).
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if t.filter != nil && !t.filter(e) {
+		t.dropped++
+		return
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.next] = e
+	t.next = (t.next + 1) % cap(t.buf)
+	t.wrapped = true
+}
+
+// Emitf is Emit with a formatted detail string.
+func (t *Tracer) Emitf(at sim.Time, k Kind, actor, object, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{At: at, Kind: k, Actor: actor, Object: object, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.wrapped {
+		out := make([]Event, len(t.buf))
+		copy(out, t.buf)
+		return out
+	}
+	out := make([]Event, 0, cap(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Len reports the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped reports events rejected by the filter.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Dump writes the retained timeline to w.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e.String())
+	}
+}
+
+// Summary counts events per kind, rendered as "kind=N" pairs.
+func (t *Tracer) Summary() string {
+	counts := map[Kind]int{}
+	var order []Kind
+	for _, e := range t.Events() {
+		if counts[e.Kind] == 0 {
+			order = append(order, e.Kind)
+		}
+		counts[e.Kind]++
+	}
+	var parts []string
+	for _, k := range order {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

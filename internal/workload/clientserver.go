@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// HandoffMutex is a Mutex whose unlock can hand the critical section
+// directly to a chosen thread (core.Lock under the Handoff scheduler).
+type HandoffMutex interface {
+	Mutex
+	UnlockTo(t *cthread.Thread, target *cthread.Thread)
+}
+
+// ClientServerSpec describes the paper's Table 7 workload: "one thread
+// (executing on a dedicated processor) is designated to be a server thread
+// serving many client threads. Communication between server and clients is
+// performed via shared message buffers. A client thread enqueues a request
+// to the server thread and waits for a reply on the shared buffer." The
+// shared buffer is protected by the lock under test.
+type ClientServerSpec struct {
+	// Clients is the number of client threads (each on its own processor
+	// after the server's, wrapping if there are more clients than CPUs).
+	Clients int
+	// RequestsPerClient is how many requests each client issues.
+	RequestsPerClient int
+	// ServiceTime is the server's computation per request (outside the
+	// lock).
+	ServiceTime sim.Duration
+	// ClientThink is each client's computation between requests.
+	ClientThink sim.Duration
+	// PollGap is the delay between a client's reply polls; small values
+	// flood the buffer lock.
+	PollGap sim.Duration
+	// ServerPrio / ClientPrio set thread priorities (the priority lock's
+	// threshold should sit between them).
+	ServerPrio, ClientPrio int64
+	// UseHandoff, when the lock supports it, makes clients hand the
+	// buffer directly to the server after enqueueing, and the server hand
+	// it to the addressed client with the reply.
+	UseHandoff bool
+	// Seed drives client think-time jitter.
+	Seed uint64
+}
+
+// ClientServerResult aggregates a client-server run.
+type ClientServerResult struct {
+	// TotalTime is when the last client received its last reply — the
+	// paper's Table 7 metric.
+	TotalTime sim.Time
+	// Served counts requests the server completed.
+	Served int
+}
+
+// buffer is the shared message buffer: a request queue and per-client
+// reply flags. All access happens under the workload's lock; the word
+// traffic is modelled with a handful of charged operations.
+type buffer struct {
+	requests []int // client indices, FIFO
+	replies  []bool
+}
+
+// RunClientServer executes the client-server workload over the given
+// buffer lock and returns the total completion time.
+func RunClientServer(sys *cthread.System, lock Mutex, spec ClientServerSpec) (ClientServerResult, error) {
+	if spec.Clients <= 0 || spec.RequestsPerClient <= 0 {
+		panic("workload: invalid ClientServerSpec")
+	}
+	if spec.Clients+1 > sys.M.Procs() {
+		panic("workload: need a CPU for the server and one per client")
+	}
+	ho, canHandoff := lock.(HandoffMutex)
+	useHandoff := spec.UseHandoff && canHandoff
+
+	buf := &buffer{replies: make([]bool, spec.Clients)}
+	total := spec.Clients * spec.RequestsPerClient
+	var res ClientServerResult
+	root := rng.New(spec.Seed + 0x5DEECE66D)
+
+	clients := make([]*cthread.Thread, spec.Clients)
+
+	// The server occupies CPU 0.
+	server := sys.Spawn("server", 0, spec.ServerPrio, func(t *cthread.Thread) {
+		for res.Served < total {
+			lock.Lock(t)
+			t.Compute(sim.Us(2)) // dequeue bookkeeping
+			cli := -1
+			if len(buf.requests) > 0 {
+				cli = buf.requests[0]
+				copy(buf.requests, buf.requests[1:])
+				buf.requests = buf.requests[:len(buf.requests)-1]
+			}
+			lock.Unlock(t)
+			if cli < 0 {
+				t.Compute(spec.PollGap) // idle poll for work
+				continue
+			}
+			t.Compute(spec.ServiceTime)
+			lock.Lock(t)
+			t.Compute(sim.Us(2)) // reply bookkeeping
+			buf.replies[cli] = true
+			res.Served++
+			if useHandoff {
+				ho.UnlockTo(t, clients[cli])
+			} else {
+				lock.Unlock(t)
+			}
+		}
+	})
+
+	for c := 0; c < spec.Clients; c++ {
+		c := c
+		r := root.Split()
+		clients[c] = sys.Spawn("client", 1+c, spec.ClientPrio, func(t *cthread.Thread) {
+			for i := 0; i < spec.RequestsPerClient; i++ {
+				if spec.ClientThink > 0 {
+					jitter := sim.Duration(r.Int63n(int64(spec.ClientThink)/4 + 1))
+					t.Compute(spec.ClientThink + jitter)
+				}
+				lock.Lock(t)
+				t.Compute(sim.Us(2)) // enqueue bookkeeping
+				buf.requests = append(buf.requests, c)
+				if useHandoff {
+					ho.UnlockTo(t, server)
+				} else {
+					lock.Unlock(t)
+				}
+				for {
+					t.Compute(spec.PollGap)
+					lock.Lock(t)
+					got := buf.replies[c]
+					if got {
+						buf.replies[c] = false
+					}
+					lock.Unlock(t)
+					if got {
+						break
+					}
+				}
+			}
+		})
+	}
+
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	for _, th := range clients {
+		if th.DoneAt() > res.TotalTime {
+			res.TotalTime = th.DoneAt()
+		}
+	}
+	return res, nil
+}

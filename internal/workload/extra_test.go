@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/locks"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestBurstyDegenerateBurstLen(t *testing.T) {
+	r := rng.New(1)
+	b := Bursty{BurstLen: 1, BurstGap: sim.Us(100)}
+	for i := 0; i < 5; i++ {
+		if g := b.NextGap(r, i); g != sim.Us(100) {
+			t.Fatalf("gap(%d) = %v, want burst gap", i, g)
+		}
+	}
+	b0 := Bursty{BurstLen: 0, BurstGap: sim.Us(50)}
+	if g := b0.NextGap(r, 3); g != sim.Us(50) {
+		t.Fatalf("gap = %v", g)
+	}
+}
+
+func TestUniformCSDegenerate(t *testing.T) {
+	r := rng.New(2)
+	u := UniformCS{Min: sim.Us(30), Max: sim.Us(30)}
+	if g := u.Next(r, 0); g != sim.Us(30) {
+		t.Fatalf("degenerate uniform = %v", g)
+	}
+	inv := UniformCS{Min: sim.Us(30), Max: sim.Us(10)}
+	if g := inv.Next(r, 0); g != sim.Us(30) {
+		t.Fatalf("inverted range = %v, want Min", g)
+	}
+}
+
+func TestPhasedEmpty(t *testing.T) {
+	r := rng.New(3)
+	var p Phased
+	if g := p.Next(r, 5); g != 0 {
+		t.Fatalf("empty phased = %v", g)
+	}
+}
+
+func TestSpecValidationPanics(t *testing.T) {
+	s := newSys(2)
+	l := locks.NewSpinLock(s.M, 0, locks.DefaultCosts())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid spec did not panic")
+		}
+	}()
+	_, _ = Run(s, l, Spec{CPUs: 0})
+}
+
+func TestOnReleaseHookRuns(t *testing.T) {
+	s := newSys(2)
+	l := locks.NewSpinLock(s.M, 0, locks.DefaultCosts())
+	calls := 0
+	_, err := Run(s, l, Spec{
+		CPUs: 1, LockersPerCPU: 1, Iterations: 4,
+		CS:        Fixed(sim.Us(5)),
+		OnRelease: func(*cthread.Thread) { calls++ },
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("OnRelease ran %d times, want 4", calls)
+	}
+}

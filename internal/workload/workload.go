@@ -1,0 +1,247 @@
+// Package workload generates the synthetic lock workloads of the paper's
+// evaluation: threads bound to processors issuing lock requests under a
+// configurable arrival pattern ("the simulator binds one or more thread to
+// each processor which generate locking requests following a user defined
+// pattern"), with critical sections drawn from a configurable length
+// distribution, optionally sharing their processors with useful-work
+// threads (Figures 3 and 7).
+package workload
+
+import (
+	"repro/internal/cthread"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Mutex is the minimal lock interface a workload drives. All locks in
+// internal/locks and internal/core satisfy it.
+type Mutex interface {
+	Lock(t *cthread.Thread)
+	Unlock(t *cthread.Thread)
+}
+
+// Arrival produces inter-request gaps (think time between critical
+// sections).
+type Arrival interface {
+	// NextGap returns the delay before request i (0-based).
+	NextGap(r *rng.Rand, i int) sim.Duration
+}
+
+// Uniform issues requests with near-constant spacing: Mean +- Jitter.
+type Uniform struct {
+	Mean   sim.Duration
+	Jitter sim.Duration
+}
+
+// NextGap implements Arrival.
+func (u Uniform) NextGap(r *rng.Rand, i int) sim.Duration {
+	if u.Jitter <= 0 {
+		return u.Mean
+	}
+	d := u.Mean - u.Jitter + sim.Duration(r.Int63n(int64(2*u.Jitter)+1))
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Bursty issues requests in bursts: BurstLen tightly-spaced requests
+// (IntraGap apart) separated by long BurstGap pauses — the paper's
+// Figure 2 arrival pattern.
+type Bursty struct {
+	BurstLen int
+	IntraGap sim.Duration
+	BurstGap sim.Duration
+}
+
+// NextGap implements Arrival.
+func (b Bursty) NextGap(r *rng.Rand, i int) sim.Duration {
+	if b.BurstLen <= 1 {
+		return b.BurstGap
+	}
+	if i%b.BurstLen == 0 {
+		return b.BurstGap
+	}
+	return b.IntraGap
+}
+
+// Poisson issues requests with exponentially distributed gaps of the given
+// mean.
+type Poisson struct {
+	MeanGap sim.Duration
+}
+
+// NextGap implements Arrival.
+func (p Poisson) NextGap(r *rng.Rand, i int) sim.Duration {
+	return sim.Duration(r.ExpFloat64() * float64(p.MeanGap))
+}
+
+// CSLength produces critical-section lengths.
+type CSLength interface {
+	// Next returns the length of critical section i (0-based).
+	Next(r *rng.Rand, i int) sim.Duration
+}
+
+// Fixed yields a constant critical-section length.
+type Fixed sim.Duration
+
+// Next implements CSLength.
+func (f Fixed) Next(r *rng.Rand, i int) sim.Duration { return sim.Duration(f) }
+
+// UniformCS yields lengths uniform in [Min, Max].
+type UniformCS struct {
+	Min, Max sim.Duration
+}
+
+// Next implements CSLength.
+func (u UniformCS) Next(r *rng.Rand, i int) sim.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + sim.Duration(r.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// Bimodal yields Short with probability 1-PLong and Long with probability
+// PLong — the "critical section with multiple conditional paths of varying
+// lengths" motivating advisory locks.
+type Bimodal struct {
+	Short, Long sim.Duration
+	PLong       float64
+}
+
+// Next implements CSLength.
+func (b Bimodal) Next(r *rng.Rand, i int) sim.Duration {
+	if r.Float64() < b.PLong {
+		return b.Long
+	}
+	return b.Short
+}
+
+// Phased cycles deterministically through the given lengths — critical
+// sections whose length varies across computation phases (Figure 8).
+type Phased []sim.Duration
+
+// Next implements CSLength.
+func (p Phased) Next(r *rng.Rand, i int) sim.Duration {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[i%len(p)]
+}
+
+// Spec describes one mutex workload.
+type Spec struct {
+	// CPUs is the number of processors hosting locker threads (0..CPUs-1).
+	CPUs int
+	// LockersPerCPU is the number of lock-requesting threads per CPU.
+	LockersPerCPU int
+	// Iterations is the number of lock/unlock cycles per locker.
+	Iterations int
+	// Arrival is the inter-request gap distribution (nil = no gap).
+	Arrival Arrival
+	// CS is the critical-section length distribution.
+	CS CSLength
+	// UsefulPerCPU adds co-located threads that only compute (the
+	// "useful threads ... capable of making progress" of Figure 3).
+	UsefulPerCPU int
+	// UsefulWork is the total computation each useful thread performs,
+	// in chunks of UsefulChunk separated by yields (cooperative, as
+	// Cthreads programs are).
+	UsefulWork  sim.Duration
+	UsefulChunk sim.Duration
+	// OnAcquire, if set, runs immediately after each lock acquisition
+	// with the upcoming critical-section length — the hook the advisory
+	// lock experiments use to let the owner advise waiters.
+	OnAcquire func(t *cthread.Thread, cs sim.Duration)
+	// OnRelease, if set, runs just before each unlock.
+	OnRelease func(t *cthread.Thread)
+	// Seed drives all randomness (split per thread).
+	Seed uint64
+}
+
+// Result aggregates one workload run.
+type Result struct {
+	// LockersDone is when the last locker finished — the paper's
+	// "application execution time" for Figures 1 and 2.
+	LockersDone sim.Time
+	// AllDone is when the last thread of any kind finished — the
+	// execution time once useful threads matter (Figures 3 and 7).
+	AllDone sim.Time
+	// Acquisitions counts completed critical sections.
+	Acquisitions int
+	// TotalCS is the sum of executed critical-section lengths.
+	TotalCS sim.Duration
+}
+
+// Run executes the workload on sys, driving lock, and returns aggregate
+// timings. It runs the simulation to completion.
+func Run(sys *cthread.System, lock Mutex, spec Spec) (Result, error) {
+	if spec.CPUs <= 0 || spec.LockersPerCPU < 0 || spec.Iterations < 0 {
+		panic("workload: invalid Spec")
+	}
+	root := rng.New(spec.Seed + 0x9E3779B9)
+	var res Result
+	var lockers, useful []*cthread.Thread
+
+	for c := 0; c < spec.CPUs; c++ {
+		for k := 0; k < spec.LockersPerCPU; k++ {
+			r := root.Split()
+			th := sys.Spawn("locker", c, 0, func(t *cthread.Thread) {
+				for i := 0; i < spec.Iterations; i++ {
+					if spec.Arrival != nil {
+						if gap := spec.Arrival.NextGap(r, i); gap > 0 {
+							t.Compute(gap)
+						}
+					}
+					cs := spec.CS.Next(r, i)
+					lock.Lock(t)
+					if spec.OnAcquire != nil {
+						spec.OnAcquire(t, cs)
+					}
+					if cs > 0 {
+						t.Compute(cs)
+					}
+					res.Acquisitions++
+					res.TotalCS += cs
+					if spec.OnRelease != nil {
+						spec.OnRelease(t)
+					}
+					lock.Unlock(t)
+				}
+			})
+			lockers = append(lockers, th)
+		}
+		for k := 0; k < spec.UsefulPerCPU; k++ {
+			th := sys.Spawn("useful", c, 0, func(t *cthread.Thread) {
+				chunk := spec.UsefulChunk
+				if chunk <= 0 {
+					chunk = sim.Us(50)
+				}
+				for left := spec.UsefulWork; left > 0; left -= chunk {
+					step := chunk
+					if left < chunk {
+						step = left
+					}
+					t.Compute(step)
+					t.Yield()
+				}
+			})
+			useful = append(useful, th)
+		}
+	}
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	for _, th := range lockers {
+		if th.DoneAt() > res.LockersDone {
+			res.LockersDone = th.DoneAt()
+		}
+	}
+	res.AllDone = res.LockersDone
+	for _, th := range useful {
+		if th.DoneAt() > res.AllDone {
+			res.AllDone = th.DoneAt()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,276 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/locks"
+	"repro/internal/machine"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func newSys(procs int) *cthread.System {
+	cfg := machine.DefaultGP1000()
+	cfg.Procs = procs
+	return cthread.NewSystem(machine.New(cfg))
+}
+
+func TestUniformArrivalGaps(t *testing.T) {
+	r := rng.New(1)
+	u := Uniform{Mean: sim.Us(100), Jitter: sim.Us(20)}
+	for i := 0; i < 1000; i++ {
+		g := u.NextGap(r, i)
+		if g < sim.Us(80) || g > sim.Us(120) {
+			t.Fatalf("gap %v outside [80,120]us", g)
+		}
+	}
+	fixed := Uniform{Mean: sim.Us(50)}
+	if g := fixed.NextGap(r, 0); g != sim.Us(50) {
+		t.Fatalf("jitterless gap = %v, want 50us", g)
+	}
+}
+
+func TestBurstyArrivalPattern(t *testing.T) {
+	r := rng.New(1)
+	b := Bursty{BurstLen: 4, IntraGap: sim.Us(5), BurstGap: sim.Us(1000)}
+	var gaps []sim.Duration
+	for i := 0; i < 8; i++ {
+		gaps = append(gaps, b.NextGap(r, i))
+	}
+	want := []sim.Duration{sim.Us(1000), sim.Us(5), sim.Us(5), sim.Us(5), sim.Us(1000), sim.Us(5), sim.Us(5), sim.Us(5)}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rng.New(7)
+	p := Poisson{MeanGap: sim.Us(200)}
+	var sum sim.Duration
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += p.NextGap(r, i)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 190e3 || mean > 210e3 { // ns
+		t.Fatalf("poisson mean = %.1fus, want ~200us", mean/1000)
+	}
+}
+
+func TestCSDistributions(t *testing.T) {
+	r := rng.New(3)
+	if got := Fixed(sim.Us(42)).Next(r, 9); got != sim.Us(42) {
+		t.Fatalf("Fixed = %v", got)
+	}
+	u := UniformCS{Min: sim.Us(10), Max: sim.Us(20)}
+	for i := 0; i < 1000; i++ {
+		if g := u.Next(r, i); g < sim.Us(10) || g > sim.Us(20) {
+			t.Fatalf("UniformCS = %v", g)
+		}
+	}
+	b := Bimodal{Short: sim.Us(5), Long: sim.Us(500), PLong: 0.3}
+	long := 0
+	for i := 0; i < 10000; i++ {
+		if b.Next(r, i) == sim.Us(500) {
+			long++
+		}
+	}
+	if long < 2700 || long > 3300 {
+		t.Fatalf("bimodal long fraction = %d/10000, want ~3000", long)
+	}
+	ph := Phased{sim.Us(1), sim.Us(2), sim.Us(3)}
+	for i := 0; i < 6; i++ {
+		if got := ph.Next(r, i); got != ph[i%3] {
+			t.Fatalf("Phased(%d) = %v", i, got)
+		}
+	}
+}
+
+func TestRunBasicWorkload(t *testing.T) {
+	s := newSys(4)
+	l := locks.NewSpinLock(s.M, 0, locks.DefaultCosts())
+	res, err := Run(s, l, Spec{
+		CPUs: 4, LockersPerCPU: 1, Iterations: 10,
+		Arrival: Uniform{Mean: sim.Us(100)},
+		CS:      Fixed(sim.Us(20)),
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Acquisitions != 40 {
+		t.Fatalf("acquisitions = %d, want 40", res.Acquisitions)
+	}
+	if res.TotalCS != 40*sim.Us(20) {
+		t.Fatalf("total CS = %v", res.TotalCS)
+	}
+	if res.LockersDone <= 0 || res.AllDone < res.LockersDone {
+		t.Fatalf("times: lockers %v all %v", res.LockersDone, res.AllDone)
+	}
+}
+
+func TestRunExecutionTimeGrowsWithCS(t *testing.T) {
+	// The paper's Figure 1 mechanism: execution time increases with
+	// critical-section length at constant request frequency.
+	measure := func(cs sim.Duration) sim.Time {
+		s := newSys(8)
+		l := locks.NewSpinLock(s.M, 0, locks.DefaultCosts())
+		res, err := Run(s, l, Spec{
+			CPUs: 8, LockersPerCPU: 1, Iterations: 20,
+			Arrival: Uniform{Mean: sim.Us(200)},
+			CS:      Fixed(cs),
+			Seed:    2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LockersDone
+	}
+	small := measure(sim.Us(10))
+	large := measure(sim.Us(300))
+	if large <= small {
+		t.Fatalf("execution time did not grow with CS length: %v vs %v", small, large)
+	}
+}
+
+func TestUsefulThreadsProgressUnderBlockingLock(t *testing.T) {
+	// Figure 3 mechanism: with a sleep-policy lock, useful co-located
+	// threads finish much earlier than under a spin lock.
+	// Past the crossover: critical sections long enough that the waiting
+	// time blocked threads give back to their processors (for the useful
+	// threads) outweighs the block/wake overheads.
+	measure := func(p core.Params) sim.Time {
+		s := newSys(4)
+		l := core.New(s, core.Options{Params: p})
+		res, err := Run(s, l, Spec{
+			CPUs: 4, LockersPerCPU: 1, Iterations: 10,
+			CS:           Fixed(sim.Us(2000)),
+			UsefulPerCPU: 1, UsefulWork: sim.Us(50000), UsefulChunk: sim.Us(200),
+			Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AllDone
+	}
+	spin := measure(core.SpinParams())
+	sleep := measure(core.SleepParams())
+	if sleep >= spin {
+		t.Fatalf("blocking (%v) should beat spinning (%v) with useful threads and long CSs", sleep, spin)
+	}
+}
+
+func TestOnAcquireHookRuns(t *testing.T) {
+	s := newSys(2)
+	l := locks.NewSpinLock(s.M, 0, locks.DefaultCosts())
+	var lens []sim.Duration
+	_, err := Run(s, l, Spec{
+		CPUs: 1, LockersPerCPU: 1, Iterations: 3,
+		CS:        Phased{sim.Us(1), sim.Us(2), sim.Us(3)},
+		OnAcquire: func(t *cthread.Thread, cs sim.Duration) { lens = append(lens, cs) },
+		Seed:      4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []sim.Duration{sim.Us(1), sim.Us(2), sim.Us(3)}
+	for i := range want {
+		if lens[i] != want[i] {
+			t.Fatalf("hook lens = %v, want %v", lens, want)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossRepeats(t *testing.T) {
+	measure := func() sim.Time {
+		s := newSys(6)
+		l := locks.NewBlockingLock(s.M, 0, locks.DefaultCosts())
+		res, err := Run(s, l, Spec{
+			CPUs: 6, LockersPerCPU: 2, Iterations: 8,
+			Arrival: Poisson{MeanGap: sim.Us(150)},
+			CS:      UniformCS{Min: sim.Us(10), Max: sim.Us(90)},
+			Seed:    42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AllDone
+	}
+	first := measure()
+	for i := 0; i < 3; i++ {
+		if got := measure(); got != first {
+			t.Fatalf("repeat %d: %v != %v", i, got, first)
+		}
+	}
+}
+
+func TestClientServerCompletes(t *testing.T) {
+	s := newSys(6)
+	l := core.New(s, core.Options{Params: core.SleepParams()})
+	res, err := RunClientServer(s, l, ClientServerSpec{
+		Clients: 5, RequestsPerClient: 4,
+		ServiceTime: sim.Us(100), ClientThink: sim.Us(50), PollGap: sim.Us(30),
+		ServerPrio: 10, ClientPrio: 1,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 20 {
+		t.Fatalf("served = %d, want 20", res.Served)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no total time recorded")
+	}
+}
+
+func TestClientServerPrioritySchedulerBeatsFCFS(t *testing.T) {
+	// Table 7 shape: priority-threshold and handoff beat FCFS for the
+	// flooded server.
+	run := func(k core.SchedulerKind, handoff bool) sim.Time {
+		s := newSys(9)
+		l := core.New(s, core.Options{Params: core.SleepParams(), Scheduler: k, Threshold: 5})
+		res, err := RunClientServer(s, l, ClientServerSpec{
+			Clients: 8, RequestsPerClient: 5,
+			ServiceTime: sim.Us(150), ClientThink: sim.Us(20), PollGap: sim.Us(10),
+			ServerPrio: 10, ClientPrio: 1,
+			UseHandoff: handoff,
+			Seed:       6,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	fcfs := run(core.FCFS, false)
+	prio := run(core.PriorityThreshold, false)
+	hand := run(core.Handoff, true)
+	if prio >= fcfs {
+		t.Fatalf("priority (%v) should beat FCFS (%v)", prio, fcfs)
+	}
+	if hand >= fcfs {
+		t.Fatalf("handoff (%v) should beat FCFS (%v)", hand, fcfs)
+	}
+}
+
+func TestClientServerHandoffFallsBackWithoutSupport(t *testing.T) {
+	// Requesting handoff over a lock that cannot do it must still work.
+	s := newSys(4)
+	l := locks.NewBlockingLock(s.M, 0, locks.DefaultCosts())
+	res, err := RunClientServer(s, l, ClientServerSpec{
+		Clients: 3, RequestsPerClient: 2,
+		ServiceTime: sim.Us(50), ClientThink: sim.Us(20), PollGap: sim.Us(20),
+		UseHandoff: true,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 6 {
+		t.Fatalf("served = %d, want 6", res.Served)
+	}
+}
