@@ -1,0 +1,33 @@
+# Tier-1 verification lives in `make check`: build, vet, race-enabled
+# tests. CI and pre-commit should run exactly that.
+
+GO ?= go
+
+.PHONY: all build vet test race check bench verify clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet race
+
+# Regenerate the paper's tables and figures.
+bench:
+	$(GO) run ./cmd/lockbench -quick -all
+
+# PASS/FAIL check of every reproduction claim.
+verify:
+	$(GO) run ./cmd/lockbench -verify
+
+clean:
+	$(GO) clean ./...

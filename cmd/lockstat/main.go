@@ -1,0 +1,312 @@
+// Command lockstat runs a contended scenario on the simulated machine and
+// reports the lock's observability data: monitor counters, wait/hold/idle
+// latency histograms with p50/p90/p99 readouts, Figure 4 state-transition
+// counts, and per-window interval statistics from the sampler.
+//
+//	lockstat                          # human report, default scenario
+//	lockstat -n 8 -policy spin        # eight spinning workers
+//	lockstat -json                    # machine-readable report on stdout
+//	lockstat -chrome out.json         # also write a Chrome/Perfetto trace
+//
+// Open a -chrome file at https://ui.perfetto.dev or chrome://tracing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// histReport is the JSON shape of one latency histogram.
+type histReport struct {
+	Count   int64   `json:"count"`
+	MeanUs  float64 `json:"mean_us"`
+	P50Us   float64 `json:"p50_us"`
+	P90Us   float64 `json:"p90_us"`
+	P99Us   float64 `json:"p99_us"`
+	MaxUs   float64 `json:"max_us"`
+	Buckets []struct {
+		LoUs  float64 `json:"lo_us"`
+		HiUs  float64 `json:"hi_us"`
+		Count int64   `json:"count"`
+	} `json:"buckets"`
+}
+
+func reportHist(h obs.Histogram) histReport {
+	r := histReport{
+		Count:  h.Count(),
+		MeanUs: h.Mean().Us(),
+		P50Us:  h.Quantile(50).Us(),
+		P90Us:  h.Quantile(90).Us(),
+		P99Us:  h.Quantile(99).Us(),
+		MaxUs:  h.Max().Us(),
+	}
+	for _, b := range h.Buckets() {
+		r.Buckets = append(r.Buckets, struct {
+			LoUs  float64 `json:"lo_us"`
+			HiUs  float64 `json:"hi_us"`
+			Count int64   `json:"count"`
+		}{b.Lo.Us(), b.Hi.Us(), b.Count})
+	}
+	return r
+}
+
+// windowReport is the JSON shape of one sampler window.
+type windowReport struct {
+	StartUs    float64 `json:"start_us"`
+	EndUs      float64 `json:"end_us"`
+	Acq        int64   `json:"acquisitions"`
+	Contended  int64   `json:"contended"`
+	AvgWaitUs  float64 `json:"avg_wait_us"`
+	P99WaitUs  float64 `json:"p99_wait_us"`
+	AvgHoldUs  float64 `json:"avg_hold_us"`
+	Reconfigs  int64   `json:"reconfigurations"`
+	AcqPerSec  float64 `json:"acquisitions_per_sec"`
+	Contention float64 `json:"contention_ratio"`
+}
+
+// report is the -json output document.
+type report struct {
+	Scenario struct {
+		Workers int     `json:"workers"`
+		Iters   int     `json:"iters"`
+		Policy  string  `json:"policy"`
+		Sched   string  `json:"scheduler"`
+		CSUs    float64 `json:"cs_us"`
+	} `json:"scenario"`
+	Monitor struct {
+		Acquisitions int64            `json:"acquisitions"`
+		Contended    int64            `json:"contended"`
+		Failures     int64            `json:"failures"`
+		Grants       int64            `json:"grants"`
+		Wakeups      int64            `json:"wakeups"`
+		MaxQueue     int              `json:"max_queue"`
+		AvgWaitUs    float64          `json:"avg_wait_us"`
+		AvgHoldUs    float64          `json:"avg_hold_us"`
+		AvgIdleUs    float64          `json:"avg_idle_us"`
+		Reconfigs    int64            `json:"reconfigurations"`
+		Transitions  map[string]int64 `json:"transitions"`
+	} `json:"monitor"`
+	Wait    histReport     `json:"wait"`
+	Hold    histReport     `json:"hold"`
+	Idle    histReport     `json:"idle"`
+	Windows []windowReport `json:"windows"`
+	Trace   struct {
+		Events  int    `json:"events"`
+		Dropped int64  `json:"dropped"`
+		Summary string `json:"summary"`
+	} `json:"trace"`
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 6, "number of contending threads")
+		iters   = flag.Int("iters", 5, "lock/unlock rounds per thread")
+		policy  = flag.String("policy", "combined", "waiting policy: "+scenario.PolicyNames)
+		sched   = flag.String("sched", "fcfs", "release scheduler: "+scenario.SchedulerNames)
+		cs      = flag.Float64("cs", 300, "critical section length (us)")
+		window  = flag.Float64("window", 500, "sampler window length (us)")
+		events  = flag.Int("events", 4096, "trace ring capacity")
+		agent   = flag.Bool("agent", false, "spawn the mid-run reconfiguration agent")
+		jsonOut = flag.Bool("json", false, "emit the report as JSON on stdout")
+		chrome  = flag.String("chrome", "", "write the event ring as Chrome trace-event JSON to this file")
+	)
+	flag.Parse()
+
+	if *n <= 0 || *iters <= 0 || *window <= 0 || *events <= 0 || *cs <= 0 {
+		fmt.Fprintln(os.Stderr, "lockstat: -n, -iters, -window, -events and -cs must be positive")
+		os.Exit(2)
+	}
+	params, ok := scenario.ParsePolicy(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lockstat: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	kind, ok := scenario.ParseScheduler(*sched)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lockstat: unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+
+	res, err := scenario.Run(scenario.Config{
+		Workers:     *n,
+		Iters:       *iters,
+		Params:      params,
+		Scheduler:   kind,
+		CS:          sim.Us(*cs),
+		TraceEvents: *events,
+		Observe:     true,
+		SampleEvery: sim.Us(*window),
+		Agent:       *agent,
+		OnAgentError: func(err error) {
+			fmt.Fprintln(os.Stderr, "lockstat: agent:", err)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(1)
+	}
+
+	if *chrome != "" {
+		f, err := os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		werr := res.Tracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", werr)
+			os.Exit(1)
+		}
+		if !*jsonOut {
+			fmt.Printf("wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n\n", *chrome)
+		}
+	}
+
+	if *jsonOut {
+		doc := buildReport(res, *n, *iters, *policy, *sched, *cs)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	printHuman(res, *n, *iters, *policy, *sched, *cs)
+}
+
+func buildReport(res *scenario.Result, n, iters int, policy, sched string, cs float64) report {
+	var doc report
+	doc.Scenario.Workers = n
+	doc.Scenario.Iters = iters
+	doc.Scenario.Policy = policy
+	doc.Scenario.Sched = sched
+	doc.Scenario.CSUs = cs
+
+	snap := res.Snapshot
+	doc.Monitor.Acquisitions = snap.Acquisitions
+	doc.Monitor.Contended = snap.Contended
+	doc.Monitor.Failures = snap.Failures
+	doc.Monitor.Grants = snap.Grants
+	doc.Monitor.Wakeups = snap.Wakeups
+	doc.Monitor.MaxQueue = snap.MaxQueue
+	doc.Monitor.AvgWaitUs = snap.AvgWait().Us()
+	doc.Monitor.AvgHoldUs = snap.AvgHold().Us()
+	doc.Monitor.AvgIdleUs = snap.AvgIdle().Us()
+	doc.Monitor.Reconfigs = snap.ReconfigWaiting + snap.ReconfigScheduler
+	doc.Monitor.Transitions = map[string]int64{}
+	for tr, c := range snap.Transitions {
+		doc.Monitor.Transitions[tr.String()] = c
+	}
+
+	doc.Wait = reportHist(res.Observer.Wait())
+	doc.Hold = reportHist(res.Observer.Hold())
+	doc.Idle = reportHist(res.Observer.Idle())
+
+	var windows []obs.Window
+	if res.Sampler != nil {
+		windows = res.Sampler.Windows()
+	}
+	for _, w := range windows {
+		doc.Windows = append(doc.Windows, windowReport{
+			StartUs:    w.Delta.Start.Us(),
+			EndUs:      w.Delta.End.Us(),
+			Acq:        w.Delta.Acquisitions,
+			Contended:  w.Delta.Contended,
+			AvgWaitUs:  w.Delta.AvgWait().Us(),
+			P99WaitUs:  w.Wait.Quantile(99).Us(),
+			AvgHoldUs:  w.Delta.AvgHold().Us(),
+			Reconfigs:  w.Delta.ReconfigWaiting + w.Delta.ReconfigScheduler,
+			AcqPerSec:  w.Delta.AcquisitionRate(),
+			Contention: w.Delta.ContentionRatio(),
+		})
+	}
+
+	doc.Trace.Events = res.Tracer.Len()
+	doc.Trace.Dropped = res.Tracer.Dropped()
+	doc.Trace.Summary = res.Tracer.Summary()
+	return doc
+}
+
+func printHuman(res *scenario.Result, n, iters int, policy, sched string, cs float64) {
+	snap := res.Snapshot
+	fmt.Printf("scenario: %d workers x %d rounds, %s policy, %s scheduler, %.0fus critical sections\n\n",
+		n, iters, policy, sched, cs)
+
+	fmt.Printf("monitor\n")
+	fmt.Printf("  acquisitions  %-8d contended %-8d failures %d\n", snap.Acquisitions, snap.Contended, snap.Failures)
+	fmt.Printf("  grants        %-8d wakeups   %-8d maxQueue %d\n", snap.Grants, snap.Wakeups, snap.MaxQueue)
+	fmt.Printf("  avgWait %v  avgHold %v  avgIdle %v  contention %.0f%%\n",
+		snap.AvgWait(), snap.AvgHold(), snap.AvgIdle(), 100*snap.ContentionRatio())
+	fmt.Printf("  transitions:")
+	for _, tr := range []core.Transition{
+		{From: core.StateUnlocked, To: core.StateLocked},
+		{From: core.StateLocked, To: core.StateUnlocked},
+		{From: core.StateLocked, To: core.StateIdle},
+		{From: core.StateIdle, To: core.StateLocked},
+	} {
+		if c := snap.Transitions[tr]; c > 0 {
+			fmt.Printf("  %s=%d", tr, c)
+		}
+	}
+	fmt.Println()
+
+	for _, h := range []struct {
+		name string
+		hist obs.Histogram
+	}{
+		{"wait (registration -> grant, contended)", res.Observer.Wait()},
+		{"hold (grant -> release)", res.Observer.Hold()},
+		{"idle (locking cycle)", res.Observer.Idle()},
+	} {
+		fmt.Printf("\n%s\n  %s\n", h.name, h.hist.String())
+		fmt.Print(indent(h.hist.Render(40), "  "))
+	}
+
+	if res.Sampler == nil {
+		fmt.Printf("\ntrace: %s\n", res.Tracer.Summary())
+		return
+	}
+	if ws := res.Sampler.Windows(); len(ws) > 0 {
+		fmt.Printf("\nwindows (%v each)\n", res.Sampler.Every)
+		fmt.Printf("  %-22s %5s %5s %12s %12s %12s\n", "interval", "acq", "cont", "avgWait", "p99Wait", "avgHold")
+		for _, w := range ws {
+			fmt.Printf("  %9.0f - %-10.0f %5d %5d %12v %12v %12v\n",
+				w.Delta.Start.Us(), w.Delta.End.Us(),
+				w.Delta.Acquisitions, w.Delta.Contended,
+				w.Delta.AvgWait(), w.Wait.Quantile(99), w.Delta.AvgHold())
+		}
+	}
+
+	fmt.Printf("\ntrace: %s\n", res.Tracer.Summary())
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	var out []byte
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '\n' {
+			if i > start {
+				out = append(out, prefix...)
+				out = append(out, s[start:i]...)
+			}
+			if i < len(s) {
+				out = append(out, '\n')
+			}
+			start = i + 1
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+func runSmall(t *testing.T) *scenario.Result {
+	t.Helper()
+	res, err := scenario.Run(scenario.Config{
+		Workers:     4,
+		Iters:       3,
+		CS:          sim.Us(300),
+		TraceEvents: 512,
+		Observe:     true,
+		SampleEvery: sim.Us(500),
+		Agent:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReportJSONShape asserts the -json document shape: the sections and
+// field names external tooling keys on.
+func TestReportJSONShape(t *testing.T) {
+	doc := buildReport(runSmall(t), 4, 3, "combined", "fcfs", 300)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"scenario", "monitor", "wait", "hold", "idle", "windows", "trace"} {
+		if _, ok := m[section]; !ok {
+			t.Errorf("report missing section %q", section)
+		}
+	}
+	var mon map[string]interface{}
+	if err := json.Unmarshal(m["monitor"], &mon); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"acquisitions", "contended", "avg_wait_us", "transitions"} {
+		if _, ok := mon[field]; !ok {
+			t.Errorf("monitor missing field %q", field)
+		}
+	}
+	var wait map[string]interface{}
+	if err := json.Unmarshal(m["wait"], &wait); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"count", "mean_us", "p50_us", "p90_us", "p99_us", "max_us", "buckets"} {
+		if _, ok := wait[field]; !ok {
+			t.Errorf("wait histogram missing field %q", field)
+		}
+	}
+	if wait["count"].(float64) == 0 {
+		t.Error("wait histogram empty for a contended scenario")
+	}
+	if wait["p50_us"].(float64) > wait["p99_us"].(float64) {
+		t.Error("p50 > p99")
+	}
+	var windows []map[string]interface{}
+	if err := json.Unmarshal(m["windows"], &windows); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) == 0 {
+		t.Fatal("no windows in report")
+	}
+	for _, field := range []string{"start_us", "end_us", "acquisitions", "p99_wait_us"} {
+		if _, ok := windows[0][field]; !ok {
+			t.Errorf("window missing field %q", field)
+		}
+	}
+}
+
+// TestChromeOutputValidates asserts what the acceptance criterion asks of
+// `lockstat -chrome out.json`: displayTimeUnit present and every ph one of
+// X, i, s, f.
+func TestChromeOutputValidates(t *testing.T) {
+	res := runSmall(t)
+	var buf bytes.Buffer
+	if err := res.Tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph  string  `json:"ph"`
+			Ts  float64 `json:"ts"`
+			Pid int     `json:"pid"`
+			Tid int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	seen := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X", "i", "s", "f":
+			seen[e.Ph]++
+		default:
+			t.Errorf("ph = %q, want one of X i s f", e.Ph)
+		}
+		if e.Tid <= 0 {
+			t.Errorf("tid = %d, want positive", e.Tid)
+		}
+	}
+	// A contended traced scenario produces all three shapes: held spans,
+	// wait flows, and instants (grants, reconfiguration).
+	if seen["X"] == 0 || seen["s"] == 0 || seen["f"] == 0 || seen["i"] == 0 {
+		t.Errorf("phase mix = %v, want all of X s f i", seen)
+	}
+}
+
+func TestIndent(t *testing.T) {
+	if got := indent("a\nb\n", "  "); got != "  a\n  b\n" {
+		t.Errorf("indent = %q", got)
+	}
+	if got := indent("", "  "); got != "" {
+		t.Errorf("indent empty = %q", got)
+	}
+}

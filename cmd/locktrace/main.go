@@ -6,6 +6,7 @@
 //	locktrace                         # default scenario
 //	locktrace -sched priority -n 6    # six waiters under priority release
 //	locktrace -policy sleep -events 40
+//	locktrace -json > trace.json      # event ring as Chrome trace JSON
 package main
 
 import (
@@ -13,87 +14,65 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/cthread"
-	"repro/internal/machine"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 4, "number of contending threads")
-		policy = flag.String("policy", "combined", "waiting policy: spin|backoff|sleep|combined")
-		sched  = flag.String("sched", "fcfs", "release scheduler: fcfs|priority|priority-queue|handoff|deadline")
-		events = flag.Int("events", 200, "trace ring capacity")
-		cs     = flag.Float64("cs", 300, "critical section length (us)")
+		n        = flag.Int("n", 4, "number of contending threads")
+		policy   = flag.String("policy", "combined", "waiting policy: "+scenario.PolicyNames)
+		sched    = flag.String("sched", "fcfs", "release scheduler: "+scenario.SchedulerNames)
+		events   = flag.Int("events", 200, "trace ring capacity")
+		cs       = flag.Float64("cs", 300, "critical section length (us)")
+		jsonDump = flag.Bool("json", false, "dump the event ring as Chrome trace-event JSON instead of the timeline")
 	)
 	flag.Parse()
 
-	params, ok := map[string]core.Params{
-		"spin":     core.SpinParams(),
-		"backoff":  core.BackoffParams(sim.Us(50)),
-		"sleep":    core.SleepParams(),
-		"combined": core.CombinedParams(10),
-	}[*policy]
+	if *n <= 0 || *events <= 0 {
+		fmt.Fprintln(os.Stderr, "locktrace: -n and -events must be positive")
+		os.Exit(2)
+	}
+	params, ok := scenario.ParsePolicy(*policy)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "locktrace: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
-	kind, ok := map[string]core.SchedulerKind{
-		"fcfs":           core.FCFS,
-		"priority":       core.PriorityThreshold,
-		"priority-queue": core.PriorityQueue,
-		"handoff":        core.Handoff,
-		"deadline":       core.Deadline,
-	}[*sched]
+	kind, ok := scenario.ParseScheduler(*sched)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "locktrace: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
 
-	cfg := machine.DefaultGP1000()
-	if *n+1 > cfg.Procs {
-		cfg.Procs = *n + 1
-	}
-	sys := cthread.NewSystem(machine.New(cfg))
-	lock := core.New(sys, core.Options{Params: params, Scheduler: kind})
-	tr := trace.New(*events)
-	lock.SetTracer(tr, "lock")
-
-	for i := 0; i < *n; i++ {
-		i := i
-		name := fmt.Sprintf("worker-%d", i)
-		sys.SpawnAt(sim.Us(float64(50*i)), name, i, int64(i), func(t *cthread.Thread) {
-			for k := 0; k < 3; k++ {
-				if kind == core.Deadline {
-					lock.LockDeadline(t, t.Now()+sim.Time(sim.Us(1000*float64(*n-i))))
-				} else {
-					lock.Lock(t)
-				}
-				t.Compute(sim.Us(*cs))
-				lock.Unlock(t)
-				t.Compute(sim.Us(100))
-			}
-		})
-	}
-	// Mid-run reconfiguration by an external agent, to show Ψ in the
-	// timeline.
-	sys.SpawnAt(sim.Us(800), "agent", *n, 0, func(t *cthread.Thread) {
-		if err := lock.Possess(t, core.AttrWaitingPolicy); err == nil {
-			_ = lock.ConfigureWaiting(t, core.SleepParams())
-		}
+	res, err := scenario.Run(scenario.Config{
+		Workers:     *n,
+		Params:      params,
+		Scheduler:   kind,
+		CS:          sim.Us(*cs),
+		TraceEvents: *events,
+		Agent:       true,
+		OnAgentError: func(err error) {
+			fmt.Fprintln(os.Stderr, "locktrace: agent:", err)
+		},
 	})
-
-	if err := sys.M.Eng.Run(); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "locktrace:", err)
 		os.Exit(1)
 	}
+
+	if *jsonDump {
+		if err := res.Tracer.WriteChrome(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "locktrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Printf("scenario: %d workers, %s policy, %s scheduler, %.0fus critical sections\n\n",
 		*n, *policy, *sched, *cs)
-	tr.Dump(os.Stdout)
-	fmt.Printf("\nsummary: %s\n", tr.Summary())
-	snap := lock.MonitorSnapshot()
+	res.Tracer.Dump(os.Stdout)
+	fmt.Printf("\nsummary: %s\n", res.Tracer.Summary())
+	snap := res.Snapshot
 	fmt.Printf("monitor: acq=%d contended=%d grants=%d wakeups=%d avgWait=%v avgHold=%v\n",
 		snap.Acquisitions, snap.Contended, snap.Grants, snap.Wakeups, snap.AvgWait(), snap.AvgHold())
 }

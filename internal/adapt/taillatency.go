@@ -1,0 +1,91 @@
+package adapt
+
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TailLatencyHysteresis switches the waiting policy on the *windowed* p99
+// wait latency: the 99th percentile of registration-to-grant delays
+// recorded since the previous probe, read from an obs.LockObserver
+// histogram delta. Lifetime averages smear a contention burst over the
+// whole run and react late or never; the per-window tail reacts to what
+// waiters are experiencing right now.
+//
+// The decision has a hysteresis band: switch to sleeping once the window
+// p99 exceeds SleepAboveP99, back to spinning once it falls below
+// SpinBelowP99, and hold position in between so noise does not flap the
+// configuration.
+type TailLatencyHysteresis struct {
+	// Obs is the latency observer attached to the lock (the histogram
+	// source). Required.
+	Obs *obs.LockObserver
+	// SleepAboveP99: window p99 wait above this selects the sleep policy.
+	SleepAboveP99 sim.Duration
+	// SpinBelowP99: window p99 wait below this selects the spin policy.
+	// Must be <= SleepAboveP99; the gap is the hysteresis band.
+	SpinBelowP99 sim.Duration
+	// MinSamples is the minimum number of contended waits in the window
+	// for the p99 to be trusted (default 1).
+	MinSamples int64
+	// SpinParams/SleepParams are the two configurations toggled between.
+	// Zero values default to core.SpinParams / core.SleepParams.
+	SpinParams  core.Params
+	SleepParams core.Params
+
+	prevWait obs.Histogram
+	primed   bool
+	current  core.PolicyKind
+	lastP99  sim.Duration
+	lastN    int64
+}
+
+// Name implements Policy.
+func (p *TailLatencyHysteresis) Name() string { return "tail-latency-hysteresis" }
+
+// WindowP99 returns the p99 wait of the last closed window and its sample
+// count (for tests and reports).
+func (p *TailLatencyHysteresis) WindowP99() (sim.Duration, int64) {
+	return p.lastP99, p.lastN
+}
+
+// Decide implements Policy. The snapshots are unused beyond the interface
+// contract — the verdict is driven by the wait-histogram delta between
+// successive probes.
+func (p *TailLatencyHysteresis) Decide(prev, cur core.Snapshot) Decision {
+	cum := p.Obs.Wait()
+	if !p.primed {
+		p.prevWait = cum
+		p.primed = true
+		return Decision{}
+	}
+	win := cum.Delta(p.prevWait)
+	p.prevWait = cum
+	min := p.MinSamples
+	if min <= 0 {
+		min = 1
+	}
+	p.lastP99, p.lastN = win.Quantile(99), win.Count()
+	if win.Count() < min {
+		return Decision{}
+	}
+	p99 := p.lastP99
+	spinP := p.SpinParams
+	if spinP == (core.Params{}) {
+		spinP = core.SpinParams()
+	}
+	sleepP := p.SleepParams
+	if sleepP == (core.Params{}) {
+		sleepP = core.SleepParams()
+	}
+	switch {
+	case p99 > p.SleepAboveP99 && p.current != core.PolicySleep:
+		p.current = core.PolicySleep
+		return Decision{Reconfigure: true, Params: sleepP}
+	case p99 < p.SpinBelowP99 && p.current != core.PolicySpin:
+		p.current = core.PolicySpin
+		return Decision{Reconfigure: true, Params: spinP}
+	}
+	return Decision{}
+}

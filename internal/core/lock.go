@@ -155,8 +155,9 @@ type Lock struct {
 
 	server *activeServer // non-nil for active locks
 
-	tracer *trace.Tracer // nil unless SetTracer was called
-	label  string        // object name used in trace events
+	tracer   *trace.Tracer   // nil unless SetTracer was called
+	label    string          // object name used in trace events
+	observer LatencyObserver // nil unless SetLatencyObserver was called
 
 	module int // memory module currently holding the lock's words
 }
@@ -167,6 +168,27 @@ func (l *Lock) SetTracer(t *trace.Tracer, label string) {
 	l.tracer = t
 	l.label = label
 }
+
+// LatencyObserver receives individual wait, hold and idle durations from
+// the lock's hot paths, so an observability layer can maintain
+// distributions (histograms, percentiles) rather than the monitor's
+// lifetime totals. Like the monitor counters, observer updates model
+// piggybacked monitoring hardware: they charge no simulated time.
+// Implementations must not call back into the lock.
+type LatencyObserver interface {
+	// ObserveWait is called once per contended acquisition with the
+	// registration-to-grant delay.
+	ObserveWait(d sim.Duration)
+	// ObserveHold is called once per release with the grant-to-release
+	// tenure.
+	ObserveHold(d sim.Duration)
+	// ObserveIdle is called once per completed idle span (one locking
+	// cycle) with its duration.
+	ObserveIdle(d sim.Duration)
+}
+
+// SetLatencyObserver attaches a latency observer. Pass nil to detach.
+func (l *Lock) SetLatencyObserver(o LatencyObserver) { l.observer = o }
 
 // emit records a trace event if tracing is enabled.
 func (l *Lock) emit(at sim.Time, k trace.Kind, actor, detail string) {
@@ -431,6 +453,10 @@ func (l *Lock) granted(t *cthread.Thread, e *entry) bool {
 	l.mon.transition(StateLocked)
 	l.mon.idleTotal += sim.Duration(t.Now() - l.mon.idleStart)
 	l.mon.idleSpans++
+	if l.observer != nil {
+		l.observer.ObserveWait(sim.Duration(t.Now() - e.regAt))
+		l.observer.ObserveIdle(sim.Duration(t.Now() - l.mon.idleStart))
+	}
 	l.emit(t.Now(), trace.LockAcquire, t.Name(), fmt.Sprintf("waited %v", sim.Duration(t.Now()-e.regAt)))
 	return true
 }
@@ -499,6 +525,9 @@ func (l *Lock) release(byT *cthread.Thread, hint int64) {
 	l.emit(byT.Now(), trace.LockRelease, byT.Name(), "")
 	l.lockGuard(byT)
 	l.mon.holdTotal += sim.Duration(byT.Now() - l.mon.holdStart)
+	if l.observer != nil {
+		l.observer.ObserveHold(sim.Duration(byT.Now() - l.mon.holdStart))
+	}
 	// "The extra work required to check for currently blocked threads."
 	_ = l.regW.Read(byT)
 	if l.havePending && len(l.queue) == 0 {

@@ -163,6 +163,111 @@ func (s Snapshot) ContentionRatio() float64 {
 	return float64(s.Contended) / float64(s.Acquisitions)
 }
 
+// Delta is the difference between two monitor snapshots: the activity that
+// happened during one observation window. Adaptation policies should
+// consume deltas (rates and interval means) rather than lifetime totals —
+// lifetime averages hide exactly the recent behavior that drives
+// reconfiguration decisions.
+type Delta struct {
+	// Start/End bound the window; Interval is its length.
+	Start    sim.Time
+	End      sim.Time
+	Interval sim.Duration
+
+	Acquisitions int64
+	Contended    int64
+	Failures     int64
+	Grants       int64
+	Wakeups      int64
+
+	SpinIters     int64
+	SleepEpisodes int64
+
+	WaitTotal sim.Duration
+	HoldTotal sim.Duration
+	IdleTotal sim.Duration
+	IdleSpans int64
+
+	ReconfigWaiting   int64
+	ReconfigScheduler int64
+}
+
+// Delta returns the activity between prev and s. The snapshots must come
+// from the same monitor with prev taken no later than s; counters that ran
+// backwards (a misuse) are clamped to zero rather than reported negative.
+func (s Snapshot) Delta(prev Snapshot) Delta {
+	c := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	cd := func(v sim.Duration) sim.Duration {
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	return Delta{
+		Start:             prev.At,
+		End:               s.At,
+		Interval:          cd(sim.Duration(s.At - prev.At)),
+		Acquisitions:      c(s.Acquisitions - prev.Acquisitions),
+		Contended:         c(s.Contended - prev.Contended),
+		Failures:          c(s.Failures - prev.Failures),
+		Grants:            c(s.Grants - prev.Grants),
+		Wakeups:           c(s.Wakeups - prev.Wakeups),
+		SpinIters:         c(s.SpinIters - prev.SpinIters),
+		SleepEpisodes:     c(s.SleepEpisodes - prev.SleepEpisodes),
+		WaitTotal:         cd(s.WaitTotal - prev.WaitTotal),
+		HoldTotal:         cd(s.HoldTotal - prev.HoldTotal),
+		IdleTotal:         cd(s.IdleTotal - prev.IdleTotal),
+		IdleSpans:         c(s.IdleSpans - prev.IdleSpans),
+		ReconfigWaiting:   c(s.ReconfigWaiting - prev.ReconfigWaiting),
+		ReconfigScheduler: c(s.ReconfigScheduler - prev.ReconfigScheduler),
+	}
+}
+
+// AvgWait returns the mean registration-to-grant delay over the window.
+func (d Delta) AvgWait() sim.Duration {
+	if d.Contended == 0 {
+		return 0
+	}
+	return d.WaitTotal / sim.Duration(d.Contended)
+}
+
+// AvgHold returns the mean critical-section tenure over the window.
+func (d Delta) AvgHold() sim.Duration {
+	if d.Acquisitions == 0 {
+		return 0
+	}
+	return d.HoldTotal / sim.Duration(d.Acquisitions)
+}
+
+// AvgIdle returns the mean locking-cycle duration over the window.
+func (d Delta) AvgIdle() sim.Duration {
+	if d.IdleSpans == 0 {
+		return 0
+	}
+	return d.IdleTotal / sim.Duration(d.IdleSpans)
+}
+
+// ContentionRatio returns the fraction of window acquisitions that waited.
+func (d Delta) ContentionRatio() float64 {
+	if d.Acquisitions == 0 {
+		return 0
+	}
+	return float64(d.Contended) / float64(d.Acquisitions)
+}
+
+// AcquisitionRate returns acquisitions per simulated second in the window.
+func (d Delta) AcquisitionRate() float64 {
+	if d.Interval <= 0 {
+		return 0
+	}
+	return float64(d.Acquisitions) / (float64(d.Interval) / float64(sim.Second))
+}
+
 // snapshot builds a Snapshot at the current virtual time.
 func (m *Monitor) snapshot(at sim.Time, waiters int) Snapshot {
 	trans := make(map[Transition]int64, len(m.transitions))

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramZeroValue(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("zero histogram not empty")
+	}
+	if q := h.Quantile(99); q != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", q)
+	}
+	if h.String() != "n=0" {
+		t.Fatalf("String = %q", h.String())
+	}
+	if got := h.Render(10); got != "(empty)\n" {
+		t.Fatalf("Render = %q", got)
+	}
+}
+
+func TestHistogramRecordAndMoments(t *testing.T) {
+	var h Histogram
+	for _, us := range []float64{10, 20, 30, 40} {
+		h.Record(sim.Us(us))
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), sim.Us(100); got != want {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if got, want := h.Mean(), sim.Us(25); got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if got, want := h.Max(), sim.Us(40); got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+}
+
+func TestBucketBoundsCoverPositiveDurations(t *testing.T) {
+	for _, d := range []sim.Duration{0, 1, 2, 3, 1023, 1024, sim.Us(300), sim.Second} {
+		i := bucketOf(d)
+		lo, hi := BucketBounds(i)
+		if d > 0 && (d < lo || d >= hi) {
+			t.Errorf("d=%v landed in bucket %d [%v, %v)", d, i, lo, hi)
+		}
+	}
+	if bucketOf(0) != 0 || bucketOf(-5) != 0 {
+		t.Error("non-positive durations must land in bucket 0")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 99 observations ~10us, 1 observation ~10ms: the p50 must stay near
+	// 10us and the p99.5+ must reach the outlier's bucket.
+	for i := 0; i < 99; i++ {
+		h.Record(sim.Us(10))
+	}
+	h.Record(sim.Us(10000))
+	p50 := h.Quantile(50)
+	if p50 < sim.Us(8) || p50 > sim.Us(17) {
+		t.Errorf("p50 = %v, want ~10us (log-bucket resolution)", p50)
+	}
+	p100 := h.Quantile(100)
+	if p100 < sim.Us(8000) {
+		t.Errorf("p100 = %v, want >= ~8ms", p100)
+	}
+	if p100 > h.Max() {
+		t.Errorf("p100 = %v exceeds observed max %v", p100, h.Max())
+	}
+	// Quantiles are monotone in q.
+	last := sim.Duration(0)
+	for _, q := range []float64{0, 25, 50, 75, 90, 99, 100} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Errorf("quantiles not monotone at q=%v: %v < %v", q, v, last)
+		}
+		last = v
+	}
+}
+
+func TestHistogramDeltaIsWindow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(sim.Us(5))
+	}
+	snap := h // snapshot by copy
+	for i := 0; i < 10; i++ {
+		h.Record(sim.Us(5000))
+	}
+	win := h.Delta(snap)
+	if win.Count() != 10 {
+		t.Fatalf("window count = %d, want 10", win.Count())
+	}
+	if got, want := win.Sum(), 10*sim.Us(5000); got != want {
+		t.Errorf("window sum = %v, want %v", got, want)
+	}
+	// The window p50 sees only the slow observations; the cumulative p50
+	// still sees the fast bulk — this is the whole point of windows.
+	if wp := win.Quantile(50); wp < sim.Us(4000) {
+		t.Errorf("window p50 = %v, want >= ~4ms", wp)
+	}
+	if cp := h.Quantile(50); cp > sim.Us(20) {
+		t.Errorf("cumulative p50 = %v, want near 5us", cp)
+	}
+	// Delta against itself is empty.
+	empty := h.Delta(h)
+	if empty.Count() != 0 || empty.Sum() != 0 {
+		t.Errorf("self-delta not empty: %+v", empty)
+	}
+}
+
+func TestHistogramBucketsAndRender(t *testing.T) {
+	var h Histogram
+	h.Record(sim.Us(1))
+	h.Record(sim.Us(1000))
+	bks := h.Buckets()
+	if len(bks) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(bks))
+	}
+	if bks[0].Lo >= bks[1].Lo {
+		t.Error("buckets not in ascending order")
+	}
+	var total int64
+	for _, b := range bks {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+	r := h.Render(20)
+	if !strings.Contains(r, "#") || len(strings.Split(strings.TrimRight(r, "\n"), "\n")) != 2 {
+		t.Errorf("render:\n%s", r)
+	}
+}
+
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	n := testing.AllocsPerRun(1000, func() { h.Record(sim.Us(42)) })
+	if n != 0 {
+		t.Fatalf("Record allocates %v times per call, want 0", n)
+	}
+}

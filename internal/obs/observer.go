@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// LockObserver maintains wait, hold and idle latency histograms for one
+// lock. Attach it with core.Lock.SetLatencyObserver; the lock's hot paths
+// then feed it one duration per contended acquisition (wait), per release
+// (hold) and per completed locking cycle (idle).
+type LockObserver struct {
+	wait Histogram
+	hold Histogram
+	idle Histogram
+}
+
+var _ core.LatencyObserver = (*LockObserver)(nil)
+
+// NewLockObserver returns an empty observer.
+func NewLockObserver() *LockObserver { return &LockObserver{} }
+
+// ObserveWait implements core.LatencyObserver.
+func (o *LockObserver) ObserveWait(d sim.Duration) { o.wait.Record(d) }
+
+// ObserveHold implements core.LatencyObserver.
+func (o *LockObserver) ObserveHold(d sim.Duration) { o.hold.Record(d) }
+
+// ObserveIdle implements core.LatencyObserver.
+func (o *LockObserver) ObserveIdle(d sim.Duration) { o.idle.Record(d) }
+
+// Wait returns a snapshot of the wait-latency histogram (registration to
+// grant, contended acquisitions only).
+func (o *LockObserver) Wait() Histogram { return o.wait }
+
+// Hold returns a snapshot of the hold-latency histogram (grant to
+// release).
+func (o *LockObserver) Hold() Histogram { return o.hold }
+
+// Idle returns a snapshot of the idle-span histogram (the paper's locking
+// cycle: release to completed grant).
+func (o *LockObserver) Idle() Histogram { return o.idle }

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+// Window is one sampling interval: the monitor counter delta over the
+// interval plus per-interval latency histograms (when a LockObserver is
+// attached), from which recent percentiles are read.
+type Window struct {
+	// Delta is the monitor activity during the window.
+	Delta core.Delta
+	// Wait/Hold/Idle are histograms of only the observations recorded
+	// during the window. Zero-valued when the sampler has no observer.
+	Wait Histogram
+	Hold Histogram
+	Idle Histogram
+}
+
+// Sampler turns a lock's cumulative monitor into a stream of interval
+// windows. It can be driven two ways: as an agent thread (Run), the
+// paper's "external agent (possibly another application thread)" probing
+// the monitor on a period, with each probe charged; or externally by
+// calling Sample from harness or engine-callback context (uncharged).
+type Sampler struct {
+	// Lock is the observed lock.
+	Lock *core.Lock
+	// Obs, when non-nil, supplies per-window latency histograms. It must
+	// be the same observer attached to Lock.
+	Obs *LockObserver
+	// Every is the probe period for Run.
+	Every sim.Duration
+	// Keep bounds the number of retained windows (default 32; older
+	// windows are discarded ring-buffer style).
+	Keep int
+	// MaxWindows, when nonzero, bounds Run's lifetime so a simulation
+	// without an explicit Stop still terminates.
+	MaxWindows int
+	// OnWindow, when non-nil, is invoked with each completed window.
+	OnWindow func(Window)
+
+	prev     core.Snapshot
+	prevWait Histogram
+	prevHold Histogram
+	prevIdle Histogram
+	primed   bool
+
+	windows []Window
+	next    int
+	wrapped bool
+
+	stop bool
+}
+
+// Stop makes a running agent exit at its next probe.
+func (s *Sampler) Stop() { s.stop = true }
+
+// Run is the sampler's agent-thread body: probe the monitor every Every,
+// emitting one window per interval. Spawn it on a dedicated processor:
+//
+//	smp := &obs.Sampler{Lock: l, Obs: o, Every: sim.Us(500), MaxWindows: 20}
+//	sys.Spawn("sampler", cpu, 0, smp.Run)
+func (s *Sampler) Run(t *cthread.Thread) {
+	s.prime(s.Lock.Probe(t))
+	for n := 0; !s.stop; n++ {
+		if s.MaxWindows > 0 && n >= s.MaxWindows {
+			return
+		}
+		t.Sleep(s.Every)
+		s.advance(s.Lock.Probe(t))
+	}
+}
+
+// Sample takes one uncharged sample (MonitorSnapshot) and closes the
+// current window, returning it. The first call only primes the sampler
+// and returns a zero-interval window. For engine callbacks and harness
+// code that drive sampling themselves.
+func (s *Sampler) Sample() Window {
+	return s.advance(s.Lock.MonitorSnapshot())
+}
+
+// prime records the baseline without emitting a window.
+func (s *Sampler) prime(snap core.Snapshot) {
+	s.prev = snap
+	if s.Obs != nil {
+		s.prevWait = s.Obs.Wait()
+		s.prevHold = s.Obs.Hold()
+		s.prevIdle = s.Obs.Idle()
+	}
+	s.primed = true
+}
+
+// advance closes the window ending at snap.
+func (s *Sampler) advance(snap core.Snapshot) Window {
+	if !s.primed {
+		s.prime(snap)
+		return Window{Delta: snap.Delta(snap)}
+	}
+	w := Window{Delta: snap.Delta(s.prev)}
+	if s.Obs != nil {
+		wait, hold, idle := s.Obs.Wait(), s.Obs.Hold(), s.Obs.Idle()
+		w.Wait = wait.Delta(s.prevWait)
+		w.Hold = hold.Delta(s.prevHold)
+		w.Idle = idle.Delta(s.prevIdle)
+		s.prevWait, s.prevHold, s.prevIdle = wait, hold, idle
+	}
+	s.prev = snap
+	s.retain(w)
+	if s.OnWindow != nil {
+		s.OnWindow(w)
+	}
+	return w
+}
+
+// retain appends w to the bounded window ring.
+func (s *Sampler) retain(w Window) {
+	keep := s.Keep
+	if keep <= 0 {
+		keep = 32
+	}
+	if len(s.windows) < keep {
+		s.windows = append(s.windows, w)
+		return
+	}
+	// Keep may have shrunk between calls; clamp the ring.
+	if len(s.windows) > keep {
+		s.windows = s.windows[len(s.windows)-keep:]
+		s.next = 0
+	}
+	s.windows[s.next] = w
+	s.next = (s.next + 1) % keep
+	s.wrapped = true
+}
+
+// Windows returns the retained windows in chronological order.
+func (s *Sampler) Windows() []Window {
+	if !s.wrapped {
+		out := make([]Window, len(s.windows))
+		copy(out, s.windows)
+		return out
+	}
+	out := make([]Window, 0, len(s.windows))
+	out = append(out, s.windows[s.next:]...)
+	out = append(out, s.windows[:s.next]...)
+	return out
+}
+
+// Last returns the most recent window, if any.
+func (s *Sampler) Last() (Window, bool) {
+	if len(s.windows) == 0 {
+		return Window{}, false
+	}
+	i := len(s.windows) - 1
+	if s.wrapped {
+		i = (s.next - 1 + len(s.windows)) % len(s.windows)
+	}
+	return s.windows[i], true
+}

@@ -1,0 +1,205 @@
+// Package scenario provides the shared contended-lock scenario plumbing
+// behind the locktrace and lockstat commands: n workers hammering one
+// reconfigurable lock on the simulated GP1000, with optional tracing,
+// latency observation, windowed sampling, and a mid-run reconfiguration
+// agent.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ParsePolicy maps a command-line policy name to waiting-policy Params.
+func ParsePolicy(name string) (core.Params, bool) {
+	p, ok := map[string]core.Params{
+		"spin":     core.SpinParams(),
+		"backoff":  core.BackoffParams(sim.Us(50)),
+		"sleep":    core.SleepParams(),
+		"combined": core.CombinedParams(10),
+	}[name]
+	return p, ok
+}
+
+// ParseScheduler maps a command-line scheduler name to its kind.
+func ParseScheduler(name string) (core.SchedulerKind, bool) {
+	k, ok := map[string]core.SchedulerKind{
+		"fcfs":           core.FCFS,
+		"priority":       core.PriorityThreshold,
+		"priority-queue": core.PriorityQueue,
+		"handoff":        core.Handoff,
+		"deadline":       core.Deadline,
+	}[name]
+	return k, ok
+}
+
+// PolicyNames / SchedulerNames document the accepted flag values.
+const (
+	PolicyNames    = "spin|backoff|sleep|combined"
+	SchedulerNames = "fcfs|priority|priority-queue|handoff|deadline"
+)
+
+// Config describes one scenario run.
+type Config struct {
+	// Workers is the number of contending threads.
+	Workers int
+	// Iters is the number of lock/compute/unlock rounds per worker.
+	Iters int
+	// Params / Scheduler configure the lock.
+	Params    core.Params
+	Scheduler core.SchedulerKind
+	// CS is the critical-section length; Think the gap between rounds.
+	CS    sim.Duration
+	Think sim.Duration
+	// TraceEvents, when positive, attaches a trace ring of that capacity.
+	TraceEvents int
+	// Observe attaches an obs.LockObserver for latency histograms.
+	Observe bool
+	// SampleEvery, when positive, runs an obs.Sampler agent on its own
+	// processor with this probe period.
+	SampleEvery sim.Duration
+	// Agent spawns the mid-run reconfiguration agent (switch the waiting
+	// policy to sleep at AgentAt, default 800us) to show Ψ in the
+	// timeline.
+	Agent   bool
+	AgentAt sim.Time
+	// OnAgentError receives reconfiguration failures from the agent
+	// (nil: errors are counted in Result.AgentErrors only).
+	OnAgentError func(error)
+}
+
+// Result is what a scenario run produces.
+type Result struct {
+	Lock     *core.Lock
+	Tracer   *trace.Tracer     // nil unless TraceEvents > 0
+	Observer *obs.LockObserver // nil unless Observe
+	Sampler  *obs.Sampler      // nil unless SampleEvery > 0
+	Snapshot core.Snapshot     // monitor state at end of run
+	// AgentErrors counts failed possess/configure attempts by the mid-run
+	// agent.
+	AgentErrors int
+}
+
+// Run executes the scenario to completion of all spawned threads.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	if cfg.CS <= 0 {
+		cfg.CS = sim.Us(300)
+	}
+	if cfg.Think <= 0 {
+		cfg.Think = sim.Us(100)
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.CombinedParams(10)
+	}
+	if cfg.AgentAt <= 0 {
+		cfg.AgentAt = sim.Time(sim.Us(800))
+	}
+
+	mcfg := machine.DefaultGP1000()
+	procs := cfg.Workers
+	if cfg.Agent {
+		procs++
+	}
+	if cfg.SampleEvery > 0 {
+		procs++
+	}
+	if procs > mcfg.Procs {
+		mcfg.Procs = procs
+	}
+	sys := cthread.NewSystem(machine.New(mcfg))
+	lock := core.New(sys, core.Options{Params: cfg.Params, Scheduler: cfg.Scheduler})
+
+	res := &Result{Lock: lock}
+	if cfg.TraceEvents > 0 {
+		res.Tracer = trace.New(cfg.TraceEvents)
+		lock.SetTracer(res.Tracer, "lock")
+	}
+	if cfg.Observe || cfg.SampleEvery > 0 {
+		res.Observer = obs.NewLockObserver()
+		lock.SetLatencyObserver(res.Observer)
+	}
+
+	kind := cfg.Scheduler
+	for i := 0; i < cfg.Workers; i++ {
+		i := i
+		name := fmt.Sprintf("worker-%d", i)
+		sys.SpawnAt(sim.Us(float64(50*i)), name, i, int64(i), func(t *cthread.Thread) {
+			for k := 0; k < cfg.Iters; k++ {
+				if kind == core.Deadline {
+					lock.LockDeadline(t, t.Now()+sim.Time(sim.Us(1000*float64(cfg.Workers-i))))
+				} else {
+					lock.Lock(t)
+				}
+				t.Compute(cfg.CS)
+				lock.Unlock(t)
+				t.Compute(cfg.Think)
+			}
+		})
+	}
+
+	cpu := cfg.Workers
+	if cfg.Agent {
+		// Mid-run reconfiguration by an external agent, to show Ψ in the
+		// timeline.
+		sys.SpawnAt(sim.Duration(cfg.AgentAt), "agent", cpu, 0, func(t *cthread.Thread) {
+			fail := func(err error) {
+				res.AgentErrors++
+				if cfg.OnAgentError != nil {
+					cfg.OnAgentError(err)
+				}
+			}
+			if err := lock.Possess(t, core.AttrWaitingPolicy); err != nil {
+				fail(fmt.Errorf("possess waiting-policy: %w", err))
+				return
+			}
+			if err := lock.ConfigureWaiting(t, core.SleepParams()); err != nil {
+				fail(fmt.Errorf("configure waiting-policy: %w", err))
+			}
+		})
+		cpu++
+	}
+	if cfg.SampleEvery > 0 {
+		// Bound the sampler's lifetime generously; it also stops itself
+		// once every worker has finished.
+		res.Sampler = &obs.Sampler{
+			Lock:       lock,
+			Obs:        res.Observer,
+			Every:      cfg.SampleEvery,
+			Keep:       1024,
+			MaxWindows: 100000,
+		}
+		smp := res.Sampler
+		done := func() bool {
+			for _, th := range sys.Threads() {
+				if th.Name() != "sampler" && th.State() != cthread.Done {
+					return false
+				}
+			}
+			return true
+		}
+		sys.Spawn("sampler", cpu, 0, func(t *cthread.Thread) {
+			for !done() {
+				t.Sleep(cfg.SampleEvery)
+				smp.Sample()
+			}
+		})
+	}
+
+	if err := sys.M.Eng.Run(); err != nil {
+		return res, err
+	}
+	res.Snapshot = lock.MonitorSnapshot()
+	return res, nil
+}

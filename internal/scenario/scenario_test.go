@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestRunDefaultsProduceFullObservability(t *testing.T) {
+	res, err := Run(Config{
+		Workers:     3,
+		Iters:       3,
+		TraceEvents: 256,
+		Observe:     true,
+		SampleEvery: sim.Us(500),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Acquisitions != 9 {
+		t.Errorf("acquisitions = %d, want 9 (3 workers x 3 rounds)", res.Snapshot.Acquisitions)
+	}
+	if res.Tracer == nil || res.Tracer.Len() == 0 {
+		t.Error("no trace collected")
+	}
+	if res.Observer == nil || res.Observer.Hold().Count() != 9 {
+		t.Error("observer missing or hold count wrong")
+	}
+	if res.Sampler == nil || len(res.Sampler.Windows()) == 0 {
+		t.Error("sampler collected no windows")
+	}
+	if res.AgentErrors != 0 {
+		t.Errorf("agent errors = %d without an agent", res.AgentErrors)
+	}
+}
+
+func TestRunAgentReconfigures(t *testing.T) {
+	var agentErrs []error
+	res, err := Run(Config{
+		Workers:      4,
+		Iters:        4,
+		CS:           sim.Us(400),
+		TraceEvents:  256,
+		Agent:        true,
+		OnAgentError: func(e error) { agentErrs = append(agentErrs, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.ReconfigWaiting != 1 {
+		t.Errorf("reconfigWaiting = %d, want 1 (agent errors: %v)", res.Snapshot.ReconfigWaiting, agentErrs)
+	}
+	if res.AgentErrors != len(agentErrs) {
+		t.Errorf("AgentErrors = %d, callback saw %d", res.AgentErrors, len(agentErrs))
+	}
+}
+
+func TestParsePolicyAndScheduler(t *testing.T) {
+	for _, name := range []string{"spin", "backoff", "sleep", "combined"} {
+		if _, ok := ParsePolicy(name); !ok {
+			t.Errorf("ParsePolicy(%q) failed", name)
+		}
+	}
+	if _, ok := ParsePolicy("bogus"); ok {
+		t.Error("ParsePolicy accepted bogus")
+	}
+	for _, name := range []string{"fcfs", "priority", "priority-queue", "handoff", "deadline"} {
+		if _, ok := ParseScheduler(name); !ok {
+			t.Errorf("ParseScheduler(%q) failed", name)
+		}
+	}
+	if _, ok := ParseScheduler("bogus"); ok {
+		t.Error("ParseScheduler accepted bogus")
+	}
+	if k, _ := ParseScheduler("deadline"); k != core.Deadline {
+		t.Errorf("deadline maps to %v", k)
+	}
+}

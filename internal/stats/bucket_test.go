@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBucketQuantileBasics(t *testing.T) {
+	// Three buckets (0,10], (10,100], (100,1000] with 50/40/10 samples.
+	counts := []int64{50, 40, 10}
+	upper := []float64{10, 100, 1000}
+	if got := BucketQuantile(0, counts, upper, 0); got < 0 || got > 10 {
+		t.Errorf("q0 = %v, want within first bucket", got)
+	}
+	p50 := BucketQuantile(50, counts, upper, 0)
+	if p50 < 9 || p50 > 10.01 {
+		t.Errorf("p50 = %v, want ~10 (boundary of first bucket)", p50)
+	}
+	p90 := BucketQuantile(90, counts, upper, 0)
+	if p90 < 99 || p90 > 100.01 {
+		t.Errorf("p90 = %v, want ~100", p90)
+	}
+	p99 := BucketQuantile(99, counts, upper, 0)
+	if p99 <= 100 || p99 > 1000 {
+		t.Errorf("p99 = %v, want inside last bucket", p99)
+	}
+	if got := BucketQuantile(100, counts, upper, 0); got != 1000 {
+		t.Errorf("p100 = %v, want 1000", got)
+	}
+}
+
+func TestBucketQuantileInterpolatesInsideBucket(t *testing.T) {
+	// All mass in one bucket spanning (100, 200]: quantiles interpolate
+	// linearly across it.
+	counts := []int64{0, 100}
+	upper := []float64{100, 200}
+	p25 := BucketQuantile(25, counts, upper, 0)
+	if math.Abs(p25-125) > 1 {
+		t.Errorf("p25 = %v, want ~125", p25)
+	}
+	p75 := BucketQuantile(75, counts, upper, 0)
+	if math.Abs(p75-175) > 1 {
+		t.Errorf("p75 = %v, want ~175", p75)
+	}
+}
+
+func TestBucketQuantileEmptyAndSkippedBuckets(t *testing.T) {
+	if got := BucketQuantile(99, []int64{0, 0}, []float64{1, 2}, 0); got != 0 {
+		t.Errorf("empty = %v, want 0", got)
+	}
+	// Empty middle bucket is skipped, not interpolated into.
+	counts := []int64{10, 0, 10}
+	upper := []float64{10, 100, 1000}
+	p75 := BucketQuantile(75, counts, upper, 0)
+	if p75 <= 100 || p75 > 1000 {
+		t.Errorf("p75 = %v, want inside last bucket", p75)
+	}
+}
+
+func TestBucketQuantilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"q out of range": func() { BucketQuantile(101, []int64{1}, []float64{1}, 0) },
+		"negative q":     func() { BucketQuantile(-1, []int64{1}, []float64{1}, 0) },
+		"length":         func() { BucketQuantile(50, []int64{1, 2}, []float64{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -101,6 +101,57 @@ func Histogram(xs []float64, n int, min, max float64) []int {
 	return counts
 }
 
+// BucketQuantile returns the q-th quantile (0 <= q <= 100) of a sample
+// known only through bucket counts. upper[i] is the inclusive upper bound
+// of bucket i; bucket i spans (upper[i-1], upper[i]] (the first bucket's
+// lower bound is lo). The quantile is linearly interpolated inside the
+// bucket that contains it, the streaming-histogram analogue of Percentile.
+// An all-zero count slice yields 0. It panics on out-of-range q or on a
+// counts/upper length mismatch.
+func BucketQuantile(q float64, counts []int64, upper []float64, lo float64) float64 {
+	if q < 0 || q > 100 {
+		panic("stats: quantile out of range")
+	}
+	if len(counts) != len(upper) {
+		panic("stats: BucketQuantile counts/upper length mismatch")
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	// Rank of the quantile in [1, total], closest-rank with interpolation
+	// inside the containing bucket.
+	rank := q / 100 * float64(total)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) >= rank {
+			lower := lo
+			if i > 0 {
+				lower = upper[i-1]
+			}
+			frac := (rank - float64(seen)) / float64(c)
+			return lower + (upper[i]-lower)*frac
+		}
+		seen += c
+	}
+	// Rounding left us past the last nonempty bucket: return its bound.
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			return upper[i]
+		}
+	}
+	return 0
+}
+
 // Speedup returns base/v as a percentage gain of v over base, matching the
 // paper's "Performance Gain" column (e.g. 463937.5 vs 403735.69 -> ~13%).
 func Speedup(base, v float64) float64 {

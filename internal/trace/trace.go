@@ -114,6 +114,8 @@ func (t *Tracer) Emit(e Event) {
 		t.buf = append(t.buf, e)
 		return
 	}
+	// Ring overflow: the oldest retained event is overwritten and lost.
+	t.dropped++
 	t.buf[t.next] = e
 	t.next = (t.next + 1) % cap(t.buf)
 	t.wrapped = true
@@ -151,7 +153,8 @@ func (t *Tracer) Len() int {
 	return len(t.buf)
 }
 
-// Dropped reports events rejected by the filter.
+// Dropped reports events lost to the tracer: rejected by the filter or
+// overwritten by ring overflow.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -166,7 +169,9 @@ func (t *Tracer) Dump(w io.Writer) {
 	}
 }
 
-// Summary counts events per kind, rendered as "kind=N" pairs.
+// Summary counts events per kind, rendered as "kind=N" pairs. Events lost
+// to filtering or ring overflow are reported as a trailing "dropped=N", so
+// a wrapped ring is never mistaken for the full timeline.
 func (t *Tracer) Summary() string {
 	counts := map[Kind]int{}
 	var order []Kind
@@ -179,6 +184,9 @@ func (t *Tracer) Summary() string {
 	var parts []string
 	for _, k := range order {
 		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	if d := t.Dropped(); d > 0 {
+		parts = append(parts, fmt.Sprintf("dropped=%d", d))
 	}
 	return strings.Join(parts, " ")
 }
