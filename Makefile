@@ -1,9 +1,10 @@
 # Tier-1 verification lives in `make check`: build, vet, race-enabled
-# tests. CI and pre-commit should run exactly that.
+# tests, plus a short fuzz smoke of the parameter-word codec. CI and
+# pre-commit should run exactly that.
 
 GO ?= go
 
-.PHONY: all build vet test race check bench verify clean
+.PHONY: all build vet test race check bench verify chaos fuzz clean
 
 all: check
 
@@ -19,7 +20,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet race fuzz
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -28,6 +29,17 @@ bench:
 # PASS/FAIL check of every reproduction claim.
 verify:
 	$(GO) run ./cmd/lockbench -verify
+
+# Deterministic chaos: run the fault-injection acceptance tests, then a
+# faulted scenario twice with the same seed — the reports must match.
+chaos:
+	$(GO) test ./internal/scenario -run TestChaos -count=1 -v
+	$(GO) run ./cmd/lockstat -n 6 -iters 5 -faults 'stall:every=3:us=2500,crash:every=9' -degrade
+
+# Short fuzz smoke of the Params pack/unpack codec (raise -fuzztime for a
+# real fuzzing session).
+fuzz:
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzParamsPackRoundtrip -fuzztime 5s
 
 clean:
 	$(GO) clean ./...

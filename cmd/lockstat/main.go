@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -102,6 +103,24 @@ type report struct {
 		Dropped int64  `json:"dropped"`
 		Summary string `json:"summary"`
 	} `json:"trace"`
+	Robustness struct {
+		Aborts            int64                  `json:"aborts"` // conditional acquisitions that timed out
+		Abandonments      int64                  `json:"abandonments"`
+		OwnerDeaths       int64                  `json:"owner_deaths"`
+		WatchdogTrips     int64                  `json:"watchdog_trips"`
+		PossessRecoveries int64                  `json:"possess_recoveries"`
+		Crashes           int                    `json:"crashes"`
+		AgentDied         bool                   `json:"agent_died"`
+		OwnerDiedSeen     int                    `json:"owner_died_seen"`
+		Degradations      int                    `json:"degradations"`
+		Faults            map[string]faultReport `json:"faults,omitempty"`
+	} `json:"robustness"`
+}
+
+// faultReport is the JSON shape of one injected fault kind's counts.
+type faultReport struct {
+	Opportunities int64 `json:"opportunities"`
+	Injected      int64 `json:"injected"`
 }
 
 func main() {
@@ -116,6 +135,10 @@ func main() {
 		agent   = flag.Bool("agent", false, "spawn the mid-run reconfiguration agent")
 		jsonOut = flag.Bool("json", false, "emit the report as JSON on stdout")
 		chrome  = flag.String("chrome", "", "write the event ring as Chrome trace-event JSON to this file")
+		faults  = flag.String("faults", "", "fault schedule, e.g. 'stall:every=3:us=2000,crash:prob=0.1' ("+fault.SpecGrammar+")")
+		seed    = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
+		holdDl  = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
+		degrade = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
 	)
 	flag.Parse()
 
@@ -133,6 +156,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lockstat: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
+	specs, err := fault.ParseSpecs(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockstat:", err)
+		os.Exit(2)
+	}
 
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
@@ -147,6 +175,10 @@ func main() {
 		OnAgentError: func(err error) {
 			fmt.Fprintln(os.Stderr, "lockstat: agent:", err)
 		},
+		Faults:       specs,
+		FaultSeed:    *seed,
+		HoldDeadline: sim.Us(*holdDl),
+		Degrade:      *degrade,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
@@ -236,6 +268,30 @@ func buildReport(res *scenario.Result, n, iters int, policy, sched string, cs fl
 	doc.Trace.Events = res.Tracer.Len()
 	doc.Trace.Dropped = res.Tracer.Dropped()
 	doc.Trace.Summary = res.Tracer.Summary()
+
+	doc.Robustness.Aborts = snap.Failures
+	doc.Robustness.Abandonments = snap.Abandonments
+	doc.Robustness.OwnerDeaths = snap.OwnerDeaths
+	doc.Robustness.WatchdogTrips = snap.WatchdogTrips
+	doc.Robustness.PossessRecoveries = snap.PossessRecoveries
+	doc.Robustness.Crashes = res.Crashes
+	doc.Robustness.AgentDied = res.AgentDied
+	doc.Robustness.OwnerDiedSeen = res.OwnerDiedSeen
+	if res.DegradeAgent != nil {
+		doc.Robustness.Degradations = res.DegradeAgent.Degradations
+	}
+	if res.Faults != nil {
+		doc.Robustness.Faults = map[string]faultReport{}
+		for k, kc := range res.Faults.Counts() {
+			if kc.Opportunities == 0 {
+				continue
+			}
+			doc.Robustness.Faults[k.String()] = faultReport{
+				Opportunities: kc.Opportunities,
+				Injected:      kc.Injected,
+			}
+		}
+	}
 	return doc
 }
 
@@ -261,6 +317,26 @@ func printHuman(res *scenario.Result, n, iters int, policy, sched string, cs flo
 		}
 	}
 	fmt.Println()
+
+	if res.Faults != nil || snap.Abandonments > 0 || snap.OwnerDeaths > 0 ||
+		snap.WatchdogTrips > 0 || snap.PossessRecoveries > 0 {
+		fmt.Printf("\nrobustness\n")
+		fmt.Printf("  aborts        %-8d abandoned %-8d ownerDeaths %d\n",
+			snap.Failures, snap.Abandonments, snap.OwnerDeaths)
+		fmt.Printf("  watchdogTrips %-8d possessRecov %-5d crashes %d\n",
+			snap.WatchdogTrips, snap.PossessRecoveries, res.Crashes)
+		if res.AgentDied || res.OwnerDiedSeen > 0 {
+			fmt.Printf("  agentDied %-12v ownerDiedSeen %d\n", res.AgentDied, res.OwnerDiedSeen)
+		}
+		if res.DegradeAgent != nil {
+			fmt.Printf("  degradations  %-8d trips seen %d\n",
+				res.DegradeAgent.Degradations, res.DegradeAgent.Trips)
+		}
+		if res.Faults != nil {
+			fmt.Printf("  injected (fired/opportunities): %s  [seed %d]\n",
+				res.Faults.Counts(), res.Faults.Seed())
+		}
+	}
 
 	for _, h := range []struct {
 		name string

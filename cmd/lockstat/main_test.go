@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -38,7 +39,7 @@ func TestReportJSONShape(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, section := range []string{"scenario", "monitor", "wait", "hold", "idle", "windows", "trace"} {
+	for _, section := range []string{"scenario", "monitor", "wait", "hold", "idle", "windows", "trace", "robustness"} {
 		if _, ok := m[section]; !ok {
 			t.Errorf("report missing section %q", section)
 		}
@@ -77,6 +78,77 @@ func TestReportJSONShape(t *testing.T) {
 	for _, field := range []string{"start_us", "end_us", "acquisitions", "p99_wait_us"} {
 		if _, ok := windows[0][field]; !ok {
 			t.Errorf("window missing field %q", field)
+		}
+	}
+}
+
+// TestReportRobustnessShape asserts the robustness section's field names
+// and that a faulted run populates them: the counters lockstat -json
+// surfaces for abort/owner-death/watchdog accounting.
+func TestReportRobustnessShape(t *testing.T) {
+	res, err := scenario.Run(scenario.Config{
+		Workers:     4,
+		Iters:       4,
+		CS:          sim.Us(300),
+		TraceEvents: 512,
+		Observe:     true,
+		Faults: []fault.Spec{
+			{Kind: fault.HolderStall, Every: 2, MinUs: 3000},
+			{Kind: fault.OwnerCrash, Every: 9},
+		},
+		FaultSeed: 1,
+		Degrade:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buildReport(res, 4, 4, "combined", "fcfs", 300)
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	var rob map[string]interface{}
+	if err := json.Unmarshal(m["robustness"], &rob); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"aborts", "abandonments", "owner_deaths", "watchdog_trips",
+		"possess_recoveries", "crashes", "agent_died", "owner_died_seen",
+		"degradations", "faults",
+	} {
+		if _, ok := rob[field]; !ok {
+			t.Errorf("robustness missing field %q", field)
+		}
+	}
+	if rob["owner_deaths"].(float64) == 0 {
+		t.Error("owner_deaths = 0 with crash faults every 9th CS over 16 iterations")
+	}
+	if rob["watchdog_trips"].(float64) == 0 {
+		t.Error("watchdog_trips = 0 with 3000us stalls under the default crash deadline")
+	}
+	if rob["degradations"].(float64) == 0 {
+		t.Error("degradations = 0 with the degrade agent installed")
+	}
+	var faults map[string]map[string]float64
+	if err := json.Unmarshal(m["robustness"], &struct {
+		Faults *map[string]map[string]float64 `json:"faults"`
+	}{&faults}); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"stall", "crash"} {
+		kc, ok := faults[kind]
+		if !ok {
+			t.Errorf("faults missing kind %q (have %v)", kind, faults)
+			continue
+		}
+		for _, field := range []string{"opportunities", "injected"} {
+			if _, ok := kc[field]; !ok {
+				t.Errorf("fault %q missing field %q", kind, field)
+			}
 		}
 	}
 }

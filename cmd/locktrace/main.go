@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -26,6 +27,10 @@ func main() {
 		events   = flag.Int("events", 200, "trace ring capacity")
 		cs       = flag.Float64("cs", 300, "critical section length (us)")
 		jsonDump = flag.Bool("json", false, "dump the event ring as Chrome trace-event JSON instead of the timeline")
+		faults   = flag.String("faults", "", "fault schedule ("+fault.SpecGrammar+")")
+		seed     = flag.Int64("fault-seed", 1, "fault-schedule seed")
+		holdDl   = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off)")
+		degrade  = flag.Bool("degrade", false, "spawn the degrade agent reacting to watchdog trips")
 	)
 	flag.Parse()
 
@@ -43,6 +48,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "locktrace: unknown scheduler %q\n", *sched)
 		os.Exit(2)
 	}
+	specs, err := fault.ParseSpecs(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locktrace:", err)
+		os.Exit(2)
+	}
 
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
@@ -54,6 +64,10 @@ func main() {
 		OnAgentError: func(err error) {
 			fmt.Fprintln(os.Stderr, "locktrace: agent:", err)
 		},
+		Faults:       specs,
+		FaultSeed:    *seed,
+		HoldDeadline: sim.Us(*holdDl),
+		Degrade:      *degrade,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locktrace:", err)
@@ -75,4 +89,8 @@ func main() {
 	snap := res.Snapshot
 	fmt.Printf("monitor: acq=%d contended=%d grants=%d wakeups=%d avgWait=%v avgHold=%v\n",
 		snap.Acquisitions, snap.Contended, snap.Grants, snap.Wakeups, snap.AvgWait(), snap.AvgHold())
+	if res.Faults != nil {
+		fmt.Printf("faults:  %s  [seed %d]  ownerDeaths=%d watchdogTrips=%d abandoned=%d\n",
+			res.Faults.Counts(), res.Faults.Seed(), snap.OwnerDeaths, snap.WatchdogTrips, snap.Abandonments)
+	}
 }

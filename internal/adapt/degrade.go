@@ -1,0 +1,147 @@
+package adapt
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/native"
+)
+
+// DegradeAgent is the reactive counterpart of Agent: instead of polling
+// the monitor it blocks until the lock's watchdog trips (a holder
+// exceeded its hold deadline, or died holding the lock) and then degrades
+// the waiting policy to a safe configuration — spinning waiters burning
+// processor time on a stalled owner are converted to sleepers. The agent
+// keeps possession of the waiting-policy attribute after degrading so no
+// other adaptation flips the lock back while the fault persists.
+//
+// Run it on a dedicated processor like Agent.Run; it is woken from the
+// watchdog's engine callback, so it consumes no simulated time while the
+// lock behaves.
+type DegradeAgent struct {
+	Lock *core.Lock
+	// Safe is the degraded waiting policy; the zero value selects
+	// core.SleepParams().
+	Safe core.Params
+	// MaxTrips, when nonzero, exits the agent after that many trips (so
+	// a simulation without an explicit stop can drain). Zero blocks
+	// forever — the agent ends as an abandoned daemon.
+	MaxTrips int
+
+	// Degradations counts issued safe-policy reconfigurations; Trips the
+	// watchdog events observed; Errors the rejected attempts.
+	Degradations int
+	Trips        int
+	Errors       int
+	// LastEvent is the most recent watchdog event.
+	LastEvent core.WatchdogEvent
+
+	degraded bool
+	handled  int
+}
+
+// Run is the agent thread's body.
+func (a *DegradeAgent) Run(t *cthread.Thread) {
+	sys := t.System()
+	a.Lock.SetWatchdogFunc(func(ev core.WatchdogEvent) {
+		a.Trips++
+		a.LastEvent = ev
+		sys.WakeFromCallback(t) // pending-wake latched if the agent is busy
+	})
+	for {
+		if a.handled == a.Trips {
+			t.Block()
+		}
+		for a.handled < a.Trips {
+			a.handled = a.Trips
+			a.degrade(t)
+		}
+		if a.MaxTrips > 0 && a.Trips >= a.MaxTrips {
+			break
+		}
+	}
+	a.Lock.SetWatchdogFunc(nil)
+	a.Lock.Dispossess(t, core.AttrWaitingPolicy)
+}
+
+// degrade possesses the waiting-policy attribute and configures the safe
+// policy (once; later trips only count).
+func (a *DegradeAgent) degrade(t *cthread.Thread) {
+	if a.degraded {
+		return
+	}
+	safe := a.Safe
+	if safe == (core.Params{}) {
+		safe = core.SleepParams()
+	}
+	if err := a.Lock.Possess(t, core.AttrWaitingPolicy); err != nil {
+		a.Errors++
+		return
+	}
+	if err := a.Lock.ConfigureWaiting(t, safe); err != nil {
+		a.Errors++
+		return
+	}
+	a.degraded = true
+	a.Degradations++
+}
+
+// Degraded reports whether the safe policy has been applied.
+func (a *DegradeAgent) Degraded() bool { return a.degraded }
+
+// Degrader is the native-runtime analogue of DegradeAgent: installed as a
+// Mutex watchdog's OnTrip handler, it degrades the waiting policy to a
+// safe configuration on the first trip. It is safe for concurrent use
+// (OnTrip runs on watchdog timer goroutines).
+type Degrader struct {
+	mu   *native.Mutex
+	safe native.Policy
+
+	degraded     atomic.Bool
+	trips        atomic.Int64
+	degradations atomic.Int64
+}
+
+// NewDegrader builds a Degrader for m. The zero safe policy selects
+// native.BlockPolicy.
+func NewDegrader(m *native.Mutex, safe native.Policy) *Degrader {
+	if safe == (native.Policy{}) {
+		safe = native.BlockPolicy
+	}
+	return &Degrader{mu: m, safe: safe}
+}
+
+// Install arms m's watchdog with this degrader as the trip handler.
+func (d *Degrader) Install(holdDeadline time.Duration, abortWaiters bool) error {
+	return d.mu.SetWatchdog(native.WatchdogConfig{
+		HoldDeadline: holdDeadline,
+		AbortWaiters: abortWaiters,
+		OnTrip:       d.React,
+	})
+}
+
+// React handles one watchdog trip; it is the WatchdogConfig.OnTrip
+// callback.
+func (d *Degrader) React(native.WatchdogEvent) {
+	d.trips.Add(1)
+	if d.degraded.CompareAndSwap(false, true) {
+		if d.mu.SetPolicy(d.safe) == nil {
+			d.degradations.Add(1)
+		}
+	}
+}
+
+// Degraded reports whether the safe policy has been applied.
+func (d *Degrader) Degraded() bool { return d.degraded.Load() }
+
+// Trips returns the observed watchdog-trip count.
+func (d *Degrader) Trips() int64 { return d.trips.Load() }
+
+// Degradations returns the issued safe-policy reconfigurations.
+func (d *Degrader) Degradations() int64 { return d.degradations.Load() }
+
+// Reset re-arms the degrader after the fault is repaired; the next trip
+// degrades again.
+func (d *Degrader) Reset() { d.degraded.Store(false) }

@@ -1,0 +1,118 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cthread"
+	"repro/internal/native"
+	"repro/internal/sim"
+)
+
+// TestDegradeAgentReactsToStall: a stalled holder trips the watchdog; the
+// degrade agent wakes and switches the lock's waiting policy to the safe
+// (sleep) configuration, keeping possession so nothing flips it back.
+func TestDegradeAgentReactsToStall(t *testing.T) {
+	s := newSys(4)
+	l := core.New(s, core.Options{Params: core.SpinParams()})
+	l.SetHoldDeadline(sim.Us(300))
+	agent := &DegradeAgent{Lock: l, MaxTrips: 1}
+	s.Spawn("degrade", 3, 0, agent.Run)
+	s.Spawn("staller", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000)) // well past the deadline
+		l.Unlock(th)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !agent.Degraded() {
+		t.Fatal("agent never degraded despite a stalled holder")
+	}
+	if agent.Trips == 0 {
+		t.Error("agent observed no watchdog trips")
+	}
+	if agent.Degradations != 1 {
+		t.Errorf("Degradations = %d, want 1", agent.Degradations)
+	}
+	if agent.Errors != 0 {
+		t.Errorf("agent hit %d errors", agent.Errors)
+	}
+	if l.Params().Kind() != core.PolicySleep {
+		t.Errorf("final policy = %v, want pure sleep", l.Params().Kind())
+	}
+	if ev := agent.LastEvent; ev.Held < sim.Us(300) {
+		t.Errorf("last event held=%v, below the deadline", ev.Held)
+	}
+}
+
+// TestDegradeAgentCustomSafePolicy: the configured Safe params are the
+// ones applied.
+func TestDegradeAgentCustomSafePolicy(t *testing.T) {
+	s := newSys(4)
+	l := core.New(s, core.Options{Params: core.SpinParams()})
+	l.SetHoldDeadline(sim.Us(300))
+	safe := core.CombinedParams(5)
+	agent := &DegradeAgent{Lock: l, Safe: safe, MaxTrips: 1}
+	s.Spawn("degrade", 3, 0, agent.Run)
+	s.Spawn("staller", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(2000))
+		l.Unlock(th)
+	})
+	if err := s.M.Eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !agent.Degraded() {
+		t.Fatal("agent never degraded")
+	}
+	if l.Params() != safe {
+		t.Errorf("final params = %+v, want %+v", l.Params(), safe)
+	}
+}
+
+// TestDegraderNative: the native degrader installed as a watchdog handler
+// switches a spinning lock to the safe blocking policy on the first trip
+// and latches (no repeated reconfiguration).
+func TestDegraderNative(t *testing.T) {
+	m := native.MustNew(native.SpinPolicy, native.FIFO)
+	d := NewDegrader(m, native.Policy{})
+	if err := d.Install(2*time.Millisecond, false); err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	deadline := time.Now().Add(5 * time.Second)
+	for !d.Degraded() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Unlock()
+
+	if !d.Degraded() {
+		t.Fatal("degrader never reacted to the stalled holder")
+	}
+	if d.Trips() == 0 {
+		t.Error("no trips recorded")
+	}
+	if d.Degradations() != 1 {
+		t.Errorf("Degradations = %d, want 1", d.Degradations())
+	}
+	if got := m.Policy(); got != native.BlockPolicy {
+		t.Errorf("policy = %+v, want BlockPolicy", got)
+	}
+	// Reset re-arms: another stall degrades again.
+	d.Reset()
+	if d.Degraded() {
+		t.Fatal("Reset did not clear the latch")
+	}
+	m.Lock()
+	deadline = time.Now().Add(5 * time.Second)
+	for d.Degradations() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	m.Unlock()
+	if d.Degradations() != 2 {
+		t.Errorf("Degradations after Reset = %d, want 2", d.Degradations())
+	}
+}

@@ -93,6 +93,7 @@ type entry struct {
 	t        *cthread.Thread
 	prio     int64
 	deadline sim.Time // absolute deadline for the Deadline scheduler (0 = none)
+	abortAt  sim.Time // conditional-acquisition expiry (0 = unconditional)
 	regAt    sim.Time
 	sleeping bool // true while the waiter is blocked (vs. spinning)
 }
@@ -132,11 +133,12 @@ type Lock struct {
 	hintW  *machine.Word // handoff hint
 
 	// Configuration state words.
-	paramsW   *machine.Word           // packed Params (1R1W reconfiguration)
-	threshW   *machine.Word           // priority threshold
-	schedSub  [3]*machine.Word        // the three scheduler submodules
-	schedFlag *machine.Word           // configuration-delay flag
-	attrOwn   [numAttrs]*machine.Word // attribute ownership words
+	paramsW   *machine.Word             // packed Params (1R1W reconfiguration)
+	threshW   *machine.Word             // priority threshold
+	schedSub  [3]*machine.Word          // the three scheduler submodules
+	schedFlag *machine.Word             // configuration-delay flag
+	attrOwn   [numAttrs]*machine.Word   // attribute ownership words
+	attrOwnT  [numAttrs]*cthread.Thread // attribute possessor threads (for death recovery)
 
 	// Go-level mirrors of the configuration state (the words carry the
 	// cost; these carry the meaning).
@@ -158,6 +160,14 @@ type Lock struct {
 	tracer   *trace.Tracer   // nil unless SetTracer was called
 	label    string          // object name used in trace events
 	observer LatencyObserver // nil unless SetLatencyObserver was called
+
+	// Robustness machinery (see robust.go).
+	injector         FaultInjector       // nil unless SetFaultInjector was called
+	holdDeadline     sim.Duration        // watchdog deadline (0 = disabled)
+	onWatchdog       func(WatchdogEvent) // nil unless SetWatchdogFunc was called
+	ownerT           *cthread.Thread     // current owner thread (nil = free)
+	holdSeq          uint64              // bumped at every ownership change
+	ownerDiedPending bool                // undelivered EOWNERDEAD to the next owner
 
 	module int // memory module currently holding the lock's words
 }
@@ -328,8 +338,10 @@ func (l *Lock) acquire(t *cthread.Thread, deadline sim.Time) bool {
 		l.mon.acquisitions++
 		l.mon.holdStart = t.Now()
 		l.mon.transition(StateLocked) // Figure 4: unlocked -> locked
+		l.setOwner(t)
 		l.unlockGuard(t)
 		l.emit(t.Now(), trace.LockAcquire, t.Name(), "uncontended")
+		l.injectHolderStall(t)
 		return true
 	}
 	// Busy: enqueue and enter the waiting policy chosen by Γ_Acq.
@@ -341,6 +353,7 @@ func (l *Lock) acquire(t *cthread.Thread, deadline sim.Time) bool {
 	}
 	l.mon.contended++
 	l.unlockGuard(t)
+	l.injectWaiterPreempt(t)
 	return l.wait(t, e)
 }
 
@@ -365,6 +378,10 @@ func (l *Lock) wait(t *cthread.Thread, e *entry) bool {
 	hasDeadline := p.Timeout > 0
 	if hasDeadline {
 		deadline = t.Now() + sim.Time(p.Timeout)
+		// Latch the expiry in the registration entry so the release
+		// module can purge us if we time out before deregistering
+		// ourselves (see purgeExpired).
+		e.abortAt = deadline
 	}
 	for {
 		// Spin phase.
@@ -458,6 +475,7 @@ func (l *Lock) granted(t *cthread.Thread, e *entry) bool {
 		l.observer.ObserveIdle(sim.Duration(t.Now() - l.mon.idleStart))
 	}
 	l.emit(t.Now(), trace.LockAcquire, t.Name(), fmt.Sprintf("waited %v", sim.Duration(t.Now()-e.regAt)))
+	l.injectHolderStall(t)
 	return true
 }
 
@@ -492,6 +510,7 @@ func (l *Lock) abandonLocked(t *cthread.Thread, e *entry) bool {
 
 // Unlock releases the lock. The caller must be the current owner.
 func (l *Lock) Unlock(t *cthread.Thread) {
+	l.injectReleaseDelay(t)
 	if l.server != nil {
 		l.postRelease(t, 0)
 		return
@@ -507,6 +526,7 @@ func (l *Lock) UnlockTo(t *cthread.Thread, target *cthread.Thread) {
 	if target != nil {
 		hint = target.ID()
 	}
+	l.injectReleaseDelay(t)
 	if l.server != nil {
 		l.postRelease(t, hint)
 		return
@@ -530,6 +550,12 @@ func (l *Lock) release(byT *cthread.Thread, hint int64) {
 	}
 	// "The extra work required to check for currently blocked threads."
 	_ = l.regW.Read(byT)
+	// Timed-out conditional waiters must leave the registration queue
+	// before the scheduler picks, so a release never grants the lock to
+	// an abandoned thread. A waiter abandoned here also counts toward
+	// the configuration delay: an aborted pre-registered thread no
+	// longer has to be "served".
+	l.purgeExpired(byT.Now(), byT)
 	if l.havePending && len(l.queue) == 0 {
 		// Configuration delay over: all pre-registered threads served;
 		// discard the old scheduler and reset the flag (the 5th write).
@@ -539,6 +565,7 @@ func (l *Lock) release(byT *cthread.Thread, hint int64) {
 	}
 	if len(l.queue) == 0 {
 		l.ownerW.Write(byT, 0)
+		l.setOwner(nil)
 		l.mon.transition(StateUnlocked) // Figure 4: locked -> unlocked
 		l.unlockGuard(byT)
 		return
@@ -553,6 +580,7 @@ func (l *Lock) release(byT *cthread.Thread, hint int64) {
 	l.ownerW.Write(byT, e.t.ID())
 	l.mon.grants++
 	l.mon.holdStart = byT.Now()
+	l.setOwner(e.t)
 	sleeping := e.sleeping
 	l.unlockGuard(byT)
 	l.emit(byT.Now(), trace.LockGrant, byT.Name(), fmt.Sprintf("-> %s (%s)", e.t.Name(), l.sched))

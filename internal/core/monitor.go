@@ -78,6 +78,12 @@ type Monitor struct {
 	reconfigScheduler int64 // scheduler reconfigurations (Ψ)
 	possessions       int64 // possess operations
 
+	// Robustness counters (see robust.go).
+	abandonments      int64 // expired waiters purged from the queue by a release
+	ownerDeaths       int64 // holders found dead; lock force-released
+	watchdogTrips     int64 // hold-deadline violations detected
+	possessRecoveries int64 // attribute possessions stolen from dead agents
+
 	holdStart sim.Time // grant time of the current owner
 
 	// Figure 4 state machine observation.
@@ -118,6 +124,16 @@ type Snapshot struct {
 	ReconfigWaiting   int64
 	ReconfigScheduler int64
 	Possessions       int64
+
+	// Robustness counters: expired waiters purged from the registration
+	// queue by releases, holders found dead (lock force-released),
+	// watchdog hold-deadline violations, and attribute possessions
+	// stolen back from dead agents. Failures counts conditional
+	// acquisitions that timed out (the aborts).
+	Abandonments      int64
+	OwnerDeaths       int64
+	WatchdogTrips     int64
+	PossessRecoveries int64
 
 	// State is the current Figure 4 state; Transitions the observed edge
 	// counts; IdleTotal/IdleSpans the cumulative idle-state time (the
@@ -190,6 +206,10 @@ type Delta struct {
 
 	ReconfigWaiting   int64
 	ReconfigScheduler int64
+
+	Abandonments  int64
+	OwnerDeaths   int64
+	WatchdogTrips int64
 }
 
 // Delta returns the activity between prev and s. The snapshots must come
@@ -225,6 +245,9 @@ func (s Snapshot) Delta(prev Snapshot) Delta {
 		IdleSpans:         c(s.IdleSpans - prev.IdleSpans),
 		ReconfigWaiting:   c(s.ReconfigWaiting - prev.ReconfigWaiting),
 		ReconfigScheduler: c(s.ReconfigScheduler - prev.ReconfigScheduler),
+		Abandonments:      c(s.Abandonments - prev.Abandonments),
+		OwnerDeaths:       c(s.OwnerDeaths - prev.OwnerDeaths),
+		WatchdogTrips:     c(s.WatchdogTrips - prev.WatchdogTrips),
 	}
 }
 
@@ -294,5 +317,9 @@ func (m *Monitor) snapshot(at sim.Time, waiters int) Snapshot {
 		ReconfigWaiting:   m.reconfigWaiting,
 		ReconfigScheduler: m.reconfigScheduler,
 		Possessions:       m.possessions,
+		Abandonments:      m.abandonments,
+		OwnerDeaths:       m.ownerDeaths,
+		WatchdogTrips:     m.watchdogTrips,
+		PossessRecoveries: m.possessRecoveries,
 	}
 }

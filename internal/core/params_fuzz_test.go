@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzParamsPackRoundtrip checks the single-word parameter encoding (the
+// 1R1W reconfiguration word) against its documented semantics:
+//
+//   - valid Params survive pack/unpack up to saturation (16-bit µs fields
+//     cap at 0xFFFE) and sub-microsecond truncation;
+//   - the sentinels (SpinForever, SleepUntilWoken) map to 0xFFFF and back
+//     exactly, and near-sentinel magnitudes saturate to 0xFFFE rather than
+//     colliding with them;
+//   - packing is canonical: re-packing an unpacked word is the identity,
+//     for packed words of valid Params and for arbitrary raw words alike;
+//   - Validate rejects exactly the unworkable settings (negative values
+//     below the sentinels, or no way to wait at all).
+func FuzzParamsPackRoundtrip(f *testing.F) {
+	f.Add(int64(SpinForever), int64(0), int64(0), int64(0), int64(0))
+	f.Add(int64(0), int64(0), int64(SleepUntilWoken), int64(0), int64(-1))
+	f.Add(int64(10), int64(30_000), int64(-1), int64(500_000), int64(1<<40))
+	f.Add(int64(0xFFFF), int64(1)<<40, int64(1)<<40, int64(1)<<40, int64(0x7FFFFFFFFFFFFFFF))
+	f.Add(int64(5), int64(1_500), int64(2_500), int64(999), int64(0xFFFF0000FFFF))
+	f.Add(int64(-5), int64(-2), int64(-2), int64(-2), int64(42))
+
+	f.Fuzz(func(t *testing.T, spin, delayNs, sleepNs, timeoutNs, raw int64) {
+		p := Params{
+			SpinTime:  int(spin),
+			DelayTime: sim.Duration(delayNs),
+			SleepTime: sim.Duration(sleepNs),
+			Timeout:   sim.Duration(timeoutNs),
+		}
+		invalid := (p.SpinTime == 0 && p.SleepTime == 0) ||
+			p.SpinTime < SpinForever ||
+			p.SleepTime < SleepUntilWoken ||
+			p.DelayTime < 0 ||
+			p.Timeout < 0
+		if err := p.Validate(); (err != nil) != invalid {
+			t.Fatalf("Validate(%+v) = %v, want invalid=%v", p, err, invalid)
+		}
+
+		if !invalid {
+			w := p.pack()
+			q := unpack(w)
+
+			sat := func(d sim.Duration) sim.Duration {
+				us := int64(d / sim.Microsecond) // truncates sub-µs
+				if us > 0xFFFE {
+					us = 0xFFFE
+				}
+				return sim.Duration(us) * sim.Microsecond
+			}
+			wantSpin := p.SpinTime
+			if wantSpin != SpinForever && wantSpin > 0xFFFE {
+				wantSpin = 0xFFFE
+			}
+			if q.SpinTime != wantSpin {
+				t.Errorf("SpinTime %d -> %d, want %d", p.SpinTime, q.SpinTime, wantSpin)
+			}
+			if q.DelayTime != sat(p.DelayTime) {
+				t.Errorf("DelayTime %v -> %v, want %v", p.DelayTime, q.DelayTime, sat(p.DelayTime))
+			}
+			wantSleep := p.SleepTime
+			if wantSleep != SleepUntilWoken {
+				wantSleep = sat(wantSleep)
+			}
+			if q.SleepTime != wantSleep {
+				t.Errorf("SleepTime %v -> %v, want %v", p.SleepTime, q.SleepTime, wantSleep)
+			}
+			if q.Timeout != sat(p.Timeout) {
+				t.Errorf("Timeout %v -> %v, want %v", p.Timeout, q.Timeout, sat(p.Timeout))
+			}
+			// Canonical: the decoded value re-encodes to the same word.
+			if w2 := q.pack(); w2 != w {
+				t.Errorf("pack not canonical: %#x -> %+v -> %#x", w, q, w2)
+			}
+		}
+
+		// Arbitrary raw words decode to something whose encoding is stable
+		// after one normalization step (0xFFFF in a duration field decodes
+		// to 65535µs, which re-encodes saturated to 0xFFFE).
+		r := unpack(raw)
+		w1 := r.pack()
+		r1 := unpack(w1)
+		if w2 := r1.pack(); w2 != w1 {
+			t.Errorf("raw word %#x not canonical after one roundtrip: %#x vs %#x", raw, w1, w2)
+		}
+	})
+}

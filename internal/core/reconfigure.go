@@ -37,8 +37,21 @@ func (l *Lock) Possess(t *cthread.Thread, a Attr) error {
 		if w.Peek() == t.ID() {
 			return nil // already ours; idempotent
 		}
+		// Possession recovery: an agent that died while possessing the
+		// attribute must not wedge reconfiguration forever. A dead
+		// possessor's ownership is stolen (one extra write).
+		if prev := l.attrOwnT[a]; prev != nil && prev.State() == cthread.Done {
+			w.Write(t, t.ID())
+			l.attrOwnT[a] = t
+			l.mon.possessions++
+			l.mon.possessRecoveries++
+			l.emit(t.Now(), trace.OwnerDeath, t.Name(),
+				fmt.Sprintf("stole %s possession from dead agent %q", a, prev.Name()))
+			return nil
+		}
 		return ErrAlreadyPossessed
 	}
+	l.attrOwnT[a] = t
 	l.mon.possessions++
 	return nil
 }
@@ -53,6 +66,7 @@ func (l *Lock) Dispossess(t *cthread.Thread, a Attr) {
 		return
 	}
 	l.attrOwn[a].Write(t, 0)
+	l.attrOwnT[a] = nil
 }
 
 // authorized reports whether t may reconfigure attribute a: t possesses

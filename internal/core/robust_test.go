@@ -1,0 +1,362 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cthread"
+	"repro/internal/sim"
+)
+
+// slowAbandonParams is a conditional policy whose deadline checks are far
+// apart (a long backoff delay between spin iterations), so the waiter's
+// own (lazy) deregistration lags its expiry by up to DelayTime — the
+// window in which the HMCS-timeout problem lives: the releaser must purge
+// the expired entry rather than grant to it. With Timeout=500us and
+// DelayTime=2000us, a waiter registering at T expires at ~T+500 but does
+// not notice until ~T+2000.
+func slowAbandonParams() Params {
+	return Params{SpinTime: SpinForever, DelayTime: sim.Us(2000), Timeout: sim.Us(500)}
+}
+
+// TestAbandonedWaiterPurgedFIFO is the queue-leak regression: a FIFO
+// release over N contended waiters with one expired conditional waiter
+// must grant exactly N-1 times and never to the abandoned thread.
+func TestAbandonedWaiterPurgedFIFO(t *testing.T) {
+	s := newSys(6)
+	l := New(s, Options{Params: CombinedParams(3), Scheduler: FCFS})
+
+	// Owner holds for 1500us: it releases after the conditional waiter's
+	// ~500us timeout expires but before the waiter's next deadline check
+	// (~2000us after registration), so the entry is still queued and the
+	// releaser must purge it.
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(1500))
+		l.Unlock(th)
+	})
+	condOK := true
+	s.SpawnAt(sim.Us(100), "cond", 1, 0, func(th *cthread.Thread) {
+		if err := l.SetThreadPolicy(th, th.ID(), slowAbandonParams()); err != nil {
+			t.Errorf("SetThreadPolicy: %v", err)
+		}
+		condOK = l.Acquire(th)
+		if condOK {
+			l.Unlock(th)
+		}
+	})
+	acquired := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(400+20*i)), "w", 2+i, 0, func(th *cthread.Thread) {
+			l.Lock(th)
+			acquired[i] = true
+			th.Compute(sim.Us(20))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+
+	if condOK {
+		t.Fatal("expired conditional waiter acquired the lock")
+	}
+	for i, ok := range acquired {
+		if !ok {
+			t.Errorf("waiter %d never acquired", i)
+		}
+	}
+	snap := l.MonitorSnapshot()
+	if snap.Grants != 3 { // N-1 of the 4 contended waiters
+		t.Errorf("grants = %d, want 3", snap.Grants)
+	}
+	if snap.Abandonments != 1 {
+		t.Errorf("abandonments = %d, want 1", snap.Abandonments)
+	}
+	if snap.Failures != 1 {
+		t.Errorf("failures = %d, want 1", snap.Failures)
+	}
+	if l.OwnerID() != 0 || l.Waiters() != 0 {
+		t.Errorf("dangling registration: owner=%d waiters=%d", l.OwnerID(), l.Waiters())
+	}
+}
+
+// TestAbandonedWaiterPurgedPriority repeats the regression under the
+// priority scheduler with the expired waiter holding the HIGHEST
+// priority: without the purge, pickNext would select exactly the
+// abandoned thread.
+func TestAbandonedWaiterPurgedPriority(t *testing.T) {
+	s := newSys(6)
+	l := New(s, Options{Params: CombinedParams(3), Scheduler: PriorityQueue})
+
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(1500))
+		l.Unlock(th)
+	})
+	condOK := true
+	s.SpawnAt(sim.Us(100), "cond", 1, 100, func(th *cthread.Thread) { // top priority
+		if err := l.SetThreadPolicy(th, th.ID(), slowAbandonParams()); err != nil {
+			t.Errorf("SetThreadPolicy: %v", err)
+		}
+		condOK = l.Acquire(th)
+		if condOK {
+			l.Unlock(th)
+		}
+	})
+	acquired := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		s.SpawnAt(sim.Us(float64(400+20*i)), "w", 2+i, int64(i+1), func(th *cthread.Thread) {
+			l.Lock(th)
+			acquired[i] = true
+			th.Compute(sim.Us(20))
+			l.Unlock(th)
+		})
+	}
+	mustRun(t, s)
+
+	if condOK {
+		t.Fatal("expired top-priority waiter was granted the lock")
+	}
+	for i, ok := range acquired {
+		if !ok {
+			t.Errorf("waiter %d never acquired", i)
+		}
+	}
+	snap := l.MonitorSnapshot()
+	if snap.Grants != 3 {
+		t.Errorf("grants = %d, want 3", snap.Grants)
+	}
+	if snap.Abandonments != 1 {
+		t.Errorf("abandonments = %d, want 1", snap.Abandonments)
+	}
+	if l.OwnerID() != 0 || l.Waiters() != 0 {
+		t.Errorf("dangling registration: owner=%d waiters=%d", l.OwnerID(), l.Waiters())
+	}
+}
+
+// TestUnlockAfterAbandonmentFreesLock: when the only waiter expired, the
+// release purges it and the lock transitions to unlocked (not granted),
+// so a later acquirer takes the uncontended path.
+func TestUnlockAfterAbandonmentFreesLock(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: CombinedParams(3), Scheduler: FCFS})
+
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(1500))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "cond", 1, 0, func(th *cthread.Thread) {
+		_ = l.SetThreadPolicy(th, th.ID(), slowAbandonParams())
+		if l.Acquire(th) {
+			t.Error("expired waiter acquired")
+			l.Unlock(th)
+		}
+	})
+	lateOK := false
+	s.SpawnAt(sim.Us(5000), "late", 2, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		lateOK = true
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+
+	if !lateOK {
+		t.Fatal("late acquirer blocked on a lock that should be free")
+	}
+	snap := l.MonitorSnapshot()
+	if snap.Abandonments != 1 {
+		t.Errorf("abandonments = %d, want 1", snap.Abandonments)
+	}
+	if snap.Grants != 0 {
+		t.Errorf("grants = %d, want 0 (both successful acquisitions uncontended)", snap.Grants)
+	}
+	if l.OwnerID() != 0 || l.Waiters() != 0 {
+		t.Errorf("not quiescent: owner=%d waiters=%d", l.OwnerID(), l.Waiters())
+	}
+}
+
+// TestConfigDelayResolvesOnAbort: a deferred scheduler change whose only
+// pre-registered waiter aborts must still complete — the purge empties
+// the queue, ending the configuration delay.
+func TestConfigDelayResolvesOnAbort(t *testing.T) {
+	s := newSys(4)
+	l := New(s, Options{Params: CombinedParams(3), Scheduler: FCFS})
+
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(1500))
+		l.Unlock(th)
+	})
+	s.SpawnAt(sim.Us(100), "cond", 1, 0, func(th *cthread.Thread) {
+		_ = l.SetThreadPolicy(th, th.ID(), slowAbandonParams())
+		if l.Acquire(th) {
+			l.Unlock(th)
+		}
+	})
+	s.SpawnAt(sim.Us(500), "agent", 2, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrScheduler); err != nil {
+			t.Errorf("possess: %v", err)
+			return
+		}
+		if err := l.ConfigureScheduler(th, PriorityQueue); err != nil {
+			t.Errorf("configure scheduler: %v", err)
+		}
+	})
+	mustRun(t, s)
+
+	if _, pending := l.PendingScheduler(); pending {
+		t.Error("scheduler change still pending after the only waiter aborted")
+	}
+	if l.Scheduler() != PriorityQueue {
+		t.Errorf("scheduler = %v, want %v", l.Scheduler(), PriorityQueue)
+	}
+}
+
+// TestWatchdogDetectsStall: a holder exceeding the hold deadline trips
+// the watchdog once per exceeded period, reporting the live owner.
+func TestWatchdogDetectsStall(t *testing.T) {
+	s := newSys(2)
+	l := New(s, Options{Params: CombinedParams(3)})
+	l.SetHoldDeadline(sim.Us(200))
+	var events []WatchdogEvent
+	l.SetWatchdogFunc(func(ev WatchdogEvent) { events = append(events, ev) })
+
+	var ownerID int64
+	s.Spawn("owner", 0, 0, func(th *cthread.Thread) {
+		ownerID = th.ID()
+		l.Lock(th)
+		th.Compute(sim.Us(1000)) // stall: 5x the deadline
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+
+	if len(events) == 0 {
+		t.Fatal("watchdog never tripped on a 1000us hold with a 200us deadline")
+	}
+	for _, ev := range events {
+		if ev.Owner != ownerID {
+			t.Errorf("trip blames thread %d, want %d", ev.Owner, ownerID)
+		}
+		if ev.Died {
+			t.Error("live stalled owner reported dead")
+		}
+		if ev.Held < sim.Us(200) {
+			t.Errorf("trip at held=%v, below the deadline", ev.Held)
+		}
+	}
+	snap := l.MonitorSnapshot()
+	if snap.WatchdogTrips != int64(len(events)) {
+		t.Errorf("WatchdogTrips = %d, events = %d", snap.WatchdogTrips, len(events))
+	}
+	if snap.OwnerDeaths != 0 {
+		t.Errorf("OwnerDeaths = %d, want 0", snap.OwnerDeaths)
+	}
+}
+
+// TestOwnerDeathRecoveryGrantsNext: a holder that exits without
+// releasing is detected by the watchdog; the lock is force-released to
+// the next waiter, which learns about it through ConsumeOwnerDied.
+func TestOwnerDeathRecoveryGrantsNext(t *testing.T) {
+	s := newSys(3)
+	l := New(s, Options{Params: CombinedParams(3)})
+	l.SetHoldDeadline(sim.Us(200))
+
+	s.Spawn("crasher", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		th.Compute(sim.Us(50))
+		// exit while holding the lock
+	})
+	inherited, acquired := false, false
+	s.SpawnAt(sim.Us(100), "heir", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		acquired = true
+		inherited = l.ConsumeOwnerDied(th)
+		if l.ConsumeOwnerDied(th) {
+			t.Error("ConsumeOwnerDied delivered twice")
+		}
+		th.Compute(sim.Us(20))
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+
+	if !acquired {
+		t.Fatal("waiter never inherited the lock from the dead owner")
+	}
+	if !inherited {
+		t.Error("heir did not see the owner-death notification")
+	}
+	snap := l.MonitorSnapshot()
+	if snap.OwnerDeaths != 1 {
+		t.Errorf("OwnerDeaths = %d, want 1", snap.OwnerDeaths)
+	}
+	if l.OwnerID() != 0 || l.Waiters() != 0 {
+		t.Errorf("not quiescent: owner=%d waiters=%d", l.OwnerID(), l.Waiters())
+	}
+}
+
+// TestOwnerDeathRecoveryFreesEmptyLock: with no waiters, recovery frees
+// the lock and the notification reaches the next (uncontended) acquirer.
+func TestOwnerDeathRecoveryFreesEmptyLock(t *testing.T) {
+	s := newSys(3)
+	l := New(s, Options{Params: CombinedParams(3)})
+	l.SetHoldDeadline(sim.Us(200))
+
+	s.Spawn("crasher", 0, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+	})
+	inherited := false
+	s.SpawnAt(sim.Us(2000), "late", 1, 0, func(th *cthread.Thread) {
+		l.Lock(th)
+		inherited = l.ConsumeOwnerDied(th)
+		l.Unlock(th)
+	})
+	mustRun(t, s)
+
+	if !inherited {
+		t.Error("uncontended acquirer after an owner death missed the notification")
+	}
+	snap := l.MonitorSnapshot()
+	if snap.OwnerDeaths != 1 {
+		t.Errorf("OwnerDeaths = %d, want 1", snap.OwnerDeaths)
+	}
+}
+
+// TestPossessStealFromDeadAgent: possession held by an exited thread is
+// stolen by the next possessor; possession held by a live thread is not.
+func TestPossessStealFromDeadAgent(t *testing.T) {
+	s := newSys(3)
+	l := New(s, Options{Params: CombinedParams(3)})
+
+	s.Spawn("dead-agent", 0, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrWaitingPolicy); err != nil {
+			t.Errorf("possess: %v", err)
+		}
+		// exit while possessing
+	})
+	s.SpawnAt(sim.Us(1000), "rescuer", 1, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrWaitingPolicy); err != nil {
+			t.Errorf("steal from dead possessor: %v", err)
+			return
+		}
+		if err := l.ConfigureWaiting(th, SleepParams()); err != nil {
+			t.Errorf("configure after steal: %v", err)
+		}
+		th.Compute(sim.Us(5000)) // stay alive while the rival tries
+		l.Dispossess(th, AttrWaitingPolicy)
+	})
+	s.SpawnAt(sim.Us(2000), "rival", 2, 0, func(th *cthread.Thread) {
+		if err := l.Possess(th, AttrWaitingPolicy); err != ErrAlreadyPossessed {
+			t.Errorf("possess against live possessor: %v, want ErrAlreadyPossessed", err)
+		}
+	})
+	mustRun(t, s)
+
+	snap := l.MonitorSnapshot()
+	if snap.PossessRecoveries != 1 {
+		t.Errorf("PossessRecoveries = %d, want 1", snap.PossessRecoveries)
+	}
+	if l.Params().Kind() != PolicySleep {
+		t.Errorf("reconfiguration after steal did not apply: %v", l.Params().Kind())
+	}
+}

@@ -1,0 +1,342 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// configurable lock: a seeded schedule of adverse events — holder stalls,
+// delayed releases, waiter preemption, owner crashes, agent death — that
+// hooks into both the simulated lock (internal/core, via its grant/release
+// and registration injection points) and the real-runtime lock
+// (internal/native).
+//
+// Determinism is the design center: every fault kind draws from its own
+// PRNG stream derived from the schedule seed, so the same seed produces
+// the same sequence of injected faults for each kind regardless of how
+// draws for different kinds interleave. On the simulator, where execution
+// itself is deterministic, two runs with the same seed therefore inject
+// byte-identical fault sequences and end with identical counter totals.
+//
+// The literature motivating this subsystem: timeout-capable queue locks
+// make *abandoning a registered waiter* the hard correctness problem
+// (Chabbi et al., "Correctness of Hierarchical MCS Locks with Timeout"),
+// and waiting policies must degrade gracefully under adverse conditions
+// (Marotta et al., "Mutable Locks").
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind names one class of injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// HolderStall delays the lock holder after it acquires, modelling a
+	// preempted or wedged critical section. The watchdog should notice.
+	HolderStall Kind = iota
+	// DelayedRelease delays the unlock path before the release module
+	// runs, stretching the locking cycle.
+	DelayedRelease
+	// WaiterPreempt delays a freshly registered waiter before it begins
+	// waiting, modelling preemption right after registration (the window
+	// the HMCS-timeout problem lives in).
+	WaiterPreempt
+	// OwnerCrash makes the holder die without releasing the lock. The
+	// owner-death recovery machinery must hand the lock onward.
+	OwnerCrash
+	// AgentDeath makes a reconfiguration agent die while possessing an
+	// attribute, leaving a dangling possession to be stolen back.
+	AgentDeath
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HolderStall:
+		return "stall"
+	case DelayedRelease:
+		return "release-delay"
+	case WaiterPreempt:
+		return "preempt"
+	case OwnerCrash:
+		return "crash"
+	case AgentDeath:
+		return "agent-death"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Kinds lists every fault kind, in declaration order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// ParseKind maps a fault-kind name (as printed by Kind.String) back to its
+// value.
+func ParseKind(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Spec describes when and how hard one fault kind fires.
+type Spec struct {
+	// Kind selects the fault class.
+	Kind Kind
+	// Every, when positive, fires the fault deterministically on every
+	// Nth opportunity (1 = every opportunity).
+	Every int
+	// Prob, used when Every is zero, fires the fault on each opportunity
+	// with this probability, drawn from the kind's seeded stream.
+	Prob float64
+	// MinUs/MaxUs bound the injected duration in microseconds (stall,
+	// delay or preemption length; ignored for crash and agent-death).
+	// MaxUs <= MinUs means exactly MinUs.
+	MinUs float64
+	MaxUs float64
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Kind < 0 || s.Kind >= numKinds {
+		return fmt.Errorf("fault: unknown kind %d", int(s.Kind))
+	}
+	if s.Every < 0 {
+		return fmt.Errorf("fault: negative Every %d", s.Every)
+	}
+	if s.Prob < 0 || s.Prob > 1 {
+		return fmt.Errorf("fault: Prob %v outside [0,1]", s.Prob)
+	}
+	if s.Every == 0 && s.Prob == 0 {
+		return fmt.Errorf("fault: %s spec fires never (set Every or Prob)", s.Kind)
+	}
+	if s.MinUs < 0 || s.MaxUs < 0 {
+		return fmt.Errorf("fault: negative duration bound")
+	}
+	return nil
+}
+
+// KindCount is the per-kind tally of a schedule.
+type KindCount struct {
+	// Opportunities counts Draw calls for the kind.
+	Opportunities int64
+	// Injected counts draws that fired.
+	Injected int64
+}
+
+// Counts maps each fault kind to its tally.
+type Counts map[Kind]KindCount
+
+// TotalInjected sums injected faults across kinds.
+func (c Counts) TotalInjected() int64 {
+	var n int64
+	for _, kc := range c {
+		n += kc.Injected
+	}
+	return n
+}
+
+// String renders the non-zero tallies in kind order.
+func (c Counts) String() string {
+	kinds := make([]Kind, 0, len(c))
+	for k := range c {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	for _, k := range kinds {
+		kc := c[k]
+		if kc.Opportunities == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d/%d", k, kc.Injected, kc.Opportunities)
+	}
+	if b.Len() == 0 {
+		return "none"
+	}
+	return b.String()
+}
+
+// Schedule is a seeded fault plan. It is safe for concurrent use (the
+// native runtime draws from goroutines); on the simulator all draws are
+// serialized by the engine anyway.
+type Schedule struct {
+	seed int64
+
+	mu    sync.Mutex
+	specs [numKinds]*Spec
+	rngs  [numKinds]*rand.Rand
+	opps  [numKinds]int64
+	fires [numKinds]int64
+}
+
+// NewSchedule builds a schedule from a seed and the fault specs. Kinds
+// without a spec never fire. A kind given twice keeps the last spec.
+func NewSchedule(seed int64, specs ...Spec) (*Schedule, error) {
+	s := &Schedule{seed: seed}
+	for i := range s.rngs {
+		// Per-kind sub-seed: splitmix-style odd-constant mix keeps the
+		// streams decorrelated while fully determined by (seed, kind).
+		sub := seed ^ (int64(i)+1)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)
+		s.rngs[i] = rand.New(rand.NewSource(sub))
+	}
+	for _, sp := range specs {
+		sp := sp
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		s.specs[sp.Kind] = &sp
+	}
+	return s, nil
+}
+
+// MustSchedule is NewSchedule, panicking on error (for tests and fixed
+// harness configurations).
+func MustSchedule(seed int64, specs ...Spec) *Schedule {
+	s, err := NewSchedule(seed, specs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() int64 { return s.seed }
+
+// Active reports whether any spec is registered for k.
+func (s *Schedule) Active(k Kind) bool {
+	if k < 0 || k >= numKinds {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.specs[k] != nil
+}
+
+// Draw presents one opportunity for fault kind k and reports whether the
+// fault fires, and with what duration (microseconds). Kinds without a
+// spec never fire but are still counted as opportunities.
+func (s *Schedule) Draw(k Kind) (us float64, ok bool) {
+	if k < 0 || k >= numKinds {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opps[k]++
+	sp := s.specs[k]
+	if sp == nil {
+		return 0, false
+	}
+	fire := false
+	if sp.Every > 0 {
+		fire = s.opps[k]%int64(sp.Every) == 0
+	} else {
+		fire = s.rngs[k].Float64() < sp.Prob
+	}
+	if !fire {
+		return 0, false
+	}
+	s.fires[k]++
+	us = sp.MinUs
+	if sp.MaxUs > sp.MinUs {
+		us += s.rngs[k].Float64() * (sp.MaxUs - sp.MinUs)
+	}
+	return us, true
+}
+
+// Counts snapshots the per-kind tallies.
+func (s *Schedule) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := make(Counts, numKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		c[k] = KindCount{Opportunities: s.opps[k], Injected: s.fires[k]}
+	}
+	return c
+}
+
+// SpecGrammar summarizes the ParseSpecs grammar for CLI flag help text.
+const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death, fields every=N prob=P us=X[-Y]"
+
+// ParseSpecs parses the CLI fault grammar: comma-separated entries of the
+// form
+//
+//	kind[:key=value]...
+//
+// where kind is one of stall, release-delay, preempt, crash, agent-death
+// and the keys are every=N, prob=P, us=X or us=X-Y. Example:
+//
+//	stall:every=3:us=2500,crash:every=9,preempt:prob=0.2:us=100-400
+//
+// An entry without every/prob defaults to every=1 (fire on every
+// opportunity).
+func ParseSpecs(arg string) ([]Spec, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, nil
+	}
+	var specs []Spec
+	for _, entry := range strings.Split(arg, ",") {
+		fields := strings.Split(strings.TrimSpace(entry), ":")
+		k, ok := ParseKind(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("fault: unknown kind %q", fields[0])
+		}
+		sp := Spec{Kind: k}
+		for _, f := range fields[1:] {
+			key, val, found := strings.Cut(f, "=")
+			if !found {
+				return nil, fmt.Errorf("fault: malformed field %q in %q", f, entry)
+			}
+			switch key {
+			case "every":
+				n, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad every=%q: %v", val, err)
+				}
+				sp.Every = n
+			case "prob":
+				p, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad prob=%q: %v", val, err)
+				}
+				sp.Prob = p
+			case "us":
+				lo, hi, isRange := strings.Cut(val, "-")
+				min, err := strconv.ParseFloat(lo, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault: bad us=%q: %v", val, err)
+				}
+				sp.MinUs = min
+				if isRange {
+					max, err := strconv.ParseFloat(hi, 64)
+					if err != nil {
+						return nil, fmt.Errorf("fault: bad us=%q: %v", val, err)
+					}
+					sp.MaxUs = max
+				}
+			default:
+				return nil, fmt.Errorf("fault: unknown field %q in %q", key, entry)
+			}
+		}
+		if sp.Every == 0 && sp.Prob == 0 {
+			sp.Every = 1
+		}
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}

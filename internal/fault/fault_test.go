@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"testing"
+)
+
+func probSpecs() []Spec {
+	return []Spec{
+		{Kind: HolderStall, Prob: 0.3, MinUs: 100, MaxUs: 500},
+		{Kind: DelayedRelease, Prob: 0.5, MinUs: 50},
+		{Kind: WaiterPreempt, Prob: 0.2, MinUs: 10, MaxUs: 1000},
+		{Kind: OwnerCrash, Prob: 0.1},
+		{Kind: AgentDeath, Prob: 0.05},
+	}
+}
+
+type draw struct {
+	us float64
+	ok bool
+}
+
+// TestScheduleDeterminism: two schedules with the same seed and specs
+// produce identical draw sequences for every kind.
+func TestScheduleDeterminism(t *testing.T) {
+	a := MustSchedule(42, probSpecs()...)
+	b := MustSchedule(42, probSpecs()...)
+	for i := 0; i < 500; i++ {
+		for _, k := range Kinds() {
+			ua, oka := a.Draw(k)
+			ub, okb := b.Draw(k)
+			if ua != ub || oka != okb {
+				t.Fatalf("draw %d kind %v diverged: (%v,%v) vs (%v,%v)", i, k, ua, oka, ub, okb)
+			}
+		}
+	}
+	ca, cb := a.Counts(), b.Counts()
+	for _, k := range Kinds() {
+		if ca[k] != cb[k] {
+			t.Errorf("counts for %v diverged: %+v vs %+v", k, ca[k], cb[k])
+		}
+	}
+}
+
+// TestScheduleStreamIndependence: a kind's draw sequence is unaffected by
+// interleaved draws of other kinds — each kind has its own PRNG stream.
+func TestScheduleStreamIndependence(t *testing.T) {
+	solo := MustSchedule(7, probSpecs()...)
+	mixed := MustSchedule(7, probSpecs()...)
+
+	var soloSeq, mixedSeq []draw
+	for i := 0; i < 300; i++ {
+		us, ok := solo.Draw(HolderStall)
+		soloSeq = append(soloSeq, draw{us, ok})
+	}
+	for i := 0; i < 300; i++ {
+		// Interleave heavy traffic on every other kind between stall draws.
+		mixed.Draw(DelayedRelease)
+		mixed.Draw(OwnerCrash)
+		mixed.Draw(WaiterPreempt)
+		mixed.Draw(AgentDeath)
+		us, ok := mixed.Draw(HolderStall)
+		mixedSeq = append(mixedSeq, draw{us, ok})
+	}
+	for i := range soloSeq {
+		if soloSeq[i] != mixedSeq[i] {
+			t.Fatalf("stall draw %d perturbed by other kinds: %+v vs %+v", i, soloSeq[i], mixedSeq[i])
+		}
+	}
+}
+
+// TestScheduleSeedsDiffer: different seeds give different sequences
+// (sanity check that the seed actually reaches the streams).
+func TestScheduleSeedsDiffer(t *testing.T) {
+	a := MustSchedule(1, Spec{Kind: HolderStall, Prob: 0.5, MinUs: 1, MaxUs: 1000})
+	b := MustSchedule(2, Spec{Kind: HolderStall, Prob: 0.5, MinUs: 1, MaxUs: 1000})
+	same := true
+	for i := 0; i < 64; i++ {
+		ua, oka := a.Draw(HolderStall)
+		ub, okb := b.Draw(HolderStall)
+		if ua != ub || oka != okb {
+			same = false
+		}
+	}
+	if same {
+		t.Error("64 draws identical across different seeds")
+	}
+}
+
+// TestDrawEvery: Every=N fires exactly on every Nth opportunity,
+// independent of any randomness.
+func TestDrawEvery(t *testing.T) {
+	s := MustSchedule(1, Spec{Kind: OwnerCrash, Every: 3})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if _, ok := s.Draw(OwnerCrash); ok {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	c := s.Counts()[OwnerCrash]
+	if c.Opportunities != 12 || c.Injected != 4 {
+		t.Errorf("counts = %+v, want 12/4", c)
+	}
+}
+
+// TestDrawDurationBounds: injected durations stay within [MinUs, MaxUs],
+// and a spec without MaxUs always injects exactly MinUs.
+func TestDrawDurationBounds(t *testing.T) {
+	s := MustSchedule(9,
+		Spec{Kind: HolderStall, Every: 1, MinUs: 200, MaxUs: 800},
+		Spec{Kind: DelayedRelease, Every: 1, MinUs: 70})
+	for i := 0; i < 200; i++ {
+		us, ok := s.Draw(HolderStall)
+		if !ok {
+			t.Fatal("every=1 spec did not fire")
+		}
+		if us < 200 || us > 800 {
+			t.Fatalf("stall duration %v outside [200,800]", us)
+		}
+		us, ok = s.Draw(DelayedRelease)
+		if !ok || us != 70 {
+			t.Fatalf("fixed-duration draw = (%v,%v), want (70,true)", us, ok)
+		}
+	}
+}
+
+// TestInactiveKindNeverFires: kinds without a spec count opportunities
+// but never fire.
+func TestInactiveKindNeverFires(t *testing.T) {
+	s := MustSchedule(3, Spec{Kind: HolderStall, Every: 1})
+	if s.Active(OwnerCrash) {
+		t.Error("Active(OwnerCrash) = true with no spec")
+	}
+	if !s.Active(HolderStall) {
+		t.Error("Active(HolderStall) = false with a spec")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Draw(OwnerCrash); ok {
+			t.Fatal("spec-less kind fired")
+		}
+	}
+	c := s.Counts()[OwnerCrash]
+	if c.Opportunities != 10 || c.Injected != 0 {
+		t.Errorf("counts = %+v, want 10/0", c)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		specs, err := ParseSpecs("  ")
+		if err != nil || specs != nil {
+			t.Fatalf("ParseSpecs(blank) = %v, %v", specs, err)
+		}
+	})
+	t.Run("full grammar", func(t *testing.T) {
+		specs, err := ParseSpecs("stall:every=3:us=2500,crash:every=9,preempt:prob=0.2:us=100-400")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(specs) != 3 {
+			t.Fatalf("got %d specs, want 3", len(specs))
+		}
+		if specs[0] != (Spec{Kind: HolderStall, Every: 3, MinUs: 2500}) {
+			t.Errorf("stall spec = %+v", specs[0])
+		}
+		if specs[1] != (Spec{Kind: OwnerCrash, Every: 9}) {
+			t.Errorf("crash spec = %+v", specs[1])
+		}
+		if specs[2] != (Spec{Kind: WaiterPreempt, Prob: 0.2, MinUs: 100, MaxUs: 400}) {
+			t.Errorf("preempt spec = %+v", specs[2])
+		}
+	})
+	t.Run("default every=1", func(t *testing.T) {
+		specs, err := ParseSpecs("release-delay:us=50")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if specs[0].Every != 1 {
+			t.Errorf("Every = %d, want default 1", specs[0].Every)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		for _, bad := range []string{
+			"meteor",              // unknown kind
+			"stall:often",         // malformed field
+			"stall:bogus=1",       // unknown key
+			"stall:every=x",       // bad int
+			"stall:prob=high",     // bad float
+			"stall:us=abc",        // bad duration
+			"stall:us=10-abc",     // bad range end
+			"stall:prob=1.5",      // prob outside [0,1]
+			"stall:every=-2",      // negative every
+			"stall:us=-5:every=1", // negative duration
+		} {
+			if _, err := ParseSpecs(bad); err == nil {
+				t.Errorf("ParseSpecs(%q) accepted", bad)
+			}
+		}
+	})
+}
+
+func TestCountsString(t *testing.T) {
+	s := MustSchedule(1, Spec{Kind: HolderStall, Every: 2})
+	for i := 0; i < 4; i++ {
+		s.Draw(HolderStall)
+	}
+	if got := s.Counts().String(); got != "stall=2/4" {
+		t.Errorf("Counts.String() = %q, want %q", got, "stall=2/4")
+	}
+	if got := (Counts{}).String(); got != "none" {
+		t.Errorf("empty Counts.String() = %q, want none", got)
+	}
+	if n := s.Counts().TotalInjected(); n != 2 {
+		t.Errorf("TotalInjected = %d, want 2", n)
+	}
+}

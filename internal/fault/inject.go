@@ -1,0 +1,60 @@
+package fault
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SimInjector adapts a Schedule to the simulated lock's injection points.
+// It satisfies core.FaultInjector structurally (core declares the
+// interface; this package never imports core).
+type SimInjector struct {
+	Schedule *Schedule
+}
+
+// HolderStall draws a post-acquisition stall for the lock holder.
+func (i SimInjector) HolderStall() (sim.Duration, bool) { return i.draw(HolderStall) }
+
+// ReleaseDelay draws a delay injected before the release module runs.
+func (i SimInjector) ReleaseDelay() (sim.Duration, bool) { return i.draw(DelayedRelease) }
+
+// WaiterPreempt draws a post-registration preemption for a waiter.
+func (i SimInjector) WaiterPreempt() (sim.Duration, bool) { return i.draw(WaiterPreempt) }
+
+func (i SimInjector) draw(k Kind) (sim.Duration, bool) {
+	if i.Schedule == nil {
+		return 0, false
+	}
+	us, ok := i.Schedule.Draw(k)
+	if !ok {
+		return 0, false
+	}
+	return sim.Us(us), true
+}
+
+// NativeInjector adapts a Schedule to the real-runtime lock's injection
+// points (native.FaultInjector, satisfied structurally).
+type NativeInjector struct {
+	Schedule *Schedule
+}
+
+// HolderStall draws a post-acquisition stall for the lock holder.
+func (i NativeInjector) HolderStall() (time.Duration, bool) { return i.draw(HolderStall) }
+
+// ReleaseDelay draws a delay injected before the release path runs.
+func (i NativeInjector) ReleaseDelay() (time.Duration, bool) { return i.draw(DelayedRelease) }
+
+// WaiterPreempt draws a pre-registration delay for a contended waiter.
+func (i NativeInjector) WaiterPreempt() (time.Duration, bool) { return i.draw(WaiterPreempt) }
+
+func (i NativeInjector) draw(k Kind) (time.Duration, bool) {
+	if i.Schedule == nil {
+		return 0, false
+	}
+	us, ok := i.Schedule.Draw(k)
+	if !ok {
+		return 0, false
+	}
+	return time.Duration(us * float64(time.Microsecond)), true
+}

@@ -14,6 +14,7 @@
 package native
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -115,6 +116,12 @@ type Stats struct {
 	HoldNanos    int64 // total hold time
 	WaitNanos    int64 // total contended wait time
 	MaxWaiters   int64
+
+	// Robustness counters (see robust.go).
+	Cancellations int64 // acquisitions aborted by context cancellation
+	OwnerDeaths   int64 // DeclareOwnerDead force-releases
+	WatchdogTrips int64 // hold-deadline violations detected
+	Stalls        int64 // waiters aborted with ErrOwnerStalled
 }
 
 // AvgHold returns the mean hold duration.
@@ -148,15 +155,33 @@ type Mutex struct {
 
 	holdStart time.Time
 
+	// Robustness state (see robust.go). tenure counts ownership changes
+	// so a watchdog armed for one tenure never fires into the next;
+	// diedPending carries an owner-death notification to the next
+	// acquirer; stallCh is closed (broadcast) to abort parked waiters
+	// when the watchdog trips with AbortWaiters set.
+	tenure      uint64
+	diedPending bool
+	wdDeadline  time.Duration
+	wdAbort     bool
+	wdOnTrip    func(WatchdogEvent)
+	stallCh     chan struct{}
+	stallGen    atomic.Uint64
+	inj         atomic.Value // injBox
+
 	// monitor counters (atomics: read without the guard)
-	acquisitions atomic.Int64
-	contended    atomic.Int64
-	timeouts     atomic.Int64
-	grants       atomic.Int64
-	reconfigs    atomic.Int64
-	holdNanos    atomic.Int64
-	waitNanos    atomic.Int64
-	maxWaiters   atomic.Int64
+	acquisitions  atomic.Int64
+	contended     atomic.Int64
+	timeouts      atomic.Int64
+	grants        atomic.Int64
+	reconfigs     atomic.Int64
+	holdNanos     atomic.Int64
+	waitNanos     atomic.Int64
+	maxWaiters    atomic.Int64
+	cancellations atomic.Int64
+	ownerDeaths   atomic.Int64
+	wdTrips       atomic.Int64
+	stallAborts   atomic.Int64
 }
 
 // New creates a configurable mutex with the given initial policy and
@@ -214,29 +239,59 @@ func (m *Mutex) TryLock() bool {
 // paper's conditional lock).
 func (m *Mutex) TryLockFor(d time.Duration) bool { return m.acquire(0, 0, d) }
 
-// take records acquisition; guard must be held and the lock free.
-func (m *Mutex) take() {
+// take records acquisition; guard must be held and the lock free. It
+// returns — and consumes — the pending owner-death notification, and arms
+// the watchdog for the new tenure.
+func (m *Mutex) take() bool {
 	m.held = true
 	m.holdStart = time.Now()
 	m.acquisitions.Add(1)
+	died := m.diedPending
+	m.diedPending = false
+	m.armLocked()
+	return died
 }
 
-// acquire implements the registration + acquisition modules.
+// acquire implements the registration + acquisition modules for the
+// error-free entry points (Lock, TryLockFor).
 func (m *Mutex) acquire(tag uint64, prio int64, timeout time.Duration) bool {
+	ok, _, _ := m.acquireFull(nil, tag, prio, timeout, false)
+	return ok
+}
+
+// acquireFull is the full registration + acquisition path. ctx, when
+// non-nil, aborts the acquisition on cancellation — both while spinning
+// and while parked. abortable waiters additionally subscribe to the
+// watchdog's stall broadcast. It returns (acquired, ownerDied, err):
+// acquired=true means the caller owns the lock (ownerDied then reports an
+// inherited owner death); acquired=false with err=nil is a conditional
+// timeout; otherwise err is ctx.Err() or ErrOwnerStalled.
+func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout time.Duration, abortable bool) (bool, bool, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			m.cancellations.Add(1)
+			return false, false, err
+		}
+		done = ctx.Done()
+	}
 	// Fast path.
 	m.guard.lock()
 	if !m.held {
-		m.take()
+		died := m.take()
 		m.guard.unlock()
-		return true
+		m.injectHolderStall()
+		return true, died, nil
 	}
 	m.guard.unlock()
 	m.contended.Add(1)
+	m.injectWaiterPreempt()
 	waitStart := time.Now()
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = waitStart.Add(timeout)
 	}
+	stallGen := m.stallGen.Load()
 
 	p := *m.policy.Load()
 	backoff := p.Backoff
@@ -245,15 +300,28 @@ func (m *Mutex) acquire(tag uint64, prio int64, timeout time.Duration) bool {
 		for i := 0; i < p.Spin || (p.NoPark && p.Spin == 0); i++ {
 			m.guard.lock()
 			if !m.held {
-				m.take()
+				died := m.take()
 				m.guard.unlock()
 				m.waitNanos.Add(int64(time.Since(waitStart)))
-				return true
+				m.injectHolderStall()
+				return true, died, nil
 			}
 			m.guard.unlock()
+			if done != nil {
+				select {
+				case <-done:
+					m.cancellations.Add(1)
+					return false, false, ctx.Err()
+				default:
+				}
+			}
+			if abortable && m.stallGen.Load() != stallGen {
+				m.stallAborts.Add(1)
+				return false, false, ErrOwnerStalled
+			}
 			if timeout > 0 && time.Now().After(deadline) {
 				m.timeouts.Add(1)
-				return false
+				return false, false, nil
 			}
 			osYield()
 		}
@@ -272,45 +340,67 @@ func (m *Mutex) acquire(tag uint64, prio int64, timeout time.Duration) bool {
 		w := &waiter{ch: make(chan struct{}, 1), prio: prio, tag: tag}
 		m.guard.lock()
 		if !m.held {
-			m.take()
+			died := m.take()
 			m.guard.unlock()
 			m.waitNanos.Add(int64(time.Since(waitStart)))
-			return true
+			m.injectHolderStall()
+			return true, died, nil
 		}
 		m.queue = append(m.queue, w)
 		if n := int64(len(m.queue)); n > m.maxWaiters.Load() {
 			m.maxWaiters.Store(n)
 		}
+		var stallC <-chan struct{}
+		if abortable {
+			stallC = m.stallCh // snapshot under guard; nil without a watchdog
+		}
 		m.guard.unlock()
 
-		granted := false
+		var timer *time.Timer
+		var timerC <-chan time.Time
 		if timeout > 0 {
 			remain := time.Until(deadline)
 			if remain < 0 {
 				remain = 0
 			}
-			timer := time.NewTimer(remain)
-			select {
-			case <-w.ch:
-				granted = true
-			case <-timer.C:
-			}
-			timer.Stop()
-		} else {
-			<-w.ch
+			timer = time.NewTimer(remain)
+			timerC = timer.C
+		}
+		granted, cancelled, stalled := false, false, false
+		select {
+		case <-w.ch:
 			granted = true
+		case <-timerC:
+		case <-done:
+			cancelled = true
+		case <-stallC:
+			stalled = true
+		}
+		if timer != nil {
+			timer.Stop()
 		}
 		m.guard.lock()
 		if w.granted {
 			// Directed handoff: held stays true; we are the owner. A
-			// grant that raced our timeout is accepted.
+			// grant that raced our timeout or stall abort is accepted; a
+			// grant that raced cancellation is released below so it is
+			// never lost.
 			m.holdStart = time.Now()
 			m.acquisitions.Add(1)
+			died := m.diedPending
+			m.diedPending = false
+			m.armLocked()
 			m.guard.unlock()
 			m.waitNanos.Add(int64(time.Since(waitStart)))
-			return true
+			if cancelled {
+				m.cancellations.Add(1)
+				m.unlock(0)
+				return false, false, ctx.Err()
+			}
+			m.injectHolderStall()
+			return true, died, nil
 		}
-		// Timed out without a grant: deregister.
+		// Not granted: deregister before reporting timeout/cancel/stall.
 		for i, q := range m.queue {
 			if q == w {
 				copy(m.queue[i:], m.queue[i+1:])
@@ -319,9 +409,16 @@ func (m *Mutex) acquire(tag uint64, prio int64, timeout time.Duration) bool {
 			}
 		}
 		m.guard.unlock()
-		if !granted && timeout > 0 {
+		switch {
+		case cancelled:
+			m.cancellations.Add(1)
+			return false, false, ctx.Err()
+		case stalled:
+			m.stallAborts.Add(1)
+			return false, false, ErrOwnerStalled
+		case !granted && timeout > 0:
 			m.timeouts.Add(1)
-			return false
+			return false, false, nil
 		}
 		// Spurious (cannot happen with directed grants, but loop for
 		// safety) — re-enter the waiting policy.
@@ -338,20 +435,32 @@ func (m *Mutex) Unlock() { m.unlock(0) }
 func (m *Mutex) UnlockTo(tag uint64) { m.unlock(tag) }
 
 func (m *Mutex) unlock(hint uint64) {
+	m.injectReleaseDelay()
 	m.guard.lock()
 	if !m.held {
 		m.guard.unlock()
 		panic("native: Unlock of unlocked Mutex")
 	}
 	m.holdNanos.Add(int64(time.Since(m.holdStart)))
+	w := m.releaseLocked(hint)
+	m.guard.unlock()
+	if w != nil {
+		w.ch <- struct{}{}
+	}
+}
+
+// releaseLocked ends the current tenure and either frees the lock or picks
+// and marks the next grantee (returned for the caller to signal outside
+// the guard). Guard must be held with the lock held.
+func (m *Mutex) releaseLocked(hint uint64) *waiter {
+	m.tenure++ // end the tenure: a pending watchdog no-ops
 	if m.hasPend && len(m.queue) == 0 {
 		m.sched = m.pending
 		m.hasPend = false
 	}
 	if len(m.queue) == 0 {
 		m.held = false
-		m.guard.unlock()
-		return
+		return nil
 	}
 	idx := m.pickLocked(hint)
 	w := m.queue[idx]
@@ -359,8 +468,7 @@ func (m *Mutex) unlock(hint uint64) {
 	m.queue = m.queue[:len(m.queue)-1]
 	w.granted = true
 	m.grants.Add(1)
-	m.guard.unlock()
-	w.ch <- struct{}{}
+	return w
 }
 
 // pickLocked implements the release module (guard held, queue non-empty).

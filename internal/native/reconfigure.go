@@ -87,14 +87,18 @@ func (m *Mutex) Threshold() int64 { return m.threshold.Load() }
 // Stats samples the monitor.
 func (m *Mutex) Stats() Stats {
 	return Stats{
-		Acquisitions: m.acquisitions.Load(),
-		Contended:    m.contended.Load(),
-		Timeouts:     m.timeouts.Load(),
-		Grants:       m.grants.Load(),
-		Reconfigs:    m.reconfigs.Load(),
-		HoldNanos:    m.holdNanos.Load(),
-		WaitNanos:    m.waitNanos.Load(),
-		MaxWaiters:   m.maxWaiters.Load(),
+		Acquisitions:  m.acquisitions.Load(),
+		Contended:     m.contended.Load(),
+		Timeouts:      m.timeouts.Load(),
+		Grants:        m.grants.Load(),
+		Reconfigs:     m.reconfigs.Load(),
+		HoldNanos:     m.holdNanos.Load(),
+		WaitNanos:     m.waitNanos.Load(),
+		MaxWaiters:    m.maxWaiters.Load(),
+		Cancellations: m.cancellations.Load(),
+		OwnerDeaths:   m.ownerDeaths.Load(),
+		WatchdogTrips: m.wdTrips.Load(),
+		Stalls:        m.stallAborts.Load(),
 	}
 }
 

@@ -1,0 +1,208 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Errors surfaced by the robustness layer.
+var (
+	// ErrOwnerStalled aborts an abortable (AcquireCtx) waiter when the
+	// lock's watchdog finds the current holder exceeding its hold
+	// deadline and the watchdog is configured to abort waiters.
+	ErrOwnerStalled = errors.New("native: lock owner exceeded its hold deadline")
+	// ErrOwnerDied is returned by AcquireCtx WITH the lock held (the
+	// robust-mutex EOWNERDEAD protocol): the previous owner was declared
+	// dead while holding the lock, so the protected state may be
+	// inconsistent and should be repaired before use. The caller owns
+	// the lock and must still Unlock it.
+	ErrOwnerDied = errors.New("native: previous lock owner died holding the lock")
+)
+
+// AcquireCtx acquires the lock with priority 0, honouring ctx
+// cancellation both while spinning and while parked. It returns nil when
+// the caller owns the lock; ctx.Err() when the acquisition was cancelled
+// (a grant racing the cancellation is released cleanly, never lost);
+// ErrOwnerStalled when the watchdog aborted the wait; and ErrOwnerDied —
+// with the lock held — when the caller inherited it from a dead owner.
+func (m *Mutex) AcquireCtx(ctx context.Context) error { return m.AcquireCtxAs(ctx, 0, 0) }
+
+// AcquireCtxAs is AcquireCtx with a handoff tag and priority, mirroring
+// LockAs.
+func (m *Mutex) AcquireCtxAs(ctx context.Context, tag uint64, prio int64) error {
+	ok, died, err := m.acquireFull(ctx, tag, prio, 0, true)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		panic("native: unbounded acquire failed") // unreachable
+	}
+	if died {
+		return ErrOwnerDied
+	}
+	return nil
+}
+
+// WatchdogEvent describes one watchdog trip.
+type WatchdogEvent struct {
+	// Held is how long the stalled owner had held the lock when the
+	// watchdog fired.
+	Held time.Duration
+	// Waiters is the registration-queue length at the trip.
+	Waiters int
+}
+
+// WatchdogConfig configures the per-lock hold-deadline watchdog.
+type WatchdogConfig struct {
+	// HoldDeadline trips the watchdog for any tenure exceeding it.
+	// Zero disables the watchdog.
+	HoldDeadline time.Duration
+	// AbortWaiters, when set, makes a trip abort the abortable
+	// (AcquireCtx) waiters with ErrOwnerStalled — one broadcast per
+	// trip; waiters arriving afterwards wait for the next trip.
+	AbortWaiters bool
+	// OnTrip, when non-nil, is called (outside the lock's guard, on the
+	// watchdog timer goroutine) on every trip. Adaptation components use
+	// it to degrade the lock to a safe policy.
+	OnTrip func(WatchdogEvent)
+}
+
+// SetWatchdog installs the watchdog configuration. If the lock is
+// currently held, the running tenure is measured against the new deadline
+// from now.
+func (m *Mutex) SetWatchdog(cfg WatchdogConfig) error {
+	if cfg.HoldDeadline < 0 {
+		return errors.New("native: negative hold deadline")
+	}
+	m.guard.lock()
+	m.wdDeadline = cfg.HoldDeadline
+	m.wdAbort = cfg.AbortWaiters
+	m.wdOnTrip = cfg.OnTrip
+	if m.stallCh == nil {
+		m.stallCh = make(chan struct{})
+	}
+	if m.held && cfg.HoldDeadline > 0 {
+		seq := m.tenure
+		time.AfterFunc(cfg.HoldDeadline, func() { m.watchdogFire(seq) })
+	}
+	m.guard.unlock()
+	return nil
+}
+
+// armLocked starts a new tenure and schedules its hold-deadline check.
+// Guard must be held.
+func (m *Mutex) armLocked() {
+	m.tenure++
+	if m.wdDeadline <= 0 {
+		return
+	}
+	seq := m.tenure
+	d := m.wdDeadline
+	time.AfterFunc(d, func() { m.watchdogFire(seq) })
+}
+
+// watchdogFire runs on the timer goroutine when a hold deadline elapses.
+// It is a no-op if the tenure it was armed for has ended.
+func (m *Mutex) watchdogFire(seq uint64) {
+	m.guard.lock()
+	if !m.held || seq != m.tenure {
+		m.guard.unlock()
+		return
+	}
+	m.wdTrips.Add(1)
+	ev := WatchdogEvent{Held: time.Since(m.holdStart), Waiters: len(m.queue)}
+	onTrip := m.wdOnTrip
+	if m.wdAbort {
+		// Broadcast the stall: close the current channel (waking every
+		// parked abortable waiter) and bump the generation (aborting
+		// the spinning ones).
+		close(m.stallCh)
+		m.stallCh = make(chan struct{})
+		m.stallGen.Add(1)
+	}
+	m.guard.unlock()
+	if onTrip != nil {
+		onTrip(ev)
+	}
+}
+
+// DeclareOwnerDead force-releases a lock whose owner is known to have
+// died without unlocking. The Go runtime cannot observe goroutine death,
+// so the declaration comes from a supervisor that can (a worker pool
+// reaping a panicked worker, a health checker, a deadline manager). The
+// lock is granted onward per the current scheduler; the next acquirer
+// using AcquireCtx receives ErrOwnerDied with the lock held so it can
+// repair the protected state (robust-mutex semantics). It is an error to
+// declare an unheld lock's owner dead.
+func (m *Mutex) DeclareOwnerDead() error {
+	m.guard.lock()
+	if !m.held {
+		m.guard.unlock()
+		return errors.New("native: DeclareOwnerDead on unheld Mutex")
+	}
+	m.ownerDeaths.Add(1)
+	m.holdNanos.Add(int64(time.Since(m.holdStart)))
+	m.diedPending = true
+	w := m.releaseLocked(0)
+	m.guard.unlock()
+	if w != nil {
+		w.ch <- struct{}{}
+	}
+	return nil
+}
+
+// FaultInjector is consulted at the mutex's fault-injection points,
+// mirroring the simulated lock's hooks: after a successful acquisition
+// (holder stall), before the release path runs (delayed release), and
+// between a failed fast path and registration (waiter preemption).
+// internal/fault.NativeInjector satisfies it structurally.
+type FaultInjector interface {
+	HolderStall() (time.Duration, bool)
+	ReleaseDelay() (time.Duration, bool)
+	WaiterPreempt() (time.Duration, bool)
+}
+
+// injBox wraps the injector so atomic.Value can hold (and clear) it.
+type injBox struct{ fi FaultInjector }
+
+// SetFaultInjector attaches a fault injector to the mutex's injection
+// points. Pass nil to disable.
+func (m *Mutex) SetFaultInjector(fi FaultInjector) { m.inj.Store(injBox{fi}) }
+
+func (m *Mutex) injector() FaultInjector {
+	v := m.inj.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(injBox).fi
+}
+
+// injectHolderStall sleeps the fresh holder inside its critical section.
+// Must be called without the guard.
+func (m *Mutex) injectHolderStall() {
+	if fi := m.injector(); fi != nil {
+		if d, ok := fi.HolderStall(); ok && d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// injectReleaseDelay sleeps the unlocker before the release path runs.
+func (m *Mutex) injectReleaseDelay() {
+	if fi := m.injector(); fi != nil {
+		if d, ok := fi.ReleaseDelay(); ok && d > 0 {
+			time.Sleep(d)
+		}
+	}
+}
+
+// injectWaiterPreempt sleeps a contended acquirer in the window between
+// its failed fast path and its registration.
+func (m *Mutex) injectWaiterPreempt() {
+	if fi := m.injector(); fi != nil {
+		if d, ok := fi.WaiterPreempt(); ok && d > 0 {
+			time.Sleep(d)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package native
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAcquireCtxAlreadyCancelled(t *testing.T) {
+	m := MustNew(CombinedPolicy, FIFO)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.AcquireCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireCtx(cancelled) = %v, want context.Canceled", err)
+	}
+	// The free lock was not consumed by the failed attempt.
+	if !m.TryLock() {
+		t.Fatal("lock unavailable after a pre-cancelled acquisition")
+	}
+	m.Unlock()
+}
+
+func TestAcquireCtxCancelWhileSpinning(t *testing.T) {
+	m := MustNew(SpinPolicy, FIFO) // NoPark: the waiter only ever spins
+	m.Lock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireCtx(ctx) }()
+	time.Sleep(10 * time.Millisecond) // let it reach the spin loop
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AcquireCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled spinning waiter never returned")
+	}
+	m.Unlock()
+	if s := m.Stats(); s.Cancellations != 1 {
+		t.Errorf("Cancellations = %d, want 1", s.Cancellations)
+	}
+}
+
+func TestAcquireCtxCancelWhileParked(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO) // parks immediately
+	m.Lock()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireCtx(ctx) }()
+	time.Sleep(10 * time.Millisecond) // let it park
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AcquireCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled parked waiter never returned")
+	}
+	// The abandoned waiter must have deregistered: releasing must not
+	// grant to it, and the lock must be immediately available.
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("lock not available after cancelled waiter deregistered")
+	}
+	m.Unlock()
+	if s := m.Stats(); s.Cancellations != 1 {
+		t.Errorf("Cancellations = %d, want 1", s.Cancellations)
+	}
+}
+
+// TestAcquireCtxCancelRacesGrant hammers the window where the release
+// grants to a waiter at the same moment its context is cancelled. The
+// invariant: the grant is never lost — the waiter either owns the lock
+// (err == nil) or has released it cleanly (err == context.Canceled), and
+// the lock is always usable afterwards.
+func TestAcquireCtxCancelRacesGrant(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	for i := 0; i < 300; i++ {
+		m.Lock()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- m.AcquireCtx(ctx) }()
+		if i%3 == 0 {
+			time.Sleep(200 * time.Microsecond) // sometimes let it park first
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); cancel() }()
+		go func() { defer wg.Done(); m.Unlock() }()
+		wg.Wait()
+		err := <-done
+		switch {
+		case err == nil:
+			m.Unlock() // the waiter won the race and owns the lock
+		case errors.Is(err, context.Canceled):
+			// the waiter lost; a racing grant must have been released
+		default:
+			t.Fatalf("iteration %d: AcquireCtx = %v", i, err)
+		}
+		if !m.TryLock() {
+			t.Fatalf("iteration %d: lock lost after cancel/grant race", i)
+		}
+		m.Unlock()
+	}
+}
+
+func TestWatchdogAbortsParkedWaiter(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	if err := m.SetWatchdog(WatchdogConfig{HoldDeadline: 5 * time.Millisecond, AbortWaiters: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireCtx(context.Background()) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrOwnerStalled) {
+			t.Fatalf("AcquireCtx = %v, want ErrOwnerStalled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never aborted the parked waiter")
+	}
+	m.Unlock()
+	s := m.Stats()
+	if s.WatchdogTrips == 0 {
+		t.Error("WatchdogTrips = 0 after a stall abort")
+	}
+	if s.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", s.Stalls)
+	}
+	// The aborted waiter deregistered; the lock is free.
+	if !m.TryLock() {
+		t.Fatal("lock not available after stall abort")
+	}
+	m.Unlock()
+}
+
+func TestWatchdogAbortsSpinningWaiter(t *testing.T) {
+	m := MustNew(SpinPolicy, FIFO)
+	if err := m.SetWatchdog(WatchdogConfig{HoldDeadline: 5 * time.Millisecond, AbortWaiters: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireCtx(context.Background()) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrOwnerStalled) {
+			t.Fatalf("AcquireCtx = %v, want ErrOwnerStalled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never aborted the spinning waiter")
+	}
+	m.Unlock()
+	if s := m.Stats(); s.Stalls != 1 {
+		t.Errorf("Stalls = %d, want 1", s.Stalls)
+	}
+}
+
+// TestWatchdogDoesNotAbortPlainWaiters: only abortable (AcquireCtx)
+// waiters are aborted by a trip; plain Lock waiters ride it out.
+func TestWatchdogDoesNotAbortPlainWaiters(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	if err := m.SetWatchdog(WatchdogConfig{HoldDeadline: 2 * time.Millisecond, AbortWaiters: true}); err != nil {
+		t.Fatal(err)
+	}
+	m.Lock()
+	acquired := make(chan struct{})
+	go func() {
+		m.Lock()
+		close(acquired)
+		m.Unlock()
+	}()
+	time.Sleep(20 * time.Millisecond) // several trips elapse
+	select {
+	case <-acquired:
+		t.Fatal("plain waiter acquired while the lock was held")
+	default:
+	}
+	m.Unlock()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("plain waiter never acquired after release")
+	}
+}
+
+func TestDeclareOwnerDead(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	if err := m.DeclareOwnerDead(); err == nil {
+		t.Fatal("DeclareOwnerDead on an unheld lock succeeded")
+	}
+
+	m.Lock() // this "owner" will be declared dead
+	done := make(chan error, 1)
+	go func() { done <- m.AcquireCtx(context.Background()) }()
+	time.Sleep(10 * time.Millisecond) // let the heir park
+	if err := m.DeclareOwnerDead(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrOwnerDied) {
+			t.Fatalf("AcquireCtx = %v, want ErrOwnerDied", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("heir never inherited the dead owner's lock")
+	}
+	// ErrOwnerDied is returned WITH the lock held.
+	if m.TryLock() {
+		t.Fatal("lock free while the heir should hold it")
+	}
+	m.Unlock() // on the heir's behalf
+	if s := m.Stats(); s.OwnerDeaths != 1 {
+		t.Errorf("OwnerDeaths = %d, want 1", s.OwnerDeaths)
+	}
+}
+
+// TestDeclareOwnerDeadNoWaiters: with an empty queue the declaration
+// frees the lock and the pending notification reaches the next
+// abortable acquirer.
+func TestDeclareOwnerDeadNoWaiters(t *testing.T) {
+	m := MustNew(BlockPolicy, FIFO)
+	m.Lock()
+	if err := m.DeclareOwnerDead(); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AcquireCtx(context.Background())
+	if !errors.Is(err, ErrOwnerDied) {
+		t.Fatalf("AcquireCtx = %v, want ErrOwnerDied", err)
+	}
+	m.Unlock()
+	// The notification was consumed: the next acquisition is clean.
+	if err := m.AcquireCtx(context.Background()); err != nil {
+		t.Fatalf("second AcquireCtx = %v, want nil", err)
+	}
+	m.Unlock()
+}

@@ -8,8 +8,10 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/adapt"
 	"repro/internal/core"
 	"repro/internal/cthread"
+	"repro/internal/fault"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -72,6 +74,22 @@ type Config struct {
 	// OnAgentError receives reconfiguration failures from the agent
 	// (nil: errors are counted in Result.AgentErrors only).
 	OnAgentError func(error)
+
+	// Faults, when non-empty, builds a deterministic fault schedule
+	// seeded with FaultSeed and injects it: stall/release-delay/preempt
+	// faults hook into the lock itself; crash faults make a worker exit
+	// while holding the lock; agent-death faults make the mid-run agent
+	// exit while possessing the waiting-policy attribute.
+	Faults    []fault.Spec
+	FaultSeed int64
+	// HoldDeadline arms the lock's watchdog. Zero leaves it off — unless
+	// a crash fault is scheduled, in which case it defaults to 4×CS so
+	// the dead owner is recovered instead of deadlocking the run.
+	HoldDeadline sim.Duration
+	// Degrade spawns an adapt.DegradeAgent that reacts to watchdog trips
+	// by reconfiguring the lock to SafeParams (zero: sleep).
+	Degrade    bool
+	SafeParams core.Params
 }
 
 // Result is what a scenario run produces.
@@ -84,6 +102,19 @@ type Result struct {
 	// AgentErrors counts failed possess/configure attempts by the mid-run
 	// agent.
 	AgentErrors int
+
+	// Faults is the injected schedule (nil without faults); its Counts()
+	// reports per-kind opportunities and firings.
+	Faults *fault.Schedule
+	// DegradeAgent is the watchdog-reactive agent (nil unless Degrade).
+	DegradeAgent *adapt.DegradeAgent
+	// Crashes counts workers that exited while holding the lock;
+	// AgentDied reports the mid-run agent exiting while possessing the
+	// attribute; OwnerDiedSeen counts acquirers that inherited the lock
+	// from a dead owner.
+	Crashes       int
+	AgentDied     bool
+	OwnerDiedSeen int
 }
 
 // Run executes the scenario to completion of all spawned threads.
@@ -112,6 +143,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Agent {
 		procs++
 	}
+	if cfg.Degrade {
+		procs++
+	}
 	if cfg.SampleEvery > 0 {
 		procs++
 	}
@@ -122,6 +156,29 @@ func Run(cfg Config) (*Result, error) {
 	lock := core.New(sys, core.Options{Params: cfg.Params, Scheduler: cfg.Scheduler})
 
 	res := &Result{Lock: lock}
+	var sched *fault.Schedule
+	if len(cfg.Faults) > 0 {
+		var err error
+		sched, err = fault.NewSchedule(cfg.FaultSeed, cfg.Faults...)
+		if err != nil {
+			return nil, err
+		}
+		lock.SetFaultInjector(fault.SimInjector{Schedule: sched})
+		res.Faults = sched
+		if cfg.HoldDeadline <= 0 {
+			for _, sp := range cfg.Faults {
+				if sp.Kind == fault.OwnerCrash {
+					// A crashed owner deadlocks the run without a
+					// watchdog to recover it.
+					cfg.HoldDeadline = 4 * cfg.CS
+					break
+				}
+			}
+		}
+	}
+	if cfg.HoldDeadline > 0 {
+		lock.SetHoldDeadline(cfg.HoldDeadline)
+	}
 	if cfg.TraceEvents > 0 {
 		res.Tracer = trace.New(cfg.TraceEvents)
 		lock.SetTracer(res.Tracer, "lock")
@@ -142,7 +199,19 @@ func Run(cfg Config) (*Result, error) {
 				} else {
 					lock.Lock(t)
 				}
+				if lock.ConsumeOwnerDied(t) {
+					res.OwnerDiedSeen++
+				}
 				t.Compute(cfg.CS)
+				if sched != nil {
+					if _, ok := sched.Draw(fault.OwnerCrash); ok {
+						// Crash while holding: exit without unlocking.
+						// The watchdog finds the dead owner and
+						// force-releases on its behalf.
+						res.Crashes++
+						return
+					}
+				}
 				lock.Unlock(t)
 				t.Compute(cfg.Think)
 			}
@@ -164,10 +233,24 @@ func Run(cfg Config) (*Result, error) {
 				fail(fmt.Errorf("possess waiting-policy: %w", err))
 				return
 			}
+			if sched != nil {
+				if _, ok := sched.Draw(fault.AgentDeath); ok {
+					// Die while possessing the attribute, before the
+					// reconfiguration: possession stays wedged until a
+					// later agent steals it from the dead thread.
+					res.AgentDied = true
+					return
+				}
+			}
 			if err := lock.ConfigureWaiting(t, core.SleepParams()); err != nil {
 				fail(fmt.Errorf("configure waiting-policy: %w", err))
 			}
 		})
+		cpu++
+	}
+	if cfg.Degrade {
+		res.DegradeAgent = &adapt.DegradeAgent{Lock: lock, Safe: cfg.SafeParams}
+		sys.Spawn("degrade", cpu, 0, res.DegradeAgent.Run)
 		cpu++
 	}
 	if cfg.SampleEvery > 0 {
@@ -183,7 +266,14 @@ func Run(cfg Config) (*Result, error) {
 		smp := res.Sampler
 		done := func() bool {
 			for _, th := range sys.Threads() {
-				if th.Name() != "sampler" && th.State() != cthread.Done {
+				switch th.Name() {
+				case "sampler", "degrade":
+					// The degrade agent blocks forever waiting for
+					// watchdog trips; waiting for it would keep the
+					// sampler — and so the simulation — alive forever.
+					continue
+				}
+				if th.State() != cthread.Done {
 					return false
 				}
 			}

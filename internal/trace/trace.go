@@ -30,6 +30,10 @@ const (
 	ThreadBlock
 	ThreadWake
 	Custom
+	FaultInject
+	WatchdogTrip
+	OwnerDeath
+	Abandon
 )
 
 func (k Kind) String() string {
@@ -52,6 +56,14 @@ func (k Kind) String() string {
 		return "wake"
 	case Custom:
 		return "custom"
+	case FaultInject:
+		return "fault"
+	case WatchdogTrip:
+		return "watchdog"
+	case OwnerDeath:
+		return "owner-death"
+	case Abandon:
+		return "abandon"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
