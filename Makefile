@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench verify chaos fuzz clean
+.PHONY: all build vet test race check bench bench-out verify chaos fuzz serve-smoke clean
 
 all: check
 
@@ -20,11 +20,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race fuzz
+check: build vet race fuzz serve-smoke
 
 # Regenerate the paper's tables and figures.
 bench:
 	$(GO) run ./cmd/lockbench -quick -all
+
+# Machine-readable benchmark summary (Table 2 op costs + per-policy
+# contention sweep); CI uploads the file as an artifact.
+bench-out:
+	$(GO) run ./cmd/lockbench -quick -bench-out BENCH_pr3.json
+
+# End-to-end telemetry smoke: boot the HTTP server over a registry with a
+# contended native lock and a simulated lock, scrape every endpoint.
+serve-smoke:
+	$(GO) test ./internal/telemetry -run 'TestServeSmoke' -count=1 -v
 
 # PASS/FAIL check of every reproduction claim.
 verify:

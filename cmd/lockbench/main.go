@@ -8,6 +8,8 @@
 //	lockbench -all                  # run everything (the paper's evaluation)
 //	lockbench -quick -all           # reduced sweeps (CI-sized)
 //	lockbench -procs 32 fig1        # override machine size
+//	lockbench -bench-out BENCH.json # machine-readable benchmark summary
+//	lockbench -serve :9090 -all     # serve live telemetry while running
 package main
 
 import (
@@ -15,8 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +32,10 @@ func main() {
 		procs  = flag.Int("procs", 0, "processor count for figure workloads (default 16)")
 		iters  = flag.Int("iters", 0, "lock/unlock iterations per thread (default 40)")
 		seed   = flag.Uint64("seed", 0, "simulation seed (default 1993)")
-		format = flag.String("format", "text", "output format: text|json")
-		verify = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
+		format   = flag.String("format", "text", "output format: text|json")
+		verify   = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
+		benchOut = flag.String("bench-out", "", "write a machine-readable benchmark summary (lock-op costs + per-policy contention sweep) to this file")
+		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
 	)
 	flag.Parse()
 
@@ -53,6 +60,34 @@ func main() {
 		return
 	}
 
+	var srv *telemetry.Server
+	if *serve != "" {
+		var err error
+		srv, err = telemetry.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockbench: telemetry on %s\n", srv.URL())
+	}
+
+	if *benchOut != "" {
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", err)
+			os.Exit(1)
+		}
+		werr := experiments.WriteBench(f, cfg)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "lockbench:", werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockbench: wrote benchmark summary to %s\n", *benchOut)
+	}
+
 	var ids []string
 	if *all {
 		for _, e := range experiments.All() {
@@ -61,7 +96,7 @@ func main() {
 	} else {
 		ids = flag.Args()
 	}
-	if len(ids) == 0 {
+	if len(ids) == 0 && *benchOut == "" && srv == nil {
 		fmt.Fprintln(os.Stderr, "lockbench: nothing to run; pass experiment ids, -all, or -list")
 		os.Exit(2)
 	}
@@ -83,12 +118,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *format == "json" {
+	if *format == "json" && len(results) > 0 {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(results); err != nil {
 			fmt.Fprintln(os.Stderr, "lockbench:", err)
 			os.Exit(1)
 		}
+	}
+
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "lockbench: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
 	}
 }

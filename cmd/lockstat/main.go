@@ -7,8 +7,11 @@
 //	lockstat -n 8 -policy spin        # eight spinning workers
 //	lockstat -json                    # machine-readable report on stdout
 //	lockstat -chrome out.json         # also write a Chrome/Perfetto trace
+//	lockstat -serve :9090             # keep serving live telemetry after the report
 //
 // Open a -chrome file at https://ui.perfetto.dev or chrome://tracing.
+// With -serve, /metrics (Prometheus), /locks (JSON), /watch (SSE) and
+// /debug/pprof stay up until interrupted.
 package main
 
 import (
@@ -16,12 +19,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // histReport is the JSON shape of one latency histogram.
@@ -103,6 +109,7 @@ type report struct {
 		Dropped int64  `json:"dropped"`
 		Summary string `json:"summary"`
 	} `json:"trace"`
+	Telemetry  telemetryReport `json:"telemetry"`
 	Robustness struct {
 		Aborts            int64                  `json:"aborts"` // conditional acquisitions that timed out
 		Abandonments      int64                  `json:"abandonments"`
@@ -123,6 +130,14 @@ type faultReport struct {
 	Injected      int64 `json:"injected"`
 }
 
+// telemetryReport mirrors the lock's identity in the telemetry registry,
+// so a -json consumer can find the same lock on a -serve endpoint.
+type telemetryReport struct {
+	Registry string           `json:"registry"` // name in the registry
+	Impl     string           `json:"impl"`
+	TopSites []telemetry.Site `json:"top_sites"` // contention profile (native locks; empty for sim)
+}
+
 func main() {
 	var (
 		n       = flag.Int("n", 6, "number of contending threads")
@@ -139,6 +154,8 @@ func main() {
 		seed    = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
 		holdDl  = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
 		degrade = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
+		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address, e.g. :9090; blocks after the report until interrupted")
+		name    = flag.String("name", "lockstat", "lock name in the telemetry registry")
 	)
 	flag.Parse()
 
@@ -162,6 +179,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Start the server before the run so the scenario's sampler-cadence
+	// publishes are scrapeable while the simulation executes.
+	var srv *telemetry.Server
+	if *serve != "" {
+		srv, err = telemetry.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockstat: telemetry on %s\n", srv.URL())
+	}
+
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
 		Iters:       *iters,
@@ -179,6 +208,7 @@ func main() {
 		FaultSeed:    *seed,
 		HoldDeadline: sim.Us(*holdDl),
 		Degrade:      *degrade,
+		RegisterAs:   *name,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
@@ -212,10 +242,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lockstat:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		printHuman(res, *n, *iters, *policy, *sched, *cs)
 	}
 
-	printHuman(res, *n, *iters, *policy, *sched, *cs)
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "lockstat: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
+	}
 }
 
 func buildReport(res *scenario.Result, n, iters int, policy, sched string, cs float64) report {
@@ -268,6 +305,16 @@ func buildReport(res *scenario.Result, n, iters int, policy, sched string, cs fl
 	doc.Trace.Events = res.Tracer.Len()
 	doc.Trace.Dropped = res.Tracer.Dropped()
 	doc.Trace.Summary = res.Tracer.Summary()
+
+	if res.Telemetry != nil {
+		s := res.Telemetry.Snapshot()
+		doc.Telemetry.Registry = s.Name
+		doc.Telemetry.Impl = s.Impl
+		doc.Telemetry.TopSites = s.Sites
+	}
+	if doc.Telemetry.TopSites == nil {
+		doc.Telemetry.TopSites = []telemetry.Site{}
+	}
 
 	doc.Robustness.Aborts = snap.Failures
 	doc.Robustness.Abandonments = snap.Abandonments

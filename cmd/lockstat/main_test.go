@@ -8,6 +8,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func runSmall(t *testing.T) *scenario.Result {
@@ -20,6 +21,8 @@ func runSmall(t *testing.T) *scenario.Result {
 		Observe:     true,
 		SampleEvery: sim.Us(500),
 		Agent:       true,
+		RegisterAs:  "lockstat",
+		Registry:    telemetry.NewRegistry(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -39,10 +42,24 @@ func TestReportJSONShape(t *testing.T) {
 	if err := json.Unmarshal(raw, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, section := range []string{"scenario", "monitor", "wait", "hold", "idle", "windows", "trace", "robustness"} {
+	for _, section := range []string{"scenario", "monitor", "wait", "hold", "idle", "windows", "trace", "telemetry", "robustness"} {
 		if _, ok := m[section]; !ok {
 			t.Errorf("report missing section %q", section)
 		}
+	}
+	var tel struct {
+		Registry string                   `json:"registry"`
+		Impl     string                   `json:"impl"`
+		TopSites []map[string]interface{} `json:"top_sites"`
+	}
+	if err := json.Unmarshal(m["telemetry"], &tel); err != nil {
+		t.Fatalf("telemetry section: %v", err)
+	}
+	if tel.Registry != "lockstat" || tel.Impl != "sim" {
+		t.Errorf("telemetry identity = %q/%q, want lockstat/sim", tel.Registry, tel.Impl)
+	}
+	if tel.TopSites == nil {
+		t.Error("telemetry top_sites absent; want an array (possibly empty)")
 	}
 	var mon map[string]interface{}
 	if err := json.Unmarshal(m["monitor"], &mon); err != nil {

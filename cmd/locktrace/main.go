@@ -7,16 +7,22 @@
 //	locktrace -sched priority -n 6    # six waiters under priority release
 //	locktrace -policy sleep -events 40
 //	locktrace -json > trace.json      # event ring as Chrome trace JSON
+//	locktrace -serve :9090            # keep serving live telemetry after the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -31,6 +37,8 @@ func main() {
 		seed     = flag.Int64("fault-seed", 1, "fault-schedule seed")
 		holdDl   = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off)")
 		degrade  = flag.Bool("degrade", false, "spawn the degrade agent reacting to watchdog trips")
+		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
+		name     = flag.String("name", "locktrace", "lock name in the telemetry registry")
 	)
 	flag.Parse()
 
@@ -54,6 +62,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	var srv *telemetry.Server
+	if *serve != "" {
+		srv, err = telemetry.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locktrace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "locktrace: telemetry on %s\n", srv.URL())
+	}
+
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
 		Params:      params,
@@ -68,6 +86,7 @@ func main() {
 		FaultSeed:    *seed,
 		HoldDeadline: sim.Us(*holdDl),
 		Degrade:      *degrade,
+		RegisterAs:   *name,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locktrace:", err)
@@ -75,22 +94,52 @@ func main() {
 	}
 
 	if *jsonDump {
-		if err := res.Tracer.WriteChrome(os.Stdout); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(chromeDoc(res)); err != nil {
 			fmt.Fprintln(os.Stderr, "locktrace:", err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		fmt.Printf("scenario: %d workers, %s policy, %s scheduler, %.0fus critical sections\n\n",
+			*n, *policy, *sched, *cs)
+		res.Tracer.Dump(os.Stdout)
+		fmt.Printf("\nsummary: %s\n", res.Tracer.Summary())
+		snap := res.Snapshot
+		fmt.Printf("monitor: acq=%d contended=%d grants=%d wakeups=%d avgWait=%v avgHold=%v\n",
+			snap.Acquisitions, snap.Contended, snap.Grants, snap.Wakeups, snap.AvgWait(), snap.AvgHold())
+		if res.Faults != nil {
+			fmt.Printf("faults:  %s  [seed %d]  ownerDeaths=%d watchdogTrips=%d abandoned=%d\n",
+				res.Faults.Counts(), res.Faults.Seed(), snap.OwnerDeaths, snap.WatchdogTrips, snap.Abandonments)
+		}
 	}
 
-	fmt.Printf("scenario: %d workers, %s policy, %s scheduler, %.0fus critical sections\n\n",
-		*n, *policy, *sched, *cs)
-	res.Tracer.Dump(os.Stdout)
-	fmt.Printf("\nsummary: %s\n", res.Tracer.Summary())
-	snap := res.Snapshot
-	fmt.Printf("monitor: acq=%d contended=%d grants=%d wakeups=%d avgWait=%v avgHold=%v\n",
-		snap.Acquisitions, snap.Contended, snap.Grants, snap.Wakeups, snap.AvgWait(), snap.AvgHold())
-	if res.Faults != nil {
-		fmt.Printf("faults:  %s  [seed %d]  ownerDeaths=%d watchdogTrips=%d abandoned=%d\n",
-			res.Faults.Counts(), res.Faults.Seed(), snap.OwnerDeaths, snap.WatchdogTrips, snap.Abandonments)
+	if srv != nil {
+		fmt.Fprintf(os.Stderr, "locktrace: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
 	}
+}
+
+// chromeDoc packages the trace for -json, stamping the telemetry
+// identity (registry name, contention top sites) into otherData so the
+// trace file references its live-scrape counterpart.
+func chromeDoc(res *scenario.Result) trace.ChromeFile {
+	doc := res.Tracer.Chrome()
+	if res.Telemetry == nil {
+		return doc
+	}
+	s := res.Telemetry.Snapshot()
+	sites := s.Sites
+	if sites == nil {
+		sites = []telemetry.Site{}
+	}
+	doc.OtherData = map[string]any{
+		"telemetry_registry": s.Name,
+		"telemetry_impl":     s.Impl,
+		"top_sites":          sites,
+	}
+	return doc
 }

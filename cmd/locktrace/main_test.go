@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// TestChromeDocOtherData asserts the -json document carries the
+// telemetry identity in otherData, alongside a well-formed trace.
+func TestChromeDocOtherData(t *testing.T) {
+	res, err := scenario.Run(scenario.Config{
+		Workers:     3,
+		CS:          sim.Us(300),
+		TraceEvents: 256,
+		RegisterAs:  "locktrace",
+		Registry:    telemetry.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(chromeDoc(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       struct {
+			Registry string                   `json:"telemetry_registry"`
+			Impl     string                   `json:"telemetry_impl"`
+			TopSites []map[string]interface{} `json:"top_sites"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("no trace events")
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.Registry != "locktrace" || doc.OtherData.Impl != "sim" {
+		t.Errorf("otherData identity = %q/%q, want locktrace/sim",
+			doc.OtherData.Registry, doc.OtherData.Impl)
+	}
+	if doc.OtherData.TopSites == nil {
+		t.Error("otherData top_sites absent; want an array (possibly empty)")
+	}
+}
+
+// TestChromeDocWithoutTelemetry asserts an unregistered run omits
+// otherData entirely.
+func TestChromeDocWithoutTelemetry(t *testing.T) {
+	res, err := scenario.Run(scenario.Config{Workers: 2, TraceEvents: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(chromeDoc(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["otherData"]; ok {
+		t.Error("otherData present for an unregistered run")
+	}
+}

@@ -179,6 +179,10 @@ func (l *Lock) SetTracer(t *trace.Tracer, label string) {
 	l.label = label
 }
 
+// Label returns the object name set by SetTracer ("" when untraced). The
+// telemetry registry uses it as the default registration name.
+func (l *Lock) Label() string { return l.label }
+
 // LatencyObserver receives individual wait, hold and idle durations from
 // the lock's hot paths, so an observability layer can maintain
 // distributions (histograms, percentiles) rather than the monitor's

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/cthread"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// This file builds the machine-readable benchmark artifact behind
+// `lockbench -bench-out`: the Table 2 lock-operation costs plus a
+// contended-scenario sweep over the waiting policies, with throughput
+// and wait-latency percentiles per policy. CI uploads the file so
+// benchmark history rides along with every run.
+
+// LockOpCost is one Table 2 row: the cost of an uncontended Lock
+// operation with the lock words local vs. remote to the requester.
+type LockOpCost struct {
+	Lock     string  `json:"lock"`
+	LocalUs  float64 `json:"local_us"`
+	RemoteUs float64 `json:"remote_us"`
+}
+
+// PolicyBench is one waiting policy's contended-scenario measurement.
+type PolicyBench struct {
+	Policy          string  `json:"policy"`
+	Acquisitions    int64   `json:"acquisitions"`
+	Contended       int64   `json:"contended"`
+	ElapsedUs       float64 `json:"elapsed_us"`
+	AcqPerSec       float64 `json:"acquisitions_per_sec"`
+	WaitP50Us       float64 `json:"wait_p50_us"`
+	WaitP99Us       float64 `json:"wait_p99_us"`
+	AvgHoldUs       float64 `json:"avg_hold_us"`
+	ContentionRatio float64 `json:"contention_ratio"`
+}
+
+// BenchSummary is the -bench-out document.
+type BenchSummary struct {
+	Procs      int           `json:"procs"`
+	Iterations int           `json:"iterations"`
+	Quick      bool          `json:"quick"`
+	LockOps    []LockOpCost  `json:"lock_op_costs"`
+	Policies   []PolicyBench `json:"policies"`
+}
+
+// benchPolicies names the waiting policies the contended sweep covers.
+var benchPolicies = []string{"spin", "backoff", "sleep", "combined"}
+
+// Bench measures the summary: Table 2 microbenchmarks plus one contended
+// scenario per waiting policy. Deterministic for a given Config. The
+// scenario locks register in the telemetry registry (bench-<policy>), so
+// a `-serve` run exports them live.
+func Bench(c Config) (BenchSummary, error) {
+	c = c.normalize()
+	out := BenchSummary{Procs: c.Procs, Iterations: c.Iterations, Quick: c.Quick}
+
+	out.LockOps = append(out.LockOps, LockOpCost{
+		Lock:     "atomior",
+		LocalUs:  atomiorCost(0).Us(),
+		RemoteUs: atomiorCost(1).Us(),
+	})
+	for _, k := range microKinds() {
+		k := k
+		var vals [2]sim.Duration
+		for i, mod := range []int{0, 1} {
+			mod := mod
+			vals[i] = measureOp(2, func(s *cthread.System, t *cthread.Thread) sim.Duration {
+				l := k.make(s, mod)
+				start := t.Now()
+				l.Lock(t)
+				return sim.Duration(t.Now() - start)
+			})
+		}
+		out.LockOps = append(out.LockOps, LockOpCost{
+			Lock: k.name, LocalUs: vals[0].Us(), RemoteUs: vals[1].Us(),
+		})
+	}
+
+	for _, name := range benchPolicies {
+		params, _ := scenario.ParsePolicy(name)
+		res, err := scenario.Run(scenario.Config{
+			Workers:    c.Procs,
+			Iters:      c.Iterations,
+			Params:     params,
+			Observe:    true,
+			RegisterAs: "bench-" + name,
+		})
+		if err != nil {
+			return out, err
+		}
+		snap := res.Snapshot
+		wait := res.Observer.Wait()
+		pb := PolicyBench{
+			Policy:          name,
+			Acquisitions:    snap.Acquisitions,
+			Contended:       snap.Contended,
+			ElapsedUs:       snap.At.Us(),
+			WaitP50Us:       wait.Quantile(50).Us(),
+			WaitP99Us:       wait.Quantile(99).Us(),
+			AvgHoldUs:       snap.AvgHold().Us(),
+			ContentionRatio: snap.ContentionRatio(),
+		}
+		if snap.At > 0 {
+			pb.AcqPerSec = float64(snap.Acquisitions) / (float64(snap.At) / 1e9)
+		}
+		out.Policies = append(out.Policies, pb)
+	}
+	return out, nil
+}
+
+// WriteBench measures Bench(c) and writes it as indented JSON.
+func WriteBench(w io.Writer, c Config) error {
+	sum, err := Bench(c)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestBenchSummaryShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBench(&buf, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	var sum BenchSummary
+	if err := json.Unmarshal(buf.Bytes(), &sum); err != nil {
+		t.Fatalf("bench-out is not valid JSON: %v", err)
+	}
+	// atomior + the four lock kinds of Table 2.
+	if len(sum.LockOps) != 5 {
+		t.Fatalf("lock_op_costs has %d rows, want 5", len(sum.LockOps))
+	}
+	if sum.LockOps[0].Lock != "atomior" || sum.LockOps[0].LocalUs <= 0 {
+		t.Errorf("first op row = %+v, want positive atomior cost", sum.LockOps[0])
+	}
+	for _, op := range sum.LockOps {
+		if op.RemoteUs < op.LocalUs {
+			t.Errorf("%s: remote %.2fus cheaper than local %.2fus", op.Lock, op.RemoteUs, op.LocalUs)
+		}
+	}
+	if len(sum.Policies) != len(benchPolicies) {
+		t.Fatalf("policies has %d rows, want %d", len(sum.Policies), len(benchPolicies))
+	}
+	want := sum.Procs * sum.Iterations
+	for _, p := range sum.Policies {
+		if p.Acquisitions != int64(want) {
+			t.Errorf("%s: acquisitions = %d, want %d", p.Policy, p.Acquisitions, want)
+		}
+		if p.AcqPerSec <= 0 || p.ElapsedUs <= 0 {
+			t.Errorf("%s: non-positive throughput (%+v)", p.Policy, p)
+		}
+		if p.WaitP50Us > p.WaitP99Us {
+			t.Errorf("%s: wait p50 %.2f > p99 %.2f", p.Policy, p.WaitP50Us, p.WaitP99Us)
+		}
+	}
+	// Determinism: a second run produces the identical document.
+	var buf2 bytes.Buffer
+	if err := WriteBench(&buf2, Config{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("bench summary not deterministic across runs")
+	}
+}

@@ -169,6 +169,10 @@ type Mutex struct {
 	stallGen    atomic.Uint64
 	inj         atomic.Value // injBox
 
+	// Telemetry hooks (see observe.go).
+	observer atomic.Value // obsBox
+	csampler atomic.Value // samplerBox
+
 	// monitor counters (atomics: read without the guard)
 	acquisitions  atomic.Int64
 	contended     atomic.Int64
@@ -302,7 +306,7 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 			if !m.held {
 				died := m.take()
 				m.guard.unlock()
-				m.waitNanos.Add(int64(time.Since(waitStart)))
+				m.finishWait(waitStart)
 				m.injectHolderStall()
 				return true, died, nil
 			}
@@ -342,7 +346,7 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 		if !m.held {
 			died := m.take()
 			m.guard.unlock()
-			m.waitNanos.Add(int64(time.Since(waitStart)))
+			m.finishWait(waitStart)
 			m.injectHolderStall()
 			return true, died, nil
 		}
@@ -391,12 +395,13 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 			m.diedPending = false
 			m.armLocked()
 			m.guard.unlock()
-			m.waitNanos.Add(int64(time.Since(waitStart)))
 			if cancelled {
+				m.waitNanos.Add(int64(time.Since(waitStart)))
 				m.cancellations.Add(1)
 				m.unlock(0)
 				return false, false, ctx.Err()
 			}
+			m.finishWait(waitStart)
 			m.injectHolderStall()
 			return true, died, nil
 		}
@@ -441,11 +446,15 @@ func (m *Mutex) unlock(hint uint64) {
 		m.guard.unlock()
 		panic("native: Unlock of unlocked Mutex")
 	}
-	m.holdNanos.Add(int64(time.Since(m.holdStart)))
+	held := time.Since(m.holdStart)
+	m.holdNanos.Add(int64(held))
 	w := m.releaseLocked(hint)
 	m.guard.unlock()
 	if w != nil {
 		w.ch <- struct{}{}
+	}
+	if o := m.latencyObserver(); o != nil {
+		o.ObserveHold(held)
 	}
 }
 

@@ -1,0 +1,72 @@
+package native
+
+import "time"
+
+// This file is the mutex's telemetry surface: optional hooks the
+// observability layer (internal/telemetry) installs to see individual
+// latencies and contended-acquisition call sites, beyond the cumulative
+// Stats counters. Both hooks are invoked outside the guard, on the
+// acquiring/releasing goroutine itself, and must not call back into the
+// mutex.
+
+// LatencyObserver receives individual wait and hold durations from the
+// mutex's hot paths, so an observability layer can maintain
+// distributions (histograms, percentiles) rather than the monitor's
+// lifetime totals. ObserveWait fires once per completed contended
+// acquisition; ObserveHold once per release. Implementations must be
+// safe for concurrent use.
+type LatencyObserver interface {
+	ObserveWait(d time.Duration)
+	ObserveHold(d time.Duration)
+}
+
+// obsBox wraps the observer so atomic.Value can hold (and clear) it.
+type obsBox struct{ o LatencyObserver }
+
+// SetLatencyObserver attaches a latency observer. Pass nil to detach.
+func (m *Mutex) SetLatencyObserver(o LatencyObserver) { m.observer.Store(obsBox{o}) }
+
+func (m *Mutex) latencyObserver() LatencyObserver {
+	v := m.observer.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(obsBox).o
+}
+
+// ContentionSampler is called once per completed contended acquisition,
+// on the acquiring goroutine itself — before the caller's critical
+// section runs — so implementations can capture the caller's stack (the
+// acquisition site). waited is the registration-to-grant delay.
+// Implementations must be safe for concurrent use.
+type ContentionSampler interface {
+	ContendedAcquire(waited time.Duration)
+}
+
+// samplerBox wraps the sampler so atomic.Value can hold (and clear) it.
+type samplerBox struct{ s ContentionSampler }
+
+// SetContentionSampler attaches a contention sampler. Pass nil to detach.
+func (m *Mutex) SetContentionSampler(s ContentionSampler) { m.csampler.Store(samplerBox{s}) }
+
+func (m *Mutex) contentionSampler() ContentionSampler {
+	v := m.csampler.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(samplerBox).s
+}
+
+// finishWait charges a completed contended acquisition: the wait-time
+// counter, the latency observer and the contention sampler. Must be
+// called without the guard.
+func (m *Mutex) finishWait(waitStart time.Time) {
+	d := time.Since(waitStart)
+	m.waitNanos.Add(int64(d))
+	if o := m.latencyObserver(); o != nil {
+		o.ObserveWait(d)
+	}
+	if s := m.contentionSampler(); s != nil {
+		s.ContendedAcquire(d)
+	}
+}

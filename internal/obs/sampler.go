@@ -120,14 +120,25 @@ func (s *Sampler) retain(w Window) {
 	if keep <= 0 {
 		keep = 32
 	}
+	// Keep may change between calls. A wrapped ring's physical order is
+	// not chronological, so linearize before growing or clamping it —
+	// trimming a physical suffix of a wrapped ring would interleave old
+	// and new windows.
+	if s.wrapped && len(s.windows) != keep {
+		s.windows = s.Windows()
+		s.next = 0
+		s.wrapped = false
+	}
+	if len(s.windows) > keep {
+		// Shrunk: keep the newest windows.
+		trimmed := make([]Window, keep)
+		copy(trimmed, s.windows[len(s.windows)-keep:])
+		s.windows = trimmed
+		s.next = 0
+	}
 	if len(s.windows) < keep {
 		s.windows = append(s.windows, w)
 		return
-	}
-	// Keep may have shrunk between calls; clamp the ring.
-	if len(s.windows) > keep {
-		s.windows = s.windows[len(s.windows)-keep:]
-		s.next = 0
 	}
 	s.windows[s.next] = w
 	s.next = (s.next + 1) % keep

@@ -155,3 +155,77 @@ func TestSamplerOnWindowCallback(t *testing.T) {
 		t.Fatalf("OnWindow called %d times, want 2", calls)
 	}
 }
+
+// winTag fabricates a window identifiable by its acquisition count, and
+// tags reads the counts back out.
+func winTag(n int64) Window {
+	return Window{Delta: core.Delta{Acquisitions: n}}
+}
+
+func tags(ws []Window) []int64 {
+	out := make([]int64, len(ws))
+	for i, w := range ws {
+		out[i] = w.Delta.Acquisitions
+	}
+	return out
+}
+
+// TestSamplerRetainKeepShrinksMidRun is the regression test for the ring
+// clamp: shrinking Keep after the ring has wrapped used to trim a
+// physical suffix of the ring, interleaving old and new windows so
+// Windows() came back out of chronological order.
+func TestSamplerRetainKeepShrinksMidRun(t *testing.T) {
+	s := &Sampler{Keep: 4}
+	// Fill and wrap mid-cycle: after 7 windows the ring holds 4..7 with
+	// the write cursor inside the ring, so the physical order is not
+	// chronological.
+	for i := int64(1); i <= 7; i++ {
+		s.retain(winTag(i))
+	}
+	if got := tags(s.Windows()); len(got) != 4 || got[0] != 4 || got[3] != 7 {
+		t.Fatalf("pre-shrink windows = %v, want [4 5 6 7]", got)
+	}
+	// Shrink mid-run and add one more.
+	s.Keep = 3
+	s.retain(winTag(8))
+	got := tags(s.Windows())
+	want := []int64{6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("post-shrink windows = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-shrink windows = %v, want %v (chronological)", got, want)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.Delta.Acquisitions != 8 {
+		t.Fatalf("Last = %+v/%v, want window 8", last, ok)
+	}
+	// Keep shrunk ring behavior consistent on further writes.
+	s.retain(winTag(9))
+	if got := tags(s.Windows()); got[0] != 7 || got[2] != 9 {
+		t.Fatalf("steady-state windows = %v, want [7 8 9]", got)
+	}
+}
+
+// TestSamplerRetainKeepGrowsMidRun covers the dual: growing Keep on a
+// wrapped ring must not append new windows after physically-older slots.
+func TestSamplerRetainKeepGrowsMidRun(t *testing.T) {
+	s := &Sampler{Keep: 3}
+	for i := int64(1); i <= 5; i++ {
+		s.retain(winTag(i)) // wrapped ring now holds 3,4,5
+	}
+	s.Keep = 5
+	s.retain(winTag(6))
+	s.retain(winTag(7))
+	got := tags(s.Windows())
+	want := []int64{3, 4, 5, 6, 7}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("post-grow windows = %v, want %v", got, want)
+		}
+	}
+	if last, ok := s.Last(); !ok || last.Delta.Acquisitions != 7 {
+		t.Fatalf("Last = %+v/%v, want window 7", last, ok)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -90,6 +91,14 @@ type Config struct {
 	// by reconfiguring the lock to SafeParams (zero: sleep).
 	Degrade    bool
 	SafeParams core.Params
+
+	// RegisterAs, when non-empty, registers the lock in the telemetry
+	// registry under that name; snapshots are published at run start, at
+	// every sampler window (with SampleEvery), and at run end, so a
+	// concurrent telemetry server can scrape the run live. Registry
+	// overrides telemetry.Default (tests).
+	RegisterAs string
+	Registry   *telemetry.Registry
 }
 
 // Result is what a scenario run produces.
@@ -115,6 +124,11 @@ type Result struct {
 	Crashes       int
 	AgentDied     bool
 	OwnerDiedSeen int
+
+	// Telemetry is the registry entry (nil unless RegisterAs or Registry
+	// was set). It stays registered after Run returns so a -serve CLI can
+	// keep exporting it; callers that want it gone call Close.
+	Telemetry *telemetry.CoreEntry
 }
 
 // Run executes the scenario to completion of all spawned threads.
@@ -186,6 +200,18 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Observe || cfg.SampleEvery > 0 {
 		res.Observer = obs.NewLockObserver()
 		lock.SetLatencyObserver(res.Observer)
+	}
+	if cfg.RegisterAs != "" || cfg.Registry != nil {
+		reg := cfg.Registry
+		if reg == nil {
+			reg = telemetry.Default
+		}
+		name := cfg.RegisterAs
+		if name == "" {
+			name = "scenario"
+		}
+		res.Telemetry = reg.RegisterCore(name, lock, res.Observer)
+		res.Telemetry.Publish()
 	}
 
 	kind := cfg.Scheduler
@@ -283,6 +309,12 @@ func Run(cfg Config) (*Result, error) {
 			for !done() {
 				t.Sleep(cfg.SampleEvery)
 				smp.Sample()
+				if res.Telemetry != nil {
+					// Each probe window doubles as a telemetry publish, so
+					// a live scrape of a long simulation advances at the
+					// sampling cadence.
+					res.Telemetry.Publish()
+				}
 			}
 		})
 	}
@@ -291,5 +323,8 @@ func Run(cfg Config) (*Result, error) {
 		return res, err
 	}
 	res.Snapshot = lock.MonitorSnapshot()
+	if res.Telemetry != nil {
+		res.Telemetry.Publish()
+	}
 	return res, nil
 }

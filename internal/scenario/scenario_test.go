@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func TestRunDefaultsProduceFullObservability(t *testing.T) {
@@ -75,5 +76,43 @@ func TestParsePolicyAndScheduler(t *testing.T) {
 	}
 	if k, _ := ParseScheduler("deadline"); k != core.Deadline {
 		t.Errorf("deadline maps to %v", k)
+	}
+}
+
+func TestRunRegistersTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	res, err := Run(Config{
+		Workers:     3,
+		Iters:       4,
+		Observe:     true,
+		SampleEvery: sim.Us(500),
+		RegisterAs:  "fig-test",
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("Telemetry entry not created")
+	}
+	defer res.Telemetry.Close()
+	snaps := reg.Snapshots()
+	if len(snaps) != 1 || snaps[0].Name != "fig-test" {
+		t.Fatalf("snapshots = %+v, want one entry named fig-test", snaps)
+	}
+	s := snaps[0]
+	if s.Sim == nil || s.Sim.Acquisitions != 12 {
+		t.Fatalf("published sim snapshot = %+v, want 12 acquisitions", s.Sim)
+	}
+	if s.Wait == nil || s.Wait.Count() == 0 {
+		t.Error("published snapshot missing wait histogram")
+	}
+	// Without RegisterAs or Registry, nothing registers.
+	res2, err := Run(Config{Workers: 2, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Telemetry != nil {
+		t.Error("unnamed run registered telemetry")
 	}
 }

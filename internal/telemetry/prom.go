@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// This file encodes registry snapshots in the Prometheus text exposition
+// format (version 0.0.4): one metric family per lock counter/gauge, with
+// {impl,lock} labels, plus cumulative-bucket histogram families for the
+// wait/hold/idle latency distributions. The encoder is hand-rolled on
+// purpose — the container bakes in no Prometheus client library, and the
+// text format is small enough to own (and to golden-test exactly).
+
+// counterPoint is one series of a counter/gauge family.
+type counterPoint struct {
+	Name  string
+	Help  string
+	Gauge bool
+	Value int64
+}
+
+// points flattens a snapshot into its scalar metric series. Families not
+// meaningful for the implementation (e.g. wakeups on a native lock) are
+// simply absent for that lock.
+func (s LockSnapshot) points() []counterPoint {
+	c := func(name, help string, v int64) counterPoint {
+		return counterPoint{Name: name, Help: help, Value: v}
+	}
+	g := func(name, help string, v int64) counterPoint {
+		return counterPoint{Name: name, Help: help, Gauge: true, Value: v}
+	}
+	pts := []counterPoint{
+		g("lock_waiters", "Current registration-queue length.", int64(s.Waiters)),
+	}
+	switch {
+	case s.Sim != nil:
+		m := s.Sim
+		pts = append(pts,
+			c("lock_acquisitions_total", "Successful lock operations.", m.Acquisitions),
+			c("lock_contended_total", "Acquisitions that had to wait.", m.Contended),
+			c("lock_acquire_timeouts_total", "Conditional acquisitions that timed out.", m.Failures),
+			c("lock_grants_total", "Grants performed by the release module.", m.Grants),
+			c("lock_wakeups_total", "Sleeping waiters woken by a release.", m.Wakeups),
+			c("lock_reconfigurations_total", "Waiting-policy and scheduler reconfigurations.", m.ReconfigWaiting+m.ReconfigScheduler),
+			c("lock_wait_nanoseconds_total", "Total registration-to-grant wait time.", int64(m.WaitTotal)),
+			c("lock_hold_nanoseconds_total", "Total grant-to-release hold time.", int64(m.HoldTotal)),
+			g("lock_max_waiters", "High-water mark of the registration queue.", int64(m.MaxQueue)),
+			// Robustness counters.
+			c("lock_abandonments_total", "Expired waiters purged from the queue by releases.", m.Abandonments),
+			c("lock_owner_deaths_total", "Holders found dead; lock force-released.", m.OwnerDeaths),
+			c("lock_watchdog_trips_total", "Hold-deadline violations detected.", m.WatchdogTrips),
+			c("lock_possess_recoveries_total", "Attribute possessions stolen back from dead agents.", m.PossessRecoveries),
+		)
+	case s.Native != nil:
+		m := s.Native
+		pts = append(pts,
+			c("lock_acquisitions_total", "Successful lock operations.", m.Acquisitions),
+			c("lock_contended_total", "Acquisitions that had to wait.", m.Contended),
+			c("lock_acquire_timeouts_total", "Conditional acquisitions that timed out.", m.Timeouts),
+			c("lock_grants_total", "Grants performed by the release module.", m.Grants),
+			c("lock_reconfigurations_total", "Waiting-policy and scheduler reconfigurations.", m.Reconfigs),
+			c("lock_wait_nanoseconds_total", "Total registration-to-grant wait time.", m.WaitNanos),
+			c("lock_hold_nanoseconds_total", "Total grant-to-release hold time.", m.HoldNanos),
+			g("lock_max_waiters", "High-water mark of the registration queue.", m.MaxWaiters),
+			// Robustness counters.
+			c("lock_cancellations_total", "Acquisitions aborted by context cancellation.", m.Cancellations),
+			c("lock_owner_deaths_total", "Holders found dead; lock force-released.", m.OwnerDeaths),
+			c("lock_watchdog_trips_total", "Hold-deadline violations detected.", m.WatchdogTrips),
+			c("lock_stall_aborts_total", "Waiters aborted with ErrOwnerStalled.", m.Stalls),
+		)
+	}
+	return pts
+}
+
+// histFamilies names the latency histogram families in emission order.
+var histFamilies = []struct {
+	Name string
+	Help string
+	Get  func(LockSnapshot) *obs.Histogram
+}{
+	{"lock_wait_duration_nanoseconds", "Registration-to-grant delay of contended acquisitions.",
+		func(s LockSnapshot) *obs.Histogram { return s.Wait }},
+	{"lock_hold_duration_nanoseconds", "Grant-to-release critical-section tenure.",
+		func(s LockSnapshot) *obs.Histogram { return s.Hold }},
+	{"lock_idle_duration_nanoseconds", "Locking-cycle (release to completed grant) idle spans.",
+		func(s LockSnapshot) *obs.Histogram { return s.Idle }},
+}
+
+// WriteMetrics writes the snapshots in the Prometheus text exposition
+// format. Output is deterministic for a given input: families in a fixed
+// order, locks sorted by the caller (Registry.Snapshots sorts by name).
+func WriteMetrics(w io.Writer, snaps []LockSnapshot) error {
+	ew := &errWriter{w: w}
+
+	// Scalar families: group every lock's series under a single
+	// HELP/TYPE header, in first-seen order.
+	type family struct {
+		help  string
+		gauge bool
+		rows  []string
+	}
+	var order []string
+	fams := map[string]*family{}
+	for _, s := range snaps {
+		for _, p := range s.points() {
+			f := fams[p.Name]
+			if f == nil {
+				f = &family{help: p.Help, gauge: p.Gauge}
+				fams[p.Name] = f
+				order = append(order, p.Name)
+			}
+			f.rows = append(f.rows, fmt.Sprintf("%s{%s} %d", p.Name, labelsFor(s), p.Value))
+		}
+	}
+	for _, name := range order {
+		f := fams[name]
+		typ := "counter"
+		if f.gauge {
+			typ = "gauge"
+		}
+		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, typ)
+		for _, r := range f.rows {
+			fmt.Fprintln(ew, r)
+		}
+	}
+
+	// Histogram families: cumulative _bucket series over the nonzero
+	// log-buckets, then _sum and _count, per lock.
+	for _, hf := range histFamilies {
+		headed := false
+		for _, s := range snaps {
+			h := hf.Get(s)
+			if h == nil {
+				continue
+			}
+			if !headed {
+				fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s histogram\n", hf.Name, hf.Help, hf.Name)
+				headed = true
+			}
+			writeHistogram(ew, hf.Name, labelsFor(s), *h)
+		}
+	}
+	return ew.err
+}
+
+// writeHistogram emits one lock's cumulative bucket series. Bucket i of
+// obs.Histogram holds durations in [2^(i-1), 2^i) nanoseconds, so every
+// observation in it is <= 2^i - 1: that is the le bound that keeps the
+// cumulative counts exact for integer-nanosecond observations.
+func writeHistogram(w io.Writer, name, labels string, h obs.Histogram) {
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, int64(b.Hi)-1, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count())
+	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, int64(h.Sum()))
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
+}
+
+// labelsFor renders the {impl,lock} label pairs (sans braces). Go's %q
+// escaping is a superset of the exposition format's label escaping
+// (backslash, double-quote, newline).
+func labelsFor(s LockSnapshot) string {
+	return fmt.Sprintf(`impl=%q,lock=%q`, s.Impl, s.Name)
+}
+
+// errWriter latches the first write error so the encoder can stay
+// straight-line.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, nil
+}

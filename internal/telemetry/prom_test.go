@@ -1,0 +1,254 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/native"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// seriesRe matches one exposition series line: name, optional labels,
+// value.
+var seriesRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?|[+-]Inf|NaN)$`)
+
+// parsedSeries is one decoded series line.
+type parsedSeries struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// validateExposition asserts the body is well-formed text exposition
+// (format 0.0.4): every line a HELP/TYPE comment or a valid series, every
+// series' family TYPE-declared first and declared only once. It returns
+// the decoded series.
+func validateExposition(t *testing.T, body string) []parsedSeries {
+	t.Helper()
+	typed := map[string]string{}
+	var out []parsedSeries
+	for i, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Errorf("line %d: malformed HELP: %q", i+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", i+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if _, dup := typed[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for family %q", i+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Errorf("line %d: unknown type %q", i+1, typ)
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("line %d: unknown comment %q", i+1, line)
+			continue
+		}
+		m := seriesRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line %d: malformed series line %q", i+1, line)
+			continue
+		}
+		name := m[1]
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && typed[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Errorf("line %d: series %q has no preceding TYPE", i+1, name)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil && m[3] != "+Inf" && m[3] != "-Inf" && m[3] != "NaN" {
+			t.Errorf("line %d: bad value %q", i+1, m[3])
+		}
+		out = append(out, parsedSeries{name: name, labels: m[2], value: v})
+	}
+	return out
+}
+
+// goldenSnapshots builds a deterministic mixed sim+native registry state.
+func goldenSnapshots() []LockSnapshot {
+	simSnap := &core.Snapshot{
+		At:           sim.Time(sim.Us(5000)),
+		Acquisitions: 42, Contended: 17, Failures: 2,
+		Grants: 16, Wakeups: 9,
+		WaitTotal: sim.Duration(1234567), HoldTotal: sim.Duration(2345678),
+		MaxQueue: 5, Waiters: 3,
+		ReconfigWaiting: 2, ReconfigScheduler: 1,
+		Abandonments: 1, OwnerDeaths: 1, WatchdogTrips: 2, PossessRecoveries: 1,
+	}
+	var wait, hold, idle obs.Histogram
+	for _, d := range []sim.Duration{100, 1000, 1000, 5000, 100000} {
+		wait.Record(d)
+	}
+	for _, d := range []sim.Duration{300, 300, 300, 90000} {
+		hold.Record(d)
+	}
+	idle.Record(700)
+	natStats := &native.Stats{
+		Acquisitions: 10, Contended: 4, Timeouts: 1, Grants: 3, Reconfigs: 2,
+		HoldNanos: 5_000_000, WaitNanos: 1_500_000, MaxWaiters: 3,
+		Cancellations: 1, OwnerDeaths: 0, WatchdogTrips: 1, Stalls: 2,
+	}
+	var nwait obs.Histogram
+	for _, d := range []sim.Duration{2048, 2048, 65536} {
+		nwait.Record(d)
+	}
+	return []LockSnapshot{
+		{Name: "fig3-lock", Impl: "sim", Waiters: 3, Sim: simSnap, Wait: &wait, Hold: &hold, Idle: &idle},
+		{Name: "native-pool", Impl: "native", Waiters: 1, Native: natStats, Wait: &nwait},
+	}
+}
+
+// TestWriteMetricsGolden pins the exact exposition output for a mixed
+// sim+native registry; run with -update to regenerate testdata.
+func TestWriteMetricsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, goldenSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, buf.String())
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/telemetry -run Golden -update` to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition output drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestHistogramCumulativeInvariant asserts the histogram series
+// invariants the exposition format requires: cumulative buckets
+// non-decreasing, a +Inf bucket present per labelset, and +Inf equal to
+// the _count series.
+func TestHistogramCumulativeInvariant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, goldenSnapshots()); err != nil {
+		t.Fatal(err)
+	}
+	series := validateExposition(t, buf.String())
+
+	type hist struct {
+		last    float64
+		inf     float64
+		hasInf  bool
+		count   float64
+		hasCnt  bool
+		buckets int
+	}
+	hists := map[string]*hist{}
+	key := func(name, labels string) string {
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		// Strip the le pair so every bucket of one labelset shares a key.
+		lbl := regexp.MustCompile(`,le="[^"]*"`).ReplaceAllString(labels, "")
+		return base + lbl
+	}
+	get := func(name, labels string) *hist {
+		k := key(name, labels)
+		if hists[k] == nil {
+			hists[k] = &hist{}
+		}
+		return hists[k]
+	}
+	for _, s := range series {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			h := get(s.name, s.labels)
+			if strings.Contains(s.labels, `le="+Inf"`) {
+				h.inf, h.hasInf = s.value, true
+				continue
+			}
+			if s.value < h.last {
+				t.Errorf("%s%s: cumulative bucket decreased: %v -> %v", s.name, s.labels, h.last, s.value)
+			}
+			h.last = s.value
+			h.buckets++
+		case strings.HasSuffix(s.name, "_count") && strings.Contains(s.name, "_duration_"):
+			h := get(s.name, s.labels)
+			h.count, h.hasCnt = s.value, true
+		}
+	}
+	if len(hists) == 0 {
+		t.Fatal("no histogram series found")
+	}
+	for k, h := range hists {
+		if !h.hasInf {
+			t.Errorf("%s: missing le=\"+Inf\" bucket", k)
+		}
+		if !h.hasCnt {
+			t.Errorf("%s: missing _count series", k)
+		}
+		if h.hasInf && h.hasCnt && h.inf != h.count {
+			t.Errorf("%s: +Inf bucket %v != count %v", k, h.inf, h.count)
+		}
+		if h.hasInf && h.last > h.inf {
+			t.Errorf("%s: last finite bucket %v exceeds +Inf %v", k, h.last, h.inf)
+		}
+	}
+}
+
+// TestLabelEscaping asserts lock names survive quoting.
+func TestLabelEscaping(t *testing.T) {
+	snaps := []LockSnapshot{{Name: `we"ird\name`, Impl: "native", Native: &native.Stats{Acquisitions: 1}}}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, buf.String())
+	if !strings.Contains(buf.String(), `lock="we\"ird\\name"`) {
+		t.Errorf("label not escaped:\n%s", buf.String())
+	}
+}
+
+func TestJSONCountersMatchMetrics(t *testing.T) {
+	for _, s := range goldenSnapshots() {
+		doc := s.JSON()
+		if len(doc.Counters) == 0 {
+			t.Fatalf("%s: no counters", s.Name)
+		}
+		for name := range doc.Counters {
+			if !strings.HasPrefix(name, "lock_") {
+				t.Errorf("counter %q does not match the metrics naming", name)
+			}
+		}
+		if _, ok := doc.Counters["lock_waiters"]; ok {
+			t.Error("lock_waiters should be the top-level waiters field, not a counter")
+		}
+	}
+}

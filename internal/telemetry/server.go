@@ -1,0 +1,322 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/native"
+	"repro/internal/obs"
+)
+
+// Server is a running telemetry HTTP server.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry server for the default registry on addr
+// (e.g. ":9090" or "127.0.0.1:0").
+func Serve(addr string) (*Server, error) { return Default.Serve(addr) }
+
+// Serve starts a telemetry server for this registry. The returned
+// server is already accepting; Close shuts it down.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{reg: r, ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns "http://<addr>".
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close immediately shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Handler returns the telemetry mux:
+//
+//	/metrics              Prometheus text exposition
+//	/locks                JSON snapshot of every registered lock
+//	/watch                SSE stream of interval windows (?every=500ms)
+//	/profile/contention   folded-stack contention profile (?top=N for a table)
+//	/debug/pprof/         the Go runtime profiles
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", r.handleIndex)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/locks", r.handleLocks)
+	mux.HandleFunc("/watch", r.handleWatch)
+	mux.HandleFunc("/profile/contention", r.handleProfile)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (r *Registry) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "lock telemetry: %d registered lock(s)\n\n", r.Len())
+	fmt.Fprintln(w, "/metrics              Prometheus text exposition")
+	fmt.Fprintln(w, "/locks                JSON snapshots")
+	fmt.Fprintln(w, "/watch?every=1s       SSE stream of interval windows")
+	fmt.Fprintln(w, "/profile/contention   folded stacks (?top=N for a table)")
+	fmt.Fprintln(w, "/debug/pprof/         Go runtime profiles")
+}
+
+func (r *Registry) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, r.Snapshots()) //nolint:errcheck // client went away
+}
+
+// HistJSON is the /locks JSON shape of one latency histogram.
+type HistJSON struct {
+	Count  int64 `json:"count"`
+	MeanNs int64 `json:"mean_ns"`
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+func histJSON(h *obs.Histogram) *HistJSON {
+	if h == nil {
+		return nil
+	}
+	return &HistJSON{
+		Count:  h.Count(),
+		MeanNs: int64(h.Mean()),
+		P50Ns:  int64(h.Quantile(50)),
+		P90Ns:  int64(h.Quantile(90)),
+		P99Ns:  int64(h.Quantile(99)),
+		MaxNs:  int64(h.Max()),
+	}
+}
+
+// LockJSON is the /locks JSON shape of one registered lock.
+type LockJSON struct {
+	Name        string           `json:"name"`
+	Impl        string           `json:"impl"`
+	Waiters     int              `json:"waiters"`
+	Counters    map[string]int64 `json:"counters"`
+	Wait        *HistJSON        `json:"wait,omitempty"`
+	Hold        *HistJSON        `json:"hold,omitempty"`
+	Idle        *HistJSON        `json:"idle,omitempty"`
+	Transitions map[string]int64 `json:"transitions,omitempty"`
+	Sites       []Site           `json:"sites,omitempty"`
+}
+
+// JSON converts a snapshot to its /locks document form. Counter names
+// match the /metrics family names, so tooling can key on either surface
+// interchangeably.
+func (s LockSnapshot) JSON() LockJSON {
+	doc := LockJSON{
+		Name:     s.Name,
+		Impl:     s.Impl,
+		Waiters:  s.Waiters,
+		Counters: map[string]int64{},
+		Wait:     histJSON(s.Wait),
+		Hold:     histJSON(s.Hold),
+		Idle:     histJSON(s.Idle),
+		Sites:    s.Sites,
+	}
+	for _, p := range s.points() {
+		if p.Name == "lock_waiters" {
+			continue // already a top-level field
+		}
+		doc.Counters[p.Name] = p.Value
+	}
+	if s.Sim != nil && len(s.Sim.Transitions) > 0 {
+		doc.Transitions = map[string]int64{}
+		for tr, c := range s.Sim.Transitions {
+			doc.Transitions[tr.String()] = c
+		}
+	}
+	return doc
+}
+
+func (r *Registry) handleLocks(w http.ResponseWriter, req *http.Request) {
+	snaps := r.Snapshots()
+	docs := make([]LockJSON, 0, len(snaps))
+	for _, s := range snaps {
+		docs = append(docs, s.JSON())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck // client went away
+		Locks []LockJSON `json:"locks"`
+	}{docs})
+}
+
+func (r *Registry) handleProfile(w http.ResponseWriter, req *http.Request) {
+	snaps := r.Snapshots()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if topStr := req.URL.Query().Get("top"); topStr != "" {
+		n, err := strconv.Atoi(topStr)
+		if err != nil || n <= 0 {
+			http.Error(w, "telemetry: top must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		for _, s := range snaps {
+			if len(s.Sites) == 0 {
+				continue
+			}
+			sites := s.Sites
+			if len(sites) > n {
+				sites = sites[:n]
+			}
+			fmt.Fprintf(w, "lock %q: top %d contention site(s)\n%s\n", s.Name, len(sites), TopTable(sites))
+		}
+		return
+	}
+	// Folded stacks, every profiled lock, the lock name as the root
+	// frame so one flamegraph shows the whole process.
+	for _, s := range snaps {
+		if len(s.Sites) == 0 {
+			continue
+		}
+		fmt.Fprint(w, FoldedStacks(s.Sites, s.Name))
+	}
+}
+
+// WatchLock is one lock's interval window on the /watch SSE stream:
+// counter deltas over the interval, latency percentiles of only the
+// observations recorded in it.
+type WatchLock struct {
+	Name         string  `json:"name"`
+	Impl         string  `json:"impl"`
+	Waiters      int     `json:"waiters"`
+	Acquisitions int64   `json:"acquisitions"`
+	Contended    int64   `json:"contended"`
+	Timeouts     int64   `json:"timeouts"`
+	AvgWaitNs    int64   `json:"avg_wait_ns"`
+	AvgHoldNs    int64   `json:"avg_hold_ns"`
+	WaitP50Ns    int64   `json:"wait_p50_ns"`
+	WaitP99Ns    int64   `json:"wait_p99_ns"`
+	Contention   float64 `json:"contention_ratio"`
+}
+
+// WatchWindow is one /watch SSE event payload.
+type WatchWindow struct {
+	Seq        int         `json:"seq"`
+	IntervalMs float64     `json:"interval_ms"`
+	Locks      []WatchLock `json:"locks"`
+}
+
+// windowDelta computes one lock's window from two successive scrapes.
+func windowDelta(cur, prev LockSnapshot) WatchLock {
+	wl := WatchLock{Name: cur.Name, Impl: cur.Impl, Waiters: cur.Waiters}
+	var acq, cont, to int64
+	var waitNs, holdNs int64
+	switch {
+	case cur.Sim != nil:
+		var p core.Snapshot
+		if prev.Sim != nil {
+			p = *prev.Sim
+		}
+		d := cur.Sim.Delta(p)
+		acq, cont, to = d.Acquisitions, d.Contended, d.Failures
+		waitNs, holdNs = int64(d.WaitTotal), int64(d.HoldTotal)
+	case cur.Native != nil:
+		var p native.Stats
+		if prev.Native != nil {
+			p = *prev.Native
+		}
+		acq = cur.Native.Acquisitions - p.Acquisitions
+		cont = cur.Native.Contended - p.Contended
+		to = cur.Native.Timeouts - p.Timeouts
+		waitNs = cur.Native.WaitNanos - p.WaitNanos
+		holdNs = cur.Native.HoldNanos - p.HoldNanos
+	}
+	wl.Acquisitions, wl.Contended, wl.Timeouts = acq, cont, to
+	if cont > 0 {
+		wl.AvgWaitNs = waitNs / cont
+	}
+	if acq > 0 {
+		wl.AvgHoldNs = holdNs / acq
+		wl.Contention = float64(cont) / float64(acq)
+	}
+	if cur.Wait != nil {
+		var pw obs.Histogram
+		if prev.Wait != nil {
+			pw = *prev.Wait
+		}
+		d := cur.Wait.Delta(pw)
+		wl.WaitP50Ns = int64(d.Quantile(50))
+		wl.WaitP99Ns = int64(d.Quantile(99))
+	}
+	return wl
+}
+
+func (r *Registry) handleWatch(w http.ResponseWriter, req *http.Request) {
+	every := time.Second
+	if v := req.URL.Query().Get("every"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "telemetry: bad every duration", http.StatusBadRequest)
+			return
+		}
+		every = d
+	}
+	if every < 50*time.Millisecond {
+		every = 50 * time.Millisecond
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "telemetry: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	prev := map[string]LockSnapshot{}
+	for _, s := range r.Snapshots() {
+		prev[s.Name] = s
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for seq := 0; ; seq++ {
+		select {
+		case <-req.Context().Done():
+			return
+		case <-tick.C:
+		}
+		snaps := r.Snapshots()
+		win := WatchWindow{Seq: seq, IntervalMs: float64(every) / float64(time.Millisecond)}
+		next := map[string]LockSnapshot{}
+		for _, s := range snaps {
+			win.Locks = append(win.Locks, windowDelta(s, prev[s.Name]))
+			next[s.Name] = s
+		}
+		prev = next
+		b, err := json.Marshal(win)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "event: window\ndata: %s\n\n", b); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}

@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/native"
+)
+
+// startServer serves a fresh registry on a loopback port and tears it
+// down with the test.
+func startServer(t *testing.T) (*Registry, *Server) {
+	t.Helper()
+	r := NewRegistry()
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return r, s
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b), resp
+}
+
+// TestServeSmoke is the end-to-end smoke test `make serve-smoke` runs: a
+// live server over a registry holding one contended native lock and one
+// simulated lock, with every endpoint scraped once.
+func TestServeSmoke(t *testing.T) {
+	r, srv := startServer(t)
+
+	// One simulated lock with published state.
+	simLockState(t, r, "sim-lock")
+
+	// One native lock with contention and a profiler.
+	m := native.MustNew(native.CombinedPolicy, native.FIFO)
+	ne := r.RegisterNative("nat-lock", m).ObserveLatency().Profile(1)
+	twoSiteWorkload(t, m)
+	_ = ne
+
+	// /metrics: valid exposition naming every registered lock.
+	body, resp := get(t, srv.URL()+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	series := validateExposition(t, body)
+	if len(series) == 0 {
+		t.Fatal("no series in /metrics")
+	}
+	for _, lock := range []string{"sim-lock", "nat-lock"} {
+		if !strings.Contains(body, fmt.Sprintf("lock=%q", lock)) {
+			t.Errorf("/metrics missing lock %q", lock)
+		}
+	}
+
+	// /locks: JSON naming both locks.
+	body, resp = get(t, srv.URL()+"/locks")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("locks Content-Type = %q", ct)
+	}
+	var doc struct {
+		Locks []LockJSON `json:"locks"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/locks is not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Locks) != 2 {
+		t.Fatalf("/locks has %d lock(s), want 2", len(doc.Locks))
+	}
+
+	// /profile/contention: folded stacks naming the hot site.
+	body, _ = get(t, srv.URL()+"/profile/contention")
+	if !strings.Contains(body, "hotAcquire") {
+		t.Errorf("/profile/contention missing the hot site:\n%s", body)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if !foldedRe.MatchString(line) {
+			t.Errorf("folded line does not parse: %q", line)
+		}
+		if !strings.HasPrefix(line, "nat-lock;") {
+			t.Errorf("folded line missing lock root: %q", line)
+		}
+	}
+
+	// /profile/contention?top=N: the table form.
+	body, _ = get(t, srv.URL()+"/profile/contention?top=3")
+	if !strings.Contains(body, "SITE") || !strings.Contains(body, "hotAcquire") {
+		t.Errorf("top table missing expected content:\n%s", body)
+	}
+
+	// / index and pprof are wired.
+	body, _ = get(t, srv.URL()+"/")
+	if !strings.Contains(body, "/metrics") {
+		t.Errorf("index page missing endpoint listing:\n%s", body)
+	}
+	_, resp = get(t, srv.URL()+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", resp.StatusCode)
+	}
+	_, resp = get(t, srv.URL()+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestScrapeUnderContention scrapes /metrics and /locks continuously
+// while a contended workload runs — the -race guarantee the issue asks
+// for.
+func TestScrapeUnderContention(t *testing.T) {
+	r, srv := startServer(t)
+	m := native.MustNew(native.CombinedPolicy, native.FIFO)
+	r.RegisterNative("hot", m).ObserveLatency().Profile(2)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				hotAcquire(m)
+			}
+		}()
+	}
+	deadline := time.Now().Add(300 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		body, _ := get(t, srv.URL()+"/metrics")
+		validateExposition(t, body)
+		get(t, srv.URL()+"/locks")
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	body, _ := get(t, srv.URL()+"/metrics")
+	series := validateExposition(t, body)
+	var acq float64
+	for _, s := range series {
+		if s.name == "lock_acquisitions_total" {
+			acq = s.value
+		}
+	}
+	if acq == 0 {
+		t.Error("no acquisitions recorded after the workload")
+	}
+}
+
+// TestWatchSSE reads two interval windows off the /watch stream while a
+// workload runs.
+func TestWatchSSE(t *testing.T) {
+	r, srv := startServer(t)
+	m := native.MustNew(native.CombinedPolicy, native.FIFO)
+	r.RegisterNative("watched", m).ObserveLatency()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			m.Lock()
+			time.Sleep(time.Millisecond)
+			m.Unlock()
+		}
+	}()
+	defer func() { stop.Store(true); wg.Wait() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL()+"/watch?every=60ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	var windows []WatchWindow
+	for sc.Scan() && len(windows) < 2 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var win WatchWindow
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &win); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		windows = append(windows, win)
+	}
+	if len(windows) < 2 {
+		t.Fatalf("read %d window(s), want 2 (scan err %v)", len(windows), sc.Err())
+	}
+	if windows[0].Seq+1 != windows[1].Seq {
+		t.Errorf("window seqs = %d, %d; want consecutive", windows[0].Seq, windows[1].Seq)
+	}
+	for _, win := range windows {
+		if len(win.Locks) != 1 || win.Locks[0].Name != "watched" {
+			t.Fatalf("window locks = %+v, want one entry for 'watched'", win.Locks)
+		}
+	}
+	// The second window's counters are a delta: with a 1ms hold loop and
+	// a 60ms interval there must be activity but far fewer acquisitions
+	// than the lifetime total.
+	total := m.Stats().Acquisitions
+	if got := windows[1].Locks[0].Acquisitions; got <= 0 || got >= total {
+		t.Errorf("window delta acquisitions = %d, lifetime total %d; want 0 < delta < total", got, total)
+	}
+
+	// Bad parameters are rejected.
+	_, resp2 := get(t, srv.URL()+"/watch?every=bogus")
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad every status = %d, want 400", resp2.StatusCode)
+	}
+}
+
+func TestLocksJSONShape(t *testing.T) {
+	r, srv := startServer(t)
+	simLockState(t, r, "shape")
+	body, _ := get(t, srv.URL()+"/locks")
+	var doc struct {
+		Locks []struct {
+			Name     string           `json:"name"`
+			Impl     string           `json:"impl"`
+			Counters map[string]int64 `json:"counters"`
+			Wait     *HistJSON        `json:"wait"`
+		} `json:"locks"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/locks unmarshal: %v", err)
+	}
+	if len(doc.Locks) != 1 {
+		t.Fatalf("locks = %d, want 1", len(doc.Locks))
+	}
+	l := doc.Locks[0]
+	if l.Name != "shape" || l.Impl != "sim" {
+		t.Errorf("identity = %q/%q", l.Name, l.Impl)
+	}
+	if l.Counters["lock_acquisitions_total"] != 20 {
+		t.Errorf("acquisitions counter = %d, want 20", l.Counters["lock_acquisitions_total"])
+	}
+	if l.Wait == nil || l.Wait.Count == 0 {
+		t.Error("wait histogram absent from /locks")
+	}
+}

@@ -36,10 +36,13 @@ type ChromeEvent struct {
 	Args  map[string]string `json:"args,omitempty"`
 }
 
-// ChromeFile is the top-level JSON object of the export.
+// ChromeFile is the top-level JSON object of the export. OtherData is
+// the format's free-form metadata object; locktrace stores telemetry
+// identity there so a trace file names its live-scrape counterpart.
 type ChromeFile struct {
-	TraceEvents     []ChromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
 }
 
 // chromePid is the single simulated process all events belong to.
