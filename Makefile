@@ -3,8 +3,9 @@
 # pre-commit should run exactly that.
 
 GO ?= go
+BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: all build vet test race check bench bench-out verify chaos fuzz serve-smoke clean
+.PHONY: all build vet test race check bench bench-out verify chaos fuzz serve-smoke lockd-smoke clean
 
 all: check
 
@@ -18,23 +19,32 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
-check: build vet race fuzz serve-smoke
+check: build vet race fuzz serve-smoke lockd-smoke
 
 # Regenerate the paper's tables and figures.
 bench:
 	$(GO) run ./cmd/lockbench -quick -all
 
 # Machine-readable benchmark summary (Table 2 op costs + per-policy
-# contention sweep); CI uploads the file as an artifact.
+# contention sweep + lockd round-trip latency); CI uploads the file as
+# an artifact.
 bench-out:
-	$(GO) run ./cmd/lockbench -quick -bench-out BENCH_pr3.json
+	$(GO) run ./cmd/lockbench -quick -bench-out $(BENCH_OUT)
 
 # End-to-end telemetry smoke: boot the HTTP server over a registry with a
-# contended native lock and a simulated lock, scrape every endpoint.
+# contended native lock and a simulated lock, scrape every endpoint; then
+# a scripted -serve-for run exercising graceful shutdown from the CLI.
 serve-smoke:
-	$(GO) test ./internal/telemetry -run 'TestServeSmoke' -count=1 -v
+	$(GO) test ./internal/telemetry -run 'TestServeSmoke|TestShutdown' -count=1 -v
+	$(GO) run ./cmd/lockstat -n 2 -iters 2 -serve 127.0.0.1:0 -serve-for 1s
+
+# Network lock service smoke: server + two clients with an injected
+# conn-drop schedule, plus the deterministic crash/shed/partition chaos
+# sequence — all under the race detector.
+lockd-smoke:
+	$(GO) test ./internal/lockd -race -count=1 -v -run 'TestLockdSmoke|TestChaosRecovery|TestChaosDeterministic'
 
 # PASS/FAIL check of every reproduction claim.
 verify:

@@ -17,8 +17,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
@@ -36,6 +34,7 @@ func main() {
 		verify   = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
 		benchOut = flag.String("bench-out", "", "write a machine-readable benchmark summary (lock-op costs + per-policy contention sweep) to this file")
 		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
+		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
 	)
 	flag.Parse()
 
@@ -129,9 +128,9 @@ func main() {
 
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "lockbench: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		srv.Close()
+		if err := srv.Linger(*serveFor); err != nil {
+			fmt.Fprintln(os.Stderr, "lockbench: shutdown:", err)
+			os.Exit(1)
+		}
 	}
 }

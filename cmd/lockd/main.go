@@ -1,0 +1,135 @@
+// Command lockd runs the lease-based network lock service: named
+// configurable locks behind a TCP/JSON-line protocol, with sessions and
+// keepalive leases, fencing tokens on every grant, bounded wait queues
+// with overload shedding, and wire-level policy/scheduler
+// reconfiguration (see internal/lockd).
+//
+//	lockd                              # serve on :7700
+//	lockd -addr 127.0.0.1:7799 -v      # loopback, with diagnostics
+//	lockd -lease 500ms -max-waiters 8  # short leases, aggressive shedding
+//	lockd -serve :9090                 # also expose /metrics telemetry
+//	lockd -serve :9090 -serve-for 30s  # scripted run: exit after 30s
+//	lockd -faults conn-drop:every=20   # chaos mode: drop every 20th reply
+//
+// With -faults, every accepted connection is wrapped in the
+// fault-injection conn (internal/fault), so the server's own replies are
+// subject to drops, delays, and partitions — chaos testing the clients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockd"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":7700", "address to serve the lock protocol on")
+		lease      = flag.Duration("lease", 2*time.Second, "default session lease")
+		maxWaiters = flag.Int("max-waiters", 64, "per-lock wait-queue bound; acquisitions beyond it are shed")
+		policy     = flag.String("policy", "combined", "waiting policy for new locks: "+lockd.PolicyNames)
+		sched      = flag.String("sched", "fifo", "release scheduler for new locks: "+lockd.SchedulerNames)
+		faults     = flag.String("faults", "", "wrap accepted conns with this fault schedule ("+fault.SpecGrammar+")")
+		seed       = flag.Int64("fault-seed", 1, "fault-schedule seed")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address")
+		serveFor   = flag.Duration("serve-for", 0, "stop after this duration via graceful shutdown (0 = until interrupted)")
+		verbose    = flag.Bool("v", false, "log server diagnostics")
+	)
+	flag.Parse()
+
+	p, err := lockd.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(2)
+	}
+	sc, err := lockd.ParseScheduler(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(2)
+	}
+	specs, err := fault.ParseSpecs(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(2)
+	}
+
+	cfg := lockd.Config{
+		MaxWaiters:   *maxWaiters,
+		DefaultLease: *lease,
+		Policy:       &p,
+		Scheduler:    sc,
+		Registry:     telemetry.Default,
+	}
+	if *verbose {
+		cfg.Logf = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds).Printf
+	}
+	if len(specs) > 0 {
+		schedule, err := fault.NewSchedule(*seed, specs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockd:", err)
+			os.Exit(2)
+		}
+		cfg.WrapConn = func(c net.Conn) net.Conn { return fault.WrapConn(c, schedule) }
+		fmt.Fprintf(os.Stderr, "lockd: injecting faults on every connection [%s, seed %d]\n", *faults, *seed)
+	}
+
+	srv, err := lockd.Serve(*addr, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lockd: serving locks on %s (lease %v, max %d waiters, %s/%s)\n",
+		srv.Addr(), *lease, *maxWaiters, *policy, *sched)
+
+	var tsrv *telemetry.Server
+	if *serve != "" {
+		tsrv, err = telemetry.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockd:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lockd: telemetry on %s\n", tsrv.URL())
+	}
+
+	// Block until interrupted or, with -serve-for, the run window ends;
+	// then drain the telemetry server gracefully and stop serving locks.
+	if tsrv != nil {
+		if err := tsrv.Linger(*serveFor); err != nil {
+			fmt.Fprintln(os.Stderr, "lockd: telemetry shutdown:", err)
+		}
+	} else {
+		waitInterrupt(*serveFor)
+	}
+	ctr := srv.Counters()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "lockd: close:", err)
+	}
+	fmt.Fprintf(os.Stderr, "lockd: done: %d acquires, %d releases, %d sessions expired, %d locks recovered, %d shed\n",
+		ctr.Acquires, ctr.Releases, ctr.SessionsExpired, ctr.ForcedReleases, ctr.Sheds)
+}
+
+// waitInterrupt blocks for SIGINT/SIGTERM or, when d > 0, at most d.
+func waitInterrupt(d time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var timer <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-sig:
+	case <-timer:
+	}
+}

@@ -19,8 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -154,8 +152,9 @@ func main() {
 		seed    = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
 		holdDl  = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
 		degrade = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
-		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address, e.g. :9090; blocks after the report until interrupted")
-		name    = flag.String("name", "lockstat", "lock name in the telemetry registry")
+		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address, e.g. :9090; blocks after the report until interrupted")
+		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
+		name     = flag.String("name", "lockstat", "lock name in the telemetry registry")
 	)
 	flag.Parse()
 
@@ -248,10 +247,10 @@ func main() {
 
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "lockstat: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		srv.Close()
+		if err := srv.Linger(*serveFor); err != nil {
+			fmt.Fprintln(os.Stderr, "lockstat: shutdown:", err)
+			os.Exit(1)
+		}
 	}
 }
 

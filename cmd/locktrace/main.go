@@ -15,8 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro/internal/fault"
 	"repro/internal/scenario"
@@ -38,6 +36,7 @@ func main() {
 		holdDl   = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off)")
 		degrade  = flag.Bool("degrade", false, "spawn the degrade agent reacting to watchdog trips")
 		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
+		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
 		name     = flag.String("name", "locktrace", "lock name in the telemetry registry")
 	)
 	flag.Parse()
@@ -116,10 +115,10 @@ func main() {
 
 	if srv != nil {
 		fmt.Fprintf(os.Stderr, "locktrace: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
-		srv.Close()
+		if err := srv.Linger(*serveFor); err != nil {
+			fmt.Fprintln(os.Stderr, "locktrace: shutdown:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,70 @@
+// lockdclient: a worker loop against the network lock service — the
+// client half of the EXPERIMENTS.md chaos walkthrough.
+//
+// It dials a lockd server and loops acquire → hold → release on one
+// named lock, printing every grant's fencing token and flagging
+// recovered grants (the previous owner died holding the lock). Run a
+// few of these against `cmd/lockd`, kill one mid-hold, and watch the
+// server's /metrics recover.
+//
+//	go run ./examples/lockdclient -addr 127.0.0.1:7700 -client worker-1
+//	go run ./examples/lockdclient -lock orders -hold 200ms -iters 0  # forever
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/lockclient"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7700", "lockd server address")
+		client = flag.String("client", "worker", "client name reported to the server")
+		lock   = flag.String("lock", "orders", "lock to contend on")
+		hold   = flag.Duration("hold", 100*time.Millisecond, "critical-section length")
+		pause  = flag.Duration("pause", 50*time.Millisecond, "idle time between acquisitions")
+		lease  = flag.Duration("lease", 2*time.Second, "session lease")
+		iters  = flag.Int("iters", 50, "acquisitions to perform (0 = run until interrupted)")
+	)
+	flag.Parse()
+
+	c, err := lockclient.Dial(*addr, lockclient.Options{Client: *client, Lease: *lease})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockdclient:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		h, err := c.Acquire(ctx, *lock)
+		if errors.Is(err, lockclient.ErrOverloaded) {
+			fmt.Printf("%s: shed, backing off\n", *client)
+			continue // Acquire already respected the server's retry-after
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockdclient:", err)
+			os.Exit(1)
+		}
+		if h.Recovered {
+			fmt.Printf("%s: token %d on %q RECOVERED from a dead owner\n", *client, h.Token, *lock)
+		} else {
+			fmt.Printf("%s: token %d on %q\n", *client, h.Token, *lock)
+		}
+		time.Sleep(*hold)
+		if err := c.Release(ctx, h); err != nil {
+			fmt.Fprintln(os.Stderr, "lockdclient:", err)
+			os.Exit(1)
+		}
+		time.Sleep(*pause)
+	}
+	st := c.Stats()
+	fmt.Printf("%s: done: %d reconnects, %d retries, %d sheds, %d heartbeats\n",
+		*client, st.Reconnects, st.Retries, st.Sheds, st.Heartbeats)
+}

@@ -116,3 +116,75 @@ func TestDegraderNative(t *testing.T) {
 		t.Errorf("Degradations after Reset = %d, want 2", d.Degradations())
 	}
 }
+
+// TestDegraderRepeatedTrips: under a sequence of stalled tenures the
+// degrader degrades exactly once, stays degraded, and its counters grow
+// monotonically; without a Reset even a manual policy flip does not
+// provoke a second reconfiguration.
+func TestDegraderRepeatedTrips(t *testing.T) {
+	m := native.MustNew(native.SpinPolicy, native.FIFO)
+	d := NewDegrader(m, native.Policy{})
+	if err := d.Install(time.Millisecond, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// stall holds the lock until the watchdog trips at least once more.
+	stall := func() {
+		t.Helper()
+		prev := d.Trips()
+		m.Lock()
+		deadline := time.Now().Add(5 * time.Second)
+		for d.Trips() <= prev && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		m.Unlock()
+		if d.Trips() <= prev {
+			t.Fatalf("watchdog never tripped (trips still %d)", prev)
+		}
+	}
+
+	const stalls = 4
+	var lastTrips int64
+	for i := 0; i < stalls; i++ {
+		stall()
+		if trips := d.Trips(); trips <= lastTrips {
+			t.Fatalf("stall %d: trips not monotone (%d -> %d)", i, lastTrips, trips)
+		} else {
+			lastTrips = trips
+		}
+		if !d.Degraded() {
+			t.Fatalf("stall %d: degrader not latched", i)
+		}
+		if got := d.Degradations(); got != 1 {
+			t.Fatalf("stall %d: Degradations = %d, want 1", i, got)
+		}
+		if got := m.Policy(); got != native.BlockPolicy {
+			t.Fatalf("stall %d: policy = %+v, want BlockPolicy", i, got)
+		}
+	}
+
+	// A manual flip back to spinning is not overridden while the latch
+	// holds: reacting again requires an explicit Reset.
+	if err := m.SetPolicy(native.SpinPolicy); err != nil {
+		t.Fatal(err)
+	}
+	stall()
+	if got := d.Degradations(); got != 1 {
+		t.Errorf("Degradations after manual flip = %d, want 1 (latched)", got)
+	}
+	if got := m.Policy(); got != native.SpinPolicy {
+		t.Errorf("policy after manual flip = %+v, want SpinPolicy untouched", got)
+	}
+
+	d.Reset()
+	stall()
+	if got := d.Degradations(); got != 2 {
+		t.Errorf("Degradations after Reset = %d, want 2", got)
+	}
+	if got := m.Policy(); got != native.BlockPolicy {
+		t.Errorf("policy after Reset+stall = %+v, want BlockPolicy", got)
+	}
+	if d.Trips() < stalls+2 {
+		t.Errorf("Trips = %d, want >= %d", d.Trips(), stalls+2)
+	}
+}

@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"time"
 
 	"repro/internal/cthread"
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -36,6 +41,20 @@ type PolicyBench struct {
 	ContentionRatio float64 `json:"contention_ratio"`
 }
 
+// LockdBench is the network lock service's acquire/release round-trip
+// latency, measured against an in-process lockd server over loopback
+// TCP (uncontended, single session). Wall-clock measurements: the only
+// nondeterministic section of the summary.
+type LockdBench struct {
+	Iterations   int     `json:"iterations"`
+	AcquireP50Us float64 `json:"acquire_p50_us"`
+	AcquireP99Us float64 `json:"acquire_p99_us"`
+	AcquireMaxUs float64 `json:"acquire_max_us"`
+	ReleaseP50Us float64 `json:"release_p50_us"`
+	ReleaseP99Us float64 `json:"release_p99_us"`
+	ReleaseMaxUs float64 `json:"release_max_us"`
+}
+
 // BenchSummary is the -bench-out document.
 type BenchSummary struct {
 	Procs      int           `json:"procs"`
@@ -43,6 +62,7 @@ type BenchSummary struct {
 	Quick      bool          `json:"quick"`
 	LockOps    []LockOpCost  `json:"lock_op_costs"`
 	Policies   []PolicyBench `json:"policies"`
+	Lockd      *LockdBench   `json:"lockd,omitempty"`
 }
 
 // benchPolicies names the waiting policies the contended sweep covers.
@@ -107,7 +127,64 @@ func Bench(c Config) (BenchSummary, error) {
 		}
 		out.Policies = append(out.Policies, pb)
 	}
+
+	iters := 256
+	if c.Quick {
+		iters = 64
+	}
+	lb, err := benchLockd(iters)
+	if err != nil {
+		return out, err
+	}
+	out.Lockd = lb
 	return out, nil
+}
+
+// benchLockd measures the network lock service's round-trip costs: the
+// distributed counterpart of the Table 2 in-memory op costs. One warmup
+// round absorbs the dial and first-use lock creation.
+func benchLockd(iters int) (*LockdBench, error) {
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "bench", Heartbeat: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	var acq, rel obs.Histogram
+	for i := 0; i < iters+1; i++ {
+		start := time.Now()
+		h, err := c.Acquire(ctx, "bench")
+		if err != nil {
+			return nil, err
+		}
+		acqD := time.Since(start)
+		start = time.Now()
+		err = c.Release(ctx, h)
+		relD := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			continue // warmup
+		}
+		acq.Record(sim.Duration(acqD))
+		rel.Record(sim.Duration(relD))
+	}
+	return &LockdBench{
+		Iterations:   iters,
+		AcquireP50Us: acq.Quantile(50).Us(),
+		AcquireP99Us: acq.Quantile(99).Us(),
+		AcquireMaxUs: acq.Max().Us(),
+		ReleaseP50Us: rel.Quantile(50).Us(),
+		ReleaseP99Us: rel.Quantile(99).Us(),
+		ReleaseMaxUs: rel.Max().Us(),
+	}, nil
 }
 
 // WriteBench measures Bench(c) and writes it as indented JSON.

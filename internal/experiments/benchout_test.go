@@ -42,12 +42,42 @@ func TestBenchSummaryShape(t *testing.T) {
 			t.Errorf("%s: wait p50 %.2f > p99 %.2f", p.Policy, p.WaitP50Us, p.WaitP99Us)
 		}
 	}
-	// Determinism: a second run produces the identical document.
+	if sum.Lockd == nil {
+		t.Fatal("bench-out has no lockd section")
+	}
+	if sum.Lockd.Iterations <= 0 {
+		t.Errorf("lockd iterations = %d, want > 0", sum.Lockd.Iterations)
+	}
+	if sum.Lockd.AcquireP50Us <= 0 || sum.Lockd.ReleaseP50Us <= 0 {
+		t.Errorf("lockd RTT not positive: %+v", sum.Lockd)
+	}
+	if sum.Lockd.AcquireP50Us > sum.Lockd.AcquireP99Us || sum.Lockd.ReleaseP50Us > sum.Lockd.ReleaseP99Us {
+		t.Errorf("lockd p50 > p99: %+v", sum.Lockd)
+	}
+
+	// Determinism: a second run produces the identical document, modulo
+	// the lockd section (real network round trips, so wall-clock noise).
 	var buf2 bytes.Buffer
 	if err := WriteBench(&buf2, Config{Quick: true}); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+	if !bytes.Equal(stripLockd(t, buf.Bytes()), stripLockd(t, buf2.Bytes())) {
 		t.Error("bench summary not deterministic across runs")
 	}
+}
+
+// stripLockd zeroes the nondeterministic lockd RTT section so the rest
+// of the document can be compared byte-for-byte.
+func stripLockd(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var sum BenchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatal(err)
+	}
+	sum.Lockd = nil
+	out, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
 }

@@ -49,6 +49,19 @@ const (
 	// AgentDeath makes a reconfiguration agent die while possessing an
 	// attribute, leaving a dangling possession to be stolen back.
 	AgentDeath
+	// ConnDrop severs a network connection mid-operation (the wrapped
+	// conn is closed and the write errors), modelling a client crash or
+	// a TCP reset. The lock service's lease machinery must recover any
+	// lock the dropped peer held.
+	ConnDrop
+	// ReplyDelay delays one write through the wrapped connection,
+	// modelling a slow network or a GC-paused peer; client deadlines and
+	// retry/backoff paths are exercised.
+	ReplyDelay
+	// Partition black-holes a connection for a window: traffic through
+	// the wrapper stalls until the partition heals. Partitions longer
+	// than the lease must expire the session and recover its locks.
+	Partition
 	numKinds
 )
 
@@ -64,6 +77,12 @@ func (k Kind) String() string {
 		return "crash"
 	case AgentDeath:
 		return "agent-death"
+	case ConnDrop:
+		return "conn-drop"
+	case ReplyDelay:
+		return "reply-delay"
+	case Partition:
+		return "partition"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -268,15 +287,16 @@ func (s *Schedule) Counts() Counts {
 }
 
 // SpecGrammar summarizes the ParseSpecs grammar for CLI flag help text.
-const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death, fields every=N prob=P us=X[-Y]"
+const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death|conn-drop|reply-delay|partition, fields every=N prob=P us=X[-Y]"
 
 // ParseSpecs parses the CLI fault grammar: comma-separated entries of the
 // form
 //
 //	kind[:key=value]...
 //
-// where kind is one of stall, release-delay, preempt, crash, agent-death
-// and the keys are every=N, prob=P, us=X or us=X-Y. Example:
+// where kind is one of stall, release-delay, preempt, crash, agent-death,
+// conn-drop, reply-delay, partition and the keys are every=N, prob=P,
+// us=X or us=X-Y. Example:
 //
 //	stall:every=3:us=2500,crash:every=9,preempt:prob=0.2:us=100-400
 //

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedDrop is the error a faulted connection returns when a
+// ConnDrop fault fires: the underlying conn is closed and the operation
+// fails as a network error would.
+var ErrInjectedDrop = errors.New("fault: injected connection drop")
+
+// Conn wraps a net.Conn with the schedule's network fault kinds. Each
+// Write presents one opportunity per kind, drawn in a fixed order
+// (Partition, ReplyDelay, ConnDrop) so Every/Prob schedules stay
+// deterministic for a deterministic operation sequence:
+//
+//   - Partition opens a black-hole window of the drawn duration: this
+//     write, later writes and later reads stall until the window closes.
+//   - ReplyDelay sleeps the drawn duration before the write proceeds.
+//   - ConnDrop closes the underlying conn and fails the write with
+//     ErrInjectedDrop.
+//
+// Reads only honour an open partition window (a read blocked inside the
+// kernel is beyond the wrapper's reach); they present no opportunities,
+// keeping the draw sequence a pure function of the write sequence.
+type Conn struct {
+	net.Conn
+	sched *Schedule
+
+	mu        sync.Mutex
+	partUntil time.Time
+}
+
+// WrapConn wraps c with the schedule's network faults. A nil schedule
+// returns a transparent wrapper.
+func WrapConn(c net.Conn, s *Schedule) *Conn {
+	return &Conn{Conn: c, sched: s}
+}
+
+// waitPartition sleeps out an open partition window, if any.
+func (c *Conn) waitPartition() {
+	c.mu.Lock()
+	until := c.partUntil
+	c.mu.Unlock()
+	if d := time.Until(until); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Read honours an open partition window, then reads through.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.waitPartition()
+	return c.Conn.Read(p)
+}
+
+// Write draws the network fault kinds (see the type comment), then
+// writes through.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.sched != nil {
+		if us, ok := c.sched.Draw(Partition); ok {
+			c.mu.Lock()
+			c.partUntil = time.Now().Add(time.Duration(us * float64(time.Microsecond)))
+			c.mu.Unlock()
+		}
+		c.waitPartition()
+		if us, ok := c.sched.Draw(ReplyDelay); ok && us > 0 {
+			time.Sleep(time.Duration(us * float64(time.Microsecond)))
+		}
+		if _, ok := c.sched.Draw(ConnDrop); ok {
+			c.Conn.Close()
+			return 0, ErrInjectedDrop
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps every accepted connection with the schedule's network
+// faults — the server-side counterpart of wrapping a dialer.
+type Listener struct {
+	net.Listener
+	sched *Schedule
+}
+
+// WrapListener wraps ln so accepted conns draw from s.
+func WrapListener(ln net.Listener, s *Schedule) *Listener {
+	return &Listener{Listener: ln, sched: s}
+}
+
+// Accept accepts and wraps the next connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.sched), nil
+}

@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected in-memory pair.
+func pipeConns() (net.Conn, net.Conn) { return net.Pipe() }
+
+// TestConnDropFiresDeterministically: every=3 drops exactly the 3rd, 6th,
+// ... write, closing the conn and surfacing ErrInjectedDrop.
+func TestConnDropFiresDeterministically(t *testing.T) {
+	a, b := pipeConns()
+	defer b.Close()
+	go func() { // drain so writes complete
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	fc := WrapConn(a, MustSchedule(7, Spec{Kind: ConnDrop, Every: 3}))
+	for i := 1; i <= 2; i++ {
+		if _, err := fc.Write([]byte("x\n")); err != nil {
+			t.Fatalf("write %d: unexpected error %v", i, err)
+		}
+	}
+	_, err := fc.Write([]byte("x\n"))
+	if !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("write 3: err = %v, want ErrInjectedDrop", err)
+	}
+	// The underlying conn is closed: further writes fail at the socket.
+	if _, err := a.Write([]byte("x")); err == nil {
+		t.Error("underlying conn still writable after injected drop")
+	}
+}
+
+// TestReplyDelayStallsWrite: a reply-delay of 30ms is observable on the
+// write path.
+func TestReplyDelayStallsWrite(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	fc := WrapConn(a, MustSchedule(1, Spec{Kind: ReplyDelay, Every: 1, MinUs: 30000}))
+	start := time.Now()
+	if _, err := fc.Write([]byte("x\n")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Errorf("write returned after %v, want >= ~30ms reply delay", el)
+	}
+}
+
+// TestPartitionWindowBlocksTraffic: a partition drawn on one write stalls
+// the following write until the window closes.
+func TestPartitionWindowBlocksTraffic(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	// First write opens a 40ms partition; the partition stalls that same
+	// write (the window opens before the bytes pass the wrapper).
+	fc := WrapConn(a, MustSchedule(1, Spec{Kind: Partition, Every: 2, MinUs: 40000}))
+	if _, err := fc.Write([]byte("a\n")); err != nil { // no partition (opportunity 1)
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := fc.Write([]byte("b\n")); err != nil { // partition fires (opportunity 2)
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 35*time.Millisecond {
+		t.Errorf("partitioned write returned after %v, want >= ~40ms", el)
+	}
+}
+
+// TestNetKindsParse: the CLI grammar accepts the network kinds.
+func TestNetKindsParse(t *testing.T) {
+	specs, err := ParseSpecs("conn-drop:every=3,reply-delay:prob=0.5:us=100-200,partition:every=2:us=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs, want 3", len(specs))
+	}
+	want := []Kind{ConnDrop, ReplyDelay, Partition}
+	for i, sp := range specs {
+		if sp.Kind != want[i] {
+			t.Errorf("spec %d kind = %v, want %v", i, sp.Kind, want[i])
+		}
+	}
+	for _, k := range want {
+		if got, ok := ParseKind(k.String()); !ok || got != k {
+			t.Errorf("ParseKind(%q) = %v,%v", k.String(), got, ok)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package lockclient
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// backoff is a seeded full-jitter exponential backoff: attempt n draws a
+// uniform delay in [0, min(max, base<<n)]. Full jitter desynchronizes a
+// herd of shed clients far better than correlated jitter, and the
+// explicit seed keeps chaos tests reproducible — the same seed yields
+// the same delay sequence.
+type backoff struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	base    time.Duration
+	max     time.Duration
+	attempt int
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	return &backoff{rng: rand.New(rand.NewSource(seed)), base: base, max: max}
+}
+
+// next returns the delay for the next attempt and advances the schedule.
+func (b *backoff) next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ceil := b.base << uint(b.attempt)
+	if ceil > b.max || ceil <= 0 { // <=0 guards shift overflow
+		ceil = b.max
+	}
+	if b.attempt < 62 {
+		b.attempt++
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(b.rng.Int63n(int64(ceil) + 1))
+}
+
+// reset rewinds the schedule after a success.
+func (b *backoff) reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,583 @@
+// Package lockclient is the client half of the lockd lease-based lock
+// service: sessions with background keepalive heartbeats, acquisitions
+// with deadlines and fencing tokens, idempotent token-keyed release,
+// automatic reconnect with session resume, and seeded exponential
+// backoff + jitter on overload shedding and connection loss.
+package lockclient
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lockd"
+)
+
+// Errors surfaced by the client.
+var (
+	// ErrClosed reports an operation on a closed client.
+	ErrClosed = errors.New("lockclient: client closed")
+	// ErrConnLost aborts calls in flight when the connection drops; the
+	// operation wrappers retry through it, so callers only see it from
+	// the low-level Call.
+	ErrConnLost = errors.New("lockclient: connection lost")
+	// ErrOverloaded reports an acquisition shed by the server on every
+	// attempt the retry budget allowed.
+	ErrOverloaded = errors.New("lockclient: server overloaded")
+	// ErrAcquireTimeout reports an acquisition the server timed out.
+	ErrAcquireTimeout = errors.New("lockclient: acquire timed out")
+)
+
+// ServerError is a non-retriable server rejection.
+type ServerError struct {
+	Code string
+	Msg  string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("lockclient: server rejected: %s (%s)", e.Msg, e.Code)
+}
+
+// Options tunes a Client. The zero value works against a local server.
+type Options struct {
+	// Client names the session (diagnostics only).
+	Client string
+	// Lease is the requested session lease; 0 accepts the server
+	// default. The server clamps to its configured bounds.
+	Lease time.Duration
+	// Heartbeat is the keepalive cadence; 0 derives lease/3, negative
+	// disables the background heartbeat loop entirely (deterministic
+	// tests drive liveness themselves).
+	Heartbeat time.Duration
+	// Dial overrides the connection factory (fault-injection tests wrap
+	// the conn here). Default: net.DialTimeout("tcp", addr, DialTimeout).
+	Dial func(addr string) (net.Conn, error)
+	// DialTimeout bounds the default dialer. Default 5s.
+	DialTimeout time.Duration
+	// MaxAttempts bounds each operation's attempts across sheds and
+	// reconnects. Default 8.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the exponential backoff between
+	// attempts. Defaults 10ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter stream (same seed, same jitter
+	// sequence). Default 1.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Stats counts the client's robustness events.
+type Stats struct {
+	// Reconnects counts re-dials after a lost connection.
+	Reconnects int64
+	// Retries counts operation attempts beyond the first.
+	Retries int64
+	// Sheds counts CodeOverloaded responses absorbed by backoff.
+	Sheds int64
+	// Heartbeats counts successful keepalives.
+	Heartbeats int64
+}
+
+// Client is a lockd session. All methods are safe for concurrent use.
+type Client struct {
+	addr string
+	o    Options
+	bo   *backoff
+
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *json.Encoder
+	session uint64
+	lease   time.Duration
+	nextID  uint64
+	pend    map[uint64]chan lockd.Response
+	closed  bool
+
+	dialMu sync.Mutex // serializes reconnect attempts
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+
+	reconnects atomic.Int64
+	retries    atomic.Int64
+	sheds      atomic.Int64
+	heartbeats atomic.Int64
+}
+
+// Handle is one granted lock: release it with Client.Release. Token is
+// the fencing token — pass it to downstream resources so writes from a
+// stale holder can be rejected.
+type Handle struct {
+	Lock  string
+	Token uint64
+	// Recovered marks a grant inherited from a dead owner: the state the
+	// lock protects may be mid-update and should be repaired before use.
+	Recovered bool
+}
+
+// Dial connects, opens a session, and starts the heartbeat loop.
+func Dial(addr string, o Options) (*Client, error) {
+	o = o.withDefaults()
+	c := &Client{
+		addr: addr,
+		o:    o,
+		bo:   newBackoff(o.BackoffBase, o.BackoffMax, o.Seed),
+		pend: make(map[uint64]chan lockd.Response),
+	}
+	if err := c.reconnect(context.Background()); err != nil {
+		return nil, err
+	}
+	if o.Heartbeat >= 0 {
+		hb := o.Heartbeat
+		if hb == 0 {
+			c.mu.Lock()
+			hb = c.lease / 3
+			c.mu.Unlock()
+			if hb <= 0 {
+				hb = 500 * time.Millisecond
+			}
+		}
+		c.hbStop = make(chan struct{})
+		c.hbDone = make(chan struct{})
+		go c.heartbeatLoop(hb)
+	}
+	return c, nil
+}
+
+// Session returns the current session ID (it changes if a resume is
+// refused after the lease lapses).
+func (c *Client) Session() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session
+}
+
+// Lease returns the server-granted lease.
+func (c *Client) Lease() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lease
+}
+
+// Stats snapshots the robustness counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Reconnects: c.reconnects.Load(),
+		Retries:    c.retries.Load(),
+		Sheds:      c.sheds.Load(),
+		Heartbeats: c.heartbeats.Load(),
+	}
+}
+
+// Close ends the session (best effort bye) and releases resources.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	if c.hbStop != nil {
+		close(c.hbStop)
+		<-c.hbDone
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	_, _ = c.Call(ctx, lockd.Request{Op: lockd.OpBye})
+	cancel()
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// dial opens a raw connection.
+func (c *Client) dial() (net.Conn, error) {
+	if c.o.Dial != nil {
+		return c.o.Dial(c.addr)
+	}
+	return net.DialTimeout("tcp", c.addr, c.o.DialTimeout)
+}
+
+// reconnect (re)establishes the connection and the session, resuming the
+// previous session when the server still remembers it. Concurrent
+// callers collapse onto one attempt.
+func (c *Client) reconnect(ctx context.Context) error {
+	c.dialMu.Lock()
+	defer c.dialMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.conn != nil {
+		c.mu.Unlock()
+		return nil // another caller already reconnected
+	}
+	prev := c.session
+	c.mu.Unlock()
+
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.enc = json.NewEncoder(conn)
+	c.mu.Unlock()
+	go c.readLoop(conn)
+
+	resp, err := c.Call(ctx, lockd.Request{
+		Op:      lockd.OpHello,
+		Session: prev,
+		Client:  c.o.Client,
+		LeaseMs: c.o.Lease.Milliseconds(),
+	})
+	if err != nil {
+		c.dropConn(conn)
+		return err
+	}
+	if !resp.OK {
+		c.dropConn(conn)
+		return &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	c.mu.Lock()
+	c.session = resp.Session
+	c.lease = time.Duration(resp.LeaseMs) * time.Millisecond
+	c.mu.Unlock()
+	return nil
+}
+
+// dropConn tears down conn (if it is still current) and fails the calls
+// pending on it.
+func (c *Client) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	c.enc = nil
+	pend := c.pend
+	c.pend = make(map[uint64]chan lockd.Response)
+	c.mu.Unlock()
+	for _, ch := range pend {
+		close(ch) // receivers translate a closed channel to ErrConnLost
+	}
+}
+
+// readLoop demultiplexes responses by ID until conn dies.
+func (c *Client) readLoop(conn net.Conn) {
+	dec := json.NewDecoder(conn)
+	for {
+		var resp lockd.Response
+		if err := dec.Decode(&resp); err != nil {
+			c.dropConn(conn)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pend[resp.ID]
+		delete(c.pend, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+// Call performs one raw RPC on the current connection. Most callers want
+// the retrying wrappers (Acquire, Release, ...); Call neither reconnects
+// nor retries. The request's Session is filled in.
+func (c *Client) Call(ctx context.Context, req lockd.Request) (lockd.Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return lockd.Response{}, ErrClosed
+	}
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		return lockd.Response{}, ErrConnLost
+	}
+	c.nextID++
+	req.ID = c.nextID
+	if req.Op != lockd.OpHello {
+		req.Session = c.session
+	}
+	ch := make(chan lockd.Response, 1)
+	c.pend[req.ID] = ch
+	err := c.enc.Encode(req)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		c.dropConn(conn)
+		return lockd.Response{}, ErrConnLost
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return lockd.Response{}, ErrConnLost
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pend, req.ID)
+		c.mu.Unlock()
+		return lockd.Response{}, ctx.Err()
+	}
+}
+
+// AcquireOptions tune one acquisition.
+type AcquireOptions struct {
+	// Wait bounds the server-side queue wait per attempt; 0 accepts the
+	// server default.
+	Wait time.Duration
+	// Hint selects the per-RPC waiting mode: "" (the lock's configured
+	// policy), "spin" (poll without parking), or "try" (one attempt, no
+	// wait).
+	Hint string
+	// Prio is the waiter priority under the priority/threshold
+	// schedulers.
+	Prio int64
+}
+
+// Acquire acquires the named lock, retrying with seeded exponential
+// backoff + jitter through overload sheds and connection loss. The
+// returned handle carries the fencing token.
+func (c *Client) Acquire(ctx context.Context, lock string) (*Handle, error) {
+	return c.AcquireWith(ctx, lock, AcquireOptions{})
+}
+
+// AcquireWith is Acquire with per-acquisition options.
+func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptions) (*Handle, error) {
+	var last error
+	for attempt := 1; attempt <= c.o.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		resp, err := c.roundTrip(ctx, lockd.Request{
+			Op:       lockd.OpAcquire,
+			Lock:     lock,
+			WaitMs:   opts.Wait.Milliseconds(),
+			WaitHint: opts.Hint,
+			Prio:     opts.Prio,
+			Attempt:  attempt,
+		})
+		if err != nil {
+			if errors.Is(err, ErrConnLost) {
+				last = err
+				if err := c.sleep(ctx, c.bo.next()); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, err
+		}
+		if resp.OK {
+			c.bo.reset()
+			return &Handle{Lock: lock, Token: resp.Token, Recovered: resp.Recovered}, nil
+		}
+		switch resp.Code {
+		case lockd.CodeOverloaded:
+			c.sheds.Add(1)
+			last = fmt.Errorf("%w: %s", ErrOverloaded, resp.Err)
+			d := c.bo.next()
+			if ra := time.Duration(resp.RetryAfterMs) * time.Millisecond; ra > d {
+				d = ra
+			}
+			if err := c.sleep(ctx, d); err != nil {
+				return nil, err
+			}
+		case lockd.CodeTimeout:
+			return nil, fmt.Errorf("%w: %s", ErrAcquireTimeout, resp.Err)
+		case lockd.CodeExpired:
+			// The lease lapsed: drop the dead session and hello afresh.
+			last = &ServerError{Code: resp.Code, Msg: resp.Err}
+			c.invalidateConn()
+		default:
+			return nil, &ServerError{Code: resp.Code, Msg: resp.Err}
+		}
+	}
+	if last == nil {
+		last = ErrOverloaded
+	}
+	return nil, fmt.Errorf("lockclient: acquire %q: attempts exhausted: %w", lock, last)
+}
+
+// Release releases a handle. It is idempotent (keyed by the fencing
+// token) and retries through connection loss, so releasing after a
+// reconnect, a lease recovery, or a duplicate release is safe.
+func (c *Client) Release(ctx context.Context, h *Handle) error {
+	for attempt := 1; attempt <= c.o.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.retries.Add(1)
+		}
+		resp, err := c.roundTrip(ctx, lockd.Request{Op: lockd.OpRelease, Lock: h.Lock, Token: h.Token})
+		if err != nil {
+			if errors.Is(err, ErrConnLost) {
+				if err := c.sleep(ctx, c.bo.next()); err != nil {
+					return err
+				}
+				continue
+			}
+			return err
+		}
+		if resp.OK {
+			c.bo.reset()
+			return nil
+		}
+		if resp.Code == lockd.CodeExpired {
+			// Session gone: the lease machinery already recovered the
+			// lock; the release is moot.
+			return nil
+		}
+		return &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	return fmt.Errorf("lockclient: release %q: attempts exhausted: %w", h.Lock, ErrConnLost)
+}
+
+// Reconfigure switches the named lock's waiting policy and/or release
+// scheduler over the wire (either may be empty). pending reports a
+// scheduler change deferred by the configuration delay until the
+// pre-registered waiters drain.
+func (c *Client) Reconfigure(ctx context.Context, lock, policy, sched string) (pending bool, err error) {
+	resp, err := c.roundTrip(ctx, lockd.Request{Op: lockd.OpReconfigure, Lock: lock, Policy: policy, Sched: sched})
+	if err != nil {
+		return false, err
+	}
+	if !resp.OK {
+		return false, &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	return resp.Pending, nil
+}
+
+// Heartbeat renews the lease once.
+func (c *Client) Heartbeat(ctx context.Context) error {
+	resp, err := c.roundTrip(ctx, lockd.Request{Op: lockd.OpHeartbeat})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	c.heartbeats.Add(1)
+	return nil
+}
+
+// Stat fetches server counters and per-lock state.
+func (c *Client) Stat(ctx context.Context) (*lockd.Stat, error) {
+	resp, err := c.roundTrip(ctx, lockd.Request{Op: lockd.OpStat})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, &ServerError{Code: resp.Code, Msg: resp.Err}
+	}
+	return resp.Stat, nil
+}
+
+// roundTrip is Call plus one transparent reconnect: a lost connection is
+// re-dialed (with session resume) and the request re-sent once; a second
+// loss surfaces ErrConnLost for the caller's retry loop.
+func (c *Client) roundTrip(ctx context.Context, req lockd.Request) (lockd.Response, error) {
+	for i := 0; i < 2; i++ {
+		c.mu.Lock()
+		disconnected := c.conn == nil && !c.closed
+		c.mu.Unlock()
+		if disconnected {
+			c.reconnects.Add(1)
+			if err := c.reconnect(ctx); err != nil {
+				if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+					return lockd.Response{}, err
+				}
+				return lockd.Response{}, ErrConnLost
+			}
+		}
+		resp, err := c.Call(ctx, req)
+		if errors.Is(err, ErrConnLost) && i == 0 {
+			continue
+		}
+		return resp, err
+	}
+	return lockd.Response{}, ErrConnLost
+}
+
+// invalidateConn forces the next roundTrip to re-dial and hello as a
+// fresh session (used when the server reports the session expired).
+func (c *Client) invalidateConn() {
+	c.mu.Lock()
+	conn := c.conn
+	c.session = 0
+	c.mu.Unlock()
+	if conn != nil {
+		c.dropConn(conn)
+	}
+}
+
+// sleep waits d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// heartbeatLoop keeps the lease alive until Close.
+func (c *Client) heartbeatLoop(every time.Duration) {
+	defer close(c.hbDone)
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-tick.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), every)
+		err := c.Heartbeat(ctx)
+		cancel()
+		if err != nil && errors.Is(err, ErrClosed) {
+			return
+		}
+		// Other errors: roundTrip already attempted a reconnect; the
+		// next tick tries again.
+	}
+}

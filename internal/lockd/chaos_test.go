@@ -1,0 +1,275 @@
+package lockd_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+)
+
+// chaosResult is everything runChaos observes that must be reproducible
+// for a given seed: the server's full counter block plus the fencing
+// tokens granted per lock, in grant order.
+type chaosResult struct {
+	Counters lockd.Counters
+	Tokens   map[string][]uint64
+}
+
+// runChaos drives one scripted chaos scenario against a fresh server:
+// a client crashes mid-hold (lease recovery), a client's transport drops
+// mid-release (retry + session resume), the wait queue overflows (shed),
+// and a partition outlasts a lease (expiry + recovery). The operation
+// sequence is scripted — synchronization is by stat polling, never by
+// guessed sleeps — and every fault draws from seeded Every-based
+// schedules, so the same seed must produce the same counters.
+func runChaos(t *testing.T, seed int64) chaosResult {
+	t.Helper()
+	srv := newServer(t, lockd.Config{
+		MaxWaiters: 1,
+		MinLease:   20 * time.Millisecond,
+		SweepEvery: 5 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	res := chaosResult{Tokens: make(map[string][]uint64)}
+	record := func(lock string, tok uint64) {
+		seq := res.Tokens[lock]
+		if n := len(seq); n > 0 && tok <= seq[n-1] {
+			t.Fatalf("fencing token regressed on %q: %d after %d", lock, tok, seq[n-1])
+		}
+		res.Tokens[lock] = append(res.Tokens[lock], tok)
+	}
+	steady := func(name string) *lockclient.Client {
+		c, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+			Client: name, Lease: 50 * time.Second, Heartbeat: -1, Seed: seed,
+		})
+		if err != nil {
+			t.Fatalf("Dial %s: %v", name, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	control := steady("control")
+
+	// Phase 1 — crash mid-hold. c1 holds alpha on a short lease, then its
+	// transport is severed and it never heartbeats again; the sweeper must
+	// expire the session and force-release alpha through the owner-death
+	// path, and the next acquirer inherits a recovered grant.
+	dial, kill := dialer()
+	c1, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+		Client: "crasher", Lease: 60 * time.Millisecond, Heartbeat: -1, Dial: dial, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("Dial crasher: %v", err)
+	}
+	t.Cleanup(func() { c1.Close() })
+	h1, err := c1.Acquire(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("crasher acquire: %v", err)
+	}
+	record("alpha", h1.Token)
+	kill(0)
+	heir := steady("heir")
+	h2, err := heir.Acquire(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("heir acquire: %v", err)
+	}
+	if !h2.Recovered {
+		t.Fatalf("post-crash grant not marked recovered")
+	}
+	record("alpha", h2.Token)
+	if err := heir.Release(ctx, h2); err != nil {
+		t.Fatalf("heir release: %v", err)
+	}
+
+	// Phase 2 — connection drop mid-release. c3's transport severs the
+	// connection on its 3rd write (hello, acquire, release): the release
+	// is lost in flight, the client reconnects, resumes its session, and
+	// the retried release still matches its fencing token.
+	dropSched := fault.MustSchedule(seed, fault.Spec{Kind: fault.ConnDrop, Every: 3})
+	c3, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+		Client: "dropper", Lease: 50 * time.Second, Heartbeat: -1, Seed: seed,
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return fault.WrapConn(c, dropSched), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Dial dropper: %v", err)
+	}
+	t.Cleanup(func() { c3.Close() })
+	h3, err := c3.Acquire(ctx, "alpha")
+	if err != nil {
+		t.Fatalf("dropper acquire: %v", err)
+	}
+	record("alpha", h3.Token)
+	if err := c3.Release(ctx, h3); err != nil {
+		t.Fatalf("dropper release: %v", err)
+	}
+	if st := c3.Stats(); st.Reconnects != 1 {
+		t.Fatalf("dropper reconnects = %d, want exactly 1", st.Reconnects)
+	}
+
+	// Phase 3 — overload shed. With MaxWaiters=1, a holder plus one
+	// queued waiter fills beta's queue; the third acquirer is shed.
+	shedB, shedC := steady("shed-b"), steady("shed-c")
+	hB, err := control.Acquire(ctx, "beta")
+	if err != nil {
+		t.Fatalf("beta holder: %v", err)
+	}
+	record("beta", hB.Token)
+	type grant struct {
+		tok uint64
+		err error
+	}
+	waiterDone := make(chan grant, 1)
+	go func() {
+		h, err := shedB.Acquire(ctx, "beta")
+		if err == nil {
+			err = shedB.Release(ctx, h)
+			waiterDone <- grant{tok: h.Token, err: err}
+			return
+		}
+		waiterDone <- grant{err: err}
+	}()
+	waitForWaiting(t, control, "beta", 1)
+	resp, err := shedC.Call(ctx, lockd.Request{Op: lockd.OpAcquire, Lock: "beta"})
+	if err != nil {
+		t.Fatalf("shed acquire: %v", err)
+	}
+	if resp.OK || resp.Code != lockd.CodeOverloaded {
+		t.Fatalf("third acquire = %+v, want shed", resp)
+	}
+	if err := control.Release(ctx, hB); err != nil {
+		t.Fatalf("beta release: %v", err)
+	}
+	g := <-waiterDone
+	if g.err != nil {
+		t.Fatalf("beta waiter: %v", g.err)
+	}
+	record("beta", g.tok)
+
+	// Phase 4 — partition outlasting the lease. c4's 3rd write (the
+	// release of gamma) opens a 200ms black-hole; its 60ms lease expires
+	// inside the window, the sweeper recovers gamma, and the release that
+	// finally arrives hits an expired session — harmlessly, because
+	// recovery already happened and releases are idempotent.
+	partSched := fault.MustSchedule(seed+1, fault.Spec{Kind: fault.Partition, Every: 3, MinUs: 200_000})
+	c4, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+		Client: "islander", Lease: 60 * time.Millisecond, Heartbeat: -1, Seed: seed,
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return fault.WrapConn(c, partSched), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Dial islander: %v", err)
+	}
+	t.Cleanup(func() { c4.Close() })
+	h4, err := c4.Acquire(ctx, "gamma")
+	if err != nil {
+		t.Fatalf("islander acquire: %v", err)
+	}
+	record("gamma", h4.Token)
+	if err := c4.Release(ctx, h4); err != nil {
+		t.Fatalf("islander release through partition: %v", err)
+	}
+	h5, err := heir.Acquire(ctx, "gamma")
+	if err != nil {
+		t.Fatalf("gamma heir acquire: %v", err)
+	}
+	if !h5.Recovered {
+		t.Fatalf("post-partition grant not marked recovered")
+	}
+	record("gamma", h5.Token)
+	if err := heir.Release(ctx, h5); err != nil {
+		t.Fatalf("gamma heir release: %v", err)
+	}
+
+	res.Counters = srv.Counters()
+	return res
+}
+
+// TestChaosRecovery asserts the scenario's absolute outcomes: every
+// crash/partition-held lock was recovered through the owner-death path,
+// the shed happened, and no lock ended held.
+func TestChaosRecovery(t *testing.T) {
+	res := runChaos(t, 42)
+	c := res.Counters
+	if c.SessionsExpired != 2 || c.ForcedReleases != 2 || c.RecoveredGrants != 2 {
+		t.Fatalf("recovery counters = %+v, want exactly 2 expired/forced/recovered", c)
+	}
+	if c.Sheds != 1 {
+		t.Fatalf("sheds = %d, want 1", c.Sheds)
+	}
+	if c.SessionsResumed != 1 {
+		t.Fatalf("resumes = %d, want 1", c.SessionsResumed)
+	}
+	if c.AcquireTimeouts != 0 || c.StaleReleases != 0 {
+		t.Fatalf("unexpected timeouts/stale releases: %+v", c)
+	}
+	// 7 grants landed: alpha x3, beta x2, gamma x2.
+	if c.Acquires != 7 {
+		t.Fatalf("acquires = %d, want 7", c.Acquires)
+	}
+	for lock, want := range map[string]int{"alpha": 3, "beta": 2, "gamma": 2} {
+		if got := len(res.Tokens[lock]); got != want {
+			t.Fatalf("%s grants = %d, want %d", lock, got, want)
+		}
+	}
+}
+
+// TestChaosDeterministic runs the scenario twice with the same seed and
+// requires identical counters and identical per-lock token sequences —
+// the acceptance bar for the fault schedule's determinism.
+func TestChaosDeterministic(t *testing.T) {
+	a := runChaos(t, 42)
+	b := runChaos(t, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different outcomes:\n  run1 %+v\n  run2 %+v", a, b)
+	}
+}
+
+// TestAcquireDeadline covers the CodeTimeout path: a bounded wait on a
+// held lock expires without a grant and without corrupting the holder.
+func TestAcquireDeadline(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	ctx := context.Background()
+	c1, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c1.Close()
+	c2, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c2.Close()
+	h, err := c1.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	_, err = c2.AcquireWith(ctx, "L", lockclient.AcquireOptions{Wait: 30 * time.Millisecond})
+	if !errors.Is(err, lockclient.ErrAcquireTimeout) {
+		t.Fatalf("bounded wait error = %v, want ErrAcquireTimeout", err)
+	}
+	if err := c1.Release(ctx, h); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if ctr := srv.Counters(); ctr.AcquireTimeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", ctr.AcquireTimeouts)
+	}
+}

@@ -1,0 +1,465 @@
+package lockd_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+	"repro/internal/telemetry"
+)
+
+// newServer starts a lockd server on a loopback ephemeral port.
+func newServer(t *testing.T, cfg lockd.Config) *lockd.Server {
+	t.Helper()
+	srv, err := lockd.Serve("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// dialer returns a Dial hook that records every raw conn it opens, so
+// tests can crash a client by severing its transport.
+func dialer() (func(addr string) (net.Conn, error), func(i int)) {
+	var mu sync.Mutex
+	var conns []net.Conn
+	dial := func(addr string) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+		return c, nil
+	}
+	kill := func(i int) {
+		mu.Lock()
+		c := conns[i]
+		mu.Unlock()
+		c.Close()
+	}
+	return dial, kill
+}
+
+func TestAcquireReleaseFencing(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	ctx := context.Background()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "t", Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	h1, err := c.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	if h1.Token != 1 || h1.Recovered {
+		t.Fatalf("first grant: token=%d recovered=%v, want token=1 recovered=false", h1.Token, h1.Recovered)
+	}
+	if err := c.Release(ctx, h1); err != nil {
+		t.Fatalf("release 1: %v", err)
+	}
+	h2, err := c.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if h2.Token <= h1.Token {
+		t.Fatalf("fencing token regressed: %d after %d", h2.Token, h1.Token)
+	}
+	// Releases are idempotent by token: a duplicate succeeds.
+	if err := c.Release(ctx, h2); err != nil {
+		t.Fatalf("release 2: %v", err)
+	}
+	if err := c.Release(ctx, h2); err != nil {
+		t.Fatalf("duplicate release: %v", err)
+	}
+	ctr := srv.Counters()
+	if ctr.Acquires != 2 || ctr.Releases != 2 || ctr.StaleReleases != 1 {
+		t.Fatalf("counters = %+v, want 2 acquires, 2 releases, 1 stale", ctr)
+	}
+}
+
+func TestDuplicateAcquireReturnsExistingGrant(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	ctx := context.Background()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	h, err := c.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	// A lost-reply retry of the same acquire answers with the existing
+	// grant rather than deadlocking or double-granting.
+	resp, err := c.Call(ctx, lockd.Request{Op: lockd.OpAcquire, Lock: "L"})
+	if err != nil {
+		t.Fatalf("duplicate acquire: %v", err)
+	}
+	if !resp.OK || resp.Code != lockd.CodeAlreadyHeld || resp.Token != h.Token {
+		t.Fatalf("duplicate acquire = %+v, want ok already-held token=%d", resp, h.Token)
+	}
+}
+
+func TestLeaseExpiryRecoversLock(t *testing.T) {
+	srv := newServer(t, lockd.Config{SweepEvery: 5 * time.Millisecond, MinLease: 20 * time.Millisecond})
+	ctx := context.Background()
+
+	dial, kill := dialer()
+	c1, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+		Client: "doomed", Lease: 60 * time.Millisecond, Heartbeat: -1, Dial: dial,
+	})
+	if err != nil {
+		t.Fatalf("Dial c1: %v", err)
+	}
+	defer c1.Close()
+	h1, err := c1.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("c1 acquire: %v", err)
+	}
+
+	// Crash c1 mid-hold: sever its transport; it never heartbeats again.
+	kill(0)
+
+	c2, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "heir", Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial c2: %v", err)
+	}
+	defer c2.Close()
+	h2, err := c2.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("c2 acquire: %v", err)
+	}
+	if !h2.Recovered {
+		t.Fatalf("grant after owner crash not marked recovered")
+	}
+	if h2.Token <= h1.Token {
+		t.Fatalf("fencing token regressed across recovery: %d after %d", h2.Token, h1.Token)
+	}
+	if err := c2.Release(ctx, h2); err != nil {
+		t.Fatalf("c2 release: %v", err)
+	}
+	ctr := srv.Counters()
+	if ctr.SessionsExpired < 1 || ctr.ForcedReleases < 1 || ctr.RecoveredGrants < 1 {
+		t.Fatalf("recovery counters = %+v, want >=1 expired/forced/recovered", ctr)
+	}
+	// The crashed session's release (were it to arrive now) is harmless:
+	// its token is stale.
+	if err := c1.Release(ctx, h1); err != nil {
+		t.Fatalf("stale release after recovery: %v", err)
+	}
+}
+
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	srv := newServer(t, lockd.Config{MaxWaiters: 1})
+	ctx := context.Background()
+	newC := func(name string) *lockclient.Client {
+		c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: name, Heartbeat: -1})
+		if err != nil {
+			t.Fatalf("Dial %s: %v", name, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	cA, cB, cC := newC("a"), newC("b"), newC("c")
+
+	hA, err := cA.Acquire(ctx, "S")
+	if err != nil {
+		t.Fatalf("cA acquire: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		h, err := cB.Acquire(ctx, "S")
+		if err == nil {
+			err = cB.Release(ctx, h)
+		}
+		done <- err
+	}()
+	waitForWaiting(t, cA, "S", 1)
+
+	// The queue is at its bound: the third acquirer is shed immediately.
+	resp, err := cC.Call(ctx, lockd.Request{Op: lockd.OpAcquire, Lock: "S"})
+	if err != nil {
+		t.Fatalf("cC acquire: %v", err)
+	}
+	if resp.OK || resp.Code != lockd.CodeOverloaded || resp.RetryAfterMs <= 0 {
+		t.Fatalf("shed response = %+v, want overloaded with retry-after hint", resp)
+	}
+	// And the client surfaces ErrOverloaded once its attempts run out.
+	short, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1, MaxAttempts: 1})
+	if err != nil {
+		t.Fatalf("Dial short: %v", err)
+	}
+	defer short.Close()
+	if _, err := short.Acquire(ctx, "S"); !errors.Is(err, lockclient.ErrOverloaded) {
+		t.Fatalf("exhausted acquire error = %v, want ErrOverloaded", err)
+	}
+
+	if err := cA.Release(ctx, hA); err != nil {
+		t.Fatalf("cA release: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("cB acquire/release: %v", err)
+	}
+	if ctr := srv.Counters(); ctr.Sheds != 2 {
+		t.Fatalf("sheds = %d, want 2", ctr.Sheds)
+	}
+}
+
+func TestReconfigureOverWire(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := newServer(t, lockd.Config{Registry: reg})
+	ctx := context.Background()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	// Policy switches apply immediately, even on an uncontended lock.
+	pending, err := c.Reconfigure(ctx, "R", "spin", "")
+	if err != nil {
+		t.Fatalf("reconfigure policy: %v", err)
+	}
+	if pending {
+		t.Fatalf("policy switch reported pending")
+	}
+	// A scheduler switch with a registered waiter honours the
+	// configuration delay: it is deferred, and reported as such. Spin
+	// waiters never park in the queue, so switch back to a parking
+	// policy first.
+	if _, err := c.Reconfigure(ctx, "R", "combined", ""); err != nil {
+		t.Fatalf("reconfigure back: %v", err)
+	}
+	h, err := c.Acquire(ctx, "R")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	c2, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial c2: %v", err)
+	}
+	defer c2.Close()
+	done := make(chan error, 1)
+	go func() {
+		h2, err := c2.Acquire(ctx, "R")
+		if err == nil {
+			err = c2.Release(ctx, h2)
+		}
+		done <- err
+	}()
+	// Wait for the waiter to register in the native queue itself (the
+	// lockd waiting counter increments slightly earlier, on admission).
+	waitForQueued(t, reg, "lockd/R", 1)
+	pending, err = c.Reconfigure(ctx, "R", "", "priority")
+	if err != nil {
+		t.Fatalf("reconfigure sched: %v", err)
+	}
+	if !pending {
+		t.Fatalf("scheduler switch with waiters not reported pending")
+	}
+	if err := c.Release(ctx, h); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter: %v", err)
+	}
+	if _, err := c.Reconfigure(ctx, "R", "bogus", ""); err == nil {
+		t.Fatalf("bogus policy accepted")
+	}
+	if ctr := srv.Counters(); ctr.Reconfigurations != 3 {
+		t.Fatalf("reconfigurations = %d, want 3", ctr.Reconfigurations)
+	}
+}
+
+func TestReconnectResumesSession(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	ctx := context.Background()
+	dial, kill := dialer()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "flaky", Heartbeat: -1, Dial: dial})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	sess := c.Session()
+	h, err := c.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	kill(0) // transport dies; the session (and the held lock) survive
+
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatalf("heartbeat after reconnect: %v", err)
+	}
+	if got := c.Session(); got != sess {
+		t.Fatalf("session after reconnect = %d, want resumed %d", got, sess)
+	}
+	if st := c.Stats(); st.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want 1", st.Reconnects)
+	}
+	// The pre-crash handle still releases cleanly (token still current).
+	if err := c.Release(ctx, h); err != nil {
+		t.Fatalf("release after resume: %v", err)
+	}
+	ctr := srv.Counters()
+	if ctr.SessionsResumed != 1 || ctr.Releases != 1 || ctr.StaleReleases != 0 {
+		t.Fatalf("counters = %+v, want 1 resume, 1 clean release", ctr)
+	}
+}
+
+func TestServerTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv := newServer(t, lockd.Config{Registry: reg})
+	ctx := context.Background()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	h, err := c.Acquire(ctx, "L")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer c.Release(ctx, h)
+
+	var sb strings.Builder
+	if err := telemetry.WriteMetrics(&sb, reg.Snapshots()); err != nil {
+		t.Fatalf("WriteMetrics: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`lockd_sessions{impl="lockd",lock="lockd"} 1`,
+		`lockd_acquires_total{impl="lockd",lock="lockd"} 1`,
+		`lock_acquisitions_total{impl="native",lock="lockd/L"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// waitForWaiting polls the server's stat op until the named lock shows
+// n waiters (synchronization without sleeps of guessed length).
+func waitForWaiting(t *testing.T, c *lockclient.Client, lock string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := c.Stat(context.Background())
+		if err != nil {
+			t.Fatalf("stat: %v", err)
+		}
+		for _, ls := range st.Locks {
+			if ls.Name == lock && ls.Waiting >= n {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("lock %q never reached %d waiters", lock, n)
+}
+
+// waitForQueued polls a registry until the named native lock shows n
+// waiters registered in its queue.
+func waitForQueued(t *testing.T, reg *telemetry.Registry, name string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range reg.Snapshots() {
+			if s.Name == name && s.Waiters >= n {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("native lock %q never reached %d queued waiters", name, n)
+}
+
+// TestLockdSmoke is the `make lockd-smoke` entry point: a server and two
+// competing clients, one of them behind a fault-injected transport that
+// drops its connection, asserting the service recovers — every acquire
+// eventually succeeds, fencing tokens never regress, and the lock ends
+// free.
+func TestLockdSmoke(t *testing.T) {
+	srv := newServer(t, lockd.Config{SweepEvery: 5 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Client 1 dials through a fault wrapper that severs the connection
+	// on every 4th write.
+	sched := fault.MustSchedule(7, fault.Spec{Kind: fault.ConnDrop, Every: 4})
+	c1, err := lockclient.Dial(srv.Addr(), lockclient.Options{
+		Client: "faulty", Heartbeat: -1, Seed: 11,
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				return nil, err
+			}
+			return fault.WrapConn(c, sched), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Dial c1: %v", err)
+	}
+	defer c1.Close()
+	c2, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "steady", Heartbeat: -1, Seed: 12})
+	if err != nil {
+		t.Fatalf("Dial c2: %v", err)
+	}
+	defer c2.Close()
+
+	const iters = 10
+	run := func(c *lockclient.Client) error {
+		var last uint64
+		for i := 0; i < iters; i++ {
+			h, err := c.Acquire(ctx, "smoke")
+			if err != nil {
+				return err
+			}
+			if h.Token <= last {
+				return errors.New("fencing token regressed")
+			}
+			last = h.Token
+			if err := c.Release(ctx, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- run(c1) }()
+	go func() { errs <- run(c2) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("client loop: %v", err)
+		}
+	}
+	if st := c1.Stats(); st.Reconnects < 1 {
+		t.Fatalf("fault-injected client never reconnected (drops=%v)", sched.Counts())
+	}
+	st, err := c2.Stat(ctx)
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	for _, ls := range st.Locks {
+		if ls.Name == "smoke" {
+			if ls.Held {
+				t.Fatalf("lock still held after smoke run: %+v", ls)
+			}
+			if ls.Token < 2*iters {
+				t.Fatalf("token = %d, want >= %d grants", ls.Token, 2*iters)
+			}
+		}
+	}
+}

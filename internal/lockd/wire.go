@@ -1,0 +1,176 @@
+package lockd
+
+import (
+	"fmt"
+
+	"repro/internal/native"
+)
+
+// This file is the wire protocol shared by the lockd server and
+// internal/lockclient: newline-delimited JSON, one Request per line from
+// the client, one Response per line from the server. Responses carry the
+// request's ID and may arrive out of order (the server answers fast
+// operations inline but blocks acquisitions on their own goroutines), so
+// clients demultiplex by ID.
+
+// Operation names.
+const (
+	// OpHello opens (or, with Session set, resumes) a session. The
+	// response carries the session ID and the granted lease.
+	OpHello = "hello"
+	// OpAcquire acquires a named lock for the session. The response
+	// carries the fencing token; Recovered marks a grant inherited from
+	// a dead owner (repair the protected state before trusting it).
+	OpAcquire = "acquire"
+	// OpRelease releases a named lock, idempotently, keyed by the
+	// fencing token: releasing an already-released or re-granted lock is
+	// OK (code stale-token), so clients retry releases freely.
+	OpRelease = "release"
+	// OpHeartbeat renews the session lease.
+	OpHeartbeat = "heartbeat"
+	// OpReconfigure changes a served lock's waiting policy and/or
+	// release scheduler — the paper's Ψ over the wire. Scheduler changes
+	// keep the configuration-delay semantics: with waiters registered
+	// the change is deferred (Pending in the response) until the
+	// pre-registered waiters have been served.
+	OpReconfigure = "reconfigure"
+	// OpStat reports server counters and per-lock state.
+	OpStat = "stat"
+	// OpBye ends the session, releasing every lock it still holds.
+	OpBye = "bye"
+)
+
+// Response codes (Code is empty on a plain success).
+const (
+	// CodeOverloaded sheds an acquisition because the lock's wait queue
+	// is at its bound; RetryAfterMs hints when to retry.
+	CodeOverloaded = "overloaded"
+	// CodeTimeout reports an acquisition that waited out WaitMs.
+	CodeTimeout = "timeout"
+	// CodeExpired rejects an operation on an unknown or lease-expired
+	// session; the client must hello again.
+	CodeExpired = "expired"
+	// CodeAlreadyHeld answers an acquire for a lock the session already
+	// holds with the existing grant's fencing token (the protocol is
+	// non-reentrant; the duplicate is a lost-reply retry).
+	CodeAlreadyHeld = "already-held"
+	// CodeStaleToken answers a release whose token no longer names the
+	// current grant: the lock was already released or recovered. The
+	// release is still OK (idempotent).
+	CodeStaleToken = "stale-token"
+	// CodeBadRequest rejects a malformed or unknown request.
+	CodeBadRequest = "bad-request"
+	// CodeShutdown rejects requests arriving while the server drains.
+	CodeShutdown = "shutting-down"
+)
+
+// Request is one client->server message.
+type Request struct {
+	ID      uint64 `json:"id"`
+	Op      string `json:"op"`
+	Session uint64 `json:"session,omitempty"`
+	Lock    string `json:"lock,omitempty"`
+
+	// hello
+	Client  string `json:"client,omitempty"`
+	LeaseMs int64  `json:"lease_ms,omitempty"`
+
+	// acquire
+	WaitMs   int64  `json:"wait_ms,omitempty"`
+	WaitHint string `json:"wait_hint,omitempty"` // "" (lock policy), "spin", "try"
+	Prio     int64  `json:"prio,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"` // 1-based; >1 counts as a retry
+
+	// release
+	Token uint64 `json:"token,omitempty"`
+
+	// reconfigure
+	Policy string `json:"policy,omitempty"`
+	Sched  string `json:"sched,omitempty"`
+}
+
+// Response is one server->client message.
+type Response struct {
+	ID   uint64 `json:"id"`
+	OK   bool   `json:"ok"`
+	Code string `json:"code,omitempty"`
+	Err  string `json:"err,omitempty"`
+
+	Session      uint64 `json:"session,omitempty"`
+	LeaseMs      int64  `json:"lease_ms,omitempty"`
+	Resumed      bool   `json:"resumed,omitempty"`
+	Token        uint64 `json:"token,omitempty"`
+	Recovered    bool   `json:"recovered,omitempty"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+	Pending      bool   `json:"pending,omitempty"`
+	Stat         *Stat  `json:"stat,omitempty"`
+}
+
+// LockStat is one served lock's state in a stat response.
+type LockStat struct {
+	Name          string `json:"name"`
+	Held          bool   `json:"held"`
+	HolderSession uint64 `json:"holder_session,omitempty"`
+	Token         uint64 `json:"token"` // last granted fencing token
+	Waiting       int    `json:"waiting"`
+	Sheds         int64  `json:"sheds"`
+}
+
+// Counters are the server's cumulative robustness counters.
+type Counters struct {
+	SessionsOpened   int64 `json:"sessions_opened"`
+	SessionsResumed  int64 `json:"sessions_resumed"`
+	SessionsExpired  int64 `json:"sessions_expired"`
+	ForcedReleases   int64 `json:"forced_releases"` // lease-expiry DeclareOwnerDead recoveries
+	RecoveredGrants  int64 `json:"recovered_grants"`
+	Sheds            int64 `json:"sheds"`
+	Retries          int64 `json:"retries"` // acquire attempts with Attempt > 1
+	Acquires         int64 `json:"acquires"`
+	Releases         int64 `json:"releases"`
+	StaleReleases    int64 `json:"stale_releases"`
+	AcquireTimeouts  int64 `json:"acquire_timeouts"`
+	Reconfigurations int64 `json:"reconfigurations"`
+}
+
+// Stat is the stat response body.
+type Stat struct {
+	Sessions int        `json:"sessions"`
+	Locks    []LockStat `json:"locks"`
+	Counters Counters   `json:"counters"`
+}
+
+// PolicyNames documents ParsePolicy's accepted names.
+const PolicyNames = "spin|backoff|block|sleep|combined"
+
+// ParsePolicy maps a wire policy name to the native waiting policy.
+func ParsePolicy(s string) (native.Policy, error) {
+	switch s {
+	case "spin":
+		return native.SpinPolicy, nil
+	case "backoff":
+		return native.BackoffPolicy, nil
+	case "block", "sleep":
+		return native.BlockPolicy, nil
+	case "combined":
+		return native.CombinedPolicy, nil
+	}
+	return native.Policy{}, fmt.Errorf("lockd: unknown policy %q (want %s)", s, PolicyNames)
+}
+
+// SchedulerNames documents ParseScheduler's accepted names.
+const SchedulerNames = "fifo|priority|threshold|handoff"
+
+// ParseScheduler maps a wire scheduler name to the native scheduler.
+func ParseScheduler(s string) (native.Scheduler, error) {
+	switch s {
+	case "fifo":
+		return native.FIFO, nil
+	case "priority":
+		return native.Priority, nil
+	case "threshold":
+		return native.Threshold, nil
+	case "handoff":
+		return native.Handoff, nil
+	}
+	return 0, fmt.Errorf("lockd: unknown scheduler %q (want %s)", s, SchedulerNames)
+}

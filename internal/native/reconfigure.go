@@ -102,6 +102,13 @@ func (m *Mutex) Stats() Stats {
 	}
 }
 
+// Held reports whether the lock is currently held.
+func (m *Mutex) Held() bool {
+	m.guard.lock()
+	defer m.guard.unlock()
+	return m.held
+}
+
 // Waiters reports the current registration-queue length.
 func (m *Mutex) Waiters() int {
 	m.guard.lock()

@@ -72,6 +72,9 @@ func (s LockSnapshot) points() []counterPoint {
 			c("lock_stall_aborts_total", "Waiters aborted with ErrOwnerStalled.", m.Stalls),
 		)
 	}
+	for _, ep := range s.Extra {
+		pts = append(pts, counterPoint{Name: ep.Name, Help: ep.Help, Gauge: ep.Gauge, Value: ep.Value})
+	}
 	return pts
 }
 

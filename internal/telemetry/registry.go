@@ -54,6 +54,22 @@ type LockSnapshot struct {
 	// Sites is the per-call-site contention profile (profiled native
 	// locks only), hottest site first.
 	Sites []Site
+	// Extra carries implementation-specific scalar series from sources
+	// registered with RegisterSource (e.g. the lockd server's session,
+	// lease and shed counters); they are exported alongside the standard
+	// lock families.
+	Extra []ExtraPoint
+}
+
+// ExtraPoint is one source-defined scalar metric series.
+type ExtraPoint struct {
+	// Name is the full metric family name (e.g. "lockd_sessions");
+	// Help its HELP text; Gauge selects the gauge type (counter
+	// otherwise).
+	Name  string `json:"name"`
+	Help  string `json:"help"`
+	Gauge bool   `json:"gauge,omitempty"`
+	Value int64  `json:"value"`
 }
 
 // Registry is a set of named lock telemetry entries. The zero value is
@@ -160,6 +176,23 @@ func (r *Registry) Snapshots() []LockSnapshot {
 		out = append(out, e.snapshot())
 	}
 	return out
+}
+
+// RegisterSource registers a custom telemetry source: pull is invoked at
+// every scrape and returns the snapshot to export. Sources use the Extra
+// points for their scalar series (the standard lock families stay absent
+// unless the source fills Sim/Native). The lockd server registers itself
+// this way.
+func (r *Registry) RegisterSource(name, impl string, pull func() LockSnapshot) *Entry {
+	if pull == nil {
+		panic("telemetry: RegisterSource with nil pull")
+	}
+	return r.add(name, impl, pull)
+}
+
+// RegisterSource registers a custom source in the default registry.
+func RegisterSource(name, impl string, pull func() LockSnapshot) *Entry {
+	return Default.RegisterSource(name, impl, pull)
 }
 
 // CoreEntry is a registered simulated lock. Publish pushes fresh

@@ -1,12 +1,16 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -16,9 +20,10 @@ import (
 
 // Server is a running telemetry HTTP server.
 type Server struct {
-	reg *Registry
-	ln  net.Listener
-	srv *http.Server
+	reg        *Registry
+	ln         net.Listener
+	srv        *http.Server
+	baseCancel context.CancelFunc
 }
 
 // Serve starts the telemetry server for the default registry on addr
@@ -26,13 +31,21 @@ type Server struct {
 func Serve(addr string) (*Server, error) { return Default.Serve(addr) }
 
 // Serve starts a telemetry server for this registry. The returned
-// server is already accepting; Close shuts it down.
+// server is already accepting; Close shuts it down hard, Shutdown
+// gracefully.
 func (r *Registry) Serve(addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{reg: r, ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	// Request contexts derive from this base, so canceling it ends the
+	// long-lived SSE /watch streams (their handlers select on the request
+	// context) — the piece http.Server.Shutdown alone cannot drain.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	s := &Server{reg: r, ln: ln, baseCancel: baseCancel, srv: &http.Server{
+		Handler:     r.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}}
 	go s.srv.Serve(ln) //nolint:errcheck // Close's ErrServerClosed
 	return s, nil
 }
@@ -43,8 +56,48 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // URL returns "http://<addr>".
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
-// Close immediately shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close immediately shuts the server down, dropping in-flight requests.
+func (s *Server) Close() error {
+	s.baseCancel()
+	return s.srv.Close()
+}
+
+// Shutdown stops the server gracefully: new connections are refused,
+// active SSE /watch streams are closed (their request contexts cancel),
+// and in-flight scrapes drain until ctx is done; whatever remains past
+// the deadline is then dropped hard.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.baseCancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Linger blocks until an interrupt (SIGINT/SIGTERM) arrives or, when
+// serveFor > 0, until that duration elapses — whichever comes first —
+// then shuts the server down gracefully with a 5-second deadline. It is
+// the shared tail of the CLIs' -serve mode; -serve-for uses the timer
+// path so scripted runs exercise the serving surface without a signal.
+func (s *Server) Linger(serveFor time.Duration) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	var timer <-chan time.Time
+	if serveFor > 0 {
+		t := time.NewTimer(serveFor)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-sig:
+	case <-timer:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
 
 // Handler returns the telemetry mux:
 //

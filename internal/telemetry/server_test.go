@@ -267,3 +267,64 @@ func TestLocksJSONShape(t *testing.T) {
 		t.Error("wait histogram absent from /locks")
 	}
 }
+
+// TestShutdownDrainsWatchStream verifies graceful shutdown: an active
+// SSE /watch stream is closed (rather than held open past the deadline)
+// and Shutdown returns promptly without error.
+func TestShutdownDrainsWatchStream(t *testing.T) {
+	r := NewRegistry()
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := native.New(native.CombinedPolicy, native.FIFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RegisterNative("shutdown-lock", m)
+
+	resp, err := http.Get(s.URL() + "/watch?every=50ms")
+	if err != nil {
+		t.Fatalf("GET /watch: %v", err)
+	}
+	defer resp.Body.Close()
+	streamEnded := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		streamEnded <- err
+	}()
+	// Let the stream emit at least one window before shutting down.
+	time.Sleep(80 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("Shutdown took %v, want prompt drain", took)
+	}
+	select {
+	case <-streamEnded:
+		// EOF or a reset — either way the stream is closed.
+	case <-time.After(2 * time.Second):
+		t.Fatalf("SSE stream still open after Shutdown returned")
+	}
+	// The listener is really down: new scrapes must fail.
+	if _, err := http.Get(s.URL() + "/metrics"); err == nil {
+		t.Fatalf("scrape succeeded after Shutdown")
+	}
+}
+
+// TestShutdownIdempotentWithClose ensures Shutdown then Close (the CLI
+// signal path can race both) does not panic or deadlock.
+func TestShutdownIdempotentWithClose(t *testing.T) {
+	_, s := startServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	s.Close() // second stop is a no-op
+}
