@@ -5,7 +5,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr4.json
 
-.PHONY: all build vet test race check bench bench-out verify chaos fuzz serve-smoke lockd-smoke clean
+.PHONY: all build vet test race check bench bench-out verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke clean
 
 all: check
 
@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./...
 
-check: build vet race fuzz serve-smoke lockd-smoke
+check: build vet race fuzz serve-smoke lockd-smoke deadlock-smoke
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -45,6 +45,13 @@ serve-smoke:
 # sequence — all under the race detector.
 lockd-smoke:
 	$(GO) test ./internal/lockd -race -count=1 -v -run 'TestLockdSmoke|TestChaosRecovery|TestChaosDeterministic'
+
+# Causal-tracing smoke: induce a real ABBA deadlock between two lockd
+# clients under the race detector and require /debug/waitgraph to name
+# the exact cycle while deadlock_suspected increments in /metrics,
+# within the test's detection deadline.
+deadlock-smoke:
+	$(GO) test ./internal/lockclient -race -count=1 -timeout 120s -v -run TestDeadlockSmoke
 
 # PASS/FAIL check of every reproduction claim.
 verify:

@@ -19,7 +19,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
-	"repro/internal/telemetry"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -33,9 +33,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text|json")
 		verify   = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
 		benchOut = flag.String("bench-out", "", "write a machine-readable benchmark summary (lock-op costs + per-policy contention sweep) to this file")
-		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
-		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
 	)
+	sf := scenario.AddServeFlags(nil, "lockbench")
 	flag.Parse()
 
 	if *list {
@@ -59,16 +58,7 @@ func main() {
 		return
 	}
 
-	var srv *telemetry.Server
-	if *serve != "" {
-		var err error
-		srv, err = telemetry.Serve(*serve)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockbench:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "lockbench: telemetry on %s\n", srv.URL())
-	}
+	sf.Start()
 
 	if *benchOut != "" {
 		f, err := os.Create(*benchOut)
@@ -95,7 +85,7 @@ func main() {
 	} else {
 		ids = flag.Args()
 	}
-	if len(ids) == 0 && *benchOut == "" && srv == nil {
+	if len(ids) == 0 && *benchOut == "" && !sf.Serving() {
 		fmt.Fprintln(os.Stderr, "lockbench: nothing to run; pass experiment ids, -all, or -list")
 		os.Exit(2)
 	}
@@ -126,11 +116,5 @@ func main() {
 		}
 	}
 
-	if srv != nil {
-		fmt.Fprintf(os.Stderr, "lockbench: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		if err := srv.Linger(*serveFor); err != nil {
-			fmt.Fprintln(os.Stderr, "lockbench: shutdown:", err)
-			os.Exit(1)
-		}
-	}
+	sf.Linger()
 }

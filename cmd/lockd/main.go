@@ -14,6 +14,11 @@
 // With -faults, every accepted connection is wrapped in the
 // fault-injection conn (internal/fault), so the server's own replies are
 // subject to drops, delays, and partitions — chaos testing the clients.
+//
+// SIGQUIT dumps the always-on flight recorder (recent per-lock events)
+// and the wait-for graph in DOT to stderr without stopping the server;
+// the same data is served live on -serve's /debug/flightrec and
+// /debug/waitgraph.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/fault"
 	"repro/internal/lockd"
 	"repro/internal/telemetry"
@@ -89,6 +95,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "lockd: serving locks on %s (lease %v, max %d waiters, %s/%s)\n",
 		srv.Addr(), *lease, *maxWaiters, *policy, *sched)
+
+	// SIGQUIT dumps the always-on flight recorder and the wait-for graph
+	// (DOT) to stderr without stopping the server — the post-incident
+	// "what just happened on every lock" view.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "lockd: SIGQUIT flight-recorder dump:")
+			causal.DefaultFlight.Dump(os.Stderr) //nolint:errcheck // best-effort dump
+			fmt.Fprintln(os.Stderr, "lockd: wait-for graph:")
+			causal.DefaultGraph.WriteDOT(os.Stderr) //nolint:errcheck // best-effort dump
+		}
+	}()
 
 	var tsrv *telemetry.Server
 	if *serve != "" {

@@ -8,6 +8,7 @@
 //	lockstat -json                    # machine-readable report on stdout
 //	lockstat -chrome out.json         # also write a Chrome/Perfetto trace
 //	lockstat -serve :9090             # keep serving live telemetry after the report
+//	lockstat -critical-path           # causal spans + longest serialized chain
 //
 // Open a -chrome file at https://ui.perfetto.dev or chrome://tracing.
 // With -serve, /metrics (Prometheus), /locks (JSON), /watch (SSE) and
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -107,7 +109,8 @@ type report struct {
 		Dropped int64  `json:"dropped"`
 		Summary string `json:"summary"`
 	} `json:"trace"`
-	Telemetry  telemetryReport `json:"telemetry"`
+	Telemetry    telemetryReport    `json:"telemetry"`
+	CriticalPath *causal.PathReport `json:"critical_path,omitempty"`
 	Robustness struct {
 		Aborts            int64                  `json:"aborts"` // conditional acquisitions that timed out
 		Abandonments      int64                  `json:"abandonments"`
@@ -151,11 +154,11 @@ func main() {
 		faults  = flag.String("faults", "", "fault schedule, e.g. 'stall:every=3:us=2000,crash:prob=0.1' ("+fault.SpecGrammar+")")
 		seed    = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
 		holdDl  = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
-		degrade = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
-		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address, e.g. :9090; blocks after the report until interrupted")
-		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
+		degrade  = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
 		name     = flag.String("name", "lockstat", "lock name in the telemetry registry")
+		critPath = flag.Bool("critical-path", false, "record causal spans and report the serialized chain contributing most wall time")
 	)
+	sf := scenario.AddServeFlags(nil, "lockstat")
 	flag.Parse()
 
 	if *n <= 0 || *iters <= 0 || *window <= 0 || *events <= 0 || *cs <= 0 {
@@ -180,15 +183,7 @@ func main() {
 
 	// Start the server before the run so the scenario's sampler-cadence
 	// publishes are scrapeable while the simulation executes.
-	var srv *telemetry.Server
-	if *serve != "" {
-		srv, err = telemetry.Serve(*serve)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lockstat:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "lockstat: telemetry on %s\n", srv.URL())
-	}
+	sf.Start()
 
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
@@ -208,6 +203,7 @@ func main() {
 		HoldDeadline: sim.Us(*holdDl),
 		Degrade:      *degrade,
 		RegisterAs:   *name,
+		Causal:       *critPath,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lockstat:", err)
@@ -233,8 +229,14 @@ func main() {
 		}
 	}
 
+	var crit *causal.PathReport
+	if *critPath && res.CausalRec != nil {
+		crit = causal.AnalyzeCriticalPath(res.CausalRec.Spans())
+	}
+
 	if *jsonOut {
 		doc := buildReport(res, *n, *iters, *policy, *sched, *cs)
+		doc.CriticalPath = crit
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -243,15 +245,13 @@ func main() {
 		}
 	} else {
 		printHuman(res, *n, *iters, *policy, *sched, *cs)
-	}
-
-	if srv != nil {
-		fmt.Fprintf(os.Stderr, "lockstat: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		if err := srv.Linger(*serveFor); err != nil {
-			fmt.Fprintln(os.Stderr, "lockstat: shutdown:", err)
-			os.Exit(1)
+		if crit != nil {
+			fmt.Println()
+			crit.Render(os.Stdout) //nolint:errcheck // stdout
 		}
 	}
+
+	sf.Linger()
 }
 
 func buildReport(res *scenario.Result, n, iters int, policy, sched string, cs float64) report {

@@ -35,10 +35,9 @@ func main() {
 		seed     = flag.Int64("fault-seed", 1, "fault-schedule seed")
 		holdDl   = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off)")
 		degrade  = flag.Bool("degrade", false, "spawn the degrade agent reacting to watchdog trips")
-		serve    = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address; blocks after the run until interrupted")
-		serveFor = flag.Duration("serve-for", 0, "with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
 		name     = flag.String("name", "locktrace", "lock name in the telemetry registry")
 	)
+	sf := scenario.AddServeFlags(nil, "locktrace")
 	flag.Parse()
 
 	if *n <= 0 || *events <= 0 {
@@ -61,15 +60,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	var srv *telemetry.Server
-	if *serve != "" {
-		srv, err = telemetry.Serve(*serve)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "locktrace:", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "locktrace: telemetry on %s\n", srv.URL())
-	}
+	sf.Start()
 
 	res, err := scenario.Run(scenario.Config{
 		Workers:     *n,
@@ -113,13 +104,7 @@ func main() {
 		}
 	}
 
-	if srv != nil {
-		fmt.Fprintf(os.Stderr, "locktrace: serving telemetry on %s; Ctrl-C to exit\n", srv.URL())
-		if err := srv.Linger(*serveFor); err != nil {
-			fmt.Fprintln(os.Stderr, "locktrace: shutdown:", err)
-			os.Exit(1)
-		}
-	}
+	sf.Linger()
 }
 
 // chromeDoc packages the trace for -json, stamping the telemetry

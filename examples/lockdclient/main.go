@@ -1,14 +1,20 @@
 // lockdclient: a worker loop against the network lock service — the
-// client half of the EXPERIMENTS.md chaos walkthrough.
+// client half of the EXPERIMENTS.md chaos and deadlock walkthroughs.
 //
 // It dials a lockd server and loops acquire → hold → release on one
-// named lock, printing every grant's fencing token and flagging
-// recovered grants (the previous owner died holding the lock). Run a
-// few of these against `cmd/lockd`, kill one mid-hold, and watch the
-// server's /metrics recover.
+// named lock, printing every grant's fencing token and causal trace ID
+// and flagging recovered grants (the previous owner died holding the
+// lock). Run a few of these against `cmd/lockd`, kill one mid-hold, and
+// watch the server's /metrics recover.
+//
+// With -then, each iteration acquires a second lock while still holding
+// the first — the ingredient for the EXPERIMENTS.md deadlock
+// walkthrough: three clients with -lock/-then arranged in a ring (A→B,
+// B→C, C→A) close a cycle the server's /debug/waitgraph names.
 //
 //	go run ./examples/lockdclient -addr 127.0.0.1:7700 -client worker-1
 //	go run ./examples/lockdclient -lock orders -hold 200ms -iters 0  # forever
+//	go run ./examples/lockdclient -client a -lock l1 -then l2        # ring member
 package main
 
 import (
@@ -27,10 +33,12 @@ func main() {
 		addr   = flag.String("addr", "127.0.0.1:7700", "lockd server address")
 		client = flag.String("client", "worker", "client name reported to the server")
 		lock   = flag.String("lock", "orders", "lock to contend on")
+		then   = flag.String("then", "", "second lock to acquire while holding the first (deadlock walkthrough)")
 		hold   = flag.Duration("hold", 100*time.Millisecond, "critical-section length")
 		pause  = flag.Duration("pause", 50*time.Millisecond, "idle time between acquisitions")
 		lease  = flag.Duration("lease", 2*time.Second, "session lease")
 		iters  = flag.Int("iters", 50, "acquisitions to perform (0 = run until interrupted)")
+		wait   = flag.Duration("wait", 0, "server-side queue-wait bound per attempt (0 = server default)")
 	)
 	flag.Parse()
 
@@ -42,29 +50,58 @@ func main() {
 	defer c.Close()
 
 	ctx := context.Background()
-	for i := 0; *iters == 0 || i < *iters; i++ {
-		h, err := c.Acquire(ctx, *lock)
+	opts := lockclient.AcquireOptions{Wait: *wait}
+	acquire := func(name string) (*lockclient.Handle, bool) {
+		h, err := c.AcquireWith(ctx, name, opts)
 		if errors.Is(err, lockclient.ErrOverloaded) {
-			fmt.Printf("%s: shed, backing off\n", *client)
-			continue // Acquire already respected the server's retry-after
+			fmt.Printf("%s: shed on %q, backing off\n", *client, name)
+			return nil, true // Acquire already respected the server's retry-after
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockdclient:", err)
 			os.Exit(1)
 		}
 		if h.Recovered {
-			fmt.Printf("%s: token %d on %q RECOVERED from a dead owner\n", *client, h.Token, *lock)
+			fmt.Printf("%s: token %d on %q RECOVERED from a dead owner (trace %s)\n", *client, h.Token, name, h.Trace)
 		} else {
-			fmt.Printf("%s: token %d on %q\n", *client, h.Token, *lock)
+			fmt.Printf("%s: token %d on %q (trace %s)\n", *client, h.Token, name, h.Trace)
+		}
+		return h, false
+	}
+
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		h, shed := acquire(*lock)
+		if shed {
+			continue
+		}
+		var h2 *lockclient.Handle
+		if *then != "" {
+			// Holding the first lock across the second acquisition is what
+			// lets rings of these workers deadlock on purpose.
+			if h2, shed = acquire(*then); shed {
+				if err := c.Release(ctx, h); err != nil {
+					fmt.Fprintln(os.Stderr, "lockdclient:", err)
+					os.Exit(1)
+				}
+				continue
+			}
 		}
 		time.Sleep(*hold)
-		if err := c.Release(ctx, h); err != nil {
-			fmt.Fprintln(os.Stderr, "lockdclient:", err)
-			os.Exit(1)
+		for _, held := range []*lockclient.Handle{h2, h} {
+			if held == nil {
+				continue
+			}
+			if err := c.Release(ctx, held); err != nil {
+				fmt.Fprintln(os.Stderr, "lockdclient:", err)
+				os.Exit(1)
+			}
 		}
 		time.Sleep(*pause)
 	}
 	st := c.Stats()
 	fmt.Printf("%s: done: %d reconnects, %d retries, %d sheds, %d heartbeats\n",
 		*client, st.Reconnects, st.Retries, st.Sheds, st.Heartbeats)
+	for l, tok := range st.Tokens {
+		fmt.Printf("%s: last token on %q: %d\n", *client, l, tok)
+	}
 }

@@ -1,0 +1,130 @@
+package causal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// This file stitches causal spans into the Chrome trace-event format the
+// repo already exports (internal/trace): each span becomes a duration
+// event ("X") carrying its trace/span IDs as args, and every
+// parent→child link whose two ends are both present becomes a flow
+// event pair ("s"/"f") — including links that cross process boundaries,
+// which is how one trace is seen spanning lockclient backoff and lockd
+// queue wait in a single viewer timeline.
+
+// ChromePart is one process-worth of spans in a merged export. Label
+// names the process row in the viewer ("lockclient", "lockd").
+type ChromePart struct {
+	Label string
+	Spans []Span
+}
+
+// ChromeSpans merges one or more parts into a single ChromeFile. Each
+// part gets its own pid (and a process_name metadata record); actors
+// map to tids within their part.
+func ChromeSpans(parts ...ChromePart) trace.ChromeFile {
+	var out []trace.ChromeEvent
+
+	type site struct {
+		pid, tid int
+		ts       float64
+		actor    string
+	}
+	starts := make(map[SpanID]site) // span id -> where it begins, for flow stitching
+	type link struct {
+		parent, child SpanID
+	}
+	var links []link
+
+	for pi, part := range parts {
+		pid := pi + 1
+		out = append(out, trace.ChromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": part.Label},
+		})
+		tids := map[string]int{}
+		tidOf := func(actor string) int {
+			if id, ok := tids[actor]; ok {
+				return id
+			}
+			id := len(tids) + 1
+			tids[actor] = id
+			out = append(out, trace.ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: id,
+				Args: map[string]string{"name": actor},
+			})
+			return id
+		}
+		spans := append([]Span(nil), part.Spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for _, s := range spans {
+			tid := tidOf(s.Actor)
+			ts := float64(s.Start) / 1e3 // ns -> us
+			dur := float64(s.Dur()) / 1e3
+			args := map[string]string{
+				"trace": s.Trace.String(),
+				"span":  s.ID.String(),
+			}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent.String()
+			}
+			if s.Object != "" {
+				args["object"] = s.Object
+			}
+			if s.Actor != "" {
+				args["actor"] = s.Actor
+			}
+			for k, v := range s.Attrs {
+				args[k] = v
+			}
+			name := s.Name
+			if s.Object != "" {
+				name = s.Name + " " + s.Object
+			}
+			out = append(out, trace.ChromeEvent{
+				Name: name, Cat: "causal", Ph: "X",
+				Ts: ts, Dur: dur, Pid: pid, Tid: tid, Args: args,
+			})
+			starts[s.ID] = site{pid: pid, tid: tid, ts: ts, actor: s.Actor}
+			if s.Parent != 0 {
+				links = append(links, link{parent: s.Parent, child: s.ID})
+			}
+		}
+	}
+
+	// Flow events for parent→child links with both ends recorded. The
+	// arrow starts at the parent span's start site and finishes at the
+	// child's; IDs are unique per link.
+	for _, l := range links {
+		p, ok := starts[l.parent]
+		if !ok {
+			continue
+		}
+		c := starts[l.child]
+		id := fmt.Sprintf("causal-%s-%s", l.parent, l.child)
+		out = append(out,
+			trace.ChromeEvent{Name: "causal", Cat: "causal-flow", Ph: "s", Ts: p.ts, Pid: p.pid, Tid: p.tid, ID: id},
+			trace.ChromeEvent{Name: "causal", Cat: "causal-flow", Ph: "f", BP: "e", Ts: c.ts, Pid: c.pid, Tid: c.tid, ID: id})
+	}
+
+	if out == nil {
+		out = []trace.ChromeEvent{}
+	}
+	return trace.ChromeFile{TraceEvents: out, DisplayTimeUnit: "ms"}
+}
+
+// ChromeEvents converts one recorder's spans to raw events for merging
+// into an existing export (locktrace appends these to the simulator's
+// timeline file).
+func ChromeEvents(spans []Span, pid int) []trace.ChromeEvent {
+	file := ChromeSpans(ChromePart{Label: "causal", Spans: spans})
+	out := make([]trace.ChromeEvent, 0, len(file.TraceEvents))
+	for _, e := range file.TraceEvents {
+		e.Pid = pid
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package causal
+
+import "testing"
+
+func TestChromeSpansFlowAcrossParts(t *testing.T) {
+	// A client-side root span and a server-side child continuing the
+	// same trace — the cross-process shape the lockd wire produces.
+	tr := TraceID(0xabc)
+	root := SpanID(0x1)
+	child := SpanID(0x2)
+	file := ChromeSpans(
+		ChromePart{Label: "lockclient", Spans: []Span{
+			{Trace: tr, ID: root, Name: "acquire", Actor: "worker", Object: "orders", Start: 0, End: 5000},
+		}},
+		ChromePart{Label: "lockd", Spans: []Span{
+			{Trace: tr, ID: child, Parent: root, Name: "queue-wait", Actor: "worker", Object: "orders", Start: 1000, End: 4000},
+		}},
+	)
+
+	pidsWithTrace := map[int]bool{}
+	var flowS, flowF int
+	var procNames []string
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Args["trace"] == tr.String() {
+				pidsWithTrace[e.Pid] = true
+			}
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		case "M":
+			if e.Name == "process_name" {
+				procNames = append(procNames, e.Args["name"])
+			}
+		}
+	}
+	if len(pidsWithTrace) != 2 {
+		t.Fatalf("trace %s present in %d pids, want 2 (both processes)", tr, len(pidsWithTrace))
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Fatalf("flow events s=%d f=%d, want 1/1", flowS, flowF)
+	}
+	if len(procNames) != 2 || procNames[0] != "lockclient" || procNames[1] != "lockd" {
+		t.Fatalf("process names = %v", procNames)
+	}
+}
+
+func TestChromeSpansDanglingParentNoFlow(t *testing.T) {
+	file := ChromeSpans(ChromePart{Label: "p", Spans: []Span{
+		{Trace: 1, ID: 2, Parent: 99, Name: "hold", Actor: "a", Object: "l", Start: 0, End: 10},
+	}})
+	for _, e := range file.TraceEvents {
+		if e.Ph == "s" || e.Ph == "f" {
+			t.Fatalf("flow emitted for dangling parent: %+v", e)
+		}
+	}
+}
+
+func TestChromeEventsRePid(t *testing.T) {
+	evs := ChromeEvents([]Span{{Trace: 1, ID: 2, Name: "hold", Actor: "a", Object: "l", Start: 0, End: 10}}, 7)
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	for _, e := range evs {
+		if e.Pid != 7 {
+			t.Fatalf("event pid = %d, want 7", e.Pid)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package causal
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Critical-path analysis over recorded spans, in the spirit of
+// Brandenburg's blocking-chain analysis: the object of interest is the
+// longest chain of serialized holds — holder B could only start because
+// holder A released, B's waiter was blocked across A's release — and
+// how much wall time that chain consumed. lockstat -critical-path
+// renders the result per lock and per site (actor).
+
+// PathLink is one hold on the critical chain, with the wait that
+// preceded it.
+type PathLink struct {
+	Actor  string `json:"actor"`
+	Object string `json:"object"`
+	WaitNs int64  `json:"wait_ns"` // time blocked before this hold (0 uncontended)
+	HoldNs int64  `json:"hold_ns"`
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+}
+
+// Contrib aggregates serialized time attributed to one lock or one
+// actor across the whole span set (not just the winning chain).
+type Contrib struct {
+	Name   string `json:"name"`
+	HoldNs int64  `json:"hold_ns"`
+	WaitNs int64  `json:"wait_ns"`
+	Holds  int64  `json:"holds"`
+}
+
+// PathReport is the result of AnalyzeCriticalPath.
+type PathReport struct {
+	Links        []PathLink `json:"links"` // the winning chain, in time order
+	SerializedNs int64      `json:"serialized_ns"`
+	HoldNs       int64      `json:"hold_ns"`
+	WaitNs       int64      `json:"wait_ns"`
+	PerLock      []Contrib  `json:"per_lock"`
+	PerSite      []Contrib  `json:"per_site"`
+	Spans        int        `json:"spans"` // inputs considered
+}
+
+// isWait reports whether a span represents blocked time before a hold.
+func isWait(name string) bool { return name == "wait" || name == "queue-wait" }
+
+// AnalyzeCriticalPath finds, per lock, the longest chain of serialized
+// holds and returns the overall winner plus per-lock / per-site
+// serialized-time totals.
+//
+// Two holds h1 → h2 on the same lock are chained when h2's holder was
+// already waiting before h1 released (its wait span overlaps h1's hold
+// end) — exactly the "blocking chain" relation: h2 could not start
+// until h1 finished. Chain score is the sum of hold and wait time along
+// the chain.
+func AnalyzeCriticalPath(spans []Span) *PathReport {
+	rep := &PathReport{Spans: len(spans)}
+
+	type holdRec struct {
+		span Span
+		wait *Span // matched wait by (object, actor, trace) or adjacency
+	}
+	holdsByLock := make(map[string][]holdRec)
+	waitByTrace := make(map[TraceID][]Span)
+	var waits []Span
+	for _, s := range spans {
+		switch {
+		case s.Name == "hold":
+			holdsByLock[s.Object] = append(holdsByLock[s.Object], holdRec{span: s})
+		case isWait(s.Name):
+			waits = append(waits, s)
+			if s.Trace != 0 {
+				waitByTrace[s.Trace] = append(waitByTrace[s.Trace], s)
+			}
+		}
+	}
+
+	// Match each hold to its preceding wait: same trace first (the
+	// lifecycle spans share one), else the latest wait by the same
+	// actor on the same object ending no later than just after the
+	// hold began.
+	for lock, holds := range holdsByLock {
+		for i := range holds {
+			h := &holds[i]
+			for j := range waitByTrace[h.span.Trace] {
+				w := &waitByTrace[h.span.Trace][j]
+				if w.Object == h.span.Object && w.Actor == h.span.Actor {
+					h.wait = w
+					break
+				}
+			}
+			if h.wait == nil {
+				var best *Span
+				for j := range waits {
+					w := &waits[j]
+					if w.Object != lock || w.Actor != h.span.Actor {
+						continue
+					}
+					if w.Start <= h.span.Start && (best == nil || w.Start > best.Start) {
+						best = w
+					}
+				}
+				h.wait = best
+			}
+		}
+	}
+
+	// Aggregate per-lock and per-site serialized time over all holds.
+	lockAgg := make(map[string]*Contrib)
+	siteAgg := make(map[string]*Contrib)
+	agg := func(m map[string]*Contrib, name string) *Contrib {
+		c := m[name]
+		if c == nil {
+			c = &Contrib{Name: name}
+			m[name] = c
+		}
+		return c
+	}
+	for lock, holds := range holdsByLock {
+		for _, h := range holds {
+			lc := agg(lockAgg, lock)
+			sc := agg(siteAgg, h.span.Actor)
+			lc.HoldNs += h.span.Dur()
+			sc.HoldNs += h.span.Dur()
+			lc.Holds++
+			sc.Holds++
+			if h.wait != nil {
+				lc.WaitNs += h.wait.Dur()
+				sc.WaitNs += h.wait.Dur()
+			}
+		}
+	}
+
+	// Longest serialized chain per lock via DP over holds sorted by
+	// start time; keep the global winner.
+	for _, holds := range holdsByLock {
+		sort.Slice(holds, func(i, j int) bool { return holds[i].span.Start < holds[j].span.Start })
+		n := len(holds)
+		score := make([]int64, n)
+		prev := make([]int, n)
+		for i := range holds {
+			h := holds[i]
+			own := h.span.Dur()
+			if h.wait != nil {
+				own += h.wait.Dur()
+			}
+			score[i] = own
+			prev[i] = -1
+			for j := 0; j < i; j++ {
+				hj := holds[j]
+				if hj.span.End > h.span.Start {
+					continue // overlapping holds are not serialized
+				}
+				// Chained only if i's waiter was blocked across j's
+				// release (or i started essentially at j's release when
+				// no wait span was matched).
+				linked := false
+				if h.wait != nil {
+					linked = h.wait.Start <= hj.span.End && h.wait.End >= hj.span.End
+				} else {
+					linked = h.span.Start-hj.span.End <= 0
+				}
+				if linked && score[j]+own > score[i] {
+					score[i] = score[j] + own
+					prev[i] = j
+				}
+			}
+		}
+		bi, best := -1, int64(-1)
+		for i := range score {
+			if score[i] > best {
+				best, bi = score[i], i
+			}
+		}
+		if bi < 0 || best <= rep.SerializedNs {
+			continue
+		}
+		var chain []PathLink
+		for i := bi; i >= 0; i = prev[i] {
+			h := holds[i]
+			link := PathLink{
+				Actor:  h.span.Actor,
+				Object: h.span.Object,
+				HoldNs: h.span.Dur(),
+				Start:  h.span.Start,
+				End:    h.span.End,
+			}
+			if h.wait != nil {
+				link.WaitNs = h.wait.Dur()
+			}
+			chain = append(chain, link)
+		}
+		// Reverse into time order.
+		for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+			chain[i], chain[j] = chain[j], chain[i]
+		}
+		rep.Links = chain
+		rep.SerializedNs = best
+	}
+	for _, l := range rep.Links {
+		rep.HoldNs += l.HoldNs
+		rep.WaitNs += l.WaitNs
+	}
+
+	for _, c := range lockAgg {
+		rep.PerLock = append(rep.PerLock, *c)
+	}
+	for _, c := range siteAgg {
+		rep.PerSite = append(rep.PerSite, *c)
+	}
+	sort.Slice(rep.PerLock, func(i, j int) bool {
+		return rep.PerLock[i].HoldNs+rep.PerLock[i].WaitNs > rep.PerLock[j].HoldNs+rep.PerLock[j].WaitNs
+	})
+	sort.Slice(rep.PerSite, func(i, j int) bool {
+		return rep.PerSite[i].HoldNs+rep.PerSite[i].WaitNs > rep.PerSite[j].HoldNs+rep.PerSite[j].WaitNs
+	})
+	return rep
+}
+
+// Render writes the report in the lockstat human format.
+func (r *PathReport) Render(w io.Writer) error {
+	if r == nil || len(r.Links) == 0 {
+		_, err := fmt.Fprintln(w, "critical path: no hold spans recorded")
+		return err
+	}
+	object := r.Links[0].Object
+	if _, err := fmt.Fprintf(w, "critical path (lock %q): %d links, %s serialized (%s hold + %s wait)\n",
+		object, len(r.Links), fmtNs(r.SerializedNs), fmtNs(r.HoldNs), fmtNs(r.WaitNs)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %3s  %-20s %12s %12s %16s\n", "#", "actor", "wait", "hold", "start_ns")
+	for i, l := range r.Links {
+		fmt.Fprintf(w, "  %3d  %-20s %12s %12s %16d\n", i+1, l.Actor, fmtNs(l.WaitNs), fmtNs(l.HoldNs), l.Start)
+	}
+	fmt.Fprintln(w, "per lock (all spans):")
+	for _, c := range r.PerLock {
+		fmt.Fprintf(w, "  %-20s %4d holds  %12s held  %12s waited\n", c.Name, c.Holds, fmtNs(c.HoldNs), fmtNs(c.WaitNs))
+	}
+	fmt.Fprintln(w, "per site (all spans):")
+	for _, c := range r.PerSite {
+		fmt.Fprintf(w, "  %-20s %4d holds  %12s held  %12s waited\n", c.Name, c.Holds, fmtNs(c.HoldNs), fmtNs(c.WaitNs))
+	}
+	return nil
+}
+
+// fmtNs renders nanoseconds with an adaptive unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,93 @@
+package causal
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainSpans builds three serialized holds on one lock: A holds 0-100,
+// B waits 50-100 then holds 100-250, C waits 200-250 then holds
+// 250-300. The critical path is A→B→C.
+func chainSpans() []Span {
+	return []Span{
+		{Trace: 1, ID: 10, Name: "hold", Actor: "A", Object: "l1", Start: 0, End: 100},
+		{Trace: 2, ID: 20, Name: "wait", Actor: "B", Object: "l1", Start: 50, End: 100},
+		{Trace: 2, ID: 21, Parent: 20, Name: "hold", Actor: "B", Object: "l1", Start: 100, End: 250},
+		{Trace: 3, ID: 30, Name: "queue-wait", Actor: "C", Object: "l1", Start: 200, End: 250},
+		{Trace: 3, ID: 31, Parent: 30, Name: "hold", Actor: "C", Object: "l1", Start: 250, End: 300},
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	rep := AnalyzeCriticalPath(chainSpans())
+	if len(rep.Links) != 3 {
+		t.Fatalf("links = %d, want 3: %+v", len(rep.Links), rep.Links)
+	}
+	order := []string{"A", "B", "C"}
+	for i, l := range rep.Links {
+		if l.Actor != order[i] {
+			t.Fatalf("link %d actor = %s, want %s", i, l.Actor, order[i])
+		}
+	}
+	// hold 100+150+50 = 300, wait 0+50+50 = 100.
+	if rep.HoldNs != 300 || rep.WaitNs != 100 || rep.SerializedNs != 400 {
+		t.Fatalf("hold=%d wait=%d serialized=%d, want 300/100/400", rep.HoldNs, rep.WaitNs, rep.SerializedNs)
+	}
+	if len(rep.PerLock) != 1 || rep.PerLock[0].Name != "l1" || rep.PerLock[0].Holds != 3 {
+		t.Fatalf("per-lock = %+v", rep.PerLock)
+	}
+	if len(rep.PerSite) != 3 {
+		t.Fatalf("per-site = %+v", rep.PerSite)
+	}
+}
+
+func TestCriticalPathPicksBusiestLock(t *testing.T) {
+	spans := chainSpans()
+	// A second lock with one short uncontended hold must not win.
+	spans = append(spans, Span{Trace: 9, ID: 90, Name: "hold", Actor: "Z", Object: "l2", Start: 0, End: 10})
+	rep := AnalyzeCriticalPath(spans)
+	if len(rep.Links) != 3 || rep.Links[0].Object != "l1" {
+		t.Fatalf("winner = %+v, want the l1 chain", rep.Links)
+	}
+	if len(rep.PerLock) != 2 || rep.PerLock[0].Name != "l1" {
+		t.Fatalf("per-lock not sorted by serialized time: %+v", rep.PerLock)
+	}
+}
+
+func TestCriticalPathOverlappingHoldsNotChained(t *testing.T) {
+	// Two overlapping holds (reader-writer style) are not serialized.
+	rep := AnalyzeCriticalPath([]Span{
+		{Trace: 1, ID: 1, Name: "hold", Actor: "A", Object: "l", Start: 0, End: 100},
+		{Trace: 2, ID: 2, Name: "hold", Actor: "B", Object: "l", Start: 50, End: 150},
+	})
+	if len(rep.Links) != 1 {
+		t.Fatalf("links = %d, want 1 (no chain through overlap)", len(rep.Links))
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	rep := AnalyzeCriticalPath(nil)
+	if len(rep.Links) != 0 || rep.SerializedNs != 0 {
+		t.Fatalf("empty input produced %+v", rep)
+	}
+	var b strings.Builder
+	if err := rep.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no hold spans") {
+		t.Fatalf("empty render: %q", b.String())
+	}
+}
+
+func TestCriticalPathRender(t *testing.T) {
+	var b strings.Builder
+	if err := AnalyzeCriticalPath(chainSpans()).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`critical path (lock "l1")`, "3 links", "per lock", "per site", "A", "B", "C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

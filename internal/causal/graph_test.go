@@ -1,0 +1,159 @@
+package causal
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphABBACycle(t *testing.T) {
+	g := NewGraph()
+	// A holds l1, B holds l2.
+	g.SetHolder("l1", "A")
+	g.SetHolder("l2", "B")
+	if n := g.DeadlockSuspected(); n != 0 {
+		t.Fatalf("suspected = %d before any waits", n)
+	}
+	// A waits for l2: no cycle yet.
+	g.AddWait("A", "l2")
+	if n := g.DeadlockSuspected(); n != 0 {
+		t.Fatalf("suspected = %d with a single wait", n)
+	}
+	// B waits for l1: ABBA closes.
+	g.AddWait("B", "l1")
+	if n := g.DeadlockSuspected(); n != 1 {
+		t.Fatalf("suspected = %d, want 1", n)
+	}
+	cycles := g.Cycles()
+	if len(cycles) != 1 || len(cycles[0]) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if cycles[0][0] != "A" { // canonical rotation: smallest member leads
+		t.Fatalf("cycle not canonical: %v", cycles[0])
+	}
+	snap := g.Snapshot()
+	if snap.Suspected != 1 || len(snap.Recent) != 1 {
+		t.Fatalf("snapshot: suspected=%d recent=%d", snap.Suspected, len(snap.Recent))
+	}
+	rec := snap.Recent[0]
+	if len(rec.Locks) != 2 || rec.Locks[0] != "l1" || rec.Locks[1] != "l2" {
+		t.Fatalf("cycle locks = %v, want [l1 l2]", rec.Locks)
+	}
+}
+
+func TestGraphCyclePersistsCountsOnce(t *testing.T) {
+	g := NewGraph()
+	g.SetHolder("l1", "A")
+	g.SetHolder("l2", "B")
+	g.AddWait("A", "l2")
+	g.AddWait("B", "l1")
+	// Unrelated mutations while the cycle stays closed must not
+	// re-charge the counter.
+	g.SetHolder("l3", "C")
+	g.AddWait("C", "l1")
+	g.RemoveWait("C", "l1")
+	if n := g.DeadlockSuspected(); n != 1 {
+		t.Fatalf("suspected = %d, want 1 (cycle persisted)", n)
+	}
+	// Breaking and re-closing the same cycle is a fresh suspicion.
+	g.RemoveWait("B", "l1")
+	if n := g.ActiveCycles(); n != 0 {
+		t.Fatalf("active cycles = %d after break", n)
+	}
+	g.AddWait("B", "l1")
+	if n := g.DeadlockSuspected(); n != 2 {
+		t.Fatalf("suspected = %d, want 2 after re-closing", n)
+	}
+}
+
+func TestGraphThreeCycle(t *testing.T) {
+	g := NewGraph()
+	g.SetHolder("la", "a")
+	g.SetHolder("lb", "b")
+	g.SetHolder("lc", "c")
+	g.AddWait("a", "lb")
+	g.AddWait("b", "lc")
+	g.AddWait("c", "la")
+	if n := g.DeadlockSuspected(); n != 1 {
+		t.Fatalf("suspected = %d, want 1", n)
+	}
+	cyc := g.Cycles()
+	if len(cyc) != 1 || len(cyc[0]) != 3 {
+		t.Fatalf("cycles = %v, want one 3-cycle", cyc)
+	}
+	want := []string{"a", "b", "c"}
+	for i, m := range cyc[0] {
+		if m != want[i] {
+			t.Fatalf("cycle = %v, want %v", cyc[0], want)
+		}
+	}
+}
+
+func TestGraphGrantOrderingNoSelfCycle(t *testing.T) {
+	g := NewGraph()
+	g.SetHolder("l1", "A")
+	g.AddWait("B", "l1")
+	// Grant to B with the RemoveWait-before-SetHolder ordering the
+	// trackers use; no transient self-cycle may be charged.
+	g.RemoveWait("B", "l1")
+	g.SetHolder("l1", "B")
+	if n := g.DeadlockSuspected(); n != 0 {
+		t.Fatalf("suspected = %d after clean grant", n)
+	}
+}
+
+func TestGraphEdgesHeldCounts(t *testing.T) {
+	g := NewGraph()
+	g.SetHolder("l1", "A")
+	g.AddWait("B", "l1")
+	g.AddWait("C", "l1")
+	if g.Edges() != 2 || g.Held() != 1 {
+		t.Fatalf("edges=%d held=%d", g.Edges(), g.Held())
+	}
+	g.Reset()
+	if g.Edges() != 0 || g.Held() != 0 || g.DeadlockSuspected() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestGraphDOT(t *testing.T) {
+	g := NewGraph()
+	g.SetHolder("l1", "A")
+	g.SetHolder("l2", "B")
+	g.AddWait("A", "l2")
+	g.AddWait("B", "l1")
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{
+		"digraph waitfor",
+		`"actor:A"`, `"actor:B"`, `"lock:l1"`, `"lock:l2"`,
+		"color=red", // cycle members highlighted
+		`label="waits"`, `label="held by"`,
+		"deadlock_suspected=1",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestGraphNilSafe(t *testing.T) {
+	var g *Graph
+	g.AddWait("a", "l")
+	g.RemoveWait("a", "l")
+	g.SetHolder("l", "a")
+	g.Reset()
+	if g.DeadlockSuspected() != 0 || g.Edges() != 0 || g.Held() != 0 || g.ActiveCycles() != 0 {
+		t.Fatal("nil graph not inert")
+	}
+	if g.Cycles() != nil {
+		t.Fatal("nil graph Cycles not nil")
+	}
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Snapshot()
+}

@@ -160,6 +160,7 @@ type Lock struct {
 	tracer   *trace.Tracer   // nil unless SetTracer was called
 	label    string          // object name used in trace events
 	observer LatencyObserver // nil unless SetLatencyObserver was called
+	causal   CausalObserver  // nil unless SetCausalObserver was called
 
 	// Robustness machinery (see robust.go).
 	injector         FaultInjector       // nil unless SetFaultInjector was called
@@ -203,6 +204,28 @@ type LatencyObserver interface {
 
 // SetLatencyObserver attaches a latency observer. Pass nil to detach.
 func (l *Lock) SetLatencyObserver(o LatencyObserver) { l.observer = o }
+
+// CausalObserver receives ownership and wait transitions from the lock's
+// hot paths so the causal layer (internal/causal.SimTracker) can build
+// acquisition spans and maintain the process-wide wait-for graph. Like
+// LatencyObserver, calls charge no simulated time and must not call back
+// into the lock. Every LockWait is eventually paired with exactly one
+// LockWaitDone; LockOwner fires at every ownership change (actor "" =
+// freed).
+type CausalObserver interface {
+	// LockWait: actor failed the fast path and entered the waiting
+	// policy; holder names the owner at registration ("" if racing a
+	// release).
+	LockWait(at sim.Time, actor, holder string)
+	// LockWaitDone: the wait ended — acquired=false means a conditional
+	// acquisition was abandoned.
+	LockWaitDone(at sim.Time, actor string, acquired bool)
+	// LockOwner: ownership changed hands ("" = the lock is now free).
+	LockOwner(at sim.Time, actor string)
+}
+
+// SetCausalObserver attaches a causal observer. Pass nil to detach.
+func (l *Lock) SetCausalObserver(o CausalObserver) { l.causal = o }
 
 // emit records a trace event if tracing is enabled.
 func (l *Lock) emit(at sim.Time, k trace.Kind, actor, detail string) {
@@ -356,6 +379,13 @@ func (l *Lock) acquire(t *cthread.Thread, deadline sim.Time) bool {
 		l.mon.maxQueue = len(l.queue)
 	}
 	l.mon.contended++
+	if l.causal != nil {
+		holder := ""
+		if l.ownerT != nil {
+			holder = l.ownerT.Name()
+		}
+		l.causal.LockWait(t.Now(), t.Name(), holder)
+	}
 	l.unlockGuard(t)
 	l.injectWaiterPreempt(t)
 	return l.wait(t, e)
@@ -478,6 +508,9 @@ func (l *Lock) granted(t *cthread.Thread, e *entry) bool {
 		l.observer.ObserveWait(sim.Duration(t.Now() - e.regAt))
 		l.observer.ObserveIdle(sim.Duration(t.Now() - l.mon.idleStart))
 	}
+	if l.causal != nil {
+		l.causal.LockWaitDone(t.Now(), t.Name(), true)
+	}
 	l.emit(t.Now(), trace.LockAcquire, t.Name(), fmt.Sprintf("waited %v", sim.Duration(t.Now()-e.regAt)))
 	l.injectHolderStall(t)
 	return true
@@ -506,6 +539,9 @@ func (l *Lock) abandonLocked(t *cthread.Thread, e *entry) bool {
 	t.Compute(l.costs.QueueOp)
 	l.mon.failures++
 	l.unlockGuard(t)
+	if l.causal != nil {
+		l.causal.LockWaitDone(t.Now(), t.Name(), false)
+	}
 	l.emit(t.Now(), trace.LockTimeout, t.Name(), "conditional acquisition abandoned")
 	return false
 }

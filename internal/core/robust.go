@@ -109,13 +109,21 @@ func (l *Lock) HoldDeadline() sim.Duration { return l.holdDeadline }
 // to degrade to a safe policy when holders misbehave.
 func (l *Lock) SetWatchdogFunc(fn func(WatchdogEvent)) { l.onWatchdog = fn }
 
-// setOwner records an ownership change: owner bookkeeping plus watchdog
-// re-arming. t is nil when the lock becomes free.
+// setOwner records an ownership change: owner bookkeeping, watchdog
+// re-arming, and the causal ownership hook. t is nil when the lock
+// becomes free.
 func (l *Lock) setOwner(t *cthread.Thread) {
 	l.ownerT = t
 	l.holdSeq++
 	if t != nil {
 		l.armWatchdog()
+	}
+	if l.causal != nil {
+		name := ""
+		if t != nil {
+			name = t.Name()
+		}
+		l.causal.LockOwner(l.m.Eng.Now(), name)
 	}
 }
 

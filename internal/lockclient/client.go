@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/lockd"
 )
 
@@ -69,6 +70,14 @@ type Options struct {
 	// Seed seeds the backoff jitter stream (same seed, same jitter
 	// sequence). Default 1.
 	Seed int64
+	// Recorder receives the client-side causal spans of every
+	// acquisition (the "acquire" root, per-attempt "rpc" spans, and
+	// "backoff" gaps). Nil uses causal.Default; NoTrace disables span
+	// emission entirely.
+	Recorder *causal.Recorder
+	// NoTrace suppresses causal tracing: no spans are recorded and no
+	// trace context is sent on the wire.
+	NoTrace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +96,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Recorder == nil {
+		o.Recorder = causal.Default
+	}
 	return o
 }
 
@@ -100,6 +112,10 @@ type Stats struct {
 	Sheds int64
 	// Heartbeats counts successful keepalives.
 	Heartbeats int64
+	// Tokens maps each lock this client has acquired to the last fencing
+	// token it observed for it (the grant's token, kept after release so
+	// post-mortem checks can compare against downstream writes).
+	Tokens map[string]uint64
 }
 
 // Client is a lockd session. All methods are safe for concurrent use.
@@ -122,6 +138,9 @@ type Client struct {
 	hbStop chan struct{}
 	hbDone chan struct{}
 
+	tokMu  sync.Mutex
+	tokens map[string]uint64 // lock -> last observed fencing token
+
 	reconnects atomic.Int64
 	retries    atomic.Int64
 	sheds      atomic.Int64
@@ -137,6 +156,13 @@ type Handle struct {
 	// Recovered marks a grant inherited from a dead owner: the state the
 	// lock protects may be mid-update and should be repaired before use.
 	Recovered bool
+	// Trace is the causal trace ID of the acquisition; the server's
+	// queue-wait and hold spans carry the same ID, so one trace covers
+	// the acquisition across both processes. Zero when tracing is off.
+	Trace causal.TraceID
+	// ServerSpan is the server-side queue-wait span ID echoed on the
+	// grant (zero if the server predates trace propagation).
+	ServerSpan causal.SpanID
 }
 
 // Dial connects, opens a session, and starts the heartbeat loop.
@@ -183,14 +209,45 @@ func (c *Client) Lease() time.Duration {
 	return c.lease
 }
 
-// Stats snapshots the robustness counters.
+// Stats snapshots the robustness counters and the last-observed fencing
+// tokens.
 func (c *Client) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Reconnects: c.reconnects.Load(),
 		Retries:    c.retries.Load(),
 		Sheds:      c.sheds.Load(),
 		Heartbeats: c.heartbeats.Load(),
 	}
+	c.tokMu.Lock()
+	if len(c.tokens) > 0 {
+		st.Tokens = make(map[string]uint64, len(c.tokens))
+		for l, t := range c.tokens {
+			st.Tokens[l] = t
+		}
+	}
+	c.tokMu.Unlock()
+	return st
+}
+
+// LastToken reports the last fencing token this client observed for the
+// named lock (ok false if it never acquired it). The token survives
+// release, so a caller can still fence trailing writes after letting the
+// lock go.
+func (c *Client) LastToken(lock string) (token uint64, ok bool) {
+	c.tokMu.Lock()
+	defer c.tokMu.Unlock()
+	token, ok = c.tokens[lock]
+	return token, ok
+}
+
+// noteToken records the freshest fencing token observed for a lock.
+func (c *Client) noteToken(lock string, token uint64) {
+	c.tokMu.Lock()
+	if c.tokens == nil {
+		c.tokens = make(map[string]uint64)
+	}
+	c.tokens[lock] = token
+	c.tokMu.Unlock()
 }
 
 // Close ends the session (best effort bye) and releases resources.
@@ -379,25 +436,117 @@ func (c *Client) Acquire(ctx context.Context, lock string) (*Handle, error) {
 	return c.AcquireWith(ctx, lock, AcquireOptions{})
 }
 
+// actor names this client in causal spans, matching the server's actor
+// naming for the session so cross-process graph and span views agree.
+func (c *Client) actor() string {
+	if c.o.Client != "" {
+		return c.o.Client
+	}
+	return fmt.Sprintf("session-%d", c.Session())
+}
+
+// acqTrace is the client-side causal context of one acquisition: the
+// trace every span joins and the root "acquire" span the attempts and
+// the server-side queue-wait parent on.
+type acqTrace struct {
+	c     *Client
+	lock  string
+	trace causal.TraceID
+	root  causal.SpanID
+	start int64
+}
+
+func (c *Client) newAcqTrace(lock string) *acqTrace {
+	if c.o.NoTrace {
+		return nil
+	}
+	return &acqTrace{
+		c: c, lock: lock,
+		trace: causal.NewTraceID(), root: causal.NewSpanID(),
+		start: time.Now().UnixNano(),
+	}
+}
+
+// child records one child span (an "rpc" attempt or a "backoff" gap)
+// under the root. Nil-safe (tracing off).
+func (t *acqTrace) child(name string, start int64, attrs map[string]string) {
+	if t == nil {
+		return
+	}
+	t.c.o.Recorder.Record(causal.Span{
+		Trace: t.trace, ID: causal.NewSpanID(), Parent: t.root, Name: name,
+		Actor: t.c.actor(), Object: t.lock,
+		Start: start, End: time.Now().UnixNano(), Attrs: attrs,
+	})
+}
+
+// finish closes the root span and stamps the handle with the trace.
+// Nil-safe (tracing off).
+func (t *acqTrace) finish(h *Handle, err error) {
+	if t == nil {
+		return
+	}
+	attrs := map[string]string{"outcome": "acquired"}
+	switch {
+	case err != nil:
+		attrs["outcome"] = "failed"
+		attrs["error"] = err.Error()
+	case h != nil:
+		attrs["token"] = fmt.Sprintf("%d", h.Token)
+		h.Trace = t.trace
+		if h.ServerSpan != 0 {
+			attrs["server_span"] = h.ServerSpan.String()
+		}
+	}
+	t.c.o.Recorder.Record(causal.Span{
+		Trace: t.trace, ID: t.root, Name: "acquire",
+		Actor: t.c.actor(), Object: t.lock,
+		Start: t.start, End: time.Now().UnixNano(), Attrs: attrs,
+	})
+}
+
 // AcquireWith is Acquire with per-acquisition options.
 func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptions) (*Handle, error) {
+	tc := c.newAcqTrace(lock)
+	h, err := c.acquireAttempts(ctx, lock, opts, tc)
+	tc.finish(h, err)
+	return h, err
+}
+
+// acquireAttempts runs the retry loop; tc (nil = tracing off) supplies
+// the trace context injected into each wire request.
+func (c *Client) acquireAttempts(ctx context.Context, lock string, opts AcquireOptions, tc *acqTrace) (*Handle, error) {
 	var last error
 	for attempt := 1; attempt <= c.o.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			c.retries.Add(1)
 		}
-		resp, err := c.roundTrip(ctx, lockd.Request{
+		req := lockd.Request{
 			Op:       lockd.OpAcquire,
 			Lock:     lock,
 			WaitMs:   opts.Wait.Milliseconds(),
 			WaitHint: opts.Hint,
 			Prio:     opts.Prio,
 			Attempt:  attempt,
-		})
+		}
+		if tc != nil {
+			req.TraceID = tc.trace.String()
+			req.ParentSpan = tc.root.String()
+		}
+		rpcStart := time.Now().UnixNano()
+		resp, err := c.roundTrip(ctx, req)
+		rpcAttrs := map[string]string{"attempt": fmt.Sprintf("%d", attempt)}
+		switch {
+		case err != nil:
+			rpcAttrs["error"] = err.Error()
+		case !resp.OK:
+			rpcAttrs["code"] = resp.Code
+		}
+		tc.child("rpc", rpcStart, rpcAttrs)
 		if err != nil {
 			if errors.Is(err, ErrConnLost) {
 				last = err
-				if err := c.sleep(ctx, c.bo.next()); err != nil {
+				if err := c.backoffSleep(ctx, c.bo.next(), tc); err != nil {
 					return nil, err
 				}
 				continue
@@ -406,7 +555,11 @@ func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptio
 		}
 		if resp.OK {
 			c.bo.reset()
-			return &Handle{Lock: lock, Token: resp.Token, Recovered: resp.Recovered}, nil
+			c.noteToken(lock, resp.Token)
+			return &Handle{
+				Lock: lock, Token: resp.Token, Recovered: resp.Recovered,
+				ServerSpan: causal.ParseSpanID(resp.ServerSpan),
+			}, nil
 		}
 		switch resp.Code {
 		case lockd.CodeOverloaded:
@@ -416,7 +569,7 @@ func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptio
 			if ra := time.Duration(resp.RetryAfterMs) * time.Millisecond; ra > d {
 				d = ra
 			}
-			if err := c.sleep(ctx, d); err != nil {
+			if err := c.backoffSleep(ctx, d, tc); err != nil {
 				return nil, err
 			}
 		case lockd.CodeTimeout:
@@ -433,6 +586,17 @@ func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptio
 		last = ErrOverloaded
 	}
 	return nil, fmt.Errorf("lockclient: acquire %q: attempts exhausted: %w", lock, last)
+}
+
+// backoffSleep is sleep wrapped in a "backoff" span.
+func (c *Client) backoffSleep(ctx context.Context, d time.Duration, tc *acqTrace) error {
+	if d <= 0 {
+		return nil
+	}
+	start := time.Now().UnixNano()
+	err := c.sleep(ctx, d)
+	tc.child("backoff", start, nil)
+	return err
 }
 
 // Release releases a handle. It is idempotent (keyed by the fencing

@@ -27,6 +27,7 @@ package lockd
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -34,10 +35,12 @@ import (
 	"net"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/native"
 	"repro/internal/telemetry"
 )
@@ -65,8 +68,18 @@ type Config struct {
 	Policy    *native.Policy
 	Scheduler native.Scheduler
 	// Registry, when non-nil, receives a telemetry entry per served lock
-	// plus a "lockd" entry carrying the server counters.
+	// plus a "lockd" entry carrying the server counters and a waitgraph
+	// entry exporting deadlock-suspicion metrics.
 	Registry *telemetry.Registry
+	// Causal observability (defaults: the causal package's process-wide
+	// instances). Recorder receives server-side queue-wait and hold
+	// spans — continuing the client's trace when the request carries
+	// one; Graph the session-level holder/waiter edges feeding deadlock
+	// detection; Flight the per-lock event rings behind /debug/flightrec
+	// and the SIGQUIT dump.
+	Recorder *causal.Recorder
+	Graph    *causal.Graph
+	Flight   *causal.Flight
 	// WrapConn, when non-nil, wraps every accepted connection — the
 	// fault-injection hook (see internal/fault.WrapConn).
 	WrapConn func(net.Conn) net.Conn
@@ -99,6 +112,15 @@ func (c Config) withDefaults() Config {
 	if c.Policy == nil {
 		p := native.CombinedPolicy
 		c.Policy = &p
+	}
+	if c.Recorder == nil {
+		c.Recorder = causal.Default
+	}
+	if c.Graph == nil {
+		c.Graph = causal.DefaultGraph
+	}
+	if c.Flight == nil {
+		c.Flight = causal.DefaultFlight
 	}
 	return c
 }
@@ -151,6 +173,14 @@ type servedLock struct {
 	holderToken   uint64
 	waiting       int
 	sheds         int64
+
+	// Causal bookkeeping for the running tenure (guarded by mu): the
+	// trace the hold span joins, the queue-wait span it parents on, and
+	// the holder's graph-node name.
+	holdTrace  causal.TraceID
+	holdParent causal.SpanID
+	holdStart  time.Time
+	holderName string
 }
 
 // session is one client session. Lock order: session.mu may be taken
@@ -193,8 +223,9 @@ type Server struct {
 	lastSession uint64
 	closed      bool
 
-	entry *telemetry.Entry
-	ctr   counters
+	entry      *telemetry.Entry
+	graphEntry *telemetry.Entry
+	ctr        counters
 }
 
 // Serve starts a lock service on addr (e.g. ":7700" or "127.0.0.1:0").
@@ -216,6 +247,8 @@ func Serve(addr string, cfg Config) (*Server, error) {
 	}
 	if cfg.Registry != nil {
 		s.entry = cfg.Registry.RegisterSource("lockd", "lockd", s.telemetrySnapshot)
+		s.graphEntry = cfg.Registry.RegisterWaitGraph("waitgraph", cfg.Graph)
+		cfg.Registry.SetFlight(cfg.Flight)
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -259,15 +292,20 @@ func (s *Server) Close() error {
 		lk.mu.Lock()
 		if lk.holderSession != 0 {
 			lk.holderSession, lk.holderToken = 0, 0
+			lk.holderName = ""
 			lk.m.Unlock()
 		}
 		lk.mu.Unlock()
+		s.cfg.Graph.SetHolder(lk.name, "")
 		if lk.entry != nil {
 			lk.entry.Close()
 		}
 	}
 	if s.entry != nil {
 		s.entry.Close()
+	}
+	if s.graphEntry != nil {
+		s.graphEntry.Close()
 	}
 	return err
 }
@@ -382,11 +420,23 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 
 	var pending sync.WaitGroup
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	for sc.Scan() {
+	br := bufio.NewReaderSize(c, 4096)
+	for {
+		line, err := readLine(br, maxLineBytes)
+		if err == errLineTooLong {
+			// A protocol error, not connection death: the oversized line
+			// has been consumed, so the conn keeps serving.
+			reply(Response{Code: CodeBadRequest, Err: fmt.Sprintf("request line exceeds %d bytes", maxLineBytes)})
+			continue
+		}
+		if err != nil {
+			break
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
 		var req Request
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+		if err := json.Unmarshal(line, &req); err != nil {
 			reply(Response{ID: req.ID, Code: CodeBadRequest, Err: "malformed request: " + err.Error()})
 			continue
 		}
@@ -403,6 +453,52 @@ func (s *Server) serveConn(c net.Conn) {
 	}
 	cancel() // abort this connection's in-flight acquisitions
 	pending.Wait()
+}
+
+// maxLineBytes bounds one wire request line.
+const maxLineBytes = 1 << 20
+
+// errLineTooLong marks a request line exceeding maxLineBytes; the line
+// is fully consumed so the connection can keep serving.
+var errLineTooLong = errors.New("lockd: request line too long")
+
+// readLine reads one newline-terminated line of at most max bytes. An
+// oversized line is drained to its newline and reported as
+// errLineTooLong — a typed protocol error rather than connection death
+// (bufio.Scanner's ErrTooLong would end the read loop). Any other error
+// is a real I/O condition and ends the connection.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		switch err {
+		case nil:
+			if line == nil {
+				return frag, nil
+			}
+			line = append(line, frag...)
+			if len(line) > max {
+				return nil, errLineTooLong
+			}
+			return line, nil
+		case bufio.ErrBufferFull:
+			line = append(line, frag...)
+			if len(line) > max {
+				// Discard the remainder of the oversized line.
+				for {
+					_, err := br.ReadSlice('\n')
+					if err == nil {
+						return nil, errLineTooLong
+					}
+					if err != bufio.ErrBufferFull {
+						return nil, err
+					}
+				}
+			}
+		default:
+			return nil, err
+		}
+	}
 }
 
 // handle serves the fast (non-blocking) operations.
@@ -531,6 +627,28 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		lk.mu.Unlock()
 	}()
 
+	// Causal: continue the client's trace when the request carries one
+	// (so client backoff + queue wait + hold share a trace), otherwise
+	// start a server-local trace; register the wait edge for deadlock
+	// detection.
+	actor := actorName(sess)
+	tr := causal.ParseTraceID(req.TraceID)
+	if tr == 0 {
+		tr = causal.NewTraceID()
+	}
+	qspan := causal.NewSpanID()
+	qstart := time.Now()
+	s.cfg.Graph.AddWait(actor, req.Lock)
+	s.cfg.Flight.Record(req.Lock, "wait", actor, "trace="+tr.String())
+	queueSpan := func(outcome string) causal.Span {
+		return causal.Span{
+			Trace: tr, ID: qspan, Parent: causal.ParseSpanID(req.ParentSpan),
+			Name: "queue-wait", Actor: actor, Object: req.Lock,
+			Start: qstart.UnixNano(), End: time.Now().UnixNano(),
+			Attrs: map[string]string{"outcome": outcome},
+		}
+	}
+
 	wait := s.cfg.DefaultWait
 	if req.WaitMs > 0 {
 		wait = time.Duration(req.WaitMs) * time.Millisecond
@@ -556,10 +674,15 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		s.ctr.recoveredGrants.Add(1)
 	}
 	if err != nil {
+		s.cfg.Graph.RemoveWait(actor, req.Lock)
 		if ctx.Err() != nil {
+			s.cfg.Flight.Record(req.Lock, "abort", actor, "connection or server closing")
+			s.cfg.Recorder.Record(queueSpan("aborted"))
 			return Response{ID: req.ID, Code: CodeShutdown, Err: "connection or server closing"}
 		}
 		s.ctr.acquireTimeouts.Add(1)
+		s.cfg.Flight.Record(req.Lock, "timeout", actor, "")
+		s.cfg.Recorder.Record(queueSpan("timeout"))
 		return Response{ID: req.ID, Code: CodeTimeout, Err: fmt.Sprintf("lock %q not acquired within %v", req.Lock, wait)}
 	}
 
@@ -570,17 +693,59 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 	if sess.expired {
 		sess.mu.Unlock()
 		lk.m.Unlock() // lease lapsed while we waited: give the grant back
+		s.cfg.Graph.RemoveWait(actor, req.Lock)
+		s.cfg.Flight.Record(req.Lock, "abort", actor, "lease expired while waiting")
+		s.cfg.Recorder.Record(queueSpan("expired"))
 		return Response{ID: req.ID, Code: CodeExpired, Err: "session lease expired while waiting"}
 	}
 	lk.mu.Lock()
 	lk.fence++
 	tok := lk.fence
 	lk.holderSession, lk.holderToken = sess.id, tok
+	lk.holdTrace, lk.holdParent = tr, qspan
+	lk.holdStart, lk.holderName = time.Now(), actor
 	lk.mu.Unlock()
 	sess.held[req.Lock] = tok
 	sess.mu.Unlock()
 	s.ctr.acquires.Add(1)
-	return Response{ID: req.ID, OK: true, Token: tok, Recovered: recovered}
+	// Wait edge off before the hold edge lands, so the graph never shows
+	// a transient self-cycle.
+	s.cfg.Graph.RemoveWait(actor, req.Lock)
+	s.cfg.Graph.SetHolder(req.Lock, actor)
+	outcome := "acquired"
+	if recovered {
+		outcome = "recovered"
+	}
+	qs := queueSpan(outcome)
+	qs.Attrs["token"] = strconv.FormatUint(tok, 10)
+	s.cfg.Recorder.Record(qs)
+	s.cfg.Flight.Record(req.Lock, "acquire", actor, fmt.Sprintf("token=%d trace=%s", tok, tr))
+	resp = Response{ID: req.ID, OK: true, Token: tok, Recovered: recovered}
+	if req.TraceID != "" {
+		resp.ServerSpan = qspan.String()
+	}
+	return resp
+}
+
+// actorName is a session's node name in the wait-for graph and flight
+// recorder: the client-reported name, or a session-id fallback.
+func actorName(sess *session) string {
+	if sess.client != "" {
+		return sess.client
+	}
+	return fmt.Sprintf("session-%d", sess.id)
+}
+
+// holdSpan builds the ending tenure's hold span from the lock's causal
+// bookkeeping. Called with lk.mu held, before holderName is cleared;
+// cause labels why the tenure ended (released, bye, lease-expired).
+func (s *Server) holdSpan(lk *servedLock, cause string, tok uint64) causal.Span {
+	return causal.Span{
+		Trace: lk.holdTrace, ID: causal.NewSpanID(), Parent: lk.holdParent,
+		Name: "hold", Actor: lk.holderName, Object: lk.name,
+		Start: lk.holdStart.UnixNano(), End: time.Now().UnixNano(),
+		Attrs: map[string]string{"cause": cause, "token": strconv.FormatUint(tok, 10)},
+	}
 }
 
 // spinAcquire polls the lock until success or deadline — the wire-level
@@ -626,9 +791,15 @@ func (s *Server) handleRelease(req Request) Response {
 	lk.mu.Lock()
 	if lk.holderSession == sess.id && lk.holderToken == req.Token {
 		lk.holderSession, lk.holderToken = 0, 0
+		holder := lk.holderName
+		span := s.holdSpan(lk, "released", req.Token)
+		lk.holderName = ""
 		lk.mu.Unlock()
 		lk.m.Unlock()
 		s.ctr.releases.Add(1)
+		s.cfg.Graph.SetHolder(req.Lock, "")
+		s.cfg.Recorder.Record(span)
+		s.cfg.Flight.Record(req.Lock, "release", holder, fmt.Sprintf("token=%d", req.Token))
 		return Response{ID: req.ID, OK: true, Token: req.Token}
 	}
 	lk.mu.Unlock()
@@ -743,20 +914,32 @@ func (s *Server) endSession(sess *session, forced bool) {
 			continue
 		}
 		lk.holderSession, lk.holderToken = 0, 0
+		holder := lk.holderName
+		var span causal.Span
 		if forced {
 			// The owner is gone without unlocking: force-release through
 			// the robust-mutex path so the next acquirer inherits the
 			// lock with the owner-died notification set.
+			span = s.holdSpan(lk, "lease-expired", tok)
 			if err := lk.m.DeclareOwnerDead(); err != nil {
 				s.logf("lockd: recover %q from session %d: %v", name, sess.id, err)
 			} else {
 				s.ctr.forcedReleases.Add(1)
 			}
 		} else {
+			span = s.holdSpan(lk, "bye", tok)
 			lk.m.Unlock()
 			s.ctr.releases.Add(1)
 		}
+		lk.holderName = ""
 		lk.mu.Unlock()
+		s.cfg.Graph.SetHolder(name, "")
+		s.cfg.Recorder.Record(span)
+		kind := "release"
+		if forced {
+			kind = "expired"
+		}
+		s.cfg.Flight.Record(name, kind, holder, fmt.Sprintf("token=%d", tok))
 	}
 	if forced {
 		s.ctr.sessionsExpired.Add(1)

@@ -81,6 +81,14 @@ type Request struct {
 	Prio     int64  `json:"prio,omitempty"`
 	Attempt  int    `json:"attempt,omitempty"` // 1-based; >1 counts as a retry
 
+	// Causal trace context (optional): the client's trace ID and the span
+	// the server-side work should parent on, both 16-hex-digit (see
+	// internal/causal). The server continues the trace — its queue-wait
+	// and hold spans join the client's — so one trace covers client
+	// backoff + server queue wait + hold across processes.
+	TraceID    string `json:"trace_id,omitempty"`
+	ParentSpan string `json:"parent_span,omitempty"`
+
 	// release
 	Token uint64 `json:"token,omitempty"`
 
@@ -104,6 +112,11 @@ type Response struct {
 	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
 	Pending      bool   `json:"pending,omitempty"`
 	Stat         *Stat  `json:"stat,omitempty"`
+
+	// ServerSpan echoes, on a granted acquire that carried trace context,
+	// the server-side queue-wait span ID, so client logs can name the
+	// cross-process child span.
+	ServerSpan string `json:"server_span,omitempty"`
 }
 
 // LockStat is one served lock's state in a stat response.

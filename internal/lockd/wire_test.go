@@ -1,0 +1,157 @@
+package lockd_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lockd"
+)
+
+// rawConn dials the server and speaks the wire protocol by hand, so
+// tests can send byte sequences no well-behaved client would produce.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialRaw(t *testing.T, srv *lockd.Server) *rawConn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", srv.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (rc *rawConn) sendLine(line string) {
+	rc.t.Helper()
+	rc.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	if _, err := rc.conn.Write([]byte(line + "\n")); err != nil {
+		rc.t.Fatalf("write: %v", err)
+	}
+}
+
+func (rc *rawConn) send(req lockd.Request) {
+	rc.t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		rc.t.Fatalf("marshal: %v", err)
+	}
+	rc.sendLine(string(b))
+}
+
+func (rc *rawConn) recv() lockd.Response {
+	rc.t.Helper()
+	rc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := rc.br.ReadString('\n')
+	if err != nil {
+		rc.t.Fatalf("read reply: %v", err)
+	}
+	var resp lockd.Response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil {
+		rc.t.Fatalf("unmarshal reply %q: %v", line, err)
+	}
+	return resp
+}
+
+// hello proves the connection is still alive and serving after a
+// protocol error: a valid request must get a valid session back.
+func (rc *rawConn) hello(id uint64) lockd.Response {
+	rc.t.Helper()
+	rc.send(lockd.Request{ID: id, Op: lockd.OpHello, Client: "wire-test"})
+	resp := rc.recv()
+	if !resp.OK || resp.Session == 0 {
+		rc.t.Fatalf("hello after protocol error failed: %+v", resp)
+	}
+	return resp
+}
+
+func TestWireMalformedJSON(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	rc := dialRaw(t, srv)
+
+	rc.sendLine(`{"id": 1, "op": "hello",`) // truncated JSON
+	resp := rc.recv()
+	if resp.OK || resp.Code != lockd.CodeBadRequest {
+		t.Fatalf("malformed JSON reply: %+v, want code %q", resp, lockd.CodeBadRequest)
+	}
+	if !strings.Contains(resp.Err, "malformed request") {
+		t.Fatalf("err = %q, want a malformed-request explanation", resp.Err)
+	}
+
+	// The connection survives: a well-formed request still works.
+	rc.hello(2)
+}
+
+func TestWireOversizedLine(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	rc := dialRaw(t, srv)
+
+	// A single line beyond the 1 MiB bound. The padding lives inside a
+	// would-be-valid request so only the length is at fault.
+	huge := `{"id": 1, "op": "hello", "client": "` + strings.Repeat("x", 1<<20) + `"}`
+	rc.sendLine(huge)
+	resp := rc.recv()
+	if resp.OK || resp.Code != lockd.CodeBadRequest {
+		t.Fatalf("oversized line reply: %+v, want code %q", resp, lockd.CodeBadRequest)
+	}
+	if !strings.Contains(resp.Err, "request line exceeds") {
+		t.Fatalf("err = %q, want a line-length explanation", resp.Err)
+	}
+
+	// The oversized line was drained, not left to corrupt framing: the
+	// next request parses cleanly and the session opens.
+	rc.hello(2)
+}
+
+func TestWireUnknownOp(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	rc := dialRaw(t, srv)
+
+	sess := rc.hello(1).Session
+	rc.send(lockd.Request{ID: 2, Op: "exorcise", Session: sess})
+	resp := rc.recv()
+	if resp.OK || resp.Code != lockd.CodeBadRequest {
+		t.Fatalf("unknown op reply: %+v, want code %q", resp, lockd.CodeBadRequest)
+	}
+	if !strings.Contains(resp.Err, `unknown op "exorcise"`) {
+		t.Fatalf("err = %q, want it to name the op", resp.Err)
+	}
+	if resp.ID != 2 {
+		t.Fatalf("reply ID = %d, want 2 (demultiplexing preserved)", resp.ID)
+	}
+
+	// Still serving.
+	rc.hello(3)
+}
+
+func TestWireErrorsDoNotPoisonOtherSessions(t *testing.T) {
+	srv := newServer(t, lockd.Config{})
+	good := dialRaw(t, srv)
+	bad := dialRaw(t, srv)
+
+	goodSess := good.hello(1).Session
+
+	// The bad connection misbehaves three ways in a row.
+	bad.sendLine("this is not json")
+	if resp := bad.recv(); resp.Code != lockd.CodeBadRequest {
+		t.Fatalf("garbage line reply: %+v", resp)
+	}
+	bad.sendLine(`{"id": 9, "op": "warp"}`)
+	if resp := bad.recv(); resp.Code != lockd.CodeBadRequest {
+		t.Fatalf("unknown op reply: %+v", resp)
+	}
+
+	// The good connection's session is untouched and can acquire.
+	good.send(lockd.Request{ID: 2, Op: lockd.OpAcquire, Session: goodSess, Lock: "L"})
+	resp := good.recv()
+	if !resp.OK || resp.Token == 0 {
+		t.Fatalf("acquire on healthy conn after peer errors: %+v", resp)
+	}
+}

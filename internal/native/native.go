@@ -172,6 +172,12 @@ type Mutex struct {
 	// Telemetry hooks (see observe.go).
 	observer atomic.Value // obsBox
 	csampler atomic.Value // samplerBox
+	esink    atomic.Value // sinkBox
+
+	// ownerTag is the handoff tag the current owner acquired under
+	// (guard-protected); the release path reports it to the event sink so
+	// causal trackers can attribute the ending tenure.
+	ownerTag uint64
 
 	// monitor counters (atomics: read without the guard)
 	acquisitions  atomic.Int64
@@ -231,8 +237,9 @@ func (m *Mutex) LockAs(tag uint64, prio int64) {
 func (m *Mutex) TryLock() bool {
 	m.guard.lock()
 	if !m.held {
-		m.take()
+		m.take(0)
 		m.guard.unlock()
+		m.emitEvent(EventAcquire, 0, 0, 0, 0)
 		return true
 	}
 	m.guard.unlock()
@@ -243,12 +250,13 @@ func (m *Mutex) TryLock() bool {
 // paper's conditional lock).
 func (m *Mutex) TryLockFor(d time.Duration) bool { return m.acquire(0, 0, d) }
 
-// take records acquisition; guard must be held and the lock free. It
-// returns — and consumes — the pending owner-death notification, and arms
-// the watchdog for the new tenure.
-func (m *Mutex) take() bool {
+// take records acquisition under the given handoff tag; guard must be
+// held and the lock free. It returns — and consumes — the pending
+// owner-death notification, and arms the watchdog for the new tenure.
+func (m *Mutex) take(tag uint64) bool {
 	m.held = true
 	m.holdStart = time.Now()
+	m.ownerTag = tag
 	m.acquisitions.Add(1)
 	died := m.diedPending
 	m.diedPending = false
@@ -282,13 +290,15 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 	// Fast path.
 	m.guard.lock()
 	if !m.held {
-		died := m.take()
+		died := m.take(tag)
 		m.guard.unlock()
+		m.emitEvent(EventAcquire, tag, prio, 0, 0)
 		m.injectHolderStall()
 		return true, died, nil
 	}
 	m.guard.unlock()
 	m.contended.Add(1)
+	m.emitEvent(EventWait, tag, prio, 0, 0)
 	m.injectWaiterPreempt()
 	waitStart := time.Now()
 	var deadline time.Time
@@ -304,9 +314,9 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 		for i := 0; i < p.Spin || (p.NoPark && p.Spin == 0); i++ {
 			m.guard.lock()
 			if !m.held {
-				died := m.take()
+				died := m.take(tag)
 				m.guard.unlock()
-				m.finishWait(waitStart)
+				m.finishWait(waitStart, tag, prio)
 				m.injectHolderStall()
 				return true, died, nil
 			}
@@ -315,16 +325,19 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 				select {
 				case <-done:
 					m.cancellations.Add(1)
+					m.emitEvent(EventAbort, tag, prio, 0, 0)
 					return false, false, ctx.Err()
 				default:
 				}
 			}
 			if abortable && m.stallGen.Load() != stallGen {
 				m.stallAborts.Add(1)
+				m.emitEvent(EventAbort, tag, prio, 0, 0)
 				return false, false, ErrOwnerStalled
 			}
 			if timeout > 0 && time.Now().After(deadline) {
 				m.timeouts.Add(1)
+				m.emitEvent(EventTimeout, tag, prio, 0, 0)
 				return false, false, nil
 			}
 			osYield()
@@ -344,9 +357,9 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 		w := &waiter{ch: make(chan struct{}, 1), prio: prio, tag: tag}
 		m.guard.lock()
 		if !m.held {
-			died := m.take()
+			died := m.take(tag)
 			m.guard.unlock()
-			m.finishWait(waitStart)
+			m.finishWait(waitStart, tag, prio)
 			m.injectHolderStall()
 			return true, died, nil
 		}
@@ -390,6 +403,7 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 			// grant that raced cancellation is released below so it is
 			// never lost.
 			m.holdStart = time.Now()
+			m.ownerTag = tag
 			m.acquisitions.Add(1)
 			died := m.diedPending
 			m.diedPending = false
@@ -398,10 +412,11 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 			if cancelled {
 				m.waitNanos.Add(int64(time.Since(waitStart)))
 				m.cancellations.Add(1)
+				m.emitEvent(EventAbort, tag, prio, 0, 0)
 				m.unlock(0)
 				return false, false, ctx.Err()
 			}
-			m.finishWait(waitStart)
+			m.finishWait(waitStart, tag, prio)
 			m.injectHolderStall()
 			return true, died, nil
 		}
@@ -417,12 +432,15 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 		switch {
 		case cancelled:
 			m.cancellations.Add(1)
+			m.emitEvent(EventAbort, tag, prio, 0, 0)
 			return false, false, ctx.Err()
 		case stalled:
 			m.stallAborts.Add(1)
+			m.emitEvent(EventAbort, tag, prio, 0, 0)
 			return false, false, ErrOwnerStalled
 		case !granted && timeout > 0:
 			m.timeouts.Add(1)
+			m.emitEvent(EventTimeout, tag, prio, 0, 0)
 			return false, false, nil
 		}
 		// Spurious (cannot happen with directed grants, but loop for
@@ -447,6 +465,7 @@ func (m *Mutex) unlock(hint uint64) {
 		panic("native: Unlock of unlocked Mutex")
 	}
 	held := time.Since(m.holdStart)
+	ownerTag := m.ownerTag
 	m.holdNanos.Add(int64(held))
 	w := m.releaseLocked(hint)
 	m.guard.unlock()
@@ -456,6 +475,7 @@ func (m *Mutex) unlock(hint uint64) {
 	if o := m.latencyObserver(); o != nil {
 		o.ObserveHold(held)
 	}
+	m.emitEvent(EventRelease, ownerTag, 0, 0, held)
 }
 
 // releaseLocked ends the current tenure and either frees the lock or picks

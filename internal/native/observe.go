@@ -57,10 +57,92 @@ func (m *Mutex) contentionSampler() ContentionSampler {
 	return v.(samplerBox).s
 }
 
-// finishWait charges a completed contended acquisition: the wait-time
-// counter, the latency observer and the contention sampler. Must be
+// EventKind classifies a LockEvent.
+type EventKind uint8
+
+// Event kinds, covering every exit of the acquisition path plus release.
+const (
+	// EventWait fires when an acquisition fails the fast path and enters
+	// the waiting policy.
+	EventWait EventKind = iota
+	// EventAcquire fires on every successful acquisition (contended or
+	// not); Waited is the registration-to-grant delay (0 uncontended).
+	EventAcquire
+	// EventRelease fires on every release, including force-releases via
+	// DeclareOwnerDead; Held is the tenure length.
+	EventRelease
+	// EventTimeout fires when a conditional acquisition gives up.
+	EventTimeout
+	// EventAbort fires when a waiter exits for any other reason: context
+	// cancellation or a watchdog stall abort.
+	EventAbort
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventWait:
+		return "wait"
+	case EventAcquire:
+		return "acquire"
+	case EventRelease:
+		return "release"
+	case EventTimeout:
+		return "timeout"
+	case EventAbort:
+		return "abort"
+	}
+	return "event(?)"
+}
+
+// LockEvent is one lifecycle event delivered to an EventSink. Tag is the
+// acquirer's handoff identity (0 anonymous) — for EventRelease it is the
+// tag the departing owner acquired under.
+type LockEvent struct {
+	Kind   EventKind
+	Tag    uint64
+	Prio   int64
+	When   time.Time
+	Waited time.Duration // EventAcquire only
+	Held   time.Duration // EventRelease only
+}
+
+// EventSink receives lifecycle events from the mutex's hot paths —
+// the causal layer's hook for span recording and wait-for-graph
+// maintenance. Calls are made outside the guard on the
+// acquiring/releasing goroutine; every EventWait is eventually paired
+// with exactly one of EventAcquire, EventTimeout, or EventAbort.
+// Implementations must be safe for concurrent use and must not call
+// back into the mutex.
+type EventSink interface {
+	LockEvent(LockEvent)
+}
+
+// sinkBox wraps the sink so atomic.Value can hold (and clear) it.
+type sinkBox struct{ s EventSink }
+
+// SetEventSink attaches a lifecycle event sink. Pass nil to detach.
+func (m *Mutex) SetEventSink(s EventSink) { m.esink.Store(sinkBox{s}) }
+
+func (m *Mutex) eventSink() EventSink {
+	v := m.esink.Load()
+	if v == nil {
+		return nil
+	}
+	return v.(sinkBox).s
+}
+
+// emitEvent delivers a lifecycle event if a sink is attached. Must be
 // called without the guard.
-func (m *Mutex) finishWait(waitStart time.Time) {
+func (m *Mutex) emitEvent(kind EventKind, tag uint64, prio int64, waited, held time.Duration) {
+	if s := m.eventSink(); s != nil {
+		s.LockEvent(LockEvent{Kind: kind, Tag: tag, Prio: prio, When: time.Now(), Waited: waited, Held: held})
+	}
+}
+
+// finishWait charges a completed contended acquisition: the wait-time
+// counter, the latency observer, the contention sampler, and the event
+// sink. Must be called without the guard.
+func (m *Mutex) finishWait(waitStart time.Time, tag uint64, prio int64) {
 	d := time.Since(waitStart)
 	m.waitNanos.Add(int64(d))
 	if o := m.latencyObserver(); o != nil {
@@ -69,4 +151,5 @@ func (m *Mutex) finishWait(waitStart time.Time) {
 	if s := m.contentionSampler(); s != nil {
 		s.ContendedAcquire(d)
 	}
+	m.emitEvent(EventAcquire, tag, prio, d, 0)
 }

@@ -142,13 +142,16 @@ func (m *Mutex) DeclareOwnerDead() error {
 		return errors.New("native: DeclareOwnerDead on unheld Mutex")
 	}
 	m.ownerDeaths.Add(1)
-	m.holdNanos.Add(int64(time.Since(m.holdStart)))
+	held := time.Since(m.holdStart)
+	ownerTag := m.ownerTag
+	m.holdNanos.Add(int64(held))
 	m.diedPending = true
 	w := m.releaseLocked(0)
 	m.guard.unlock()
 	if w != nil {
 		w.ch <- struct{}{}
 	}
+	m.emitEvent(EventRelease, ownerTag, 0, 0, held)
 	return nil
 }
 

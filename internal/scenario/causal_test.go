@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/causal"
+	"repro/internal/sim"
+)
+
+// TestRunCausal exercises Config.Causal: the run carries its own
+// recorder and wait-for graph, wait/hold spans come out trace-linked,
+// and the spans feed the critical-path analyzer — the plumbing behind
+// `lockstat -critical-path`.
+func TestRunCausal(t *testing.T) {
+	res, err := Run(Config{
+		Workers: 3,
+		Iters:   4,
+		CS:      sim.Us(300),
+		Causal:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CausalRec == nil || res.CausalGraph == nil {
+		t.Fatal("Causal run produced no recorder/graph")
+	}
+	spans := res.CausalRec.Spans()
+	holds, waits := 0, 0
+	for _, s := range spans {
+		switch s.Name {
+		case "hold":
+			holds++
+			if s.Object != "lock" {
+				t.Fatalf("hold span object = %q, want the default lock name", s.Object)
+			}
+		case "wait":
+			waits++
+		}
+	}
+	if holds != 12 {
+		t.Fatalf("hold spans = %d, want 12 (3 workers x 4 rounds)", holds)
+	}
+	if waits == 0 {
+		t.Fatal("no wait spans from a 3-way contended run")
+	}
+
+	// A single-lock workload must never look like a deadlock, and the
+	// run must end with the graph drained.
+	if n := res.CausalGraph.DeadlockSuspected(); n != 0 {
+		t.Fatalf("deadlock suspected = %d on a single lock", n)
+	}
+	if res.CausalGraph.Edges() != 0 || res.CausalGraph.Held() != 0 {
+		t.Fatalf("graph not drained: edges=%d held=%d", res.CausalGraph.Edges(), res.CausalGraph.Held())
+	}
+
+	// The spans drive critical-path analysis end to end.
+	rep := causal.AnalyzeCriticalPath(spans)
+	if len(rep.Links) == 0 || rep.SerializedNs <= 0 {
+		t.Fatalf("critical path empty: %+v", rep)
+	}
+	if rep.Links[0].Object != "lock" {
+		t.Fatalf("critical path lock = %q, want %q", rep.Links[0].Object, "lock")
+	}
+	if len(rep.PerLock) != 1 || rep.PerLock[0].Holds != int64(holds) {
+		t.Fatalf("per-lock = %+v, want %d holds on one lock", rep.PerLock, holds)
+	}
+}
+
+// TestRunCausalOff keeps the default path span-free: no recorder, no
+// graph, zero overhead for runs that didn't ask.
+func TestRunCausalOff(t *testing.T) {
+	res, err := Run(Config{Workers: 2, Iters: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CausalRec != nil || res.CausalGraph != nil {
+		t.Fatal("causal surfaces allocated without Config.Causal")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/adapt"
+	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/cthread"
 	"repro/internal/fault"
@@ -99,6 +100,13 @@ type Config struct {
 	// overrides telemetry.Default (tests).
 	RegisterAs string
 	Registry   *telemetry.Registry
+
+	// Causal attaches a causal tracker to the lock: acquisition
+	// lifecycle spans into a fresh Recorder (Result.CausalRec), wait-for
+	// edges into a fresh Graph (Result.CausalGraph), and flight events
+	// into causal.DefaultFlight. lockstat -critical-path feeds the
+	// recorded spans to causal.AnalyzeCriticalPath.
+	Causal bool
 }
 
 // Result is what a scenario run produces.
@@ -129,6 +137,11 @@ type Result struct {
 	// was set). It stays registered after Run returns so a -serve CLI can
 	// keep exporting it; callers that want it gone call Close.
 	Telemetry *telemetry.CoreEntry
+
+	// CausalRec / CausalGraph hold the run's causal spans and wait-for
+	// graph (nil unless Causal).
+	CausalRec   *causal.Recorder
+	CausalGraph *causal.Graph
 }
 
 // Run executes the scenario to completion of all spawned threads.
@@ -196,6 +209,20 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.TraceEvents > 0 {
 		res.Tracer = trace.New(cfg.TraceEvents)
 		lock.SetTracer(res.Tracer, "lock")
+	}
+	if cfg.Causal {
+		object := cfg.RegisterAs
+		if object == "" {
+			object = "lock"
+		}
+		res.CausalRec = causal.NewRecorder(8192)
+		res.CausalGraph = causal.NewGraph()
+		lock.SetCausalObserver(&causal.SimTracker{
+			Object: object,
+			Rec:    res.CausalRec,
+			Graph:  res.CausalGraph,
+			Flight: causal.DefaultFlight,
+		})
 	}
 	if cfg.Observe || cfg.SampleEvery > 0 {
 		res.Observer = obs.NewLockObserver()

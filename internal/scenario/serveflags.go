@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ServeFlags is the shared -serve/-serve-for plumbing of the scenario
+// CLIs (lockstat, locktrace, lockbench): an optional telemetry server
+// started before the run and lingered on after the report until an
+// interrupt or the -serve-for timer.
+type ServeFlags struct {
+	// Addr is the -serve listen address ("" = don't serve).
+	Addr string
+	// For is the -serve-for graceful-shutdown timer (0 = until
+	// interrupted).
+	For time.Duration
+
+	prog string
+	srv  *telemetry.Server
+}
+
+// AddServeFlags registers -serve and -serve-for on fs (nil =
+// flag.CommandLine); prog prefixes the command's diagnostics.
+func AddServeFlags(fs *flag.FlagSet, prog string) *ServeFlags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	sf := &ServeFlags{prog: prog}
+	fs.StringVar(&sf.Addr, "serve", "",
+		"serve live telemetry (/metrics, /locks, /watch) on this address, e.g. :9090; blocks after the run until interrupted")
+	fs.DurationVar(&sf.For, "serve-for", 0,
+		"with -serve: stop serving after this duration via graceful shutdown (0 = until interrupted)")
+	return sf
+}
+
+// Start starts the telemetry server when -serve was given, announcing
+// the URL on stderr. Exits the process on a listen failure, matching
+// the CLIs' flag-error behavior. Call before the run so sampler-cadence
+// publishes are scrapeable while the scenario executes.
+func (sf *ServeFlags) Start() {
+	if sf.Addr == "" {
+		return
+	}
+	srv, err := telemetry.Serve(sf.Addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", sf.prog, err)
+		os.Exit(1)
+	}
+	sf.srv = srv
+	fmt.Fprintf(os.Stderr, "%s: telemetry on %s\n", sf.prog, srv.URL())
+}
+
+// Serving reports whether Start actually started a server.
+func (sf *ServeFlags) Serving() bool { return sf.srv != nil }
+
+// URL returns the running server's base URL ("" when not serving).
+func (sf *ServeFlags) URL() string {
+	if sf.srv == nil {
+		return ""
+	}
+	return sf.srv.URL()
+}
+
+// Linger blocks until interrupt or the -serve-for timer, then shuts the
+// server down gracefully. No-op when not serving; exits the process on
+// a shutdown error. Call after the report is printed.
+func (sf *ServeFlags) Linger() {
+	if sf.srv == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: serving telemetry on %s; Ctrl-C to exit\n", sf.prog, sf.srv.URL())
+	if err := sf.srv.Linger(sf.For); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: shutdown: %v\n", sf.prog, err)
+		os.Exit(1)
+	}
+}

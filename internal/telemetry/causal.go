@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/causal"
+)
+
+// This file is the registry's causal-tracing surface: the wait-for graph
+// and the flight recorder become HTTP endpoints (/debug/waitgraph,
+// /debug/flightrec) and metric families, so a suspected deadlock is
+// visible on the same scrape path as the contention counters it
+// correlates with.
+
+// RegisterWaitGraph attaches a wait-for graph to the registry and
+// registers a telemetry source exporting its deadlock-suspicion counter
+// and edge gauges. The graph also becomes the one served by
+// /debug/waitgraph. A nil g attaches causal.DefaultGraph.
+func (r *Registry) RegisterWaitGraph(name string, g *causal.Graph) *Entry {
+	if g == nil {
+		g = causal.DefaultGraph
+	}
+	r.mu.Lock()
+	r.graph = g
+	r.mu.Unlock()
+	var e *Entry
+	e = r.RegisterSource(name, "waitgraph", func() LockSnapshot {
+		return LockSnapshot{
+			Name: e.Name(),
+			Impl: "waitgraph",
+			Extra: []ExtraPoint{
+				{Name: "waitgraph_deadlock_suspected_total",
+					Help:  "Cumulative count of distinct wait-for cycles observed (suspected deadlocks).",
+					Value: g.DeadlockSuspected()},
+				{Name: "waitgraph_waiting_edges",
+					Help:  "Current actor-waits-for-lock edges in the wait-for graph.",
+					Gauge: true, Value: int64(g.Edges())},
+				{Name: "waitgraph_held_locks",
+					Help:  "Locks with a recorded holder in the wait-for graph.",
+					Gauge: true, Value: int64(g.Held())},
+				{Name: "waitgraph_active_cycles",
+					Help:  "Wait-for cycles currently closed (unresolved suspected deadlocks).",
+					Gauge: true, Value: int64(g.ActiveCycles())},
+			},
+		}
+	})
+	return e
+}
+
+// RegisterWaitGraph attaches a wait-for graph to the default registry.
+func RegisterWaitGraph(name string, g *causal.Graph) *Entry {
+	return Default.RegisterWaitGraph(name, g)
+}
+
+// SetFlight selects the flight recorder served by /debug/flightrec. A
+// nil f reverts to causal.DefaultFlight.
+func (r *Registry) SetFlight(f *causal.Flight) {
+	r.mu.Lock()
+	r.flight = f
+	r.mu.Unlock()
+}
+
+// SetFlight selects the default registry's flight recorder.
+func SetFlight(f *causal.Flight) { Default.SetFlight(f) }
+
+// waitGraph returns the registry's graph, defaulting to the package-wide
+// one so the endpoint is useful even when nothing registered a graph
+// explicitly (in-process trackers feed causal.DefaultGraph).
+func (r *Registry) waitGraph() *causal.Graph {
+	r.mu.Lock()
+	g := r.graph
+	r.mu.Unlock()
+	if g == nil {
+		g = causal.DefaultGraph
+	}
+	return g
+}
+
+// flightRecorder returns the registry's flight recorder, defaulting to
+// the package-wide one.
+func (r *Registry) flightRecorder() *causal.Flight {
+	r.mu.Lock()
+	f := r.flight
+	r.mu.Unlock()
+	if f == nil {
+		f = causal.DefaultFlight
+	}
+	return f
+}
+
+// handleWaitGraph serves the wait-for graph: JSON by default,
+// Graphviz DOT with ?format=dot.
+func (r *Registry) handleWaitGraph(w http.ResponseWriter, req *http.Request) {
+	g := r.waitGraph()
+	switch req.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(g.Snapshot()) //nolint:errcheck // client went away
+	case "dot":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		g.WriteDOT(w) //nolint:errcheck // client went away
+	default:
+		http.Error(w, "telemetry: format must be json or dot", http.StatusBadRequest)
+	}
+}
+
+// flightJSON is the /debug/flightrec JSON shape for one lock.
+type flightJSON struct {
+	Lock   string               `json:"lock"`
+	Total  int64                `json:"total"`
+	Events []causal.FlightEvent `json:"events"`
+}
+
+// handleFlightRec serves the flight recorder: JSON by default, the
+// SIGQUIT dump format with ?format=text; ?lock=NAME restricts to one
+// ring.
+func (r *Registry) handleFlightRec(w http.ResponseWriter, req *http.Request) {
+	f := r.flightRecorder()
+	locks := f.Locks()
+	if want := req.URL.Query().Get("lock"); want != "" {
+		locks = locks[:0]
+		for _, l := range f.Locks() {
+			if l == want {
+				locks = append(locks, l)
+			}
+		}
+		if len(locks) == 0 {
+			http.Error(w, fmt.Sprintf("telemetry: no flight events for lock %q", want), http.StatusNotFound)
+			return
+		}
+	}
+	switch req.URL.Query().Get("format") {
+	case "", "json":
+		docs := make([]flightJSON, 0, len(locks))
+		for _, l := range locks {
+			docs = append(docs, flightJSON{Lock: l, Total: f.Total(l), Events: f.Events(l)})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct { //nolint:errcheck // client went away
+			Locks []flightJSON `json:"locks"`
+		}{docs})
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, l := range locks {
+			evs := f.Events(l)
+			fmt.Fprintf(w, "lock %q: %d recent events (%d total)\n", l, len(evs), f.Total(l))
+			for _, e := range evs {
+				fmt.Fprintf(w, "  %16d %-9s %-16s %s\n", e.AtNs, e.Kind, e.Actor, e.Detail)
+			}
+		}
+		if len(locks) == 0 {
+			fmt.Fprintln(w, "flight recorder: no events")
+		}
+	default:
+		http.Error(w, "telemetry: format must be json or text", http.StatusBadRequest)
+	}
+}

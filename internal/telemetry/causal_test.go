@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/causal"
+)
+
+// causalServer serves a registry wired to a fresh graph and flight
+// recorder, isolated from the package-wide defaults.
+func causalServer(t *testing.T) (*causal.Graph, *causal.Flight, *Server) {
+	t.Helper()
+	r := NewRegistry()
+	g := causal.NewGraph()
+	f := causal.NewFlight(16)
+	r.RegisterWaitGraph("waitgraph", g)
+	r.SetFlight(f)
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return g, f, s
+}
+
+func TestWaitGraphEndpoint(t *testing.T) {
+	g, _, srv := causalServer(t)
+	g.SetHolder("l1", "A")
+	g.SetHolder("l2", "B")
+	g.AddWait("A", "l2")
+	g.AddWait("B", "l1")
+
+	// JSON: full snapshot with the cycle and the suspicion counter.
+	body, resp := get(t, srv.URL()+"/debug/waitgraph")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("waitgraph Content-Type = %q", ct)
+	}
+	var snap causal.GraphSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("waitgraph JSON: %v\n%s", err, body)
+	}
+	if snap.Suspected != 1 || len(snap.Cycles) != 1 {
+		t.Fatalf("snapshot = %+v, want one suspected cycle", snap)
+	}
+	if len(snap.Cycles[0]) != 2 || snap.Cycles[0][0] != "A" {
+		t.Fatalf("cycle = %v, want canonical [A B]", snap.Cycles[0])
+	}
+
+	// DOT: the operator-facing rendering.
+	body, resp = get(t, srv.URL()+"/debug/waitgraph?format=dot")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "digraph waitfor") {
+		t.Fatalf("dot format: %d %q", resp.StatusCode, body)
+	}
+
+	// Unknown format is a 400, not a guess.
+	_, resp = get(t, srv.URL()+"/debug/waitgraph?format=xml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", resp.StatusCode)
+	}
+
+	// The metric family reaches /metrics through the registered source.
+	body, _ = get(t, srv.URL()+"/metrics")
+	if !strings.Contains(body, "waitgraph_deadlock_suspected_total") {
+		t.Fatalf("/metrics missing waitgraph family:\n%s", body)
+	}
+}
+
+func TestFlightRecEndpoint(t *testing.T) {
+	_, f, srv := causalServer(t)
+	f.RecordAt(100, "orders", "acquire", "w1", "tok=7")
+	f.RecordAt(200, "orders", "release", "w1", "tok=7")
+	f.RecordAt(300, "billing", "wait", "w2", "")
+
+	var doc struct {
+		Locks []struct {
+			Lock   string               `json:"lock"`
+			Total  int64                `json:"total"`
+			Events []causal.FlightEvent `json:"events"`
+		} `json:"locks"`
+	}
+	body, resp := get(t, srv.URL()+"/debug/flightrec")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("flightrec JSON: %v\n%s", err, body)
+	}
+	if len(doc.Locks) != 2 {
+		t.Fatalf("locks = %+v, want billing and orders", doc.Locks)
+	}
+	if doc.Locks[1].Lock != "orders" || doc.Locks[1].Total != 2 || len(doc.Locks[1].Events) != 2 {
+		t.Fatalf("orders ring = %+v", doc.Locks[1])
+	}
+
+	// ?lock= filters to one ring; a miss is a 404.
+	body, _ = get(t, srv.URL()+"/debug/flightrec?lock=billing")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("filtered JSON: %v", err)
+	}
+	if len(doc.Locks) != 1 || doc.Locks[0].Lock != "billing" {
+		t.Fatalf("filtered = %+v", doc.Locks)
+	}
+	_, resp = get(t, srv.URL()+"/debug/flightrec?lock=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing lock status = %d, want 404", resp.StatusCode)
+	}
+
+	// ?format=text matches the SIGQUIT dump format.
+	body, _ = get(t, srv.URL()+"/debug/flightrec?format=text&lock=orders")
+	if !strings.Contains(body, `lock "orders": 2 recent events (2 total)`) || !strings.Contains(body, "tok=7") {
+		t.Fatalf("text dump:\n%s", body)
+	}
+	_, resp = get(t, srv.URL()+"/debug/flightrec?format=yaml")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad format status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWatchHeartbeat holds a /watch stream open over a long window
+// interval and asserts the heartbeat comments keep bytes flowing during
+// the silent stretch — the satellite contract that proxies and
+// half-dead conns are detected even when no window is due.
+func TestWatchHeartbeat(t *testing.T) {
+	_, srv := startServer(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Windows every 30s (silent for the whole test); heartbeats every
+	// 20ms must still arrive.
+	req, err := http.NewRequestWithContext(ctx, "GET", srv.URL()+"/watch?every=30s&heartbeat=20ms", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	beats := 0
+	for sc.Scan() && beats < 3 {
+		if strings.HasPrefix(sc.Text(), ": heartbeat") {
+			beats++
+		}
+		if strings.HasPrefix(sc.Text(), "data: ") {
+			t.Fatalf("a 30s window fired during the heartbeat test: %q", sc.Text())
+		}
+	}
+	if beats < 3 {
+		t.Fatalf("saw %d heartbeat comments, want 3 (scan err %v)", beats, sc.Err())
+	}
+
+	// A malformed heartbeat duration is rejected like a malformed every.
+	_, bad := get(t, srv.URL()+"/watch?heartbeat=bogus")
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad heartbeat status = %d, want 400", bad.StatusCode)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/native"
 	"repro/internal/obs"
@@ -77,6 +78,12 @@ type ExtraPoint struct {
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*Entry
+
+	// graph/flight are the causal surfaces served by /debug/waitgraph and
+	// /debug/flightrec (see causal.go); nil falls back to the causal
+	// package defaults.
+	graph  *causal.Graph
+	flight *causal.Flight
 }
 
 // NewRegistry returns an empty registry.

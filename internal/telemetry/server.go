@@ -105,6 +105,8 @@ func (s *Server) Linger(serveFor time.Duration) error {
 //	/locks                JSON snapshot of every registered lock
 //	/watch                SSE stream of interval windows (?every=500ms)
 //	/profile/contention   folded-stack contention profile (?top=N for a table)
+//	/debug/waitgraph      wait-for graph with suspected deadlocks (?format=dot)
+//	/debug/flightrec      flight-recorder rings (?lock=NAME, ?format=text)
 //	/debug/pprof/         the Go runtime profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -113,6 +115,8 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/locks", r.handleLocks)
 	mux.HandleFunc("/watch", r.handleWatch)
 	mux.HandleFunc("/profile/contention", r.handleProfile)
+	mux.HandleFunc("/debug/waitgraph", r.handleWaitGraph)
+	mux.HandleFunc("/debug/flightrec", r.handleFlightRec)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -132,6 +136,8 @@ func (r *Registry) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "/locks                JSON snapshots")
 	fmt.Fprintln(w, "/watch?every=1s       SSE stream of interval windows")
 	fmt.Fprintln(w, "/profile/contention   folded stacks (?top=N for a table)")
+	fmt.Fprintln(w, "/debug/waitgraph      wait-for graph (?format=dot)")
+	fmt.Fprintln(w, "/debug/flightrec      flight recorder (?lock=NAME&format=text)")
 	fmt.Fprintln(w, "/debug/pprof/         Go runtime profiles")
 }
 
@@ -333,6 +339,22 @@ func (r *Registry) handleWatch(w http.ResponseWriter, req *http.Request) {
 	if every < 50*time.Millisecond {
 		every = 50 * time.Millisecond
 	}
+	// The heartbeat is an SSE comment line sent between windows so a
+	// silent stream (long ?every, idle process, buffering middlebox)
+	// still moves bytes and the client can distinguish "quiet" from
+	// "dead". ?heartbeat= overrides the interval.
+	heartbeat := 10 * time.Second
+	if v := req.URL.Query().Get("heartbeat"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			http.Error(w, "telemetry: bad heartbeat duration", http.StatusBadRequest)
+			return
+		}
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		heartbeat = d
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "telemetry: streaming unsupported", http.StatusInternalServerError)
@@ -349,10 +371,19 @@ func (r *Registry) handleWatch(w http.ResponseWriter, req *http.Request) {
 	}
 	tick := time.NewTicker(every)
 	defer tick.Stop()
+	beat := time.NewTicker(heartbeat)
+	defer beat.Stop()
 	for seq := 0; ; seq++ {
 		select {
 		case <-req.Context().Done():
 			return
+		case <-beat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			seq-- // comments do not consume a window sequence number
+			continue
 		case <-tick.C:
 		}
 		snaps := r.Snapshots()
