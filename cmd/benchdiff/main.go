@@ -1,0 +1,60 @@
+// Command benchdiff compares two -bench-out benchmark summaries and
+// fails (exit 1) when a deterministic metric regressed beyond the
+// threshold: lock-op costs up, policy-sweep throughput down, or
+// policy-sweep p99 wait up. The wall-clock sections (lockd round trips,
+// lockmon scrape overhead) are not gated — they measure the host, not
+// the locks.
+//
+//	benchdiff                      # two newest BENCH_*.json in .
+//	benchdiff old.json new.json    # explicit pair
+//	benchdiff -threshold 10        # stricter gate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", ".", "directory searched for BENCH_*.json when no files are given")
+		threshold = flag.Float64("threshold", 25, "allowed worsening in percent")
+	)
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = experiments.PickBenchPair(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "benchdiff: give zero or two summary files")
+		os.Exit(2)
+	}
+
+	oldSum, err := experiments.LoadBench(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newSum, err := experiments.LoadBench(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	rep := experiments.DiffBench(oldSum, newSum, *threshold)
+	rep.Old, rep.New = oldPath, newPath
+	experiments.WriteDiff(os.Stdout, rep)
+	if rep.Regressions > 0 {
+		os.Exit(1)
+	}
+}

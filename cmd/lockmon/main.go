@@ -1,0 +1,165 @@
+// Command lockmon is the fleet monitor for configurable locks: it
+// scrapes lockd /metrics endpoints (or any exposition-format exporter)
+// on an interval, keeps windowed per-lock health series, flags
+// anomalies with the rule evaluator, and — with -apply — closes the
+// loop by pushing the recommended Ψ configuration back over the wire
+// with cooldown and flap damping.
+//
+//	lockmon -target http://host-a:9090/metrics
+//	lockmon -target a=http://a:9090/metrics -target b=http://b:9091/metrics
+//	lockmon -target a=http://a:9090/metrics@a:7700 -apply   # auto-reconfigure via lockd a:7700
+//	lockmon -every 1s -dash                                 # live text dashboard
+//	lockmon -serve :9100                                    # /fleet JSON + /metrics self-telemetry
+//	lockmon -for 30s -v                                     # scripted run, advice to stderr
+//
+// Target grammar: [name=]metricsURL[@lockdAddr]. The lockd address is
+// what -apply reconfigures through; without it a target is
+// observe-and-recommend only.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/lockclient"
+	"repro/internal/lockmon"
+)
+
+type target struct {
+	name, url, lockd string
+}
+
+func parseTarget(arg string, index int) (target, error) {
+	t := target{name: fmt.Sprintf("source%d", index)}
+	if name, rest, ok := strings.Cut(arg, "="); ok {
+		t.name = name
+		arg = rest
+	}
+	if url, addr, ok := strings.Cut(arg, "@"); ok {
+		t.url, t.lockd = url, addr
+	} else {
+		t.url = arg
+	}
+	if !strings.HasPrefix(t.url, "http://") && !strings.HasPrefix(t.url, "https://") {
+		return t, fmt.Errorf("target %q: metrics URL must be http(s)", arg)
+	}
+	return t, nil
+}
+
+func main() {
+	var targets []target
+	var (
+		every    = flag.Duration("every", 2*time.Second, "scrape interval")
+		windows  = flag.Int("windows", 64, "per-series window ring capacity")
+		apply    = flag.Bool("apply", false, "auto-apply recommended Ψ configurations to targets with a lockd address")
+		cooldown = flag.Int("cooldown", 5, "minimum windows between applies to one lock")
+		flapWin  = flag.Int("flap-windows", 12, "flap-damping span in windows")
+		maxFlips = flag.Int("max-flips", 2, "max applies per lock within the flap span")
+		high     = flag.Float64("high-contention", 0, "contention ratio treated as hot (0 = shared default)")
+		low      = flag.Float64("low-contention", 0, "contention ratio treated as quiet (0 = shared default)")
+		sustain  = flag.Int("sustain", 0, "windows a condition must hold before a rule fires (0 = shared default)")
+		serve    = flag.String("serve", "", "serve /fleet and /metrics on this address")
+		runFor   = flag.Duration("for", 0, "stop after this duration (0 = until interrupted)")
+		rounds   = flag.Int("rounds", 0, "stop after this many scrape rounds (0 = unlimited)")
+		dash     = flag.Bool("dash", false, "render the text dashboard to stdout after each round")
+		verbose  = flag.Bool("v", false, "log advice and source state changes to stderr")
+	)
+	flag.Func("target", "scrape target, [name=]metricsURL[@lockdAddr] (repeatable)", func(arg string) error {
+		t, err := parseTarget(arg, len(targets))
+		if err != nil {
+			return err
+		}
+		targets = append(targets, t)
+		return nil
+	})
+	flag.Parse()
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "lockmon: no -target given")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := lockmon.Config{
+		Window: *windows,
+		Thresholds: lockmon.Thresholds{
+			HighContention: *high,
+			LowContention:  *low,
+			SustainWindows: *sustain,
+		},
+		Apply: lockmon.ApplyConfig{
+			CooldownWindows: *cooldown,
+			FlapWindows:     *flapWin,
+			MaxFlips:        *maxFlips,
+		},
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	mon := lockmon.New(cfg)
+	for _, t := range targets {
+		mon.AddSource(lockmon.NewHTTPSource(t.name, t.url, lockmon.HTTPSourceOptions{}))
+		if *apply && t.lockd != "" {
+			c, err := lockclient.Dial(t.lockd, lockclient.Options{Client: "lockmon", Heartbeat: -1})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lockmon: dial %s for apply: %v\n", t.lockd, err)
+				os.Exit(1)
+			}
+			defer c.Close()
+			mon.SetReconfigurer(t.name, c, "lockd/")
+			fmt.Fprintf(os.Stderr, "lockmon: will apply advice for %s via %s\n", t.name, t.lockd)
+		}
+	}
+
+	if *serve != "" {
+		s, err := mon.Serve(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockmon:", err)
+			os.Exit(1)
+		}
+		defer s.Close()
+		fmt.Fprintf(os.Stderr, "lockmon: serving /fleet and /metrics on %s\n", s.Addr())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() { <-sig; cancel() }()
+	if *runFor > 0 {
+		go func() { time.Sleep(*runFor); cancel() }()
+	}
+
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	done := 0
+	for {
+		select {
+		case <-ctx.Done():
+			printSummary(mon)
+			return
+		case <-tick.C:
+		}
+		mon.ScrapeOnce(ctx)
+		done++
+		if *dash {
+			fmt.Print("\033[H\033[2J") // clear for a live view
+			mon.RenderDashboard(os.Stdout)
+		}
+		if *rounds > 0 && done >= *rounds {
+			printSummary(mon)
+			return
+		}
+	}
+}
+
+// printSummary renders the final fleet state once (skipped in -dash
+// mode, where it is already on screen).
+func printSummary(mon *lockmon.Monitor) {
+	fmt.Fprintln(os.Stderr)
+	mon.RenderDashboard(os.Stderr)
+}

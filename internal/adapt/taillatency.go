@@ -22,6 +22,9 @@ type TailLatencyHysteresis struct {
 	// source). Required.
 	Obs *obs.LockObserver
 	// SleepAboveP99: window p99 wait above this selects the sleep policy.
+	// Zero (together with a zero SpinBelowP99) selects the shared
+	// DefaultSleepAboveP99/DefaultSpinBelowP99 band, the same numbers
+	// the lockmon fleet evaluator advises from.
 	SleepAboveP99 sim.Duration
 	// SpinBelowP99: window p99 wait below this selects the spin policy.
 	// Must be <= SleepAboveP99; the gap is the hysteresis band.
@@ -54,6 +57,9 @@ func (p *TailLatencyHysteresis) WindowP99() (sim.Duration, int64) {
 // contract — the verdict is driven by the wait-histogram delta between
 // successive probes.
 func (p *TailLatencyHysteresis) Decide(prev, cur core.Snapshot) Decision {
+	if p.SleepAboveP99 == 0 && p.SpinBelowP99 == 0 {
+		p.SleepAboveP99, p.SpinBelowP99 = DefaultSleepAboveP99, DefaultSpinBelowP99
+	}
 	cum := p.Obs.Wait()
 	if !p.primed {
 		p.prevWait = cum

@@ -1,0 +1,35 @@
+package adapt
+
+import "repro/internal/sim"
+
+// Shared adaptation thresholds. The in-process feedback policies
+// (TailLatencyHysteresis, Degrader) and the fleet monitor
+// (internal/lockmon) must agree on what "contended" and "tail blown"
+// mean, or a lock tuned locally would immediately be re-tuned remotely;
+// both layers read these defaults. The numbers follow the
+// Mutable/Fissile Locks guidance: react to sustained contention above
+// ~70%, relax once it falls under ~25%, and treat a multi-x tail step
+// as an anomaly rather than noise.
+const (
+	// DefaultHighContention is the contended/acquisitions ratio above
+	// which a lock counts as heavily contended: waiters should stop
+	// spinning (switch to a queue/sleep policy).
+	DefaultHighContention = 0.7
+	// DefaultLowContention is the ratio below which a lock counts as
+	// quiet again: short holds can go back to spinning.
+	DefaultLowContention = 0.25
+	// DefaultTailStepFactor is the multiple of the trailing-window p99
+	// that flags a step-change anomaly.
+	DefaultTailStepFactor = 4.0
+	// DefaultSustainWindows is how many consecutive observation windows
+	// a condition must hold before reacting — the flap-damping floor.
+	DefaultSustainWindows = 3
+)
+
+// Default hysteresis band for tail-latency-driven spin/sleep switching:
+// sleep once the window p99 wait exceeds the upper bound, spin again
+// only after it falls below the lower one.
+var (
+	DefaultSleepAboveP99 = sim.Us(500)
+	DefaultSpinBelowP99  = sim.Us(50)
+)

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Benchmark regression diffing: compare two -bench-out summaries and
+// flag metrics that moved the wrong way by more than a threshold. Only
+// the simulated-time sections are gated — the Table 2 op costs and the
+// contended policy sweep are deterministic for a given config, so any
+// drift there is a real change in the locks, not machine noise. The
+// wall-clock sections (lockd round trips, lockmon scrape overhead) stay
+// in the artifact but are never gated: they vary with the host.
+
+// DiffEntry is one compared metric.
+type DiffEntry struct {
+	Section string  `json:"section"` // "lock_op_costs" or "policies"
+	Key     string  `json:"key"`     // lock or policy name
+	Metric  string  `json:"metric"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	// DeltaPct is the percentage change in the direction of "worse":
+	// positive means the metric regressed (slower op, lower throughput,
+	// fatter tail).
+	DeltaPct   float64 `json:"delta_pct"`
+	Regression bool    `json:"regression"`
+}
+
+// DiffReport is the full comparison.
+type DiffReport struct {
+	Old          string      `json:"old"`
+	New          string      `json:"new"`
+	ThresholdPct float64     `json:"threshold_pct"`
+	Entries      []DiffEntry `json:"entries"`
+	Regressions  int         `json:"regressions"`
+}
+
+// worsePct returns how much worse new is than old, in percent.
+// higherIsWorse selects the direction. A zero old value yields 0 (no
+// baseline to compare against).
+func worsePct(old, new float64, higherIsWorse bool) float64 {
+	if old == 0 {
+		return 0
+	}
+	pct := (new - old) / old * 100
+	if !higherIsWorse {
+		pct = -pct
+	}
+	return pct
+}
+
+// DiffBench compares the deterministic sections of two summaries.
+// thresholdPct is the allowed worsening in percent (e.g. 25).
+func DiffBench(oldSum, newSum BenchSummary, thresholdPct float64) DiffReport {
+	rep := DiffReport{ThresholdPct: thresholdPct}
+	add := func(section, key, metric string, old, new float64, higherIsWorse bool) {
+		e := DiffEntry{Section: section, Key: key, Metric: metric, Old: old, New: new,
+			DeltaPct: worsePct(old, new, higherIsWorse)}
+		e.Regression = e.DeltaPct > thresholdPct
+		if e.Regression {
+			rep.Regressions++
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+
+	oldOps := map[string]LockOpCost{}
+	for _, op := range oldSum.LockOps {
+		oldOps[op.Lock] = op
+	}
+	for _, op := range newSum.LockOps {
+		prev, ok := oldOps[op.Lock]
+		if !ok {
+			continue // new lock kind: nothing to regress against
+		}
+		add("lock_op_costs", op.Lock, "local_us", prev.LocalUs, op.LocalUs, true)
+		add("lock_op_costs", op.Lock, "remote_us", prev.RemoteUs, op.RemoteUs, true)
+	}
+
+	oldPol := map[string]PolicyBench{}
+	for _, p := range oldSum.Policies {
+		oldPol[p.Policy] = p
+	}
+	for _, p := range newSum.Policies {
+		prev, ok := oldPol[p.Policy]
+		if !ok {
+			continue
+		}
+		add("policies", p.Policy, "acquisitions_per_sec", prev.AcqPerSec, p.AcqPerSec, false)
+		add("policies", p.Policy, "wait_p99_us", prev.WaitP99Us, p.WaitP99Us, true)
+	}
+	return rep
+}
+
+// benchNum extracts the trailing PR number from a BENCH_*.json name.
+var benchNum = regexp.MustCompile(`(\d+)\.json$`)
+
+// PickBenchPair returns the two newest BENCH_*.json files in dir —
+// newest by the number embedded in the name, lexical order as the tie
+// break — as (older, newer).
+func PickBenchPair(dir string) (older, newer string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	if len(matches) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_*.json in %s, found %d", dir, len(matches))
+	}
+	rank := func(name string) int {
+		if m := benchNum.FindStringSubmatch(name); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			return n
+		}
+		return -1
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		ri, rj := rank(matches[i]), rank(matches[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return matches[i] < matches[j]
+	})
+	return matches[len(matches)-2], matches[len(matches)-1], nil
+}
+
+// LoadBench reads a -bench-out summary from disk.
+func LoadBench(path string) (BenchSummary, error) {
+	var sum BenchSummary
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sum, err
+	}
+	if err := json.Unmarshal(b, &sum); err != nil {
+		return sum, fmt.Errorf("%s: %v", path, err)
+	}
+	return sum, nil
+}
+
+// WriteDiff renders the report as a fixed-width table.
+func WriteDiff(w io.Writer, rep DiffReport) {
+	fmt.Fprintf(w, "benchdiff: %s -> %s (threshold %.0f%%)\n", rep.Old, rep.New, rep.ThresholdPct)
+	fmt.Fprintf(w, "%-14s %-10s %-22s %12s %12s %9s\n", "SECTION", "KEY", "METRIC", "OLD", "NEW", "WORSE%")
+	for _, e := range rep.Entries {
+		mark := ""
+		if e.Regression {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-14s %-10s %-22s %12.3f %12.3f %+8.1f%%%s\n",
+			e.Section, e.Key, e.Metric, e.Old, e.New, e.DeltaPct, mark)
+	}
+	if rep.Regressions > 0 {
+		fmt.Fprintf(w, "benchdiff: %d regression(s) beyond %.0f%%\n", rep.Regressions, rep.ThresholdPct)
+	} else {
+		fmt.Fprintln(w, "benchdiff: no regressions")
+	}
+}

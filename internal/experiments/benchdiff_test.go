@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func twoSummaries() (BenchSummary, BenchSummary) {
+	oldSum := BenchSummary{
+		LockOps: []LockOpCost{
+			{Lock: "mutex", LocalUs: 1.0, RemoteUs: 2.0},
+			{Lock: "queue", LocalUs: 4.0, RemoteUs: 8.0},
+		},
+		Policies: []PolicyBench{
+			{Policy: "spin", AcqPerSec: 1000, WaitP99Us: 50},
+			{Policy: "sleep", AcqPerSec: 800, WaitP99Us: 200},
+		},
+		Lockd: &LockdBench{AcquireP50Us: 100},
+	}
+	newSum := BenchSummary{
+		LockOps: []LockOpCost{
+			{Lock: "mutex", LocalUs: 1.1, RemoteUs: 2.1},    // within threshold
+			{Lock: "queue", LocalUs: 6.0, RemoteUs: 8.0},    // local_us +50%: regression
+			{Lock: "brandnew", LocalUs: 9.0, RemoteUs: 9.0}, // no baseline: skipped
+		},
+		Policies: []PolicyBench{
+			{Policy: "spin", AcqPerSec: 700, WaitP99Us: 49},   // throughput -30%: regression
+			{Policy: "sleep", AcqPerSec: 900, WaitP99Us: 230}, // both within threshold
+		},
+		Lockd: &LockdBench{AcquireP50Us: 100000}, // wall clock: never gated
+	}
+	return oldSum, newSum
+}
+
+func TestDiffBench(t *testing.T) {
+	oldSum, newSum := twoSummaries()
+	rep := DiffBench(oldSum, newSum, 25)
+	if rep.Regressions != 2 {
+		t.Fatalf("regressions = %d, want 2: %+v", rep.Regressions, rep.Entries)
+	}
+	byKey := map[string]DiffEntry{}
+	for _, e := range rep.Entries {
+		byKey[e.Key+"/"+e.Metric] = e
+	}
+	if e := byKey["queue/local_us"]; !e.Regression || e.DeltaPct < 49 || e.DeltaPct > 51 {
+		t.Fatalf("queue local_us entry wrong: %+v", e)
+	}
+	if e := byKey["spin/acquisitions_per_sec"]; !e.Regression || e.DeltaPct < 29 || e.DeltaPct > 31 {
+		t.Fatalf("spin throughput entry wrong: %+v", e)
+	}
+	if e := byKey["mutex/local_us"]; e.Regression {
+		t.Fatalf("mutex local_us flagged within threshold: %+v", e)
+	}
+	if e := byKey["sleep/wait_p99_us"]; e.Regression {
+		t.Fatalf("sleep p99 flagged at +15%%: %+v", e)
+	}
+	if _, ok := byKey["brandnew/local_us"]; ok {
+		t.Fatal("baseline-less lock should be skipped")
+	}
+	// Reversing the comparison turns the regressions into improvements
+	// and leaves every remaining delta under the threshold.
+	if rep2 := DiffBench(newSum, oldSum, 25); rep2.Regressions != 0 {
+		t.Fatalf("reverse diff found regressions: %+v", rep2.Entries)
+	}
+}
+
+func TestPickBenchPair(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_pr3.json", "BENCH_pr10.json", "BENCH_pr4.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	older, newer, err := PickBenchPair(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(older) != "BENCH_pr4.json" || filepath.Base(newer) != "BENCH_pr10.json" {
+		t.Fatalf("picked %s -> %s, want BENCH_pr4.json -> BENCH_pr10.json (numeric order)", older, newer)
+	}
+	if _, _, err := PickBenchPair(t.TempDir()); err == nil {
+		t.Fatal("empty dir should error")
+	}
+}

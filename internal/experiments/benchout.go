@@ -3,15 +3,18 @@ package experiments
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/cthread"
 	"repro/internal/lockclient"
 	"repro/internal/lockd"
+	"repro/internal/lockmon"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // This file builds the machine-readable benchmark artifact behind
@@ -55,6 +58,20 @@ type LockdBench struct {
 	ReleaseMaxUs float64 `json:"release_max_us"`
 }
 
+// LockmonBench is the fleet monitor's scrape overhead: the cost of one
+// full monitoring round (HTTP scrape of a live lockd's /metrics through
+// the exposition parser, series ingest, rule evaluation) and of the
+// in-process registry path. Wall-clock measurements, like LockdBench:
+// excluded from benchdiff regression gating.
+type LockmonBench struct {
+	Rounds         int     `json:"rounds"`
+	Locks          int     `json:"locks"`
+	HTTPRoundP50Us float64 `json:"http_round_p50_us"`
+	HTTPRoundP99Us float64 `json:"http_round_p99_us"`
+	RegRoundP50Us  float64 `json:"registry_round_p50_us"`
+	RegRoundP99Us  float64 `json:"registry_round_p99_us"`
+}
+
 // BenchSummary is the -bench-out document.
 type BenchSummary struct {
 	Procs      int           `json:"procs"`
@@ -63,6 +80,7 @@ type BenchSummary struct {
 	LockOps    []LockOpCost  `json:"lock_op_costs"`
 	Policies   []PolicyBench `json:"policies"`
 	Lockd      *LockdBench   `json:"lockd,omitempty"`
+	Lockmon    *LockmonBench `json:"lockmon,omitempty"`
 }
 
 // benchPolicies names the waiting policies the contended sweep covers.
@@ -137,7 +155,90 @@ func Bench(c Config) (BenchSummary, error) {
 		return out, err
 	}
 	out.Lockd = lb
+
+	rounds := 64
+	if c.Quick {
+		rounds = 16
+	}
+	mb, err := benchLockmon(rounds)
+	if err != nil {
+		return out, err
+	}
+	out.Lockmon = mb
 	return out, nil
+}
+
+// benchLockmon measures the monitor's per-round overhead against a live
+// lockd with a handful of populated locks: once over the HTTP scrape
+// path (network + text exposition parse + ingest + evaluate) and once
+// over the zero-copy in-process registry path.
+func benchLockmon(rounds int) (*LockmonBench, error) {
+	const nLocks = 4
+	reg := telemetry.NewRegistry()
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	tsrv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer tsrv.Close()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "monbench", Heartbeat: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	work := func() error {
+		for i := 0; i < nLocks; i++ {
+			h, err := c.Acquire(ctx, fmt.Sprintf("bench-%d", i))
+			if err != nil {
+				return err
+			}
+			if err := c.Release(ctx, h); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	measure := func(src lockmon.Source) (obs.Histogram, error) {
+		mon := lockmon.New(lockmon.Config{Window: 64})
+		mon.AddSource(src)
+		var h obs.Histogram
+		for i := 0; i < rounds+1; i++ {
+			if err := work(); err != nil {
+				return h, err
+			}
+			start := time.Now()
+			mon.ScrapeOnce(ctx)
+			if i == 0 {
+				continue // warmup: dial + series allocation
+			}
+			h.Record(sim.Duration(time.Since(start)))
+		}
+		return h, nil
+	}
+
+	httpHist, err := measure(lockmon.NewHTTPSource("bench", tsrv.URL()+"/metrics", lockmon.HTTPSourceOptions{}))
+	if err != nil {
+		return nil, err
+	}
+	regHist, err := measure(lockmon.NewRegistrySource("bench", reg))
+	if err != nil {
+		return nil, err
+	}
+	return &LockmonBench{
+		Rounds:         rounds,
+		Locks:          nLocks,
+		HTTPRoundP50Us: httpHist.Quantile(50).Us(),
+		HTTPRoundP99Us: httpHist.Quantile(99).Us(),
+		RegRoundP50Us:  regHist.Quantile(50).Us(),
+		RegRoundP99Us:  regHist.Quantile(99).Us(),
+	}, nil
 }
 
 // benchLockd measures the network lock service's round-trip costs: the

@@ -54,27 +54,43 @@ func TestBenchSummaryShape(t *testing.T) {
 	if sum.Lockd.AcquireP50Us > sum.Lockd.AcquireP99Us || sum.Lockd.ReleaseP50Us > sum.Lockd.ReleaseP99Us {
 		t.Errorf("lockd p50 > p99: %+v", sum.Lockd)
 	}
+	if sum.Lockmon == nil {
+		t.Fatal("bench-out has no lockmon section")
+	}
+	if sum.Lockmon.Rounds <= 0 || sum.Lockmon.Locks <= 0 {
+		t.Errorf("lockmon shape: %+v", sum.Lockmon)
+	}
+	if sum.Lockmon.HTTPRoundP50Us <= 0 || sum.Lockmon.RegRoundP50Us <= 0 {
+		t.Errorf("lockmon round cost not positive: %+v", sum.Lockmon)
+	}
+	if sum.Lockmon.HTTPRoundP50Us > sum.Lockmon.HTTPRoundP99Us ||
+		sum.Lockmon.RegRoundP50Us > sum.Lockmon.RegRoundP99Us {
+		t.Errorf("lockmon p50 > p99: %+v", sum.Lockmon)
+	}
 
 	// Determinism: a second run produces the identical document, modulo
-	// the lockd section (real network round trips, so wall-clock noise).
+	// the lockd and lockmon sections (real network round trips and scrape
+	// timings, so wall-clock noise).
 	var buf2 bytes.Buffer
 	if err := WriteBench(&buf2, Config{Quick: true}); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(stripLockd(t, buf.Bytes()), stripLockd(t, buf2.Bytes())) {
+	if !bytes.Equal(stripWallClock(t, buf.Bytes()), stripWallClock(t, buf2.Bytes())) {
 		t.Error("bench summary not deterministic across runs")
 	}
 }
 
-// stripLockd zeroes the nondeterministic lockd RTT section so the rest
-// of the document can be compared byte-for-byte.
-func stripLockd(t *testing.T, raw []byte) []byte {
+// stripWallClock zeroes the nondeterministic wall-clock sections (lockd
+// RTT, lockmon scrape overhead) so the rest of the document can be
+// compared byte-for-byte.
+func stripWallClock(t *testing.T, raw []byte) []byte {
 	t.Helper()
 	var sum BenchSummary
 	if err := json.Unmarshal(raw, &sum); err != nil {
 		t.Fatal(err)
 	}
 	sum.Lockd = nil
+	sum.Lockmon = nil
 	out, err := json.Marshal(sum)
 	if err != nil {
 		t.Fatal(err)

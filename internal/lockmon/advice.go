@@ -1,0 +1,306 @@
+package lockmon
+
+import (
+	"fmt"
+
+	"repro/internal/adapt"
+)
+
+// The health evaluator: rule-based anomaly detection over the windowed
+// series, emitting structured advice records. Rules are edge-triggered
+// with a sustain requirement — a condition must hold for SustainWindows
+// consecutive windows to fire, fires once per episode, and re-arms only
+// after its clear condition holds equally long. That is the first layer
+// of flap damping; the applier adds cooldown and flip limits on top.
+//
+// The recommendations follow the paper's configurable-locks playbook:
+// sustained high contention wants waiters off the CPU and queued
+// (sleep + FIFO), a quiet lock with short holds wants busy-waiting
+// back (spin), and a tail-latency step-change wants backoff to shed
+// the convoy while keeping the common path cheap.
+
+// Thresholds tunes the evaluator. The zero value adopts the shared
+// defaults from internal/adapt, so the fleet monitor and the
+// in-process adaptive policies judge contention identically.
+type Thresholds struct {
+	// HighContention: contended/acquisitions ratio above this counts as
+	// heavy contention (default adapt.DefaultHighContention).
+	HighContention float64
+	// LowContention: ratio below this counts as quiet (default
+	// adapt.DefaultLowContention).
+	LowContention float64
+	// TailStepFactor: a window p99 this many times the trailing median
+	// p99 is a step-change anomaly (default adapt.DefaultTailStepFactor).
+	TailStepFactor float64
+	// SustainWindows: consecutive qualifying windows before a rule fires
+	// (default adapt.DefaultSustainWindows).
+	SustainWindows int
+	// MinAcquisitions: windows with fewer acquisitions than this are
+	// skipped by the contention rules (default 4).
+	MinAcquisitions int64
+	// MinTailSamples: windows with fewer wait observations than this are
+	// skipped by the tail rule (default 8).
+	MinTailSamples int64
+	// SpinHoldBelowNs: hold p99 under this (with low contention) makes a
+	// lock a spin candidate (default adapt.DefaultSpinBelowP99 in ns).
+	SpinHoldBelowNs float64
+	// ShedSustain: consecutive windows with shedding before the
+	// source-level rule fires (default 2).
+	ShedSustain int
+}
+
+func (t Thresholds) withDefaults() Thresholds {
+	if t.HighContention <= 0 {
+		t.HighContention = adapt.DefaultHighContention
+	}
+	if t.LowContention <= 0 {
+		t.LowContention = adapt.DefaultLowContention
+	}
+	if t.TailStepFactor <= 0 {
+		t.TailStepFactor = adapt.DefaultTailStepFactor
+	}
+	if t.SustainWindows <= 0 {
+		t.SustainWindows = adapt.DefaultSustainWindows
+	}
+	if t.MinAcquisitions <= 0 {
+		t.MinAcquisitions = 4
+	}
+	if t.MinTailSamples <= 0 {
+		t.MinTailSamples = 8
+	}
+	if t.SpinHoldBelowNs <= 0 {
+		t.SpinHoldBelowNs = float64(adapt.DefaultSpinBelowP99)
+	}
+	if t.ShedSustain <= 0 {
+		t.ShedSustain = 2
+	}
+	return t
+}
+
+// Rule names.
+const (
+	RuleContentionHigh = "contention-high"
+	RuleSpinCandidate  = "spin-candidate"
+	RuleTailStep       = "tail-step"
+	RuleWatchdogTrips  = "watchdog-trips"
+	RuleShedSustained  = "shed-sustained"
+	RuleDeadlock       = "deadlock-suspected"
+)
+
+// Advice is one structured recommendation from the evaluator.
+type Advice struct {
+	// Seq is the monitor round that produced the advice.
+	Seq int `json:"seq"`
+	// Source/Lock locate the subject; Lock is empty for source-level
+	// advice (shedding, deadlock suspicion).
+	Source string `json:"source"`
+	Lock   string `json:"lock,omitempty"`
+	// Rule names the rule that fired (Rule* constants).
+	Rule string `json:"rule"`
+	// Severity is "info", "warn" or "critical".
+	Severity string `json:"severity"`
+	// Detail is the human-readable evidence line.
+	Detail string `json:"detail"`
+	// Policy/Sched, when non-empty, are the recommended Ψ configuration
+	// in wire spelling (lockd PolicyNames/SchedulerNames). Advice without
+	// them is advisory only — nothing to auto-apply.
+	Policy string `json:"policy,omitempty"`
+	Sched  string `json:"sched,omitempty"`
+	// Applied/ApplyNote record what the applier did with the advice
+	// ("applied", "cooldown", "flap-damped", "no-applier", an error...).
+	Applied   bool   `json:"applied,omitempty"`
+	ApplyNote string `json:"apply_note,omitempty"`
+}
+
+// condState tracks one sustained condition: how many consecutive
+// windows it has held (or cleared), and whether its episode already
+// fired.
+type condState struct {
+	streak int
+	clear  int
+	active bool
+}
+
+// step advances the condition with one window's verdict and reports
+// whether the rule fires now. holds=false windows both reset the streak
+// and (when the explicit clear condition holds) count toward re-arming.
+func (c *condState) step(holds, clears bool, sustain int) bool {
+	if holds {
+		c.clear = 0
+		c.streak++
+		if c.streak >= sustain && !c.active {
+			c.active = true
+			return true
+		}
+		return false
+	}
+	c.streak = 0
+	if clears {
+		c.clear++
+		if c.clear >= sustain {
+			c.active = false
+		}
+	} else {
+		c.clear = 0
+	}
+	return false
+}
+
+// lockRules is the evaluator state of one lock.
+type lockRules struct {
+	contention condState
+	spin       condState
+	tail       condState
+	trips      condState
+}
+
+// sourceRules is the evaluator state of one source.
+type sourceRules struct {
+	shed     condState
+	deadlock condState
+}
+
+// Evaluator applies the rules to freshly closed windows. Not
+// goroutine-safe; the monitor serialises calls.
+type Evaluator struct {
+	T     Thresholds
+	locks map[string]*lockRules
+	srcs  map[string]*sourceRules
+}
+
+// NewEvaluator returns an evaluator with t (zero fields defaulted).
+func NewEvaluator(t Thresholds) *Evaluator {
+	return &Evaluator{
+		T:     t.withDefaults(),
+		locks: map[string]*lockRules{},
+		srcs:  map[string]*sourceRules{},
+	}
+}
+
+func seriesKey(source, lock string) string { return source + "\x00" + lock }
+
+// EvalLock judges the newly closed window w of series ls and returns
+// any advice that fires.
+func (e *Evaluator) EvalLock(ls *LockSeries, w Window) []Advice {
+	t := e.T
+	st, ok := e.locks[seriesKey(ls.Source, ls.Lock)]
+	if !ok {
+		st = &lockRules{}
+		e.locks[seriesKey(ls.Source, ls.Lock)] = st
+	}
+	if w.Reset {
+		// A restarted process invalidates every sustained condition.
+		*st = lockRules{}
+		return nil
+	}
+	var out []Advice
+	adv := func(rule, severity, policy, sched, detail string) {
+		out = append(out, Advice{
+			Seq: w.Seq, Source: ls.Source, Lock: ls.Lock,
+			Rule: rule, Severity: severity, Policy: policy, Sched: sched, Detail: detail,
+		})
+	}
+
+	measured := w.Acquisitions >= t.MinAcquisitions
+
+	// Sustained heavy contention: stop spinning, queue the waiters.
+	hot := measured && w.ContentionRatio > t.HighContention
+	cool := measured && w.ContentionRatio < t.LowContention
+	if st.contention.step(hot, cool, t.SustainWindows) {
+		st.spin = condState{} // opposite episode re-arms
+		adv(RuleContentionHigh, "warn", "sleep", "fifo",
+			fmt.Sprintf("contention ratio %.2f > %.2f for %d windows: queue waiters and sleep",
+				w.ContentionRatio, t.HighContention, t.SustainWindows))
+	}
+
+	// Quiet lock with collapsed hold times: busy-waiting is cheaper than
+	// the block/wake round trip.
+	shortHolds := w.HoldCount == 0 || w.HoldP99Ns < t.SpinHoldBelowNs
+	spinny := measured && cool && shortHolds
+	if st.spin.step(spinny, hot, t.SustainWindows) {
+		st.contention = condState{}
+		adv(RuleSpinCandidate, "info", "spin", "fifo",
+			fmt.Sprintf("contention ratio %.2f < %.2f with hold p99 %.0fns for %d windows: spin",
+				w.ContentionRatio, t.LowContention, w.HoldP99Ns, t.SustainWindows))
+	}
+
+	// Tail step-change: current p99 a multiple of the trailing median.
+	trail := trailingP99(ls, t)
+	stepped := w.WaitCount >= t.MinTailSamples && trail > 0 && w.WaitP99Ns > t.TailStepFactor*trail
+	calm := trail <= 0 || w.WaitP99Ns <= trail
+	if st.tail.step(stepped, calm, 1) { // a step is an edge, not a trend: fire on first sight
+		adv(RuleTailStep, "warn", "backoff", "fifo",
+			fmt.Sprintf("wait p99 %.0fns is %.1fx the trailing median %.0fns: back off the waiters",
+				w.WaitP99Ns, w.WaitP99Ns/trail, trail))
+	}
+
+	// Watchdog trips: holders blowing their deadline. Advisory only.
+	if st.trips.step(w.WatchdogTrips > 0, w.WatchdogTrips == 0, 1) {
+		adv(RuleWatchdogTrips, "critical", "", "",
+			fmt.Sprintf("%d hold-deadline violations in the window", w.WatchdogTrips))
+	}
+	return out
+}
+
+// trailingP99 is the median of the wait p99 over the windows preceding
+// the latest one (which EvalLock is judging), considering only windows
+// with enough samples.
+func trailingP99(ls *LockSeries, t Thresholds) float64 {
+	recent := ls.Recent(t.SustainWindows*2 + 1)
+	if len(recent) < 2 {
+		return 0
+	}
+	recent = recent[:len(recent)-1] // drop the window under judgement
+	var vals []float64
+	for _, w := range recent {
+		if w.WaitCount >= t.MinTailSamples && !w.Reset {
+			vals = append(vals, w.WaitP99Ns)
+		}
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return median(vals)
+}
+
+func median(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; trailing windows are few
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// EvalSource judges the newly closed source-level window.
+func (e *Evaluator) EvalSource(source string, w SourceWindow) []Advice {
+	t := e.T
+	st, ok := e.srcs[source]
+	if !ok {
+		st = &sourceRules{}
+		e.srcs[source] = st
+	}
+	if w.Reset {
+		*st = sourceRules{}
+		return nil
+	}
+	var out []Advice
+	if st.shed.step(w.Sheds > 0, w.Sheds == 0, t.ShedSustain) {
+		out = append(out, Advice{
+			Seq: w.Seq, Source: source, Rule: RuleShedSustained, Severity: "critical",
+			Detail: fmt.Sprintf("server shed load for %d consecutive windows (%d sheds in the last): raise capacity or spread the keyspace", t.ShedSustain, w.Sheds),
+		})
+	}
+	if st.deadlock.step(w.Deadlocks > 0, w.Deadlocks == 0, 1) {
+		out = append(out, Advice{
+			Seq: w.Seq, Source: source, Rule: RuleDeadlock, Severity: "critical",
+			Detail: fmt.Sprintf("wait-for graph reported %d new suspected deadlock cycles", w.Deadlocks),
+		})
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package lockmon
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// recordingReconfigurer captures wire reconfigurations the applier
+// performs.
+type recordingReconfigurer struct {
+	mu    sync.Mutex
+	calls []string // "lock/policy/sched"
+}
+
+func (r *recordingReconfigurer) Reconfigure(_ context.Context, lock, policy, sched string) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls = append(r.calls, fmt.Sprintf("%s/%s/%s", lock, policy, sched))
+	return false, nil
+}
+
+func (r *recordingReconfigurer) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.calls...)
+}
+
+func synthSource(state *synthLock, extras map[string]float64) *FuncSource {
+	return &FuncSource{SourceName: "s", Fn: func(context.Context) ([]telemetry.Family, error) {
+		return synthFams([]synthLock{*state}, extras), nil
+	}}
+}
+
+func newPhaseMonitor(src Source, sustain, cooldown, flapWin, maxFlips int) *Monitor {
+	m := New(Config{
+		Window: 32,
+		Thresholds: Thresholds{
+			SustainWindows:  sustain,
+			MinAcquisitions: 2,
+		},
+		Apply: ApplyConfig{CooldownWindows: cooldown, FlapWindows: flapWin, MaxFlips: maxFlips},
+	})
+	m.AddSource(src)
+	return m
+}
+
+// phaseDriver drives the monitor over a synthetic workload whose
+// contention flips between hot and cool every phaseLen windows (one
+// priming round first), returning all advice in emission order.
+func phaseDriver(m *Monitor, state *synthLock, phases, phaseLen int) []Advice {
+	ctx := context.Background()
+	var all []Advice
+	round := func(hot bool) {
+		state.acq += 10
+		if hot {
+			state.cont += 9
+		}
+		all = append(all, m.ScrapeOnce(ctx)...)
+	}
+	round(false) // prime
+	for p := 0; p < phases; p++ {
+		for i := 0; i < phaseLen; i++ {
+			round(p%2 == 0)
+		}
+	}
+	return all
+}
+
+// TestPhaseFlipHysteresis is the advice-hysteresis contract: a workload
+// whose contention flips every K windows produces at most one
+// reconfiguration per phase (edge-triggered rules + sustain), with
+// policies alternating sleep/spin and applies spaced by the cooldown.
+func TestPhaseFlipHysteresis(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim"}
+	rc := &recordingReconfigurer{}
+	const phases, phaseLen, sustain, cooldown = 4, 6, 2, 2
+	m := newPhaseMonitor(synthSource(state, nil), sustain, cooldown, 12, 4)
+	m.SetReconfigurer("s", rc, "")
+
+	all := phaseDriver(m, state, phases, phaseLen)
+
+	var applied []Advice
+	for _, a := range all {
+		if a.Applied {
+			applied = append(applied, a)
+		}
+	}
+	if len(applied) != phases {
+		t.Fatalf("want exactly one apply per phase (%d), got %d: %+v", phases, len(applied), applied)
+	}
+	// Per-phase budget: phase p covers seqs (1+p*phaseLen, 1+(p+1)*phaseLen].
+	perPhase := map[int]int{}
+	for _, a := range applied {
+		perPhase[(a.Seq-2)/phaseLen]++
+	}
+	for p, n := range perPhase {
+		if n > 1 {
+			t.Fatalf("phase %d got %d reconfigurations, want <=1", p, n)
+		}
+	}
+	for i, a := range applied {
+		wantPolicy := "sleep"
+		if i%2 == 1 {
+			wantPolicy = "spin"
+		}
+		if a.Policy != wantPolicy {
+			t.Fatalf("apply %d policy %q, want %q (%+v)", i, a.Policy, wantPolicy, applied)
+		}
+		if i > 0 && a.Seq-applied[i-1].Seq < cooldown {
+			t.Fatalf("applies %d and %d only %d windows apart, cooldown %d", i-1, i, a.Seq-applied[i-1].Seq, cooldown)
+		}
+	}
+	calls := rc.snapshot()
+	if len(calls) != phases || calls[0] != "L/sleep/fifo" || calls[1] != "L/spin/fifo" {
+		t.Fatalf("wire calls wrong: %v", calls)
+	}
+}
+
+// TestFlapDamping flips phases faster than the flip budget allows and
+// asserts the applier holds the line: at most MaxFlips applies within
+// any FlapWindows span, with the excess marked flap-damped.
+func TestFlapDamping(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim"}
+	rc := &recordingReconfigurer{}
+	const flapWin, maxFlips = 10, 2
+	m := newPhaseMonitor(synthSource(state, nil), 1, 1, flapWin, maxFlips)
+	m.SetReconfigurer("s", rc, "")
+
+	all := phaseDriver(m, state, 10, 2)
+
+	var appliedSeqs []int
+	damped := 0
+	for _, a := range all {
+		if a.Applied {
+			appliedSeqs = append(appliedSeqs, a.Seq)
+		}
+		if a.ApplyNote == "flap-damped" {
+			damped++
+		}
+	}
+	if len(appliedSeqs) == 0 || damped == 0 {
+		t.Fatalf("expected both applies and flap-damped advice, got applies=%v damped=%d", appliedSeqs, damped)
+	}
+	for i := range appliedSeqs {
+		inSpan := 0
+		for j := 0; j <= i; j++ {
+			if appliedSeqs[i]-appliedSeqs[j] < flapWin {
+				inSpan++
+			}
+		}
+		if inSpan > maxFlips {
+			t.Fatalf("%d applies within %d windows ending at seq %d (budget %d): %v",
+				inSpan, flapWin, appliedSeqs[i], maxFlips, appliedSeqs)
+		}
+	}
+	var buf strings.Builder
+	if err := telemetry.WriteFamilies(&buf, m.Families()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lockmon_apply_total{outcome="flap-damped"}`) {
+		t.Fatalf("self-telemetry missing flap-damped outcome:\n%s", buf.String())
+	}
+}
+
+// TestCooldownSuppression: phases shorter than the cooldown leave the
+// second episode advisory ("cooldown"), not applied.
+func TestCooldownSuppression(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim"}
+	rc := &recordingReconfigurer{}
+	m := newPhaseMonitor(synthSource(state, nil), 1, 6, 32, 8)
+	m.SetReconfigurer("s", rc, "")
+
+	all := phaseDriver(m, state, 2, 2) // second episode 2 windows after the first
+	var notes []string
+	for _, a := range all {
+		notes = append(notes, a.ApplyNote)
+	}
+	if len(all) < 2 || all[0].ApplyNote != "applied" || all[1].ApplyNote != "cooldown" {
+		t.Fatalf("cooldown not enforced: %v (%+v)", notes, all)
+	}
+	if calls := rc.snapshot(); len(calls) != 1 {
+		t.Fatalf("wire calls = %v, want exactly the first apply", calls)
+	}
+}
+
+// TestTailStepAdvice feeds a steady wait-latency profile then a 100x
+// p99 step and expects the step-change rule to fire with backoff
+// advice.
+func TestTailStepAdvice(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim", wait: map[float64]int64{1023: 0}}
+	m := newPhaseMonitor(synthSource(state, nil), 2, 1, 32, 8)
+	ctx := context.Background()
+
+	var got []Advice
+	steady := func() {
+		state.acq += 20
+		state.wait[1023] += 10
+		got = append(got, m.ScrapeOnce(ctx)...)
+	}
+	steady() // prime
+	for i := 0; i < 4; i++ {
+		steady()
+	}
+	for _, a := range got {
+		if a.Rule == RuleTailStep {
+			t.Fatalf("tail-step fired on steady profile: %+v", a)
+		}
+	}
+	state.acq += 20
+	state.wait[131071] = 10 // whole window lands 128x higher
+	got = m.ScrapeOnce(ctx)
+	found := false
+	for _, a := range got {
+		if a.Rule == RuleTailStep && a.Policy == "backoff" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tail step did not fire: %+v", got)
+	}
+}
+
+// TestSourceRules drives the source-level shed and deadlock rules.
+func TestSourceRules(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "native"}
+	extras := map[string]float64{
+		"lockd_shed_total":                   0,
+		"lockd_acquires_total":               0,
+		"waitgraph_deadlock_suspected_total": 0,
+	}
+	m := newPhaseMonitor(synthSource(state, extras), 2, 1, 32, 8)
+	ctx := context.Background()
+	rules := map[string]int{}
+	round := func(shed, dead float64) {
+		state.acq += 10
+		extras["lockd_shed_total"] += shed
+		extras["lockd_acquires_total"] += 10
+		extras["waitgraph_deadlock_suspected_total"] += dead
+		for _, a := range m.ScrapeOnce(ctx) {
+			rules[a.Rule]++
+		}
+	}
+	round(0, 0) // prime
+	round(0, 0)
+	round(3, 0)
+	round(5, 0) // second shedding window: rule fires (ShedSustain default 2)
+	round(4, 1) // deadlock edge
+	round(2, 0)
+	if rules[RuleShedSustained] != 1 {
+		t.Fatalf("shed-sustained fired %d times, want 1 (%v)", rules[RuleShedSustained], rules)
+	}
+	if rules[RuleDeadlock] != 1 {
+		t.Fatalf("deadlock-suspected fired %d times, want 1 (%v)", rules[RuleDeadlock], rules)
+	}
+	// Token rate landed in the source series.
+	snap := m.Snapshot(1)
+	if len(snap.Locks) == 0 || snap.Locks[0].Srv.Tokens != 10 {
+		t.Fatalf("token rate not tracked: %+v", snap.Locks)
+	}
+}
+
+// TestResetClearsRuleState: a counter reset (process restart) mid-streak
+// must not let stale windows count toward a rule firing.
+func TestResetClearsRuleState(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim"}
+	m := newPhaseMonitor(synthSource(state, nil), 3, 1, 32, 8)
+	ctx := context.Background()
+	hot := func() []Advice {
+		state.acq += 10
+		state.cont += 9
+		return m.ScrapeOnce(ctx)
+	}
+	hot() // prime
+	hot()
+	hot()                                                       // two hot windows: one short of sustain=3
+	*state = synthLock{lock: "L", impl: "sim", acq: 1, cont: 1} // restart
+	if advs := hot(); len(advs) != 0 {
+		t.Fatalf("advice across a reset window: %+v", advs)
+	}
+	if advs := hot(); len(advs) != 0 {
+		t.Fatalf("streak survived the reset: %+v", advs)
+	}
+	var fired []Advice
+	fired = append(fired, hot()...)
+	fired = append(fired, hot()...)
+	found := false
+	for _, a := range fired {
+		if a.Rule == RuleContentionHigh {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("contention rule never re-fired after reset: %+v", fired)
+	}
+}

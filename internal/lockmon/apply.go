@@ -1,0 +1,136 @@
+package lockmon
+
+import (
+	"context"
+	"strings"
+)
+
+// The applier turns advice that carries a Ψ recommendation into wire
+// reconfigurations — the monitor-driven half of the configurable-locks
+// loop. It is deliberately conservative: per-lock cooldown between
+// applies, a flip budget over a trailing span (flap damping), and no
+// action at all unless a Reconfigurer was registered for the source.
+
+// A Reconfigurer can change a lock's waiting policy and scheduler over
+// the wire. *lockclient.Client satisfies it.
+type Reconfigurer interface {
+	Reconfigure(ctx context.Context, lock, policy, sched string) (pending bool, err error)
+}
+
+// ApplyConfig tunes the applier. Zero fields take defaults.
+type ApplyConfig struct {
+	// CooldownWindows is the minimum number of monitor rounds between
+	// two applies to the same lock (default 5).
+	CooldownWindows int
+	// FlapWindows / MaxFlips bound oscillation: at most MaxFlips applies
+	// to one lock within any trailing FlapWindows rounds (defaults 12/2).
+	FlapWindows int
+	MaxFlips    int
+}
+
+func (c ApplyConfig) withDefaults() ApplyConfig {
+	if c.CooldownWindows <= 0 {
+		c.CooldownWindows = 5
+	}
+	if c.FlapWindows <= 0 {
+		c.FlapWindows = 12
+	}
+	if c.MaxFlips <= 0 {
+		c.MaxFlips = 2
+	}
+	return c
+}
+
+// applyTarget is a registered reconfiguration path for one source.
+type applyTarget struct {
+	rc Reconfigurer
+	// strip is removed from the front of series lock names to recover
+	// the wire name (lockd registers locks as "lockd/<name>").
+	strip string
+}
+
+// applyState is the per-lock apply history.
+type applyState struct {
+	lastPolicy string
+	lastSched  string
+	lastSeq    int
+	applies    []int // seqs of past applies, pruned to the flap span
+}
+
+// Applier decides and performs reconfigurations. Not goroutine-safe;
+// the monitor serialises calls.
+type Applier struct {
+	cfg     ApplyConfig
+	targets map[string]applyTarget
+	state   map[string]*applyState
+}
+
+// NewApplier returns an applier with cfg (zero fields defaulted).
+func NewApplier(cfg ApplyConfig) *Applier {
+	return &Applier{
+		cfg:     cfg.withDefaults(),
+		targets: map[string]applyTarget{},
+		state:   map[string]*applyState{},
+	}
+}
+
+// Target registers the reconfiguration path for a source. strip is the
+// prefix removed from series lock names to obtain wire names (pass
+// "lockd/" for lockd sources, "" when names already match).
+func (a *Applier) Target(source string, rc Reconfigurer, strip string) {
+	a.targets[source] = applyTarget{rc: rc, strip: strip}
+}
+
+// Apply attempts to enact adv, annotating Applied/ApplyNote in place.
+// The returned note is one of "applied", "pending", or a skip reason
+// ("advisory", "no-applier", "unchanged", "cooldown", "flap-damped",
+// "error: ...").
+func (a *Applier) Apply(ctx context.Context, adv *Advice) string {
+	note := a.apply(ctx, adv)
+	adv.ApplyNote = note
+	adv.Applied = note == "applied" || note == "pending"
+	return note
+}
+
+func (a *Applier) apply(ctx context.Context, adv *Advice) string {
+	if adv.Policy == "" && adv.Sched == "" {
+		return "advisory"
+	}
+	target, ok := a.targets[adv.Source]
+	if !ok || target.rc == nil {
+		return "no-applier"
+	}
+	key := seriesKey(adv.Source, adv.Lock)
+	st, ok := a.state[key]
+	if !ok {
+		st = &applyState{lastSeq: -1 << 30}
+		a.state[key] = st
+	}
+	if st.lastPolicy == adv.Policy && st.lastSched == adv.Sched {
+		return "unchanged"
+	}
+	if adv.Seq-st.lastSeq < a.cfg.CooldownWindows {
+		return "cooldown"
+	}
+	pruned := st.applies[:0]
+	for _, s := range st.applies {
+		if adv.Seq-s < a.cfg.FlapWindows {
+			pruned = append(pruned, s)
+		}
+	}
+	st.applies = pruned
+	if len(st.applies) >= a.cfg.MaxFlips {
+		return "flap-damped"
+	}
+	wireName := strings.TrimPrefix(adv.Lock, target.strip)
+	pending, err := target.rc.Reconfigure(ctx, wireName, adv.Policy, adv.Sched)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	st.lastPolicy, st.lastSched, st.lastSeq = adv.Policy, adv.Sched, adv.Seq
+	st.applies = append(st.applies, adv.Seq)
+	if pending {
+		return "pending"
+	}
+	return "applied"
+}

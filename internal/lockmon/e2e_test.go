@@ -1,0 +1,208 @@
+package lockmon_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+	"repro/internal/lockmon"
+	"repro/internal/telemetry"
+)
+
+// TestEndToEndAdviseAndApply is the PR's acceptance scenario: a real
+// lockd under real contention, scraped over HTTP through the exposition
+// parser, must yield non-empty windowed series, a correct
+// contention-high advice, and — with a reconfigurer registered — a wire
+// Ψ reconfiguration observable in the server's own /metrics.
+func TestEndToEndAdviseAndApply(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("lockd.Serve: %v", err)
+	}
+	defer srv.Close()
+	tsrv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("telemetry serve: %v", err)
+	}
+	defer tsrv.Close()
+
+	mon := lockmon.New(lockmon.Config{
+		Window: 32,
+		Thresholds: lockmon.Thresholds{
+			SustainWindows:  2,
+			MinAcquisitions: 4,
+		},
+		Apply: lockmon.ApplyConfig{CooldownWindows: 2},
+	})
+	mon.AddSource(lockmon.NewHTTPSource("lockd-a", tsrv.URL()+"/metrics", lockmon.HTTPSourceOptions{}))
+
+	ctx := context.Background()
+	ctl, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "lockmon", Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial control client: %v", err)
+	}
+	defer ctl.Close()
+	mon.SetReconfigurer("lockd-a", ctl, "lockd/")
+
+	// A hot lock: six workers hammering one name with a non-trivial hold,
+	// so nearly every acquisition is contended.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Heartbeat: -1})
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := c.Acquire(ctx, "hot")
+				if err != nil {
+					return
+				}
+				time.Sleep(300 * time.Microsecond)
+				c.Release(ctx, h)
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	// Drive monitoring rounds until the contention advice lands (bounded).
+	var applied *lockmon.Advice
+	for round := 0; round < 60 && applied == nil; round++ {
+		time.Sleep(25 * time.Millisecond)
+		for _, a := range mon.ScrapeOnce(ctx) {
+			if a.Rule == lockmon.RuleContentionHigh && a.Applied {
+				cp := a
+				applied = &cp
+			}
+		}
+	}
+	if applied == nil {
+		t.Fatalf("no applied contention-high advice after 60 rounds; fleet: %+v", mon.Snapshot(4))
+	}
+	if applied.Lock != "lockd/hot" || applied.Policy != "sleep" || applied.Sched != "fifo" {
+		t.Fatalf("advice targeted wrong Ψ: %+v", applied)
+	}
+
+	// The time series behind the advice is real: windows with
+	// acquisitions, contention and wait quantiles.
+	snap := mon.Snapshot(8)
+	var hot *lockmon.LockHealth
+	for i := range snap.Locks {
+		if snap.Locks[i].Lock == "lockd/hot" {
+			hot = &snap.Locks[i]
+		}
+	}
+	if hot == nil || len(hot.Recent) == 0 {
+		t.Fatalf("no series for the hot lock: %+v", snap.Locks)
+	}
+	var sawWait bool
+	for _, w := range hot.Recent {
+		if w.WaitCount > 0 && w.WaitP99Ns > 0 {
+			sawWait = true
+		}
+	}
+	if !sawWait || hot.Last.Acquisitions == 0 {
+		t.Fatalf("series empty or waitless: %+v", hot.Recent)
+	}
+
+	// The reconfiguration is observable in the *server's* metrics.
+	resp, err := http.Get(tsrv.URL() + "/metrics")
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	fams, err := telemetry.ParseMetrics(body)
+	if err != nil {
+		t.Fatalf("parse server metrics: %v", err)
+	}
+	if got := famValue(fams, "lockd_reconfigurations_total"); got < 1 {
+		t.Fatalf("server saw no reconfiguration (lockd_reconfigurations_total=%v):\n%s", got, body)
+	}
+}
+
+// TestMonitorHTTPSurface smoke-tests /fleet (JSON and text dashboard)
+// and /metrics of the monitor's own endpoint.
+func TestMonitorHTTPSurface(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srvd, err := lockd.Serve("127.0.0.1:0", lockd.Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("lockd.Serve: %v", err)
+	}
+	defer srvd.Close()
+
+	mon := lockmon.New(lockmon.Config{Window: 8})
+	mon.AddSource(lockmon.NewRegistrySource("local", reg))
+	ctx := context.Background()
+	c, err := lockclient.Dial(srvd.Addr(), lockclient.Options{Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		h, err := c.Acquire(ctx, "L")
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		c.Release(ctx, h)
+		mon.ScrapeOnce(ctx)
+	}
+
+	ms, err := mon.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("monitor serve: %v", err)
+	}
+	defer ms.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: HTTP %d", path, resp.StatusCode)
+		}
+		return string(b)
+	}
+
+	var fleet lockmon.Fleet
+	if err := json.Unmarshal([]byte(get("/fleet?windows=4")), &fleet); err != nil {
+		t.Fatalf("fleet JSON: %v", err)
+	}
+	if fleet.Seq != 3 || len(fleet.Sources) != 1 || len(fleet.Locks) == 0 {
+		t.Fatalf("fleet snapshot wrong: %+v", fleet)
+	}
+	dash := get("/fleet?format=text")
+	if !strings.Contains(dash, "SOURCE") || !strings.Contains(dash, "lockd/L") {
+		t.Fatalf("dashboard missing content:\n%s", dash)
+	}
+	metrics := get("/metrics")
+	fams, err := telemetry.ParseMetrics([]byte(metrics))
+	if err != nil {
+		t.Fatalf("monitor /metrics does not parse: %v\n%s", err, metrics)
+	}
+	if famValue(fams, "lockmon_source_up") != 1 || famValue(fams, "lockmon_rounds_total") != 3 {
+		t.Fatalf("monitor self-metrics wrong:\n%s", metrics)
+	}
+}

@@ -1,0 +1,161 @@
+package lockmon_test
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+	"repro/internal/lockmon"
+	"repro/internal/telemetry"
+)
+
+// famValue pulls the first sample value of a family, or -1.
+func famValue(fams []telemetry.Family, name string) float64 {
+	f := telemetry.FindFamily(fams, name)
+	if f == nil || len(f.Samples) == 0 {
+		return -1
+	}
+	return f.Samples[0].Value
+}
+
+// TestScrapePartitionRobustness partitions the monitor's scrape path to
+// a live lockd with the deterministic fault schedule (every wrapped
+// write opens a partition window far longer than the scrape timeout)
+// and asserts the monitor's contract: lockmon_source_up drops, no
+// advice or windows are produced from stale data during the outage, and
+// recovery re-primes cleanly instead of inventing a window spanning the
+// partition.
+func TestScrapePartitionRobustness(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{Registry: reg})
+	if err != nil {
+		t.Fatalf("lockd.Serve: %v", err)
+	}
+	defer srv.Close()
+	tsrv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("telemetry serve: %v", err)
+	}
+	defer tsrv.Close()
+
+	ctx := context.Background()
+	c, err := lockclient.Dial(srv.Addr(), lockclient.Options{Client: "w", Heartbeat: -1})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	work := func(n int) {
+		for i := 0; i < n; i++ {
+			h, err := c.Acquire(ctx, "hot")
+			if err != nil {
+				t.Fatalf("acquire: %v", err)
+			}
+			if err := c.Release(ctx, h); err != nil {
+				t.Fatalf("release: %v", err)
+			}
+		}
+	}
+
+	// Every write through a wrapped conn opens a 2s partition window —
+	// far beyond the 250ms scrape timeout, so a partitioned scrape fails
+	// deterministically.
+	sched := fault.MustSchedule(42, fault.Spec{Kind: fault.Partition, Every: 1, MinUs: 2e6})
+	var partitioned atomic.Bool
+	var mu sync.Mutex
+	var conns []net.Conn
+	dial := func(ctx context.Context, network, addr string) (net.Conn, error) {
+		var d net.Dialer
+		raw, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		conns = append(conns, raw)
+		mu.Unlock()
+		if partitioned.Load() {
+			return fault.WrapConn(raw, sched), nil
+		}
+		return raw, nil
+	}
+	sever := func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, cn := range conns {
+			cn.Close()
+		}
+		conns = conns[:0]
+	}
+
+	mon := lockmon.New(lockmon.Config{
+		Window:        16,
+		ScrapeTimeout: 250 * time.Millisecond,
+	})
+	mon.AddSource(lockmon.NewHTTPSource("lockd-a", tsrv.URL()+"/metrics",
+		lockmon.HTTPSourceOptions{Timeout: 250 * time.Millisecond, Dial: dial}))
+
+	// Healthy rounds: prime, then close one window.
+	work(5)
+	mon.ScrapeOnce(ctx)
+	work(5)
+	if advs := mon.ScrapeOnce(ctx); len(advs) != 0 {
+		t.Fatalf("unexpected advice from a quiet lock: %+v", advs)
+	}
+	fams := mon.Families()
+	if famValue(fams, "lockmon_source_up") != 1 {
+		t.Fatalf("source not up after healthy scrapes:\n%+v", fams)
+	}
+	windowsBefore := famValue(fams, "lockmon_windows_total")
+	if windowsBefore < 1 {
+		t.Fatalf("no windows closed during healthy phase")
+	}
+
+	// Partition: new conns are black holes; kill the pooled conn so the
+	// next scrape must redial through the fault wrapper.
+	partitioned.Store(true)
+	sever()
+	for i := 0; i < 2; i++ {
+		work(5)
+		if advs := mon.ScrapeOnce(ctx); len(advs) != 0 {
+			t.Fatalf("advice emitted during partition: %+v", advs)
+		}
+	}
+	fams = mon.Families()
+	if famValue(fams, "lockmon_source_up") != 0 {
+		t.Fatalf("source still up while partitioned")
+	}
+	if famValue(fams, "lockmon_scrape_failures_total") < 2 {
+		t.Fatalf("scrape failures not counted: %+v", fams)
+	}
+	if got := famValue(fams, "lockmon_windows_total"); got != windowsBefore {
+		t.Fatalf("windows closed during partition: %v -> %v", windowsBefore, got)
+	}
+
+	// Heal: unwrapped conns again. The first clean scrape only re-primes.
+	partitioned.Store(false)
+	sever()
+	work(5)
+	mon.ScrapeOnce(ctx)
+	fams = mon.Families()
+	if famValue(fams, "lockmon_source_up") != 1 {
+		t.Fatalf("source did not recover after heal")
+	}
+	if got := famValue(fams, "lockmon_windows_total"); got != windowsBefore {
+		t.Fatalf("recovery scrape closed a window over the outage: %v -> %v", windowsBefore, got)
+	}
+	// The next round resumes normal windowing.
+	work(5)
+	mon.ScrapeOnce(ctx)
+	if got := famValue(mon.Families(), "lockmon_windows_total"); got <= windowsBefore {
+		t.Fatalf("windowing did not resume after recovery: %v", got)
+	}
+	snap := mon.Snapshot(4)
+	if !snap.Sources[0].Up || snap.Sources[0].Failures < 2 {
+		t.Fatalf("fleet snapshot inconsistent after recovery: %+v", snap.Sources)
+	}
+}

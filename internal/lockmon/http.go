@@ -1,0 +1,161 @@
+package lockmon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Handler serves the monitor:
+//
+//	/fleet    JSON fleet snapshot (?windows=N includes per-lock history,
+//	          ?format=text renders the dashboard instead)
+//	/metrics  the monitor's own lockmon_* families, text exposition
+//	/         a tiny index
+func (m *Monitor) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lockmon: fleet lock monitor")
+		fmt.Fprintln(w, "  /fleet    JSON state (?windows=N, ?format=text)")
+		fmt.Fprintln(w, "  /metrics  lockmon_* self-telemetry")
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		windows := 0
+		fmt.Sscanf(r.URL.Query().Get("windows"), "%d", &windows)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			m.RenderDashboard(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(m.Snapshot(windows))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WriteFamilies(w, m.Families())
+	})
+	return mux
+}
+
+// Server is a running lockmon HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr and serves the monitor's handler until Close.
+func (m *Monitor) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: m.Handler()}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// RenderDashboard writes the fleet state as a fixed-width text
+// dashboard — the CLI's -dash mode and /fleet?format=text.
+func (m *Monitor) RenderDashboard(w io.Writer) {
+	f := m.Snapshot(8)
+	fmt.Fprintf(w, "lockmon round %d\n\n", f.Seq)
+	fmt.Fprintf(w, "%-14s %-5s %8s %8s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "LAST ERROR")
+	for _, s := range f.Sources {
+		up := "up"
+		if !s.Up {
+			up = "DOWN"
+		}
+		fmt.Fprintf(w, "%-14s %-5s %8d %8d  %s\n", s.Name, up, s.Scrapes, s.Failures, s.LastErr)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-14s %-18s %-6s %6s %6s %5s %10s %10s %5s  %s\n",
+		"SOURCE", "LOCK", "IMPL", "ACQ", "CONT", "RATIO", "WAITP99", "HOLDP99", "TRIPS", "CONTENTION (old->new)")
+	locks := append([]LockHealth(nil), f.Locks...)
+	sort.Slice(locks, func(i, j int) bool {
+		if locks[i].Source != locks[j].Source {
+			return locks[i].Source < locks[j].Source
+		}
+		return locks[i].Lock < locks[j].Lock
+	})
+	for _, l := range locks {
+		fmt.Fprintf(w, "%-14s %-18s %-6s %6d %6d %5.2f %10s %10s %5d  %s\n",
+			l.Source, l.Lock, l.Impl,
+			l.Last.Acquisitions, l.Last.Contended, l.Last.ContentionRatio,
+			fmtNs(l.Last.WaitP99Ns), fmtNs(l.Last.HoldP99Ns), l.Last.WatchdogTrips,
+			sparkline(l.Recent))
+	}
+	if len(f.Advice) > 0 {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "ADVICE (most recent last)")
+		start := len(f.Advice) - 10
+		if start < 0 {
+			start = 0
+		}
+		for _, a := range f.Advice[start:] {
+			target := a.Source
+			if a.Lock != "" {
+				target += "/" + a.Lock
+			}
+			note := ""
+			if a.ApplyNote != "" {
+				note = " [" + a.ApplyNote + "]"
+			}
+			fmt.Fprintf(w, "  r%-4d %-8s %-18s %-22s %s%s\n", a.Seq, a.Severity, a.Rule, target, a.Detail, note)
+		}
+	}
+}
+
+// sparkline renders recent contention ratios as a bar strip.
+func sparkline(ws []Window) string {
+	if len(ws) == 0 {
+		return ""
+	}
+	marks := []rune("_▁▂▃▄▅▆▇█")
+	var sb strings.Builder
+	for _, w := range ws {
+		r := w.ContentionRatio
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		sb.WriteRune(marks[int(r*float64(len(marks)-1)+0.5)])
+	}
+	return sb.String()
+}
+
+// fmtNs renders a nanosecond quantity with a unit suffix.
+func fmtNs(ns float64) string {
+	switch {
+	case ns <= 0:
+		return "-"
+	case ns < 1e3:
+		return fmt.Sprintf("%.0fns", ns)
+	case ns < 1e6:
+		return fmt.Sprintf("%.1fus", ns/1e3)
+	case ns < 1e9:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	}
+}

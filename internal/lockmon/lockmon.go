@@ -1,0 +1,345 @@
+// Package lockmon is the fleet-scale monitoring layer for configurable
+// locks: it scrapes many telemetry sources (remote lockd /metrics
+// endpoints through the exposition parser, or in-process registries
+// directly), maintains windowed per-lock time series in fixed rings,
+// runs a rule-based health evaluator over every freshly closed window,
+// and — optionally — closes the loop by applying the recommended Ψ
+// configuration over the wire with cooldown and flap damping.
+//
+// The paper's thesis is that the right lock configuration depends on
+// observed behaviour; internal/adapt closes that loop inside one
+// process, lockmon closes it across a fleet.
+package lockmon
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Config tunes a Monitor. Zero fields take defaults.
+type Config struct {
+	// Window is the ring capacity per series (default 64).
+	Window int
+	// Thresholds tunes the health evaluator.
+	Thresholds Thresholds
+	// Apply tunes the applier (cooldown/flap damping).
+	Apply ApplyConfig
+	// ScrapeTimeout bounds one source scrape (default 5s).
+	ScrapeTimeout time.Duration
+	// AdviceLog is how many advice records are retained for /fleet and
+	// the dashboard (default 256).
+	AdviceLog int
+	// Logf, when set, receives one line per advice and per source state
+	// change.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	if c.ScrapeTimeout <= 0 {
+		c.ScrapeTimeout = 5 * time.Second
+	}
+	if c.AdviceLog <= 0 {
+		c.AdviceLog = 256
+	}
+	return c
+}
+
+// sourceState is everything the monitor tracks about one source.
+type sourceState struct {
+	src      Source
+	up       bool
+	everUp   bool
+	scrapes  int64
+	failures int64
+	lastErr  string
+	locks    map[string]*LockSeries
+	order    []string
+	series   *SourceSeries
+}
+
+// Monitor owns the scrape loop, the series, the evaluator and the
+// applier. ScrapeOnce drives one deterministic round; Run wraps it in a
+// ticker.
+type Monitor struct {
+	cfg     Config
+	mu      sync.Mutex
+	sources []*sourceState
+	eval    *Evaluator
+	applier *Applier
+
+	seq          int
+	windowsTotal int64
+	adviceTotal  map[string]int64 // rule -> count
+	applyNotes   map[string]int64 // note class -> count
+	advice       []Advice         // trailing AdviceLog records
+}
+
+// New returns a Monitor with cfg.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	return &Monitor{
+		cfg:         cfg,
+		eval:        NewEvaluator(cfg.Thresholds),
+		applier:     NewApplier(cfg.Apply),
+		adviceTotal: map[string]int64{},
+		applyNotes:  map[string]int64{},
+	}
+}
+
+// AddSource registers a scrape target.
+func (m *Monitor) AddSource(src Source) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sources = append(m.sources, &sourceState{
+		src:    src,
+		locks:  map[string]*LockSeries{},
+		series: newSourceSeries(m.cfg.Window),
+	})
+}
+
+// SetReconfigurer registers the auto-apply path for a source: advice
+// about that source's locks will be enacted through rc. strip is
+// removed from the front of series lock names to recover wire names
+// ("lockd/" for lockd sources). Without a reconfigurer the monitor is
+// observe-and-recommend only.
+func (m *Monitor) SetReconfigurer(source string, rc Reconfigurer, strip string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applier.Target(source, rc, strip)
+}
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// ScrapeOnce performs one monitoring round: scrape every source,
+// ingest the results into the series, evaluate the rules on every
+// freshly closed window, and run the applier over the advice. It
+// returns the advice produced this round. Tests drive rounds manually
+// through it; Run calls it on a ticker.
+//
+// A source that fails to scrape is marked down and its delta baseline
+// dropped: no window closes over the outage (so no advice can be
+// produced from stale data), and the first clean scrape afterwards only
+// re-primes the baseline.
+func (m *Monitor) ScrapeOnce(ctx context.Context) []Advice {
+	type scrapeResult struct {
+		fams []telemetry.Family
+		err  error
+	}
+	m.mu.Lock()
+	srcs := append([]*sourceState(nil), m.sources...)
+	timeout := m.cfg.ScrapeTimeout
+	m.mu.Unlock()
+
+	results := make([]scrapeResult, len(srcs))
+	for i, ss := range srcs {
+		sctx, cancel := context.WithTimeout(ctx, timeout)
+		fams, err := ss.src.Scrape(sctx)
+		cancel()
+		results[i] = scrapeResult{fams: fams, err: err}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	var fresh []Advice
+	for i, ss := range srcs {
+		ss.scrapes++
+		if err := results[i].err; err != nil {
+			ss.failures++
+			ss.lastErr = err.Error()
+			if ss.up || !ss.everUp {
+				m.logf("lockmon: source %s down: %v", ss.src.Name(), err)
+			}
+			ss.up = false
+			for _, l := range ss.locks {
+				l.unprime()
+			}
+			ss.series.unprime()
+			continue
+		}
+		if !ss.up && ss.everUp {
+			m.logf("lockmon: source %s recovered", ss.src.Name())
+		}
+		ss.up, ss.everUp, ss.lastErr = true, true, ""
+		fresh = append(fresh, m.ingest(ss, results[i].fams)...)
+	}
+	for i := range fresh {
+		adv := &fresh[i]
+		m.adviceTotal[adv.Rule]++
+		note := m.applier.Apply(ctx, adv)
+		m.applyNotes[noteClass(note)]++
+		m.logf("lockmon: [%s] %s %s/%s: %s (%s)", adv.Severity, adv.Rule, adv.Source, adv.Lock, adv.Detail, note)
+	}
+	m.advice = append(m.advice, fresh...)
+	if over := len(m.advice) - m.cfg.AdviceLog; over > 0 {
+		m.advice = append(m.advice[:0], m.advice[over:]...)
+	}
+	return fresh
+}
+
+// ingest folds one clean scrape into a source's series and evaluates
+// the rules on every window it closes. Caller holds m.mu.
+func (m *Monitor) ingest(ss *sourceState, fams []telemetry.Family) []Advice {
+	data := extract(fams)
+	var out []Advice
+	for _, name := range data.order {
+		l, ok := ss.locks[name]
+		if !ok {
+			l = newLockSeries(ss.src.Name(), name, m.cfg.Window)
+			ss.locks[name] = l
+			ss.order = append(ss.order, name)
+		}
+		if w, closed := l.observe(m.seq, data.locks[name]); closed {
+			m.windowsTotal++
+			out = append(out, m.eval.EvalLock(l, w)...)
+		}
+	}
+	if w, closed := ss.series.observe(m.seq, data.src); closed {
+		out = append(out, m.eval.EvalSource(ss.src.Name(), w)...)
+	}
+	return out
+}
+
+// noteClass buckets apply notes for the lockmon_apply_total counter.
+func noteClass(note string) string {
+	if len(note) >= 5 && note[:5] == "error" {
+		return "error"
+	}
+	return note
+}
+
+// Run scrapes every `every` until ctx is cancelled.
+func (m *Monitor) Run(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.ScrapeOnce(ctx)
+		}
+	}
+}
+
+// Seq returns the number of completed rounds.
+func (m *Monitor) Seq() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.seq
+}
+
+// SourceHealth is the /fleet view of one source.
+type SourceHealth struct {
+	Name     string `json:"name"`
+	Up       bool   `json:"up"`
+	Scrapes  int64  `json:"scrapes"`
+	Failures int64  `json:"failures"`
+	LastErr  string `json:"last_error,omitempty"`
+	Locks    int    `json:"locks"`
+}
+
+// LockHealth is the /fleet view of one lock series.
+type LockHealth struct {
+	Source string       `json:"source"`
+	Lock   string       `json:"lock"`
+	Impl   string       `json:"impl"`
+	Last   Window       `json:"last"`
+	Recent []Window     `json:"recent,omitempty"`
+	Srv    SourceWindow `json:"-"`
+}
+
+// Fleet is the full monitor state snapshot served as /fleet JSON.
+type Fleet struct {
+	Seq     int            `json:"seq"`
+	Sources []SourceHealth `json:"sources"`
+	Locks   []LockHealth   `json:"locks"`
+	Advice  []Advice       `json:"advice"`
+}
+
+// Snapshot assembles the current fleet view. recentWindows bounds the
+// per-lock window history included (0 = last window only).
+func (m *Monitor) Snapshot(recentWindows int) Fleet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := Fleet{Seq: m.seq}
+	for _, ss := range m.sources {
+		f.Sources = append(f.Sources, SourceHealth{
+			Name: ss.src.Name(), Up: ss.up, Scrapes: ss.scrapes,
+			Failures: ss.failures, LastErr: ss.lastErr, Locks: len(ss.locks),
+		})
+		for _, name := range ss.order {
+			l := ss.locks[name]
+			last, ok := l.Last()
+			if !ok {
+				continue
+			}
+			lh := LockHealth{Source: l.Source, Lock: l.Lock, Impl: l.Impl, Last: last}
+			if recentWindows > 0 {
+				lh.Recent = l.Recent(recentWindows)
+			}
+			if sw, ok := ss.series.Last(); ok {
+				lh.Srv = sw
+			}
+			f.Locks = append(f.Locks, lh)
+		}
+	}
+	f.Advice = append(f.Advice, m.advice...)
+	return f
+}
+
+// Families exposes the monitor's own health as lockmon_* metric
+// families, encodable with telemetry.WriteFamilies — the monitor is
+// itself a scrapable citizen of the fleet it watches.
+func (m *Monitor) Families() []telemetry.Family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var (
+		up       = telemetry.Family{Name: "lockmon_source_up", Help: "Whether the last scrape of the source succeeded.", Type: "gauge"}
+		scrapes  = telemetry.Family{Name: "lockmon_scrapes_total", Help: "Scrape attempts per source.", Type: "counter"}
+		failures = telemetry.Family{Name: "lockmon_scrape_failures_total", Help: "Failed scrapes per source.", Type: "counter"}
+		tracked  = telemetry.Family{Name: "lockmon_locks_tracked", Help: "Lock series tracked per source.", Type: "gauge"}
+	)
+	for _, ss := range m.sources {
+		lbl := []telemetry.Label{{Name: "source", Value: ss.src.Name()}}
+		v := 0.0
+		if ss.up {
+			v = 1
+		}
+		up.Samples = append(up.Samples, telemetry.Sample{Labels: lbl, Value: v})
+		scrapes.Samples = append(scrapes.Samples, telemetry.Sample{Labels: lbl, Value: float64(ss.scrapes)})
+		failures.Samples = append(failures.Samples, telemetry.Sample{Labels: lbl, Value: float64(ss.failures)})
+		tracked.Samples = append(tracked.Samples, telemetry.Sample{Labels: lbl, Value: float64(len(ss.locks))})
+	}
+	fams := []telemetry.Family{up, scrapes, failures, tracked,
+		{Name: "lockmon_rounds_total", Help: "Completed monitoring rounds.", Type: "counter",
+			Samples: []telemetry.Sample{{Value: float64(m.seq)}}},
+		{Name: "lockmon_windows_total", Help: "Lock windows closed across all series.", Type: "counter",
+			Samples: []telemetry.Sample{{Value: float64(m.windowsTotal)}}},
+	}
+	adviceFam := telemetry.Family{Name: "lockmon_advice_total", Help: "Advice records emitted, by rule.", Type: "counter"}
+	for _, rule := range []string{RuleContentionHigh, RuleSpinCandidate, RuleTailStep, RuleWatchdogTrips, RuleShedSustained, RuleDeadlock} {
+		adviceFam.Samples = append(adviceFam.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{{Name: "rule", Value: rule}},
+			Value:  float64(m.adviceTotal[rule]),
+		})
+	}
+	applyFam := telemetry.Family{Name: "lockmon_apply_total", Help: "Apply decisions on advice, by outcome.", Type: "counter"}
+	for _, note := range []string{"applied", "pending", "advisory", "no-applier", "unchanged", "cooldown", "flap-damped", "error"} {
+		applyFam.Samples = append(applyFam.Samples, telemetry.Sample{
+			Labels: []telemetry.Label{{Name: "outcome", Value: note}},
+			Value:  float64(m.applyNotes[note]),
+		})
+	}
+	return append(fams, adviceFam, applyFam)
+}

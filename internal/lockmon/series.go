@@ -1,0 +1,480 @@
+package lockmon
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// This file turns successive scrapes (cumulative counters and
+// cumulative-bucket histograms) into windowed time series: fixed rings
+// of per-window deltas and quantiles, with counter-reset detection. All
+// derivation is pure arithmetic over two scrapes, so the monitor's
+// behaviour is deterministic for a given scrape sequence.
+
+// Window is one observation interval of one lock: the deltas between
+// two successive scrapes, plus quantiles of the latency observed inside
+// the interval.
+type Window struct {
+	// Seq is the monitor round that closed this window. Gaps in Seq mean
+	// scrapes failed in between (no data was invented to fill them).
+	Seq int `json:"seq"`
+
+	Acquisitions  int64 `json:"acquisitions"`
+	Contended     int64 `json:"contended"`
+	Timeouts      int64 `json:"timeouts"`
+	WatchdogTrips int64 `json:"watchdog_trips"`
+	OwnerDeaths   int64 `json:"owner_deaths"`
+	// Waiters is the queue-length gauge at the closing scrape.
+	Waiters int64 `json:"waiters"`
+
+	// ContentionRatio is Contended/Acquisitions (0 when idle).
+	ContentionRatio float64 `json:"contention_ratio"`
+
+	// Wait/Hold quantiles are derived from the histogram bucket deltas of
+	// the window; NaN marshals poorly so zero means "no samples" (check
+	// the counts).
+	WaitP50Ns float64 `json:"wait_p50_ns"`
+	WaitP99Ns float64 `json:"wait_p99_ns"`
+	HoldP50Ns float64 `json:"hold_p50_ns"`
+	HoldP99Ns float64 `json:"hold_p99_ns"`
+	WaitCount int64   `json:"wait_count"`
+	HoldCount int64   `json:"hold_count"`
+
+	// Reset records that some cumulative counter went backwards (process
+	// restart): deltas are counts since the restart, and rules treat the
+	// window as untrustworthy.
+	Reset bool `json:"reset,omitempty"`
+}
+
+// histState is the per-bucket (non-cumulative) decomposition of one
+// cumulative-bucket histogram at one scrape, keyed by upper bound.
+type histState struct {
+	ok     bool
+	counts map[float64]float64 // upper bound -> observations in that bucket
+	sum    float64
+	count  float64
+}
+
+// lockSample is the raw cumulative state of one lock at one scrape.
+type lockSample struct {
+	impl        string
+	acq         float64
+	contended   float64
+	timeouts    float64
+	trips       float64
+	ownerDeaths float64
+	waiters     float64
+	wait        histState
+	hold        histState
+}
+
+// sourceSample is the raw cumulative source-level state at one scrape.
+type sourceSample struct {
+	sheds     float64
+	tokens    float64 // granted acquisitions (lockd_acquires_total)
+	reconfigs float64
+	deadlocks float64
+}
+
+// scrapeData is everything extracted from one scrape.
+type scrapeData struct {
+	locks map[string]*lockSample
+	order []string
+	src   sourceSample
+}
+
+// scalarInto maps scalar family names onto lockSample fields.
+var scalarInto = map[string]func(*lockSample, float64){
+	"lock_acquisitions_total":     func(ls *lockSample, v float64) { ls.acq = v },
+	"lock_contended_total":        func(ls *lockSample, v float64) { ls.contended = v },
+	"lock_acquire_timeouts_total": func(ls *lockSample, v float64) { ls.timeouts = v },
+	"lock_watchdog_trips_total":   func(ls *lockSample, v float64) { ls.trips = v },
+	"lock_owner_deaths_total":     func(ls *lockSample, v float64) { ls.ownerDeaths = v },
+	"lock_waiters":                func(ls *lockSample, v float64) { ls.waiters = v },
+}
+
+// extract reduces a scrape's families to the per-lock and source-level
+// state the series layer tracks. Locks are keyed by their lock label;
+// only locks that report lock_acquisitions_total are tracked (the lockd
+// and waitgraph pseudo-entries export no such family).
+func extract(fams []telemetry.Family) *scrapeData {
+	d := &scrapeData{locks: map[string]*lockSample{}}
+	lock := func(s telemetry.Sample) *lockSample {
+		name, ok := s.Label("lock")
+		if !ok {
+			return nil
+		}
+		ls, ok := d.locks[name]
+		if !ok {
+			ls = &lockSample{}
+			d.locks[name] = ls
+			d.order = append(d.order, name)
+		}
+		if impl, ok := s.Label("impl"); ok && impl != "" && ls.impl == "" {
+			ls.impl = impl
+		}
+		return ls
+	}
+	// First pass establishes which labels are real locks.
+	if f := telemetry.FindFamily(fams, "lock_acquisitions_total"); f != nil {
+		for _, s := range f.Samples {
+			if ls := lock(s); ls != nil {
+				ls.acq = s.Value
+			}
+		}
+	}
+	for _, f := range fams {
+		switch f.Name {
+		case "lock_acquisitions_total":
+			// done above
+		case "lock_wait_duration_nanoseconds", "lock_hold_duration_nanoseconds":
+			perLock := map[string]*histState{}
+			for _, s := range f.Samples {
+				name, ok := s.Label("lock")
+				if !ok {
+					continue
+				}
+				if _, tracked := d.locks[name]; !tracked {
+					continue
+				}
+				hs, ok := perLock[name]
+				if !ok {
+					hs = &histState{counts: map[float64]float64{}}
+					perLock[name] = hs
+				}
+				ingestHistSample(hs, s)
+			}
+			for name, hs := range perLock {
+				finishHist(hs)
+				if f.Name == "lock_wait_duration_nanoseconds" {
+					d.locks[name].wait = *hs
+				} else {
+					d.locks[name].hold = *hs
+				}
+			}
+		case "lockd_shed_total":
+			d.src.sheds = firstValue(f)
+		case "lockd_acquires_total":
+			d.src.tokens = firstValue(f)
+		case "lockd_reconfigurations_total":
+			d.src.reconfigs = firstValue(f)
+		case "waitgraph_deadlock_suspected_total":
+			d.src.deadlocks = firstValue(f)
+		default:
+			if set, ok := scalarInto[f.Name]; ok {
+				for _, s := range f.Samples {
+					name, _ := s.Label("lock")
+					if ls, tracked := d.locks[name]; tracked {
+						set(ls, s.Value)
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// ingestHistSample folds one histogram series line into hs, keeping the
+// cumulative bucket values keyed by bound for now (finishHist
+// de-cumulates them).
+func ingestHistSample(hs *histState, s telemetry.Sample) {
+	switch s.Suffix {
+	case "_bucket":
+		le, ok := s.Label("le")
+		if !ok {
+			return
+		}
+		upper := math.Inf(1)
+		if le != "+Inf" {
+			if v, err := parseFloatLabel(le); err == nil {
+				upper = v
+			} else {
+				return
+			}
+		}
+		hs.counts[upper] = s.Value
+	case "_sum":
+		hs.sum = s.Value
+	case "_count":
+		hs.count = s.Value
+	}
+}
+
+// finishHist converts the cumulative bucket values collected by
+// ingestHistSample into per-bucket counts. Non-monotone cumulative
+// values mark the histogram unusable for this scrape (hs.ok stays
+// false) rather than producing negative buckets.
+func finishHist(hs *histState) {
+	uppers := sortedUppers(hs.counts)
+	var prev float64
+	out := make(map[float64]float64, len(uppers))
+	for _, u := range uppers {
+		c := hs.counts[u]
+		if c < prev {
+			return // malformed: cumulative counts must be non-decreasing
+		}
+		if d := c - prev; d > 0 {
+			out[u] = d
+		}
+		prev = c
+	}
+	hs.counts = out
+	hs.ok = true
+}
+
+// sortedUppers returns the bucket bounds of m in ascending order.
+func sortedUppers(m map[float64]float64) []float64 {
+	uppers := make([]float64, 0, len(m))
+	for u := range m {
+		uppers = append(uppers, u)
+	}
+	sort.Float64s(uppers)
+	return uppers
+}
+
+// parseFloatLabel parses an le bound.
+func parseFloatLabel(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// histDelta subtracts prev from cur bucket-by-bucket (missing buckets
+// count as zero — the encoder omits empty buckets, so bounds appear as
+// observations land in them). reset reports a backwards-moving count.
+func histDelta(cur, prev histState) (counts []int64, uppers []float64, n int64, reset bool) {
+	if !cur.ok {
+		return nil, nil, 0, false
+	}
+	if !prev.ok {
+		prev = histState{ok: true, counts: map[float64]float64{}}
+	}
+	if cur.count < prev.count {
+		return nil, nil, 0, true
+	}
+	merged := map[float64]float64{}
+	for u, c := range cur.counts {
+		merged[u] = c
+	}
+	for u, c := range prev.counts {
+		if merged[u] < c {
+			return nil, nil, 0, true
+		}
+		merged[u] -= c
+	}
+	for _, u := range sortedUppers(merged) {
+		c := merged[u]
+		if c <= 0 || math.IsInf(u, 1) {
+			// The encoder's +Inf bucket always equals _count; overflow
+			// observations beyond the largest finite bound would land here,
+			// but our 64-bucket log-2 layout covers the int64 range, so an
+			// excess means foreign data — drop it from quantiles.
+			continue
+		}
+		uppers = append(uppers, u)
+		counts = append(counts, int64(c+0.5))
+		n += int64(c + 0.5)
+	}
+	return counts, uppers, n, false
+}
+
+// quantile evaluates BucketQuantile over a window's bucket deltas.
+func quantile(q float64, counts []int64, uppers []float64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	v := stats.BucketQuantile(q, counts, uppers, 0)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// deriveWindow closes one window from two successive lock samples.
+func deriveWindow(seq int, prev, cur *lockSample) Window {
+	w := Window{Seq: seq, Waiters: int64(cur.waiters)}
+	delta := func(c, p float64) int64 {
+		if c < p {
+			w.Reset = true
+			return int64(c)
+		}
+		return int64(c - p)
+	}
+	w.Acquisitions = delta(cur.acq, prev.acq)
+	w.Contended = delta(cur.contended, prev.contended)
+	w.Timeouts = delta(cur.timeouts, prev.timeouts)
+	w.WatchdogTrips = delta(cur.trips, prev.trips)
+	w.OwnerDeaths = delta(cur.ownerDeaths, prev.ownerDeaths)
+	if w.Acquisitions > 0 {
+		w.ContentionRatio = float64(w.Contended) / float64(w.Acquisitions)
+	}
+	if counts, uppers, n, reset := histDelta(cur.wait, prev.wait); reset {
+		w.Reset = true
+	} else if n > 0 {
+		w.WaitCount = n
+		w.WaitP50Ns = quantile(50, counts, uppers)
+		w.WaitP99Ns = quantile(99, counts, uppers)
+	}
+	if counts, uppers, n, reset := histDelta(cur.hold, prev.hold); reset {
+		w.Reset = true
+	} else if n > 0 {
+		w.HoldCount = n
+		w.HoldP50Ns = quantile(50, counts, uppers)
+		w.HoldP99Ns = quantile(99, counts, uppers)
+	}
+	return w
+}
+
+// LockSeries is the ring of recent windows of one lock on one source.
+type LockSeries struct {
+	Source string `json:"source"`
+	Lock   string `json:"lock"`
+	Impl   string `json:"impl"`
+
+	win   []Window
+	head  int // next write position
+	count int
+
+	prev   lockSample
+	primed bool
+}
+
+func newLockSeries(source, lock string, capacity int) *LockSeries {
+	return &LockSeries{Source: source, Lock: lock, win: make([]Window, capacity)}
+}
+
+// observe folds one scrape into the series; it returns the newly closed
+// window, or ok=false on the priming scrape (no interval to close yet).
+func (ls *LockSeries) observe(seq int, cur *lockSample) (Window, bool) {
+	if cur.impl != "" {
+		ls.Impl = cur.impl
+	}
+	if !ls.primed {
+		ls.prev, ls.primed = *cur, true
+		return Window{}, false
+	}
+	w := deriveWindow(seq, &ls.prev, cur)
+	ls.prev = *cur
+	ls.push(w)
+	return w, true
+}
+
+// unprime drops the delta baseline: after a failed scrape the next
+// successful one only re-primes, so no window spans the outage.
+func (ls *LockSeries) unprime() { ls.primed = false }
+
+func (ls *LockSeries) push(w Window) {
+	ls.win[ls.head] = w
+	ls.head = (ls.head + 1) % len(ls.win)
+	if ls.count < len(ls.win) {
+		ls.count++
+	}
+}
+
+// Len returns the number of windows currently retained.
+func (ls *LockSeries) Len() int { return ls.count }
+
+// Last returns the most recent window.
+func (ls *LockSeries) Last() (Window, bool) {
+	if ls.count == 0 {
+		return Window{}, false
+	}
+	return ls.win[(ls.head-1+len(ls.win))%len(ls.win)], true
+}
+
+// Recent returns up to n retained windows, oldest first.
+func (ls *LockSeries) Recent(n int) []Window {
+	if n > ls.count {
+		n = ls.count
+	}
+	out := make([]Window, 0, n)
+	for i := n; i >= 1; i-- {
+		out = append(out, ls.win[(ls.head-i+len(ls.win))%len(ls.win)])
+	}
+	return out
+}
+
+// SourceWindow is one observation interval of source-level series.
+type SourceWindow struct {
+	Seq       int   `json:"seq"`
+	Sheds     int64 `json:"sheds"`
+	Tokens    int64 `json:"tokens"`
+	Reconfigs int64 `json:"reconfigs"`
+	Deadlocks int64 `json:"deadlocks"`
+	Reset     bool  `json:"reset,omitempty"`
+}
+
+// SourceSeries rings the source-level windows (shed rate, token rate,
+// deadlock suspicions) the same way LockSeries rings lock windows.
+type SourceSeries struct {
+	win    []SourceWindow
+	head   int
+	count  int
+	prev   sourceSample
+	primed bool
+}
+
+func newSourceSeries(capacity int) *SourceSeries {
+	return &SourceSeries{win: make([]SourceWindow, capacity)}
+}
+
+func (ss *SourceSeries) observe(seq int, cur sourceSample) (SourceWindow, bool) {
+	if !ss.primed {
+		ss.prev, ss.primed = cur, true
+		return SourceWindow{}, false
+	}
+	w := SourceWindow{Seq: seq}
+	delta := func(c, p float64) int64 {
+		if c < p {
+			w.Reset = true
+			return int64(c)
+		}
+		return int64(c - p)
+	}
+	w.Sheds = delta(cur.sheds, ss.prev.sheds)
+	w.Tokens = delta(cur.tokens, ss.prev.tokens)
+	w.Reconfigs = delta(cur.reconfigs, ss.prev.reconfigs)
+	w.Deadlocks = delta(cur.deadlocks, ss.prev.deadlocks)
+	ss.prev = cur
+	ss.win[ss.head] = w
+	ss.head = (ss.head + 1) % len(ss.win)
+	if ss.count < len(ss.win) {
+		ss.count++
+	}
+	return w, true
+}
+
+func (ss *SourceSeries) unprime() { ss.primed = false }
+
+// Last returns the most recent source window.
+func (ss *SourceSeries) Last() (SourceWindow, bool) {
+	if ss.count == 0 {
+		return SourceWindow{}, false
+	}
+	return ss.win[(ss.head-1+len(ss.win))%len(ss.win)], true
+}
+
+// Recent returns up to n retained source windows, oldest first.
+func (ss *SourceSeries) Recent(n int) []SourceWindow {
+	if n > ss.count {
+		n = ss.count
+	}
+	out := make([]SourceWindow, 0, n)
+	for i := n; i >= 1; i-- {
+		out = append(out, ss.win[(ss.head-i+len(ss.win))%len(ss.win)])
+	}
+	return out
+}
+
+// firstValue returns the value of a family's first sample (source-level
+// families have exactly one series per scrape).
+func firstValue(f telemetry.Family) float64 {
+	for _, s := range f.Samples {
+		if s.Suffix == "" {
+			return s.Value
+		}
+	}
+	return 0
+}

@@ -1,0 +1,229 @@
+package lockmon
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// synthLock is the cumulative state of one synthetic lock, rendered
+// into telemetry families by synthFams — the tests' stand-in for a
+// scraped process.
+type synthLock struct {
+	lock, impl                         string
+	acq, cont, timeouts, trips, deaths int64
+	waiters                            int64
+	wait                               map[float64]int64 // upper -> cumulative observations
+	hold                               map[float64]int64
+}
+
+func scalarFam(name, typ string, samples ...telemetry.Sample) telemetry.Family {
+	return telemetry.Family{Name: name, Type: typ, Samples: samples}
+}
+
+func lockSampleVal(l synthLock, v int64) telemetry.Sample {
+	return telemetry.Sample{
+		Labels: []telemetry.Label{{Name: "impl", Value: l.impl}, {Name: "lock", Value: l.lock}},
+		Value:  float64(v),
+	}
+}
+
+func histFam(name string, locks []synthLock, get func(synthLock) map[float64]int64) telemetry.Family {
+	f := telemetry.Family{Name: name, Type: "histogram"}
+	for _, l := range locks {
+		cum := get(l)
+		if len(cum) == 0 {
+			continue
+		}
+		labels := []telemetry.Label{{Name: "impl", Value: l.impl}, {Name: "lock", Value: l.lock}}
+		var total, sum int64
+		var run int64
+		for _, u := range sortedUppers(toF(cum)) {
+			run += cum[u]
+			f.Samples = append(f.Samples, telemetry.Sample{
+				Suffix: "_bucket",
+				Labels: append(append([]telemetry.Label(nil), labels...), telemetry.Label{Name: "le", Value: telemetry.FormatValue(u)}),
+				Value:  float64(run),
+			})
+			sum += int64(u) * cum[u]
+		}
+		total = run
+		f.Samples = append(f.Samples,
+			telemetry.Sample{Suffix: "_bucket", Labels: append(append([]telemetry.Label(nil), labels...), telemetry.Label{Name: "le", Value: "+Inf"}), Value: float64(total)},
+			telemetry.Sample{Suffix: "_sum", Labels: labels, Value: float64(sum)},
+			telemetry.Sample{Suffix: "_count", Labels: labels, Value: float64(total)},
+		)
+	}
+	return f
+}
+
+func toF(m map[float64]int64) map[float64]float64 {
+	out := make(map[float64]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// synthFams renders synthetic locks plus source-level extras into the
+// family shape a real scrape produces.
+func synthFams(locks []synthLock, extras map[string]float64) []telemetry.Family {
+	fams := []telemetry.Family{
+		scalarFam("lock_waiters", "gauge"),
+		scalarFam("lock_acquisitions_total", "counter"),
+		scalarFam("lock_contended_total", "counter"),
+		scalarFam("lock_acquire_timeouts_total", "counter"),
+		scalarFam("lock_owner_deaths_total", "counter"),
+		scalarFam("lock_watchdog_trips_total", "counter"),
+	}
+	for _, l := range locks {
+		fams[0].Samples = append(fams[0].Samples, lockSampleVal(l, l.waiters))
+		fams[1].Samples = append(fams[1].Samples, lockSampleVal(l, l.acq))
+		fams[2].Samples = append(fams[2].Samples, lockSampleVal(l, l.cont))
+		fams[3].Samples = append(fams[3].Samples, lockSampleVal(l, l.timeouts))
+		fams[4].Samples = append(fams[4].Samples, lockSampleVal(l, l.deaths))
+		fams[5].Samples = append(fams[5].Samples, lockSampleVal(l, l.trips))
+	}
+	fams = append(fams,
+		histFam("lock_wait_duration_nanoseconds", locks, func(l synthLock) map[float64]int64 { return l.wait }),
+		histFam("lock_hold_duration_nanoseconds", locks, func(l synthLock) map[float64]int64 { return l.hold }),
+	)
+	for name, v := range extras {
+		fams = append(fams, scalarFam(name, "counter", telemetry.Sample{Value: v}))
+	}
+	return fams
+}
+
+func TestSeriesWindowDerivation(t *testing.T) {
+	s1 := synthLock{lock: "L", impl: "native", acq: 100, cont: 20, waiters: 2,
+		wait: map[float64]int64{1023: 5}}
+	s2 := s1
+	s2.acq, s2.cont, s2.trips, s2.waiters = 140, 50, 2, 7
+	s2.wait = map[float64]int64{1023: 10, 8191: 2}
+
+	ls := newLockSeries("src", "L", 8)
+	d1 := extract(synthFams([]synthLock{s1}, nil))
+	d2 := extract(synthFams([]synthLock{s2}, nil))
+	if _, closed := ls.observe(1, d1.locks["L"]); closed {
+		t.Fatal("priming scrape closed a window")
+	}
+	w, closed := ls.observe(2, d2.locks["L"])
+	if !closed {
+		t.Fatal("second scrape closed no window")
+	}
+	if w.Acquisitions != 40 || w.Contended != 30 || w.WatchdogTrips != 2 || w.Waiters != 7 {
+		t.Fatalf("deltas wrong: %+v", w)
+	}
+	if got, want := w.ContentionRatio, 30.0/40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("contention ratio %v, want %v", got, want)
+	}
+	if w.WaitCount != 7 {
+		t.Fatalf("wait count %d, want 7 (5 new in le=1023, 2 in le=8191)", w.WaitCount)
+	}
+	if w.WaitP50Ns <= 0 || w.WaitP50Ns > 1023 {
+		t.Fatalf("wait p50 %v outside first bucket", w.WaitP50Ns)
+	}
+	if w.WaitP99Ns <= 1023 || w.WaitP99Ns > 8191 {
+		t.Fatalf("wait p99 %v outside second bucket", w.WaitP99Ns)
+	}
+	if w.Reset {
+		t.Fatal("clean window flagged as reset")
+	}
+	if ls.Impl != "native" {
+		t.Fatalf("impl = %q", ls.Impl)
+	}
+}
+
+func TestSeriesCounterReset(t *testing.T) {
+	hi := synthLock{lock: "L", impl: "sim", acq: 1000, cont: 700, wait: map[float64]int64{1023: 400}}
+	lo := synthLock{lock: "L", impl: "sim", acq: 30, cont: 10, wait: map[float64]int64{1023: 5}}
+	ls := newLockSeries("src", "L", 8)
+	ls.observe(1, extract(synthFams([]synthLock{hi}, nil)).locks["L"])
+	w, closed := ls.observe(2, extract(synthFams([]synthLock{lo}, nil)).locks["L"])
+	if !closed || !w.Reset {
+		t.Fatalf("restart not flagged: closed=%v window=%+v", closed, w)
+	}
+	if w.Acquisitions != 30 || w.Contended != 10 {
+		t.Fatalf("reset deltas should be counts since restart: %+v", w)
+	}
+}
+
+func TestSeriesRing(t *testing.T) {
+	ls := newLockSeries("src", "L", 4)
+	for i := 0; i < 7; i++ {
+		ls.push(Window{Seq: i})
+	}
+	if ls.Len() != 4 {
+		t.Fatalf("ring len %d, want 4", ls.Len())
+	}
+	rec := ls.Recent(10)
+	if len(rec) != 4 || rec[0].Seq != 3 || rec[3].Seq != 6 {
+		t.Fatalf("Recent order wrong: %+v", rec)
+	}
+	last, ok := ls.Last()
+	if !ok || last.Seq != 6 {
+		t.Fatalf("Last = %+v", last)
+	}
+}
+
+// TestMonitorSuppressesWindowOverOutage drives the monitor through a
+// source failure: the failed round closes no windows, and the first
+// clean scrape after it only re-primes so the outage never produces a
+// window (or advice) spanning stale data.
+func TestMonitorSuppressesWindowOverOutage(t *testing.T) {
+	state := synthLock{lock: "L", impl: "sim"}
+	fail := false
+	src := &FuncSource{SourceName: "s", Fn: func(context.Context) ([]telemetry.Family, error) {
+		if fail {
+			return nil, context.DeadlineExceeded
+		}
+		return synthFams([]synthLock{state}, nil), nil
+	}}
+	m := New(Config{Window: 8})
+	m.AddSource(src)
+	ctx := context.Background()
+
+	step := func(acq, cont int64) []Advice {
+		state.acq += acq
+		state.cont += cont
+		return m.ScrapeOnce(ctx)
+	}
+	step(10, 9) // prime
+	step(10, 9) // window 1
+	snap := m.Snapshot(0)
+	if len(snap.Locks) != 1 || snap.Locks[0].Last.Acquisitions != 10 {
+		t.Fatalf("window before outage wrong: %+v", snap.Locks)
+	}
+
+	fail = true
+	for i := 0; i < 3; i++ {
+		if advs := step(10, 9); len(advs) != 0 {
+			t.Fatalf("advice emitted during outage: %+v", advs)
+		}
+	}
+	snap = m.Snapshot(0)
+	if snap.Sources[0].Up {
+		t.Fatal("source still marked up after failed scrapes")
+	}
+
+	fail = false
+	step(10, 9) // recovery scrape: re-primes only
+	last, _ := func() (Window, bool) {
+		s := m.Snapshot(2)
+		return s.Locks[0].Last, true
+	}()
+	if last.Seq != 2 {
+		t.Fatalf("recovery scrape closed a window over the outage: %+v", last)
+	}
+	step(10, 9) // first clean window after recovery
+	snap = m.Snapshot(0)
+	if !snap.Sources[0].Up {
+		t.Fatal("source not marked up after recovery")
+	}
+	got := snap.Locks[0].Last
+	if got.Acquisitions != 10 {
+		t.Fatalf("post-recovery window spans the outage: %+v", got)
+	}
+}

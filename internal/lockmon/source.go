@@ -1,0 +1,133 @@
+package lockmon
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// A Source is one scrape target: something that can produce the metric
+// families of a set of locks. The monitor treats every source the same
+// whether the locks live in this process or behind a network hop.
+type Source interface {
+	// Name identifies the source in series, advice and lockmon_* labels.
+	Name() string
+	// Scrape returns the source's current families. An error marks the
+	// source down for this round; the monitor suppresses advice for its
+	// locks until it scrapes cleanly again.
+	Scrape(ctx context.Context) ([]telemetry.Family, error)
+}
+
+// maxScrapeBody bounds one scrape response, so a misbehaving endpoint
+// cannot balloon the monitor.
+const maxScrapeBody = 8 << 20
+
+// HTTPSource scrapes a remote /metrics endpoint (a lockd -serve
+// address, or any exposition-format exporter) through the text parser.
+type HTTPSource struct {
+	name   string
+	url    string
+	client *http.Client
+}
+
+// HTTPSourceOptions tunes an HTTPSource.
+type HTTPSourceOptions struct {
+	// Timeout bounds one scrape including body read. Default 5s.
+	Timeout time.Duration
+	// Dial overrides the transport's dialer — the fault-injection hook
+	// (wrap the returned conn in internal/fault.WrapConn to partition or
+	// drop the monitor's scrapes deterministically).
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+}
+
+// NewHTTPSource returns a source scraping url (e.g.
+// "http://127.0.0.1:9090/metrics") under the given display name.
+func NewHTTPSource(name, url string, o HTTPSourceOptions) *HTTPSource {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	tr := &http.Transport{DisableKeepAlives: false, MaxIdleConnsPerHost: 1}
+	if o.Dial != nil {
+		tr.DialContext = o.Dial
+	}
+	return &HTTPSource{
+		name: name,
+		url:  url,
+		client: &http.Client{
+			Transport: tr,
+			Timeout:   o.Timeout,
+		},
+	}
+}
+
+// Name implements Source.
+func (s *HTTPSource) Name() string { return s.name }
+
+// URL returns the scrape target.
+func (s *HTTPSource) URL() string { return s.url }
+
+// Scrape implements Source: one GET, parsed from the text exposition.
+func (s *HTTPSource) Scrape(ctx context.Context) ([]telemetry.Family, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxScrapeBody+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("lockmon: scrape %s: HTTP %d", s.url, resp.StatusCode)
+	}
+	if len(body) > maxScrapeBody {
+		return nil, fmt.Errorf("lockmon: scrape %s: body exceeds %d bytes", s.url, maxScrapeBody)
+	}
+	return telemetry.ParseMetrics(body)
+}
+
+// RegistrySource reads an in-process telemetry registry directly — the
+// zero-copy path for monitoring the locks of this very process (no HTTP,
+// no text round trip).
+type RegistrySource struct {
+	name string
+	reg  *telemetry.Registry
+}
+
+// NewRegistrySource wraps reg (nil = telemetry.Default) as a source.
+func NewRegistrySource(name string, reg *telemetry.Registry) *RegistrySource {
+	if reg == nil {
+		reg = telemetry.Default
+	}
+	return &RegistrySource{name: name, reg: reg}
+}
+
+// Name implements Source.
+func (s *RegistrySource) Name() string { return s.name }
+
+// Scrape implements Source.
+func (s *RegistrySource) Scrape(context.Context) ([]telemetry.Family, error) {
+	return s.reg.Gather(), nil
+}
+
+// FuncSource adapts a plain function — synthetic workloads in tests, or
+// any custom producer — into a Source.
+type FuncSource struct {
+	SourceName string
+	Fn         func(ctx context.Context) ([]telemetry.Family, error)
+}
+
+// Name implements Source.
+func (s *FuncSource) Name() string { return s.SourceName }
+
+// Scrape implements Source.
+func (s *FuncSource) Scrape(ctx context.Context) ([]telemetry.Family, error) { return s.Fn(ctx) }

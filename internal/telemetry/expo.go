@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// This file defines the in-memory model of a text-exposition scrape —
+// metric families holding ordered samples — plus its encoder. The model
+// is shared by three surfaces: Gather (registry snapshots -> families,
+// the in-process read API), WriteFamilies (families -> exposition text,
+// what /metrics serves), and ParseMetrics in parse.go (exposition text
+// -> families, what the lockmon fleet monitor scrapes from remote
+// lockd instances). Gather -> WriteFamilies -> ParseMetrics round-trips
+// exactly, which the golden tests pin.
+
+// Label is one name="value" pair of a series. Order is preserved so
+// encoding is deterministic and round-trips byte-for-byte.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// Sample is one series line of a family. For histogram families the
+// Suffix distinguishes the _bucket/_sum/_count series (bucket samples
+// carry their "le" bound as an ordinary label); scalar families leave
+// it empty.
+type Sample struct {
+	Suffix string  `json:"suffix,omitempty"`
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// Label returns the value of the named label (ok false when absent).
+func (s Sample) Label(name string) (string, bool) {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value, true
+		}
+	}
+	return "", false
+}
+
+// Family is one metric family: HELP/TYPE metadata plus its samples in
+// emission order.
+type Family struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	// Type is "counter", "gauge", "histogram", "summary" or "untyped".
+	Type    string   `json:"type"`
+	Samples []Sample `json:"samples"`
+}
+
+// FindFamily returns the named family, nil when absent.
+func FindFamily(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// Gather flattens registry snapshots into metric families: the scalar
+// counter/gauge families in first-seen order, then the latency
+// histogram families. WriteFamilies over the result is exactly the
+// /metrics exposition; callers that want structured access (the fleet
+// monitor's in-process source) skip the text round trip entirely.
+func Gather(snaps []LockSnapshot) []Family {
+	var order []string
+	byName := map[string]*Family{}
+	for _, s := range snaps {
+		for _, p := range s.points() {
+			f := byName[p.Name]
+			if f == nil {
+				typ := "counter"
+				if p.Gauge {
+					typ = "gauge"
+				}
+				f = &Family{Name: p.Name, Help: p.Help, Type: typ}
+				byName[p.Name] = f
+				order = append(order, p.Name)
+			}
+			f.Samples = append(f.Samples, Sample{Labels: lockLabels(s), Value: float64(p.Value)})
+		}
+	}
+	out := make([]Family, 0, len(order)+len(histFamilies))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	for _, hf := range histFamilies {
+		var f *Family
+		for _, s := range snaps {
+			h := hf.Get(s)
+			if h == nil {
+				continue
+			}
+			if f == nil {
+				f = &Family{Name: hf.Name, Help: hf.Help, Type: "histogram"}
+			}
+			f.Samples = append(f.Samples, histSamples(lockLabels(s), *h)...)
+		}
+		if f != nil {
+			out = append(out, *f)
+		}
+	}
+	return out
+}
+
+// Gather returns the registry's current state as metric families — the
+// structured equivalent of scraping /metrics, without the text round
+// trip.
+func (r *Registry) Gather() []Family { return Gather(r.Snapshots()) }
+
+// lockLabels is the standard {impl,lock} label pair of a snapshot.
+func lockLabels(s LockSnapshot) []Label {
+	return []Label{{Name: "impl", Value: s.Impl}, {Name: "lock", Value: s.Name}}
+}
+
+// histSamples renders one lock's histogram as cumulative _bucket
+// samples over the nonzero log-buckets, then _sum and _count. Bucket i
+// of obs.Histogram holds durations in [2^(i-1), 2^i) nanoseconds, so
+// every observation in it is <= 2^i - 1: that is the le bound that
+// keeps the cumulative counts exact for integer-nanosecond
+// observations.
+func histSamples(labels []Label, h obs.Histogram) []Sample {
+	out := make([]Sample, 0, 8)
+	var cum int64
+	for _, b := range h.Buckets() {
+		cum += b.Count
+		le := append(append(make([]Label, 0, len(labels)+1), labels...),
+			Label{Name: "le", Value: strconv.FormatInt(int64(b.Hi)-1, 10)})
+		out = append(out, Sample{Suffix: "_bucket", Labels: le, Value: float64(cum)})
+	}
+	inf := append(append(make([]Label, 0, len(labels)+1), labels...), Label{Name: "le", Value: "+Inf"})
+	out = append(out,
+		Sample{Suffix: "_bucket", Labels: inf, Value: float64(h.Count())},
+		Sample{Suffix: "_sum", Labels: labels, Value: float64(int64(h.Sum()))},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(h.Count())},
+	)
+	return out
+}
+
+// WriteFamilies encodes families in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic for a given input and
+// round-trips through ParseMetrics.
+func WriteFamilies(w io.Writer, fams []Family) error {
+	ew := &errWriter{w: w}
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(ew, "# HELP %s %s\n", f.Name, f.Help)
+		}
+		if f.Type != "" && f.Type != "untyped" {
+			fmt.Fprintf(ew, "# TYPE %s %s\n", f.Name, f.Type)
+		}
+		for _, s := range f.Samples {
+			fmt.Fprintf(ew, "%s%s", f.Name, s.Suffix)
+			if len(s.Labels) > 0 {
+				ew.writeByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						ew.writeByte(',')
+					}
+					fmt.Fprintf(ew, `%s="%s"`, l.Name, EscapeLabel(l.Value))
+				}
+				ew.writeByte('}')
+			}
+			fmt.Fprintf(ew, " %s\n", FormatValue(s.Value))
+		}
+	}
+	return ew.err
+}
+
+// labelEscaper applies the exposition format's label-value escaping:
+// backslash, double quote and newline. Everything else passes through
+// raw, so escape/unescape round-trips any value.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabel escapes a label value for emission inside double quotes.
+func EscapeLabel(v string) string { return labelEscaper.Replace(v) }
+
+// FormatValue renders a sample value: integers exactly (every counter in
+// the registry is an int64), non-integers in shortest-float form, and
+// the exposition spellings of the IEEE specials.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1<<53:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func (e *errWriter) writeByte(b byte) {
+	e.Write([]byte{b}) //nolint:errcheck // latched in e.err
+}

@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the decoder half of the exposition pair in expo.go: it
+// parses Prometheus text-exposition bodies (version 0.0.4) back into
+// the Family model. The fleet monitor (internal/lockmon) scrapes remote
+// lockd /metrics endpoints through it; until now the package could only
+// encode. The parser is defensive by construction — it is fed by
+// network scrapes, so malformed bodies must come back as errors, never
+// panics (FuzzExpositionParse pins that).
+
+// ParseMetrics parses an exposition body into metric families, in first
+// mention order. HELP/TYPE comments attach to their family; other
+// comments are ignored. Series whose name is a histogram family's name
+// plus _bucket/_sum/_count attach to that family with the matching
+// Suffix (the le bound stays an ordinary label), so
+// Gather -> WriteFamilies -> ParseMetrics round-trips exactly. An
+// optional trailing timestamp on a series line is accepted and
+// discarded. Malformed input returns an error naming the first bad
+// line.
+func ParseMetrics(b []byte) ([]Family, error) {
+	var (
+		fams   []Family
+		index  = map[string]int{} // family name -> fams index
+		family = func(name string) *Family {
+			if i, ok := index[name]; ok {
+				return &fams[i]
+			}
+			index[name] = len(fams)
+			fams = append(fams, Family{Name: name, Type: "untyped"})
+			return &fams[len(fams)-1]
+		}
+	)
+	for i, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // arbitrary comment, ignored
+			}
+			switch kind {
+			case "HELP":
+				family(name).Help = rest
+			case "TYPE":
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("telemetry: line %d: unknown metric type %q", i+1, rest)
+				}
+				f := family(name)
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("telemetry: line %d: TYPE for %q after its samples", i+1, name)
+				}
+				f.Type = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSeries(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: line %d: %v", i+1, err)
+		}
+		fam, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base == name {
+				continue
+			}
+			if j, ok := index[base]; ok && fams[j].Type == "histogram" {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		family(fam).Samples = append(family(fam).Samples, Sample{Suffix: suffix, Labels: labels, Value: value})
+	}
+	return fams, nil
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest" comment
+// lines; ok is false for any other comment.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	for _, k := range []string{"# HELP ", "# TYPE "} {
+		if strings.HasPrefix(line, k) {
+			body := line[len(k):]
+			name, rest, _ := strings.Cut(body, " ")
+			if name == "" || !validName(name) {
+				return "", "", "", false
+			}
+			return strings.TrimSpace(k[2:7]), name, rest, true
+		}
+	}
+	return "", "", "", false
+}
+
+// validName reports whether s is a legal metric or label name.
+func validName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+// parseSeries decodes one sample line: name{labels} value [timestamp].
+func parseSeries(line string) (name string, labels []Label, value float64, err error) {
+	i := 0
+	for i < len(line) && isNameByte(line[i], i) {
+		i++
+	}
+	name = line[:i]
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("malformed series line %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		labels, i, err = parseLabels(line, i+1)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" {
+		return "", nil, 0, fmt.Errorf("series %q has no value", name)
+	}
+	valTok, tsTok, _ := strings.Cut(rest, " ")
+	value, err = parseValue(valTok)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("series %q: bad value %q", name, valTok)
+	}
+	if ts := strings.TrimSpace(tsTok); ts != "" {
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("series %q: bad timestamp %q", name, ts)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// isNameByte reports whether c may appear at position i of a name.
+func isNameByte(c byte, i int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return i > 0
+	}
+	return false
+}
+
+// parseLabels decodes the label pairs starting at line[i] (just past
+// the opening brace), returning the index just past the closing brace.
+func parseLabels(line string, i int) ([]Label, int, error) {
+	var labels []Label
+	for {
+		for i < len(line) && (line[i] == ' ' || line[i] == ',') {
+			i++
+		}
+		if i < len(line) && line[i] == '}' {
+			return labels, i + 1, nil
+		}
+		start := i
+		for i < len(line) && isNameByte(line[i], i-start) {
+			i++
+		}
+		lname := line[start:i]
+		if lname == "" || i >= len(line) || line[i] != '=' {
+			return nil, 0, fmt.Errorf("malformed label at %q", line[start:])
+		}
+		i++ // '='
+		if i >= len(line) || line[i] != '"' {
+			return nil, 0, fmt.Errorf("label %s: value not quoted", lname)
+		}
+		i++ // opening quote
+		var sb strings.Builder
+		for {
+			if i >= len(line) {
+				return nil, 0, fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := line[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(line) {
+					return nil, 0, fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch line[i+1] {
+				case '\\':
+					sb.WriteByte('\\')
+				case '"':
+					sb.WriteByte('"')
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					return nil, 0, fmt.Errorf("label %s: unknown escape \\%c", lname, line[i+1])
+				}
+				i += 2
+				continue
+			}
+			sb.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Name: lname, Value: sb.String()})
+	}
+}
+
+// parseValue decodes a sample value; strconv.ParseFloat accepts the
+// exposition spellings of the IEEE specials (+Inf, -Inf, NaN) directly.
+func parseValue(tok string) (float64, error) {
+	return strconv.ParseFloat(tok, 64)
+}

@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/native"
+)
+
+// TestParseRoundTripGolden pins the parser against the encoder's golden
+// file: parse -> re-encode must reproduce the input byte for byte, and
+// the parsed model must carry the right structure.
+func TestParseRoundTripGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "metrics.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseMetrics(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("parse -> encode did not round-trip the golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	wf := FindFamily(fams, "lock_wait_duration_nanoseconds")
+	if wf == nil || wf.Type != "histogram" {
+		t.Fatalf("wait histogram family missing or untyped: %+v", wf)
+	}
+	var buckets, sums, counts int
+	for _, s := range wf.Samples {
+		switch s.Suffix {
+		case "_bucket":
+			buckets++
+			if _, ok := s.Label("le"); !ok {
+				t.Errorf("bucket sample without le label: %+v", s)
+			}
+		case "_sum":
+			sums++
+		case "_count":
+			counts++
+		}
+	}
+	if buckets == 0 || sums != 2 || counts != 2 {
+		t.Errorf("histogram structure wrong: %d buckets, %d sums, %d counts", buckets, sums, counts)
+	}
+	cf := FindFamily(fams, "lock_acquisitions_total")
+	if cf == nil || cf.Type != "counter" || len(cf.Samples) != 2 {
+		t.Fatalf("acquisitions family wrong: %+v", cf)
+	}
+	if v, _ := cf.Samples[0].Label("lock"); v != "fig3-lock" {
+		t.Errorf("first acquisitions sample lock label = %q, want fig3-lock", v)
+	}
+	if cf.Samples[0].Value != 42 {
+		t.Errorf("fig3-lock acquisitions = %v, want 42", cf.Samples[0].Value)
+	}
+}
+
+// TestParseRoundTripEscaping runs gnarly label values (quotes,
+// backslashes, newlines) through encode -> parse -> encode.
+func TestParseRoundTripEscaping(t *testing.T) {
+	snaps := []LockSnapshot{{
+		Name: "we\"ird\\na\nme", Impl: "native",
+		Native: &native.Stats{Acquisitions: 7},
+	}}
+	var first bytes.Buffer
+	if err := WriteMetrics(&first, snaps); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseMetrics(first.Bytes())
+	if err != nil {
+		t.Fatalf("parse escaped output: %v\n%s", err, first.Bytes())
+	}
+	f := FindFamily(fams, "lock_acquisitions_total")
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("acquisitions family wrong: %+v", f)
+	}
+	if v, _ := f.Samples[0].Label("lock"); v != "we\"ird\\na\nme" {
+		t.Errorf("lock label did not unescape: %q", v)
+	}
+	var second bytes.Buffer
+	if err := WriteFamilies(&second, fams); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("escaped round trip drifted:\n--- first ---\n%s\n--- second ---\n%s", first.Bytes(), second.Bytes())
+	}
+}
+
+// TestGatherMatchesScrape asserts the in-process read API (Gather) and
+// the scrape path (WriteMetrics -> ParseMetrics) produce the same
+// families, so lockmon sources can mix both freely.
+func TestGatherMatchesScrape(t *testing.T) {
+	snaps := goldenSnapshots()
+	direct := Gather(snaps)
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, snaps); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseMetrics(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(parsed) {
+		t.Fatalf("family count: direct %d, parsed %d", len(direct), len(parsed))
+	}
+	for i := range direct {
+		d, p := direct[i], parsed[i]
+		if d.Name != p.Name || d.Type != p.Type || d.Help != p.Help || len(d.Samples) != len(p.Samples) {
+			t.Fatalf("family %d differs: direct %+v parsed %+v", i, d, p)
+		}
+		for j := range d.Samples {
+			ds, ps := d.Samples[j], p.Samples[j]
+			if ds.Suffix != ps.Suffix || ds.Value != ps.Value || len(ds.Labels) != len(ps.Labels) {
+				t.Fatalf("family %s sample %d differs: %+v vs %+v", d.Name, j, ds, ps)
+			}
+			for k := range ds.Labels {
+				if ds.Labels[k] != ps.Labels[k] {
+					t.Fatalf("family %s sample %d label %d differs: %+v vs %+v", d.Name, j, k, ds.Labels[k], ps.Labels[k])
+				}
+			}
+		}
+	}
+}
+
+// TestParseErrors asserts malformed bodies return errors, not garbage.
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"lock_x{l=\"unterminated} 1\n",
+		"lock_x{l=\"v\"\n",
+		"lock_x\n",
+		"lock_x{l=\"a\\q\"} 1\n",
+		"lock_x 12,5\n",
+		"{} 1\n",
+		"lock_x{l=\"v\"} 1 notatimestamp\n",
+		"# TYPE lock_x wiggly\n",
+	} {
+		if _, err := ParseMetrics([]byte(bad)); err == nil {
+			t.Errorf("ParseMetrics(%q) succeeded, want error", bad)
+		}
+	}
+	// Benign oddities parse fine.
+	for _, ok := range []string{
+		"",
+		"# a freeform comment\nlock_x 1\n",
+		"lock_x{a=\"1\",b=\"2\"} 3 1712345678901\n",
+		"no_type_family 1\n",
+	} {
+		if _, err := ParseMetrics([]byte(ok)); err != nil {
+			t.Errorf("ParseMetrics(%q) = %v, want nil", ok, err)
+		}
+	}
+}
+
+// FuzzExpositionParse asserts the parser never panics on arbitrary
+// scrape bodies, and that whatever it accepts re-encodes to something
+// it accepts again with identical structure — the monitor must survive
+// any bytes a half-dead lockd feeds it.
+func FuzzExpositionParse(f *testing.F) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "metrics.golden"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(golden)
+	f.Add([]byte("lock_x{l=\"a\\\\b\\\"c\\nd\"} +Inf\n"))
+	f.Add([]byte("# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n"))
+	f.Add([]byte("# HELP x broken\nx 1e309\nx NaN 123\n"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fams, err := ParseMetrics(body)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFamilies(&buf, fams); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := ParseMetrics(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v\n%s", err, buf.Bytes())
+		}
+		// A family that emits no lines (empty help, untyped, no samples)
+		// is legitimately dropped by the encoder; everything else must
+		// survive the round trip.
+		var visible int
+		for _, f := range fams {
+			if f.Help != "" || (f.Type != "" && f.Type != "untyped") || len(f.Samples) > 0 {
+				visible++
+			}
+		}
+		if len(again) != visible {
+			t.Fatalf("family count changed across round trip: %d visible -> %d\n%s", visible, len(again), buf.Bytes())
+		}
+	})
+}

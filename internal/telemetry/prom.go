@@ -1,18 +1,18 @@
 package telemetry
 
 import (
-	"fmt"
 	"io"
 
 	"repro/internal/obs"
 )
 
-// This file encodes registry snapshots in the Prometheus text exposition
-// format (version 0.0.4): one metric family per lock counter/gauge, with
-// {impl,lock} labels, plus cumulative-bucket histogram families for the
-// wait/hold/idle latency distributions. The encoder is hand-rolled on
+// This file flattens registry snapshots into metric series: one metric
+// family per lock counter/gauge, with {impl,lock} labels, plus
+// cumulative-bucket histogram families for the wait/hold/idle latency
+// distributions. The exposition encoder/parser pair is hand-rolled on
 // purpose — the container bakes in no Prometheus client library, and the
-// text format is small enough to own (and to golden-test exactly).
+// text format is small enough to own (and to golden-test exactly). The
+// family model and the encoder live in expo.go, the parser in parse.go.
 
 // counterPoint is one series of a counter/gauge family.
 type counterPoint struct {
@@ -96,79 +96,7 @@ var histFamilies = []struct {
 // format. Output is deterministic for a given input: families in a fixed
 // order, locks sorted by the caller (Registry.Snapshots sorts by name).
 func WriteMetrics(w io.Writer, snaps []LockSnapshot) error {
-	ew := &errWriter{w: w}
-
-	// Scalar families: group every lock's series under a single
-	// HELP/TYPE header, in first-seen order.
-	type family struct {
-		help  string
-		gauge bool
-		rows  []string
-	}
-	var order []string
-	fams := map[string]*family{}
-	for _, s := range snaps {
-		for _, p := range s.points() {
-			f := fams[p.Name]
-			if f == nil {
-				f = &family{help: p.Help, gauge: p.Gauge}
-				fams[p.Name] = f
-				order = append(order, p.Name)
-			}
-			f.rows = append(f.rows, fmt.Sprintf("%s{%s} %d", p.Name, labelsFor(s), p.Value))
-		}
-	}
-	for _, name := range order {
-		f := fams[name]
-		typ := "counter"
-		if f.gauge {
-			typ = "gauge"
-		}
-		fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, typ)
-		for _, r := range f.rows {
-			fmt.Fprintln(ew, r)
-		}
-	}
-
-	// Histogram families: cumulative _bucket series over the nonzero
-	// log-buckets, then _sum and _count, per lock.
-	for _, hf := range histFamilies {
-		headed := false
-		for _, s := range snaps {
-			h := hf.Get(s)
-			if h == nil {
-				continue
-			}
-			if !headed {
-				fmt.Fprintf(ew, "# HELP %s %s\n# TYPE %s histogram\n", hf.Name, hf.Help, hf.Name)
-				headed = true
-			}
-			writeHistogram(ew, hf.Name, labelsFor(s), *h)
-		}
-	}
-	return ew.err
-}
-
-// writeHistogram emits one lock's cumulative bucket series. Bucket i of
-// obs.Histogram holds durations in [2^(i-1), 2^i) nanoseconds, so every
-// observation in it is <= 2^i - 1: that is the le bound that keeps the
-// cumulative counts exact for integer-nanosecond observations.
-func writeHistogram(w io.Writer, name, labels string, h obs.Histogram) {
-	var cum int64
-	for _, b := range h.Buckets() {
-		cum += b.Count
-		fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, int64(b.Hi)-1, cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count())
-	fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, int64(h.Sum()))
-	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.Count())
-}
-
-// labelsFor renders the {impl,lock} label pairs (sans braces). Go's %q
-// escaping is a superset of the exposition format's label escaping
-// (backslash, double-quote, newline).
-func labelsFor(s LockSnapshot) string {
-	return fmt.Sprintf(`impl=%q,lock=%q`, s.Impl, s.Name)
+	return WriteFamilies(w, Gather(snaps))
 }
 
 // errWriter latches the first write error so the encoder can stay

@@ -141,8 +141,11 @@ func (e *Entry) snapshot() LockSnapshot {
 }
 
 // add registers a new entry, uniquifying the name ("x", "x#2", "x#3"...)
-// so two anonymous scenarios never collide.
-func (r *Registry) add(name, impl string, pull func() LockSnapshot) *Entry {
+// so two anonymous scenarios never collide. A non-nil init runs under
+// the registry lock before the entry becomes visible to scrapes: a
+// wrapper whose pull function reads wrapper state must attach the entry
+// there, or a concurrent scrape could sample the half-built wrapper.
+func (r *Registry) add(name, impl string, pull func() LockSnapshot, init func(*Entry)) *Entry {
 	if name == "" {
 		name = impl + "-lock"
 	}
@@ -156,6 +159,9 @@ func (r *Registry) add(name, impl string, pull func() LockSnapshot) *Entry {
 		name = fmt.Sprintf("%s#%d", base, i)
 	}
 	e := &Entry{reg: r, name: name, impl: impl, pull: pull}
+	if init != nil {
+		init(e)
+	}
 	r.entries[name] = e
 	return e
 }
@@ -194,7 +200,7 @@ func (r *Registry) RegisterSource(name, impl string, pull func() LockSnapshot) *
 	if pull == nil {
 		panic("telemetry: RegisterSource with nil pull")
 	}
-	return r.add(name, impl, pull)
+	return r.add(name, impl, pull, nil)
 }
 
 // RegisterSource registers a custom source in the default registry.
@@ -218,7 +224,7 @@ func (r *Registry) RegisterCore(name string, l *core.Lock, o *obs.LockObserver) 
 		name = l.Label()
 	}
 	ce := &CoreEntry{lock: l, obs: o}
-	ce.Entry = r.add(name, "sim", nil)
+	ce.Entry = r.add(name, "sim", nil, nil)
 	return ce
 }
 
@@ -253,7 +259,7 @@ type NativeEntry struct {
 // and per-site contention profiles.
 func (r *Registry) RegisterNative(name string, m *native.Mutex) *NativeEntry {
 	ne := &NativeEntry{m: m}
-	ne.Entry = r.add(name, "native", ne.sample)
+	r.add(name, "native", ne.sample, func(e *Entry) { ne.Entry = e })
 	return ne
 }
 
