@@ -3,10 +3,11 @@
 # pre-commit should run exactly that.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr8.json
+JOURNAL_SMOKE_DIR ?= $(CURDIR)/.journal-smoke
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke clean
+.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke clean
 
 all: check
 
@@ -32,7 +33,7 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./...
 
-check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke benchdiff
+check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke benchdiff
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -74,6 +75,14 @@ lockd-smoke:
 # within the test's detection deadline.
 deadlock-smoke:
 	$(GO) test ./internal/lockclient -race -count=1 -timeout 120s -v -run TestDeadlockSmoke
+
+# Event-journal smoke: SIGKILL a child mid-write and replay its segments
+# (torn tail rejected by CRC, tokens still monotonic, clean reopen), the
+# torn-tail corpus, and the merged client+server verification — under
+# the race detector. JOURNAL_SMOKE_DIR keeps the crash-test segments on
+# failure so CI can upload them as an artifact.
+journal-smoke:
+	JOURNAL_SMOKE_DIR=$(JOURNAL_SMOKE_DIR) $(GO) test ./internal/journal -race -count=1 -v -run 'TestCrashRecovery|TestTornTail|TestVerifyMerged'
 
 # PASS/FAIL check of every reproduction claim.
 verify:

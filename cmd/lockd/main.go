@@ -10,6 +10,7 @@
 //	lockd -serve :9090                 # also expose /metrics telemetry
 //	lockd -serve :9090 -serve-for 30s  # scripted run: exit after 30s
 //	lockd -faults conn-drop:every=20   # chaos mode: drop every 20th reply
+//	lockd -journal-dir /var/lock/jrnl  # black-box event journal (cmd/lockjournal reads it)
 //
 // With -faults, every accepted connection is wrapped in the
 // fault-injection conn (internal/fault), so the server's own replies are
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/causal"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/lockd"
 	"repro/internal/telemetry"
 )
@@ -49,6 +51,10 @@ func main() {
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /locks, /watch) on this address")
 		serveFor   = flag.Duration("serve-for", 0, "stop after this duration via graceful shutdown (0 = until interrupted)")
 		verbose    = flag.Bool("v", false, "log server diagnostics")
+
+		journalDir  = flag.String("journal-dir", "", "record every lock lifecycle event to binary segments in this directory")
+		journalSeg  = flag.Int64("journal-seg-bytes", 1<<20, "journal segment size before rotation")
+		journalKeep = flag.Int("journal-max-segments", 8, "journal segments retained (-1 = unlimited)")
 	)
 	flag.Parse()
 
@@ -77,6 +83,26 @@ func main() {
 	}
 	if *verbose {
 		cfg.Logf = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds).Printf
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lockd:", err)
+			os.Exit(1)
+		}
+		jrn, err := journal.Open(journal.Config{
+			Dir:          *journalDir,
+			SegmentBytes: *journalSeg,
+			MaxSegments:  *journalKeep,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockd:", err)
+			os.Exit(1)
+		}
+		defer jrn.Close()
+		cfg.Journal = jrn
+		telemetry.SetJournal(jrn) // -serve exposes /debug/journal
+		fmt.Fprintf(os.Stderr, "lockd: journaling lock events to %s\n", *journalDir)
 	}
 	if len(specs) > 0 {
 		schedule, err := fault.NewSchedule(*seed, specs...)

@@ -1,0 +1,374 @@
+// Command lockjournal reads lock event-journal segment directories
+// offline — no live process needed — and turns them into answers: what
+// happened, in what order, across which processes, and whether the
+// fencing invariants held.
+//
+//	lockjournal dump dir                    # decoded records, oldest first
+//	lockjournal dump -lock orders -kind acquire dir
+//	lockjournal segments dir                # segment files with integrity flags
+//	lockjournal merge client=dirA server=dirB   # one timeline, proc-labelled
+//	lockjournal verify client=dirA server=dirB  # invariant check (exit 1 on violation)
+//	lockjournal waitgraph -at 1712345678901234567 server=dirB  # graph at an instant
+//	lockjournal chrome -o trace.json client=dirA server=dirB   # Chrome trace export
+//
+// Journal arguments are DIR or PROC=DIR; a bare DIR is labelled with its
+// base name. merge/verify/waitgraph/chrome accept several journals and
+// join them into one history — the server's journal and a client's
+// journal share trace ids, so `verify` can prove a grant seen by both
+// sides carried the same monotonically-increasing fencing token.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/causal"
+	"repro/internal/journal"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: lockjournal <dump|segments|merge|verify|waitgraph|chrome> [flags] <dir|proc=dir>...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "dump":
+		err = cmdDump(os.Stdout, args)
+	case "segments":
+		err = cmdSegments(os.Stdout, args)
+	case "merge":
+		err = cmdMerge(os.Stdout, args)
+	case "verify":
+		var rep journal.VerifyReport
+		rep, err = cmdVerify(os.Stdout, args)
+		if err == nil && !rep.Ok() {
+			os.Exit(1)
+		}
+	case "waitgraph":
+		err = cmdWaitGraph(os.Stdout, args)
+	case "chrome":
+		err = cmdChrome(os.Stdout, args)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockjournal:", err)
+		os.Exit(2)
+	}
+}
+
+// loadProcs resolves DIR / PROC=DIR arguments into labelled journals.
+func loadProcs(args []string) ([]journal.ProcEntries, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("no journal directories given")
+	}
+	var procs []journal.ProcEntries
+	for _, arg := range args {
+		proc, dir, ok := strings.Cut(arg, "=")
+		if !ok {
+			dir = arg
+			proc = filepath.Base(filepath.Clean(arg))
+		}
+		entries, _, err := journal.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", dir, err)
+		}
+		if len(entries) == 0 {
+			if infos, err := journal.ListSegments(dir); err == nil && len(infos) == 0 {
+				return nil, fmt.Errorf("%s: no journal segments", dir)
+			}
+		}
+		procs = append(procs, journal.ProcEntries{Proc: proc, Entries: entries})
+	}
+	return procs, nil
+}
+
+// recordFilter is the shared -lock/-agent/-kind/-from/-to filter.
+type recordFilter struct {
+	lock, agent string
+	kind        string
+	from, to    string
+}
+
+func (f *recordFilter) register(fs *flag.FlagSet) {
+	fs.StringVar(&f.lock, "lock", "", "only records for this lock name")
+	fs.StringVar(&f.agent, "agent", "", "only records from this agent")
+	fs.StringVar(&f.kind, "kind", "", "only records of this kind (wait, acquire, release, ...)")
+	fs.StringVar(&f.from, "from", "", "drop records before this instant (ns epoch or RFC3339)")
+	fs.StringVar(&f.to, "to", "", "drop records after this instant (ns epoch or RFC3339)")
+}
+
+func parseInstant(s string) (int64, error) {
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ns, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return 0, fmt.Errorf("instant %q: not a ns epoch or RFC3339 time", s)
+	}
+	return t.UnixNano(), nil
+}
+
+func (f *recordFilter) compile() (func(journal.Entry) bool, error) {
+	from, to := int64(0), int64(1<<63-1)
+	var err error
+	if f.from != "" {
+		if from, err = parseInstant(f.from); err != nil {
+			return nil, err
+		}
+	}
+	if f.to != "" {
+		if to, err = parseInstant(f.to); err != nil {
+			return nil, err
+		}
+	}
+	kind := journal.KindInvalid
+	if f.kind != "" {
+		if kind = journal.KindFromString(f.kind); kind == journal.KindInvalid {
+			return nil, fmt.Errorf("unknown kind %q", f.kind)
+		}
+	}
+	return func(e journal.Entry) bool {
+		if e.AtNs < from || e.AtNs > to {
+			return false
+		}
+		if f.lock != "" && e.LockName != f.lock {
+			return false
+		}
+		if f.agent != "" && e.AgentName != f.agent {
+			return false
+		}
+		if kind != journal.KindInvalid && e.Kind != kind {
+			return false
+		}
+		return true
+	}, nil
+}
+
+// writeEntry prints one record in the dump/merge line format.
+func writeEntry(w io.Writer, proc string, e journal.Entry) {
+	lock := e.LockName
+	if lock == "" {
+		lock = fmt.Sprintf("lock#%d", e.Lock)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %-9s %-6s %-16s", time.Unix(0, e.AtNs).UTC().Format(time.RFC3339Nano),
+		e.Kind, e.Origin, lock)
+	if proc != "" {
+		b.WriteString(" proc=" + proc)
+	}
+	if e.AgentName != "" {
+		b.WriteString(" agent=" + e.AgentName)
+	}
+	if e.Token != 0 {
+		fmt.Fprintf(&b, " token=%d", e.Token)
+	}
+	if e.DurNs != 0 {
+		fmt.Fprintf(&b, " dur=%v", time.Duration(e.DurNs))
+	}
+	if e.Tag != 0 {
+		fmt.Fprintf(&b, " tag=%d", e.Tag)
+	}
+	if e.Trace != 0 {
+		fmt.Fprintf(&b, " trace=%016x", e.Trace)
+	}
+	fmt.Fprintln(w, b.String())
+}
+
+func cmdDump(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	var filter recordFilter
+	filter.register(fs)
+	asJSON := fs.Bool("json", false, "emit records as a JSON array")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("dump wants exactly one journal directory")
+	}
+	keep, err := filter.compile()
+	if err != nil {
+		return err
+	}
+	entries, infos, err := journal.ReadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		return fmt.Errorf("%s: no journal segments", fs.Arg(0))
+	}
+	var out []journal.Entry
+	for _, e := range entries {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	if *asJSON {
+		return writeJSON(w, out)
+	}
+	for _, e := range out {
+		writeEntry(w, "", e)
+	}
+	return nil
+}
+
+func cmdSegments(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("segments", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit segment info as a JSON array")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	if fs.NArg() != 1 {
+		return fmt.Errorf("segments wants exactly one journal directory")
+	}
+	_, infos, err := journal.ReadDir(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		return writeJSON(w, infos)
+	}
+	for _, si := range infos {
+		state := "ok"
+		switch {
+		case si.Corrupt:
+			state = "CORRUPT"
+		case si.Torn:
+			state = "torn"
+		}
+		fmt.Fprintf(w, "%s  index=%d  %d bytes  %d frames  %s\n", si.Name, si.Index, si.Size, si.Frames, state)
+	}
+	return nil
+}
+
+func cmdMerge(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	var filter recordFilter
+	filter.register(fs)
+	asJSON := fs.Bool("json", false, "emit merged records as a JSON array")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	keep, err := filter.compile()
+	if err != nil {
+		return err
+	}
+	procs, err := loadProcs(fs.Args())
+	if err != nil {
+		return err
+	}
+	merged := journal.Merge(procs)
+	out := merged[:0]
+	for _, e := range merged {
+		if keep(e.Entry) {
+			out = append(out, e)
+		}
+	}
+	if *asJSON {
+		return writeJSON(w, out)
+	}
+	for _, e := range out {
+		writeEntry(w, e.Proc, e.Entry)
+	}
+	return nil
+}
+
+func cmdVerify(w io.Writer, args []string) (journal.VerifyReport, error) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	procs, err := loadProcs(fs.Args())
+	if err != nil {
+		return journal.VerifyReport{}, err
+	}
+	rep := journal.Verify(procs)
+	if *asJSON {
+		return rep, writeJSON(w, rep)
+	}
+	fmt.Fprintf(w, "%d proc(s), %d records: %d grants, %d releases, %d forced owner-deaths, %d events dropped\n",
+		rep.Procs, rep.Records, rep.Grants, rep.Releases, rep.ForcedDeaths, rep.Drops)
+	if rep.Procs > 1 {
+		fmt.Fprintf(w, "traces shared across journals: %d\n", rep.SharedTraces)
+	}
+	for _, h := range rep.OpenHolds {
+		fmt.Fprintf(w, "open hold: %s\n", h)
+	}
+	if rep.Ok() {
+		fmt.Fprintln(w, "ok: grant/release pairing and fencing-token monotonicity hold")
+	} else {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(w, "VIOLATION: %s\n", v)
+		}
+	}
+	return rep, nil
+}
+
+func cmdWaitGraph(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("waitgraph", flag.ExitOnError)
+	at := fs.String("at", "", "replay up to this instant (ns epoch or RFC3339; default end of history)")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	atNs := int64(1<<63 - 1)
+	if *at != "" {
+		var err error
+		if atNs, err = parseInstant(*at); err != nil {
+			return err
+		}
+	}
+	procs, err := loadProcs(fs.Args())
+	if err != nil {
+		return err
+	}
+	g := journal.GraphAt(journal.Merge(procs), atNs)
+	if *dot {
+		return g.WriteDOT(w)
+	}
+	return writeJSON(w, g.Snapshot())
+}
+
+func cmdChrome(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("chrome", flag.ExitOnError)
+	out := fs.String("o", "", "write the trace to this file instead of stdout")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	procs, err := loadProcs(fs.Args())
+	if err != nil {
+		return err
+	}
+	// One ChromePart per process so the viewer lanes them separately;
+	// spans come from each journal's own timeline (merge order within a
+	// process is its own order anyway).
+	parts := make([]causal.ChromePart, 0, len(procs))
+	for _, p := range procs {
+		merged := journal.Merge([]journal.ProcEntries{p})
+		parts = append(parts, causal.ChromePart{Label: p.Proc, Spans: journal.Spans(merged)})
+	}
+	sort.Slice(parts, func(a, b int) bool { return parts[a].Label < parts[b].Label })
+	file := causal.ChromeSpans(parts...)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(f, file); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return writeJSON(w, file)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// writeJournal materializes a fixed per-process history on disk.
+func writeJournal(t *testing.T, dir string, recs []journal.Record, locks, agents map[uint32]string) {
+	t.Helper()
+	j, err := journal.Open(journal.Config{Dir: dir, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	lockIDs := map[uint32]uint32{}
+	for id, name := range locks {
+		lockIDs[id] = j.InternLock(name)
+	}
+	agentIDs := map[uint32]uint32{}
+	for id, name := range agents {
+		agentIDs[id] = j.InternAgent(name)
+	}
+	for _, r := range recs {
+		r.Lock = lockIDs[r.Lock]
+		r.Agent = agentIDs[r.Agent]
+		j.Append(r)
+	}
+	j.Flush()
+}
+
+// fixture writes a two-process history: the server grants orders to w1
+// (token 3) then w2 (token 4, still held at end); the client sees its
+// own half of w1's acquisition via the shared trace id.
+func fixture(t *testing.T) (serverDir, clientDir string) {
+	base := t.TempDir()
+	serverDir = filepath.Join(base, "server")
+	clientDir = filepath.Join(base, "client")
+	const trace = 0xbeef
+	writeJournal(t, serverDir, []journal.Record{
+		{Kind: journal.KindWait, Origin: journal.OriginLockd, AtNs: 100, Lock: 1, Agent: 1, Trace: trace},
+		{Kind: journal.KindAcquire, Origin: journal.OriginLockd, AtNs: 200, Lock: 1, Agent: 1, Token: 3, Trace: trace, DurNs: 100},
+		{Kind: journal.KindRelease, Origin: journal.OriginLockd, AtNs: 400, Lock: 1, Agent: 1, Token: 3, Trace: trace, DurNs: 200},
+		{Kind: journal.KindAcquire, Origin: journal.OriginLockd, AtNs: 500, Lock: 1, Agent: 2, Token: 4},
+	}, map[uint32]string{1: "orders"}, map[uint32]string{1: "w1", 2: "w2"})
+	writeJournal(t, clientDir, []journal.Record{
+		{Kind: journal.KindWait, Origin: journal.OriginClient, AtNs: 90, Lock: 1, Agent: 1, Trace: trace},
+		{Kind: journal.KindAcquire, Origin: journal.OriginClient, AtNs: 210, Lock: 1, Agent: 1, Token: 3, Trace: trace, DurNs: 120},
+		{Kind: journal.KindRelease, Origin: journal.OriginClient, AtNs: 410, Lock: 1, Agent: 1, Token: 3, Trace: trace, DurNs: 200},
+	}, map[uint32]string{1: "orders"}, map[uint32]string{1: "w1"})
+	return serverDir, clientDir
+}
+
+func TestDumpFilters(t *testing.T) {
+	serverDir, _ := fixture(t)
+	var out bytes.Buffer
+	if err := cmdDump(&out, []string{"-kind", "acquire", serverDir}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump -kind acquire: %d lines\n%s", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "token=3") || !strings.Contains(lines[1], "token=4") {
+		t.Fatalf("dump lines missing tokens:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := cmdDump(&out, []string{"-agent", "w2", "-json", serverDir}); err != nil {
+		t.Fatal(err)
+	}
+	var docs []journal.Entry
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("dump -json: %v\n%s", err, out.String())
+	}
+	if len(docs) != 1 || docs[0].AgentName != "w2" {
+		t.Fatalf("dump -agent w2 = %+v", docs)
+	}
+
+	if err := cmdDump(&out, []string{"-kind", "bogus", serverDir}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := cmdDump(&out, []string{t.TempDir()}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestMergeInterleavesProcs(t *testing.T) {
+	serverDir, clientDir := fixture(t)
+	var out bytes.Buffer
+	if err := cmdMerge(&out, []string{"server=" + serverDir, "client=" + clientDir}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("merge: %d lines, want 7\n%s", len(lines), out.String())
+	}
+	// The client's wait at 90ns leads; the server's grant at 500ns ends.
+	if !strings.Contains(lines[0], "proc=client") || !strings.Contains(lines[6], "proc=server") {
+		t.Fatalf("merge order wrong:\n%s", out.String())
+	}
+}
+
+func TestVerifyMergedJournals(t *testing.T) {
+	serverDir, clientDir := fixture(t)
+	var out bytes.Buffer
+	rep, err := cmdVerify(&out, []string{"server=" + serverDir, "client=" + clientDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean fixture has violations: %+v", rep.Violations)
+	}
+	if rep.Grants != 3 || rep.Releases != 2 || rep.SharedTraces != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.OpenHolds) != 1 || !strings.Contains(rep.OpenHolds[0], "w2") {
+		t.Fatalf("open holds = %v, want w2's grant", rep.OpenHolds)
+	}
+	if !strings.Contains(out.String(), "ok: grant/release pairing") {
+		t.Fatalf("verify output:\n%s", out.String())
+	}
+}
+
+func TestVerifyFlagsTokenRegression(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, []journal.Record{
+		{Kind: journal.KindAcquire, AtNs: 100, Lock: 1, Agent: 1, Token: 9},
+		{Kind: journal.KindRelease, AtNs: 200, Lock: 1, Agent: 1, Token: 9},
+		{Kind: journal.KindAcquire, AtNs: 300, Lock: 1, Agent: 2, Token: 9}, // not above 9
+	}, map[uint32]string{1: "orders"}, map[uint32]string{1: "a", 2: "b"})
+	var out bytes.Buffer
+	rep, err := cmdVerify(&out, []string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() || !strings.Contains(out.String(), "VIOLATION") {
+		t.Fatalf("token regression not flagged: %+v\n%s", rep, out.String())
+	}
+}
+
+func TestWaitGraphAtInstant(t *testing.T) {
+	serverDir, _ := fixture(t)
+	// At t=150 the grant has not happened: w1 still waits on orders.
+	var out bytes.Buffer
+	if err := cmdWaitGraph(&out, []string{"-at", "150", "server=" + serverDir}); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Waits []struct {
+			Actor string `json:"actor"`
+			Lock  string `json:"lock"`
+		} `json:"waits"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("waitgraph JSON: %v\n%s", err, out.String())
+	}
+	if len(snap.Waits) != 1 || snap.Waits[0].Actor != "server/w1" || snap.Waits[0].Lock != "orders" {
+		t.Fatalf("waits at 150 = %+v", snap.Waits)
+	}
+
+	out.Reset()
+	if err := cmdWaitGraph(&out, []string{"-at", "150", "-dot", "server=" + serverDir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Fatalf("waitgraph -dot:\n%s", out.String())
+	}
+}
+
+func TestChromeExport(t *testing.T) {
+	serverDir, clientDir := fixture(t)
+	var out bytes.Buffer
+	if err := cmdChrome(&out, []string{"server=" + serverDir, "client=" + clientDir}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome JSON: %v\n%s", err, out.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	pids := map[int]bool{}
+	var waits, holds int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+			switch {
+			case strings.HasPrefix(ev.Name, "wait "):
+				waits++
+			case strings.HasPrefix(ev.Name, "hold "):
+				holds++
+			}
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("span pids = %v, want one per process", pids)
+	}
+	// Two grants with wait durations and two releases (one per proc).
+	if waits != 2 || holds != 2 {
+		t.Fatalf("waits=%d holds=%d\n%s", waits, holds, out.String())
+	}
+}
+
+func TestSegmentsListing(t *testing.T) {
+	serverDir, _ := fixture(t)
+	var out bytes.Buffer
+	if err := cmdSegments(&out, []string{serverDir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "journal-00000000.seg") || !strings.Contains(out.String(), "ok") {
+		t.Fatalf("segments listing:\n%s", out.String())
+	}
+}

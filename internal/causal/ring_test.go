@@ -1,0 +1,123 @@
+package causal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Exact-count ring semantics for the two always-on recorders: Flight's
+// per-lock event rings and Recorder's span ring. Run under -race in CI,
+// so the concurrent halves double as data-race probes.
+
+func TestFlightRingWraparound(t *testing.T) {
+	const cap = 16 // NewFlight's minimum
+	f := NewFlight(cap)
+	const total = 40
+	for i := 0; i < total; i++ {
+		f.RecordAt(int64(i), "orders", "acquire", fmt.Sprintf("w%d", i), "")
+	}
+	// The ring keeps exactly the newest cap events, oldest first.
+	evs := f.Events("orders")
+	if len(evs) != cap {
+		t.Fatalf("retained %d events, want %d", len(evs), cap)
+	}
+	for i, e := range evs {
+		if want := int64(total - cap + i); e.AtNs != want {
+			t.Fatalf("event[%d].AtNs = %d, want %d (ring not oldest-first after wrap)", i, e.AtNs, want)
+		}
+	}
+	// Total counts every event ever recorded, including overwritten ones.
+	if got := f.Total("orders"); got != total {
+		t.Fatalf("Total = %d, want %d", got, total)
+	}
+	// A second lock's ring is independent: no bleed, no wrap.
+	f.RecordAt(1, "billing", "wait", "w0", "")
+	if got := len(f.Events("billing")); got != 1 {
+		t.Fatalf("billing retained %d events, want 1", got)
+	}
+	if got := f.Total("orders"); got != total {
+		t.Fatalf("Total disturbed by other lock: %d", got)
+	}
+}
+
+func TestFlightRingConcurrent(t *testing.T) {
+	f := NewFlight(16)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				f.RecordAt(int64(i), "orders", "acquire", fmt.Sprintf("w%d", w), "")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Total("orders"); got != workers*each {
+		t.Fatalf("Total = %d, want %d (lost events under contention)", got, workers*each)
+	}
+	if got := len(f.Events("orders")); got != 16 {
+		t.Fatalf("retained %d, want the full ring", got)
+	}
+}
+
+func TestRecorderDropAccounting(t *testing.T) {
+	const cap = 16 // NewRecorder's minimum
+	r := NewRecorder(cap)
+	// Filling to exactly capacity drops nothing.
+	for i := 0; i < cap; i++ {
+		r.Record(Span{Start: int64(i)})
+	}
+	if r.Dropped() != 0 || r.Len() != cap {
+		t.Fatalf("at capacity: dropped=%d len=%d, want 0/%d", r.Dropped(), r.Len(), cap)
+	}
+	// Each span past capacity drops exactly one — the oldest.
+	const extra = 10
+	for i := cap; i < cap+extra; i++ {
+		r.Record(Span{Start: int64(i)})
+	}
+	if got := r.Dropped(); got != extra {
+		t.Fatalf("dropped = %d, want exactly %d", got, extra)
+	}
+	if got := r.Len(); got != cap {
+		t.Fatalf("len = %d, want %d", got, cap)
+	}
+	spans := r.Spans()
+	for i, s := range spans {
+		if want := int64(extra + i); s.Start != want {
+			t.Fatalf("span[%d].Start = %d, want %d (survivors not the newest %d in order)", i, s.Start, want, cap)
+		}
+	}
+	// Reset zeroes the accounting with the ring.
+	r.Reset()
+	if r.Dropped() != 0 || r.Len() != 0 {
+		t.Fatalf("after reset: dropped=%d len=%d", r.Dropped(), r.Len())
+	}
+}
+
+func TestRecorderDropAccountingConcurrent(t *testing.T) {
+	const cap = 16
+	r := NewRecorder(cap)
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Record(Span{})
+			}
+		}()
+	}
+	wg.Wait()
+	// Conservation: every span recorded is either retained or counted
+	// dropped — exact even under contention.
+	if got := r.Dropped(); got != workers*each-cap {
+		t.Fatalf("dropped = %d, want %d", got, workers*each-cap)
+	}
+	if got := r.Len(); got != cap {
+		t.Fatalf("len = %d, want %d", got, cap)
+	}
+}

@@ -186,11 +186,37 @@ func (tk *NativeTracker) LockEvent(e native.LockEvent) {
 			})
 		}
 		tk.Flight.RecordAt(now, tk.Object, "release", actor, "")
+	case native.EventOwnerDead:
+		// A force-release: close the hold span like a release, but mark
+		// the outcome so post-mortems can tell them apart.
+		tk.Graph.SetHolder(tk.Object, "")
+		tk.mu.Lock()
+		tr := tk.traces[actor]
+		parent := tk.spans[actor]
+		delete(tk.traces, actor)
+		delete(tk.spans, actor)
+		tk.mu.Unlock()
+		if tr == 0 {
+			tr = NewTraceID()
+		}
+		if tk.Rec != nil {
+			tk.Rec.Record(Span{
+				Trace: tr, ID: NewSpanID(), Parent: parent, Name: "hold",
+				Actor: actor, Object: tk.Object,
+				Start: now - int64(e.Held), End: now,
+				Attrs: map[string]string{"outcome": "owner-dead"},
+			})
+		}
+		tk.Flight.RecordAt(now, tk.Object, "owner-dead", actor, "")
 	case native.EventTimeout:
 		tk.Graph.RemoveWait(actor, tk.Object)
 		tk.Flight.RecordAt(now, tk.Object, "timeout", actor, "")
 	case native.EventAbort:
 		tk.Graph.RemoveWait(actor, tk.Object)
 		tk.Flight.RecordAt(now, tk.Object, "abort", actor, "")
+	case native.EventWatchdog:
+		tk.Flight.RecordAt(now, tk.Object, "watchdog", actor, "")
+	case native.EventReconfig:
+		tk.Flight.RecordAt(now, tk.Object, "reconfig", "", "")
 	}
 }

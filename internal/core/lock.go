@@ -227,6 +227,46 @@ type CausalObserver interface {
 // SetCausalObserver attaches a causal observer. Pass nil to detach.
 func (l *Lock) SetCausalObserver(o CausalObserver) { l.causal = o }
 
+// TeeCausalObserver fans causal callbacks out to several observers
+// (nils skipped), so a causal tracker and an event journal can watch
+// one lock through the single observer slot. With zero or one
+// effective observer it returns nil or the observer itself.
+func TeeCausalObserver(obs ...CausalObserver) CausalObserver {
+	var eff []CausalObserver
+	for _, o := range obs {
+		if o != nil {
+			eff = append(eff, o)
+		}
+	}
+	switch len(eff) {
+	case 0:
+		return nil
+	case 1:
+		return eff[0]
+	}
+	return teeCausal(eff)
+}
+
+type teeCausal []CausalObserver
+
+func (t teeCausal) LockWait(at sim.Time, actor, holder string) {
+	for _, o := range t {
+		o.LockWait(at, actor, holder)
+	}
+}
+
+func (t teeCausal) LockWaitDone(at sim.Time, actor string, acquired bool) {
+	for _, o := range t {
+		o.LockWaitDone(at, actor, acquired)
+	}
+}
+
+func (t teeCausal) LockOwner(at sim.Time, actor string) {
+	for _, o := range t {
+		o.LockOwner(at, actor)
+	}
+}
+
 // emit records a trace event if tracing is enabled.
 func (l *Lock) emit(at sim.Time, k trace.Kind, actor, detail string) {
 	if l.tracer == nil {

@@ -17,7 +17,10 @@ import (
 // contended policy sweep are deterministic for a given config, so any
 // drift there is a real change in the locks, not machine noise. The
 // wall-clock sections (lockd round trips, lockmon scrape overhead) stay
-// in the artifact but are never gated: they vary with the host.
+// in the artifact but are never gated: they vary with the host. The
+// journal section splits the difference: its ns figures are wall clock
+// and ungated, but its overhead ratios are host-independent and gate
+// against fixed budgets (see DiffBench).
 
 // DiffEntry is one compared metric.
 type DiffEntry struct {
@@ -60,14 +63,17 @@ func worsePct(old, new float64, higherIsWorse bool) float64 {
 // thresholdPct is the allowed worsening in percent (e.g. 25).
 func DiffBench(oldSum, newSum BenchSummary, thresholdPct float64) DiffReport {
 	rep := DiffReport{ThresholdPct: thresholdPct}
-	add := func(section, key, metric string, old, new float64, higherIsWorse bool) {
+	addAt := func(section, key, metric string, old, new float64, higherIsWorse bool, threshold float64) {
 		e := DiffEntry{Section: section, Key: key, Metric: metric, Old: old, New: new,
 			DeltaPct: worsePct(old, new, higherIsWorse)}
-		e.Regression = e.DeltaPct > thresholdPct
+		e.Regression = e.DeltaPct > threshold
 		if e.Regression {
 			rep.Regressions++
 		}
 		rep.Entries = append(rep.Entries, e)
+	}
+	add := func(section, key, metric string, old, new float64, higherIsWorse bool) {
+		addAt(section, key, metric, old, new, higherIsWorse, thresholdPct)
 	}
 
 	oldOps := map[string]LockOpCost{}
@@ -94,6 +100,18 @@ func DiffBench(oldSum, newSum BenchSummary, thresholdPct float64) DiffReport {
 		}
 		add("policies", p.Policy, "acquisitions_per_sec", prev.AcqPerSec, p.AcqPerSec, false)
 		add("policies", p.Policy, "wait_p99_us", prev.WaitP99Us, p.WaitP99Us, true)
+	}
+
+	// The journal section self-gates: its ns figures are wall clock and
+	// host-dependent, so the overhead ratios are compared against the
+	// 1.0 "journaling is free" baseline with the section's own budget —
+	// the no-op sink within 5% of the hooks-off path, a live journal
+	// within 30%. A summary without the section (an older artifact, or a
+	// quick run predating it) contributes no entries, so the gate keeps
+	// working across the boundary where the section first appears.
+	if j := newSum.Journal; j != nil {
+		addAt("journal", "uncontended", "noop_ratio", 1.0, j.NoopRatio, true, 5)
+		addAt("journal", "uncontended", "on_ratio", 1.0, j.OnRatio, true, 30)
 	}
 	return rep
 }

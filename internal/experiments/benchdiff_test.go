@@ -65,6 +65,58 @@ func TestDiffBench(t *testing.T) {
 	}
 }
 
+// TestDiffBenchJournalGates pins the journal section's self-gating: the
+// overhead ratios compare against the 1.0 baseline with their own
+// budgets (noop 5%, on 30%), and a summary pair where only the newer
+// file has the section still diffs cleanly.
+func TestDiffBenchJournalGates(t *testing.T) {
+	oldSum, newSum := twoSummaries() // neither has a journal section
+
+	// New-only section within budget: entries appear, nothing regresses.
+	newSum.Journal = &JournalBench{NoopRatio: 1.03, OnRatio: 1.25}
+	rep := DiffBench(oldSum, newSum, 25)
+	if rep.Regressions != 2 { // the two twoSummaries regressions only
+		t.Fatalf("regressions = %d, want the 2 baseline ones: %+v", rep.Regressions, rep.Entries)
+	}
+	byMetric := map[string]DiffEntry{}
+	for _, e := range rep.Entries {
+		if e.Section == "journal" {
+			byMetric[e.Metric] = e
+		}
+	}
+	if len(byMetric) != 2 {
+		t.Fatalf("journal entries = %d, want 2: %+v", len(byMetric), rep.Entries)
+	}
+	if e := byMetric["noop_ratio"]; e.Regression || e.Old != 1.0 {
+		t.Fatalf("noop_ratio 1.03 should pass its 5%% budget: %+v", e)
+	}
+	if e := byMetric["on_ratio"]; e.Regression || e.DeltaPct < 24 || e.DeltaPct > 26 {
+		t.Fatalf("on_ratio 1.25 should pass its 30%% budget at +25%%: %+v", e)
+	}
+
+	// Blowing the budgets flags both, regardless of the global threshold.
+	newSum.Journal = &JournalBench{NoopRatio: 1.10, OnRatio: 1.50}
+	rep = DiffBench(oldSum, newSum, 100)
+	var journalRegr int
+	for _, e := range rep.Entries {
+		if e.Section == "journal" && e.Regression {
+			journalRegr++
+		}
+	}
+	if journalRegr != 2 {
+		t.Fatalf("blown budgets flagged %d journal regressions, want 2: %+v", journalRegr, rep.Entries)
+	}
+
+	// Section in the older file only: no journal entries, no crash.
+	oldSum.Journal = &JournalBench{NoopRatio: 1.0, OnRatio: 1.1}
+	newSum.Journal = nil
+	for _, e := range DiffBench(oldSum, newSum, 25).Entries {
+		if e.Section == "journal" {
+			t.Fatalf("old-only journal section produced an entry: %+v", e)
+		}
+	}
+}
+
 func TestPickBenchPair(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_pr3.json", "BENCH_pr10.json", "BENCH_pr4.json"} {

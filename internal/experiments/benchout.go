@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cthread"
+	"repro/internal/journal"
 	"repro/internal/lockclient"
 	"repro/internal/lockd"
 	"repro/internal/lockmon"
+	"repro/internal/native"
 	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -72,6 +77,30 @@ type LockmonBench struct {
 	RegRoundP99Us  float64 `json:"registry_round_p99_us"`
 }
 
+// JournalBench is the event journal's hot-path cost on a native mutex:
+// uncontended Lock/Unlock ns/op with the default no-op sink (the
+// journaling-off baseline), with an explicitly boxed no-op sink (the
+// indirection alone), and with a live journal attached — plus the same
+// three under 64-goroutine contention. The ns figures are wall clock
+// and host-dependent; the ratios are the regression signal, and
+// benchdiff gates them against the overhead budget (no-op sink within
+// 5% of baseline, journal-on within 30%).
+type JournalBench struct {
+	Iterations        int     `json:"iterations"`
+	UncontendedOffNs  float64 `json:"uncontended_off_ns"`
+	UncontendedNoopNs float64 `json:"uncontended_noop_ns"`
+	UncontendedOnNs   float64 `json:"uncontended_on_ns"`
+	NoopRatio         float64 `json:"noop_ratio"` // noop / off
+	OnRatio           float64 `json:"on_ratio"`   // on / off
+	Goroutines        int     `json:"goroutines"`
+	ContendedOffNs    float64 `json:"contended_off_ns"`
+	ContendedNoopNs   float64 `json:"contended_noop_ns"`
+	ContendedOnNs     float64 `json:"contended_on_ns"`
+	ContendedRatio    float64 `json:"contended_ratio"` // on / off
+	Appended          uint64  `json:"appended"`
+	Dropped           uint64  `json:"dropped"`
+}
+
 // BenchSummary is the -bench-out document.
 type BenchSummary struct {
 	Procs      int           `json:"procs"`
@@ -81,6 +110,7 @@ type BenchSummary struct {
 	Policies   []PolicyBench `json:"policies"`
 	Lockd      *LockdBench   `json:"lockd,omitempty"`
 	Lockmon    *LockmonBench `json:"lockmon,omitempty"`
+	Journal    *JournalBench `json:"journal,omitempty"`
 }
 
 // benchPolicies names the waiting policies the contended sweep covers.
@@ -165,7 +195,157 @@ func Bench(c Config) (BenchSummary, error) {
 		return out, err
 	}
 	out.Lockmon = mb
+
+	jb, err := benchJournal(c.Quick)
+	if err != nil {
+		return out, err
+	}
+	out.Journal = jb
 	return out, nil
+}
+
+// discardSink is an explicitly boxed no-op EventSink: measuring it
+// against the default NopSink separates the cost of having hooks
+// installed from the cost of the journal behind them.
+type discardSink struct{}
+
+func (discardSink) LockEvent(native.LockEvent) {}
+
+// benchJournal measures the journal's producer-side overhead on the
+// native mutex's fast path. Each Lock/Unlock pair with a journal
+// attached appends two records (acquire + release), so this is the
+// worst case per paper operation. The three variants run back-to-back
+// inside each trial and every trial yields its own overhead ratios;
+// the reported ratio is the median across trials. Pairing off/on in
+// the same noise window keeps the ratio stable on a loaded host where
+// absolute ns drift between windows by far more than the budget.
+func benchJournal(quick bool) (*JournalBench, error) {
+	iters, trials := 200_000, 7
+	if quick {
+		iters, trials = 50_000, 7
+	}
+	dir, err := os.MkdirTemp("", "lockbench-journal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	jrn, err := journal.Open(journal.Config{
+		Dir: dir, SegmentBytes: 4 << 20, MaxSegments: 4, Shards: 8, ShardCap: 1 << 14,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer jrn.Close()
+
+	uncontended := func(m *native.Mutex) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			m.Lock()
+			m.Unlock()
+		}
+		return float64(time.Since(start)) / float64(iters)
+	}
+	const workers = 64
+	contended := func(m *native.Mutex) float64 {
+		per := iters / workers
+		if per < 1 {
+			per = 1
+		}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					m.Lock()
+					m.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		return float64(time.Since(start)) / float64(workers*per)
+	}
+
+	variants := []struct {
+		sink native.EventSink // nil keeps the default NopSink
+	}{
+		{nil},
+		{discardSink{}},
+		{jrn.Sink("bench-journal")},
+	}
+	run := func(bench func(*native.Mutex) float64) [][3]float64 {
+		out := make([][3]float64, 0, trials)
+		for t := 0; t < trials+1; t++ {
+			var v [3]float64
+			for i, vr := range variants {
+				m := native.MustNew(native.CombinedPolicy, native.FIFO)
+				if vr.sink != nil {
+					m.SetEventSink(vr.sink)
+				}
+				v[i] = bench(m)
+			}
+			if t == 0 {
+				continue // warmup: page in the paths and the rings
+			}
+			out = append(out, v)
+		}
+		return out
+	}
+	unc := run(uncontended)
+	con := run(contended)
+
+	st := jrn.Stats()
+	jb := &JournalBench{
+		Iterations:        iters,
+		UncontendedOffNs:  medianCol(unc, 0),
+		UncontendedNoopNs: medianCol(unc, 1),
+		UncontendedOnNs:   medianCol(unc, 2),
+		NoopRatio:         medianRatio(unc, 1),
+		OnRatio:           medianRatio(unc, 2),
+		Goroutines:        workers,
+		ContendedOffNs:    medianCol(con, 0),
+		ContendedNoopNs:   medianCol(con, 1),
+		ContendedOnNs:     medianCol(con, 2),
+		ContendedRatio:    medianRatio(con, 2),
+		Appended:          st.Appended,
+		Dropped:           st.Dropped,
+	}
+	return jb, nil
+}
+
+// medianCol is the median of one variant's ns/op across trials.
+func medianCol(trials [][3]float64, col int) float64 {
+	vals := make([]float64, len(trials))
+	for i, t := range trials {
+		vals[i] = t[col]
+	}
+	return medianF(vals)
+}
+
+// medianRatio is the median across trials of variant col's ns/op over
+// the same trial's hooks-off baseline (column 0).
+func medianRatio(trials [][3]float64, col int) float64 {
+	var vals []float64
+	for _, t := range trials {
+		if t[0] > 0 {
+			vals = append(vals, t[col]/t[0])
+		}
+	}
+	return medianF(vals)
+}
+
+func medianF(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
 }
 
 // benchLockmon measures the monitor's per-round overhead against a live

@@ -67,10 +67,27 @@ func TestBenchSummaryShape(t *testing.T) {
 		sum.Lockmon.RegRoundP50Us > sum.Lockmon.RegRoundP99Us {
 		t.Errorf("lockmon p50 > p99: %+v", sum.Lockmon)
 	}
+	if sum.Journal == nil {
+		t.Fatal("bench-out has no journal section")
+	}
+	j := sum.Journal
+	if j.Iterations <= 0 || j.Goroutines != 64 {
+		t.Errorf("journal shape: %+v", j)
+	}
+	if j.UncontendedOffNs <= 0 || j.UncontendedNoopNs <= 0 || j.UncontendedOnNs <= 0 ||
+		j.ContendedOffNs <= 0 || j.ContendedNoopNs <= 0 || j.ContendedOnNs <= 0 {
+		t.Errorf("journal cost not positive: %+v", j)
+	}
+	if j.NoopRatio <= 0 || j.OnRatio <= 0 || j.ContendedRatio <= 0 {
+		t.Errorf("journal ratios not positive: %+v", j)
+	}
+	if j.Appended == 0 {
+		t.Errorf("journal-on bench appended no records: %+v", j)
+	}
 
 	// Determinism: a second run produces the identical document, modulo
-	// the lockd and lockmon sections (real network round trips and scrape
-	// timings, so wall-clock noise).
+	// the lockd, lockmon and journal sections (real network round trips,
+	// scrape timings and mutex hot loops, so wall-clock noise).
 	var buf2 bytes.Buffer
 	if err := WriteBench(&buf2, Config{Quick: true}); err != nil {
 		t.Fatal(err)
@@ -81,8 +98,8 @@ func TestBenchSummaryShape(t *testing.T) {
 }
 
 // stripWallClock zeroes the nondeterministic wall-clock sections (lockd
-// RTT, lockmon scrape overhead) so the rest of the document can be
-// compared byte-for-byte.
+// RTT, lockmon scrape overhead, journal hot-loop timings) so the rest
+// of the document can be compared byte-for-byte.
 func stripWallClock(t *testing.T, raw []byte) []byte {
 	t.Helper()
 	var sum BenchSummary
@@ -91,6 +108,7 @@ func stripWallClock(t *testing.T, raw []byte) []byte {
 	}
 	sum.Lockd = nil
 	sum.Lockmon = nil
+	sum.Journal = nil
 	out, err := json.Marshal(sum)
 	if err != nil {
 		t.Fatal(err)

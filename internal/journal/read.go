@@ -1,0 +1,402 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/causal"
+)
+
+// The read side works on segment files alone — no live Journal needed,
+// no writer cooperation. It is what cmd/lockjournal and the telemetry
+// /debug/journal endpoint build on. Robustness rules: a frame with a
+// bad CRC ends the segment (everything after a torn write is suspect);
+// a short trailing read is a torn tail, not an error.
+
+// Entry is a decoded record with its names resolved.
+type Entry struct {
+	Record
+	LockName  string `json:"lock"`
+	AgentName string `json:"agent,omitempty"`
+}
+
+// SegmentInfo describes one segment file on disk.
+type SegmentInfo struct {
+	Path      string    `json:"path"`
+	Name      string    `json:"name"`
+	Index     uint64    `json:"index"`
+	Size      int64     `json:"size"`
+	ModTime   time.Time `json:"mod_time"`
+	CreatedNs int64     `json:"created_ns"`
+	Frames    int       `json:"frames"`  // complete, CRC-valid frames read
+	Torn      bool      `json:"torn"`    // trailing partial frame dropped
+	Corrupt   bool      `json:"corrupt"` // CRC failure truncated the read
+}
+
+// listSegments stats every journal-*.seg in dir without parsing.
+func listSegments(dir string) ([]SegmentInfo, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	if err != nil {
+		return nil, err
+	}
+	var infos []SegmentInfo
+	for _, path := range matches {
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue // raced with retention
+		}
+		var index uint64
+		if _, err := fmt.Sscanf(filepath.Base(path), "journal-%d.seg", &index); err != nil {
+			continue
+		}
+		infos = append(infos, SegmentInfo{
+			Path: path, Name: filepath.Base(path), Index: index,
+			Size: fi.Size(), ModTime: fi.ModTime(),
+		})
+	}
+	sort.Slice(infos, func(a, b int) bool { return infos[a].Index < infos[b].Index })
+	return infos, nil
+}
+
+// ListSegments returns the segments in dir, oldest first.
+func ListSegments(dir string) ([]SegmentInfo, error) { return listSegments(dir) }
+
+// nameTable accumulates id→name mappings as name frames stream past.
+// Segments are self-contained, but the table persists across segments
+// of one directory so records appearing before their (re-emitted) name
+// frame in a later read order still resolve.
+type nameTable struct {
+	locks  map[uint32]string
+	agents map[uint32]string
+}
+
+func newNameTable() *nameTable {
+	return &nameTable{locks: map[uint32]string{}, agents: map[uint32]string{}}
+}
+
+// ReadSegment parses one segment file. A CRC-invalid frame or torn
+// tail truncates the result (flagged in SegmentInfo) — it is not an
+// error; only an unreadable file or bad header is.
+func ReadSegment(path string) ([]Entry, SegmentInfo, error) {
+	return readSegment(path, newNameTable())
+}
+
+func readSegment(path string, names *nameTable) ([]Entry, SegmentInfo, error) {
+	info := SegmentInfo{Path: path, Name: filepath.Base(path)}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Size = int64(len(data))
+	if fi, err := os.Stat(path); err == nil {
+		info.ModTime = fi.ModTime()
+	}
+	index, createdNs, err := decodeSegHeader(data)
+	if err != nil {
+		return nil, info, err
+	}
+	info.Index, info.CreatedNs = index, createdNs
+
+	var entries []Entry
+	for off := segHeaderSize; off < len(data); off += FrameSize {
+		if off+FrameSize > len(data) {
+			info.Torn = true // partial trailing write: a crash mid-frame
+			break
+		}
+		frame := data[off : off+FrameSize]
+		if !frameOK(frame) {
+			// A bad CRC means a torn or corrupted write; nothing after
+			// it can be trusted to be frame-aligned in content.
+			info.Corrupt = true
+			break
+		}
+		switch frame[0] {
+		case frameLockName:
+			id, name := decodeName(frame)
+			names.locks[id] = name
+		case frameAgentName:
+			id, name := decodeName(frame)
+			names.agents[id] = name
+		case frameEvent:
+			rec := decodeEvent(frame)
+			entries = append(entries, Entry{
+				Record:    rec,
+				LockName:  names.locks[rec.Lock],
+				AgentName: names.agents[rec.Agent],
+			})
+		default:
+			info.Corrupt = true // unknown frame type: treat as corruption
+		}
+		if info.Corrupt {
+			break
+		}
+		info.Frames++
+	}
+	return entries, info, nil
+}
+
+// ReadDir reads every segment in a journal directory, oldest first.
+// Unreadable segments are skipped and reported via their SegmentInfo
+// (Corrupt set, zero frames), not as an error.
+func ReadDir(dir string) ([]Entry, []SegmentInfo, error) {
+	infos, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := newNameTable()
+	var all []Entry
+	out := make([]SegmentInfo, 0, len(infos))
+	for _, si := range infos {
+		entries, ri, err := readSegment(si.Path, names)
+		if err != nil {
+			si.Corrupt = true
+			out = append(out, si)
+			continue
+		}
+		all = append(all, entries...)
+		out = append(out, ri)
+	}
+	return all, out, nil
+}
+
+// MergedEntry is an Entry labelled with the process/journal it came
+// from.
+type MergedEntry struct {
+	Proc string `json:"proc"`
+	Entry
+}
+
+// ProcEntries names one process's journal for Merge and Verify.
+type ProcEntries struct {
+	Proc    string
+	Entries []Entry
+}
+
+// Merge interleaves several processes' journals into one timeline,
+// ordered by event instant (ties: process label, then shard sequence).
+// Wall clocks across machines skew; within one machine — the lockd
+// server and its clients — the order is meaningful, and trace ids tie
+// the per-process views of one grant together regardless.
+func Merge(procs []ProcEntries) []MergedEntry {
+	var out []MergedEntry
+	for _, p := range procs {
+		for _, e := range p.Entries {
+			out = append(out, MergedEntry{Proc: p.Proc, Entry: e})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].AtNs != out[b].AtNs {
+			return out[a].AtNs < out[b].AtNs
+		}
+		if out[a].Proc != out[b].Proc {
+			return out[a].Proc < out[b].Proc
+		}
+		return out[a].Seq < out[b].Seq
+	})
+	return out
+}
+
+// VerifyReport is the outcome of consistency checking one or more
+// journals. Violations is empty iff the history is clean.
+type VerifyReport struct {
+	Procs        int      `json:"procs"`
+	Records      int      `json:"records"`
+	Grants       int      `json:"grants"`
+	Releases     int      `json:"releases"`
+	ForcedDeaths int      `json:"forced_deaths"`
+	Drops        int64    `json:"drops"` // events lost to ring overflow
+	SharedTraces int      `json:"shared_traces"`
+	OpenHolds    []string `json:"open_holds,omitempty"` // grants with no release by end of journal
+	Violations   []string `json:"violations,omitempty"`
+}
+
+// Ok reports whether verification found no violations.
+func (r VerifyReport) Ok() bool { return len(r.Violations) == 0 }
+
+// Verify checks the two invariants the fencing design promises, per
+// lock, within each process's own view:
+//
+//   - grant/release pairing: no lock is granted twice without an
+//     intervening release (or owner-death), and no release appears
+//     without a grant;
+//   - fencing-token monotonicity: tokens carried by grants on one lock
+//     strictly increase.
+//
+// Across processes it counts trace ids seen in more than one journal —
+// the join evidence for a merged client/server history. Records whose
+// history has drops (KindDrops) relax the pairing check for the locks
+// that follow, since arbitrary events may be missing.
+func Verify(procs []ProcEntries) VerifyReport {
+	rep := VerifyReport{Procs: len(procs)}
+	traceProcs := map[uint64]map[string]bool{}
+	for _, p := range procs {
+		type lockState struct {
+			held      bool
+			holder    string
+			lastToken uint64
+		}
+		states := map[string]*lockState{}
+		dropsSeen := false
+		for _, e := range p.Entries {
+			rep.Records++
+			if e.Trace != 0 {
+				m := traceProcs[e.Trace]
+				if m == nil {
+					m = map[string]bool{}
+					traceProcs[e.Trace] = m
+				}
+				m[p.Proc] = true
+			}
+			name := e.LockName
+			if name == "" {
+				name = fmt.Sprintf("lock#%d", e.Lock)
+			}
+			st := states[name]
+			if st == nil {
+				st = &lockState{}
+				states[name] = st
+			}
+			actor := e.AgentName
+			if actor == "" && e.Tag != 0 {
+				actor = fmt.Sprintf("tag-%d", e.Tag)
+			}
+			switch e.Kind {
+			case KindDrops:
+				dropsSeen = true
+				rep.Drops += e.DurNs
+			case KindAcquire:
+				rep.Grants++
+				if st.held && !dropsSeen {
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"%s/%s: granted to %q at %d while still held by %q (missing release)",
+						p.Proc, name, actor, e.AtNs, st.holder))
+				}
+				if e.Token != 0 {
+					if e.Token <= st.lastToken {
+						rep.Violations = append(rep.Violations, fmt.Sprintf(
+							"%s/%s: fencing token %d not above previous %d at %d",
+							p.Proc, name, e.Token, st.lastToken, e.AtNs))
+					}
+					st.lastToken = e.Token
+				}
+				st.held, st.holder = true, actor
+			case KindRelease, KindOwnerDead:
+				if e.Kind == KindRelease {
+					rep.Releases++
+				} else {
+					rep.ForcedDeaths++
+				}
+				if !st.held && !dropsSeen {
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"%s/%s: %s at %d with no grant outstanding",
+						p.Proc, name, e.Kind, e.AtNs))
+				}
+				st.held, st.holder = false, ""
+			}
+		}
+		for name, st := range states {
+			if st.held {
+				rep.OpenHolds = append(rep.OpenHolds, fmt.Sprintf(
+					"%s/%s: held by %q at end of journal", p.Proc, name, st.holder))
+			}
+		}
+	}
+	for _, procs := range traceProcs {
+		if len(procs) > 1 {
+			rep.SharedTraces++
+		}
+	}
+	sort.Strings(rep.OpenHolds)
+	return rep
+}
+
+// GraphAt replays a merged timeline up to (and including) instant
+// atNs and returns the wait-for graph as it stood then — who held
+// what, who waited on whom — for post-hoc deadlock analysis.
+func GraphAt(entries []MergedEntry, atNs int64) *causal.Graph {
+	g := causal.NewGraph()
+	for _, e := range entries {
+		if e.AtNs > atNs {
+			break
+		}
+		lock := e.LockName
+		if lock == "" {
+			lock = fmt.Sprintf("lock#%d", e.Lock)
+		}
+		actor := mergedActor(e)
+		switch e.Kind {
+		case KindWait:
+			g.AddWait(actor, lock)
+		case KindAcquire:
+			g.RemoveWait(actor, lock)
+			g.SetHolder(lock, actor)
+		case KindTimeout, KindAbort:
+			g.RemoveWait(actor, lock)
+		case KindRelease, KindOwnerDead:
+			g.SetHolder(lock, "")
+		}
+	}
+	return g
+}
+
+// mergedActor names the acting party of a merged record, qualified by
+// process so same-named actors in different journals stay distinct.
+func mergedActor(e MergedEntry) string {
+	switch {
+	case e.AgentName != "":
+		return e.Proc + "/" + e.AgentName
+	case e.Tag != 0:
+		return fmt.Sprintf("%s/tag-%d", e.Proc, e.Tag)
+	default:
+		return e.Proc + "/anon"
+	}
+}
+
+// Spans converts a merged timeline into causal spans — wait spans from
+// grants that carry a wait duration, hold spans from releases — ready
+// for causal.ChromeSpans export. Entries from one proc should go into
+// one ChromePart so the trace viewer lanes them per process. Span ids
+// are synthesized sequentially: journals record events, not span
+// trees, so there are no parent links, but trace ids ride along in the
+// viewer args to correlate lanes across processes.
+func Spans(entries []MergedEntry) []causal.Span {
+	var spans []causal.Span
+	nextID := causal.SpanID(1)
+	add := func(e MergedEntry, name string, startNs, endNs int64, token uint64) {
+		lock := e.LockName
+		if lock == "" {
+			lock = fmt.Sprintf("lock#%d", e.Lock)
+		}
+		s := causal.Span{
+			Trace: causal.TraceID(e.Trace), ID: nextID, Name: name,
+			Actor: mergedActor(e), Object: lock, Start: startNs, End: endNs,
+		}
+		if token != 0 {
+			s.Attrs = map[string]string{"token": fmt.Sprint(token)}
+		}
+		nextID++
+		spans = append(spans, s)
+	}
+	for _, e := range entries {
+		switch e.Kind {
+		case KindAcquire:
+			if e.DurNs > 0 {
+				add(e, "wait", e.AtNs-e.DurNs, e.AtNs, e.Token)
+			}
+		case KindRelease, KindOwnerDead:
+			name := "hold"
+			if e.Kind == KindOwnerDead {
+				name = "hold-owner-dead"
+			}
+			start := e.AtNs - e.DurNs
+			if e.DurNs <= 0 {
+				start = e.AtNs
+			}
+			add(e, name, start, e.AtNs, e.Token)
+		}
+	}
+	return spans
+}

@@ -1,0 +1,92 @@
+package journal
+
+import "sync/atomic"
+
+// shard is a bounded multi-producer single-consumer ring (Vyukov-style
+// sequence slots). Producers reserve a slot with one CAS on enq, copy
+// the record, and publish by storing the slot sequence; the writer
+// goroutine is the only consumer. A full ring drops the event and
+// counts it — the hot path never blocks and never allocates.
+type shard struct {
+	enq     atomic.Uint64
+	_       [56]byte // keep enq off the consumer's cache line
+	deq     uint64   // consumer-only
+	dropped atomic.Uint64
+	mask    uint64
+	slots   []ringSlot
+}
+
+type ringSlot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// newShard sizes the ring up to the next power of two, minimum 64.
+func newShard(capacity int) *shard {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	sh := &shard{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range sh.slots {
+		sh.slots[i].seq.Store(uint64(i))
+	}
+	return sh
+}
+
+// push reserves a slot and publishes rec, stamping rec.Seq with the
+// ring position (a per-shard total order). Returns false — and counts
+// the drop — when the ring is full.
+func (sh *shard) push(rec *Record) bool {
+	for {
+		pos := sh.enq.Load()
+		slot := &sh.slots[pos&sh.mask]
+		seq := slot.seq.Load()
+		switch {
+		case seq == pos:
+			if sh.enq.CompareAndSwap(pos, pos+1) {
+				rec.Seq = pos
+				slot.rec = *rec
+				slot.seq.Store(pos + 1) // publish
+				return true
+			}
+		case seq < pos:
+			// The slot is still occupied by an entry the consumer has
+			// not drained: the ring is full.
+			sh.dropped.Add(1)
+			return false
+		default:
+			// Another producer advanced enq between our loads; retry.
+		}
+	}
+}
+
+// full reports whether the next reservation would find the ring full —
+// a producer-side peek so saturated callers can shed before building a
+// record. Benign race: a verdict stale by one drain shifts a single
+// record between the ring and the drop count, both of which are exact.
+func (sh *shard) full() bool {
+	pos := sh.enq.Load()
+	return sh.slots[pos&sh.mask].seq.Load() < pos
+}
+
+// pop drains one record. Consumer-only. Returns false when the ring is
+// empty or the next slot is reserved but not yet published (the
+// producer between CAS and publish) — the writer just retries on the
+// next flush tick rather than spinning.
+func (sh *shard) pop(rec *Record) bool {
+	slot := &sh.slots[sh.deq&sh.mask]
+	seq := slot.seq.Load()
+	if seq != sh.deq+1 {
+		return false
+	}
+	*rec = slot.rec
+	slot.seq.Store(sh.deq + uint64(len(sh.slots)))
+	sh.deq++
+	return true
+}
+
+// takeDropped returns and resets the drop counter.
+func (sh *shard) takeDropped() uint64 {
+	return sh.dropped.Swap(0)
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/journal"
 	"repro/internal/lockd"
 )
 
@@ -78,6 +79,12 @@ type Options struct {
 	// NoTrace suppresses causal tracing: no spans are recorded and no
 	// trace context is sent on the wire.
 	NoTrace bool
+	// Journal receives client-side lock lifecycle records (OriginClient):
+	// the wait start, the grant with its fencing token, timeouts, aborts,
+	// and releases. Records carry the acquisition's causal trace ID, so a
+	// client journal merges with the server's by shared trace. Nil
+	// disables client-side journaling.
+	Journal *journal.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -163,6 +170,8 @@ type Handle struct {
 	// ServerSpan is the server-side queue-wait span ID echoed on the
 	// grant (zero if the server predates trace propagation).
 	ServerSpan causal.SpanID
+
+	granted time.Time // grant instant, for the release record's hold duration
 }
 
 // Dial connects, opens a session, and starts the heartbeat loop.
@@ -480,6 +489,15 @@ func (t *acqTrace) child(name string, start int64, attrs map[string]string) {
 	})
 }
 
+// traceID returns the acquisition's trace (zero when tracing is off).
+// Nil-safe.
+func (t *acqTrace) traceID() causal.TraceID {
+	if t == nil {
+		return 0
+	}
+	return t.trace
+}
+
 // finish closes the root span and stamps the handle with the trace.
 // Nil-safe (tracing off).
 func (t *acqTrace) finish(h *Handle, err error) {
@@ -508,9 +526,35 @@ func (t *acqTrace) finish(h *Handle, err error) {
 // AcquireWith is Acquire with per-acquisition options.
 func (c *Client) AcquireWith(ctx context.Context, lock string, opts AcquireOptions) (*Handle, error) {
 	tc := c.newAcqTrace(lock)
+	start := time.Now()
+	c.journalRec(journal.KindWait, lock, 0, tc.traceID(), 0)
 	h, err := c.acquireAttempts(ctx, lock, opts, tc)
 	tc.finish(h, err)
+	switch {
+	case err == nil:
+		h.granted = time.Now()
+		c.journalRec(journal.KindAcquire, lock, h.Token, tc.traceID(), time.Since(start))
+	case errors.Is(err, ErrAcquireTimeout):
+		c.journalRec(journal.KindTimeout, lock, 0, tc.traceID(), time.Since(start))
+	default:
+		c.journalRec(journal.KindAbort, lock, 0, tc.traceID(), time.Since(start))
+	}
 	return h, err
+}
+
+// journalRec appends one client-side record to the configured journal.
+// Nil-safe: a no-op without Options.Journal.
+func (c *Client) journalRec(kind journal.Kind, lock string, token uint64, trace causal.TraceID, dur time.Duration) {
+	j := c.o.Journal
+	if j == nil {
+		return
+	}
+	j.Append(journal.Record{
+		Kind: kind, Origin: journal.OriginClient,
+		AtNs: time.Now().UnixNano(), DurNs: int64(dur),
+		Token: token, Trace: uint64(trace),
+		Lock: j.InternLock(lock), Agent: j.InternAgent(c.actor()),
+	})
 }
 
 // acquireAttempts runs the retry loop; tc (nil = tracing off) supplies
@@ -619,6 +663,7 @@ func (c *Client) Release(ctx context.Context, h *Handle) error {
 		}
 		if resp.OK {
 			c.bo.reset()
+			c.journalRec(journal.KindRelease, h.Lock, h.Token, h.Trace, c.heldFor(h))
 			return nil
 		}
 		if resp.Code == lockd.CodeExpired {
@@ -629,6 +674,15 @@ func (c *Client) Release(ctx context.Context, h *Handle) error {
 		return &ServerError{Code: resp.Code, Msg: resp.Err}
 	}
 	return fmt.Errorf("lockclient: release %q: attempts exhausted: %w", h.Lock, ErrConnLost)
+}
+
+// heldFor reports how long a handle was held (zero for a handle that
+// never recorded its grant instant).
+func (c *Client) heldFor(h *Handle) time.Duration {
+	if h.granted.IsZero() {
+		return 0
+	}
+	return time.Since(h.granted)
 }
 
 // Reconfigure switches the named lock's waiting policy and/or release

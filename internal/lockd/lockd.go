@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/journal"
 	"repro/internal/native"
 	"repro/internal/telemetry"
 )
@@ -80,6 +81,13 @@ type Config struct {
 	Recorder *causal.Recorder
 	Graph    *causal.Graph
 	Flight   *causal.Flight
+	// Journal, when non-nil, records every served lock's lifecycle into
+	// the binary event journal: server-side grants carry the session id,
+	// fencing token, and the client's trace id, so journals written by
+	// the server and its clients merge into one verifiable history.
+	// Each served mutex additionally gets a native-level sink (under
+	// "native/<name>") capturing watchdog and owner-death events.
+	Journal *journal.Journal
 	// WrapConn, when non-nil, wraps every accepted connection — the
 	// fault-injection hook (see internal/fault.WrapConn).
 	WrapConn func(net.Conn) net.Conn
@@ -166,6 +174,7 @@ type servedLock struct {
 	name  string
 	m     *native.Mutex
 	entry *telemetry.NativeEntry
+	jlock uint32 // interned journal id for name (0 = journaling off)
 
 	mu            sync.Mutex
 	fence         uint64 // last granted fencing token
@@ -365,8 +374,35 @@ func (s *Server) lock(name string) (*servedLock, error) {
 	if s.cfg.Registry != nil {
 		lk.entry = s.cfg.Registry.RegisterNative("lockd/"+name, m).ObserveLatency()
 	}
+	if s.cfg.Journal != nil {
+		lk.jlock = s.cfg.Journal.InternLock(name)
+		m.SetEventSink(s.cfg.Journal.Sink("native/" + name))
+	}
 	s.locks[name] = lk
 	return lk, nil
+}
+
+// journalRec appends one server-side record for a served lock. No-op
+// without a journal. sess may be nil (server-initiated events).
+func (s *Server) journalRec(kind journal.Kind, lk *servedLock, sess *session, tok uint64, tr causal.TraceID, dur time.Duration) {
+	j := s.cfg.Journal
+	if j == nil {
+		return
+	}
+	rec := journal.Record{
+		Kind:   kind,
+		Origin: journal.OriginLockd,
+		AtNs:   time.Now().UnixNano(),
+		DurNs:  int64(dur),
+		Token:  tok,
+		Trace:  uint64(tr),
+		Lock:   lk.jlock,
+	}
+	if sess != nil {
+		rec.Tag = sess.id
+		rec.Agent = j.InternAgent(actorName(sess))
+	}
+	j.Append(rec)
 }
 
 // acceptLoop accepts connections until the listener closes.
@@ -607,6 +643,7 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		waiting := lk.waiting
 		lk.mu.Unlock()
 		s.ctr.sheds.Add(1)
+		s.journalRec(journal.KindAbort, lk, sess, 0, causal.ParseTraceID(req.TraceID), 0)
 		// Retry-After scales with the queue: a deeper backlog pushes
 		// retries further out.
 		hint := time.Duration(waiting) * 10 * time.Millisecond
@@ -640,6 +677,7 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 	qstart := time.Now()
 	s.cfg.Graph.AddWait(actor, req.Lock)
 	s.cfg.Flight.Record(req.Lock, "wait", actor, "trace="+tr.String())
+	s.journalRec(journal.KindWait, lk, sess, 0, tr, 0)
 	queueSpan := func(outcome string) causal.Span {
 		return causal.Span{
 			Trace: tr, ID: qspan, Parent: causal.ParseSpanID(req.ParentSpan),
@@ -678,11 +716,13 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		if ctx.Err() != nil {
 			s.cfg.Flight.Record(req.Lock, "abort", actor, "connection or server closing")
 			s.cfg.Recorder.Record(queueSpan("aborted"))
+			s.journalRec(journal.KindAbort, lk, sess, 0, tr, time.Since(qstart))
 			return Response{ID: req.ID, Code: CodeShutdown, Err: "connection or server closing"}
 		}
 		s.ctr.acquireTimeouts.Add(1)
 		s.cfg.Flight.Record(req.Lock, "timeout", actor, "")
 		s.cfg.Recorder.Record(queueSpan("timeout"))
+		s.journalRec(journal.KindTimeout, lk, sess, 0, tr, time.Since(qstart))
 		return Response{ID: req.ID, Code: CodeTimeout, Err: fmt.Sprintf("lock %q not acquired within %v", req.Lock, wait)}
 	}
 
@@ -720,6 +760,7 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 	qs.Attrs["token"] = strconv.FormatUint(tok, 10)
 	s.cfg.Recorder.Record(qs)
 	s.cfg.Flight.Record(req.Lock, "acquire", actor, fmt.Sprintf("token=%d trace=%s", tok, tr))
+	s.journalRec(journal.KindAcquire, lk, sess, tok, tr, time.Since(qstart))
 	resp = Response{ID: req.ID, OK: true, Token: tok, Recovered: recovered}
 	if req.TraceID != "" {
 		resp.ServerSpan = qspan.String()
@@ -793,6 +834,7 @@ func (s *Server) handleRelease(req Request) Response {
 		lk.holderSession, lk.holderToken = 0, 0
 		holder := lk.holderName
 		span := s.holdSpan(lk, "released", req.Token)
+		holdTrace, holdDur := lk.holdTrace, time.Since(lk.holdStart)
 		lk.holderName = ""
 		lk.mu.Unlock()
 		lk.m.Unlock()
@@ -800,6 +842,7 @@ func (s *Server) handleRelease(req Request) Response {
 		s.cfg.Graph.SetHolder(req.Lock, "")
 		s.cfg.Recorder.Record(span)
 		s.cfg.Flight.Record(req.Lock, "release", holder, fmt.Sprintf("token=%d", req.Token))
+		s.journalRec(journal.KindRelease, lk, sess, req.Token, holdTrace, holdDur)
 		return Response{ID: req.ID, OK: true, Token: req.Token}
 	}
 	lk.mu.Unlock()
@@ -841,6 +884,7 @@ func (s *Server) handleReconfigure(req Request) Response {
 		_, pending = lk.m.PendingScheduler()
 	}
 	s.ctr.reconfigurations.Add(1)
+	s.journalRec(journal.KindReconfig, lk, sess, 0, 0, 0)
 	return Response{ID: req.ID, OK: true, Pending: pending}
 }
 
@@ -915,6 +959,7 @@ func (s *Server) endSession(sess *session, forced bool) {
 		}
 		lk.holderSession, lk.holderToken = 0, 0
 		holder := lk.holderName
+		holdTrace, holdDur := lk.holdTrace, time.Since(lk.holdStart)
 		var span causal.Span
 		if forced {
 			// The owner is gone without unlocking: force-release through
@@ -936,10 +981,13 @@ func (s *Server) endSession(sess *session, forced bool) {
 		s.cfg.Graph.SetHolder(name, "")
 		s.cfg.Recorder.Record(span)
 		kind := "release"
+		jkind := journal.KindRelease
 		if forced {
 			kind = "expired"
+			jkind = journal.KindOwnerDead
 		}
 		s.cfg.Flight.Record(name, kind, holder, fmt.Sprintf("token=%d", tok))
+		s.journalRec(jkind, lk, sess, tok, holdTrace, holdDur)
 	}
 	if forced {
 		s.ctr.sessionsExpired.Add(1)

@@ -110,6 +110,10 @@ type Advice struct {
 	// ("applied", "cooldown", "flap-damped", "no-applier", an error...).
 	Applied   bool   `json:"applied,omitempty"`
 	ApplyNote string `json:"apply_note,omitempty"`
+	// AtNs is the wall-clock instant the advice was produced, stamped by
+	// the monitor round. The dashboard derives applied-advice ages from
+	// it.
+	AtNs int64 `json:"at_ns,omitempty"`
 }
 
 // condState tracks one sustained condition: how many consecutive

@@ -1,0 +1,138 @@
+package lockmon
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// TestDashboardAppliedAge drives a monitor with an injected clock to an
+// applied reconfiguration and asserts the dashboard's APPLIED column
+// tracks its age — "-" before any apply, the advancing age after.
+func TestDashboardAppliedAge(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "sim"}
+	rc := &recordingReconfigurer{}
+	now := time.Unix(1000, 0)
+	m := New(Config{
+		Window:     32,
+		Thresholds: Thresholds{SustainWindows: 2, MinAcquisitions: 2},
+		Now:        func() time.Time { return now },
+	})
+	m.AddSource(synthSource(state, nil))
+	m.SetReconfigurer("s", rc, "")
+
+	ctx := context.Background()
+	hotRound := func() []Advice {
+		state.acq += 10
+		state.cont += 9
+		return m.ScrapeOnce(ctx)
+	}
+	hotRound() // prime the delta baseline
+	hotRound() // close the first window so the lock has a dashboard row
+
+	var dash bytes.Buffer
+	m.RenderDashboard(&dash)
+	if !strings.Contains(dash.String(), "APPLIED") {
+		t.Fatalf("dashboard missing APPLIED column:\n%s", dash.String())
+	}
+	if row := lockRow(t, dash.String(), "L"); !strings.Contains(row, " - ") {
+		t.Fatalf("row before any apply should show '-': %q", row)
+	}
+
+	var applied *Advice
+	for i := 0; i < 10 && applied == nil; i++ {
+		for _, a := range hotRound() {
+			if a.Applied {
+				applied = &a
+				break
+			}
+		}
+	}
+	if applied == nil {
+		t.Fatal("hot workload never produced an applied reconfiguration")
+	}
+	if applied.AtNs != now.UnixNano() {
+		t.Fatalf("advice stamped %d, want the injected clock %d", applied.AtNs, now.UnixNano())
+	}
+
+	// 75 seconds later the row reports the age of that apply.
+	now = now.Add(75 * time.Second)
+	dash.Reset()
+	m.RenderDashboard(&dash)
+	if row := lockRow(t, dash.String(), "L"); !strings.Contains(row, "1m15s") {
+		t.Fatalf("row 75s after apply should show age 1m15s: %q", row)
+	}
+
+	// The /fleet JSON carries the same instant.
+	f := m.Snapshot(0)
+	if len(f.Locks) != 1 || f.Locks[0].AppliedAtNs != applied.AtNs {
+		t.Fatalf("snapshot applied_at = %+v, want %d", f.Locks, applied.AtNs)
+	}
+}
+
+// lockRow finds the dashboard line for the named lock.
+func lockRow(t *testing.T, dash, lock string) string {
+	t.Helper()
+	for _, line := range strings.Split(dash, "\n") {
+		if strings.Contains(line, " "+lock+" ") {
+			return line
+		}
+	}
+	t.Fatalf("no dashboard row for %q:\n%s", lock, dash)
+	return ""
+}
+
+// TestDashboardTruncatesLongErrors pins the formatting fix: a source
+// whose scrape fails with a very long error keeps its row bounded.
+func TestDashboardTruncatesLongErrors(t *testing.T) {
+	longErr := strings.Repeat("connection refused to very-long-host-name ", 8)
+	m := New(Config{Thresholds: Thresholds{MinAcquisitions: 2}})
+	m.AddSource(&FuncSource{SourceName: "down", Fn: func(context.Context) ([]telemetry.Family, error) {
+		return nil, errors.New(longErr)
+	}})
+	m.ScrapeOnce(context.Background())
+
+	var dash bytes.Buffer
+	m.RenderDashboard(&dash)
+	var row string
+	for _, line := range strings.Split(dash.String(), "\n") {
+		if strings.HasPrefix(line, "down ") {
+			row = line
+			break
+		}
+	}
+	if row == "" {
+		t.Fatalf("no source row for 'down':\n%s", dash.String())
+	}
+	if strings.Contains(row, longErr) {
+		t.Fatalf("full %d-char error leaked into the row: %q", len(longErr), row)
+	}
+	if !strings.Contains(row, "…") {
+		t.Fatalf("truncated error not marked with ellipsis: %q", row)
+	}
+	if len([]rune(row)) > 100 {
+		t.Fatalf("row still %d runes wide: %q", len([]rune(row)), row)
+	}
+}
+
+func TestFmtAge(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{500 * time.Millisecond, "<1s"},
+		{7 * time.Second, "7s"},
+		{75 * time.Second, "1m15s"},
+		{59*time.Minute + 2*time.Second, "59m02s"},
+		{3*time.Hour + 5*time.Minute, "3h05m"},
+	} {
+		if got := fmtAge(int64(tc.d)); got != tc.want {
+			t.Errorf("fmtAge(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -77,6 +78,7 @@ func (m *Monitor) Serve(addr string) (*Server, error) {
 // dashboard — the CLI's -dash mode and /fleet?format=text.
 func (m *Monitor) RenderDashboard(w io.Writer) {
 	f := m.Snapshot(8)
+	nowNs := m.cfg.Now().UnixNano()
 	fmt.Fprintf(w, "lockmon round %d\n\n", f.Seq)
 	fmt.Fprintf(w, "%-14s %-5s %8s %8s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "LAST ERROR")
 	for _, s := range f.Sources {
@@ -84,11 +86,13 @@ func (m *Monitor) RenderDashboard(w io.Writer) {
 		if !s.Up {
 			up = "DOWN"
 		}
-		fmt.Fprintf(w, "%-14s %-5s %8d %8d  %s\n", s.Name, up, s.Scrapes, s.Failures, s.LastErr)
+		// Truncate the error so a long dial failure cannot blow the row
+		// past the fixed-width layout.
+		fmt.Fprintf(w, "%-14s %-5s %8d %8d  %s\n", s.Name, up, s.Scrapes, s.Failures, truncate(s.LastErr, 48))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-14s %-18s %-6s %6s %6s %5s %10s %10s %5s  %s\n",
-		"SOURCE", "LOCK", "IMPL", "ACQ", "CONT", "RATIO", "WAITP99", "HOLDP99", "TRIPS", "CONTENTION (old->new)")
+	fmt.Fprintf(w, "%-14s %-18s %-6s %6s %6s %5s %10s %10s %5s %8s  %s\n",
+		"SOURCE", "LOCK", "IMPL", "ACQ", "CONT", "RATIO", "WAITP99", "HOLDP99", "TRIPS", "APPLIED", "CONTENTION (old->new)")
 	locks := append([]LockHealth(nil), f.Locks...)
 	sort.Slice(locks, func(i, j int) bool {
 		if locks[i].Source != locks[j].Source {
@@ -97,11 +101,15 @@ func (m *Monitor) RenderDashboard(w io.Writer) {
 		return locks[i].Lock < locks[j].Lock
 	})
 	for _, l := range locks {
-		fmt.Fprintf(w, "%-14s %-18s %-6s %6d %6d %5.2f %10s %10s %5d  %s\n",
+		applied := "-"
+		if l.AppliedAtNs != 0 {
+			applied = fmtAge(nowNs - l.AppliedAtNs)
+		}
+		fmt.Fprintf(w, "%-14s %-18s %-6s %6d %6d %5.2f %10s %10s %5d %8s  %s\n",
 			l.Source, l.Lock, l.Impl,
 			l.Last.Acquisitions, l.Last.Contended, l.Last.ContentionRatio,
 			fmtNs(l.Last.WaitP99Ns), fmtNs(l.Last.HoldP99Ns), l.Last.WatchdogTrips,
-			sparkline(l.Recent))
+			applied, sparkline(l.Recent))
 	}
 	if len(f.Advice) > 0 {
 		fmt.Fprintln(w)
@@ -142,6 +150,34 @@ func sparkline(ws []Window) string {
 		sb.WriteRune(marks[int(r*float64(len(marks)-1)+0.5)])
 	}
 	return sb.String()
+}
+
+// fmtAge renders how long ago something happened, coarse on purpose —
+// the dashboard cares about "seconds vs minutes vs hours", not
+// precision.
+func fmtAge(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < 0:
+		return "-"
+	case d < time.Second:
+		return "<1s"
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	default:
+		return fmt.Sprintf("%dh%02dm", int(d.Hours()), int(d.Minutes())%60)
+	}
+}
+
+// truncate bounds s to max runes, marking the cut with an ellipsis.
+func truncate(s string, max int) string {
+	r := []rune(s)
+	if len(r) <= max {
+		return s
+	}
+	return string(r[:max-1]) + "…"
 }
 
 // fmtNs renders a nanosecond quantity with a unit suffix.

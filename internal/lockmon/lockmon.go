@@ -35,6 +35,9 @@ type Config struct {
 	// Logf, when set, receives one line per advice and per source state
 	// change.
 	Logf func(format string, args ...any)
+	// Now overrides the wall clock used to stamp advice and derive
+	// dashboard ages (tests inject a fixed clock; default time.Now).
+	Now func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +49,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdviceLog <= 0 {
 		c.AdviceLog = 256
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -78,6 +84,7 @@ type Monitor struct {
 	adviceTotal  map[string]int64 // rule -> count
 	applyNotes   map[string]int64 // note class -> count
 	advice       []Advice         // trailing AdviceLog records
+	appliedAt    map[string]int64 // "source/lock" -> instant of last applied advice
 }
 
 // New returns a Monitor with cfg.
@@ -89,6 +96,7 @@ func New(cfg Config) *Monitor {
 		applier:     NewApplier(cfg.Apply),
 		adviceTotal: map[string]int64{},
 		applyNotes:  map[string]int64{},
+		appliedAt:   map[string]int64{},
 	}
 }
 
@@ -175,9 +183,13 @@ func (m *Monitor) ScrapeOnce(ctx context.Context) []Advice {
 	}
 	for i := range fresh {
 		adv := &fresh[i]
+		adv.AtNs = m.cfg.Now().UnixNano()
 		m.adviceTotal[adv.Rule]++
 		note := m.applier.Apply(ctx, adv)
 		m.applyNotes[noteClass(note)]++
+		if adv.Applied {
+			m.appliedAt[adv.Source+"/"+adv.Lock] = adv.AtNs
+		}
 		m.logf("lockmon: [%s] %s %s/%s: %s (%s)", adv.Severity, adv.Rule, adv.Source, adv.Lock, adv.Detail, note)
 	}
 	m.advice = append(m.advice, fresh...)
@@ -257,6 +269,9 @@ type LockHealth struct {
 	Last   Window       `json:"last"`
 	Recent []Window     `json:"recent,omitempty"`
 	Srv    SourceWindow `json:"-"`
+	// AppliedAtNs is the instant the monitor last applied (or marked
+	// pending) a reconfiguration for this lock; zero if never.
+	AppliedAtNs int64 `json:"applied_at_ns,omitempty"`
 }
 
 // Fleet is the full monitor state snapshot served as /fleet JSON.
@@ -284,7 +299,8 @@ func (m *Monitor) Snapshot(recentWindows int) Fleet {
 			if !ok {
 				continue
 			}
-			lh := LockHealth{Source: l.Source, Lock: l.Lock, Impl: l.Impl, Last: last}
+			lh := LockHealth{Source: l.Source, Lock: l.Lock, Impl: l.Impl, Last: last,
+				AppliedAtNs: m.appliedAt[l.Source+"/"+l.Lock]}
 			if recentWindows > 0 {
 				lh.Recent = l.Recent(recentWindows)
 			}

@@ -205,6 +205,7 @@ func New(p Policy, s Scheduler) (*Mutex, error) {
 	}
 	m := &Mutex{sched: s}
 	m.policy.Store(&p)
+	m.esink.Store(sinkBox{NopSink})
 	return m, nil
 }
 
@@ -238,8 +239,9 @@ func (m *Mutex) TryLock() bool {
 	m.guard.lock()
 	if !m.held {
 		m.take(0)
+		start := m.holdStart
 		m.guard.unlock()
-		m.emitEvent(EventAcquire, 0, 0, 0, 0)
+		m.emitEvent(EventAcquire, 0, 0, start, 0, 0)
 		return true
 	}
 	m.guard.unlock()
@@ -291,14 +293,15 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 	m.guard.lock()
 	if !m.held {
 		died := m.take(tag)
+		start := m.holdStart
 		m.guard.unlock()
-		m.emitEvent(EventAcquire, tag, prio, 0, 0)
+		m.emitEvent(EventAcquire, tag, prio, start, 0, 0)
 		m.injectHolderStall()
 		return true, died, nil
 	}
 	m.guard.unlock()
 	m.contended.Add(1)
-	m.emitEvent(EventWait, tag, prio, 0, 0)
+	m.emitEvent(EventWait, tag, prio, time.Now(), 0, 0)
 	m.injectWaiterPreempt()
 	waitStart := time.Now()
 	var deadline time.Time
@@ -325,19 +328,19 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 				select {
 				case <-done:
 					m.cancellations.Add(1)
-					m.emitEvent(EventAbort, tag, prio, 0, 0)
+					m.emitEvent(EventAbort, tag, prio, time.Now(), 0, 0)
 					return false, false, ctx.Err()
 				default:
 				}
 			}
 			if abortable && m.stallGen.Load() != stallGen {
 				m.stallAborts.Add(1)
-				m.emitEvent(EventAbort, tag, prio, 0, 0)
+				m.emitEvent(EventAbort, tag, prio, time.Now(), 0, 0)
 				return false, false, ErrOwnerStalled
 			}
 			if timeout > 0 && time.Now().After(deadline) {
 				m.timeouts.Add(1)
-				m.emitEvent(EventTimeout, tag, prio, 0, 0)
+				m.emitEvent(EventTimeout, tag, prio, time.Now(), 0, 0)
 				return false, false, nil
 			}
 			osYield()
@@ -412,7 +415,7 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 			if cancelled {
 				m.waitNanos.Add(int64(time.Since(waitStart)))
 				m.cancellations.Add(1)
-				m.emitEvent(EventAbort, tag, prio, 0, 0)
+				m.emitEvent(EventAbort, tag, prio, time.Now(), 0, 0)
 				m.unlock(0)
 				return false, false, ctx.Err()
 			}
@@ -432,15 +435,15 @@ func (m *Mutex) acquireFull(ctx context.Context, tag uint64, prio int64, timeout
 		switch {
 		case cancelled:
 			m.cancellations.Add(1)
-			m.emitEvent(EventAbort, tag, prio, 0, 0)
+			m.emitEvent(EventAbort, tag, prio, time.Now(), 0, 0)
 			return false, false, ctx.Err()
 		case stalled:
 			m.stallAborts.Add(1)
-			m.emitEvent(EventAbort, tag, prio, 0, 0)
+			m.emitEvent(EventAbort, tag, prio, time.Now(), 0, 0)
 			return false, false, ErrOwnerStalled
 		case !granted && timeout > 0:
 			m.timeouts.Add(1)
-			m.emitEvent(EventTimeout, tag, prio, 0, 0)
+			m.emitEvent(EventTimeout, tag, prio, time.Now(), 0, 0)
 			return false, false, nil
 		}
 		// Spurious (cannot happen with directed grants, but loop for
@@ -464,7 +467,8 @@ func (m *Mutex) unlock(hint uint64) {
 		m.guard.unlock()
 		panic("native: Unlock of unlocked Mutex")
 	}
-	held := time.Since(m.holdStart)
+	start := m.holdStart
+	held := time.Since(start)
 	ownerTag := m.ownerTag
 	m.holdNanos.Add(int64(held))
 	w := m.releaseLocked(hint)
@@ -475,7 +479,7 @@ func (m *Mutex) unlock(hint uint64) {
 	if o := m.latencyObserver(); o != nil {
 		o.ObserveHold(held)
 	}
-	m.emitEvent(EventRelease, ownerTag, 0, 0, held)
+	m.emitEvent(EventRelease, ownerTag, 0, start.Add(held), 0, held)
 }
 
 // releaseLocked ends the current tenure and either frees the lock or picks

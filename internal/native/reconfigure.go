@@ -37,6 +37,7 @@ func (m *Mutex) SetPolicy(p Policy) error {
 	}
 	m.policy.Store(&p)
 	m.reconfigs.Add(1)
+	m.emitEvent(EventReconfig, 0, 0, time.Now(), 0, 0)
 	return nil
 }
 
@@ -51,15 +52,16 @@ func (m *Mutex) SetScheduler(s Scheduler) error {
 		return fmt.Errorf("native: invalid scheduler %d", int(s))
 	}
 	m.guard.lock()
-	defer m.guard.unlock()
 	m.reconfigs.Add(1)
 	if len(m.queue) == 0 {
 		m.sched = s
 		m.hasPend = false
-		return nil
+	} else {
+		m.pending = s
+		m.hasPend = true
 	}
-	m.pending = s
-	m.hasPend = true
+	m.guard.unlock()
+	m.emitEvent(EventReconfig, 0, 0, time.Now(), 0, 0)
 	return nil
 }
 

@@ -111,7 +111,9 @@ func (m *Mutex) watchdogFire(seq uint64) {
 		return
 	}
 	m.wdTrips.Add(1)
-	ev := WatchdogEvent{Held: time.Since(m.holdStart), Waiters: len(m.queue)}
+	start := m.holdStart
+	ownerTag := m.ownerTag
+	ev := WatchdogEvent{Held: time.Since(start), Waiters: len(m.queue)}
 	onTrip := m.wdOnTrip
 	if m.wdAbort {
 		// Broadcast the stall: close the current channel (waking every
@@ -122,6 +124,7 @@ func (m *Mutex) watchdogFire(seq uint64) {
 		m.stallGen.Add(1)
 	}
 	m.guard.unlock()
+	m.emitEvent(EventWatchdog, ownerTag, 0, start.Add(ev.Held), 0, ev.Held)
 	if onTrip != nil {
 		onTrip(ev)
 	}
@@ -142,7 +145,8 @@ func (m *Mutex) DeclareOwnerDead() error {
 		return errors.New("native: DeclareOwnerDead on unheld Mutex")
 	}
 	m.ownerDeaths.Add(1)
-	held := time.Since(m.holdStart)
+	start := m.holdStart
+	held := time.Since(start)
 	ownerTag := m.ownerTag
 	m.holdNanos.Add(int64(held))
 	m.diedPending = true
@@ -151,7 +155,7 @@ func (m *Mutex) DeclareOwnerDead() error {
 	if w != nil {
 		w.ch <- struct{}{}
 	}
-	m.emitEvent(EventRelease, ownerTag, 0, 0, held)
+	m.emitEvent(EventOwnerDead, ownerTag, 0, start.Add(held), 0, held)
 	return nil
 }
 

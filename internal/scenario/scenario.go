@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cthread"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -107,6 +108,11 @@ type Config struct {
 	// into causal.DefaultFlight. lockstat -critical-path feeds the
 	// recorded spans to causal.AnalyzeCriticalPath.
 	Causal bool
+
+	// Journal, when non-nil, journals the lock's lifecycle (sim-time
+	// records under the RegisterAs name, default "lock"). Composes with
+	// Causal via core.TeeCausalObserver.
+	Journal *journal.Journal
 }
 
 // Result is what a scenario run produces.
@@ -210,19 +216,26 @@ func Run(cfg Config) (*Result, error) {
 		res.Tracer = trace.New(cfg.TraceEvents)
 		lock.SetTracer(res.Tracer, "lock")
 	}
-	if cfg.Causal {
+	if cfg.Causal || cfg.Journal != nil {
 		object := cfg.RegisterAs
 		if object == "" {
 			object = "lock"
 		}
-		res.CausalRec = causal.NewRecorder(8192)
-		res.CausalGraph = causal.NewGraph()
-		lock.SetCausalObserver(&causal.SimTracker{
-			Object: object,
-			Rec:    res.CausalRec,
-			Graph:  res.CausalGraph,
-			Flight: causal.DefaultFlight,
-		})
+		var observers []core.CausalObserver
+		if cfg.Causal {
+			res.CausalRec = causal.NewRecorder(8192)
+			res.CausalGraph = causal.NewGraph()
+			observers = append(observers, &causal.SimTracker{
+				Object: object,
+				Rec:    res.CausalRec,
+				Graph:  res.CausalGraph,
+				Flight: causal.DefaultFlight,
+			})
+		}
+		if cfg.Journal != nil {
+			observers = append(observers, journal.NewSimSink(cfg.Journal, object))
+		}
+		lock.SetCausalObserver(core.TeeCausalObserver(observers...))
 	}
 	if cfg.Observe || cfg.SampleEvery > 0 {
 		res.Observer = obs.NewLockObserver()

@@ -129,7 +129,9 @@ func (r *Registry) handleFlightRec(w http.ResponseWriter, req *http.Request) {
 			}
 		}
 		if len(locks) == 0 {
-			http.Error(w, fmt.Sprintf("telemetry: no flight events for lock %q", want), http.StatusNotFound)
+			// A JSON error object, not http.Error's text/plain: scripted
+			// clients of this endpoint parse JSON on every status.
+			jsonError(w, http.StatusNotFound, "telemetry: no flight events for lock %q", want)
 			return
 		}
 	}

@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// This file is the registry's event-journal surface: an attached
+// journal.Journal becomes queryable over HTTP. /debug/journal serves
+// filtered records as JSON (time range, lock, agent, kind), and the raw
+// segment files are listable and downloadable so an operator can pull a
+// crashed process's flight journal off a live telemetry port and replay
+// it offline with cmd/lockjournal.
+
+// SetJournal attaches the event journal served by /debug/journal. A nil
+// j detaches it (the endpoints then 404).
+func (r *Registry) SetJournal(j *journal.Journal) {
+	r.mu.Lock()
+	r.journal = j
+	r.mu.Unlock()
+}
+
+// SetJournal attaches the default registry's event journal.
+func SetJournal(j *journal.Journal) { Default.SetJournal(j) }
+
+func (r *Registry) eventJournal() *journal.Journal {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.journal
+}
+
+// jsonError writes an application/json error object. The debug
+// endpoints use it so scripted clients can parse failures without
+// sniffing text bodies.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client went away
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// journalEntryJSON is the /debug/journal shape of one record.
+type journalEntryJSON struct {
+	AtNs   int64  `json:"at_ns"`
+	Kind   string `json:"kind"`
+	Origin string `json:"origin"`
+	Lock   string `json:"lock,omitempty"`
+	Agent  string `json:"agent,omitempty"`
+	Seq    uint64 `json:"seq"`
+	DurNs  int64  `json:"dur_ns,omitempty"`
+	Token  uint64 `json:"token,omitempty"`
+	Tag    uint64 `json:"tag,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+// parseInstant accepts a nanosecond epoch integer or an RFC3339
+// timestamp.
+func parseInstant(s string) (int64, error) {
+	if ns, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ns, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, s)
+	if err != nil {
+		return 0, err
+	}
+	return t.UnixNano(), nil
+}
+
+// handleJournal serves filtered journal records as JSON:
+// ?lock=, ?agent=, ?kind=, ?from=, ?to= (ns epoch or RFC3339),
+// ?limit=N (most recent N after filtering).
+func (r *Registry) handleJournal(w http.ResponseWriter, req *http.Request) {
+	j := r.eventJournal()
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "telemetry: no event journal attached")
+		return
+	}
+	q := req.URL.Query()
+	var from, to int64
+	to = 1<<63 - 1
+	if v := q.Get("from"); v != "" {
+		ns, err := parseInstant(v)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "telemetry: bad from instant: %v", err)
+			return
+		}
+		from = ns
+	}
+	if v := q.Get("to"); v != "" {
+		ns, err := parseInstant(v)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "telemetry: bad to instant: %v", err)
+			return
+		}
+		to = ns
+	}
+	var kind journal.Kind
+	if v := q.Get("kind"); v != "" {
+		kind = journal.KindFromString(v)
+		if kind == journal.KindInvalid {
+			jsonError(w, http.StatusBadRequest, "telemetry: unknown kind %q", v)
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			jsonError(w, http.StatusBadRequest, "telemetry: limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	lockFilter, agentFilter := q.Get("lock"), q.Get("agent")
+
+	j.Flush() // make everything appended so far readable
+	entries, _, err := journal.ReadDir(j.Dir())
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "telemetry: read journal: %v", err)
+		return
+	}
+	docs := make([]journalEntryJSON, 0, len(entries))
+	for _, e := range entries {
+		if e.AtNs < from || e.AtNs > to {
+			continue
+		}
+		if lockFilter != "" && e.LockName != lockFilter {
+			continue
+		}
+		if agentFilter != "" && e.AgentName != agentFilter {
+			continue
+		}
+		if kind != journal.KindInvalid && e.Kind != kind {
+			continue
+		}
+		doc := journalEntryJSON{
+			AtNs: e.AtNs, Kind: e.Kind.String(), Origin: e.Origin.String(),
+			Lock: e.LockName, Agent: e.AgentName,
+			Seq: e.Seq, DurNs: e.DurNs, Token: e.Token, Tag: e.Tag,
+		}
+		if e.Trace != 0 {
+			doc.Trace = fmt.Sprintf("%016x", e.Trace)
+		}
+		docs = append(docs, doc)
+	}
+	if limit > 0 && len(docs) > limit {
+		docs = docs[len(docs)-limit:]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck // client went away
+		Records []journalEntryJSON `json:"records"`
+	}{docs})
+}
+
+// segmentJSON is the /debug/journal/segments shape of one segment file.
+type segmentJSON struct {
+	Name      string `json:"name"`
+	Index     uint64 `json:"index"`
+	Size      int64  `json:"size"`
+	Frames    int    `json:"frames"`
+	CreatedNs int64  `json:"created_ns"`
+	Torn      bool   `json:"torn,omitempty"`
+	Corrupt   bool   `json:"corrupt,omitempty"`
+}
+
+// handleJournalSegments lists the on-disk segment files.
+func (r *Registry) handleJournalSegments(w http.ResponseWriter, req *http.Request) {
+	j := r.eventJournal()
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "telemetry: no event journal attached")
+		return
+	}
+	j.Flush()
+	infos, err := journal.ListSegments(j.Dir())
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, "telemetry: list segments: %v", err)
+		return
+	}
+	docs := make([]segmentJSON, 0, len(infos))
+	for _, si := range infos {
+		// Scan the segment so the listing reports frame counts and
+		// integrity flags, not just file sizes.
+		if _, full, err := journal.ReadSegment(si.Path); err == nil {
+			si = full
+		}
+		docs = append(docs, segmentJSON{
+			Name: si.Name, Index: si.Index, Size: si.Size, Frames: si.Frames,
+			CreatedNs: si.CreatedNs, Torn: si.Torn, Corrupt: si.Corrupt,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct { //nolint:errcheck // client went away
+		Dir      string        `json:"dir"`
+		Segments []segmentJSON `json:"segments"`
+	}{j.Dir(), docs})
+}
+
+// handleJournalSegment downloads one raw segment file by name.
+func (r *Registry) handleJournalSegment(w http.ResponseWriter, req *http.Request) {
+	j := r.eventJournal()
+	if j == nil {
+		jsonError(w, http.StatusNotFound, "telemetry: no event journal attached")
+		return
+	}
+	name := req.URL.Query().Get("name")
+	// Reject anything that is not a bare segment filename: the journal
+	// directory may sit next to material this port must not serve.
+	if name == "" || name != filepath.Base(name) || filepath.Ext(name) != ".seg" {
+		jsonError(w, http.StatusBadRequest, "telemetry: name must be a bare journal segment filename")
+		return
+	}
+	j.Flush()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	http.ServeFile(w, req, filepath.Join(j.Dir(), name))
+}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// journalServer serves a registry wired to a fresh on-disk journal.
+func journalServer(t *testing.T) (*journal.Journal, *Server) {
+	t.Helper()
+	j, err := journal.Open(journal.Config{Dir: t.TempDir(), FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	r := NewRegistry()
+	r.SetJournal(j)
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return j, s
+}
+
+type journalDoc struct {
+	Records []journalEntryJSON `json:"records"`
+}
+
+func getJournal(t *testing.T, url string) (journalDoc, *http.Response) {
+	t.Helper()
+	body, resp := get(t, url)
+	var doc journalDoc
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("journal JSON: %v\n%s", err, body)
+		}
+	}
+	return doc, resp
+}
+
+func TestJournalEndpoint(t *testing.T) {
+	j, srv := journalServer(t)
+	orders, billing := j.InternLock("orders"), j.InternLock("billing")
+	w1, w2 := j.InternAgent("w1"), j.InternAgent("w2")
+	j.Append(journal.Record{Kind: journal.KindAcquire, Origin: journal.OriginNative,
+		AtNs: 100, Lock: orders, Agent: w1, Token: 7, Trace: 0xabc})
+	j.Append(journal.Record{Kind: journal.KindRelease, Origin: journal.OriginNative,
+		AtNs: 200, Lock: orders, Agent: w1, Token: 7, DurNs: 100})
+	j.Append(journal.Record{Kind: journal.KindWait, Origin: journal.OriginLockd,
+		AtNs: 300, Lock: billing, Agent: w2})
+
+	doc, resp := getJournal(t, srv.URL()+"/debug/journal")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("journal Content-Type = %q", ct)
+	}
+	if len(doc.Records) != 3 {
+		t.Fatalf("records = %+v, want 3", doc.Records)
+	}
+	if r := doc.Records[0]; r.Kind != "acquire" || r.Lock != "orders" ||
+		r.Agent != "w1" || r.Token != 7 || r.Trace != "0000000000000abc" {
+		t.Fatalf("first record = %+v", r)
+	}
+
+	// Each filter dimension narrows the result set.
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"?lock=billing", 1},
+		{"?agent=w1", 2},
+		{"?kind=release", 1},
+		{"?from=150", 2},
+		{"?to=150", 1},
+		{"?from=100&to=250&lock=orders&agent=w1&kind=acquire", 1},
+		{"?limit=1", 1},
+		{"?lock=unknown", 0},
+	} {
+		doc, _ := getJournal(t, srv.URL()+"/debug/journal"+tc.query)
+		if len(doc.Records) != tc.want {
+			t.Fatalf("%s: got %d records, want %d: %+v", tc.query, len(doc.Records), tc.want, doc.Records)
+		}
+	}
+	// ?limit keeps the most recent records.
+	doc, _ = getJournal(t, srv.URL()+"/debug/journal?limit=1")
+	if doc.Records[0].Kind != "wait" {
+		t.Fatalf("limit=1 kept %+v, want the newest record", doc.Records[0])
+	}
+
+	// Malformed filters are 400s with a JSON error object.
+	for _, q := range []string{"?from=bogus", "?to=bogus", "?kind=bogus", "?limit=-1"} {
+		body, resp := get(t, srv.URL()+"/debug/journal"+q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s status = %d, want 400", q, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s error body %q not a JSON error object (%v)", q, body, err)
+		}
+	}
+}
+
+func TestJournalSegmentEndpoints(t *testing.T) {
+	j, srv := journalServer(t)
+	lock := j.InternLock("orders")
+	j.Append(journal.Record{Kind: journal.KindAcquire, AtNs: 1, Lock: lock, Token: 1})
+
+	var listing struct {
+		Dir      string        `json:"dir"`
+		Segments []segmentJSON `json:"segments"`
+	}
+	body, resp := get(t, srv.URL()+"/debug/journal/segments")
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatalf("segments JSON: %v\n%s", err, body)
+	}
+	if resp.StatusCode != http.StatusOK || len(listing.Segments) != 1 {
+		t.Fatalf("segments = %+v", listing)
+	}
+	seg := listing.Segments[0]
+	// One name frame + one event frame, neither torn nor corrupt.
+	if seg.Frames != 2 || seg.Torn || seg.Corrupt {
+		t.Fatalf("segment = %+v", seg)
+	}
+
+	// The raw download round-trips through the offline reader.
+	body, resp = get(t, srv.URL()+"/debug/journal/segment?name="+seg.Name)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("segment download status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("segment Content-Type = %q", got)
+	}
+	if !strings.HasPrefix(body, "LKJRNL1\n") {
+		t.Fatalf("segment body does not start with the magic: %q", body[:16])
+	}
+
+	// Path traversal and non-segment names are rejected.
+	for _, name := range []string{"", "../secret.seg", "notes.txt", "/etc/passwd"} {
+		_, resp := get(t, srv.URL()+"/debug/journal/segment?name="+name)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("name %q status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestJournalDetached: without an attached journal every journal
+// endpoint is a JSON 404, not a panic or an empty 200.
+func TestJournalDetached(t *testing.T) {
+	r := NewRegistry()
+	s, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for _, path := range []string{"/debug/journal", "/debug/journal/segments", "/debug/journal/segment?name=x.seg"} {
+		body, resp := get(t, s.URL()+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("%s body %q not a JSON error object (%v)", path, body, err)
+		}
+	}
+}
+
+// TestFlightRecUnknownLockJSON pins the satellite contract: an unknown
+// ?lock= is a 404 whose body is a JSON error object with Content-Type
+// application/json.
+func TestFlightRecUnknownLockJSON(t *testing.T) {
+	_, f, srv := causalServer(t)
+	f.RecordAt(100, "orders", "acquire", "w1", "")
+
+	body, resp := get(t, srv.URL()+"/debug/flightrec?lock=nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("body %q is not JSON: %v", body, err)
+	}
+	if !strings.Contains(e.Error, `"nope"`) {
+		t.Fatalf("error = %q, want the missing lock named", e.Error)
+	}
+}

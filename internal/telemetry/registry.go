@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/causal"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/native"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -84,6 +85,10 @@ type Registry struct {
 	// package defaults.
 	graph  *causal.Graph
 	flight *causal.Flight
+
+	// journal is the event journal served by /debug/journal (see
+	// journal.go); nil means the endpoints report 404.
+	journal *journal.Journal
 }
 
 // NewRegistry returns an empty registry.

@@ -107,6 +107,9 @@ func (s *Server) Linger(serveFor time.Duration) error {
 //	/profile/contention   folded-stack contention profile (?top=N for a table)
 //	/debug/waitgraph      wait-for graph with suspected deadlocks (?format=dot)
 //	/debug/flightrec      flight-recorder rings (?lock=NAME, ?format=text)
+//	/debug/journal        event-journal records (?lock=&agent=&kind=&from=&to=&limit=)
+//	/debug/journal/segments  segment-file listing with integrity flags
+//	/debug/journal/segment   raw segment download (?name=journal-00000000.seg)
 //	/debug/pprof/         the Go runtime profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -117,6 +120,9 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/profile/contention", r.handleProfile)
 	mux.HandleFunc("/debug/waitgraph", r.handleWaitGraph)
 	mux.HandleFunc("/debug/flightrec", r.handleFlightRec)
+	mux.HandleFunc("/debug/journal", r.handleJournal)
+	mux.HandleFunc("/debug/journal/segments", r.handleJournalSegments)
+	mux.HandleFunc("/debug/journal/segment", r.handleJournalSegment)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -138,6 +144,7 @@ func (r *Registry) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "/profile/contention   folded stacks (?top=N for a table)")
 	fmt.Fprintln(w, "/debug/waitgraph      wait-for graph (?format=dot)")
 	fmt.Fprintln(w, "/debug/flightrec      flight recorder (?lock=NAME&format=text)")
+	fmt.Fprintln(w, "/debug/journal        event journal (?lock=&agent=&kind=&from=&to=&limit=)")
 	fmt.Fprintln(w, "/debug/pprof/         Go runtime profiles")
 }
 
