@@ -5,9 +5,10 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr8.json
 JOURNAL_SMOKE_DIR ?= $(CURDIR)/.journal-smoke
+HA_SMOKE_DIR ?= $(CURDIR)/.ha-smoke
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke clean
+.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke clean
 
 all: check
 
@@ -33,7 +34,7 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./...
 
-check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke benchdiff
+check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke benchdiff
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -83,6 +84,17 @@ deadlock-smoke:
 # failure so CI can upload them as an artifact.
 journal-smoke:
 	JOURNAL_SMOKE_DIR=$(JOURNAL_SMOKE_DIR) $(GO) test ./internal/journal -race -count=1 -v -run 'TestCrashRecovery|TestTornTail|TestVerifyMerged'
+
+# Replicated-lockd smoke: a 3-node in-process cluster rides a leader
+# SIGKILL and a split-brain partition under the race detector — token
+# monotonicity across the term boundary, single-holder proven by
+# journal.Verify over the merged per-node journals, deterministic
+# same-seed election traces, plus the client-side failover path.
+# HA_SMOKE_DIR keeps the per-node journal segments on failure so CI can
+# upload them as an artifact.
+ha-smoke:
+	HA_SMOKE_DIR=$(HA_SMOKE_DIR) $(GO) test ./internal/replica -race -count=1 -v -run 'TestChaosKillLeaderMidHold|TestChaosPartitionLeaderSplitBrain|TestChaosSameSeedSameTrace'
+	$(GO) test ./internal/lockclient -race -count=1 -v -run 'TestClusterFailoverOnLeaderKill|TestFailoverResetsBackoff'
 
 # PASS/FAIL check of every reproduction claim.
 verify:

@@ -11,6 +11,15 @@
 //	lockd -serve :9090 -serve-for 30s  # scripted run: exit after 30s
 //	lockd -faults conn-drop:every=20   # chaos mode: drop every 20th reply
 //	lockd -journal-dir /var/lock/jrnl  # black-box event journal (cmd/lockjournal reads it)
+//	lockd -replica-id 1 -peers "1@host1:7700,2@host2:7700,3@host3:7700"
+//	                                   # replicated cluster member (see internal/replica)
+//
+// With -peers, this lockd joins a replicated cluster: members elect a
+// leader on a renewable lease, the leader ships every lock mutation to
+// the learners before acknowledging clients, and learners redirect
+// clients to the leader (NotLeader + address hint). Peer replication
+// traffic shares the lock protocol port, so each member appears in
+// -peers under the address it serves on.
 //
 // With -faults, every accepted connection is wrapped in the
 // fault-injection conn (internal/fault), so the server's own replies are
@@ -29,6 +38,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +47,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/journal"
 	"repro/internal/lockd"
+	"repro/internal/replica"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +67,11 @@ func main() {
 		journalDir  = flag.String("journal-dir", "", "record every lock lifecycle event to binary segments in this directory")
 		journalSeg  = flag.Int64("journal-seg-bytes", 1<<20, "journal segment size before rotation")
 		journalKeep = flag.Int("journal-max-segments", 8, "journal segments retained (-1 = unlimited)")
+
+		peers       = flag.String("peers", "", `replicated cluster members as "id@addr,id@addr,..." (empty = standalone)`)
+		replicaID   = flag.Int("replica-id", 0, "this member's id in -peers")
+		leaderLease = flag.Duration("leader-lease", time.Second, "leader lease; elections start after this long without a leader heartbeat")
+		replicaSeed = flag.Int64("replica-seed", 1, "election-ordering seed (same seed, same election order)")
 	)
 	flag.Parse()
 
@@ -104,6 +121,34 @@ func main() {
 		telemetry.SetJournal(jrn) // -serve exposes /debug/journal
 		fmt.Fprintf(os.Stderr, "lockd: journaling lock events to %s\n", *journalDir)
 	}
+	var (
+		node     *replica.Node
+		peerList []replica.Peer
+	)
+	if *peers != "" {
+		peerList, err = parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockd:", err)
+			os.Exit(2)
+		}
+		self := false
+		for _, p := range peerList {
+			self = self || p.ID == *replicaID
+		}
+		if !self {
+			fmt.Fprintf(os.Stderr, "lockd: -replica-id %d is not in -peers %q\n", *replicaID, *peers)
+			os.Exit(2)
+		}
+		node = replica.New(replica.Config{
+			ID:       *replicaID,
+			Lease:    *leaderLease,
+			Seed:     *replicaSeed,
+			Journal:  cfg.Journal,
+			Registry: telemetry.Default,
+			Logf:     cfg.Logf,
+		})
+		cfg.Replica = node
+	}
 	if len(specs) > 0 {
 		schedule, err := fault.NewSchedule(*seed, specs...)
 		if err != nil {
@@ -121,6 +166,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "lockd: serving locks on %s (lease %v, max %d waiters, %s/%s)\n",
 		srv.Addr(), *lease, *maxWaiters, *policy, *sched)
+	if node != nil {
+		node.Start(srv, peerList)
+		fmt.Fprintf(os.Stderr, "lockd: replica %d in a %d-member cluster (leader lease %v, seed %d)\n",
+			*replicaID, len(peerList), *leaderLease, *replicaSeed)
+	}
 
 	// SIGQUIT dumps the always-on flight recorder and the wait-for graph
 	// (DOT) to stderr without stopping the server — the post-incident
@@ -156,11 +206,46 @@ func main() {
 		waitInterrupt(*serveFor)
 	}
 	ctr := srv.Counters()
+	if node != nil {
+		node.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "lockd: close:", err)
 	}
 	fmt.Fprintf(os.Stderr, "lockd: done: %d acquires, %d releases, %d sessions expired, %d locks recovered, %d shed\n",
 		ctr.Acquires, ctr.Releases, ctr.SessionsExpired, ctr.ForcedReleases, ctr.Sheds)
+}
+
+// parsePeers parses the -peers grammar: "id@addr,id@addr,...".
+func parsePeers(s string) ([]replica.Peer, error) {
+	var out []replica.Peer
+	seen := map[int]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id@addr", part)
+		}
+		id, err := strconv.Atoi(idStr)
+		if err != nil || id <= 0 {
+			return nil, fmt.Errorf("peer %q: id must be a positive integer", part)
+		}
+		if addr == "" {
+			return nil, fmt.Errorf("peer %q: empty address", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("peer id %d listed twice", id)
+		}
+		seen[id] = true
+		out = append(out, replica.Peer{ID: id, Addr: addr})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers %q names no members", s)
+	}
+	return out, nil
 }
 
 // waitInterrupt blocks for SIGINT/SIGTERM or, when d > 0, at most d.

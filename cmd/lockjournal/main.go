@@ -299,6 +299,10 @@ func cmdVerify(w io.Writer, args []string) (journal.VerifyReport, error) {
 	if rep.Procs > 1 {
 		fmt.Fprintf(w, "traces shared across journals: %d\n", rep.SharedTraces)
 	}
+	if rep.ReplicatedLocks > 0 {
+		fmt.Fprintf(w, "replicated locks: %d (%d replica echoes deduplicated)\n",
+			rep.ReplicatedLocks, rep.ReplicaEchoes)
+	}
 	for _, h := range rep.OpenHolds {
 		fmt.Fprintf(w, "open hold: %s\n", h)
 	}

@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"net"
+	"sync"
+)
+
+// Breaker is a manual network switch for scripted chaos: every conn
+// wrapped by it consults the switch on each read and write. Tests flip
+// it to isolate a node mid-scenario — the conn-level Schedule kinds
+// cover seeded background noise; the Breaker covers the scripted
+// "partition the leader now, heal it later" moves a split-brain
+// scenario needs at exact points in the script.
+//
+// Modes:
+//   - healed (the zero state): traffic passes through;
+//   - stalled: reads and writes block until the breaker leaves the
+//     stalled state — a black-hole partition;
+//   - dropped: wrapped conns are closed immediately and every later
+//     operation fails with ErrInjectedDrop — a severed link.
+type Breaker struct {
+	mu    sync.Mutex
+	mode  breakerMode
+	gen   chan struct{} // closed on every mode change, wakes stalled ops
+	conns []net.Conn    // live wrapped conns, closed by Drop
+}
+
+type breakerMode int
+
+const (
+	breakerHealed breakerMode = iota
+	breakerStalled
+	breakerDropped
+)
+
+// NewBreaker returns a healed breaker.
+func NewBreaker() *Breaker {
+	return &Breaker{gen: make(chan struct{})}
+}
+
+// Wrap puts c behind the breaker. The returned conn is what the caller
+// should use; composing with WrapConn (schedule faults) works in either
+// order.
+func (b *Breaker) Wrap(c net.Conn) net.Conn {
+	bc := &breakerConn{Conn: c, b: b}
+	b.mu.Lock()
+	b.conns = append(b.conns, c)
+	dropped := b.mode == breakerDropped
+	b.mu.Unlock()
+	if dropped {
+		c.Close()
+	}
+	return bc
+}
+
+// setMode flips the switch and wakes anything stalled on the old state.
+func (b *Breaker) setMode(m breakerMode) []net.Conn {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.mode == m {
+		return nil
+	}
+	b.mode = m
+	close(b.gen)
+	b.gen = make(chan struct{})
+	if m == breakerDropped {
+		conns := b.conns
+		b.conns = nil
+		return conns
+	}
+	return nil
+}
+
+// Stall black-holes wrapped conns: operations block until Heal or Drop.
+func (b *Breaker) Stall() { b.setMode(breakerStalled) }
+
+// Drop severs wrapped conns: they are closed now (unblocking kernel
+// reads) and later operations fail with ErrInjectedDrop.
+func (b *Breaker) Drop() {
+	for _, c := range b.setMode(breakerDropped) {
+		c.Close()
+	}
+}
+
+// Heal lets traffic pass again. Conns severed by Drop stay dead — the
+// peer must redial; conns merely stalled resume.
+func (b *Breaker) Heal() { b.setMode(breakerHealed) }
+
+type breakerConn struct {
+	net.Conn
+	b *Breaker
+}
+
+// gate blocks while the breaker is stalled and fails while dropped.
+func (c *breakerConn) gate() error {
+	for {
+		c.b.mu.Lock()
+		mode, gen := c.b.mode, c.b.gen
+		c.b.mu.Unlock()
+		switch mode {
+		case breakerHealed:
+			return nil
+		case breakerDropped:
+			c.Conn.Close()
+			return ErrInjectedDrop
+		case breakerStalled:
+			<-gen
+		}
+	}
+}
+
+func (c *breakerConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *breakerConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}

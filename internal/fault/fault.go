@@ -62,6 +62,11 @@ const (
 	// the wrapper stalls until the partition heals. Partitions longer
 	// than the lease must expire the session and recover its locks.
 	Partition
+	// NetReorder holds one write back and emits it after the following
+	// write (or after the drawn duration if no write follows), modelling
+	// message reordering in the network. Election and replication races
+	// become exercisable deterministically.
+	NetReorder
 	numKinds
 )
 
@@ -83,6 +88,8 @@ func (k Kind) String() string {
 		return "reply-delay"
 	case Partition:
 		return "partition"
+	case NetReorder:
+		return "net-reorder"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -287,7 +294,7 @@ func (s *Schedule) Counts() Counts {
 }
 
 // SpecGrammar summarizes the ParseSpecs grammar for CLI flag help text.
-const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death|conn-drop|reply-delay|partition, fields every=N prob=P us=X[-Y]"
+const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death|conn-drop|reply-delay|partition|net-reorder, fields every=N prob=P us=X[-Y]"
 
 // ParseSpecs parses the CLI fault grammar: comma-separated entries of the
 // form
@@ -295,7 +302,7 @@ const SpecGrammar = "kinds stall|release-delay|preempt|crash|agent-death|conn-dr
 //	kind[:key=value]...
 //
 // where kind is one of stall, release-delay, preempt, crash, agent-death,
-// conn-drop, reply-delay, partition and the keys are every=N, prob=P,
+// conn-drop, reply-delay, partition, net-reorder and the keys are every=N, prob=P,
 // us=X or us=X-Y. Example:
 //
 //	stall:every=3:us=2500,crash:every=9,preempt:prob=0.2:us=100-400

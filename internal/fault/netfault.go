@@ -14,14 +14,22 @@ var ErrInjectedDrop = errors.New("fault: injected connection drop")
 
 // Conn wraps a net.Conn with the schedule's network fault kinds. Each
 // Write presents one opportunity per kind, drawn in a fixed order
-// (Partition, ReplyDelay, ConnDrop) so Every/Prob schedules stay
-// deterministic for a deterministic operation sequence:
+// (Partition, ReplyDelay, ConnDrop, NetReorder) so Every/Prob schedules
+// stay deterministic for a deterministic operation sequence:
 //
 //   - Partition opens a black-hole window of the drawn duration: this
 //     write, later writes and later reads stall until the window closes.
 //   - ReplyDelay sleeps the drawn duration before the write proceeds.
 //   - ConnDrop closes the underlying conn and fails the write with
 //     ErrInjectedDrop.
+//   - NetReorder holds this write back (reporting success) and emits it
+//     right after the next write — the two messages swap places on the
+//     wire — or after the drawn duration if no write follows. At most
+//     one write is held at a time; a held write is flushed before a
+//     newly drawn reorder can hold another, and Close flushes too, so
+//     no message is ever lost, only displaced. One whole Write is one
+//     whole message for every protocol in this repo (JSON lines), so
+//     displacement preserves framing.
 //
 // Reads only honour an open partition window (a read blocked inside the
 // kernel is beyond the wrapper's reach); they present no opportunities,
@@ -32,6 +40,8 @@ type Conn struct {
 
 	mu        sync.Mutex
 	partUntil time.Time
+	held      []byte      // write held back by NetReorder
+	heldTimer *time.Timer // flushes held if no write follows
 }
 
 // WrapConn wraps c with the schedule's network faults. A nil schedule
@@ -73,8 +83,52 @@ func (c *Conn) Write(p []byte) (int, error) {
 			c.Conn.Close()
 			return 0, ErrInjectedDrop
 		}
+		if us, ok := c.sched.Draw(NetReorder); ok && c.holdWrite(p, us) {
+			return len(p), nil
+		}
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	c.flushHeld()
+	return n, err
+}
+
+// holdWrite stashes p as the reordered message when no write is already
+// held; the safety-valve timer flushes it if no overtaking write comes.
+func (c *Conn) holdWrite(p []byte, us float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.held != nil {
+		return false
+	}
+	c.held = append([]byte(nil), p...)
+	hold := time.Duration(us * float64(time.Microsecond))
+	if hold <= 0 {
+		hold = time.Millisecond
+	}
+	c.heldTimer = time.AfterFunc(hold, c.flushHeld)
+	return true
+}
+
+// flushHeld emits a held write, if any, after the write that overtook
+// it (or from the safety-valve timer / Close).
+func (c *Conn) flushHeld() {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	if c.heldTimer != nil {
+		c.heldTimer.Stop()
+		c.heldTimer = nil
+	}
+	c.mu.Unlock()
+	if held != nil {
+		c.Conn.Write(held)
+	}
+}
+
+// Close flushes any held write, then closes the underlying conn.
+func (c *Conn) Close() error {
+	c.flushHeld()
+	return c.Conn.Close()
 }
 
 // Listener wraps every accepted connection with the schedule's network

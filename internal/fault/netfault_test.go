@@ -113,3 +113,140 @@ func TestNetKindsParse(t *testing.T) {
 		}
 	}
 }
+
+// TestNetReorderSwapsWrites: every=2 holds the 2nd and 4th message back
+// and emits each right after the write that overtakes it, so the peer
+// observes A C B D — identically on every same-seed run.
+func TestNetReorderSwapsWrites(t *testing.T) {
+	run := func() string {
+		a, b := pipeConns()
+		defer a.Close()
+		defer b.Close()
+		got := make(chan string, 1)
+		go func() {
+			buf := make([]byte, 64)
+			var all []byte
+			for len(all) < 4 {
+				n, err := b.Read(buf)
+				if err != nil {
+					break
+				}
+				all = append(all, buf[:n]...)
+			}
+			got <- string(all)
+		}()
+		fc := WrapConn(a, MustSchedule(11, Spec{Kind: NetReorder, Every: 2, MinUs: 1e6}))
+		for _, msg := range []string{"A", "B", "C", "D"} {
+			if _, err := fc.Write([]byte(msg)); err != nil {
+				t.Fatalf("write %q: %v", msg, err)
+			}
+		}
+		fc.Close() // flushes the held "D"
+		select {
+		case s := <-got:
+			return s
+		case <-time.After(2 * time.Second):
+			t.Fatal("reader starved: held write never flushed")
+			return ""
+		}
+	}
+	first := run()
+	if first != "ACBD" {
+		t.Fatalf("reordered stream = %q, want %q", first, "ACBD")
+	}
+	if second := run(); second != first {
+		t.Fatalf("same seed diverged: %q vs %q", first, second)
+	}
+}
+
+// TestNetReorderTimerFlush: with no overtaking write, the safety-valve
+// timer emits the held message after the drawn hold duration.
+func TestNetReorderTimerFlush(t *testing.T) {
+	a, b := pipeConns()
+	defer a.Close()
+	defer b.Close()
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, err := b.Read(buf)
+		if err != nil {
+			got <- ""
+			return
+		}
+		got <- string(buf[:n])
+	}()
+	fc := WrapConn(a, MustSchedule(3, Spec{Kind: NetReorder, Every: 1, MinUs: 10000}))
+	if _, err := fc.Write([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "solo" {
+			t.Fatalf("flushed message = %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("held write never flushed by timer")
+	}
+}
+
+// TestBreakerModes: drop severs wrapped conns immediately; heal lets a
+// fresh conn pass; stall blocks traffic until healed.
+func TestBreakerModes(t *testing.T) {
+	br := NewBreaker()
+
+	a, b := pipeConns()
+	defer b.Close()
+	wa := br.Wrap(a)
+	go func() {
+		buf := make([]byte, 8)
+		b.Read(buf)
+	}()
+	if _, err := wa.Write([]byte("ok")); err != nil {
+		t.Fatalf("healed write: %v", err)
+	}
+	br.Drop()
+	if _, err := wa.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("dropped write err = %v, want ErrInjectedDrop", err)
+	}
+
+	br.Heal()
+	c, d := pipeConns()
+	defer c.Close()
+	defer d.Close()
+	wc := br.Wrap(c)
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 8)
+		d.Read(buf)
+		done <- nil
+	}()
+	if _, err := wc.Write([]byte("y")); err != nil {
+		t.Fatalf("post-heal write: %v", err)
+	}
+	<-done
+
+	br.Stall()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := wc.Write([]byte("z"))
+		wrote <- err
+	}()
+	go func() {
+		buf := make([]byte, 8)
+		d.Read(buf)
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("stalled write returned early (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	br.Heal()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled write never resumed after heal")
+	}
+}

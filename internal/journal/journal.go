@@ -91,9 +91,9 @@ type Journal struct {
 
 	dropped atomic.Uint64 // drops the writer has charged (see Stats)
 	flushed atomic.Uint64
-	rotated  atomic.Uint64
-	ioErrs   atomic.Uint64
-	lastErr  atomic.Value // string
+	rotated atomic.Uint64
+	ioErrs  atomic.Uint64
+	lastErr atomic.Value // string
 
 	flushCh chan chan struct{}
 	done    chan struct{}

@@ -202,15 +202,24 @@ func Merge(procs []ProcEntries) []MergedEntry {
 // VerifyReport is the outcome of consistency checking one or more
 // journals. Violations is empty iff the history is clean.
 type VerifyReport struct {
-	Procs        int      `json:"procs"`
-	Records      int      `json:"records"`
-	Grants       int      `json:"grants"`
-	Releases     int      `json:"releases"`
-	ForcedDeaths int      `json:"forced_deaths"`
-	Drops        int64    `json:"drops"` // events lost to ring overflow
-	SharedTraces int      `json:"shared_traces"`
-	OpenHolds    []string `json:"open_holds,omitempty"` // grants with no release by end of journal
-	Violations   []string `json:"violations,omitempty"`
+	Procs        int   `json:"procs"`
+	Records      int   `json:"records"`
+	Grants       int   `json:"grants"`
+	Releases     int   `json:"releases"`
+	ForcedDeaths int   `json:"forced_deaths"`
+	Drops        int64 `json:"drops"` // events lost to ring overflow
+	SharedTraces int   `json:"shared_traces"`
+	// ReplicatedLocks counts locks whose server-side (OriginLockd)
+	// history appears in more than one journal — replicas of one lockd
+	// cluster. Those locks are checked with the cross-node invariants
+	// instead of the per-process ones.
+	ReplicatedLocks int `json:"replicated_locks,omitempty"`
+	// ReplicaEchoes counts grant/release records that duplicate an
+	// already-seen tenure from another replica's view of the same
+	// mutation — expected in replicated logs, not violations.
+	ReplicaEchoes int      `json:"replica_echoes,omitempty"`
+	OpenHolds     []string `json:"open_holds,omitempty"` // grants with no release by end of journal
+	Violations    []string `json:"violations,omitempty"`
 }
 
 // Ok reports whether verification found no violations.
@@ -229,8 +238,16 @@ func (r VerifyReport) Ok() bool { return len(r.Violations) == 0 }
 // the join evidence for a merged client/server history. Records whose
 // history has drops (KindDrops) relax the pairing check for the locks
 // that follow, since arbitrary events may be missing.
+//
+// Locks whose OriginLockd history shows up in more than one journal are
+// replica views of one replicated lockd cluster: the leader journals
+// each mutation at commit and every learner journals it again at apply,
+// so the per-process pairing rules would mistake the duplicate tenures
+// for double grants. Those locks switch to the cross-node invariants
+// instead — see verifyReplicated.
 func Verify(procs []ProcEntries) VerifyReport {
 	rep := VerifyReport{Procs: len(procs)}
+	replicated := replicatedLocks(procs)
 	traceProcs := map[uint64]map[string]bool{}
 	for _, p := range procs {
 		type lockState struct {
@@ -253,6 +270,13 @@ func Verify(procs []ProcEntries) VerifyReport {
 			name := e.LockName
 			if name == "" {
 				name = fmt.Sprintf("lock#%d", e.Lock)
+			}
+			if e.Origin == OriginLockd && replicated[name] {
+				if e.Kind == KindDrops {
+					dropsSeen = true
+					rep.Drops += e.DurNs
+				}
+				continue // checked by verifyReplicated instead
 			}
 			st := states[name]
 			if st == nil {
@@ -309,8 +333,149 @@ func Verify(procs []ProcEntries) VerifyReport {
 			rep.SharedTraces++
 		}
 	}
+	verifyReplicated(procs, replicated, &rep)
 	sort.Strings(rep.OpenHolds)
 	return rep
+}
+
+// replicatedLocks finds locks whose server-side history spans more than
+// one journal: the signature of replica views of one cluster.
+func replicatedLocks(procs []ProcEntries) map[string]bool {
+	seen := map[string]map[string]bool{}
+	for _, p := range procs {
+		for _, e := range p.Entries {
+			if e.Origin != OriginLockd {
+				continue
+			}
+			name := e.LockName
+			if name == "" {
+				name = fmt.Sprintf("lock#%d", e.Lock)
+			}
+			m := seen[name]
+			if m == nil {
+				m = map[string]bool{}
+				seen[name] = m
+			}
+			m[p.Proc] = true
+		}
+	}
+	out := map[string]bool{}
+	for name, m := range seen {
+		if len(m) > 1 {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// verifyReplicated checks the cross-node invariants on replicated
+// locks' merged OriginLockd history:
+//
+//   - single holder: at any instant at most one fencing token is open;
+//     a grant while a *different* token is open is a dual-holder
+//     violation;
+//   - cross-node token monotonicity: each newly opened token strictly
+//     exceeds every token opened before it, across term changes;
+//   - replica echoes — another node's first copy of a grant already on
+//     record, or a release of an already-closed token — are the
+//     learners' applied copies of the leader's mutation and are
+//     counted, not flagged. Echoes may arrive long after the token
+//     retired: a healed partition catches up on the log and re-applies
+//     old grants with fresh timestamps.
+func verifyReplicated(procs []ProcEntries, replicated map[string]bool, rep *VerifyReport) {
+	if len(replicated) == 0 {
+		return
+	}
+	rep.ReplicatedLocks = len(replicated)
+	type repState struct {
+		openToken uint64
+		holder    string
+		lastToken uint64
+		grantedBy map[uint64]map[string]bool // token -> procs holding its grant record
+	}
+	states := map[string]*repState{}
+	for _, m := range Merge(procs) {
+		if m.Origin != OriginLockd {
+			continue
+		}
+		name := m.LockName
+		if name == "" {
+			name = fmt.Sprintf("lock#%d", m.Lock)
+		}
+		if !replicated[name] {
+			continue
+		}
+		st := states[name]
+		if st == nil {
+			st = &repState{grantedBy: map[uint64]map[string]bool{}}
+			states[name] = st
+		}
+		actor := mergedActor(m)
+		switch m.Kind {
+		case KindAcquire:
+			if m.Token == 0 {
+				continue
+			}
+			if by := st.grantedBy[m.Token]; by != nil && !by[m.Proc] {
+				// Another node's first copy of a grant already on
+				// record — an applied echo, even if the token has long
+				// since retired. A second copy from the SAME proc falls
+				// through to the floor checks: that would be a genuine
+				// double grant.
+				by[m.Proc] = true
+				rep.ReplicaEchoes++
+				continue
+			}
+			if st.openToken == m.Token {
+				rep.ReplicaEchoes++
+				continue
+			}
+			if st.openToken != 0 {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"replicated %s: token %d granted to %q at %d while token %d still held by %q (dual holder)",
+					name, m.Token, actor, m.AtNs, st.openToken, st.holder))
+			}
+			if m.Token <= st.lastToken {
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"replicated %s: fencing token %d not above previous %d at %d",
+					name, m.Token, st.lastToken, m.AtNs))
+			} else {
+				st.lastToken = m.Token
+			}
+			st.openToken, st.holder = m.Token, actor
+			st.grantedBy[m.Token] = map[string]bool{m.Proc: true}
+			rep.Grants++
+		case KindRelease, KindOwnerDead:
+			closes := m.Token == st.openToken && st.openToken != 0
+			// A tokenless release (legacy producers) closes whatever is
+			// open; releases of tokens already retired are echoes.
+			if m.Token == 0 && st.openToken != 0 {
+				closes = true
+			}
+			if closes {
+				st.openToken, st.holder = 0, ""
+				if m.Kind == KindRelease {
+					rep.Releases++
+				} else {
+					rep.ForcedDeaths++
+				}
+				continue
+			}
+			if m.Token != 0 && m.Token <= st.lastToken {
+				rep.ReplicaEchoes++
+				continue
+			}
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"replicated %s: %s of token %d at %d with no matching grant open",
+				name, m.Kind, m.Token, m.AtNs))
+		}
+	}
+	for name, st := range states {
+		if st.openToken != 0 {
+			rep.OpenHolds = append(rep.OpenHolds, fmt.Sprintf(
+				"replicated/%s: token %d held by %q at end of journal", name, st.openToken, st.holder))
+		}
+	}
 }
 
 // GraphAt replays a merged timeline up to (and including) instant

@@ -47,21 +47,30 @@ const (
 	// overflowed: Dur holds the number of events lost since the last
 	// drops record. Readers see exactly where the history has holes.
 	KindDrops
+	// KindSessionOpen records a lockd session establishment: Tag carries
+	// the session id, Dur the granted lease. Replicated so a promoted
+	// learner can resume live sessions.
+	KindSessionOpen
+	// KindSessionEnd records a lockd session ending (graceful bye or
+	// lease expiry): Tag carries the session id.
+	KindSessionEnd
 
 	kindMax
 )
 
 var kindNames = [...]string{
-	KindInvalid:   "invalid",
-	KindWait:      "wait",
-	KindAcquire:   "acquire",
-	KindRelease:   "release",
-	KindTimeout:   "timeout",
-	KindAbort:     "abort",
-	KindWatchdog:  "watchdog",
-	KindOwnerDead: "owner-dead",
-	KindReconfig:  "reconfig",
-	KindDrops:     "drops",
+	KindInvalid:     "invalid",
+	KindWait:        "wait",
+	KindAcquire:     "acquire",
+	KindRelease:     "release",
+	KindTimeout:     "timeout",
+	KindAbort:       "abort",
+	KindWatchdog:    "watchdog",
+	KindOwnerDead:   "owner-dead",
+	KindReconfig:    "reconfig",
+	KindDrops:       "drops",
+	KindSessionOpen: "session-open",
+	KindSessionEnd:  "session-end",
 }
 
 func (k Kind) String() string {
@@ -117,15 +126,15 @@ func (o Origin) String() string {
 // Lock and Agent are interned ids; the reader resolves them back to
 // names via the per-segment name table.
 type Record struct {
-	AtNs  int64  // event instant: wall ns (sim ns for OriginSim)
-	Seq   uint64 // per-shard append position: total order within a lock
-	DurNs int64  // kind-dependent duration: waited, held, or drop count
-	Token uint64 // fencing token (lease grants), 0 otherwise
-	Tag   uint64 // actor tag: handoff tag, session id, or 0
-	Trace uint64 // causal trace id shared across processes, 0 if untraced
-	Lock  uint32 // interned lock name
-	Agent uint32 // interned agent/client name, 0 if anonymous
-	Kind  Kind
+	AtNs   int64  // event instant: wall ns (sim ns for OriginSim)
+	Seq    uint64 // per-shard append position: total order within a lock
+	DurNs  int64  // kind-dependent duration: waited, held, or drop count
+	Token  uint64 // fencing token (lease grants), 0 otherwise
+	Tag    uint64 // actor tag: handoff tag, session id, or 0
+	Trace  uint64 // causal trace id shared across processes, 0 if untraced
+	Lock   uint32 // interned lock name
+	Agent  uint32 // interned agent/client name, 0 if anonymous
+	Kind   Kind
 	Origin Origin
 }
 
@@ -224,6 +233,83 @@ func clipName(s string) string {
 		return s[:MaxNameLen]
 	}
 	return s
+}
+
+// EncodeRecordFrames renders one record as a self-contained run of
+// frames — name frames for the lock and agent (when non-empty)
+// followed by the event frame — using fixed intern ids, so the bytes
+// can travel outside any particular journal's name table. This is the
+// on-wire format of the lockd replication log: each log entry is one
+// such run, decodable on any replica with DecodeRecordFrames.
+func EncodeRecordFrames(r Record, lockName, agentName string) []byte {
+	n := 1
+	if lockName != "" {
+		n++
+	}
+	if agentName != "" {
+		n++
+	}
+	out := make([]byte, n*FrameSize)
+	off := 0
+	if lockName != "" {
+		r.Lock = 1
+		encodeName(out[off:off+FrameSize], frameLockName, 1, clipName(lockName))
+		off += FrameSize
+	} else {
+		r.Lock = 0
+	}
+	if agentName != "" {
+		r.Agent = 2
+		encodeName(out[off:off+FrameSize], frameAgentName, 2, clipName(agentName))
+		off += FrameSize
+	} else {
+		r.Agent = 0
+	}
+	encodeEvent(out[off:off+FrameSize], &r)
+	return out
+}
+
+// DecodeRecordFrames inverts EncodeRecordFrames: it walks the frame
+// run, rejects any CRC damage, and returns the decoded event with its
+// names resolved. Exactly one event frame must be present.
+func DecodeRecordFrames(data []byte) (Entry, error) {
+	if len(data) == 0 || len(data)%FrameSize != 0 {
+		return Entry{}, fmt.Errorf("journal: record frames length %d not a frame multiple", len(data))
+	}
+	var (
+		e      Entry
+		names  = map[uint32]string{}
+		agents = map[uint32]string{}
+		seen   bool
+	)
+	for off := 0; off < len(data); off += FrameSize {
+		buf := data[off : off+FrameSize]
+		if !frameOK(buf) {
+			return Entry{}, fmt.Errorf("journal: record frame at +%d fails CRC", off)
+		}
+		switch buf[0] {
+		case frameLockName:
+			id, name := decodeName(buf)
+			names[id] = name
+		case frameAgentName:
+			id, name := decodeName(buf)
+			agents[id] = name
+		case frameEvent:
+			if seen {
+				return Entry{}, fmt.Errorf("journal: multiple event frames in record run")
+			}
+			e.Record = decodeEvent(buf)
+			seen = true
+		default:
+			return Entry{}, fmt.Errorf("journal: unknown frame type %#x in record run", buf[0])
+		}
+	}
+	if !seen {
+		return Entry{}, fmt.Errorf("journal: record run has no event frame")
+	}
+	e.LockName = names[e.Record.Lock]
+	e.AgentName = agents[e.Record.Agent]
+	return e, nil
 }
 
 // encodeSegHeader writes the segment header.

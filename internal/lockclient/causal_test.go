@@ -214,7 +214,13 @@ func TestDeadlockSmoke(t *testing.T) {
 	defer web.Close()
 
 	dial := func(name string) *Client {
-		c, err := Dial(srv.Addr(), Options{Client: name, Heartbeat: -1, Lease: 30 * time.Second})
+		// Tight retry budget: the unwind kills the server for good, and
+		// the parked acquisitions must fail fast rather than ride the
+		// failover-sized default backoff against a dead address.
+		c, err := Dial(srv.Addr(), Options{
+			Client: name, Heartbeat: -1, Lease: 30 * time.Second,
+			MaxAttempts: 2, BackoffBase: 5 * time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		})
 		if err != nil {
 			t.Fatalf("Dial %s: %v", name, err)
 		}

@@ -3,6 +3,14 @@
 // with deadlines and fencing tokens, idempotent token-keyed release,
 // automatic reconnect with session resume, and seeded exponential
 // backoff + jitter on overload shedding and connection loss.
+//
+// Against a replicated cluster, Dial accepts a comma-separated address
+// list ("addr1,addr2,addr3"). The client tracks the leader: NotLeader
+// rejections are followed to the address they hint at (cycling the ring
+// when no hint is live, e.g. mid-election), the session is re-established
+// on the new leader — resumed by id, since session state is replicated —
+// and the per-lock last-token map survives the move, so fencing checks
+// stay valid across a failover.
 package lockclient
 
 import (
@@ -11,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,7 +71,9 @@ type Options struct {
 	// DialTimeout bounds the default dialer. Default 5s.
 	DialTimeout time.Duration
 	// MaxAttempts bounds each operation's attempts across sheds and
-	// reconnects. Default 8.
+	// reconnects. Default 16, sized so a default-configured client
+	// rides out a full leader election (detection + seeded delay +
+	// vote) against a default-lease cluster without giving up.
 	MaxAttempts int
 	// BackoffBase/BackoffMax shape the exponential backoff between
 	// attempts. Defaults 10ms / 2s.
@@ -92,7 +103,7 @@ func (o Options) withDefaults() Options {
 		o.DialTimeout = 5 * time.Second
 	}
 	if o.MaxAttempts <= 0 {
-		o.MaxAttempts = 8
+		o.MaxAttempts = 16
 	}
 	if o.BackoffBase <= 0 {
 		o.BackoffBase = 10 * time.Millisecond
@@ -113,6 +124,9 @@ func (o Options) withDefaults() Options {
 type Stats struct {
 	// Reconnects counts re-dials after a lost connection.
 	Reconnects int64
+	// Failovers counts session re-establishments that landed on a
+	// different cluster address than the previous connection.
+	Failovers int64
 	// Retries counts operation attempts beyond the first.
 	Retries int64
 	// Sheds counts CodeOverloaded responses absorbed by backoff.
@@ -127,18 +141,21 @@ type Stats struct {
 
 // Client is a lockd session. All methods are safe for concurrent use.
 type Client struct {
-	addr string
-	o    Options
-	bo   *backoff
+	addrs []string // cluster ring, in Dial order
+	o     Options
+	bo    *backoff
 
-	mu      sync.Mutex
-	conn    net.Conn
-	enc     *json.Encoder
-	session uint64
-	lease   time.Duration
-	nextID  uint64
-	pend    map[uint64]chan lockd.Response
-	closed  bool
+	mu         sync.Mutex
+	conn       net.Conn
+	enc        *json.Encoder
+	session    uint64
+	lease      time.Duration
+	nextID     uint64
+	pend       map[uint64]chan lockd.Response
+	closed     bool
+	cur        int    // ring index of the last good address
+	lastAddr   string // address of the last established session
+	leaderHint string // one-shot redirect target from a NotLeader reply
 
 	dialMu sync.Mutex // serializes reconnect attempts
 
@@ -149,6 +166,7 @@ type Client struct {
 	tokens map[string]uint64 // lock -> last observed fencing token
 
 	reconnects atomic.Int64
+	failovers  atomic.Int64
 	retries    atomic.Int64
 	sheds      atomic.Int64
 	heartbeats atomic.Int64
@@ -174,14 +192,24 @@ type Handle struct {
 	granted time.Time // grant instant, for the release record's hold duration
 }
 
-// Dial connects, opens a session, and starts the heartbeat loop.
+// Dial connects, opens a session, and starts the heartbeat loop. addr
+// may be a comma-separated cluster list; the client fails over along it.
 func Dial(addr string, o Options) (*Client, error) {
 	o = o.withDefaults()
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("lockclient: no address in %q", addr)
+	}
 	c := &Client{
-		addr: addr,
-		o:    o,
-		bo:   newBackoff(o.BackoffBase, o.BackoffMax, o.Seed),
-		pend: make(map[uint64]chan lockd.Response),
+		addrs: addrs,
+		o:     o,
+		bo:    newBackoff(o.BackoffBase, o.BackoffMax, o.Seed),
+		pend:  make(map[uint64]chan lockd.Response),
 	}
 	if err := c.reconnect(context.Background()); err != nil {
 		return nil, err
@@ -223,6 +251,7 @@ func (c *Client) Lease() time.Duration {
 func (c *Client) Stats() Stats {
 	st := Stats{
 		Reconnects: c.reconnects.Load(),
+		Failovers:  c.failovers.Load(),
 		Retries:    c.retries.Load(),
 		Sheds:      c.sheds.Load(),
 		Heartbeats: c.heartbeats.Load(),
@@ -285,17 +314,40 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// dial opens a raw connection.
-func (c *Client) dial() (net.Conn, error) {
+// dialAddr opens a raw connection to one cluster address.
+func (c *Client) dialAddr(addr string) (net.Conn, error) {
 	if c.o.Dial != nil {
-		return c.o.Dial(c.addr)
+		return c.o.Dial(addr)
 	}
-	return net.DialTimeout("tcp", c.addr, c.o.DialTimeout)
+	return net.DialTimeout("tcp", addr, c.o.DialTimeout)
 }
 
-// reconnect (re)establishes the connection and the session, resuming the
-// previous session when the server still remembers it. Concurrent
-// callers collapse onto one attempt.
+// dialOrder returns the addresses to try, best guess first: a NotLeader
+// hint (consumed one-shot — a stale hint must not pin the client), then
+// the ring starting at the last good index.
+func (c *Client) dialOrder() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	order := make([]string, 0, len(c.addrs)+1)
+	if c.leaderHint != "" {
+		order = append(order, c.leaderHint)
+		c.leaderHint = ""
+	}
+	for i := 0; i < len(c.addrs); i++ {
+		a := c.addrs[(c.cur+i)%len(c.addrs)]
+		if len(order) > 0 && order[0] == a {
+			continue
+		}
+		order = append(order, a)
+	}
+	return order
+}
+
+// reconnect (re)establishes a connection and the session, walking the
+// cluster ring until a node accepts the hello — the leader, under
+// replication — and resuming the previous session when the server (or
+// its replicated shadow) still remembers it. Concurrent callers
+// collapse onto one attempt.
 func (c *Client) reconnect(ctx context.Context) error {
 	c.dialMu.Lock()
 	defer c.dialMu.Unlock()
@@ -311,35 +363,90 @@ func (c *Client) reconnect(ctx context.Context) error {
 	prev := c.session
 	c.mu.Unlock()
 
-	conn, err := c.dial()
-	if err != nil {
-		return err
-	}
-	c.mu.Lock()
-	c.conn = conn
-	c.enc = json.NewEncoder(conn)
-	c.mu.Unlock()
-	go c.readLoop(conn)
+	var lastErr error
+	for _, addr := range c.dialOrder() {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		conn, err := c.dialAddr(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.mu.Lock()
+		c.conn = conn
+		c.enc = json.NewEncoder(conn)
+		c.mu.Unlock()
+		go c.readLoop(conn)
 
-	resp, err := c.Call(ctx, lockd.Request{
-		Op:      lockd.OpHello,
-		Session: prev,
-		Client:  c.o.Client,
-		LeaseMs: c.o.Lease.Milliseconds(),
-	})
-	if err != nil {
-		c.dropConn(conn)
-		return err
+		resp, err := c.Call(ctx, lockd.Request{
+			Op:      lockd.OpHello,
+			Session: prev,
+			Client:  c.o.Client,
+			LeaseMs: c.o.Lease.Milliseconds(),
+		})
+		if err != nil {
+			c.dropConn(conn)
+			if ctx.Err() != nil {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if !resp.OK {
+			c.dropConn(conn)
+			lastErr = &ServerError{Code: resp.Code, Msg: resp.Err}
+			if resp.Code == lockd.CodeNotLeader {
+				// A learner: chase the hint (when it carries one) before
+				// the rest of the ring.
+				c.mu.Lock()
+				c.leaderHint = resp.LeaderAddr
+				c.mu.Unlock()
+				continue
+			}
+			return lastErr
+		}
+		c.mu.Lock()
+		c.session = resp.Session
+		c.lease = time.Duration(resp.LeaseMs) * time.Millisecond
+		failedOver := c.lastAddr != "" && c.lastAddr != addr
+		c.lastAddr = addr
+		for i, a := range c.addrs {
+			if a == addr {
+				c.cur = i
+			}
+		}
+		c.mu.Unlock()
+		if failedOver {
+			c.failovers.Add(1)
+			// The backoff grew against a node that is gone; the fresh
+			// node owes no such patience. Without this reset a client
+			// that survived a failover would keep paying multi-second
+			// delays earned entirely against the dead leader.
+			c.bo.reset()
+		}
+		return nil
 	}
-	if !resp.OK {
-		c.dropConn(conn)
-		return &ServerError{Code: resp.Code, Msg: resp.Err}
+	if lastErr == nil {
+		lastErr = ErrConnLost
 	}
+	return lastErr
+}
+
+// redirect records a NotLeader hint (possibly empty, mid-election) and
+// drops the current connection, so the next roundTrip re-dials toward
+// the leader. The session id is kept — the new leader resumes it from
+// the replicated state.
+func (c *Client) redirect(hint string) {
 	c.mu.Lock()
-	c.session = resp.Session
-	c.lease = time.Duration(resp.LeaseMs) * time.Millisecond
+	if hint != "" {
+		c.leaderHint = hint
+	}
+	conn := c.conn
 	c.mu.Unlock()
-	return nil
+	if conn != nil {
+		c.dropConn(conn)
+	}
 }
 
 // dropConn tears down conn (if it is still current) and fails the calls
@@ -622,6 +729,16 @@ func (c *Client) acquireAttempts(ctx context.Context, lock string, opts AcquireO
 			// The lease lapsed: drop the dead session and hello afresh.
 			last = &ServerError{Code: resp.Code, Msg: resp.Err}
 			c.invalidateConn()
+		case lockd.CodeNotLeader, lockd.CodeUnavailable:
+			// Mid-failover: no leader yet (roundTrip already chased the
+			// hints it had), or a leader that cannot reach its quorum.
+			// Both heal on the replication layer's timescale — back off
+			// and try again.
+			last = &ServerError{Code: resp.Code, Msg: resp.Err}
+			c.redirect(resp.LeaderAddr)
+			if err := c.backoffSleep(ctx, c.bo.next(), tc); err != nil {
+				return nil, err
+			}
 		default:
 			return nil, &ServerError{Code: resp.Code, Msg: resp.Err}
 		}
@@ -666,10 +783,17 @@ func (c *Client) Release(ctx context.Context, h *Handle) error {
 			c.journalRec(journal.KindRelease, h.Lock, h.Token, h.Trace, c.heldFor(h))
 			return nil
 		}
-		if resp.Code == lockd.CodeExpired {
+		switch resp.Code {
+		case lockd.CodeExpired:
 			// Session gone: the lease machinery already recovered the
 			// lock; the release is moot.
 			return nil
+		case lockd.CodeNotLeader, lockd.CodeUnavailable:
+			c.redirect(resp.LeaderAddr)
+			if err := c.sleep(ctx, c.bo.next()); err != nil {
+				return err
+			}
+			continue
 		}
 		return &ServerError{Code: resp.Code, Msg: resp.Err}
 	}
@@ -725,11 +849,13 @@ func (c *Client) Stat(ctx context.Context) (*lockd.Stat, error) {
 	return resp.Stat, nil
 }
 
-// roundTrip is Call plus one transparent reconnect: a lost connection is
-// re-dialed (with session resume) and the request re-sent once; a second
-// loss surfaces ErrConnLost for the caller's retry loop.
+// roundTrip is Call plus transparent recovery: a lost connection is
+// re-dialed (with session resume) and the request re-sent, a NotLeader
+// rejection is followed to the hinted (or next) node. Two recoveries
+// per call — enough for "conn died, and the node we landed on is a
+// learner" — then the failure surfaces for the caller's retry loop.
 func (c *Client) roundTrip(ctx context.Context, req lockd.Request) (lockd.Response, error) {
-	for i := 0; i < 2; i++ {
+	for i := 0; i < 3; i++ {
 		c.mu.Lock()
 		disconnected := c.conn == nil && !c.closed
 		c.mu.Unlock()
@@ -743,8 +869,14 @@ func (c *Client) roundTrip(ctx context.Context, req lockd.Request) (lockd.Respon
 			}
 		}
 		resp, err := c.Call(ctx, req)
-		if errors.Is(err, ErrConnLost) && i == 0 {
-			continue
+		if i+1 < 3 {
+			if errors.Is(err, ErrConnLost) {
+				continue
+			}
+			if err == nil && resp.Code == lockd.CodeNotLeader {
+				c.redirect(resp.LeaderAddr)
+				continue
+			}
 		}
 		return resp, err
 	}

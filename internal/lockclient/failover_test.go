@@ -1,0 +1,279 @@
+package lockclient
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/lockd"
+	"repro/internal/replica"
+)
+
+// startReplicated spins an in-process replicated cluster: size lockd
+// servers, each gated by a replica node. Returns the comma-joined
+// cluster address, the nodes, and the servers.
+func startReplicated(t *testing.T, size int, lease time.Duration, seed int64) (string, []*replica.Node, []*lockd.Server) {
+	t.Helper()
+	var (
+		nodes []*replica.Node
+		srvs  []*lockd.Server
+		peers []replica.Peer
+		addrs []string
+	)
+	for i := 0; i < size; i++ {
+		node := replica.New(replica.Config{
+			ID:    i + 1,
+			Lease: lease,
+			Seed:  seed,
+			Logf:  func(string, ...any) {},
+		})
+		srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{
+			Replica:      node,
+			DefaultLease: 2 * lease,
+		})
+		if err != nil {
+			t.Fatalf("serve node %d: %v", i+1, err)
+		}
+		nodes = append(nodes, node)
+		srvs = append(srvs, srv)
+		peers = append(peers, replica.Peer{ID: i + 1, Addr: srv.Addr()})
+		addrs = append(addrs, srv.Addr())
+	}
+	for i, n := range nodes {
+		n.Start(srvs[i], peers)
+	}
+	t.Cleanup(func() {
+		for i := range nodes {
+			nodes[i].Close()
+			srvs[i].Close()
+		}
+	})
+	return strings.Join(addrs, ","), nodes, srvs
+}
+
+// waitClusterLeader polls until one node leads; returns its index.
+func waitClusterLeader(t *testing.T, nodes []*replica.Node, skip int) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for i, n := range nodes {
+			if i != skip && n.Gate().Leader {
+				return i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no leader within 5s")
+	return -1
+}
+
+// TestClusterFailoverOnLeaderKill is the client-side half of the HA
+// story: a client holding a session rides a leader SIGKILL — the ring
+// walks to the new leader, the session resumes from replicated state,
+// and tokens stay strictly monotone across the term boundary.
+func TestClusterFailoverOnLeaderKill(t *testing.T) {
+	cluster, nodes, srvs := startReplicated(t, 3, 120*time.Millisecond, 21)
+	li := waitClusterLeader(t, nodes, -1)
+	ctx := context.Background()
+
+	c, err := Dial(cluster, Options{
+		Client:      "ha-client",
+		Heartbeat:   -1,
+		MaxAttempts: 20,
+		BackoffBase: 25 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+		Seed:        9,
+		NoTrace:     true,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	session := c.Session()
+
+	h1, err := c.Acquire(ctx, "ha-lock")
+	if err != nil {
+		t.Fatalf("acquire before failover: %v", err)
+	}
+	if err := c.Release(ctx, h1); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	// SIGKILL the leader, in process: server dies abruptly, replica
+	// loop stops, nothing is cleaned up.
+	nodes[li].Close()
+	srvs[li].Kill()
+
+	start := time.Now()
+	h2, err := c.Acquire(ctx, "ha-lock")
+	if err != nil {
+		t.Fatalf("acquire through failover: %v", err)
+	}
+	took := time.Since(start)
+
+	if h2.Token <= h1.Token {
+		t.Fatalf("token regressed across failover: %d then %d", h1.Token, h2.Token)
+	}
+	if got := c.Session(); got != session {
+		t.Fatalf("session not resumed across failover: %d then %d", session, got)
+	}
+	if got := c.Stats().Failovers; got < 1 {
+		t.Fatalf("Failovers = %d, want >= 1", got)
+	}
+	// Bounded failover latency: election delay is lease + pos*lease/2,
+	// so even the slowest permutation slot plus retries fits well inside
+	// a few seconds; a runaway retry loop does not.
+	if took > 4*time.Second {
+		t.Fatalf("failover took %v", took)
+	}
+	if err := c.Release(ctx, h2); err != nil {
+		t.Fatalf("release after failover: %v", err)
+	}
+}
+
+// TestDialThroughLearner starts the address ring on a learner: the
+// hello is rejected NotLeader and the client must chase the hint to the
+// leader without burning a failover.
+func TestDialThroughLearner(t *testing.T) {
+	cluster, nodes, _ := startReplicated(t, 3, 120*time.Millisecond, 33)
+	li := waitClusterLeader(t, nodes, -1)
+	addrs := strings.Split(cluster, ",")
+	// Rotate the ring so a learner comes first.
+	rot := append(append([]string(nil), addrs[(li+1)%3]), addrs[li], addrs[(li+2)%3])
+
+	c, err := Dial(strings.Join(rot, ","), Options{Client: "redir", Heartbeat: -1, NoTrace: true})
+	if err != nil {
+		t.Fatalf("Dial via learner: %v", err)
+	}
+	defer c.Close()
+	h, err := c.Acquire(context.Background(), "r")
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if h.Token == 0 {
+		t.Fatalf("no fencing token")
+	}
+	if got := c.Stats().Failovers; got != 0 {
+		t.Fatalf("Failovers = %d on first connect, want 0", got)
+	}
+}
+
+// TestFailoverResetsBackoff is the regression test for backoff reset on
+// successful failover: growth earned against a dead node must not tax
+// operations against its replacement — but a plain reconnect to the
+// SAME node must keep the grown schedule (that node is still the one
+// shedding us).
+func TestFailoverResetsBackoff(t *testing.T) {
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	c, err := Dial(srv.Addr(), Options{Client: "bo", Heartbeat: -1, NoTrace: true})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	grow := func() {
+		for i := 0; i < 6; i++ {
+			c.bo.next()
+		}
+	}
+	attempt := func() int {
+		c.bo.mu.Lock()
+		defer c.bo.mu.Unlock()
+		return c.bo.attempt
+	}
+	drop := func() {
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		if conn != nil {
+			c.dropConn(conn)
+		}
+	}
+
+	// Reconnect to the same address: the schedule must survive.
+	grow()
+	drop()
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatalf("heartbeat after reconnect: %v", err)
+	}
+	if got := attempt(); got != 6 {
+		t.Fatalf("same-node reconnect changed backoff attempt to %d, want 6", got)
+	}
+	if got := c.Stats().Failovers; got != 0 {
+		t.Fatalf("same-node reconnect counted a failover (%d)", got)
+	}
+
+	// Reconnect that lands on a "different" node (simulated by a stale
+	// lastAddr): the schedule must rewind.
+	c.mu.Lock()
+	c.lastAddr = "127.0.0.1:1" // nothing listens there; just not srv.Addr()
+	c.mu.Unlock()
+	drop()
+	if err := c.Heartbeat(ctx); err != nil {
+		t.Fatalf("heartbeat after failover: %v", err)
+	}
+	if got := attempt(); got != 0 {
+		t.Fatalf("failover left backoff attempt at %d, want 0 (reset)", got)
+	}
+	if got := c.Stats().Failovers; got != 1 {
+		t.Fatalf("Failovers = %d, want 1", got)
+	}
+}
+
+// TestTokenMonotoneAcrossReconnect pins the single-server baseline the
+// replicated cluster must match: a client that reconnects and resumes
+// its session sees strictly growing fencing tokens for a lock across
+// the gap.
+func TestTokenMonotoneAcrossReconnect(t *testing.T) {
+	srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{DefaultLease: time.Second})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	ctx := context.Background()
+
+	c, err := Dial(srv.Addr(), Options{Client: "mono", Heartbeat: -1, NoTrace: true})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	session := c.Session()
+
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		h, err := c.Acquire(ctx, "mono-lock")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		if h.Token <= prev {
+			t.Fatalf("acquire %d: token %d not above %d", i, h.Token, prev)
+		}
+		if last, ok := c.LastToken("mono-lock"); !ok || last != h.Token {
+			t.Fatalf("LastToken = %d,%v, want %d", last, ok, h.Token)
+		}
+		prev = h.Token
+		if err := c.Release(ctx, h); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+		// Sever the connection; the next op reconnects and resumes.
+		c.mu.Lock()
+		conn := c.conn
+		c.mu.Unlock()
+		c.dropConn(conn)
+	}
+	if got := c.Session(); got != session {
+		t.Fatalf("session changed across reconnects: %d then %d", session, got)
+	}
+	// Two of the three severed conns had a follow-up op to force the
+	// reconnect (the last drop is healed by Close's bye, not counted).
+	if got := c.Stats().Reconnects; got < 2 {
+		t.Fatalf("Reconnects = %d, want >= 2", got)
+	}
+}

@@ -91,6 +91,12 @@ type Config struct {
 	// WrapConn, when non-nil, wraps every accepted connection — the
 	// fault-injection hook (see internal/fault.WrapConn).
 	WrapConn func(net.Conn) net.Conn
+	// Replica, when non-nil, puts the server in replicated mode: client
+	// operations are gated on leadership and every state mutation is
+	// quorum-replicated before it is acknowledged. See the Replica
+	// interface in replication.go and internal/replica for the layer
+	// itself.
+	Replica Replica
 	// Logf, when non-nil, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -476,6 +482,23 @@ func (s *Server) serveConn(c net.Conn) {
 			reply(Response{ID: req.ID, Code: CodeBadRequest, Err: "malformed request: " + err.Error()})
 			continue
 		}
+		if req.Op == OpReplAppend || req.Op == OpReplVote {
+			// Peer replication traffic: answered inline (strictly ordered
+			// per conn) and never leadership-gated.
+			if s.cfg.Replica == nil {
+				reply(Response{ID: req.ID, Code: CodeBadRequest, Err: "replication not enabled"})
+			} else {
+				reply(s.cfg.Replica.HandleRepl(req))
+			}
+			continue
+		}
+		if s.cfg.Replica != nil {
+			if g := s.cfg.Replica.Gate(); !g.Leader {
+				reply(Response{ID: req.ID, Code: CodeNotLeader, Err: "not the leader",
+					LeaderAddr: g.LeaderAddr, Term: g.Term})
+				continue
+			}
+		}
 		if req.Op == OpAcquire {
 			req := req
 			pending.Add(1)
@@ -609,6 +632,16 @@ func (s *Server) handleHello(req Request) Response {
 	}
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
+	// Replicated mode: the session must exist on a quorum before the
+	// client learns its id, or a promoted learner would expire grants
+	// bound to a session it never heard of.
+	if err := s.propose(Mutation{Kind: journal.KindSessionOpen, Session: sess.id, Agent: sess.client, DurNs: int64(lease)}); err != nil {
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		return Response{ID: req.ID, Code: CodeUnavailable, Err: "replication quorum unavailable: " + err.Error()}
+	}
+	s.journalSession(journal.KindSessionOpen, sess.id, sess.client, lease)
 	s.ctr.sessionsOpened.Add(1)
 	return Response{ID: req.ID, OK: true, Session: sess.id, LeaseMs: lease.Milliseconds()}
 }
@@ -726,12 +759,54 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		return Response{ID: req.ID, Code: CodeTimeout, Err: fmt.Sprintf("lock %q not acquired within %v", req.Lock, wait)}
 	}
 
+	// Replicated mode: mint the token now and ship the grant to a
+	// quorum BEFORE acknowledging — a promoted learner must know every
+	// token ever granted. Holding the native mutex serializes grants on
+	// this lock, so reading fence without keeping lk.mu across the
+	// network round-trip is safe: nothing else can advance it.
+	var tok uint64
+	if s.cfg.Replica != nil {
+		lk.mu.Lock()
+		tok = lk.fence + 1
+		lk.mu.Unlock()
+		if err := s.propose(Mutation{
+			Kind: journal.KindAcquire, Lock: req.Lock, Agent: actor,
+			Session: sess.id, Token: tok, Trace: uint64(tr), DurNs: int64(time.Since(qstart)),
+		}); err != nil {
+			// No quorum. The entry stays in the local log (it may already
+			// sit on some learners), so burn the token and append a
+			// compensating release — then give the grant back.
+			lk.mu.Lock()
+			if lk.fence < tok {
+				lk.fence = tok
+			}
+			lk.mu.Unlock()
+			s.propose(Mutation{Kind: journal.KindRelease, Lock: req.Lock, Agent: actor, Session: sess.id, Token: tok}) //nolint:errcheck // best-effort compensation
+			lk.m.Unlock()
+			s.cfg.Graph.RemoveWait(actor, req.Lock)
+			s.cfg.Flight.Record(req.Lock, "abort", actor, "replication quorum unavailable")
+			s.cfg.Recorder.Record(queueSpan("unreplicated"))
+			s.journalRec(journal.KindAbort, lk, sess, 0, tr, time.Since(qstart))
+			return Response{ID: req.ID, Code: CodeUnavailable, Err: "replication quorum unavailable: " + err.Error()}
+		}
+	}
+
 	// Grant: bind the tenure to the session under session.mu so the
 	// lease sweeper can never observe a half-recorded holder, and mint
 	// the fencing token. (Lock order: session.mu, then servedLock.mu.)
 	sess.mu.Lock()
 	if sess.expired {
 		sess.mu.Unlock()
+		if tok != 0 {
+			// The replicated grant must not dangle: burn the token and
+			// log the give-back.
+			lk.mu.Lock()
+			if lk.fence < tok {
+				lk.fence = tok
+			}
+			lk.mu.Unlock()
+			s.propose(Mutation{Kind: journal.KindRelease, Lock: req.Lock, Agent: actor, Session: sess.id, Token: tok}) //nolint:errcheck // best-effort compensation
+		}
 		lk.m.Unlock() // lease lapsed while we waited: give the grant back
 		s.cfg.Graph.RemoveWait(actor, req.Lock)
 		s.cfg.Flight.Record(req.Lock, "abort", actor, "lease expired while waiting")
@@ -739,8 +814,12 @@ func (s *Server) handleAcquire(ctx context.Context, req Request) Response {
 		return Response{ID: req.ID, Code: CodeExpired, Err: "session lease expired while waiting"}
 	}
 	lk.mu.Lock()
-	lk.fence++
-	tok := lk.fence
+	if tok != 0 {
+		lk.fence = tok
+	} else {
+		lk.fence++
+		tok = lk.fence
+	}
 	lk.holderSession, lk.holderToken = sess.id, tok
 	lk.holdTrace, lk.holdParent = tr, qspan
 	lk.holdStart, lk.holderName = time.Now(), actor
@@ -824,6 +903,22 @@ func (s *Server) handleRelease(req Request) Response {
 		s.ctr.staleReleases.Add(1)
 		return Response{ID: req.ID, OK: true, Code: CodeStaleToken}
 	}
+	// Replicated mode: a live release is a state mutation — quorum-ack it
+	// before the lock moves. If the tenure ends concurrently (sweeper),
+	// the proposed release becomes a harmless duplicate in the log.
+	if s.cfg.Replica != nil {
+		lk.mu.Lock()
+		live := lk.holderSession == sess.id && lk.holderToken == req.Token
+		lk.mu.Unlock()
+		if live {
+			if err := s.propose(Mutation{
+				Kind: journal.KindRelease, Lock: req.Lock, Agent: actorName(sess),
+				Session: sess.id, Token: req.Token,
+			}); err != nil {
+				return Response{ID: req.ID, Code: CodeUnavailable, Err: "replication quorum unavailable: " + err.Error()}
+			}
+		}
+	}
 	sess.mu.Lock()
 	if sess.held[req.Lock] == req.Token {
 		delete(sess.held, req.Lock)
@@ -863,21 +958,32 @@ func (s *Server) handleReconfigure(req Request) Response {
 	if err != nil {
 		return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
 	}
+	// Validate before replicating so a bad request never reaches the log.
+	var pol native.Policy
 	if req.Policy != "" {
-		p, err := ParsePolicy(req.Policy)
-		if err != nil {
+		if pol, err = ParsePolicy(req.Policy); err != nil {
 			return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
 		}
-		if err := lk.m.SetPolicy(p); err != nil {
+	}
+	var sched native.Scheduler
+	if req.Sched != "" {
+		if sched, err = ParseScheduler(req.Sched); err != nil {
+			return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
+		}
+	}
+	if err := s.propose(Mutation{
+		Kind: journal.KindReconfig, Lock: req.Lock, Agent: actorName(sess),
+		Session: sess.id, Policy: req.Policy, Sched: req.Sched,
+	}); err != nil {
+		return Response{ID: req.ID, Code: CodeUnavailable, Err: "replication quorum unavailable: " + err.Error()}
+	}
+	if req.Policy != "" {
+		if err := lk.m.SetPolicy(pol); err != nil {
 			return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
 		}
 	}
 	pending := false
 	if req.Sched != "" {
-		sched, err := ParseScheduler(req.Sched)
-		if err != nil {
-			return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
-		}
 		if err := lk.m.SetScheduler(sched); err != nil {
 			return Response{ID: req.ID, Code: CodeBadRequest, Err: err.Error()}
 		}
@@ -952,6 +1058,14 @@ func (s *Server) endSession(sess *session, forced bool) {
 		if lk == nil {
 			continue
 		}
+		// Replicated mode: ship the tenure's end, best-effort — a leader
+		// that lost quorum must still recover locally (its lease will
+		// fence it shortly), and a demoted replica must not propose.
+		mkind := journal.KindRelease
+		if forced {
+			mkind = journal.KindOwnerDead
+		}
+		s.proposeIfLeader(Mutation{Kind: mkind, Lock: name, Agent: actorName(sess), Session: sess.id, Token: tok})
 		lk.mu.Lock()
 		if lk.holderSession != sess.id || lk.holderToken != tok {
 			lk.mu.Unlock()
@@ -989,6 +1103,8 @@ func (s *Server) endSession(sess *session, forced bool) {
 		s.cfg.Flight.Record(name, kind, holder, fmt.Sprintf("token=%d", tok))
 		s.journalRec(jkind, lk, sess, tok, holdTrace, holdDur)
 	}
+	s.proposeIfLeader(Mutation{Kind: journal.KindSessionEnd, Session: sess.id, Agent: sess.client})
+	s.journalSession(journal.KindSessionEnd, sess.id, sess.client, 0)
 	if forced {
 		s.ctr.sessionsExpired.Add(1)
 		s.logf("lockd: session %d (%s) lease expired; recovered %d lock(s)", sess.id, sess.client, len(held))

@@ -38,6 +38,12 @@ const (
 	OpStat = "stat"
 	// OpBye ends the session, releasing every lock it still holds.
 	OpBye = "bye"
+	// OpReplAppend ships replication-log entries (and, with no entries,
+	// leader heartbeats) from the leader to a learner. Peer-to-peer only;
+	// rides the same wire as client traffic.
+	OpReplAppend = "repl-append"
+	// OpReplVote requests a leadership vote for Term from a peer.
+	OpReplVote = "repl-vote"
 )
 
 // Response codes (Code is empty on a plain success).
@@ -62,6 +68,14 @@ const (
 	CodeBadRequest = "bad-request"
 	// CodeShutdown rejects requests arriving while the server drains.
 	CodeShutdown = "shutting-down"
+	// CodeNotLeader rejects a client operation sent to a replica that is
+	// not the cluster leader; LeaderAddr in the response hints where to
+	// go instead (empty mid-election).
+	CodeNotLeader = "not-leader"
+	// CodeUnavailable rejects a state mutation the leader could not
+	// replicate to a quorum — retriable once the cluster heals or a new
+	// leader emerges.
+	CodeUnavailable = "unavailable"
 )
 
 // Request is one client->server message.
@@ -95,6 +109,29 @@ type Request struct {
 	// reconfigure
 	Policy string `json:"policy,omitempty"`
 	Sched  string `json:"sched,omitempty"`
+
+	// replication (repl-append, repl-vote): sender's term and replica
+	// id. Appends carry the leader's client-facing address (the NotLeader
+	// hint learners hand out), the log position the entries extend
+	// (PrevIndex = leader log length before them, PrevTerm = term of the
+	// entry just before), and the entries. Votes carry the candidate's
+	// log credentials for the election-safety check.
+	Term       uint64      `json:"term,omitempty"`
+	From       int         `json:"from,omitempty"`
+	LeaderAddr string      `json:"leader_addr,omitempty"`
+	PrevIndex  uint64      `json:"prev_index,omitempty"`
+	PrevTerm   uint64      `json:"prev_term,omitempty"`
+	Entries    []ReplEntry `json:"entries,omitempty"`
+	LogLen     uint64      `json:"log_len,omitempty"`
+	LastTerm   uint64      `json:"last_term,omitempty"`
+}
+
+// ReplEntry is one replication-log entry on the wire: the term it was
+// appended under and the mutation as a self-contained run of journal
+// record frames (journal.EncodeRecordFrames), base64 in JSON.
+type ReplEntry struct {
+	Term   uint64 `json:"term"`
+	Frames []byte `json:"frames"`
 }
 
 // Response is one server->client message.
@@ -117,6 +154,14 @@ type Response struct {
 	// the server-side queue-wait span ID, so client logs can name the
 	// cross-process child span.
 	ServerSpan string `json:"server_span,omitempty"`
+
+	// Replication: the responder's term rides on repl responses and on
+	// NotLeader rejections; NextIndex is the learner's log length after
+	// an append (the leader's resend cursor on a consistency reject);
+	// LeaderAddr is the NotLeader redirect hint.
+	Term       uint64 `json:"term,omitempty"`
+	NextIndex  uint64 `json:"next_index,omitempty"`
+	LeaderAddr string `json:"leader_addr,omitempty"`
 }
 
 // LockStat is one served lock's state in a stat response.

@@ -47,6 +47,11 @@ type Thresholds struct {
 	// ShedSustain: consecutive windows with shedding before the
 	// source-level rule fires (default 2).
 	ShedSustain int
+	// FlapSustain: consecutive windows with a replication term advance
+	// before the leader-flap rule fires (default 2). A single election
+	// is a failover doing its job; back-to-back elections mean
+	// leadership cannot stick.
+	FlapSustain int
 }
 
 func (t Thresholds) withDefaults() Thresholds {
@@ -74,6 +79,9 @@ func (t Thresholds) withDefaults() Thresholds {
 	if t.ShedSustain <= 0 {
 		t.ShedSustain = 2
 	}
+	if t.FlapSustain <= 0 {
+		t.FlapSustain = 2
+	}
 	return t
 }
 
@@ -85,6 +93,7 @@ const (
 	RuleWatchdogTrips  = "watchdog-trips"
 	RuleShedSustained  = "shed-sustained"
 	RuleDeadlock       = "deadlock-suspected"
+	RuleLeaderFlap     = "leader-flap"
 )
 
 // Advice is one structured recommendation from the evaluator.
@@ -162,6 +171,7 @@ type lockRules struct {
 type sourceRules struct {
 	shed     condState
 	deadlock condState
+	flap     condState
 }
 
 // Evaluator applies the rules to freshly closed windows. Not
@@ -304,6 +314,16 @@ func (e *Evaluator) EvalSource(source string, w SourceWindow) []Advice {
 		out = append(out, Advice{
 			Seq: w.Seq, Source: source, Rule: RuleDeadlock, Severity: "critical",
 			Detail: fmt.Sprintf("wait-for graph reported %d new suspected deadlock cycles", w.Deadlocks),
+		})
+	}
+	// Leadership flapping: the replication term advancing window after
+	// window means elections keep overturning each other — a lease too
+	// short for the network, or an unstable peer link. One election is
+	// just a failover.
+	if w.Replica && st.flap.step(w.TermDelta > 0, w.TermDelta == 0, t.FlapSustain) {
+		out = append(out, Advice{
+			Seq: w.Seq, Source: source, Rule: RuleLeaderFlap, Severity: "critical",
+			Detail: fmt.Sprintf("replication term advanced in %d consecutive windows (now term %d): leadership is flapping; raise the leader lease or fix the peer links", t.FlapSustain, w.Term),
 		})
 	}
 	return out

@@ -264,6 +264,56 @@ func TestSourceRules(t *testing.T) {
 	}
 }
 
+// TestLeaderFlapRule drives the replica role/term gauges through the
+// source series: a single election is a failover doing its job (no
+// advice); the term advancing in consecutive windows is flapping. The
+// gauges also surface as the fleet view's role/term.
+func TestLeaderFlapRule(t *testing.T) {
+	state := &synthLock{lock: "L", impl: "native"}
+	extras := map[string]float64{
+		"lockd_replica_role": 2, // leader
+		"lockd_replica_term": 1,
+	}
+	m := newPhaseMonitor(synthSource(state, extras), 2, 1, 32, 8)
+	ctx := context.Background()
+	rules := map[string]int{}
+	round := func(termAdvance float64) {
+		state.acq += 10
+		extras["lockd_replica_term"] += termAdvance
+		for _, a := range m.ScrapeOnce(ctx) {
+			rules[a.Rule]++
+		}
+	}
+	round(0) // prime
+	round(0)
+	round(1) // one election
+	round(0)
+	if rules[RuleLeaderFlap] != 0 {
+		t.Fatalf("leader-flap fired on a single election (%v)", rules)
+	}
+	round(1)
+	round(1) // second consecutive advance: flapping
+	if rules[RuleLeaderFlap] != 1 {
+		t.Fatalf("leader-flap fired %d times, want 1 (%v)", rules[RuleLeaderFlap], rules)
+	}
+	snap := m.Snapshot(0)
+	if len(snap.Sources) != 1 || snap.Sources[0].Role != "leader" || snap.Sources[0].Term != 4 {
+		t.Fatalf("source health missing replica state: %+v", snap.Sources)
+	}
+
+	// An unreplicated source reports no role.
+	plain := New(Config{Thresholds: Thresholds{MinAcquisitions: 2}})
+	st2 := &synthLock{lock: "M", impl: "sim"}
+	plain.AddSource(synthSource(st2, nil))
+	st2.acq += 5
+	plain.ScrapeOnce(ctx)
+	st2.acq += 5
+	plain.ScrapeOnce(ctx)
+	if s := plain.Snapshot(0).Sources[0]; s.Role != "" || s.Term != 0 {
+		t.Fatalf("unreplicated source grew a role: %+v", s)
+	}
+}
+
 // TestResetClearsRuleState: a counter reset (process restart) mid-streak
 // must not let stale windows count toward a rule firing.
 func TestResetClearsRuleState(t *testing.T) {

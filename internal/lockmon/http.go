@@ -80,15 +80,19 @@ func (m *Monitor) RenderDashboard(w io.Writer) {
 	f := m.Snapshot(8)
 	nowNs := m.cfg.Now().UnixNano()
 	fmt.Fprintf(w, "lockmon round %d\n\n", f.Seq)
-	fmt.Fprintf(w, "%-14s %-5s %8s %8s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "LAST ERROR")
+	fmt.Fprintf(w, "%-14s %-5s %8s %8s %-9s %4s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "ROLE", "TERM", "LAST ERROR")
 	for _, s := range f.Sources {
 		up := "up"
 		if !s.Up {
 			up = "DOWN"
 		}
+		role, term := "-", "-"
+		if s.Role != "" {
+			role, term = s.Role, fmt.Sprintf("%d", s.Term)
+		}
 		// Truncate the error so a long dial failure cannot blow the row
 		// past the fixed-width layout.
-		fmt.Fprintf(w, "%-14s %-5s %8d %8d  %s\n", s.Name, up, s.Scrapes, s.Failures, truncate(s.LastErr, 48))
+		fmt.Fprintf(w, "%-14s %-5s %8d %8d %-9s %4s  %s\n", s.Name, up, s.Scrapes, s.Failures, role, term, truncate(s.LastErr, 40))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-14s %-18s %-6s %6s %6s %5s %10s %10s %5s %8s  %s\n",

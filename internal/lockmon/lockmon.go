@@ -13,6 +13,7 @@ package lockmon
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -259,6 +260,10 @@ type SourceHealth struct {
 	Failures int64  `json:"failures"`
 	LastErr  string `json:"last_error,omitempty"`
 	Locks    int    `json:"locks"`
+	// Role/Term mirror the source's replica gauges at its last closed
+	// window; Role is empty for unreplicated sources.
+	Role string `json:"role,omitempty"`
+	Term int64  `json:"term,omitempty"`
 }
 
 // LockHealth is the /fleet view of one lock series.
@@ -289,10 +294,14 @@ func (m *Monitor) Snapshot(recentWindows int) Fleet {
 	defer m.mu.Unlock()
 	f := Fleet{Seq: m.seq}
 	for _, ss := range m.sources {
-		f.Sources = append(f.Sources, SourceHealth{
+		sh := SourceHealth{
 			Name: ss.src.Name(), Up: ss.up, Scrapes: ss.scrapes,
 			Failures: ss.failures, LastErr: ss.lastErr, Locks: len(ss.locks),
-		})
+		}
+		if sw, ok := ss.series.Last(); ok && sw.Replica {
+			sh.Role, sh.Term = roleString(sw.Role), sw.Term
+		}
+		f.Sources = append(f.Sources, sh)
 		for _, name := range ss.order {
 			l := ss.locks[name]
 			last, ok := l.Last()
@@ -312,6 +321,20 @@ func (m *Monitor) Snapshot(recentWindows int) Fleet {
 	}
 	f.Advice = append(f.Advice, m.advice...)
 	return f
+}
+
+// roleString renders a lockd_replica_role gauge value.
+func roleString(role int64) string {
+	switch role {
+	case 0:
+		return "learner"
+	case 1:
+		return "candidate"
+	case 2:
+		return "leader"
+	default:
+		return fmt.Sprintf("role-%d", role)
+	}
 }
 
 // Families exposes the monitor's own health as lockmon_* metric
@@ -344,7 +367,7 @@ func (m *Monitor) Families() []telemetry.Family {
 			Samples: []telemetry.Sample{{Value: float64(m.windowsTotal)}}},
 	}
 	adviceFam := telemetry.Family{Name: "lockmon_advice_total", Help: "Advice records emitted, by rule.", Type: "counter"}
-	for _, rule := range []string{RuleContentionHigh, RuleSpinCandidate, RuleTailStep, RuleWatchdogTrips, RuleShedSustained, RuleDeadlock} {
+	for _, rule := range []string{RuleContentionHigh, RuleSpinCandidate, RuleTailStep, RuleWatchdogTrips, RuleShedSustained, RuleDeadlock, RuleLeaderFlap} {
 		adviceFam.Samples = append(adviceFam.Samples, telemetry.Sample{
 			Labels: []telemetry.Label{{Name: "rule", Value: rule}},
 			Value:  float64(m.adviceTotal[rule]),

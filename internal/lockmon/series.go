@@ -78,6 +78,11 @@ type sourceSample struct {
 	tokens    float64 // granted acquisitions (lockd_acquires_total)
 	reconfigs float64
 	deadlocks float64
+	// Replica gauges, present only when the source is a member of a
+	// replicated lockd cluster (lockd_replica_* families).
+	hasReplica bool
+	role       float64
+	term       float64
 }
 
 // scrapeData is everything extracted from one scrape.
@@ -164,6 +169,11 @@ func extract(fams []telemetry.Family) *scrapeData {
 			d.src.reconfigs = firstValue(f)
 		case "waitgraph_deadlock_suspected_total":
 			d.src.deadlocks = firstValue(f)
+		case "lockd_replica_role":
+			d.src.role = firstValue(f)
+			d.src.hasReplica = true
+		case "lockd_replica_term":
+			d.src.term = firstValue(f)
 		default:
 			if set, ok := scalarInto[f.Name]; ok {
 				for _, s := range f.Samples {
@@ -403,6 +413,14 @@ type SourceWindow struct {
 	Tokens    int64 `json:"tokens"`
 	Reconfigs int64 `json:"reconfigs"`
 	Deadlocks int64 `json:"deadlocks"`
+	// Replica reports whether the source exported lockd_replica_*
+	// families at the closing scrape; Role (0 learner, 1 candidate,
+	// 2 leader) and Term are those gauges, TermDelta the term advance
+	// inside the window — nonzero means an election happened.
+	Replica   bool  `json:"replica,omitempty"`
+	Role      int64 `json:"role,omitempty"`
+	Term      int64 `json:"term,omitempty"`
+	TermDelta int64 `json:"term_delta,omitempty"`
 	Reset     bool  `json:"reset,omitempty"`
 }
 
@@ -437,6 +455,16 @@ func (ss *SourceSeries) observe(seq int, cur sourceSample) (SourceWindow, bool) 
 	w.Tokens = delta(cur.tokens, ss.prev.tokens)
 	w.Reconfigs = delta(cur.reconfigs, ss.prev.reconfigs)
 	w.Deadlocks = delta(cur.deadlocks, ss.prev.deadlocks)
+	if cur.hasReplica {
+		w.Replica = true
+		w.Role = int64(cur.role)
+		w.Term = int64(cur.term)
+		if ss.prev.hasReplica {
+			// Terms only ever advance within one process lifetime; a
+			// backwards move is a restart like any other counter reset.
+			w.TermDelta = delta(cur.term, ss.prev.term)
+		}
+	}
 	ss.prev = cur
 	ss.win[ss.head] = w
 	ss.head = (ss.head + 1) % len(ss.win)

@@ -1,0 +1,803 @@
+// Package replica turns a set of lockd servers into a leader/learner
+// replicated cluster, so the lock service survives the death of the
+// machine serving it — the robustness axis of the paper's configurable
+// locks carried one level further than a single server's lease sweeps.
+//
+// The design is a deliberately small lease-and-log protocol (a Raft
+// subset shaped to the lock service's needs):
+//
+//   - One leader serves clients; every state mutation (session open,
+//     grant, release, expiry, reconfigure) is appended to an ordered
+//     replication log and shipped to learners BEFORE the client sees
+//     the ack, so a promoted learner always resumes with a token floor
+//     >= anything ever granted — fencing-token monotonicity survives
+//     the failover.
+//   - Leadership is a lease: each quorum of append acks extends it by
+//     one lease interval from the instant the round started. A leader
+//     that cannot reach a quorum stops serving when the lease runs out
+//     (lockd's gate answers NotLeader) and fences its own sessions, so
+//     a partitioned ex-leader can never mint grants against state a
+//     newer term owns.
+//   - Elections are deterministic under a seed: candidates for term T
+//     delay by their position in a seeded permutation of the member
+//     ids, spaced half a lease apart, so the same seed and the same
+//     fault script elect the same leaders in the same order — chaos
+//     runs are reproducible, not merely convergent.
+//   - Log consistency is Raft's: appends carry (PrevIndex, PrevTerm);
+//     learners reject mismatches and the leader backs its cursor up
+//     until the logs agree, truncating a deposed leader's uncommitted
+//     suffix. Votes carry (LastTerm, LogLen) so a candidate missing
+//     acknowledged entries cannot win.
+//
+// Log entries reuse the journal's CRC-framed binary record format
+// (journal.EncodeRecordFrames): a replicated mutation IS a journal
+// record in flight, and learners echo applied entries into their own
+// journals, so the merged journals of a whole cluster replay into one
+// verifiable history (journal.Verify's replicated mode).
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/lockd"
+	"repro/internal/telemetry"
+)
+
+// Role is a node's place in the cluster.
+type Role int
+
+const (
+	// RoleLearner follows the leader's log and waits to be needed.
+	RoleLearner Role = iota
+	// RoleCandidate is mid-election for a new term.
+	RoleCandidate
+	// RoleLeader serves clients under a live lease.
+	RoleLeader
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleLearner:
+		return "learner"
+	case RoleCandidate:
+		return "candidate"
+	case RoleLeader:
+		return "leader"
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// Transition is one observed leadership change. Every node keeps its
+// trace of them; chaos tests assert that the same seed and the same
+// fault script produce identical traces run over run.
+type Transition struct {
+	Term   uint64
+	Leader int
+}
+
+// ErrNotLeader is Propose's answer on a non-leader.
+var ErrNotLeader = errors.New("replica: not the leader")
+
+// Config configures one replica node.
+type Config struct {
+	// ID is this node's replica id; must match its entry in the Peers
+	// slice handed to Start.
+	ID int
+	// Lease is the leadership lease. A leader renews it on every
+	// quorum-acked broadcast; learners start elections after it lapses
+	// with no leader contact. Default 1s.
+	Lease time.Duration
+	// Seed orders elections: every node must carry the same seed.
+	Seed int64
+	// Journal, when non-nil, receives an echo of every applied log
+	// entry — the learner-side black box that makes merged cluster
+	// journals verifiable.
+	Journal *journal.Journal
+	// Registry, when non-nil, exports the lockd_replica_* families.
+	Registry *telemetry.Registry
+	// Logf receives progress lines (default: the standard logger).
+	Logf func(format string, args ...any)
+	// Dial, when non-nil, replaces net.DialTimeout for peer links —
+	// the hook chaos tests use to interpose fault.Conn or a Breaker.
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// Node is one replica. Create with New, hand to lockd.Serve as its
+// Config.Replica, then Start once every cluster member is listening
+// (two-phase because ":0" addresses exist only after Serve returns).
+type Node struct {
+	cfg   Config
+	lease time.Duration
+	logf  func(string, ...any)
+
+	mu            sync.Mutex
+	srv           *lockd.Server
+	selfAddr      string
+	clusterIDs    []int // sorted, self included
+	role          Role
+	term          uint64
+	votedTerm     uint64 // highest term this node has voted in
+	votedFor      int
+	leaderID      int
+	leaderAddr    string
+	lastLeader    time.Time // last valid leader/candidate contact
+	leaseUntil    time.Time // leader only: lease expiry
+	lastBroadcast time.Time // leader only: last append round
+	log           []lockd.ReplEntry
+	shadow        *shadow
+	next          map[int]uint64 // leader only: per-peer resend cursor
+	transitions   []Transition
+	elections     int64
+	stepdowns     int64
+	started       bool
+	closed        bool
+
+	// proposeMu serializes log appends and broadcast rounds, so entries
+	// ship in append order and heartbeats never interleave a propose.
+	proposeMu sync.Mutex
+
+	peers []*peerConn
+	entry *telemetry.Entry
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates an inert node: it answers replication RPCs (via the lockd
+// server it is configured into) but runs no election until Start.
+func New(cfg Config) *Node {
+	if cfg.Lease <= 0 {
+		cfg.Lease = time.Second
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Node{
+		cfg:    cfg,
+		lease:  cfg.Lease,
+		logf:   logf,
+		shadow: newShadow(),
+		next:   make(map[int]uint64),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Start binds the node to its server and cluster and begins the lease
+// loop. peers must list every member (self included, identified by
+// Config.ID; its Addr is the address NotLeader redirects will name).
+func (n *Node) Start(srv *lockd.Server, peers []Peer) {
+	n.mu.Lock()
+	n.srv = srv
+	ids := make([]int, 0, len(peers))
+	for _, p := range peers {
+		ids = append(ids, p.ID)
+		if p.ID == n.cfg.ID {
+			n.selfAddr = p.Addr
+			continue
+		}
+		n.peers = append(n.peers, &peerConn{id: p.ID, addr: p.Addr, dial: n.cfg.Dial})
+	}
+	sort.Ints(ids)
+	n.clusterIDs = ids
+	n.started = true
+	n.lastLeader = time.Now()
+	n.mu.Unlock()
+	if n.cfg.Registry != nil {
+		name := fmt.Sprintf("lockd-replica-%d", n.cfg.ID)
+		n.entry = n.cfg.Registry.RegisterSource(name, "replica", n.telemetrySnapshot)
+	}
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Close stops the node's loops and closes its peer links. It does NOT
+// stop the lockd server. Idempotent; safe before Start.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	started := n.started
+	n.mu.Unlock()
+	close(n.stop)
+	if started {
+		n.wg.Wait()
+	}
+	for _, p := range n.peers {
+		p.close()
+	}
+	if n.entry != nil {
+		n.entry.Close()
+	}
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// LeaderAddr returns the last known leader address ("" mid-election).
+func (n *Node) LeaderAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderAddr
+}
+
+// LogLen returns the replication log length.
+func (n *Node) LogLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.log)
+}
+
+// Transitions returns this node's observed leadership changes, in
+// order.
+func (n *Node) Transitions() []Transition {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]Transition(nil), n.transitions...)
+}
+
+func (n *Node) quorumLocked() int { return len(n.clusterIDs)/2 + 1 }
+
+func (n *Node) quorum() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quorumLocked()
+}
+
+// Gate implements lockd.Replica: leadership is only asserted while the
+// lease is live, so a partitioned leader stops serving before a new
+// term can start (lease intervals and election delays share the same
+// base, and election delays add at least one full lease on top).
+func (n *Node) Gate() lockd.ReplGate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return lockd.ReplGate{
+		Leader:     n.role == RoleLeader && time.Now().Before(n.leaseUntil),
+		Term:       n.term,
+		LeaderAddr: n.leaderAddr,
+	}
+}
+
+// Propose implements lockd.Replica: append the mutation to the log and
+// ship it; success means a quorum of the cluster holds it. On failure
+// the entry STAYS in the log (it may already sit on some learners) —
+// the server neutralizes failed grants with a compensating release
+// instead of un-appending, so no two histories can disagree about a
+// token.
+func (n *Node) Propose(m lockd.Mutation) error {
+	n.proposeMu.Lock()
+	defer n.proposeMu.Unlock()
+	n.mu.Lock()
+	if !n.started || n.role != RoleLeader {
+		n.mu.Unlock()
+		return ErrNotLeader
+	}
+	n.log = append(n.log, lockd.ReplEntry{
+		Term:   n.term,
+		Frames: encodeMutation(m, time.Now().UnixNano()),
+	})
+	n.shadow.apply(m)
+	n.mu.Unlock()
+	acks := n.broadcast()
+	if q := n.quorum(); acks < q {
+		return fmt.Errorf("replica: mutation reached %d/%d nodes", acks, q)
+	}
+	return nil
+}
+
+// run is the lease loop: leaders heartbeat and step down on lease
+// expiry; learners elect after a quiet period.
+func (n *Node) run() {
+	defer n.wg.Done()
+	tick := n.lease / 16
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		role := n.role
+		leaseUntil := n.leaseUntil
+		idle := time.Since(n.lastBroadcast)
+		quiet := time.Since(n.lastLeader)
+		delay := n.electionDelayLocked()
+		n.mu.Unlock()
+		switch role {
+		case RoleLeader:
+			if time.Now().After(leaseUntil) {
+				n.stepDown("leader lease expired without quorum")
+				continue
+			}
+			if idle >= n.lease/4 {
+				n.proposeMu.Lock()
+				n.broadcast()
+				n.proposeMu.Unlock()
+			}
+		default:
+			if quiet >= delay {
+				n.runElection()
+			}
+		}
+	}
+}
+
+// electionDelayLocked is this node's timeout before it stands for the
+// NEXT term: one lease of patience, plus its position in the seeded
+// permutation of member ids for that term, spaced half a lease apart.
+// Every node computes the same permutation, so candidacies are ordered
+// and well separated — the first live node in the permutation wins,
+// deterministically for a given seed and fault script.
+func (n *Node) electionDelayLocked() time.Duration {
+	ids := append([]int(nil), n.clusterIDs...)
+	seed := int64(uint64(n.cfg.Seed) ^ (n.term+1)*0x9e3779b97f4a7c15)
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	pos := 0
+	for i, id := range ids {
+		if id == n.cfg.ID {
+			pos = i
+			break
+		}
+	}
+	return n.lease + time.Duration(pos)*(n.lease/2)
+}
+
+// runElection stands for term+1 and, on a quorum of votes, promotes
+// this node: the shadow state becomes the serving state.
+func (n *Node) runElection() {
+	n.mu.Lock()
+	if n.role == RoleLeader || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.term++
+	term := n.term
+	n.role = RoleCandidate
+	n.votedTerm, n.votedFor = term, n.cfg.ID
+	n.lastLeader = time.Now()
+	n.elections++
+	logLen := uint64(len(n.log))
+	var lastTerm uint64
+	if logLen > 0 {
+		lastTerm = n.log[logLen-1].Term
+	}
+	peers := n.peers
+	self := n.selfAddr
+	n.mu.Unlock()
+	n.logf("replica %d: standing for term %d", n.cfg.ID, term)
+
+	req := lockd.Request{
+		Op:         lockd.OpReplVote,
+		Term:       term,
+		From:       n.cfg.ID,
+		LeaderAddr: self,
+		LogLen:     logLen,
+		LastTerm:   lastTerm,
+	}
+	start := time.Now()
+	votes := 1 // self
+	var maxTerm uint64
+	var vmu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peerConn) {
+			defer wg.Done()
+			resp, err := p.call(req, n.lease/2)
+			if err != nil {
+				return
+			}
+			vmu.Lock()
+			if resp.OK {
+				votes++
+			} else if resp.Term > maxTerm {
+				maxTerm = resp.Term
+			}
+			vmu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	if n.role != RoleCandidate || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	if maxTerm > term {
+		// Outvoted by a higher term: adopt it so the next candidacy
+		// outbids it, and go back to waiting.
+		n.term = maxTerm
+		n.role = RoleLearner
+		n.lastLeader = time.Now()
+		n.mu.Unlock()
+		return
+	}
+	q := n.quorumLocked()
+	if votes < q {
+		n.role = RoleLearner
+		n.mu.Unlock()
+		n.logf("replica %d: lost election for term %d (%d/%d votes)", n.cfg.ID, term, votes, q)
+		return
+	}
+	n.role = RoleLeader
+	n.leaderID, n.leaderAddr = n.cfg.ID, n.selfAddr
+	// The vote quorum backs the first lease interval.
+	n.leaseUntil = start.Add(n.lease)
+	n.lastBroadcast = time.Time{}
+	for _, p := range n.peers {
+		n.next[p.id] = uint64(len(n.log))
+	}
+	st := n.shadow.snapshot(term)
+	n.transitions = append(n.transitions, Transition{Term: term, Leader: n.cfg.ID})
+	srv := n.srv
+	n.mu.Unlock()
+	n.logf("replica %d: won term %d (%d/%d votes), installing %d session(s), %d lock(s)",
+		n.cfg.ID, term, votes, q, len(st.Sessions), len(st.Locks))
+	if srv != nil {
+		srv.InstallReplicaState(st)
+	}
+	// Announce immediately so learners learn the new leader's address
+	// before clients start getting redirected.
+	n.proposeMu.Lock()
+	n.broadcast()
+	n.proposeMu.Unlock()
+}
+
+// stepDown demotes a leader whose lease ran out: sessions are fenced so
+// this side of a partition can never serve stale grants.
+func (n *Node) stepDown(reason string) {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	n.role = RoleLearner
+	n.leaderID, n.leaderAddr = 0, ""
+	n.lastLeader = time.Now()
+	n.stepdowns++
+	srv := n.srv
+	n.mu.Unlock()
+	n.logf("replica %d: stepping down: %s", n.cfg.ID, reason)
+	if srv != nil {
+		srv.FenceSessions(reason)
+	}
+}
+
+// adoptTerm is the response-path demotion: a peer answered with a
+// higher term than ours.
+func (n *Node) adoptTerm(term uint64, reason string) {
+	n.mu.Lock()
+	if term <= n.term && n.role != RoleLeader {
+		n.mu.Unlock()
+		return
+	}
+	wasLeader := n.role == RoleLeader
+	if term > n.term {
+		n.term = term
+	}
+	n.role = RoleLearner
+	n.lastLeader = time.Now()
+	if wasLeader {
+		n.leaderID, n.leaderAddr = 0, ""
+		n.stepdowns++
+	}
+	srv := n.srv
+	n.mu.Unlock()
+	if wasLeader {
+		n.logf("replica %d: demoted: %s", n.cfg.ID, reason)
+		if srv != nil {
+			srv.FenceSessions(reason)
+		}
+	}
+}
+
+// broadcast ships every peer its missing log suffix (an empty suffix
+// is a heartbeat), counts acks, and renews the lease on quorum — from
+// the instant the round STARTED, so the lease never outlives the acks
+// that back it. Called with proposeMu held. Returns acks, self
+// included.
+func (n *Node) broadcast() int {
+	n.mu.Lock()
+	if n.role != RoleLeader {
+		n.mu.Unlock()
+		return 0
+	}
+	term := n.term
+	logLen := uint64(len(n.log))
+	type job struct {
+		p   *peerConn
+		req lockd.Request
+	}
+	jobs := make([]job, 0, len(n.peers))
+	for _, p := range n.peers {
+		ni := n.next[p.id]
+		if ni > logLen {
+			ni = logLen
+		}
+		var prevTerm uint64
+		if ni > 0 {
+			prevTerm = n.log[ni-1].Term
+		}
+		entries := make([]lockd.ReplEntry, logLen-ni)
+		copy(entries, n.log[ni:])
+		jobs = append(jobs, job{p, lockd.Request{
+			Op:         lockd.OpReplAppend,
+			Term:       term,
+			From:       n.cfg.ID,
+			LeaderAddr: n.selfAddr,
+			PrevIndex:  ni,
+			PrevTerm:   prevTerm,
+			Entries:    entries,
+		}})
+	}
+	n.lastBroadcast = time.Now()
+	n.mu.Unlock()
+
+	start := time.Now()
+	acks := 1 // self
+	var maxTerm uint64
+	var amu sync.Mutex
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			resp, err := j.p.call(j.req, n.lease/3)
+			if err != nil {
+				return
+			}
+			n.mu.Lock()
+			if resp.OK || resp.Term <= term {
+				// Ack, or a consistency reject: either way NextIndex is
+				// the peer's resend cursor.
+				n.next[j.p.id] = resp.NextIndex
+			}
+			n.mu.Unlock()
+			amu.Lock()
+			if resp.OK {
+				acks++
+			}
+			if resp.Term > maxTerm {
+				maxTerm = resp.Term
+			}
+			amu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	if maxTerm > term {
+		n.adoptTerm(maxTerm, fmt.Sprintf("superseded by term %d", maxTerm))
+		return acks
+	}
+	if acks >= n.quorum() {
+		n.mu.Lock()
+		if n.role == RoleLeader && n.term == term {
+			if u := start.Add(n.lease); u.After(n.leaseUntil) {
+				n.leaseUntil = u
+			}
+		}
+		n.mu.Unlock()
+	}
+	return acks
+}
+
+// HandleRepl implements lockd.Replica: the server hands peer RPCs here.
+func (n *Node) HandleRepl(req lockd.Request) lockd.Response {
+	switch req.Op {
+	case lockd.OpReplVote:
+		return n.handleVote(req)
+	case lockd.OpReplAppend:
+		return n.handleAppend(req)
+	}
+	return lockd.Response{ID: req.ID, Code: lockd.CodeBadRequest, Err: "replica: unknown op " + req.Op}
+}
+
+// handleVote grants at most one vote per term, and only to candidates
+// whose log is at least as complete as ours — the election-safety half
+// of token monotonicity.
+func (n *Node) handleVote(req lockd.Request) lockd.Response {
+	n.mu.Lock()
+	resp := lockd.Response{ID: req.ID}
+	if req.Term < n.term {
+		resp.Term = n.term
+		n.mu.Unlock()
+		return resp
+	}
+	wasLeader := n.role == RoleLeader
+	if req.Term > n.term {
+		n.term = req.Term
+		n.role = RoleLearner
+	}
+	resp.Term = n.term
+	myLen := uint64(len(n.log))
+	var myLast uint64
+	if myLen > 0 {
+		myLast = n.log[myLen-1].Term
+	}
+	upToDate := req.LastTerm > myLast || (req.LastTerm == myLast && req.LogLen >= myLen)
+	if n.votedTerm < req.Term && upToDate {
+		n.votedTerm, n.votedFor = req.Term, req.From
+		n.lastLeader = time.Now() // a granted vote restarts our patience
+		resp.OK = true
+	}
+	demoted := wasLeader && n.role != RoleLeader
+	if demoted {
+		n.leaderID, n.leaderAddr = 0, ""
+		n.stepdowns++
+	}
+	srv := n.srv
+	n.mu.Unlock()
+	if demoted {
+		n.logf("replica %d: demoted by election for term %d", n.cfg.ID, req.Term)
+		if srv != nil {
+			srv.FenceSessions(fmt.Sprintf("election for term %d", req.Term))
+		}
+	}
+	return resp
+}
+
+// handleAppend follows the leader: adopt its term, check (PrevIndex,
+// PrevTerm) consistency, cut any conflicting suffix (rebuilding the
+// shadow by replay), append and apply what is genuinely new, and echo
+// applied entries into the local journal.
+func (n *Node) handleAppend(req lockd.Request) lockd.Response {
+	n.mu.Lock()
+	resp := lockd.Response{ID: req.ID}
+	if req.Term < n.term {
+		resp.Term = n.term
+		n.mu.Unlock()
+		return resp
+	}
+	wasLeader := n.role == RoleLeader && req.From != n.cfg.ID
+	n.term = req.Term
+	n.role = RoleLearner
+	n.leaderID, n.leaderAddr = req.From, req.LeaderAddr
+	n.lastLeader = time.Now()
+	resp.Term = n.term
+	tr := Transition{Term: req.Term, Leader: req.From}
+	if len(n.transitions) == 0 || n.transitions[len(n.transitions)-1] != tr {
+		n.transitions = append(n.transitions, tr)
+	}
+	logLen := uint64(len(n.log))
+	switch {
+	case req.PrevIndex > logLen:
+		// We are missing entries before this batch: back the leader up.
+		resp.NextIndex = logLen
+	case req.PrevIndex > 0 && n.log[req.PrevIndex-1].Term != req.PrevTerm:
+		// The entry before the batch disagrees: back up past it.
+		resp.NextIndex = req.PrevIndex - 1
+	default:
+		idx := req.PrevIndex
+		ents := req.Entries
+		// Skip what we already hold (same index, same term): re-sent
+		// batches after a lost ack must not re-apply.
+		for len(ents) > 0 && idx < uint64(len(n.log)) && n.log[idx].Term == ents[0].Term {
+			idx++
+			ents = ents[1:]
+		}
+		if len(ents) > 0 {
+			if idx < uint64(len(n.log)) {
+				// Conflicting suffix from a deposed leader: cut it and
+				// rebuild the shadow from the log that remains.
+				n.log = n.log[:idx]
+				n.shadow = replayShadow(n.log)
+			}
+			for _, e := range ents {
+				n.log = append(n.log, e)
+				m, err := decodeMutation(e.Frames)
+				if err != nil {
+					n.logf("replica %d: undecodable log entry %d: %v", n.cfg.ID, len(n.log)-1, err)
+					continue
+				}
+				n.shadow.apply(m)
+				n.journalApply(m)
+			}
+		}
+		resp.OK = true
+		resp.NextIndex = uint64(len(n.log))
+	}
+	srv := n.srv
+	n.mu.Unlock()
+	if wasLeader {
+		n.logf("replica %d: demoted by leader %d (term %d)", n.cfg.ID, req.From, req.Term)
+		if srv != nil {
+			srv.FenceSessions(fmt.Sprintf("superseded by leader %d term %d", req.From, req.Term))
+		}
+	}
+	return resp
+}
+
+// journalApply echoes an applied log entry into this node's journal,
+// stamped with apply time: the learner's black box of the replicated
+// history. journal.Verify's replicated mode dedups these echoes against
+// the leader's own records.
+func (n *Node) journalApply(m lockd.Mutation) {
+	j := n.cfg.Journal
+	if j == nil {
+		return
+	}
+	rec := journal.Record{
+		Kind:   m.Kind,
+		Origin: journal.OriginLockd,
+		AtNs:   time.Now().UnixNano(),
+		DurNs:  m.DurNs,
+		Token:  m.Token,
+		Tag:    m.Session,
+		Trace:  m.Trace,
+	}
+	if m.Lock != "" {
+		rec.Lock = j.InternLock(m.Lock)
+	}
+	if m.Agent != "" {
+		rec.Agent = j.InternAgent(m.Agent)
+	}
+	j.Append(rec)
+}
+
+// telemetrySnapshot is the registry pull for the lockd_replica_*
+// families.
+func (n *Node) telemetrySnapshot() telemetry.LockSnapshot {
+	n.mu.Lock()
+	role, term := n.role, n.term
+	logLen := uint64(len(n.log))
+	var lag uint64
+	if role == RoleLeader {
+		for _, p := range n.peers {
+			if ni := n.next[p.id]; logLen > ni && logLen-ni > lag {
+				lag = logLen - ni
+			}
+		}
+	}
+	elections, stepdowns := n.elections, n.stepdowns
+	n.mu.Unlock()
+	return telemetry.LockSnapshot{
+		Name: fmt.Sprintf("lockd-replica-%d", n.cfg.ID),
+		Impl: "replica",
+		Extra: []telemetry.ExtraPoint{
+			{Name: "lockd_replica_role", Help: "Replica role: 0 learner, 1 candidate, 2 leader.",
+				Gauge: true, Value: int64(role)},
+			{Name: "lockd_replica_term", Help: "Current replication term.",
+				Gauge: true, Value: int64(term)},
+			{Name: "lockd_replica_log_len", Help: "Replication log length in entries.",
+				Gauge: true, Value: int64(logLen)},
+			{Name: "lockd_replica_log_lag", Help: "Worst peer replication lag in entries (leader only).",
+				Gauge: true, Value: int64(lag)},
+			{Name: "lockd_replica_elections_total", Help: "Elections this node has started.",
+				Value: elections},
+			{Name: "lockd_replica_stepdowns_total", Help: "Times this node lost or gave up leadership.",
+				Value: stepdowns},
+		},
+	}
+}
