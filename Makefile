@@ -6,9 +6,10 @@ GO ?= go
 BENCH_OUT ?= BENCH_pr8.json
 JOURNAL_SMOKE_DIR ?= $(CURDIR)/.journal-smoke
 HA_SMOKE_DIR ?= $(CURDIR)/.ha-smoke
+TIMELINE_SMOKE_DIR ?= $(CURDIR)/.timeline-smoke
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke clean
+.PHONY: all build vet staticcheck test race check bench bench-out benchdiff verify chaos fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke timeline-smoke clean
 
 all: check
 
@@ -34,7 +35,7 @@ test:
 race:
 	$(GO) test -race -timeout 10m ./...
 
-check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke benchdiff
+check: build vet staticcheck race fuzz serve-smoke lockd-smoke deadlock-smoke lockmon-smoke journal-smoke ha-smoke timeline-smoke benchdiff
 
 # Regenerate the paper's tables and figures.
 bench:
@@ -95,6 +96,16 @@ journal-smoke:
 ha-smoke:
 	HA_SMOKE_DIR=$(HA_SMOKE_DIR) $(GO) test ./internal/replica -race -count=1 -v -run 'TestChaosKillLeaderMidHold|TestChaosPartitionLeaderSplitBrain|TestChaosSameSeedSameTrace'
 	$(GO) test ./internal/lockclient -race -count=1 -v -run 'TestClusterFailoverOnLeaderKill|TestFailoverResetsBackoff'
+
+# Cluster-timeline smoke: a two-node replicated cluster with wall
+# clocks skewed ±100ms serves a real client under the race detector.
+# The merged per-node + client journals must verify clean in HLC order,
+# while the same records merged by raw wall instants show the
+# grant-before-release inversion HLC ordering exists to prevent.
+# TIMELINE_SMOKE_DIR keeps the journal segments on failure so CI can
+# upload them as an artifact.
+timeline-smoke:
+	TIMELINE_SMOKE_DIR=$(TIMELINE_SMOKE_DIR) $(GO) test ./internal/replica -race -count=1 -v -run TestTimelineSmokeSkewedCluster
 
 # PASS/FAIL check of every reproduction claim.
 verify:

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 )
 
@@ -23,7 +24,12 @@ func main() {
 		dir       = flag.String("dir", ".", "directory searched for BENCH_*.json when no files are given")
 		threshold = flag.Float64("threshold", 25, "allowed worsening in percent")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "benchdiff")
+		return
+	}
 
 	var oldPath, newPath string
 	switch flag.NArg() {

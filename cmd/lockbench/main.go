@@ -18,24 +18,30 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
 	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		all    = flag.Bool("all", false, "run every experiment")
-		quick  = flag.Bool("quick", false, "shrink sweeps for a fast run")
-		procs  = flag.Int("procs", 0, "processor count for figure workloads (default 16)")
-		iters  = flag.Int("iters", 0, "lock/unlock iterations per thread (default 40)")
-		seed   = flag.Uint64("seed", 0, "simulation seed (default 1993)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "shrink sweeps for a fast run")
+		procs    = flag.Int("procs", 0, "processor count for figure workloads (default 16)")
+		iters    = flag.Int("iters", 0, "lock/unlock iterations per thread (default 40)")
+		seed     = flag.Uint64("seed", 0, "simulation seed (default 1993)")
 		format   = flag.String("format", "text", "output format: text|json")
 		verify   = flag.Bool("verify", false, "verify every reproduction claim (PASS/FAIL report) and exit")
 		benchOut = flag.String("bench-out", "", "write a machine-readable benchmark summary (lock-op costs + per-policy contention sweep) to this file")
 	)
 	sf := scenario.AddServeFlags(nil, "lockbench")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "lockbench")
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

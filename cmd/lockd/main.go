@@ -43,8 +43,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/causal"
 	"repro/internal/fault"
+	"repro/internal/hlc"
 	"repro/internal/journal"
 	"repro/internal/lockd"
 	"repro/internal/replica"
@@ -72,8 +74,15 @@ func main() {
 		replicaID   = flag.Int("replica-id", 0, "this member's id in -peers")
 		leaderLease = flag.Duration("leader-lease", time.Second, "leader lease; elections start after this long without a leader heartbeat")
 		replicaSeed = flag.Int64("replica-seed", 1, "election-ordering seed (same seed, same election order)")
+
+		clockSkew = flag.Duration("clock-skew", 0, "offset this process's wall clock by this much (testing: exercise skewed fleets)")
 	)
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "lockd")
+		return
+	}
 
 	p, err := lockd.ParsePolicy(*policy)
 	if err != nil {
@@ -91,12 +100,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	// One hybrid logical clock per process, shared by the server, the
+	// journal, and the replica node, so every stamped surface reads the
+	// same causal timeline. -clock-skew biases its wall source — the
+	// knob timeline-smoke and skewed-fleet rehearsals turn.
+	clock := hlc.Default
+	if *clockSkew != 0 {
+		clock = hlc.NewSkewedClock(*clockSkew)
+		fmt.Fprintf(os.Stderr, "lockd: wall clock skewed by %v\n", *clockSkew)
+	}
 	cfg := lockd.Config{
 		MaxWaiters:   *maxWaiters,
 		DefaultLease: *lease,
 		Policy:       &p,
 		Scheduler:    sc,
 		Registry:     telemetry.Default,
+		Clock:        clock,
 	}
 	if *verbose {
 		cfg.Logf = log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds).Printf
@@ -111,6 +130,7 @@ func main() {
 			SegmentBytes: *journalSeg,
 			MaxSegments:  *journalKeep,
 			Logf:         cfg.Logf,
+			Clock:        clock,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockd:", err)
@@ -146,6 +166,7 @@ func main() {
 			Journal:  cfg.Journal,
 			Registry: telemetry.Default,
 			Logf:     cfg.Logf,
+			Clock:    clock,
 		})
 		cfg.Replica = node
 	}
@@ -188,6 +209,7 @@ func main() {
 
 	var tsrv *telemetry.Server
 	if *serve != "" {
+		telemetry.RegisterBuildInfo() // lockd_build_info on /metrics
 		tsrv, err = telemetry.Serve(*serve)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lockd:", err)

@@ -30,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/causal"
 	"repro/internal/journal"
 )
@@ -39,7 +40,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: lockjournal <dump|segments|merge|verify|waitgraph|chrome> [flags] <dir|proc=dir>...")
 		flag.PrintDefaults()
 	}
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "lockjournal")
+		return
+	}
 	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)

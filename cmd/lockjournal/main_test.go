@@ -14,7 +14,9 @@ import (
 // writeJournal materializes a fixed per-process history on disk.
 func writeJournal(t *testing.T, dir string, recs []journal.Record, locks, agents map[uint32]string) {
 	t.Helper()
-	j, err := journal.Open(journal.Config{Dir: dir, FlushEvery: time.Hour})
+	// Synthetic wall instants: HLC stamping off so the fixture merges
+	// by its scripted timeline, like a pre-HLC journal would.
+	j, err := journal.Open(journal.Config{Dir: dir, FlushEvery: time.Hour, DisableHLC: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/lockclient"
 	"repro/internal/lockmon"
 )
@@ -78,7 +79,12 @@ func main() {
 		targets = append(targets, t)
 		return nil
 	})
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "lockmon")
+		return
+	}
 	if len(targets) == 0 {
 		fmt.Fprintln(os.Stderr, "lockmon: no -target given")
 		flag.Usage()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -111,7 +112,7 @@ type report struct {
 	} `json:"trace"`
 	Telemetry    telemetryReport    `json:"telemetry"`
 	CriticalPath *causal.PathReport `json:"critical_path,omitempty"`
-	Robustness struct {
+	Robustness   struct {
 		Aborts            int64                  `json:"aborts"` // conditional acquisitions that timed out
 		Abandonments      int64                  `json:"abandonments"`
 		OwnerDeaths       int64                  `json:"owner_deaths"`
@@ -141,25 +142,30 @@ type telemetryReport struct {
 
 func main() {
 	var (
-		n       = flag.Int("n", 6, "number of contending threads")
-		iters   = flag.Int("iters", 5, "lock/unlock rounds per thread")
-		policy  = flag.String("policy", "combined", "waiting policy: "+scenario.PolicyNames)
-		sched   = flag.String("sched", "fcfs", "release scheduler: "+scenario.SchedulerNames)
-		cs      = flag.Float64("cs", 300, "critical section length (us)")
-		window  = flag.Float64("window", 500, "sampler window length (us)")
-		events  = flag.Int("events", 4096, "trace ring capacity")
-		agent   = flag.Bool("agent", false, "spawn the mid-run reconfiguration agent")
-		jsonOut = flag.Bool("json", false, "emit the report as JSON on stdout")
-		chrome  = flag.String("chrome", "", "write the event ring as Chrome trace-event JSON to this file")
-		faults  = flag.String("faults", "", "fault schedule, e.g. 'stall:every=3:us=2000,crash:prob=0.1' ("+fault.SpecGrammar+")")
-		seed    = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
-		holdDl  = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
+		n        = flag.Int("n", 6, "number of contending threads")
+		iters    = flag.Int("iters", 5, "lock/unlock rounds per thread")
+		policy   = flag.String("policy", "combined", "waiting policy: "+scenario.PolicyNames)
+		sched    = flag.String("sched", "fcfs", "release scheduler: "+scenario.SchedulerNames)
+		cs       = flag.Float64("cs", 300, "critical section length (us)")
+		window   = flag.Float64("window", 500, "sampler window length (us)")
+		events   = flag.Int("events", 4096, "trace ring capacity")
+		agent    = flag.Bool("agent", false, "spawn the mid-run reconfiguration agent")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON on stdout")
+		chrome   = flag.String("chrome", "", "write the event ring as Chrome trace-event JSON to this file")
+		faults   = flag.String("faults", "", "fault schedule, e.g. 'stall:every=3:us=2000,crash:prob=0.1' ("+fault.SpecGrammar+")")
+		seed     = flag.Int64("fault-seed", 1, "fault-schedule seed (same seed => same injected faults)")
+		holdDl   = flag.Float64("hold-deadline", 0, "watchdog hold deadline (us, 0 = off; defaults to 4x cs with crash faults)")
 		degrade  = flag.Bool("degrade", false, "spawn the degrade agent: watchdog trips switch the lock to the sleep policy")
 		name     = flag.String("name", "lockstat", "lock name in the telemetry registry")
 		critPath = flag.Bool("critical-path", false, "record causal spans and report the serialized chain contributing most wall time")
 	)
 	sf := scenario.AddServeFlags(nil, "lockstat")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "lockstat")
+		return
+	}
 
 	if *n <= 0 || *iters <= 0 || *window <= 0 || *events <= 0 || *cs <= 0 {
 		fmt.Fprintln(os.Stderr, "lockstat: -n, -iters, -window, -events and -cs must be positive")

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/journal"
+)
+
+// skewedFixture scripts a leader journal running 50ms fast and a
+// learner journal running 50ms slow through one grant-release-grant
+// failover sequence, with the HLC hand-offs log shipping performs.
+// Scripted wall sources make every stamp — and so every rendering —
+// identical run over run.
+func skewedFixture(t *testing.T) (leaderDir, learnerDir string) {
+	t.Helper()
+	base := t.TempDir()
+	leaderDir = filepath.Join(base, "leader")
+	learnerDir = filepath.Join(base, "learner")
+
+	trueNow := int64(1_700_000_000_000_000_000)
+	const skew = 50 * int64(time.Millisecond)
+	leaderC := hlc.NewClockAt(func() int64 { return trueNow + skew })
+	learnerC := hlc.NewClockAt(func() int64 { return trueNow - skew })
+
+	leader, err := journal.Open(journal.Config{Dir: leaderDir, FlushEvery: time.Hour, Clock: leaderC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := journal.Open(journal.Config{Dir: learnerDir, FlushEvery: time.Hour, Clock: learnerC})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	step := func(kind journal.Kind, token uint64, agent string) {
+		trueNow += 10 * int64(time.Millisecond)
+		leader.Append(journal.Record{
+			Kind: kind, Origin: journal.OriginLockd, Token: token,
+			AtNs: leaderC.PhysNow(), Lock: leader.InternLock("orders"), Agent: leader.InternAgent(agent),
+		})
+		learnerC.Update(leaderC.Now()) // log shipping carries the leader's HLC
+	}
+	step(journal.KindAcquire, 1, "alice")
+	step(journal.KindRelease, 1, "alice")
+
+	// Failover: the learner grants token 2, wall-stamped in the past.
+	trueNow += 10 * int64(time.Millisecond)
+	learner.Append(journal.Record{
+		Kind: journal.KindAcquire, Origin: journal.OriginLockd, Token: 2,
+		AtNs: learnerC.PhysNow(), Lock: learner.InternLock("orders"), Agent: learner.InternAgent("bob"),
+		DurNs: 5 * int64(time.Millisecond), // waited through the election
+	})
+
+	leader.Flush()
+	leader.Close()
+	learner.Flush()
+	learner.Close()
+	return leaderDir, learnerDir
+}
+
+func TestHistoryOrdersCausally(t *testing.T) {
+	leaderDir, learnerDir := skewedFixture(t)
+	args := []string{"leader=" + leaderDir, "learner=" + learnerDir}
+
+	// Wall order lies: the failover grant renders before the release.
+	var wall bytes.Buffer
+	if err := cmdHistory(&wall, append([]string{"-order", "wall"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	wallOut := wall.String()
+	if strings.Index(wallOut, "token=2") > strings.Index(wallOut, "release") {
+		t.Fatalf("wall order shows no inversion:\n%s", wallOut)
+	}
+
+	// HLC order (the default) puts it right — and renders identically
+	// on every run.
+	var a, b bytes.Buffer
+	if err := cmdHistory(&a, args); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdHistory(&b, args); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatal("history rendering not deterministic")
+	}
+	if strings.Index(a.String(), "token=2") < strings.Index(a.String(), "release") {
+		t.Fatalf("HLC order still inverted:\n%s", a.String())
+	}
+
+	// -lock filter and -n limit.
+	var filtered bytes.Buffer
+	if err := cmdHistory(&filtered, append([]string{"-lock", "orders", "-n", "1"}, args...)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(filtered.String()), "\n")
+	if len(lines) != 1 || !strings.Contains(lines[0], "token=2") {
+		t.Fatalf("history -n 1 = %q", filtered.String())
+	}
+}
+
+func TestHistoryChromeSkewCorrect(t *testing.T) {
+	leaderDir, learnerDir := skewedFixture(t)
+	var out bytes.Buffer
+	err := cmdHistory(&out, []string{"-o", "chrome", "-skew-correct",
+		"leader=" + leaderDir, "learner=" + learnerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Pid int     `json:"pid"`
+			Ts  float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome JSON: %v\n%s", err, out.String())
+	}
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("span pids = %v, want one lane per process", pids)
+	}
+}
+
+func TestHoldersAfterFailover(t *testing.T) {
+	leaderDir, learnerDir := skewedFixture(t)
+	var out bytes.Buffer
+	err := cmdHolders(&out, []string{"-json", "leader=" + leaderDir, "learner=" + learnerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cut journal.Cut
+	if err := json.Unmarshal(out.Bytes(), &cut); err != nil {
+		t.Fatalf("holders JSON: %v\n%s", err, out.String())
+	}
+	if len(cut.Holds) != 1 || cut.Holds[0].Token != 2 || !strings.Contains(cut.Holds[0].Actor, "bob") {
+		t.Fatalf("holders = %+v, want bob holding token 2", cut.Holds)
+	}
+}
+
+func TestHandoffChain(t *testing.T) {
+	leaderDir, learnerDir := skewedFixture(t)
+	var out bytes.Buffer
+	err := cmdHandoffs(&out, []string{"-lock", "orders", "-json",
+		"leader=" + leaderDir, "learner=" + learnerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hands []journal.Handoff
+	if err := json.Unmarshal(out.Bytes(), &hands); err != nil {
+		t.Fatalf("handoffs JSON: %v\n%s", err, out.String())
+	}
+	if len(hands) != 1 || !strings.Contains(hands[0].From, "alice") || !strings.Contains(hands[0].To, "bob") {
+		t.Fatalf("handoffs = %+v, want one alice->bob transfer", hands)
+	}
+	if err := cmdHandoffs(&out, []string{"leader=" + leaderDir}); err == nil {
+		t.Fatal("handoffs without -lock accepted")
+	}
+}
+
+func TestSkewEstimates(t *testing.T) {
+	leaderDir, learnerDir := skewedFixture(t)
+	var out bytes.Buffer
+	err := cmdSkew(&out, []string{"-json", "leader=" + leaderDir, "learner=" + learnerDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs map[string]int64
+	if err := json.Unmarshal(out.Bytes(), &offs); err != nil {
+		t.Fatalf("skew JSON: %v\n%s", err, out.String())
+	}
+	// The learner was dragged forward by the +50ms leader (about 90ms
+	// at the grant, modulo HLC packing granularity); the leader's own
+	// clock is the fastest, so its offset is zero.
+	if offs["leader"] != 0 {
+		t.Fatalf("leader offset = %d, want 0", offs["leader"])
+	}
+	if offs["learner"] < 85*int64(time.Millisecond) {
+		t.Fatalf("learner offset = %v, want about 90ms", time.Duration(offs["learner"]))
+	}
+}

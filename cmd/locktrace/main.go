@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/fault"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -38,7 +39,12 @@ func main() {
 		name     = flag.String("name", "locktrace", "lock name in the telemetry registry")
 	)
 	sf := scenario.AddServeFlags(nil, "locktrace")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.PrintVersion(os.Stdout, "locktrace")
+		return
+	}
 
 	if *n <= 0 || *events <= 0 {
 		fmt.Fprintln(os.Stderr, "locktrace: -n and -events must be positive")

@@ -1,0 +1,60 @@
+// Package buildinfo identifies the binary: a version string settable at
+// link time, plus whatever revision metadata the Go toolchain embedded.
+// Every CLI in cmd/ exposes it behind a -version flag, and telemetry
+// exports it as the lockd_build_info gauge, so a fleet operator can tell
+// at a glance which build each scraped process is running — the first
+// question in any cross-node debugging session (see docs/OBSERVABILITY.md).
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the human-facing version of this build. Overridable at
+// link time:
+//
+//	go build -ldflags "-X repro/internal/buildinfo.Version=v1.2.3"
+var Version = "dev"
+
+// Revision returns the VCS revision the toolchain embedded ("" when
+// built outside a checkout or from the module cache), with "+dirty"
+// appended when the working tree had local modifications.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev + dirty
+}
+
+// String renders the one-line identity: version, revision (when known)
+// and the Go toolchain that built the binary.
+func String() string {
+	s := Version
+	if rev := Revision(); rev != "" {
+		s += " (" + rev + ")"
+	}
+	return s + " " + runtime.Version()
+}
+
+// PrintVersion writes the standard -version output for prog.
+func PrintVersion(w io.Writer, prog string) {
+	fmt.Fprintf(w, "%s %s\n", prog, String())
+}

@@ -1,0 +1,27 @@
+package buildinfo
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesVersionAndToolchain(t *testing.T) {
+	s := String()
+	if !strings.Contains(s, Version) {
+		t.Fatalf("String() = %q, missing Version %q", s, Version)
+	}
+	if !strings.Contains(s, runtime.Version()) {
+		t.Fatalf("String() = %q, missing toolchain %q", s, runtime.Version())
+	}
+}
+
+func TestPrintVersion(t *testing.T) {
+	var buf bytes.Buffer
+	PrintVersion(&buf, "lockd")
+	out := buf.String()
+	if !strings.HasPrefix(out, "lockd ") || !strings.HasSuffix(out, "\n") {
+		t.Fatalf("PrintVersion output %q", out)
+	}
+}

@@ -1,0 +1,196 @@
+// Package hlc implements hybrid logical clocks: timestamps that read
+// like wall clocks but order like Lamport clocks. Each timestamp packs
+// a physical instant and a logical counter into one uint64, so plain
+// integer comparison gives an order consistent with message causality —
+// if event a happened-before event b (same process, or a's timestamp
+// travelled to b's process before b was stamped), then HLC(a) < HLC(b),
+// no matter how skewed the machines' wall clocks are.
+//
+// The packing follows the classic 48/16 split: the top 48 bits carry
+// wall nanoseconds truncated to 65536ns (~65µs) granularity, the low 16
+// bits a logical counter that breaks ties when events outpace the wall
+// resolution or a remote clock runs ahead. Overflowing the counter
+// simply carries into the wall bits — the timestamp drifts at most a
+// few microseconds ahead of the wall, which is harmless and keeps the
+// comparison a single integer compare.
+package hlc
+
+import (
+	"sync"
+	"time"
+)
+
+// Time is a packed hybrid logical timestamp. The zero value means
+// "no HLC" (records predating HLC stamping); real timestamps are
+// always nonzero because wall clocks are far from 1970.
+type Time uint64
+
+// logicalBits is the width of the logical counter in a packed Time.
+const logicalBits = 16
+
+// PackWall converts a wall instant (ns since epoch) into the Time that
+// a clock at exactly that instant with logical counter 0 would mint.
+// It is the fallback ordering key for records that carry no HLC.
+func PackWall(wallNs int64) Time { return Time(wallNs) &^ (1<<logicalBits - 1) }
+
+// CutAt returns the largest Time whose physical component is at or
+// before wallNs — the inclusive upper bound for "everything up to
+// instant t" queries over HLC-keyed histories.
+func CutAt(wallNs int64) Time { return PackWall(wallNs) | (1<<logicalBits - 1) }
+
+// WallNs returns the physical component of t in nanoseconds since the
+// epoch (truncated to the packing granularity).
+func (t Time) WallNs() int64 { return int64(t &^ (1<<logicalBits - 1)) }
+
+// Logical returns the tie-breaking counter of t.
+func (t Time) Logical() uint16 { return uint16(t & (1<<logicalBits - 1)) }
+
+// Wall returns the physical component as a time.Time.
+func (t Time) Wall() time.Time { return time.Unix(0, t.WallNs()) }
+
+// Clock is a thread-safe hybrid logical clock. Now mints timestamps
+// for local events; Update merges a timestamp received from another
+// process so subsequent mints order after it. The zero value is not
+// usable — construct with NewClock. All methods tolerate a nil
+// receiver (Now returns 0, Update is a no-op) so HLC stamping can be
+// wired through optional configuration.
+type Clock struct {
+	mu   sync.Mutex
+	last Time
+	wall func() int64
+}
+
+// NewClock returns a clock driven by the real wall clock.
+func NewClock() *Clock { return NewClockAt(func() int64 { return time.Now().UnixNano() }) }
+
+// NewClockAt returns a clock driven by an arbitrary wall source —
+// deterministic tests and skew-injection harnesses supply their own.
+func NewClockAt(wall func() int64) *Clock { return &Clock{wall: wall} }
+
+// NewSkewedClock returns a real-time clock whose wall source reads
+// skew away from the true wall clock, for exercising skewed fleets.
+func NewSkewedClock(skew time.Duration) *Clock {
+	d := int64(skew)
+	return NewClockAt(func() int64 { return time.Now().UnixNano() + d })
+}
+
+// Default is the process-wide clock used when no explicit clock is
+// configured. Sharing one clock between components of a process is
+// exactly right: they share a wall clock too.
+var Default = NewClock()
+
+// Now mints a timestamp for a local event: the wall reading if it has
+// advanced past everything seen, else the last timestamp plus one
+// logical tick. Successive calls are strictly increasing.
+func (c *Clock) Now() Time {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := PackWall(c.wall())
+	if t <= c.last {
+		t = c.last + 1
+	}
+	c.last = t
+	return t
+}
+
+// Update merges a remote timestamp: after Update(t), every future Now
+// returns a value above t. Call it on every received message before
+// stamping any event the message caused.
+func (c *Clock) Update(remote Time) {
+	if c == nil || remote == 0 {
+		return
+	}
+	c.mu.Lock()
+	if remote > c.last {
+		c.last = remote
+	}
+	c.mu.Unlock()
+}
+
+// PhysNow reads the clock's physical wall source directly (no logical
+// component, no merging). It is what a process reports about its own
+// wall clock — the raw material of skew estimation.
+func (c *Clock) PhysNow() int64 {
+	if c == nil {
+		return time.Now().UnixNano()
+	}
+	return c.wall()
+}
+
+// SkewEstimator estimates the offset of one remote clock from local,
+// NTP-style: each request/response exchange where the remote reports
+// its wall reading s between local send t0 and local receive t1 bounds
+// the offset θ = remote − local to [s−t1, s−t0] — an interval of width
+// RTT. The estimator keeps the midpoint of the tightest (smallest-RTT)
+// interval seen over a sliding sample budget, so one slow exchange
+// never wrecks the estimate and a genuinely drifting clock is
+// re-measured as old tight samples age out.
+type SkewEstimator struct {
+	mu       sync.Mutex
+	offsetNs int64 // midpoint of the best interval
+	boundNs  int64 // half-width (RTT/2) of the best interval
+	count    int64 // total samples accepted
+	age      int   // samples since the best interval was set
+	primed   bool
+}
+
+// rebaseAfter forces adoption of the next sample once the current best
+// interval has gone this many samples without being beaten, so drift
+// shows up instead of being masked by one ancient low-RTT sample.
+const rebaseAfter = 64
+
+// AddSample records one exchange: local send instant, local receive
+// instant, and the remote's reported wall reading (all ns since epoch).
+// Samples with a non-positive RTT are discarded.
+func (e *SkewEstimator) AddSample(sentNs, recvNs, remoteWallNs int64) {
+	rtt := recvNs - sentNs
+	if e == nil || rtt <= 0 || remoteWallNs == 0 {
+		return
+	}
+	mid := remoteWallNs - (sentNs + rtt/2)
+	half := rtt / 2
+	e.mu.Lock()
+	e.count++
+	e.age++
+	if !e.primed || half <= e.boundNs || e.age > rebaseAfter {
+		e.offsetNs, e.boundNs = mid, half
+		e.primed, e.age = true, 0
+	}
+	e.mu.Unlock()
+}
+
+// Offset returns the current estimate of remote−local in nanoseconds
+// (positive: the remote clock runs ahead) and whether any sample has
+// been accepted yet.
+func (e *SkewEstimator) Offset() (ns int64, ok bool) {
+	if e == nil {
+		return 0, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.offsetNs, e.primed
+}
+
+// Bound returns the half-width of the interval the estimate came from:
+// the true offset is within ±Bound of Offset.
+func (e *SkewEstimator) Bound() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.boundNs
+}
+
+// Samples returns how many exchanges have been accepted.
+func (e *SkewEstimator) Samples() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}

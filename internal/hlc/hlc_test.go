@@ -1,0 +1,134 @@
+package hlc
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPackWallRoundTrip(t *testing.T) {
+	now := time.Now().UnixNano()
+	p := PackWall(now)
+	if got := p.WallNs(); got > now || now-got >= 1<<logicalBits {
+		t.Fatalf("WallNs(PackWall(%d)) = %d, want within %d below", now, got, 1<<logicalBits)
+	}
+	if p.Logical() != 0 {
+		t.Fatalf("PackWall logical = %d, want 0", p.Logical())
+	}
+}
+
+func TestNowStrictlyMonotonic(t *testing.T) {
+	// A frozen wall source forces every tick through the logical
+	// counter, including carries across the 16-bit boundary.
+	c := NewClockAt(func() int64 { return 1_000_000_000_000 })
+	prev := c.Now()
+	for i := 0; i < 1<<logicalBits+100; i++ {
+		cur := c.Now()
+		if cur <= prev {
+			t.Fatalf("Now not strictly increasing: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestUpdateDragsForward(t *testing.T) {
+	// A clock 50ms behind that receives a message from one 50ms ahead
+	// must stamp subsequent events above the remote timestamp.
+	behind := NewClockAt(func() int64 { return time.Now().UnixNano() - 50*int64(time.Millisecond) })
+	ahead := NewClockAt(func() int64 { return time.Now().UnixNano() + 50*int64(time.Millisecond) })
+	remote := ahead.Now()
+	behind.Update(remote)
+	if got := behind.Now(); got <= remote {
+		t.Fatalf("after Update(%d), Now() = %d, want above", remote, got)
+	}
+	// Causality chain: a < b when a's stamp travelled to b's clock.
+	a := behind.Now()
+	ahead.Update(a)
+	if b := ahead.Now(); b <= a {
+		t.Fatalf("causal order violated: b=%d <= a=%d", b, a)
+	}
+}
+
+func TestNilClockSafe(t *testing.T) {
+	var c *Clock
+	if c.Now() != 0 {
+		t.Fatal("nil Clock.Now() != 0")
+	}
+	c.Update(42) // must not panic
+	if c.PhysNow() == 0 {
+		t.Fatal("nil Clock.PhysNow() = 0")
+	}
+}
+
+func TestClockConcurrent(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := c.Now()
+			for j := 0; j < 1000; j++ {
+				cur := c.Now()
+				if cur <= prev {
+					t.Errorf("per-goroutine monotonicity violated: %d after %d", cur, prev)
+					return
+				}
+				prev = cur
+				c.Update(cur + Time(j%3))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSkewEstimatorBounds(t *testing.T) {
+	var e SkewEstimator
+	if _, ok := e.Offset(); ok {
+		t.Fatal("fresh estimator claims an offset")
+	}
+	// Remote clock exactly 30ms ahead, 2ms RTT, symmetric paths: the
+	// remote samples its wall at the midpoint of the exchange.
+	const off = 30 * int64(time.Millisecond)
+	sent := int64(1_000_000_000_000)
+	recv := sent + 2*int64(time.Millisecond)
+	e.AddSample(sent, recv, (sent+recv)/2+off)
+	got, ok := e.Offset()
+	if !ok || got != off {
+		t.Fatalf("Offset() = %d,%v want %d,true", got, ok, off)
+	}
+	if b := e.Bound(); b != int64(time.Millisecond) {
+		t.Fatalf("Bound() = %d want %d", b, int64(time.Millisecond))
+	}
+	// A high-RTT sample must not displace the tight one...
+	e.AddSample(sent, sent+200*int64(time.Millisecond), (2*sent+200*int64(time.Millisecond))/2+off+int64(5*time.Millisecond))
+	if got, _ := e.Offset(); got != off {
+		t.Fatalf("loose sample displaced tight estimate: %d", got)
+	}
+	// ...but a tighter one refines it.
+	recv2 := sent + 1*int64(time.Millisecond)
+	e.AddSample(sent, recv2, (sent+recv2)/2+off+1000)
+	if got, _ := e.Offset(); got != off+1000 {
+		t.Fatalf("tighter sample not adopted: %d", got)
+	}
+	if e.Samples() != 3 {
+		t.Fatalf("Samples() = %d want 3", e.Samples())
+	}
+}
+
+func TestSkewEstimatorRebase(t *testing.T) {
+	var e SkewEstimator
+	sent := int64(1_000_000_000_000)
+	e.AddSample(sent, sent+1000, sent+500) // tight, offset 0
+	// Age out the tight sample with many looser ones at a new offset —
+	// a drifted clock must eventually show through.
+	const drift = 7 * int64(time.Millisecond)
+	for i := 0; i < rebaseAfter+1; i++ {
+		s := sent + int64(i+1)*10_000
+		r := s + 4000
+		e.AddSample(s, r, (s+r)/2+drift)
+	}
+	if got, _ := e.Offset(); got != drift {
+		t.Fatalf("estimator never rebased: offset %d want %d", got, drift)
+	}
+}

@@ -1,0 +1,249 @@
+package journal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+)
+
+// writeV1Segment materializes a version-1 (64-byte frame, pre-HLC)
+// segment the way the old writer would have, so the reader's
+// backward-compatibility path is pinned against real bytes.
+func writeV1Segment(t *testing.T, dir string, index uint64, recs []Record, lockName string) string {
+	t.Helper()
+	var buf []byte
+	hdr := make([]byte, segHeaderSize)
+	copy(hdr[0:8], segMagicV1)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(time.Now().UnixNano()))
+	binary.LittleEndian.PutUint64(hdr[16:], index)
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.ChecksumIEEE(hdr[:28]))
+	buf = append(buf, hdr...)
+
+	frame := func(fill func(b []byte)) {
+		b := make([]byte, FrameSizeV1)
+		fill(b)
+		binary.LittleEndian.PutUint32(b[FrameSizeV1-4:], crc32.ChecksumIEEE(b[:FrameSizeV1-4]))
+		buf = append(buf, b...)
+	}
+	frame(func(b []byte) {
+		b[0] = frameLockName
+		b[1] = byte(len(lockName))
+		binary.LittleEndian.PutUint32(b[2:], 1)
+		copy(b[6:], lockName)
+	})
+	for _, r := range recs {
+		frame(func(b []byte) {
+			b[0] = frameEvent
+			b[1] = byte(r.Kind)
+			b[2] = byte(r.Origin)
+			binary.LittleEndian.PutUint32(b[4:], 1)
+			binary.LittleEndian.PutUint32(b[8:], r.Agent)
+			binary.LittleEndian.PutUint64(b[12:], uint64(r.AtNs))
+			binary.LittleEndian.PutUint64(b[20:], r.Seq)
+			binary.LittleEndian.PutUint64(b[28:], uint64(r.DurNs))
+			binary.LittleEndian.PutUint64(b[36:], r.Token)
+			binary.LittleEndian.PutUint64(b[44:], r.Tag)
+			binary.LittleEndian.PutUint64(b[52:], r.Trace)
+		})
+	}
+	path := filepath.Join(dir, segmentName(index))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadV1Segment(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Segment(t, dir, 0, []Record{
+		{Kind: KindAcquire, Origin: OriginLockd, AtNs: 1000, Token: 7},
+		{Kind: KindRelease, Origin: OriginLockd, AtNs: 2000, Token: 7, DurNs: 1000},
+	}, "legacy")
+	entries, infos, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Torn || infos[0].Corrupt || infos[0].Frames != 3 {
+		t.Fatalf("v1 segment info = %+v", infos)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("v1 entries = %d, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.HLC != 0 {
+			t.Fatalf("v1 record decoded with nonzero HLC: %+v", e.Record)
+		}
+		if e.LockName != "legacy" {
+			t.Fatalf("v1 name table not resolved: %+v", e)
+		}
+	}
+	if entries[0].Token != 7 || entries[1].DurNs != 1000 {
+		t.Fatalf("v1 field decode wrong: %+v", entries)
+	}
+}
+
+func TestMergeMixedVersions(t *testing.T) {
+	// A v1 journal (no HLC, wall fallback) and a v2 journal must merge
+	// into one timeline at wall fidelity.
+	base := t.TempDir()
+	oldDir := filepath.Join(base, "old")
+	if err := os.MkdirAll(oldDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	writeV1Segment(t, oldDir, 0, []Record{
+		{Kind: KindAcquire, Origin: OriginLockd, AtNs: now - int64(time.Second), Token: 1},
+	}, "shared")
+
+	newDir := filepath.Join(base, "new")
+	j, err := Open(Config{Dir: newDir, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindRelease, Origin: OriginLockd, AtNs: now, Lock: j.InternLock("shared"), Token: 1})
+	j.Flush()
+	j.Close()
+
+	oldE, _, err := ReadDir(oldDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newE, _, err := ReadDir(newDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newE[0].HLC == 0 {
+		t.Fatal("v2 writer did not stamp HLC")
+	}
+	merged := Merge([]ProcEntries{{Proc: "old", Entries: oldE}, {Proc: "new", Entries: newE}})
+	if len(merged) != 2 || merged[0].Proc != "old" || merged[1].Proc != "new" {
+		t.Fatalf("mixed-version merge order wrong: %+v", merged)
+	}
+}
+
+func TestJournalStampsHLCFromClock(t *testing.T) {
+	dir := t.TempDir()
+	var wall int64 = 1_700_000_000_000_000_000
+	clock := hlc.NewClockAt(func() int64 { return wall })
+	j, err := Open(Config{Dir: dir, FlushEvery: time.Hour, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: KindAcquire, AtNs: wall, Lock: j.InternLock("a")})
+	wall += int64(time.Millisecond)
+	j.Append(Record{Kind: KindRelease, AtNs: wall, Lock: j.InternLock("a")})
+	// Sim records must stay unstamped: their AtNs is simulated time.
+	j.Append(Record{Kind: KindAcquire, Origin: OriginSim, AtNs: 42, Lock: j.InternLock("a")})
+	j.Flush()
+	j.Close()
+	entries, _, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	if entries[0].HLC == 0 || entries[1].HLC == 0 || entries[1].HLC <= entries[0].HLC {
+		t.Fatalf("HLC stamps not monotonic: %v then %v", entries[0].HLC, entries[1].HLC)
+	}
+	if got := entries[0].HLC.WallNs(); got != int64(hlc.PackWall(1_700_000_000_000_000_000).WallNs()) {
+		t.Fatalf("HLC wall component %d does not track the injected clock", got)
+	}
+	if entries[2].HLC != 0 {
+		t.Fatalf("sim record stamped with HLC %v", entries[2].HLC)
+	}
+}
+
+func TestSegmentOrderPastEightDigits(t *testing.T) {
+	// segmentName zero-pads to eight digits; once indexes outgrow the
+	// pad, lexical file order inverts (journal-100000000.seg sorts
+	// before journal-99999999.seg). ListSegments and ReadDir must order
+	// by parsed index regardless.
+	dir := t.TempDir()
+	indexes := []uint64{99_999_998, 99_999_999, 100_000_000, 100_000_001, 1_000_000_000}
+	wall := time.Now().UnixNano()
+	for i, idx := range indexes {
+		writeV1Segment(t, dir, idx, []Record{
+			{Kind: KindAcquire, Origin: OriginLockd, AtNs: wall + int64(i), Seq: uint64(i)},
+		}, "rollover")
+	}
+	// Noise that must be ignored, not misparsed.
+	if err := os.WriteFile(filepath.Join(dir, "journal-bogus.seg"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := ListSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(indexes) {
+		t.Fatalf("segments = %d, want %d", len(infos), len(indexes))
+	}
+	for i, si := range infos {
+		if si.Index != indexes[i] {
+			t.Fatalf("segment %d has index %d, want %d (lexical order leaked through)", i, si.Index, indexes[i])
+		}
+	}
+	entries, _, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range entries {
+		if e.Seq != uint64(i) {
+			t.Fatalf("entry %d came from the wrong segment (seq %d)", i, e.Seq)
+		}
+	}
+	// A journal reopened over the rolled-over directory must resume
+	// above the true max index, not the lexical max.
+	j, err := Open(Config{Dir: dir, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if got := j.Stats().SegmentIndex; got != 1_000_000_001 {
+		t.Fatalf("reopen resumed at segment %d, want 1000000001", got)
+	}
+}
+
+func TestMergeTieBreaking(t *testing.T) {
+	// Equal instants across processes: order must fall to the process
+	// label, then the shard sequence — deterministically.
+	mk := func(seq uint64, at int64) Entry {
+		return Entry{Record: Record{Kind: KindAcquire, AtNs: at, Seq: seq}, LockName: "a"}
+	}
+	procs := []ProcEntries{
+		{Proc: "zeta", Entries: []Entry{mk(1, 100), mk(2, 100)}},
+		{Proc: "alpha", Entries: []Entry{mk(5, 100), mk(9, 100)}},
+	}
+	got := Merge(procs)
+	wantProc := []string{"alpha", "alpha", "zeta", "zeta"}
+	wantSeq := []uint64{5, 9, 1, 2}
+	for i, m := range got {
+		if m.Proc != wantProc[i] || m.Seq != wantSeq[i] {
+			t.Fatalf("tie-break order[%d] = %s/seq%d, want %s/seq%d", i, m.Proc, m.Seq, wantProc[i], wantSeq[i])
+		}
+	}
+	// Same ties under equal HLC stamps.
+	for p := range procs {
+		for i := range procs[p].Entries {
+			procs[p].Entries[i].HLC = hlc.PackWall(1_700_000_000_000_000_000)
+		}
+	}
+	got = Merge(procs)
+	for i, m := range got {
+		if m.Proc != wantProc[i] || m.Seq != wantSeq[i] {
+			t.Fatalf("HLC tie-break order[%d] = %s/seq%d, want %s/seq%d", i, m.Proc, m.Seq, wantProc[i], wantSeq[i])
+		}
+	}
+	// Determinism: repeated merges render identically.
+	again := Merge(procs)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("merge not deterministic at %d: %+v vs %+v", i, got[i], again[i])
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/hlc"
 )
 
 // Config sizes a Journal. The zero value of every field selects a
@@ -43,6 +45,16 @@ type Config struct {
 	// Logf, when set, receives writer-side errors (IO failures). The
 	// journal never propagates them to producers.
 	Logf func(format string, args ...any)
+	// Clock stamps the HLC field of every appended record that does not
+	// already carry one (sim records excepted — they live in simulated
+	// time). Default hlc.Default, the process-wide clock; tests that
+	// model several skewed processes in one address space supply their
+	// own.
+	Clock *hlc.Clock
+	// DisableHLC turns stamping off for journals whose producers supply
+	// synthetic wall instants (fixtures, replayed histories): records
+	// keep HLC 0 and merge falls back to their wall clocks.
+	DisableHLC bool
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +72,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushEvery <= 0 {
 		c.FlushEvery = 100 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = hlc.Default
 	}
 	return c
 }
@@ -226,6 +241,13 @@ func (j *Journal) append(rec *Record) {
 	if j == nil || j.closed.Load() {
 		return
 	}
+	// Stamp on the producer's goroutine, not the writer's: the handler
+	// that caused this event has already merged the timestamps of the
+	// messages it received into the clock, so the stamp is causally
+	// after them.
+	if rec.HLC == 0 && rec.Origin != OriginSim && !j.cfg.DisableHLC {
+		rec.HLC = j.cfg.Clock.Now()
+	}
 	j.shards[rec.Lock&j.shardMask].push(rec)
 }
 
@@ -319,6 +341,7 @@ func (j *Journal) drain() {
 			j.writeEvent(&Record{
 				Kind:  KindDrops,
 				AtNs:  time.Now().UnixNano(),
+				HLC:   j.cfg.Clock.Now(),
 				DurNs: int64(n),
 			})
 		}

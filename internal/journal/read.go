@@ -5,9 +5,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/hlc"
 )
 
 // The read side works on segment files alone — no live Journal needed,
@@ -37,6 +40,10 @@ type SegmentInfo struct {
 }
 
 // listSegments stats every journal-*.seg in dir without parsing.
+// Ordering is by the numeric segment index parsed out of the name —
+// never by the lexical file order the glob returns, which inverts once
+// indexes outgrow the zero-padded %08d width (journal-100000000.seg
+// sorts lexically before journal-99999999.seg).
 func listSegments(dir string) ([]SegmentInfo, error) {
 	matches, err := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
 	if err != nil {
@@ -48,12 +55,14 @@ func listSegments(dir string) ([]SegmentInfo, error) {
 		if err != nil {
 			continue // raced with retention
 		}
-		var index uint64
-		if _, err := fmt.Sscanf(filepath.Base(path), "journal-%d.seg", &index); err != nil {
-			continue
+		base := filepath.Base(path)
+		digits := strings.TrimSuffix(strings.TrimPrefix(base, "journal-"), ".seg")
+		index, err := strconv.ParseUint(digits, 10, 64)
+		if err != nil {
+			continue // not a segment name we minted
 		}
 		infos = append(infos, SegmentInfo{
-			Path: path, Name: filepath.Base(path), Index: index,
+			Path: path, Name: base, Index: index,
 			Size: fi.Size(), ModTime: fi.ModTime(),
 		})
 	}
@@ -61,7 +70,7 @@ func listSegments(dir string) ([]SegmentInfo, error) {
 	return infos, nil
 }
 
-// ListSegments returns the segments in dir, oldest first.
+// ListSegments returns the segments in dir, oldest first by index.
 func ListSegments(dir string) ([]SegmentInfo, error) { return listSegments(dir) }
 
 // nameTable accumulates id→name mappings as name frames stream past.
@@ -94,19 +103,19 @@ func readSegment(path string, names *nameTable) ([]Entry, SegmentInfo, error) {
 	if fi, err := os.Stat(path); err == nil {
 		info.ModTime = fi.ModTime()
 	}
-	index, createdNs, err := decodeSegHeader(data)
+	index, createdNs, frameSize, err := decodeSegHeader(data)
 	if err != nil {
 		return nil, info, err
 	}
 	info.Index, info.CreatedNs = index, createdNs
 
 	var entries []Entry
-	for off := segHeaderSize; off < len(data); off += FrameSize {
-		if off+FrameSize > len(data) {
+	for off := segHeaderSize; off < len(data); off += frameSize {
+		if off+frameSize > len(data) {
 			info.Torn = true // partial trailing write: a crash mid-frame
 			break
 		}
-		frame := data[off : off+FrameSize]
+		frame := data[off : off+frameSize]
 		if !frameOK(frame) {
 			// A bad CRC means a torn or corrupted write; nothing after
 			// it can be trusted to be frame-aligned in content.
@@ -175,21 +184,46 @@ type ProcEntries struct {
 	Entries []Entry
 }
 
-// Merge interleaves several processes' journals into one timeline,
-// ordered by event instant (ties: process label, then shard sequence).
-// Wall clocks across machines skew; within one machine — the lockd
-// server and its clients — the order is meaningful, and trace ids tie
-// the per-process views of one grant together regardless.
-func Merge(procs []ProcEntries) []MergedEntry {
+// Order selects the timestamp a merge sorts on.
+type Order int
+
+const (
+	// OrderHLC sorts on hybrid logical clocks (wall fallback for
+	// records that predate HLC stamping): the order consistent with
+	// message causality across skewed machines. The default.
+	OrderHLC Order = iota
+	// OrderWall sorts on raw per-process wall clocks — the pre-HLC
+	// behavior, kept for comparison and for demonstrating what skew
+	// does to a cross-node history.
+	OrderWall
+)
+
+// Merge interleaves several processes' journals into one timeline in
+// HLC order (ties: process label, then shard sequence). Because every
+// producer stamps records from a clock that merges the timestamps on
+// the messages it receives, the order is consistent with causality —
+// a grant a client observed can never sort after the release that
+// client issued — regardless of wall-clock skew between machines.
+// Records without an HLC (v1 segments, sim journals) fall back to
+// their wall instants.
+func Merge(procs []ProcEntries) []MergedEntry { return MergeOrdered(procs, OrderHLC) }
+
+// MergeOrdered is Merge with an explicit ordering key.
+func MergeOrdered(procs []ProcEntries, order Order) []MergedEntry {
 	var out []MergedEntry
 	for _, p := range procs {
 		for _, e := range p.Entries {
 			out = append(out, MergedEntry{Proc: p.Proc, Entry: e})
 		}
 	}
+	key := func(m MergedEntry) uint64 { return uint64(m.HLCKey()) }
+	if order == OrderWall {
+		key = func(m MergedEntry) uint64 { return uint64(m.AtNs) }
+	}
 	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].AtNs != out[b].AtNs {
-			return out[a].AtNs < out[b].AtNs
+		ka, kb := key(out[a]), key(out[b])
+		if ka != kb {
+			return ka < kb
 		}
 		if out[a].Proc != out[b].Proc {
 			return out[a].Proc < out[b].Proc
@@ -245,7 +279,14 @@ func (r VerifyReport) Ok() bool { return len(r.Violations) == 0 }
 // so the per-process pairing rules would mistake the duplicate tenures
 // for double grants. Those locks switch to the cross-node invariants
 // instead — see verifyReplicated.
-func Verify(procs []ProcEntries) VerifyReport {
+func Verify(procs []ProcEntries) VerifyReport { return VerifyOrdered(procs, OrderHLC) }
+
+// VerifyOrdered is Verify with an explicit merge order for the
+// cross-node (replicated) checks. OrderWall reproduces the pre-HLC
+// behavior: with skewed replica clocks it can misorder a release after
+// the next grant and report dual-holder violations that never happened
+// — which is exactly what the skew regression tests pin down.
+func VerifyOrdered(procs []ProcEntries, order Order) VerifyReport {
 	rep := VerifyReport{Procs: len(procs)}
 	replicated := replicatedLocks(procs)
 	traceProcs := map[uint64]map[string]bool{}
@@ -333,7 +374,7 @@ func Verify(procs []ProcEntries) VerifyReport {
 			rep.SharedTraces++
 		}
 	}
-	verifyReplicated(procs, replicated, &rep)
+	verifyReplicated(procs, replicated, order, &rep)
 	sort.Strings(rep.OpenHolds)
 	return rep
 }
@@ -382,7 +423,7 @@ func replicatedLocks(procs []ProcEntries) map[string]bool {
 //     counted, not flagged. Echoes may arrive long after the token
 //     retired: a healed partition catches up on the log and re-applies
 //     old grants with fresh timestamps.
-func verifyReplicated(procs []ProcEntries, replicated map[string]bool, rep *VerifyReport) {
+func verifyReplicated(procs []ProcEntries, replicated map[string]bool, order Order, rep *VerifyReport) {
 	if len(replicated) == 0 {
 		return
 	}
@@ -394,7 +435,7 @@ func verifyReplicated(procs []ProcEntries, replicated map[string]bool, rep *Veri
 		grantedBy map[uint64]map[string]bool // token -> procs holding its grant record
 	}
 	states := map[string]*repState{}
-	for _, m := range Merge(procs) {
+	for _, m := range MergeOrdered(procs, order) {
 		if m.Origin != OriginLockd {
 			continue
 		}
@@ -478,13 +519,27 @@ func verifyReplicated(procs []ProcEntries, replicated map[string]bool, rep *Veri
 	}
 }
 
+// afterInstant reports whether e lies strictly after instant atNs in
+// the record's own time domain: HLC-stamped records compare their HLC
+// against the cut (so a skewed replica's records land on the causally
+// right side), unstamped ones their raw wall instant.
+func afterInstant(e Entry, atNs int64, cut hlc.Time) bool {
+	if e.HLC != 0 {
+		return e.HLC > cut
+	}
+	return e.AtNs > atNs
+}
+
 // GraphAt replays a merged timeline up to (and including) instant
 // atNs and returns the wait-for graph as it stood then — who held
-// what, who waited on whom — for post-hoc deadlock analysis.
+// what, who waited on whom — for post-hoc deadlock analysis. The cut
+// is taken in HLC order where records are stamped, wall order where
+// not.
 func GraphAt(entries []MergedEntry, atNs int64) *causal.Graph {
+	cut := hlc.CutAt(atNs)
 	g := causal.NewGraph()
 	for _, e := range entries {
-		if e.AtNs > atNs {
+		if afterInstant(e.Entry, atNs, cut) {
 			break
 		}
 		lock := e.LockName

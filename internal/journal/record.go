@@ -2,13 +2,20 @@
 // lifecycle events. Producers append fixed-size binary records into
 // per-shard lock-free rings; a background writer drains the rings into
 // size-bounded, CRC-checked segment files with retention. The format is
-// deliberately dumb — 64-byte frames, little-endian, CRC-32 per frame —
-// so a journal survives its writer: any torn tail left by a crash is
-// rejected frame-by-frame on read, and everything before it replays.
+// deliberately dumb — fixed-size frames, little-endian, CRC-32 per
+// frame — so a journal survives its writer: any torn tail left by a
+// crash is rejected frame-by-frame on read, and everything before it
+// replays.
 //
 // Lock and agent names are interned to uint32 ids; the writer re-emits
 // the name table at the head of every segment, so each segment file is
 // self-contained and old segments can be deleted without orphaning ids.
+//
+// Two segment versions exist. v1 ("LKJRNL1\n", 64-byte frames) predates
+// hybrid logical clocks; v2 ("LKJRNL2\n", 72-byte frames) adds the HLC
+// timestamp to every event frame. The writer emits v2; the reader
+// handles both, decoding v1 events with HLC 0 so merge falls back to
+// their wall clocks.
 package journal
 
 import (
@@ -16,6 +23,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"time"
+
+	"repro/internal/hlc"
 )
 
 // Kind classifies one journal record.
@@ -126,37 +135,55 @@ func (o Origin) String() string {
 // Lock and Agent are interned ids; the reader resolves them back to
 // names via the per-segment name table.
 type Record struct {
-	AtNs   int64  // event instant: wall ns (sim ns for OriginSim)
-	Seq    uint64 // per-shard append position: total order within a lock
-	DurNs  int64  // kind-dependent duration: waited, held, or drop count
-	Token  uint64 // fencing token (lease grants), 0 otherwise
-	Tag    uint64 // actor tag: handoff tag, session id, or 0
-	Trace  uint64 // causal trace id shared across processes, 0 if untraced
-	Lock   uint32 // interned lock name
-	Agent  uint32 // interned agent/client name, 0 if anonymous
+	AtNs   int64    // event instant: wall ns (sim ns for OriginSim)
+	HLC    hlc.Time // hybrid logical timestamp; 0 for pre-HLC and sim records
+	Seq    uint64   // per-shard append position: total order within a lock
+	DurNs  int64    // kind-dependent duration: waited, held, or drop count
+	Token  uint64   // fencing token (lease grants), 0 otherwise
+	Tag    uint64   // actor tag: handoff tag, session id, or 0
+	Trace  uint64   // causal trace id shared across processes, 0 if untraced
+	Lock   uint32   // interned lock name
+	Agent  uint32   // interned agent/client name, 0 if anonymous
 	Kind   Kind
 	Origin Origin
+}
+
+// HLCKey is the merge-ordering key: the record's HLC when stamped,
+// else the raw wall instant. The two live on the same scale — a packed
+// HLC is wall nanoseconds with the low 16 bits repurposed — so pre-HLC
+// records interleave with stamped ones at wall-clock fidelity while
+// keeping their exact order among themselves.
+func (r Record) HLCKey() hlc.Time {
+	if r.HLC != 0 {
+		return r.HLC
+	}
+	return hlc.Time(r.AtNs)
 }
 
 // At returns the record instant as wall time. Meaningless for
 // OriginSim records, where AtNs counts simulated nanoseconds from 0.
 func (r Record) At() time.Time { return time.Unix(0, r.AtNs) }
 
-// Frame layout. Every frame — event or name — is exactly FrameSize
-// bytes, so a reader can walk a segment by fixed stride and a torn
-// trailing write can never desynchronize the stream.
+// Frame layout. Every frame — event or name — in one segment is
+// exactly the segment version's frame size, so a reader can walk it by
+// fixed stride and a torn trailing write can never desynchronize the
+// stream. The CRC always occupies the last four bytes of the frame.
 const (
-	// FrameSize is the fixed on-disk size of every frame.
-	FrameSize = 64
+	// FrameSize is the on-disk size of every frame the writer emits
+	// (segment version 2).
+	FrameSize = 72
+	// FrameSizeV1 is the frame size of version-1 segments, still
+	// accepted on read.
+	FrameSizeV1 = 64
 	// frameCRCOff is where the little-endian CRC-32 (IEEE) of the
-	// preceding bytes lives.
+	// preceding bytes lives in a v2 frame.
 	frameCRCOff = FrameSize - 4
 
 	frameEvent     = 0x01
 	frameLockName  = 0x10
 	frameAgentName = 0x11
 
-	// MaxNameLen is the longest name a name frame can carry; longer
+	// MaxNameLen is the longest name a v2 name frame can carry; longer
 	// names are truncated at intern time.
 	MaxNameLen = FrameSize - 4 /*crc*/ - 6 /*type+len+id*/
 )
@@ -164,10 +191,11 @@ const (
 // SegmentHeader layout: magic, creation instant, segment index.
 const (
 	segHeaderSize = 32
-	segMagic      = "LKJRNL1\n"
+	segMagic      = "LKJRNL2\n"
+	segMagicV1    = "LKJRNL1\n"
 )
 
-// encodeEvent writes r as an event frame into buf[0:FrameSize].
+// encodeEvent writes r as a v2 event frame into buf[0:FrameSize].
 func encodeEvent(buf []byte, r *Record) {
 	buf[0] = frameEvent
 	buf[1] = byte(r.Kind)
@@ -181,12 +209,15 @@ func encodeEvent(buf []byte, r *Record) {
 	binary.LittleEndian.PutUint64(buf[36:], r.Token)
 	binary.LittleEndian.PutUint64(buf[44:], r.Tag)
 	binary.LittleEndian.PutUint64(buf[52:], r.Trace)
+	binary.LittleEndian.PutUint64(buf[60:], uint64(r.HLC))
 	binary.LittleEndian.PutUint32(buf[frameCRCOff:], crc32.ChecksumIEEE(buf[:frameCRCOff]))
 }
 
-// decodeEvent parses an event frame (CRC already checked).
+// decodeEvent parses an event frame (CRC already checked). The frame
+// version is inferred from the slice length: v1 frames carry no HLC
+// and decode with HLC 0, leaving merge to their wall clocks.
 func decodeEvent(buf []byte) Record {
-	return Record{
+	r := Record{
 		Kind:   Kind(buf[1]),
 		Origin: Origin(buf[2]),
 		Lock:   binary.LittleEndian.Uint32(buf[4:]),
@@ -198,9 +229,13 @@ func decodeEvent(buf []byte) Record {
 		Tag:    binary.LittleEndian.Uint64(buf[44:]),
 		Trace:  binary.LittleEndian.Uint64(buf[52:]),
 	}
+	if len(buf) >= FrameSize {
+		r.HLC = hlc.Time(binary.LittleEndian.Uint64(buf[60:]))
+	}
+	return r
 }
 
-// encodeName writes a name-table frame: typ is frameLockName or
+// encodeName writes a v2 name-table frame: typ is frameLockName or
 // frameAgentName. name must already be clipped to MaxNameLen.
 func encodeName(buf []byte, typ byte, id uint32, name string) {
 	for i := range buf[:frameCRCOff] {
@@ -213,18 +248,21 @@ func encodeName(buf []byte, typ byte, id uint32, name string) {
 	binary.LittleEndian.PutUint32(buf[frameCRCOff:], crc32.ChecksumIEEE(buf[:frameCRCOff]))
 }
 
-// decodeName parses a name frame (CRC already checked).
+// decodeName parses a name frame of either version (CRC already
+// checked); the name field ends where the frame's CRC begins.
 func decodeName(buf []byte) (id uint32, name string) {
 	n := int(buf[1])
-	if n > MaxNameLen {
-		n = MaxNameLen
+	if max := len(buf) - 4 - 6; n > max {
+		n = max
 	}
 	return binary.LittleEndian.Uint32(buf[2:]), string(buf[6 : 6+n])
 }
 
-// frameOK verifies a frame's CRC.
+// frameOK verifies a frame's CRC; the CRC sits in the frame's last
+// four bytes whatever its version.
 func frameOK(buf []byte) bool {
-	return crc32.ChecksumIEEE(buf[:frameCRCOff]) == binary.LittleEndian.Uint32(buf[frameCRCOff:])
+	off := len(buf) - 4
+	return crc32.ChecksumIEEE(buf[:off]) == binary.LittleEndian.Uint32(buf[off:])
 }
 
 // clipName truncates a name to what a name frame can carry.
@@ -312,7 +350,7 @@ func DecodeRecordFrames(data []byte) (Entry, error) {
 	return e, nil
 }
 
-// encodeSegHeader writes the segment header.
+// encodeSegHeader writes the segment header (always current version).
 func encodeSegHeader(buf []byte, index uint64, createdNs int64) {
 	copy(buf[0:8], segMagic)
 	binary.LittleEndian.PutUint64(buf[8:], uint64(createdNs))
@@ -321,16 +359,22 @@ func encodeSegHeader(buf []byte, index uint64, createdNs int64) {
 	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
 }
 
-// decodeSegHeader validates and parses a segment header.
-func decodeSegHeader(buf []byte) (index uint64, createdNs int64, err error) {
+// decodeSegHeader validates and parses a segment header of either
+// version; frameSize is the stride the segment's frames use.
+func decodeSegHeader(buf []byte) (index uint64, createdNs int64, frameSize int, err error) {
 	if len(buf) < segHeaderSize {
-		return 0, 0, fmt.Errorf("journal: short segment header (%d bytes)", len(buf))
+		return 0, 0, 0, fmt.Errorf("journal: short segment header (%d bytes)", len(buf))
 	}
-	if string(buf[0:8]) != segMagic {
-		return 0, 0, fmt.Errorf("journal: bad segment magic %q", buf[0:8])
+	switch string(buf[0:8]) {
+	case segMagic:
+		frameSize = FrameSize
+	case segMagicV1:
+		frameSize = FrameSizeV1
+	default:
+		return 0, 0, 0, fmt.Errorf("journal: bad segment magic %q", buf[0:8])
 	}
 	if crc32.ChecksumIEEE(buf[:28]) != binary.LittleEndian.Uint32(buf[28:]) {
-		return 0, 0, fmt.Errorf("journal: segment header CRC mismatch")
+		return 0, 0, 0, fmt.Errorf("journal: segment header CRC mismatch")
 	}
-	return binary.LittleEndian.Uint64(buf[16:]), int64(binary.LittleEndian.Uint64(buf[8:])), nil
+	return binary.LittleEndian.Uint64(buf[16:]), int64(binary.LittleEndian.Uint64(buf[8:])), frameSize, nil
 }

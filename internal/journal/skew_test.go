@@ -1,0 +1,218 @@
+package journal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+)
+
+// skewedCluster scripts one failover's worth of history across a
+// leader running 50ms fast, a learner running 50ms slow, and an
+// on-time client, with every HLC hand-off the real stack performs:
+// the client's request timestamp merges into the leader, the leader's
+// into the learner via log shipping, and responses drag the client.
+// Wall sources are scripted, so every stamp — and therefore the merge
+// order and the rendered timeline — is identical on every run.
+//
+// When echoes is false the learner's journal holds only the
+// post-election tail, as if retention had aged the shipped prefix out
+// of its bounded journal — the shape that makes wall-clock merging
+// actively lie.
+type skewedCluster struct {
+	trueNow                    int64
+	leader, learner, client    *Journal
+	leaderC, learnerC, clientC *hlc.Clock
+	dirs                       map[string]*Journal
+}
+
+func newSkewedCluster(t *testing.T, echoes bool) []ProcEntries {
+	t.Helper()
+	const skew = 50 * int64(time.Millisecond)
+	c := &skewedCluster{trueNow: 1_700_000_000_000_000_000}
+	c.leaderC = hlc.NewClockAt(func() int64 { return c.trueNow + skew })
+	c.learnerC = hlc.NewClockAt(func() int64 { return c.trueNow - skew })
+	c.clientC = hlc.NewClockAt(func() int64 { return c.trueNow })
+
+	dirs := map[string]string{}
+	open := func(proc string, clock *hlc.Clock) *Journal {
+		dir := t.TempDir()
+		dirs[proc] = dir
+		j, err := Open(Config{Dir: dir, FlushEvery: time.Hour, Clock: clock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	c.leader = open("leader", c.leaderC)
+	c.learner = open("learner", c.learnerC)
+	c.client = open("client", c.clientC)
+
+	rec := func(j *Journal, clock *hlc.Clock, kind Kind, origin Origin, token uint64, agent string) {
+		j.Append(Record{
+			Kind: kind, Origin: origin, Token: token,
+			AtNs: clock.PhysNow(), Lock: j.InternLock("orders"), Agent: j.InternAgent(agent),
+		})
+	}
+
+	// Token 1 is granted and released through the old leader. The log
+	// ships to the learner either way — only its journaling of the
+	// echo depends on the scenario.
+	step := func(kind Kind, token uint64) {
+		c.trueNow += 10 * int64(time.Millisecond)
+		c.leaderC.Update(c.clientC.Now()) // request carries client HLC
+		rec(c.leader, c.leaderC, kind, OriginLockd, token, "alice")
+		c.learnerC.Update(c.leaderC.Now()) // log shipping carries leader HLC
+		if echoes {
+			rec(c.learner, c.learnerC, kind, OriginLockd, token, "alice")
+		}
+		c.clientC.Update(c.leaderC.Now()) // response carries leader HLC
+		rec(c.client, c.clientC, kind, OriginClient, token, "alice")
+	}
+	step(KindAcquire, 1)
+	step(KindRelease, 1)
+
+	// Failover: the promoted learner grants token 2. Its wall clock
+	// reads 50ms in the past, but its HLC is already above everything
+	// the old leader stamped.
+	c.trueNow += 10 * int64(time.Millisecond)
+	rec(c.learner, c.learnerC, KindAcquire, OriginLockd, 2, "bob")
+	c.clientC.Update(c.learnerC.Now())
+	rec(c.client, c.clientC, KindAcquire, OriginClient, 2, "bob")
+
+	var procs []ProcEntries
+	for _, p := range []struct {
+		name string
+		j    *Journal
+	}{{"leader", c.leader}, {"learner", c.learner}, {"client", c.client}} {
+		p.j.Flush()
+		p.j.Close()
+		entries, _, err := ReadDir(dirs[p.name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs = append(procs, ProcEntries{Proc: p.name, Entries: entries})
+	}
+	return procs
+}
+
+// mergeIdx finds the position of one record in a merged timeline.
+func mergeIdx(t *testing.T, m []MergedEntry, proc string, kind Kind, token uint64) int {
+	t.Helper()
+	for i, e := range m {
+		if e.Proc == proc && e.Kind == kind && e.Token == token && e.Origin == OriginLockd {
+			return i
+		}
+	}
+	t.Fatalf("no %s/%v token %d in merge", proc, kind, token)
+	return -1
+}
+
+// TestSkewedClusterHistory: with the learner's full echo history
+// present, both orders verify (the echo dedup is order-robust when
+// every journal keeps its log prefix) — but the wall-ordered timeline
+// still renders the failover grant before the release that preceded
+// it, and HLC ordering is what puts it right.
+func TestSkewedClusterHistory(t *testing.T) {
+	procs := newSkewedCluster(t, true)
+
+	wall := MergeOrdered(procs, OrderWall)
+	g2 := mergeIdx(t, wall, "learner", KindAcquire, 2)
+	r1Leader := mergeIdx(t, wall, "leader", KindRelease, 1)
+	if g2 > r1Leader {
+		t.Fatalf("wall order shows no grant-before-release inversion (grant2 %d, release1 %d)", g2, r1Leader)
+	}
+
+	merged := Merge(procs)
+	for _, proc := range []string{"leader", "learner"} {
+		if r1 := mergeIdx(t, merged, proc, KindRelease, 1); r1 > mergeIdx(t, merged, "learner", KindAcquire, 2) {
+			t.Fatalf("HLC order: %s's release of token 1 sorts after the failover grant", proc)
+		}
+	}
+	rep := Verify(procs)
+	if !rep.Ok() {
+		t.Fatalf("HLC-ordered Verify reports violations on a clean history: %v", rep.Violations)
+	}
+	if rep.ReplicatedLocks != 1 || rep.ReplicaEchoes == 0 {
+		t.Fatalf("replicated-lock accounting off: %+v", rep)
+	}
+
+	// Deterministic rendering, render to render and merge to merge.
+	var a, b bytes.Buffer
+	if err := WriteTimeline(&a, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTimeline(&b, Merge(procs)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() || a.Len() == 0 {
+		t.Fatal("timeline rendering not deterministic")
+	}
+
+	// Skew estimation from the journals alone, and corrected instants.
+	offs := ClockOffsets(procs)
+	if offs["learner"] < 90*int64(time.Millisecond) {
+		t.Fatalf("learner offset %v, want ≈100ms (dragged by the +50ms leader)", time.Duration(offs["learner"]))
+	}
+	if offs["leader"] != 0 {
+		t.Fatalf("leader is the fastest clock; offset %d, want 0", offs["leader"])
+	}
+	corrected := ApplyOffsets(merged, offs)
+	for i := 1; i < len(corrected); i++ {
+		if corrected[i].AtNs < corrected[i-1].AtNs-int64(time.Millisecond) {
+			t.Fatalf("corrected timeline still disordered at %d", i)
+		}
+	}
+
+	// Timeline queries over the same history.
+	cut := StateAt(merged, corrected[len(corrected)-1].AtNs)
+	if len(cut.Holds) != 1 || cut.Holds[0].Token != 2 || !strings.Contains(cut.Holds[0].Actor, "bob") {
+		t.Fatalf("StateAt after failover = %+v, want bob holding token 2", cut)
+	}
+	hands := Handoffs(merged, "orders", 0, 0)
+	if len(hands) != 1 || hands[0].Token != 2 || !strings.Contains(hands[0].From, "alice") || !strings.Contains(hands[0].To, "bob") {
+		t.Fatalf("Handoffs = %+v, want one alice→bob transfer at token 2", hands)
+	}
+}
+
+// TestSkewedClusterTruncatedLearner is the acceptance scenario proper:
+// the learner's bounded journal kept only the post-election tail, so
+// wall-clock ordering sees its grant of token 2 (stamped 50ms in the
+// past) before the old leader's grant and release of token 1 — Verify
+// flags a dual holder and a token regression that never happened. The
+// same journals under HLC ordering verify with zero violations.
+func TestSkewedClusterTruncatedLearner(t *testing.T) {
+	procs := newSkewedCluster(t, false)
+
+	wallRep := VerifyOrdered(procs, OrderWall)
+	if wallRep.Ok() {
+		t.Fatal("wall-ordered Verify missed the skew inversion; expected dual-holder violations")
+	}
+	found := false
+	for _, v := range wallRep.Violations {
+		if strings.Contains(v, "dual holder") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wall-order violations lack the dual-holder signature: %v", wallRep.Violations)
+	}
+
+	hlcRep := Verify(procs)
+	if !hlcRep.Ok() {
+		t.Fatalf("HLC-ordered Verify reports violations on a clean history: %v", hlcRep.Violations)
+	}
+
+	// The inversion itself: wall order puts the failover grant before
+	// the old leader's release; HLC order does not.
+	wall := MergeOrdered(procs, OrderWall)
+	if g2, r1 := mergeIdx(t, wall, "learner", KindAcquire, 2), mergeIdx(t, wall, "leader", KindRelease, 1); g2 > r1 {
+		t.Fatalf("wall order shows no inversion (grant2 %d, release1 %d)", g2, r1)
+	}
+	merged := Merge(procs)
+	if g2, r1 := mergeIdx(t, merged, "learner", KindAcquire, 2), mergeIdx(t, merged, "leader", KindRelease, 1); g2 < r1 {
+		t.Fatalf("HLC order still inverted (grant2 %d, release1 %d)", g2, r1)
+	}
+}

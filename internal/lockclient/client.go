@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/hlc"
 	"repro/internal/journal"
 	"repro/internal/lockd"
 )
@@ -96,6 +97,12 @@ type Options struct {
 	// client journal merges with the server's by shared trace. Nil
 	// disables client-side journaling.
 	Journal *journal.Journal
+	// Clock is the client's hybrid logical clock: its reading rides on
+	// every request, every response merges back, and journal records
+	// are stamped from it — so client and server journals order
+	// causally however skewed their wall clocks are. Default
+	// hlc.Default.
+	Clock *hlc.Clock
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +124,9 @@ func (o Options) withDefaults() Options {
 	if o.Recorder == nil {
 		o.Recorder = causal.Default
 	}
+	if o.Clock == nil {
+		o.Clock = hlc.Default
+	}
 	return o
 }
 
@@ -137,6 +147,11 @@ type Stats struct {
 	// token it observed for it (the grant's token, kept after release so
 	// post-mortem checks can compare against downstream writes).
 	Tokens map[string]uint64
+	// SkewNs maps each server address this client has exchanged
+	// requests with to the estimated offset of that server's wall clock
+	// from the client's, in nanoseconds (positive: server ahead). Fed
+	// by the RTT-bounded interval estimator in internal/hlc.
+	SkewNs map[string]int64
 }
 
 // Client is a lockd session. All methods are safe for concurrent use.
@@ -164,6 +179,9 @@ type Client struct {
 
 	tokMu  sync.Mutex
 	tokens map[string]uint64 // lock -> last observed fencing token
+
+	skewMu sync.Mutex
+	skew   map[string]*hlc.SkewEstimator // server addr -> offset estimate
 
 	reconnects atomic.Int64
 	failovers  atomic.Int64
@@ -264,6 +282,16 @@ func (c *Client) Stats() Stats {
 		}
 	}
 	c.tokMu.Unlock()
+	c.skewMu.Lock()
+	if len(c.skew) > 0 {
+		st.SkewNs = make(map[string]int64, len(c.skew))
+		for addr, e := range c.skew {
+			if off, ok := e.Offset(); ok {
+				st.SkewNs[addr] = off
+			}
+		}
+	}
+	c.skewMu.Unlock()
 	return st
 }
 
@@ -506,8 +534,11 @@ func (c *Client) Call(ctx context.Context, req lockd.Request) (lockd.Response, e
 	if req.Op != lockd.OpHello {
 		req.Session = c.session
 	}
+	req.HLC = uint64(c.o.Clock.Now())
+	addr := c.lastAddr
 	ch := make(chan lockd.Response, 1)
 	c.pend[req.ID] = ch
+	sentNs := c.o.Clock.PhysNow()
 	err := c.enc.Encode(req)
 	c.mu.Unlock()
 	if err != nil {
@@ -522,6 +553,12 @@ func (c *Client) Call(ctx context.Context, req lockd.Request) (lockd.Response, e
 		if !ok {
 			return lockd.Response{}, ErrConnLost
 		}
+		// Close the causal loop and feed the skew estimate for the
+		// server that answered.
+		c.o.Clock.Update(hlc.Time(resp.HLC))
+		if resp.WallNs != 0 {
+			c.skewFor(addr).AddSample(sentNs, c.o.Clock.PhysNow(), resp.WallNs)
+		}
 		return resp, nil
 	case <-ctx.Done():
 		c.mu.Lock()
@@ -529,6 +566,22 @@ func (c *Client) Call(ctx context.Context, req lockd.Request) (lockd.Response, e
 		c.mu.Unlock()
 		return lockd.Response{}, ctx.Err()
 	}
+}
+
+// skewFor returns (creating on first use) the skew estimator for one
+// server address.
+func (c *Client) skewFor(addr string) *hlc.SkewEstimator {
+	c.skewMu.Lock()
+	defer c.skewMu.Unlock()
+	if c.skew == nil {
+		c.skew = make(map[string]*hlc.SkewEstimator)
+	}
+	e := c.skew[addr]
+	if e == nil {
+		e = &hlc.SkewEstimator{}
+		c.skew[addr] = e
+	}
+	return e
 }
 
 // AcquireOptions tune one acquisition.
@@ -656,9 +709,13 @@ func (c *Client) journalRec(kind journal.Kind, lock string, token uint64, trace 
 	if j == nil {
 		return
 	}
+	// Instants come from the client's clock (which has merged every
+	// server response seen so far), so a skewed client journals what
+	// its clock actually read and still orders causally after the
+	// server-side records of the same grant.
 	j.Append(journal.Record{
 		Kind: kind, Origin: journal.OriginClient,
-		AtNs: time.Now().UnixNano(), DurNs: int64(dur),
+		AtNs: c.o.Clock.PhysNow(), HLC: c.o.Clock.Now(), DurNs: int64(dur),
 		Token: token, Trace: uint64(trace),
 		Lock: j.InternLock(lock), Agent: j.InternAgent(c.actor()),
 	})

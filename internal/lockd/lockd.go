@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/causal"
+	"repro/internal/hlc"
 	"repro/internal/journal"
 	"repro/internal/native"
 	"repro/internal/telemetry"
@@ -97,6 +98,12 @@ type Config struct {
 	// interface in replication.go and internal/replica for the layer
 	// itself.
 	Replica Replica
+	// Clock is the server's hybrid logical clock: merged with every
+	// request's HLC before handling and stamped into every response, so
+	// journaled events order after everything the requesting client had
+	// seen. Default hlc.Default. Share one clock between the server,
+	// its journal, and its replica node — they are one process.
+	Clock *hlc.Clock
 	// Logf, when non-nil, receives server diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -135,6 +142,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Flight == nil {
 		c.Flight = causal.DefaultFlight
+	}
+	if c.Clock == nil {
+		c.Clock = hlc.Default
 	}
 	return c
 }
@@ -395,10 +405,15 @@ func (s *Server) journalRec(kind journal.Kind, lk *servedLock, sess *session, to
 	if j == nil {
 		return
 	}
+	// Both instants come from the server's clock — the one that merged
+	// the requesting client's HLC — not the journal's, so a server
+	// running on an injected (skewed) clock journals what that clock
+	// actually read.
 	rec := journal.Record{
 		Kind:   kind,
 		Origin: journal.OriginLockd,
-		AtNs:   time.Now().UnixNano(),
+		AtNs:   s.cfg.Clock.PhysNow(),
+		HLC:    s.cfg.Clock.Now(),
 		DurNs:  int64(dur),
 		Token:  tok,
 		Trace:  uint64(tr),
@@ -452,6 +467,11 @@ func (s *Server) serveConn(c net.Conn) {
 	var wmu sync.Mutex
 	enc := json.NewEncoder(c)
 	reply := func(r Response) {
+		// Stamp the reply with the server's HLC and raw wall reading:
+		// the former closes the causal loop at the caller, the latter
+		// feeds its skew estimate for this server.
+		r.HLC = uint64(s.cfg.Clock.Now())
+		r.WallNs = s.cfg.Clock.PhysNow()
 		wmu.Lock()
 		defer wmu.Unlock()
 		if err := enc.Encode(r); err != nil {
@@ -482,6 +502,9 @@ func (s *Server) serveConn(c net.Conn) {
 			reply(Response{ID: req.ID, Code: CodeBadRequest, Err: "malformed request: " + err.Error()})
 			continue
 		}
+		// Merge the sender's clock before any handler runs (or any
+		// record is journaled) on this request's behalf.
+		s.cfg.Clock.Update(hlc.Time(req.HLC))
 		if req.Op == OpReplAppend || req.Op == OpReplVote {
 			// Peer replication traffic: answered inline (strictly ordered
 			// per conn) and never leadership-gated.

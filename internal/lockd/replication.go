@@ -46,6 +46,12 @@ type Mutation struct {
 	DurNs   int64 // lease (session-open) or wait/hold duration
 	Policy  string
 	Sched   string
+	// HLC is the leader's hybrid logical clock at propose time (see
+	// internal/hlc). It ships inside the log entry's record frames, so a
+	// learner applying the entry advances its own clock past every event
+	// the leader had seen — causal order survives the hop even when the
+	// wall clocks disagree.
+	HLC uint64
 }
 
 // Replica is the replication layer a Server defers to when configured.
@@ -96,7 +102,8 @@ func (s *Server) journalSession(kind journal.Kind, id uint64, client string, lea
 	rec := journal.Record{
 		Kind:   kind,
 		Origin: journal.OriginLockd,
-		AtNs:   time.Now().UnixNano(),
+		AtNs:   s.cfg.Clock.PhysNow(),
+		HLC:    s.cfg.Clock.Now(),
 		DurNs:  int64(lease),
 		Tag:    id,
 	}

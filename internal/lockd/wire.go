@@ -103,6 +103,12 @@ type Request struct {
 	TraceID    string `json:"trace_id,omitempty"`
 	ParentSpan string `json:"parent_span,omitempty"`
 
+	// HLC is the sender's hybrid logical clock at send time (see
+	// internal/hlc). The receiver merges it before acting, so events it
+	// journals on behalf of this request order after everything the
+	// sender had seen. Zero from pre-HLC clients — merging is a no-op.
+	HLC uint64 `json:"hlc,omitempty"`
+
 	// release
 	Token uint64 `json:"token,omitempty"`
 
@@ -154,6 +160,15 @@ type Response struct {
 	// the server-side queue-wait span ID, so client logs can name the
 	// cross-process child span.
 	ServerSpan string `json:"server_span,omitempty"`
+
+	// HLC is the responder's hybrid logical clock at reply time — the
+	// caller merges it, closing the causal loop. WallNs is the
+	// responder's raw physical clock at the same moment, deliberately
+	// unmerged: paired with the caller's send/receive instants it bounds
+	// the responder's clock offset to an RTT-wide interval (see
+	// hlc.SkewEstimator), which is how per-peer skew telemetry is fed.
+	HLC    uint64 `json:"hlc,omitempty"`
+	WallNs int64  `json:"wall_ns,omitempty"`
 
 	// Replication: the responder's term rides on repl responses and on
 	// NotLeader rejections; NextIndex is the learner's log length after

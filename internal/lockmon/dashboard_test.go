@@ -120,6 +120,35 @@ func TestDashboardTruncatesLongErrors(t *testing.T) {
 	}
 }
 
+// TestDashboardSkewColumn: a source exporting per-peer
+// lockd_clock_skew_ns gauges shows its worst estimate in the SKEW
+// column and in the /fleet JSON; sources without the family show "-".
+func TestDashboardSkewColumn(t *testing.T) {
+	m := New(Config{Thresholds: Thresholds{MinAcquisitions: 2}})
+	m.AddSource(&FuncSource{SourceName: "leader", Fn: func(context.Context) ([]telemetry.Family, error) {
+		return []telemetry.Family{{
+			Name: "lockd_clock_skew_ns", Type: "gauge",
+			Samples: []telemetry.Sample{
+				{Labels: []telemetry.Label{{Name: "peer", Value: "2"}}, Value: 90e6},
+				{Labels: []telemetry.Label{{Name: "peer", Value: "3"}}, Value: -20e6},
+			},
+		}}, nil
+	}})
+	ctx := context.Background()
+	m.ScrapeOnce(ctx) // prime the delta baseline
+	m.ScrapeOnce(ctx) // close the first source window
+
+	var dash bytes.Buffer
+	m.RenderDashboard(&dash)
+	if out := dash.String(); !strings.Contains(out, "SKEW") || !strings.Contains(out, "90.0ms") {
+		t.Fatalf("dashboard missing the worst peer skew:\n%s", out)
+	}
+	f := m.Snapshot(0)
+	if len(f.Sources) != 1 || !f.Sources[0].SkewKnown || f.Sources[0].SkewNs != 90_000_000 {
+		t.Fatalf("fleet sources = %+v, want skew 90ms", f.Sources)
+	}
+}
+
 func TestFmtAge(t *testing.T) {
 	for _, tc := range []struct {
 		d    time.Duration

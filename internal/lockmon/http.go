@@ -80,7 +80,7 @@ func (m *Monitor) RenderDashboard(w io.Writer) {
 	f := m.Snapshot(8)
 	nowNs := m.cfg.Now().UnixNano()
 	fmt.Fprintf(w, "lockmon round %d\n\n", f.Seq)
-	fmt.Fprintf(w, "%-14s %-5s %8s %8s %-9s %4s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "ROLE", "TERM", "LAST ERROR")
+	fmt.Fprintf(w, "%-14s %-5s %8s %8s %-9s %4s %8s  %s\n", "SOURCE", "UP", "SCRAPES", "FAILS", "ROLE", "TERM", "SKEW", "LAST ERROR")
 	for _, s := range f.Sources {
 		up := "up"
 		if !s.Up {
@@ -92,7 +92,9 @@ func (m *Monitor) RenderDashboard(w io.Writer) {
 		}
 		// Truncate the error so a long dial failure cannot blow the row
 		// past the fixed-width layout.
-		fmt.Fprintf(w, "%-14s %-5s %8d %8d %-9s %4s  %s\n", s.Name, up, s.Scrapes, s.Failures, role, term, truncate(s.LastErr, 40))
+		fmt.Fprintf(w, "%-14s %-5s %8d %8d %-9s %4s %8s  %s\n",
+			s.Name, up, s.Scrapes, s.Failures, role, term,
+			fmtSkew(s.SkewKnown, s.SkewNs), truncate(s.LastErr, 32))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-14s %-18s %-6s %6s %6s %5s %10s %10s %5s %8s  %s\n",
@@ -182,6 +184,22 @@ func truncate(s string, max int) string {
 		return s
 	}
 	return string(r[:max-1]) + "…"
+}
+
+// fmtSkew renders a source's worst peer clock-skew estimate: "-" for
+// sources that never exported one, the signed magnitude otherwise.
+func fmtSkew(known bool, ns int64) string {
+	if !known {
+		return "-"
+	}
+	sign := ""
+	if ns < 0 {
+		sign, ns = "-", -ns
+	}
+	if ns == 0 {
+		return "0"
+	}
+	return sign + fmtNs(float64(ns))
 }
 
 // fmtNs renders a nanosecond quantity with a unit suffix.

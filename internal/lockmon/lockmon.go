@@ -264,6 +264,10 @@ type SourceHealth struct {
 	// window; Role is empty for unreplicated sources.
 	Role string `json:"role,omitempty"`
 	Term int64  `json:"term,omitempty"`
+	// SkewKnown/SkewNs mirror the source's worst peer clock-skew
+	// estimate (lockd_clock_skew_ns) at its last closed window.
+	SkewKnown bool  `json:"skew_known,omitempty"`
+	SkewNs    int64 `json:"skew_ns,omitempty"`
 }
 
 // LockHealth is the /fleet view of one lock series.
@@ -298,8 +302,13 @@ func (m *Monitor) Snapshot(recentWindows int) Fleet {
 			Name: ss.src.Name(), Up: ss.up, Scrapes: ss.scrapes,
 			Failures: ss.failures, LastErr: ss.lastErr, Locks: len(ss.locks),
 		}
-		if sw, ok := ss.series.Last(); ok && sw.Replica {
-			sh.Role, sh.Term = roleString(sw.Role), sw.Term
+		if sw, ok := ss.series.Last(); ok {
+			if sw.Replica {
+				sh.Role, sh.Term = roleString(sw.Role), sw.Term
+			}
+			if sw.SkewKnown {
+				sh.SkewKnown, sh.SkewNs = true, sw.SkewNs
+			}
 		}
 		f.Sources = append(f.Sources, sh)
 		for _, name := range ss.order {

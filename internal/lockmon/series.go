@@ -83,6 +83,10 @@ type sourceSample struct {
 	hasReplica bool
 	role       float64
 	term       float64
+	// Worst-magnitude peer clock-skew estimate (lockd_clock_skew_ns),
+	// present only on leaders that have sampled their learners.
+	hasSkew bool
+	skewNs  float64
 }
 
 // scrapeData is everything extracted from one scrape.
@@ -174,6 +178,18 @@ func extract(fams []telemetry.Family) *scrapeData {
 			d.src.hasReplica = true
 		case "lockd_replica_term":
 			d.src.term = firstValue(f)
+		case "lockd_clock_skew_ns":
+			// One sample per peer; the fleet view keeps the worst one
+			// (largest magnitude, sign preserved).
+			for _, s := range f.Samples {
+				if s.Suffix != "" {
+					continue
+				}
+				d.src.hasSkew = true
+				if math.Abs(s.Value) > math.Abs(d.src.skewNs) {
+					d.src.skewNs = s.Value
+				}
+			}
 		default:
 			if set, ok := scalarInto[f.Name]; ok {
 				for _, s := range f.Samples {
@@ -421,6 +437,11 @@ type SourceWindow struct {
 	Role      int64 `json:"role,omitempty"`
 	Term      int64 `json:"term,omitempty"`
 	TermDelta int64 `json:"term_delta,omitempty"`
+	// SkewKnown reports that the source exported lockd_clock_skew_ns at
+	// the closing scrape (leaders estimating their peers do); SkewNs is
+	// the worst-magnitude peer estimate, sign preserved.
+	SkewKnown bool  `json:"skew_known,omitempty"`
+	SkewNs    int64 `json:"skew_ns,omitempty"`
 	Reset     bool  `json:"reset,omitempty"`
 }
 
@@ -455,6 +476,10 @@ func (ss *SourceSeries) observe(seq int, cur sourceSample) (SourceWindow, bool) 
 	w.Tokens = delta(cur.tokens, ss.prev.tokens)
 	w.Reconfigs = delta(cur.reconfigs, ss.prev.reconfigs)
 	w.Deadlocks = delta(cur.deadlocks, ss.prev.deadlocks)
+	if cur.hasSkew {
+		w.SkewKnown = true
+		w.SkewNs = int64(cur.skewNs)
+	}
 	if cur.hasReplica {
 		w.Replica = true
 		w.Role = int64(cur.role)

@@ -46,6 +46,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/hlc"
 	"repro/internal/journal"
 	"repro/internal/lockd"
 	"repro/internal/telemetry"
@@ -103,6 +104,10 @@ type Config struct {
 	Journal *journal.Journal
 	// Registry, when non-nil, exports the lockd_replica_* families.
 	Registry *telemetry.Registry
+	// Clock is this node's hybrid logical clock; share one instance with
+	// the lockd server and journal of the same process so every surface
+	// stamps from the same causal timeline. Default: hlc.Default.
+	Clock *hlc.Clock
 	// Logf receives progress lines (default: the standard logger).
 	Logf func(format string, args ...any)
 	// Dial, when non-nil, replaces net.DialTimeout for peer links —
@@ -147,6 +152,12 @@ type Node struct {
 	peers []*peerConn
 	entry *telemetry.Entry
 
+	// skewMu guards skew: per-peer clock-offset estimators fed by the
+	// HLC/WallNs echoes on replication round trips (leader side only —
+	// learners see the leader's clock through appends instead).
+	skewMu sync.Mutex
+	skew   map[int]*hlc.SkewEstimator
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -162,6 +173,9 @@ func New(cfg Config) *Node {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = hlc.Default
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
@@ -172,6 +186,7 @@ func New(cfg Config) *Node {
 		logf:   logf,
 		shadow: newShadow(),
 		next:   make(map[int]uint64),
+		skew:   make(map[int]*hlc.SkewEstimator),
 		stop:   make(chan struct{}),
 	}
 }
@@ -299,9 +314,15 @@ func (n *Node) Propose(m lockd.Mutation) error {
 		n.mu.Unlock()
 		return ErrNotLeader
 	}
+	// Stamp the mutation with this leader's HLC before it enters the
+	// log: every learner that applies it merges the stamp, so the whole
+	// cluster's clocks order the entry after everything the leader saw.
+	if m.HLC == 0 {
+		m.HLC = uint64(n.cfg.Clock.Now())
+	}
 	n.log = append(n.log, lockd.ReplEntry{
 		Term:   n.term,
-		Frames: encodeMutation(m, time.Now().UnixNano()),
+		Frames: encodeMutation(m, n.cfg.Clock.PhysNow()),
 	})
 	n.shadow.apply(m)
 	n.mu.Unlock()
@@ -406,6 +427,7 @@ func (n *Node) runElection() {
 		LeaderAddr: self,
 		LogLen:     logLen,
 		LastTerm:   lastTerm,
+		HLC:        uint64(n.cfg.Clock.Now()),
 	}
 	start := time.Now()
 	votes := 1 // self
@@ -420,6 +442,7 @@ func (n *Node) runElection() {
 			if err != nil {
 				return
 			}
+			n.cfg.Clock.Update(hlc.Time(resp.HLC))
 			vmu.Lock()
 			if resp.OK {
 				votes++
@@ -561,6 +584,7 @@ func (n *Node) broadcast() int {
 			PrevIndex:  ni,
 			PrevTerm:   prevTerm,
 			Entries:    entries,
+			HLC:        uint64(n.cfg.Clock.Now()),
 		}})
 	}
 	n.lastBroadcast = time.Now()
@@ -575,9 +599,16 @@ func (n *Node) broadcast() int {
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
+			sentNs := n.cfg.Clock.PhysNow()
 			resp, err := j.p.call(j.req, n.lease/3)
 			if err != nil {
 				return
+			}
+			n.cfg.Clock.Update(hlc.Time(resp.HLC))
+			if resp.WallNs != 0 {
+				// The peer's raw wall clock, bracketed by our send and
+				// receive instants: one skew sample per append round.
+				n.skewSample(j.p.id, sentNs, n.cfg.Clock.PhysNow(), resp.WallNs)
 			}
 			n.mu.Lock()
 			if resp.OK || resp.Term <= term {
@@ -628,6 +659,7 @@ func (n *Node) HandleRepl(req lockd.Request) lockd.Response {
 // whose log is at least as complete as ours — the election-safety half
 // of token monotonicity.
 func (n *Node) handleVote(req lockd.Request) lockd.Response {
+	n.cfg.Clock.Update(hlc.Time(req.HLC))
 	n.mu.Lock()
 	resp := lockd.Response{ID: req.ID}
 	if req.Term < n.term {
@@ -673,6 +705,7 @@ func (n *Node) handleVote(req lockd.Request) lockd.Response {
 // shadow by replay), append and apply what is genuinely new, and echo
 // applied entries into the local journal.
 func (n *Node) handleAppend(req lockd.Request) lockd.Response {
+	n.cfg.Clock.Update(hlc.Time(req.HLC))
 	n.mu.Lock()
 	resp := lockd.Response{ID: req.ID}
 	if req.Term < n.term {
@@ -748,10 +781,16 @@ func (n *Node) journalApply(m lockd.Mutation) {
 	if j == nil {
 		return
 	}
+	// Merge the entry's stamp before minting the echo's, so the echo
+	// always orders after the leader-side original — HLC-keyed merges
+	// then render replicated pairs in shipping order even when this
+	// node's wall clock runs behind the leader's.
+	n.cfg.Clock.Update(hlc.Time(m.HLC))
 	rec := journal.Record{
 		Kind:   m.Kind,
 		Origin: journal.OriginLockd,
-		AtNs:   time.Now().UnixNano(),
+		AtNs:   n.cfg.Clock.PhysNow(),
+		HLC:    n.cfg.Clock.Now(),
 		DurNs:  m.DurNs,
 		Token:  m.Token,
 		Tag:    m.Session,
@@ -764,6 +803,37 @@ func (n *Node) journalApply(m lockd.Mutation) {
 		rec.Agent = j.InternAgent(m.Agent)
 	}
 	j.Append(rec)
+}
+
+// skewSample feeds one replication round trip into the peer's offset
+// estimator: the peer's raw wall clock (remoteNs) bracketed by this
+// node's send and receive instants bounds its offset to an RTT-wide
+// interval (see hlc.SkewEstimator).
+func (n *Node) skewSample(peer int, sentNs, recvNs, remoteNs int64) {
+	n.skewMu.Lock()
+	est := n.skew[peer]
+	if est == nil {
+		est = &hlc.SkewEstimator{}
+		n.skew[peer] = est
+	}
+	est.AddSample(sentNs, recvNs, remoteNs)
+	n.skewMu.Unlock()
+}
+
+// SkewNs returns the estimated per-peer clock offsets in nanoseconds
+// (peer wall clock minus ours), keyed by replica id. Only peers this
+// node has completed replication round trips with appear — in practice
+// that means a current or recent leader's view of its learners.
+func (n *Node) SkewNs() map[int]int64 {
+	n.skewMu.Lock()
+	defer n.skewMu.Unlock()
+	out := make(map[int]int64, len(n.skew))
+	for id, est := range n.skew {
+		if off, ok := est.Offset(); ok {
+			out[id] = off
+		}
+	}
+	return out
 }
 
 // telemetrySnapshot is the registry pull for the lockd_replica_*
@@ -782,7 +852,13 @@ func (n *Node) telemetrySnapshot() telemetry.LockSnapshot {
 	}
 	elections, stepdowns := n.elections, n.stepdowns
 	n.mu.Unlock()
-	return telemetry.LockSnapshot{
+	skew := n.SkewNs()
+	peers := make([]int, 0, len(skew))
+	for id := range skew {
+		peers = append(peers, id)
+	}
+	sort.Ints(peers)
+	snap := telemetry.LockSnapshot{
 		Name: fmt.Sprintf("lockd-replica-%d", n.cfg.ID),
 		Impl: "replica",
 		Extra: []telemetry.ExtraPoint{
@@ -800,4 +876,14 @@ func (n *Node) telemetrySnapshot() telemetry.LockSnapshot {
 				Value: stepdowns},
 		},
 	}
+	for _, id := range peers {
+		snap.Extra = append(snap.Extra, telemetry.ExtraPoint{
+			Name:   "lockd_clock_skew_ns",
+			Help:   "Estimated peer wall-clock offset from this node in nanoseconds (positive: peer runs ahead).",
+			Gauge:  true,
+			Value:  skew[id],
+			Labels: []telemetry.Label{{Name: "peer", Value: fmt.Sprintf("%d", id)}},
+		})
+	}
+	return snap
 }

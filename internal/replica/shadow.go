@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/hlc"
 	"repro/internal/journal"
 	"repro/internal/lockd"
 )
@@ -24,6 +25,7 @@ func encodeMutation(m lockd.Mutation, atNs int64) []byte {
 		Kind:   m.Kind,
 		Origin: journal.OriginLockd,
 		AtNs:   atNs,
+		HLC:    hlc.Time(m.HLC),
 		DurNs:  m.DurNs,
 		Token:  m.Token,
 		Tag:    m.Session,
@@ -53,6 +55,7 @@ func decodeMutation(frames []byte) (lockd.Mutation, error) {
 		Token:   e.Record.Token,
 		Trace:   e.Record.Trace,
 		DurNs:   e.Record.DurNs,
+		HLC:     uint64(e.Record.HLC),
 	}
 	if m.Kind == journal.KindReconfig {
 		pol, sched, _ := strings.Cut(e.AgentName, ",")

@@ -1,0 +1,207 @@
+// Timeline smoke: a two-node replicated cluster whose wall clocks
+// disagree by ±100ms serves a real client, and the merged per-node
+// journals must tell a causally consistent story. Ordered by hybrid
+// logical clocks the history verifies clean; ordered by the raw wall
+// instants the learner's applied echoes time-travel ahead of the
+// leader's records and the verifier reports the grant-before-release
+// inversion HLC ordering exists to prevent. `make timeline-smoke` runs
+// exactly this under the race detector.
+package replica_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/hlc"
+	"repro/internal/journal"
+	"repro/internal/lockclient"
+	"repro/internal/lockd"
+	"repro/internal/replica"
+)
+
+// smokeDir places a journal under $TIMELINE_SMOKE_DIR when set — kept
+// on failure so `make timeline-smoke` (and CI) can ship the per-node
+// segments as the failure artifact — and under t.TempDir() otherwise.
+func smokeDir(t *testing.T, name string) string {
+	root := os.Getenv("TIMELINE_SMOKE_DIR")
+	if root == "" {
+		return filepath.Join(t.TempDir(), name)
+	}
+	dir := filepath.Join(root, t.Name(), name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("mkdir %s: %v", dir, err)
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			os.RemoveAll(dir)
+			os.Remove(filepath.Dir(dir))
+			os.Remove(root)
+		}
+	})
+	return dir
+}
+
+func TestTimelineSmokeSkewedCluster(t *testing.T) {
+	const skew = 100 * time.Millisecond
+	skews := []time.Duration{+skew, -skew}
+
+	type member struct {
+		node *replica.Node
+		srv  *lockd.Server
+		jrnl *journal.Journal
+		dir  string
+	}
+	var members []*member
+	var peers []replica.Peer
+	for i, s := range skews {
+		clock := hlc.NewSkewedClock(s)
+		dir := smokeDir(t, fmt.Sprintf("node-%d", i+1))
+		jr, err := journal.Open(journal.Config{Dir: dir, FlushEvery: 10 * time.Millisecond, Clock: clock})
+		if err != nil {
+			t.Fatalf("journal node %d: %v", i+1, err)
+		}
+		node := replica.New(replica.Config{
+			ID: i + 1, Lease: 200 * time.Millisecond, Seed: 7,
+			Journal: jr, Clock: clock, Logf: func(string, ...any) {},
+		})
+		srv, err := lockd.Serve("127.0.0.1:0", lockd.Config{
+			Replica: node, Journal: jr, Clock: clock, DefaultLease: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("serve node %d: %v", i+1, err)
+		}
+		members = append(members, &member{node: node, srv: srv, jrnl: jr, dir: dir})
+		peers = append(peers, replica.Peer{ID: i + 1, Addr: srv.Addr()})
+	}
+	shutdown := func() {
+		for _, m := range members {
+			m.node.Close()
+			m.srv.Close()
+			m.jrnl.Close()
+		}
+	}
+	t.Cleanup(shutdown)
+	for _, m := range members {
+		m.node.Start(m.srv, peers)
+	}
+	deadline := time.Now().Add(8 * time.Second)
+	leader := -1
+	for leader < 0 && time.Now().Before(deadline) {
+		for i, m := range members {
+			if m.node.Gate().Leader {
+				leader = i
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader < 0 {
+		t.Fatal("no leader within 8s")
+	}
+
+	cdir := smokeDir(t, "client")
+	cclock := hlc.NewSkewedClock(-skew / 2)
+	cj, err := journal.Open(journal.Config{Dir: cdir, FlushEvery: 10 * time.Millisecond, Clock: cclock})
+	if err != nil {
+		t.Fatalf("client journal: %v", err)
+	}
+	cl, err := lockclient.Dial(members[leader].srv.Addr(), lockclient.Options{
+		Client: "timeline-cli", Lease: 2 * time.Second, Heartbeat: -1,
+		MaxAttempts: 30, BackoffBase: 20 * time.Millisecond, BackoffMax: 250 * time.Millisecond,
+		Seed: 3, NoTrace: true, Journal: cj, Clock: cclock,
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	// Grant/release cycles spanning several times the relative skew, so
+	// the wall-merged timelines of the two nodes genuinely interleave:
+	// the learner's −100ms echoes of late grants land amid the leader's
+	// +100ms records of early ones.
+	ctx := context.Background()
+	start := time.Now()
+	grants := 0
+	for time.Since(start) < 3*skew || grants < 10 {
+		h, err := cl.Acquire(ctx, "orders")
+		if err != nil {
+			t.Fatalf("acquire %d: %v", grants, err)
+		}
+		grants++
+		if err := cl.Release(ctx, h); err != nil {
+			t.Fatalf("release %d: %v", grants, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Let the last mutations ship to the learner before reading.
+	time.Sleep(150 * time.Millisecond)
+	cl.Close()
+	shutdown()
+
+	var procs []journal.ProcEntries
+	for i, m := range members {
+		entries, _, err := journal.ReadDir(m.dir)
+		if err != nil {
+			t.Fatalf("read node %d journal: %v", i+1, err)
+		}
+		procs = append(procs, journal.ProcEntries{Proc: fmt.Sprintf("node-%d", i+1), Entries: entries})
+	}
+	procs = append(procs, readClientJournal(t, cj, cdir))
+
+	// HLC order: the merged history is causally clean despite the skew.
+	rep := journal.Verify(procs)
+	if !rep.Ok() {
+		t.Fatalf("HLC-ordered verification failed:\n  %s", strings.Join(rep.Violations, "\n  "))
+	}
+	if rep.ReplicatedLocks == 0 || rep.Grants < grants {
+		t.Fatalf("verifier saw %d replicated locks, %d grants; want >= 1 and >= %d", rep.ReplicatedLocks, rep.Grants, grants)
+	}
+
+	// Wall order: the same records, sorted by raw wall instants, must
+	// exhibit the inversion — some copy of a later token's grant renders
+	// before the release of the token that causally preceded it (the
+	// slow node's records time-travel ~2x the skew into the past). HLC
+	// order must show none, on the exact same records.
+	inversions := func(merged []journal.MergedEntry) int {
+		n, maxGrant := 0, uint64(0)
+		for _, m := range merged {
+			if m.Origin != journal.OriginLockd || m.Token == 0 {
+				continue
+			}
+			switch m.Kind {
+			case journal.KindAcquire:
+				if m.Token > maxGrant {
+					maxGrant = m.Token
+				}
+			case journal.KindRelease:
+				if maxGrant > m.Token {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if n := inversions(journal.MergeOrdered(procs, journal.OrderWall)); n == 0 {
+		t.Fatalf("wall-ordered merge shows no grant-before-release inversion over ±%v skew (%d records)", skew, rep.Records)
+	}
+	if n := inversions(journal.Merge(procs)); n != 0 {
+		t.Fatalf("HLC-ordered merge still shows %d grant-before-release inversions", n)
+	}
+
+	// The journals alone expose the skew: the slow node's records trail
+	// the fastest clock by roughly the relative skew.
+	offs := journal.ClockOffsets(procs)
+	worst := int64(0)
+	for _, o := range offs {
+		if o > worst {
+			worst = o
+		}
+	}
+	if worst < int64(skew) {
+		t.Fatalf("clock offsets %v never reach the relative skew %v", offs, 2*skew)
+	}
+}

@@ -86,7 +86,11 @@ func Gather(snaps []LockSnapshot) []Family {
 				byName[p.Name] = f
 				order = append(order, p.Name)
 			}
-			f.Samples = append(f.Samples, Sample{Labels: lockLabels(s), Value: float64(p.Value)})
+			labels := lockLabels(s)
+			if len(p.Labels) > 0 {
+				labels = append(labels, p.Labels...)
+			}
+			f.Samples = append(f.Samples, Sample{Labels: labels, Value: float64(p.Value)})
 		}
 	}
 	out := make([]Family, 0, len(order)+len(histFamilies))

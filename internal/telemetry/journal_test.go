@@ -137,7 +137,7 @@ func TestJournalSegmentEndpoints(t *testing.T) {
 	if got := resp.Header.Get("Content-Type"); got != "application/octet-stream" {
 		t.Fatalf("segment Content-Type = %q", got)
 	}
-	if !strings.HasPrefix(body, "LKJRNL1\n") {
+	if !strings.HasPrefix(body, "LKJRNL2\n") {
 		t.Fatalf("segment body does not start with the magic: %q", body[:16])
 	}
 

@@ -16,10 +16,11 @@ import (
 
 // counterPoint is one series of a counter/gauge family.
 type counterPoint struct {
-	Name  string
-	Help  string
-	Gauge bool
-	Value int64
+	Name   string
+	Help   string
+	Gauge  bool
+	Value  int64
+	Labels []Label // extra labels after the standard {impl,lock} pair
 }
 
 // points flattens a snapshot into its scalar metric series. Families not
@@ -73,7 +74,7 @@ func (s LockSnapshot) points() []counterPoint {
 		)
 	}
 	for _, ep := range s.Extra {
-		pts = append(pts, counterPoint{Name: ep.Name, Help: ep.Help, Gauge: ep.Gauge, Value: ep.Value})
+		pts = append(pts, counterPoint{Name: ep.Name, Help: ep.Help, Gauge: ep.Gauge, Value: ep.Value, Labels: ep.Labels})
 	}
 	return pts
 }

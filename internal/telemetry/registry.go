@@ -72,6 +72,10 @@ type ExtraPoint struct {
 	Help  string `json:"help"`
 	Gauge bool   `json:"gauge,omitempty"`
 	Value int64  `json:"value"`
+	// Labels are appended after the standard {impl,lock} pair, so one
+	// source can export a family with several series (e.g. per-peer
+	// clock skew keyed by a "peer" label).
+	Labels []Label `json:"labels,omitempty"`
 }
 
 // Registry is a set of named lock telemetry entries. The zero value is

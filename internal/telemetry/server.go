@@ -110,6 +110,7 @@ func (s *Server) Linger(serveFor time.Duration) error {
 //	/debug/journal        event-journal records (?lock=&agent=&kind=&from=&to=&limit=)
 //	/debug/journal/segments  segment-file listing with integrity flags
 //	/debug/journal/segment   raw segment download (?name=journal-00000000.seg)
+//	/debug/timeline       HLC-ordered history (?lock=&agent=&kind=&from=&to=&limit=&format=text|json)
 //	/debug/pprof/         the Go runtime profiles
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -123,6 +124,7 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("/debug/journal", r.handleJournal)
 	mux.HandleFunc("/debug/journal/segments", r.handleJournalSegments)
 	mux.HandleFunc("/debug/journal/segment", r.handleJournalSegment)
+	mux.HandleFunc("/debug/timeline", r.handleTimeline)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -145,6 +147,7 @@ func (r *Registry) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprintln(w, "/debug/waitgraph      wait-for graph (?format=dot)")
 	fmt.Fprintln(w, "/debug/flightrec      flight recorder (?lock=NAME&format=text)")
 	fmt.Fprintln(w, "/debug/journal        event journal (?lock=&agent=&kind=&from=&to=&limit=)")
+	fmt.Fprintln(w, "/debug/timeline       HLC-ordered history (?lock=&kind=&from=&to=&format=json)")
 	fmt.Fprintln(w, "/debug/pprof/         Go runtime profiles")
 }
 

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/buildinfo"
+	"repro/internal/journal"
+)
+
+func TestTimelineEndpoint(t *testing.T) {
+	j, srv := journalServer(t)
+	orders := j.InternLock("orders")
+	w1 := j.InternAgent("w1")
+	j.Append(journal.Record{Kind: journal.KindAcquire, Origin: journal.OriginNative,
+		AtNs: 100, Lock: orders, Agent: w1, Token: 7})
+	j.Append(journal.Record{Kind: journal.KindRelease, Origin: journal.OriginNative,
+		AtNs: 200, Lock: orders, Agent: w1, Token: 7, DurNs: 100})
+
+	// Text format: one line per record, oldest first.
+	body, resp := get(t, srv.URL()+"/debug/timeline")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status = %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "acquire") || !strings.Contains(lines[1], "release") {
+		t.Fatalf("timeline text = %q", body)
+	}
+
+	// JSON format with a kind filter.
+	body, resp = get(t, srv.URL()+"/debug/timeline?format=json&kind=acquire")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline json status = %d", resp.StatusCode)
+	}
+	var doc struct {
+		Records []timelineEntryJSON `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("timeline JSON: %v\n%s", err, body)
+	}
+	if len(doc.Records) != 1 || doc.Records[0].Kind != "acquire" || doc.Records[0].Token != 7 {
+		t.Fatalf("timeline records = %+v", doc.Records)
+	}
+	// The live journal stamps HLC; the endpoint must surface it.
+	if doc.Records[0].HLC == 0 {
+		t.Fatal("timeline record missing HLC stamp")
+	}
+
+	// Bad instants are rejected.
+	_, resp = get(t, srv.URL()+"/debug/timeline?from=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad from: status = %d", resp.StatusCode)
+	}
+}
+
+func TestBuildInfoMetric(t *testing.T) {
+	r := NewRegistry()
+	e := r.RegisterBuildInfo()
+	defer e.Close()
+	fams := r.Gather()
+	f := FindFamily(fams, "lockd_build_info")
+	if f == nil {
+		t.Fatal("lockd_build_info family absent")
+	}
+	if len(f.Samples) != 1 || f.Samples[0].Value != 1 {
+		t.Fatalf("lockd_build_info samples = %+v", f.Samples)
+	}
+	if v, ok := f.Samples[0].Label("version"); !ok || v != buildinfo.Version {
+		t.Fatalf("version label = %q, want %q", v, buildinfo.Version)
+	}
+	if _, ok := f.Samples[0].Label("goversion"); !ok {
+		t.Fatal("goversion label absent")
+	}
+}
